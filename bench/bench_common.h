@@ -1,0 +1,93 @@
+// Shared scaffolding for the figure/table benches.
+//
+// Every bench binary accepts:
+//   --scale=small|medium|full   workload size (default small: 8 buildings,
+//                               2400 users; full: the SJTU deployment's
+//                               22 buildings / ~12.4k users)
+//   --seed=N                    generator seed (default 42)
+//
+// Benches print labelled CSV-ish series to stdout — the artifact a
+// plotting script consumes — with '#' comment lines describing the
+// paper-shape the series should reproduce.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "s3/core/evaluation.h"
+#include "s3/trace/generator.h"
+
+namespace s3::bench {
+
+struct BenchArgs {
+  std::string scale = "small";
+  std::uint64_t seed = 42;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--scale=", 0) == 0) {
+      args.scale = a.substr(8);
+    } else if (a.rfind("--seed=", 0) == 0) {
+      args.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: bench [--scale=small|medium|full] [--seed=N]\n";
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+/// Generator configuration per scale. Training span (21 d) + test span
+/// (3 d) mirror the paper's Jul 4-24 / Jul 25-27 split.
+inline trace::GeneratorConfig generator_config(const BenchArgs& args) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = args.seed;
+  cfg.num_days = 24;
+  if (args.scale == "full") {
+    cfg.num_users = 12374;
+    cfg.layout.num_buildings = 22;
+    cfg.layout.aps_per_building = 15;
+    cfg.rate_scale = 0.35;  // constant offered load per AP vs small scale
+  } else if (args.scale == "medium") {
+    cfg.num_users = 4800;
+    cfg.layout.num_buildings = 10;
+    cfg.layout.aps_per_building = 12;
+    cfg.rate_scale = 0.6;
+  } else {
+    cfg.num_users = 2400;
+    cfg.layout.num_buildings = 8;
+    cfg.layout.aps_per_building = 12;
+  }
+  return cfg;
+}
+
+inline core::EvaluationConfig evaluation_config() {
+  core::EvaluationConfig eval;
+  eval.train_days = 21;
+  eval.test_days = 3;
+  return eval;
+}
+
+inline trace::GeneratedTrace make_world(const BenchArgs& args) {
+  const trace::GeneratorConfig cfg = generator_config(args);
+  std::cerr << "generating workload: " << cfg.num_users << " users, "
+            << cfg.layout.num_buildings << " buildings, " << cfg.num_days
+            << " days (seed " << cfg.seed << ")\n";
+  return trace::generate_campus_trace(cfg);
+}
+
+/// The "collected trace": the operator's LLF-controller logs.
+inline trace::Trace collected_trace(const wlan::Network& net,
+                                    const trace::Trace& workload,
+                                    const core::EvaluationConfig& eval) {
+  core::LlfSelector llf(eval.baseline_metric);
+  return sim::replay(net, workload, llf, eval.replay).assigned;
+}
+
+}  // namespace s3::bench

@@ -1,0 +1,45 @@
+// Fig. 11 — normalized balancing index of S3 as a function of how many
+// days of history the social model learns from, for alpha in
+// {0.1, 0.3, 0.5}.
+//
+// Paper shape: rises with more history and stabilizes at about 15 days
+// — older information neither helps nor hurts.
+
+#include "bench_common.h"
+#include "s3/util/table.h"
+
+using namespace s3;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const trace::GeneratedTrace world = bench::make_world(args);
+
+  std::cout << "# Fig. 11: S3 normalized balance index vs days of history, "
+               "per alpha\n";
+  std::cout << "# paper shape: increases then plateaus at ~15 days\n";
+
+  const std::vector<int> days = {1, 3, 5, 8, 10, 13, 15, 18, 20};
+  const std::vector<double> alphas = {0.1, 0.3, 0.5};
+
+  util::TextTable table(
+      {"history_days", "alpha_0.1", "alpha_0.3", "alpha_0.5"});
+  for (int d : days) {
+    std::vector<double> row = {static_cast<double>(d)};
+    for (double alpha : alphas) {
+      core::EvaluationConfig eval = bench::evaluation_config();
+      eval.social.alpha = alpha;
+      eval.social.history_days = d;
+      const social::SocialIndexModel model =
+          core::train_from_workload(world.network, world.workload, eval);
+      core::S3Selector s3(&world.network, &model, eval.s3);
+      const core::PolicyScore score =
+          core::score_policy(world.network, world.workload, s3, eval);
+      row.push_back(score.mean);
+      std::cerr << "history=" << d << "d alpha=" << alpha << " -> "
+                << score.mean << "\n";
+    }
+    table.add_numeric_row(row);
+  }
+  std::cout << table.to_csv();
+  return 0;
+}

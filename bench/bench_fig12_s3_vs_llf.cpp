@@ -1,0 +1,57 @@
+// Fig. 12 — S3 vs the deployed LLF per controller domain, with 95 %
+// confidence error bars, plus the headline aggregates.
+//
+// Paper shape: S3 wins on every site; +41.2 % mean balance-index gain,
+// +52.1 % during leave-peak hours, and a 72.1 % error-bar reduction.
+
+#include "bench_common.h"
+#include "s3/util/table.h"
+
+using namespace s3;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const trace::GeneratedTrace world = bench::make_world(args);
+  const core::EvaluationConfig eval = bench::evaluation_config();
+
+  const core::ComparisonResult r =
+      core::compare_s3_vs_llf(world.network, world.workload, eval);
+
+  std::cout << "# Fig. 12: S3 vs deployed LLF per controller domain "
+               "(mean normalized balance index +- 95% CI)\n";
+  std::cout << "# paper shape: S3 above LLF on every site; biggest gains "
+               "around leave-peaks\n";
+  util::TextTable table(
+      {"controller", "llf_mean", "llf_ci95", "s3_mean", "s3_ci95"});
+  for (std::size_t c = 0; c < r.llf.per_controller_mean.size(); ++c) {
+    table.add_numeric_row({static_cast<double>(c + 1),
+                           r.llf.per_controller_mean[c],
+                           r.llf.per_controller_ci95[c],
+                           r.s3.per_controller_mean[c],
+                           r.s3.per_controller_ci95[c]});
+  }
+  std::cout << table.to_csv();
+
+  std::size_t s3_wins = 0;
+  for (std::size_t c = 0; c < r.llf.per_controller_mean.size(); ++c) {
+    if (r.s3.per_controller_mean[c] > r.llf.per_controller_mean[c]) ++s3_wins;
+  }
+  std::cout << "# measured: overall LLF=" << util::fmt(r.llf.mean, 4)
+            << " S3=" << util::fmt(r.s3.mean, 4) << "\n";
+  std::cout << "# measured: balance gain = "
+            << util::fmt(100.0 * r.balance_gain, 1)
+            << " %  (paper: +41.2 %)\n";
+  std::cout << "# measured: leave-peak gain = "
+            << util::fmt(100.0 * r.leave_peak_gain, 1)
+            << " %  (paper: +52.1 %)\n";
+  std::cout << "# measured: error-bar reduction = "
+            << util::fmt(100.0 * r.errorbar_reduction, 1)
+            << " %  (paper: 72.1 %)\n";
+  std::cout << "# measured: S3 wins on " << s3_wins << "/"
+            << r.llf.per_controller_mean.size() << " sites\n";
+  std::cout << "# replay: S3 batches mean size = "
+            << util::fmt(r.s3.replay_stats.mean_batch_size, 2)
+            << ", forced overloads = " << r.s3.replay_stats.forced_overloads
+            << " (LLF: " << r.llf.replay_stats.forced_overloads << ")\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 7 — gap statistic over user application profiles for varying k.
+//
+// Paper shape: Gap(4) >= Gap(5) - s_5, so the optimal number of usage
+// types is k = 4.
+
+#include "bench_common.h"
+#include "s3/analysis/profiles.h"
+#include "s3/cluster/gap_statistic.h"
+#include "s3/util/table.h"
+
+using namespace s3;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const trace::GeneratedTrace world = bench::make_world(args);
+  const apps::ProfileStore profiles =
+      analysis::build_profiles(world.workload);
+
+  // Feature matrix: normalized lifetime profiles of active users.
+  cluster::Dataset data;
+  data.dim = apps::kNumCategories;
+  for (const apps::AppMix& p : profiles.normalized_profiles()) {
+    if (apps::total(p) <= 0.0) continue;
+    data.values.insert(data.values.end(), p.begin(), p.end());
+    ++data.num_points;
+  }
+
+  cluster::GapStatisticConfig cfg;
+  cfg.max_k = 10;
+  cfg.num_references = 10;
+  cfg.seed = args.seed;
+  const cluster::GapStatisticResult r = cluster::gap_statistic(data, cfg);
+
+  std::cout << "# Fig. 7: gap statistic for varying k (user application "
+               "profiles)\n";
+  std::cout << "# paper shape: first k with Gap(k) >= Gap(k+1) - s_{k+1} "
+               "is k = 4\n";
+  util::TextTable table({"k", "gap", "s_k", "log_W"});
+  for (std::size_t k = 1; k <= cfg.max_k; ++k) {
+    table.add_numeric_row({static_cast<double>(k), r.gap[k - 1], r.s[k - 1],
+                           r.log_w[k - 1]});
+  }
+  std::cout << table.to_csv();
+  std::cout << "# measured: optimal k = " << r.optimal_k
+            << " over " << data.num_points << " users (paper: 4)\n";
+  return 0;
+}

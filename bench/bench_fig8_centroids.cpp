@@ -1,0 +1,46 @@
+// Fig. 8 — centroids of the four user groups over the six application
+// realms (IM, P2P, music, email, video, web-browsing).
+//
+// Paper shape: four clearly distinct usage types — each centroid is
+// dominated by a different realm mixture.
+
+#include "bench_common.h"
+#include "s3/analysis/profiles.h"
+#include "s3/social/typing.h"
+#include "s3/util/table.h"
+
+using namespace s3;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const trace::GeneratedTrace world = bench::make_world(args);
+  const apps::ProfileStore profiles =
+      analysis::build_profiles(world.workload);
+
+  social::UserTypingConfig cfg;
+  cfg.k = 4;
+  cfg.seed = args.seed;
+  const social::UserTyping typing =
+      social::cluster_users(profiles.normalized_profiles(), cfg);
+
+  std::cout << "# Fig. 8: cluster centroids of the four user groups\n";
+  std::cout << "# paper shape: one IM/web type, one P2P-dominated type, "
+               "one video type, one email/web type\n";
+  std::vector<std::string> header = {"type"};
+  for (apps::AppCategory c : apps::kAllCategories) {
+    header.emplace_back(to_string(c));
+  }
+  util::TextTable table(header);
+  std::vector<std::size_t> counts(typing.num_types, 0);
+  for (std::size_t t : typing.type_of_user) ++counts[t];
+  for (std::size_t t = 0; t < typing.num_types; ++t) {
+    std::vector<std::string> row = {"type" + std::to_string(t + 1)};
+    for (double v : typing.centroid(t)) row.push_back(util::fmt(v, 3));
+    table.add_row(row);
+  }
+  std::cout << table.to_csv();
+  for (std::size_t t = 0; t < typing.num_types; ++t) {
+    std::cout << "# type" << (t + 1) << ": " << counts[t] << " users\n";
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Clairvoyant upper bound: how much of the achievable balance headroom
+// does each online policy capture?
+//
+// The offline optimizer knows every arrival, departure and demand in
+// advance and minimizes Σ load² (equivalently maximizes the mean
+// balance index) subject only to the same candidate-set constraint the
+// online policies face. "Gap closed" = (policy − LLF) / (oracle − LLF).
+
+#include "bench_common.h"
+#include "s3/core/oracle.h"
+#include "s3/util/table.h"
+
+using namespace s3;
+
+namespace {
+
+double score_assigned(const wlan::Network& net, const trace::Trace& assigned,
+                      const core::EvaluationConfig& eval) {
+  analysis::ThroughputOptions opts;
+  opts.slot_s = eval.eval_slot_s;
+  const util::SimTime begin = util::SimTime::from_days(eval.train_days);
+  const util::SimTime end =
+      util::SimTime::from_days(eval.train_days + eval.test_days);
+  const analysis::ThroughputSeries series(net, assigned, begin, end, opts);
+  util::RunningStats beta;
+  for (ControllerId c = 0; c < net.num_controllers(); ++c) {
+    for (std::size_t slot = 0; slot < series.num_slots(); ++slot) {
+      const double hour = static_cast<double>(
+                              series.slot_begin(slot).second_of_day()) /
+                          3600.0;
+      if (hour < eval.score_hours_begin || hour >= eval.score_hours_end) {
+        continue;
+      }
+      if (series.total_load(c, slot) < eval.min_slot_load_mbps) continue;
+      beta.add(analysis::normalized_balance_index(series.slot_load(c, slot)));
+    }
+  }
+  return beta.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const trace::GeneratedTrace world = bench::make_world(args);
+  const core::EvaluationConfig eval = bench::evaluation_config();
+
+  const core::ComparisonResult cmp =
+      core::compare_s3_vs_llf(world.network, world.workload, eval);
+
+  const trace::Trace test = world.workload.slice(
+      util::SimTime::from_days(eval.train_days),
+      util::SimTime::from_days(eval.train_days + eval.test_days));
+  core::OracleConfig oc;
+  const core::OracleResult oracle =
+      core::offline_upper_bound(world.network, test, oc);
+  const double oracle_beta =
+      score_assigned(world.network, oracle.assigned, eval);
+
+  const double headroom = oracle_beta - cmp.llf.mean;
+  auto closed = [&](double mean) {
+    return headroom > 0.0 ? 100.0 * (mean - cmp.llf.mean) / headroom : 0.0;
+  };
+
+  std::cout << "# Clairvoyant dispersion upper bound vs online policies\n";
+  std::cout << "# gap closed = (policy - LLF) / (oracle - LLF)\n";
+  util::TextTable table({"scheme", "mean_beta", "gap_closed_pct"});
+  table.add_row({"LLF (deployed)", util::fmt(cmp.llf.mean), "0.0"});
+  table.add_row({"S3", util::fmt(cmp.s3.mean), util::fmt(closed(cmp.s3.mean), 1)});
+  table.add_row({"offline oracle", util::fmt(oracle_beta), "100.0"});
+  std::cout << table.to_csv();
+  std::cout << "# oracle: " << oracle.moves << " moves over "
+            << oracle.passes << " passes, objective "
+            << util::fmt(oracle.initial_objective, 0) << " -> "
+            << util::fmt(oracle.final_objective, 0) << "\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Workload-shape report: the statistics that justify the synthetic
+// trace as a stand-in for the SJTU collection (DESIGN.md §2). Prints
+// the diurnal load curve, session-duration quantiles, per-user session
+// rates, group-size distribution, and the co-coming/co-leaving rates
+// the §III-D analysis depends on.
+
+#include "bench_common.h"
+#include "s3/analysis/events.h"
+#include "s3/util/cdf.h"
+#include "s3/util/table.h"
+
+using namespace s3;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const trace::GeneratedTrace world = bench::make_world(args);
+  const core::EvaluationConfig eval = bench::evaluation_config();
+  const trace::Trace& w = world.workload;
+
+  std::cout << "# Workload shape (synthetic stand-in for the SJTU trace)\n";
+  std::cout << "# sessions=" << w.size() << " users=" << w.num_users()
+            << " days=" << w.num_days() << " groups="
+            << world.truth.groups.size() << "\n";
+
+  // --- group sizes -----------------------------------------------------
+  util::EmpiricalCdf group_sizes;
+  for (const auto& g : world.truth.groups) {
+    group_sizes.add(static_cast<double>(g.members.size()));
+  }
+  std::cout << "# group size: median "
+            << util::fmt(group_sizes.quantile(0.5), 1) << ", p90 "
+            << util::fmt(group_sizes.quantile(0.9), 1) << ", max "
+            << util::fmt(group_sizes.max(), 0) << "\n";
+
+  // --- session durations / rates ---------------------------------------
+  util::EmpiricalCdf durations, rates;
+  std::size_t group_sessions = 0;
+  for (const trace::SessionRecord& s : w.sessions()) {
+    durations.add(s.duration_s() / 60.0);
+    rates.add(s.demand_mbps);
+    if (s.group != kInvalidGroup) ++group_sessions;
+  }
+  std::cout << "# session minutes: p25 " << util::fmt(durations.quantile(0.25), 0)
+            << " median " << util::fmt(durations.quantile(0.5), 0) << " p90 "
+            << util::fmt(durations.quantile(0.9), 0) << "\n";
+  std::cout << "# demand Mbit/s: median " << util::fmt(rates.quantile(0.5), 2)
+            << " p90 " << util::fmt(rates.quantile(0.9), 2) << " max "
+            << util::fmt(rates.max(), 2) << " (per-client cap)\n";
+  std::cout << "# group-driven sessions: "
+            << util::fmt(100.0 * static_cast<double>(group_sessions) /
+                             static_cast<double>(w.size()), 1)
+            << " %\n";
+
+  // --- sociality rates on the collected trace --------------------------
+  const trace::Trace assigned =
+      bench::collected_trace(world.network, w, eval);
+  const auto leaves = analysis::per_user_leave_stats(
+      assigned, util::SimTime::from_minutes(10));
+  const auto arrivals = analysis::per_user_arrival_stats(
+      assigned, util::SimTime::from_minutes(10));
+  util::RunningStats lv, ar;
+  for (const auto& s : leaves) {
+    if (s.leavings >= 5) lv.add(s.co_leave_fraction());
+  }
+  for (const auto& s : arrivals) {
+    if (s.arrivals >= 5) ar.add(s.co_coming_fraction());
+  }
+  std::cout << "# mean co-leaving fraction (10 min): " << util::fmt(lv.mean())
+            << "   mean co-coming fraction: " << util::fmt(ar.mean()) << "\n";
+
+  // --- diurnal curve ----------------------------------------------------
+  std::vector<double> hourly(24, 0.0);
+  for (const trace::SessionRecord& s : w.sessions()) {
+    for (int h = 0; h < 24; ++h) {
+      const util::SimTime b = util::SimTime::at(s.connect.day(), h);
+      const util::SimTime e = b + util::SimTime::from_hours(1);
+      hourly[static_cast<std::size_t>(h)] +=
+          s.demand_mbps *
+          static_cast<double>(
+              util::TimeInterval{s.connect, s.disconnect}.overlap_seconds(b, e)) /
+          3600.0;
+    }
+  }
+  util::TextTable table({"hour", "offered_load_mbps(all_days)"});
+  for (int h = 0; h < 24; ++h) {
+    table.add_numeric_row({static_cast<double>(h), hourly[h]});
+  }
+  std::cout << table.to_csv();
+  std::cout << "# paper shape: throughput peaks in 10:00-11:00 and "
+               "15:00-16:00; leave-peaks 12-13, 16-17:50, 21-22\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Social-model inspection report.
+//
+// Trains the S3 knowledge base from the first three weeks of the
+// campus trace and prints what the controller has learned: the usage
+// types (Fig. 8), the type co-leaving matrix (Table I), the strongest
+// social pairs, and how a sample arrival batch decomposes into cliques.
+//
+// Usage: social_report [seed]
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "s3/core/evaluation.h"
+#include "s3/social/clique.h"
+#include "s3/trace/generator.h"
+#include "s3/util/table.h"
+
+using namespace s3;
+
+int main(int argc, char** argv) {
+  trace::GeneratorConfig gen;
+  gen.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  gen.num_users = 2400;
+  gen.num_days = 24;
+  const trace::GeneratedTrace world = trace::generate_campus_trace(gen);
+
+  core::EvaluationConfig eval;
+  eval.train_days = 21;
+  eval.test_days = 3;
+  const social::SocialIndexModel model =
+      core::train_from_workload(world.network, world.workload, eval);
+
+  // ---- Usage types ---------------------------------------------------
+  std::cout << "== usage types (k-means over application profiles) ==\n";
+  std::vector<std::string> header = {"type", "users"};
+  for (apps::AppCategory c : apps::kAllCategories) {
+    header.emplace_back(to_string(c));
+  }
+  util::TextTable types(header);
+  std::vector<std::size_t> counts(model.typing().num_types, 0);
+  for (std::size_t t : model.typing().type_of_user) ++counts[t];
+  for (std::size_t t = 0; t < model.typing().num_types; ++t) {
+    std::vector<std::string> row = {"type" + std::to_string(t + 1),
+                                    std::to_string(counts[t])};
+    for (double v : model.typing().centroid(t)) row.push_back(util::fmt(v, 3));
+    types.add_row(row);
+  }
+  std::cout << types << "\n";
+
+  // ---- Type co-leave matrix (Table I) --------------------------------
+  std::cout << "== type co-leaving matrix T ==\n";
+  const social::TypeCoLeaveMatrix& matrix = model.type_matrix();
+  std::vector<std::string> mh = {"T"};
+  for (std::size_t t = 0; t < matrix.num_types(); ++t) {
+    mh.push_back("type" + std::to_string(t + 1));
+  }
+  util::TextTable mt(mh);
+  for (std::size_t i = 0; i < matrix.num_types(); ++i) {
+    std::vector<std::string> row = {"type" + std::to_string(i + 1)};
+    for (std::size_t j = 0; j < matrix.num_types(); ++j) {
+      row.push_back(util::fmt(matrix.at(i, j), 2));
+    }
+    mt.add_row(row);
+  }
+  std::cout << mt << "diagonal dominance: "
+            << util::fmt(matrix.diagonal_dominance(), 3) << "\n\n";
+
+  // ---- Strongest pairs ------------------------------------------------
+  std::cout << "== strongest social pairs ==\n";
+  struct Ranked {
+    UserPair pair;
+    double theta;
+    std::uint32_t encounters;
+  };
+  std::vector<Ranked> ranked;
+  for (const auto& [pair, stats] : model.pair_stats()) {
+    if (stats.encounters < 3) continue;
+    ranked.push_back({pair, model.theta(pair.a, pair.b), stats.encounters});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) { return a.theta > b.theta; });
+  util::TextTable pairs({"user_a", "user_b", "theta", "encounters",
+                         "same_group(truth)"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, ranked.size()); ++i) {
+    const auto& r = ranked[i];
+    const auto& ga = world.truth.user_groups[r.pair.a];
+    const auto& gb = world.truth.user_groups[r.pair.b];
+    const bool same =
+        !ga.empty() && !gb.empty() && ga.front() == gb.front();
+    pairs.add_row({std::to_string(r.pair.a), std::to_string(r.pair.b),
+                   util::fmt(r.theta, 3), std::to_string(r.encounters),
+                   same ? "yes" : "no"});
+  }
+  std::cout << pairs << "\n";
+
+  // ---- Model coverage vs ground truth ---------------------------------
+  std::size_t strong_same = 0, total_same = 0;
+  for (const auto& grp : world.truth.groups) {
+    for (std::size_t i = 0; i < grp.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < grp.members.size(); ++j) {
+        ++total_same;
+        if (model.theta(grp.members[i], grp.members[j]) > 0.3) ++strong_same;
+      }
+    }
+  }
+  std::cout << "== coverage ==\n";
+  std::cout << "ground-truth groups: " << world.truth.groups.size()
+            << ", same-group pairs with theta > 0.3: "
+            << util::fmt(100.0 * static_cast<double>(strong_same) /
+                             static_cast<double>(total_same), 1)
+            << " %\n";
+  std::cout << "pairs with encounter history: " << model.pair_stats().size()
+            << "\n\n";
+
+  // ---- Clique structure of a synthetic arrival batch ------------------
+  std::cout << "== clique cover of one ground-truth group +" << " noise ==\n";
+  const auto& grp = world.truth.groups[world.truth.groups.size() / 2];
+  std::vector<UserId> batch(grp.members.begin(), grp.members.end());
+  for (UserId u = 0; u < 6; ++u) batch.push_back(u);  // unrelated walk-ins
+  social::WeightedGraph g(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (std::size_t j = i + 1; j < batch.size(); ++j) {
+      const double th = model.theta(batch[i], batch[j]);
+      if (th > 0.3) g.add_edge(i, j, th);
+    }
+  }
+  const auto cover = social::clique_cover(g);
+  std::cout << "batch of " << batch.size() << " users (group of "
+            << grp.members.size() << " + 6 walk-ins) decomposes into "
+            << cover.size() << " cliques:";
+  for (const auto& clique : cover) std::cout << " " << clique.size();
+  std::cout << "\n";
+  return 0;
+}

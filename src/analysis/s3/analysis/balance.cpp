@@ -1,0 +1,221 @@
+#include "s3/analysis/balance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "s3/util/rng.h"
+
+namespace s3::analysis {
+
+double balance_index(std::span<const double> throughput) noexcept {
+  const std::size_t n = throughput.size();
+  if (n <= 1) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double t : throughput) {
+    sum += t;
+    sum_sq += t * t;
+  }
+  if (sum_sq <= 0.0) return 1.0;  // idle domain: trivially balanced
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+double normalized_balance_index(std::span<const double> throughput) noexcept {
+  const std::size_t n = throughput.size();
+  if (n <= 1) return 1.0;
+  const double beta = balance_index(throughput);
+  const double floor = 1.0 / static_cast<double>(n);
+  return (beta - floor) / (1.0 - floor);
+}
+
+std::vector<double> balance_variation(std::span<const double> beta_series) {
+  std::vector<double> out;
+  if (beta_series.size() < 2) return out;
+  out.reserve(beta_series.size() - 1);
+  for (std::size_t i = 1; i < beta_series.size(); ++i) {
+    const double prev = beta_series[i - 1];
+    if (prev <= 0.0) continue;  // undefined step
+    out.push_back(std::abs((beta_series[i] - prev) / prev));
+  }
+  return out;
+}
+
+namespace {
+
+/// Hash-derived standard normal for (seed, block) — deterministic
+/// Box–Muller over two SplitMix64 draws.
+double hashed_normal(std::uint64_t seed, std::int64_t block) {
+  util::SplitMix64 mix(seed ^ (static_cast<std::uint64_t>(block) *
+                               0x9e3779b97f4a7c15ULL));
+  const auto u64_to_unit = [](std::uint64_t h) {
+    return (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+  };
+  const double u1 = u64_to_unit(mix.next());
+  const double u2 = u64_to_unit(mix.next());
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double block_noise(const trace::SessionRecord& s, std::int64_t block,
+                   double sigma) {
+  const double z = hashed_normal(s.rate_seed, block);
+  return std::exp(sigma * z - 0.5 * sigma * sigma);
+}
+
+struct BlockRange {
+  std::int64_t first;
+  std::int64_t last;  // inclusive
+};
+
+BlockRange session_blocks(const trace::SessionRecord& s,
+                          std::int64_t block_s) {
+  return {s.connect.seconds() / block_s,
+          (s.disconnect.seconds() - 1) / block_s};
+}
+
+double mean_session_noise(const trace::SessionRecord& s,
+                          const ThroughputOptions& opts) {
+  const BlockRange r = session_blocks(s, opts.modulation_block_s);
+  double sum = 0.0;
+  for (std::int64_t b = r.first; b <= r.last; ++b) {
+    sum += block_noise(s, b, opts.modulation_sigma);
+  }
+  return sum / static_cast<double>(r.last - r.first + 1);
+}
+
+}  // namespace
+
+double session_block_rate_mbps(const trace::SessionRecord& s,
+                               util::SimTime block_begin,
+                               const ThroughputOptions& opts) {
+  if (!opts.modulate_within_session) return s.demand_mbps;
+  const std::int64_t block = block_begin.seconds() / opts.modulation_block_s;
+  const double mean = mean_session_noise(s, opts);
+  if (mean <= 0.0) return s.demand_mbps;
+  return s.demand_mbps * block_noise(s, block, opts.modulation_sigma) / mean;
+}
+
+ThroughputSeries::ThroughputSeries(const wlan::Network& net,
+                                   const trace::Trace& trace,
+                                   util::SimTime begin, util::SimTime end,
+                                   const ThroughputOptions& opts)
+    : begin_(begin), slot_s_(opts.slot_s) {
+  S3_REQUIRE(trace.fully_assigned(),
+             "ThroughputSeries: trace must be assigned");
+  S3_REQUIRE(opts.slot_s > 0, "ThroughputSeries: slot width must be positive");
+  S3_REQUIRE(begin < end, "ThroughputSeries: empty interval");
+  if (opts.modulate_within_session) {
+    S3_REQUIRE(opts.modulation_block_s > 0,
+               "ThroughputSeries: bad modulation block");
+  }
+
+  num_slots_ = static_cast<std::size_t>(
+      ((end - begin).seconds() + slot_s_ - 1) / slot_s_);
+
+  domain_size_.resize(net.num_controllers());
+  data_.resize(net.num_controllers());
+  users_.resize(net.num_controllers());
+  // AP id -> index within its controller domain.
+  std::vector<std::size_t> ap_slot_index(net.num_aps(), 0);
+  for (ControllerId c = 0; c < net.num_controllers(); ++c) {
+    const auto domain = net.aps_of_controller(c);
+    domain_size_[c] = domain.size();
+    data_[c].assign(num_slots_ * domain.size(), 0.0);
+    users_[c].assign(num_slots_ * domain.size(), 0.0);
+    for (std::size_t k = 0; k < domain.size(); ++k) {
+      ap_slot_index[domain[k]] = k;
+    }
+  }
+
+  const double slot_seconds = static_cast<double>(slot_s_);
+  for (const trace::SessionRecord& s : trace.sessions()) {
+    if (!s.overlaps(begin, end)) continue;
+    const ControllerId c = net.controller_of_ap(s.ap);
+    const std::size_t k = ap_slot_index[s.ap];
+    const std::size_t width = domain_size_[c];
+
+    // Precompute normalized block noise once per session.
+    double mean_noise = 1.0;
+    if (opts.modulate_within_session) mean_noise = mean_session_noise(s, opts);
+
+    const std::int64_t lo =
+        std::max(s.connect.seconds(), begin.seconds());
+    const std::int64_t hi = std::min(s.disconnect.seconds(), end.seconds());
+
+    std::int64_t t = lo;
+    while (t < hi) {
+      const std::int64_t slot = (t - begin.seconds()) / slot_s_;
+      const std::int64_t slot_end = begin.seconds() + (slot + 1) * slot_s_;
+      std::int64_t seg_end = std::min(hi, slot_end);
+      if (opts.modulate_within_session) {
+        const std::int64_t block_end =
+            (t / opts.modulation_block_s + 1) * opts.modulation_block_s;
+        seg_end = std::min(seg_end, block_end);
+      }
+      double rate = s.demand_mbps;
+      if (opts.modulate_within_session && mean_noise > 0.0) {
+        rate *= block_noise(s, t / opts.modulation_block_s,
+                            opts.modulation_sigma) /
+                mean_noise;
+      }
+      const double frac = static_cast<double>(seg_end - t) / slot_seconds;
+      const std::size_t cell =
+          static_cast<std::size_t>(slot) * width + k;
+      data_[c][cell] += rate * frac;
+      users_[c][cell] += frac;
+      t = seg_end;
+    }
+  }
+
+  if (opts.cap_at_capacity) {
+    for (ControllerId c = 0; c < net.num_controllers(); ++c) {
+      const auto domain = net.aps_of_controller(c);
+      for (std::size_t slot = 0; slot < num_slots_; ++slot) {
+        for (std::size_t k = 0; k < domain.size(); ++k) {
+          double& v = data_[c][slot * domain.size() + k];
+          v = std::min(v, net.ap(domain[k]).capacity_mbps);
+        }
+      }
+    }
+  }
+}
+
+std::span<const double> ThroughputSeries::slot_load(ControllerId c,
+                                                    std::size_t slot) const {
+  S3_REQUIRE(c < data_.size(), "slot_load: controller out of range");
+  S3_REQUIRE(slot < num_slots_, "slot_load: slot out of range");
+  const std::size_t width = domain_size_[c];
+  return std::span<const double>(data_[c]).subspan(slot * width, width);
+}
+
+std::span<const double> ThroughputSeries::slot_users(ControllerId c,
+                                                     std::size_t slot) const {
+  S3_REQUIRE(c < users_.size(), "slot_users: controller out of range");
+  S3_REQUIRE(slot < num_slots_, "slot_users: slot out of range");
+  const std::size_t width = domain_size_[c];
+  return std::span<const double>(users_[c]).subspan(slot * width, width);
+}
+
+std::vector<double> ThroughputSeries::normalized_balance_series(
+    ControllerId c) const {
+  std::vector<double> out(num_slots_);
+  for (std::size_t s = 0; s < num_slots_; ++s) {
+    out[s] = normalized_balance_index(slot_load(c, s));
+  }
+  return out;
+}
+
+std::vector<double> ThroughputSeries::normalized_user_balance_series(
+    ControllerId c) const {
+  std::vector<double> out(num_slots_);
+  for (std::size_t s = 0; s < num_slots_; ++s) {
+    out[s] = normalized_balance_index(slot_users(c, s));
+  }
+  return out;
+}
+
+double ThroughputSeries::total_load(ControllerId c, std::size_t slot) const {
+  double sum = 0.0;
+  for (double v : slot_load(c, slot)) sum += v;
+  return sum;
+}
+
+}  // namespace s3::analysis

@@ -1,0 +1,93 @@
+// Load-balance metrics (§III-B) and per-slot load series.
+//
+// The balancing index over n APs with throughputs T_i is Chiu–Jain's
+//   β = (Σ T_i)² / (n · Σ T_i²)   ∈ [1/n, 1],
+// and the paper's normalized form is β' = (β − 1/n) / (1 − 1/n) ∈ [0,1].
+//
+// ThroughputSeries turns an assigned trace into per-controller,
+// per-slot, per-AP load matrices (Mbit/s), optionally modulating rates
+// within sessions (deterministically, from each session's rate_seed) so
+// that application dynamics exist at sub-session granularity — needed
+// by the Fig. 3 analysis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "s3/trace/trace.h"
+#include "s3/util/sim_time.h"
+#include "s3/wlan/network.h"
+
+namespace s3::analysis {
+
+/// Chiu–Jain balancing index; 1.0 for an all-zero vector (an idle
+/// domain is trivially balanced) and for n == 1.
+double balance_index(std::span<const double> throughput) noexcept;
+
+/// Normalized balancing index β' = (β - 1/n)/(1 - 1/n); 1.0 when n == 1.
+double normalized_balance_index(std::span<const double> throughput) noexcept;
+
+/// The §III-C variance statistic S_i = (β_i - β_{i-1}) / β_{i-1},
+/// returned as |S_i| samples over consecutive pairs.
+std::vector<double> balance_variation(std::span<const double> beta_series);
+
+struct ThroughputOptions {
+  std::int64_t slot_s = 600;  ///< load-averaging slot width
+  /// Cap each AP's served throughput at its configured capacity.
+  bool cap_at_capacity = true;
+  /// Deterministic within-session rate modulation (application
+  /// dynamics): per 5-minute block, lognormal factor with this sigma,
+  /// normalized so each session's total traffic is preserved.
+  bool modulate_within_session = false;
+  double modulation_sigma = 0.35;
+  std::int64_t modulation_block_s = 300;
+};
+
+/// Per-controller slot × AP load matrices over [begin, end).
+class ThroughputSeries {
+ public:
+  /// `trace` must be fully assigned.
+  ThroughputSeries(const wlan::Network& net, const trace::Trace& trace,
+                   util::SimTime begin, util::SimTime end,
+                   const ThroughputOptions& opts = {});
+
+  std::size_t num_slots() const noexcept { return num_slots_; }
+  std::size_t num_controllers() const noexcept { return data_.size(); }
+  util::SimTime slot_begin(std::size_t slot) const noexcept {
+    return begin_ + util::SimTime(static_cast<std::int64_t>(slot) * slot_s_);
+  }
+
+  /// Mbit/s per AP of controller c during `slot` (order matches
+  /// net.aps_of_controller(c)).
+  std::span<const double> slot_load(ControllerId c, std::size_t slot) const;
+
+  /// Station presence (overlap-weighted user count) per AP in a slot.
+  std::span<const double> slot_users(ControllerId c, std::size_t slot) const;
+
+  /// Normalized balance index of controller c in every slot.
+  std::vector<double> normalized_balance_series(ControllerId c) const;
+
+  /// Normalized balance index of the *user-count* distribution.
+  std::vector<double> normalized_user_balance_series(ControllerId c) const;
+
+  /// Total load (Mbit/s) over all APs of controller c in a slot.
+  double total_load(ControllerId c, std::size_t slot) const;
+
+ private:
+  util::SimTime begin_;
+  std::int64_t slot_s_;
+  std::size_t num_slots_ = 0;
+  // data_[c][slot * domain_size + k]
+  std::vector<std::vector<double>> data_;
+  std::vector<std::vector<double>> users_;
+  std::vector<std::size_t> domain_size_;
+};
+
+/// Deterministic within-session rate-modulation factor for the block
+/// starting at `block_begin` (already normalized across the session's
+/// blocks so the session total is preserved). Exposed for tests.
+double session_block_rate_mbps(const trace::SessionRecord& s,
+                               util::SimTime block_begin,
+                               const ThroughputOptions& opts);
+
+}  // namespace s3::analysis

@@ -1,0 +1,119 @@
+#include "s3/analysis/churn.h"
+
+#include <algorithm>
+
+#include "s3/util/error.h"
+
+namespace s3::analysis {
+
+namespace {
+
+/// Megabits served by session `s` over [a, b) under within-session
+/// modulation, divided by (b - a): the mean modulated rate.
+double modulated_mean_rate(const trace::SessionRecord& s, std::int64_t a,
+                           std::int64_t b, const ThroughputOptions& opts) {
+  const std::int64_t lo = std::max(a, s.connect.seconds());
+  const std::int64_t hi = std::min(b, s.disconnect.seconds());
+  if (hi <= lo) return 0.0;
+  double megabits = 0.0;
+  std::int64_t t = lo;
+  while (t < hi) {
+    const std::int64_t block_end =
+        (t / opts.modulation_block_s + 1) * opts.modulation_block_s;
+    const std::int64_t seg_end = std::min(hi, block_end);
+    const double rate =
+        session_block_rate_mbps(s, util::SimTime(t), opts);
+    megabits += rate * static_cast<double>(seg_end - t);
+    t = seg_end;
+  }
+  return megabits / static_cast<double>(b - a);
+}
+
+}  // namespace
+
+std::vector<double> app_dynamics_variation(const wlan::Network& net,
+                                           const trace::Trace& trace,
+                                           const AppDynamicsConfig& config) {
+  S3_REQUIRE(trace.fully_assigned(),
+             "app_dynamics_variation: trace must be assigned");
+  S3_REQUIRE(config.period_s > 0 && config.sub_period_s > 0,
+             "app_dynamics_variation: bad period widths");
+  S3_REQUIRE(config.period_s % config.sub_period_s == 0,
+             "app_dynamics_variation: sub-period must divide period");
+  S3_REQUIRE(config.begin < config.end, "app_dynamics_variation: empty range");
+
+  ThroughputOptions opts;
+  opts.modulate_within_session = true;
+  opts.modulation_sigma = config.modulation_sigma;
+
+  const std::size_t subs =
+      static_cast<std::size_t>(config.period_s / config.sub_period_s);
+
+  // AP id -> dense index within its domain.
+  std::vector<std::size_t> ap_index(net.num_aps(), 0);
+  for (ControllerId c = 0; c < net.num_controllers(); ++c) {
+    const auto domain = net.aps_of_controller(c);
+    for (std::size_t k = 0; k < domain.size(); ++k) ap_index[domain[k]] = k;
+  }
+
+  std::vector<double> samples;
+  const auto sessions = trace.sessions();
+
+  for (std::int64_t p0 = config.begin.seconds();
+       p0 + config.period_s <= config.end.seconds(); p0 += config.period_s) {
+    const std::int64_t p1 = p0 + config.period_s;
+
+    // Sessions alive for the entire period, bucketed per controller
+    // (this is the paper's "remove users who just came or left").
+    std::vector<std::vector<std::size_t>> full_period(net.num_controllers());
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      const trace::SessionRecord& s = sessions[i];
+      if (s.connect.seconds() <= p0 && s.disconnect.seconds() >= p1) {
+        full_period[net.controller_of_ap(s.ap)].push_back(i);
+      }
+    }
+
+    for (ControllerId c = 0; c < net.num_controllers(); ++c) {
+      if (full_period[c].empty()) continue;  // idle period: no dynamics
+      const auto domain = net.aps_of_controller(c);
+      std::vector<double> beta_series;
+      beta_series.reserve(subs);
+      std::vector<double> loads(domain.size());
+      for (std::size_t si = 0; si < subs; ++si) {
+        std::fill(loads.begin(), loads.end(), 0.0);
+        const std::int64_t a =
+            p0 + static_cast<std::int64_t>(si) * config.sub_period_s;
+        const std::int64_t b = a + config.sub_period_s;
+        for (std::size_t i : full_period[c]) {
+          const trace::SessionRecord& s = sessions[i];
+          loads[ap_index[s.ap]] += modulated_mean_rate(s, a, b, opts);
+        }
+        beta_series.push_back(balance_index(loads));
+      }
+      const std::vector<double> vars = balance_variation(beta_series);
+      samples.insert(samples.end(), vars.begin(), vars.end());
+    }
+  }
+  return samples;
+}
+
+UserChurnTimeline user_churn_timeline(const wlan::Network& net,
+                                      const trace::Trace& trace,
+                                      ControllerId controller,
+                                      util::SimTime begin, util::SimTime end,
+                                      std::int64_t slot_s) {
+  S3_REQUIRE(controller < net.num_controllers(),
+             "user_churn_timeline: controller out of range");
+  ThroughputOptions opts;
+  opts.slot_s = slot_s;
+  const ThroughputSeries series(net, trace, begin, end, opts);
+
+  UserChurnTimeline out;
+  out.begin = begin;
+  out.slot_s = slot_s;
+  out.traffic_balance = series.normalized_balance_series(controller);
+  out.user_balance = series.normalized_user_balance_series(controller);
+  return out;
+}
+
+}  // namespace s3::analysis

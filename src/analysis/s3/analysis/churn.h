@@ -1,0 +1,54 @@
+// Leading-factor decomposition (§III-C): is imbalance caused by
+// application dynamics or by user churn?
+#pragma once
+
+#include <vector>
+
+#include "s3/analysis/balance.h"
+#include "s3/trace/trace.h"
+#include "s3/util/sim_time.h"
+#include "s3/wlan/network.h"
+
+namespace s3::analysis {
+
+struct AppDynamicsConfig {
+  /// Outer analysis periods (paper: one hour).
+  std::int64_t period_s = 3600;
+  /// Sub-period for the β_i series (paper: 5, 10, 20 minutes).
+  std::int64_t sub_period_s = 600;
+  util::SimTime begin;
+  util::SimTime end;
+  /// Within-session modulation so that application dynamics exist at
+  /// sub-session granularity (Fig. 3's subject). Calibrated to the
+  /// paper's measurement that fixed-user balance variation is small
+  /// (>80 % of S below 0.02 at 10-minute sub-periods).
+  double modulation_sigma = 0.05;
+};
+
+/// Fig. 3: for every controller and hour-long period, keep only users
+/// present for the *entire* period (churn removed), compute the balance
+/// index per sub-period from their (modulated) traffic, and collect the
+/// |S_i| = |(β_i − β_{i−1})/β_{i−1}| variation samples.
+std::vector<double> app_dynamics_variation(const wlan::Network& net,
+                                           const trace::Trace& trace,
+                                           const AppDynamicsConfig& config);
+
+struct UserChurnTimeline {
+  /// Normalized balance index of traffic per slot.
+  std::vector<double> traffic_balance;
+  /// Normalized balance index of station counts per slot.
+  std::vector<double> user_balance;
+  util::SimTime begin;
+  std::int64_t slot_s = 0;
+};
+
+/// Fig. 4: a controller's user-count-balance and traffic-balance
+/// timelines over one interval (the paper shows one workday 8:00–24:00);
+/// the two series move together, implicating churn.
+UserChurnTimeline user_churn_timeline(const wlan::Network& net,
+                                      const trace::Trace& trace,
+                                      ControllerId controller,
+                                      util::SimTime begin, util::SimTime end,
+                                      std::int64_t slot_s = 600);
+
+}  // namespace s3::analysis

@@ -1,0 +1,99 @@
+#include "s3/analysis/fairness.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "s3/util/error.h"
+
+namespace s3::analysis {
+
+double jain_fairness(std::span<const double> xs) noexcept {
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+    ++n;
+  }
+  if (n == 0 || sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(n) * sum_sq);
+}
+
+FairnessReport evaluate_fairness(const wlan::Network& net,
+                                 const trace::Trace& assigned,
+                                 util::SimTime begin, util::SimTime end,
+                                 const FairnessOptions& options) {
+  S3_REQUIRE(assigned.fully_assigned(),
+             "evaluate_fairness: trace must be assigned");
+  S3_REQUIRE(options.slot_s > 0, "evaluate_fairness: bad slot width");
+  S3_REQUIRE(begin < end, "evaluate_fairness: empty interval");
+
+  FairnessReport report;
+  report.per_user.assign(assigned.num_users(), {});
+
+  // Sessions active per slot per AP. Iterate slots; for each, gather
+  // overlapping sessions via a sweep over the (connect-ordered) trace.
+  const auto sessions = assigned.sessions();
+
+  struct SlotEntry {
+    UserId user;
+    double offered_mb;  // demand integrated over the overlap
+  };
+
+  std::size_t throttled = 0, demand_slots = 0;
+
+  for (std::int64_t t = begin.seconds(); t < end.seconds();
+       t += options.slot_s) {
+    const std::int64_t slot_end = std::min(t + options.slot_s, end.seconds());
+    std::unordered_map<ApId, std::vector<SlotEntry>> per_ap;
+    for (const trace::SessionRecord& s : sessions) {
+      if (s.connect.seconds() >= slot_end) break;  // connect-ordered
+      const std::int64_t lo = std::max(t, s.connect.seconds());
+      const std::int64_t hi = std::min(slot_end, s.disconnect.seconds());
+      if (hi <= lo) continue;
+      per_ap[s.ap].push_back(
+          {s.user, s.demand_mbps * static_cast<double>(hi - lo)});
+    }
+    for (const auto& [ap, entries] : per_ap) {
+      double offered = 0.0;
+      for (const SlotEntry& e : entries) offered += e.offered_mb;
+      double usable_mbps = net.ap(ap).capacity_mbps;
+      if (options.contention) {
+        usable_mbps = options.contention->effective_capacity_mbps(
+            usable_mbps, entries.size());
+      }
+      const double capacity_mb =
+          usable_mbps * static_cast<double>(slot_end - t);
+      const double scale =
+          offered > capacity_mb && offered > 0.0 ? capacity_mb / offered : 1.0;
+      for (const SlotEntry& e : entries) {
+        report.per_user[e.user].offered_mb += e.offered_mb;
+        report.per_user[e.user].served_mb += e.offered_mb * scale;
+        ++demand_slots;
+        if (scale < 1.0) ++throttled;
+      }
+    }
+  }
+
+  std::vector<double> fractions;
+  double mean = 0.0;
+  for (const UserServiceStats& u : report.per_user) {
+    if (u.offered_mb <= 0.0) continue;
+    fractions.push_back(u.served_fraction());
+    mean += u.served_fraction();
+  }
+  if (!fractions.empty()) {
+    report.mean_served_fraction = mean / static_cast<double>(fractions.size());
+    report.jain_index = jain_fairness(fractions);
+  } else {
+    report.mean_served_fraction = 1.0;
+    report.jain_index = 1.0;
+  }
+  report.throttled_slot_fraction =
+      demand_slots > 0
+          ? static_cast<double>(throttled) / static_cast<double>(demand_slots)
+          : 0.0;
+  return report;
+}
+
+}  // namespace s3::analysis

@@ -1,0 +1,63 @@
+// Per-user service quality (§I's second complaint: imbalance causes
+// "sub-optimal network throughput and unfair bandwidth allocation
+// among users").
+//
+// When an AP's offered load exceeds its capacity, the shared medium
+// throttles everyone on it proportionally. This module computes each
+// session's *served* fraction of its demand under that model, and
+// aggregates per-user throughput statistics and Jain's fairness index
+// across users.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "s3/trace/trace.h"
+#include "s3/util/sim_time.h"
+#include "s3/wlan/contention.h"
+#include "s3/wlan/network.h"
+
+namespace s3::analysis {
+
+struct FairnessOptions {
+  /// Evaluation slot: within one slot, an AP's stations share capacity
+  /// proportionally to their offered rates.
+  std::int64_t slot_s = 600;
+  /// When set, an AP's usable capacity in a slot shrinks with the
+  /// number of stations on it (CSMA/CA contention) — crowding then
+  /// hurts twice: less capacity shared among more demand.
+  std::optional<wlan::ContentionModel> contention;
+};
+
+struct UserServiceStats {
+  double offered_mb = 0.0;  ///< megabits the user wanted to move
+  double served_mb = 0.0;   ///< megabits actually served
+
+  double served_fraction() const noexcept {
+    return offered_mb > 0.0 ? served_mb / offered_mb : 1.0;
+  }
+};
+
+struct FairnessReport {
+  std::vector<UserServiceStats> per_user;  ///< aligned with UserId
+  /// Mean served fraction over users with any demand.
+  double mean_served_fraction = 0.0;
+  /// Jain's fairness index over active users' served fractions:
+  /// (Σx)² / (n·Σx²) ∈ (0, 1]; 1 = everyone equally served.
+  double jain_index = 0.0;
+  /// Fraction of (user, slot) demand-slots that were throttled.
+  double throttled_slot_fraction = 0.0;
+};
+
+/// Evaluates the service users received under an assigned trace over
+/// [begin, end): per slot and AP, demand above capacity is scaled down
+/// proportionally across the AP's stations.
+FairnessReport evaluate_fairness(const wlan::Network& net,
+                                 const trace::Trace& assigned,
+                                 util::SimTime begin, util::SimTime end,
+                                 const FairnessOptions& options = {});
+
+/// Jain's index over a non-negative vector; 1.0 for empty/all-zero.
+double jain_fairness(std::span<const double> xs) noexcept;
+
+}  // namespace s3::analysis

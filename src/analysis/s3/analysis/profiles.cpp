@@ -1,0 +1,50 @@
+#include "s3/analysis/profiles.h"
+
+#include "s3/util/entropy.h"
+#include "s3/util/error.h"
+
+namespace s3::analysis {
+
+apps::ProfileStore build_profiles(const trace::Trace& trace) {
+  apps::ProfileStore store(trace.num_users(), trace.num_days());
+  for (const trace::SessionRecord& s : trace.sessions()) {
+    store.user(s.user).add_mix(s.connect.day(), s.traffic);
+  }
+  return store;
+}
+
+NmiCurve nmi_vs_history(const apps::ProfileStore& profiles,
+                        const NmiCurveConfig& config) {
+  S3_REQUIRE(config.day_x >= 1, "nmi_vs_history: day_x must be >= 1");
+  S3_REQUIRE(config.max_history_days >= 1,
+             "nmi_vs_history: max_history_days must be >= 1");
+
+  NmiCurve curve;
+  curve.mean_nmi.assign(static_cast<std::size_t>(config.max_history_days),
+                        0.0);
+  std::vector<std::size_t> counts(
+      static_cast<std::size_t>(config.max_history_days), 0);
+
+  for (UserId u = 0; u < profiles.num_users(); ++u) {
+    const apps::UserProfileHistory& h = profiles.user(u);
+    const apps::AppMix& today = h.day(config.day_x);
+    if (apps::total(today) < config.min_day_traffic) continue;
+    ++curve.users_considered;
+    for (int n = 1; n <= config.max_history_days; ++n) {
+      const apps::AppMix hist =
+          h.cumulative(config.day_x - n, config.day_x - 1);
+      if (apps::total(hist) <= 0.0) continue;
+      curve.mean_nmi[static_cast<std::size_t>(n - 1)] +=
+          util::nmi(today, hist, config.bins);
+      ++counts[static_cast<std::size_t>(n - 1)];
+    }
+  }
+  for (std::size_t i = 0; i < curve.mean_nmi.size(); ++i) {
+    if (counts[i] > 0) {
+      curve.mean_nmi[i] /= static_cast<double>(counts[i]);
+    }
+  }
+  return curve;
+}
+
+}  // namespace s3::analysis

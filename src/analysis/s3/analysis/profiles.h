@@ -1,0 +1,37 @@
+// Builders bridging traces to application-profile stores, plus the
+// Fig. 6 NMI-vs-history analysis.
+#pragma once
+
+#include <vector>
+
+#include "s3/apps/profile.h"
+#include "s3/trace/trace.h"
+
+namespace s3::analysis {
+
+/// Accumulates every session's per-realm traffic into per-user daily
+/// profiles (a session is booked on its connect day). Works on both
+/// workloads and assigned traces — traffic is policy-independent.
+apps::ProfileStore build_profiles(const trace::Trace& trace);
+
+struct NmiCurveConfig {
+  std::int64_t day_x = 20;   ///< the "today" profile compared against history
+  int max_history_days = 20;
+  std::size_t bins = 4;      ///< share-quantization bins for the MI estimate
+  /// Users with less day-x traffic than this (bytes) are skipped.
+  double min_day_traffic = 1.0;
+};
+
+struct NmiCurve {
+  /// mean_nmi[n-1] = mean over users of NMI(T_x, Σ_{i=1..n} T_{x-i}).
+  std::vector<double> mean_nmi;
+  std::size_t users_considered = 0;
+};
+
+/// Reproduces the Fig. 6 measurement: how the NMI between the day-x
+/// profile and the cumulative history profile grows with history
+/// length n, averaged over users.
+NmiCurve nmi_vs_history(const apps::ProfileStore& profiles,
+                        const NmiCurveConfig& config);
+
+}  // namespace s3::analysis

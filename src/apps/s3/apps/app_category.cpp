@@ -1,0 +1,46 @@
+#include "s3/apps/app_category.h"
+
+#include <cmath>
+
+namespace s3::apps {
+
+double total(const AppMix& m) noexcept {
+  double s = 0.0;
+  for (double v : m) s += v;
+  return s;
+}
+
+AppMix normalized(const AppMix& m) noexcept {
+  const double t = total(m);
+  AppMix out{};
+  if (t > 0.0) {
+    for (std::size_t i = 0; i < kNumCategories; ++i) out[i] = m[i] / t;
+  }
+  return out;
+}
+
+void accumulate(AppMix& into, const AppMix& add) noexcept {
+  for (std::size_t i = 0; i < kNumCategories; ++i) into[i] += add[i];
+}
+
+double l2_distance(const AppMix& a, const AppMix& b) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double cosine_similarity(const AppMix& a, const AppMix& b) noexcept {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace s3::apps

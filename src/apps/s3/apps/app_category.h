@@ -1,0 +1,70 @@
+// The six application realms of §III-A.
+//
+// The paper classifies the top-30 applications (by traffic volume) into
+// IM, P2P, music, e-mail, video, and web-browsing; user application
+// profiles are 6-dimensional traffic-volume vectors over these realms.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace s3::apps {
+
+enum class AppCategory : std::uint8_t {
+  kIm = 0,
+  kP2p = 1,
+  kMusic = 2,
+  kEmail = 3,
+  kVideo = 4,
+  kWeb = 5,
+};
+
+inline constexpr std::size_t kNumCategories = 6;
+
+inline constexpr std::array<AppCategory, kNumCategories> kAllCategories = {
+    AppCategory::kIm,    AppCategory::kP2p,   AppCategory::kMusic,
+    AppCategory::kEmail, AppCategory::kVideo, AppCategory::kWeb,
+};
+
+constexpr std::string_view to_string(AppCategory c) noexcept {
+  switch (c) {
+    case AppCategory::kIm:
+      return "IM";
+    case AppCategory::kP2p:
+      return "P2P";
+    case AppCategory::kMusic:
+      return "music";
+    case AppCategory::kEmail:
+      return "email";
+    case AppCategory::kVideo:
+      return "video";
+    case AppCategory::kWeb:
+      return "browsing";
+  }
+  return "unknown";
+}
+
+/// Traffic volume (bytes) per application realm — the paper's
+/// application-profile vector T_x(u).
+using AppMix = std::array<double, kNumCategories>;
+
+constexpr AppMix zero_mix() noexcept { return AppMix{}; }
+
+/// Sum of all realm volumes.
+double total(const AppMix& m) noexcept;
+
+/// Normalizes to a distribution over realms; an all-zero mix stays zero.
+AppMix normalized(const AppMix& m) noexcept;
+
+/// Element-wise accumulate.
+void accumulate(AppMix& into, const AppMix& add) noexcept;
+
+/// Euclidean distance between two (typically normalized) mixes.
+double l2_distance(const AppMix& a, const AppMix& b) noexcept;
+
+/// Cosine similarity of two mixes; 0 if either is all-zero.
+double cosine_similarity(const AppMix& a, const AppMix& b) noexcept;
+
+}  // namespace s3::apps

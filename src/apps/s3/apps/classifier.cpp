@@ -1,0 +1,94 @@
+#include "s3/apps/classifier.h"
+
+#include <utility>
+
+namespace s3::apps {
+
+namespace {
+
+bool rule_matches(const PortRule& r, Transport t, std::uint16_t port) noexcept {
+  return r.transport == t && r.port_lo <= port && port <= r.port_hi;
+}
+
+}  // namespace
+
+PortClassifier::PortClassifier() : rules_(default_rules()) {}
+
+PortClassifier::PortClassifier(std::vector<PortRule> rules)
+    : rules_(std::move(rules)) {}
+
+std::vector<PortRule> PortClassifier::default_rules() {
+  using enum AppCategory;
+  constexpr Transport tcp = Transport::kTcp;
+  constexpr Transport udp = Transport::kUdp;
+  // Earlier rules win; specific services precede the broad web rules.
+  return {
+      // E-mail: SMTP, POP3, IMAP and their TLS variants.
+      {tcp, 25, 25, kEmail},
+      {tcp, 110, 110, kEmail},
+      {tcp, 143, 143, kEmail},
+      {tcp, 465, 465, kEmail},
+      {tcp, 587, 587, kEmail},
+      {tcp, 993, 993, kEmail},
+      {tcp, 995, 995, kEmail},
+      // IM: XMPP, MSN Messenger, IRC, QQ (UDP 8000), SIP signalling.
+      {tcp, 5222, 5223, kIm},
+      {tcp, 1863, 1863, kIm},
+      {tcp, 6665, 6669, kIm},
+      {udp, 8000, 8001, kIm},
+      {udp, 5060, 5061, kIm},
+      {tcp, 5060, 5061, kIm},
+      // P2P: BitTorrent swarm + tracker ports, eDonkey, Gnutella, DHT.
+      {tcp, 6881, 6999, kP2p},
+      {udp, 6881, 6999, kP2p},
+      {tcp, 4662, 4662, kP2p},
+      {udp, 4672, 4672, kP2p},
+      {tcp, 6346, 6347, kP2p},
+      {udp, 6346, 6347, kP2p},
+      // Video: RTSP, RTMP, MMS, PPLive/PPStream-era streaming ports.
+      {tcp, 554, 554, kVideo},
+      {udp, 554, 554, kVideo},
+      {tcp, 1935, 1935, kVideo},
+      {tcp, 1755, 1755, kVideo},
+      {udp, 3423, 3424, kVideo},
+      {tcp, 8902, 8902, kVideo},
+      // Music: streaming-audio daemons (Icecast/Shoutcast, DAAP, spotify-era).
+      {tcp, 8443, 8443, kMusic},
+      {tcp, 3689, 3689, kMusic},
+      {tcp, 8005, 8005, kMusic},
+      {tcp, 6714, 6714, kMusic},
+      // Web: HTTP, HTTPS, proxies, QUIC. Broad rules last.
+      {tcp, 80, 80, kWeb},
+      {tcp, 443, 443, kWeb},
+      {udp, 443, 443, kWeb},
+      {tcp, 8080, 8080, kWeb},
+      {tcp, 3128, 3128, kWeb},
+  };
+}
+
+std::optional<AppCategory> PortClassifier::try_classify(
+    const FlowRecord& flow) const noexcept {
+  for (const PortRule& r : rules_) {
+    if (rule_matches(r, flow.transport, flow.dst_port) ||
+        rule_matches(r, flow.transport, flow.src_port)) {
+      return r.category;
+    }
+  }
+  return std::nullopt;
+}
+
+AppCategory PortClassifier::classify(const FlowRecord& flow,
+                                     AppCategory fallback) const noexcept {
+  return try_classify(flow).value_or(fallback);
+}
+
+AppMix accumulate_flows(const PortClassifier& classifier,
+                        const std::vector<FlowRecord>& flows) {
+  AppMix mix{};
+  for (const FlowRecord& f : flows) {
+    mix[static_cast<std::size_t>(classifier.classify(f))] += f.bytes;
+  }
+  return mix;
+}
+
+}  // namespace s3::apps

@@ -1,0 +1,64 @@
+#include "s3/apps/flow_synthesis.h"
+
+#include <algorithm>
+
+namespace s3::apps {
+
+std::vector<FlowRecord> synthesize_flows(const AppMix& budget,
+                                         const PortClassifier& classifier,
+                                         util::Rng& rng,
+                                         const FlowSynthesisConfig& config) {
+  S3_REQUIRE(config.mean_flow_bytes > 0.0, "synthesize_flows: bad mean size");
+  S3_REQUIRE(config.sigma >= 0.0, "synthesize_flows: negative sigma");
+
+  // Usable rules per realm: those not shadowed by an earlier rule of a
+  // different category (first match wins in the classifier).
+  std::array<std::vector<const PortRule*>, kNumCategories> usable{};
+  for (const PortRule& rule : classifier.rules()) {
+    FlowRecord probe;
+    probe.transport = rule.transport;
+    probe.src_port = 49999;
+    probe.dst_port = rule.port_lo;
+    if (classifier.classify(probe) == rule.category) {
+      usable[static_cast<std::size_t>(rule.category)].push_back(&rule);
+    }
+  }
+
+  std::vector<FlowRecord> flows;
+  const double mu = std::log(config.mean_flow_bytes) -
+                    0.5 * config.sigma * config.sigma;
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    double remaining = budget[c];
+    if (remaining <= 0.0) continue;
+    S3_REQUIRE(!usable[c].empty(),
+               "synthesize_flows: no usable rule for realm");
+    while (remaining > 0.0) {
+      const PortRule& rule = *usable[c][rng.index(usable[c].size())];
+      FlowRecord f;
+      f.transport = rule.transport;
+      f.src_ip = static_cast<std::uint32_t>(rng.uniform_int(1, 0xFFFFFF));
+      f.dst_ip = static_cast<std::uint32_t>(rng.uniform_int(1, 0xFFFFFF));
+      f.src_port = static_cast<std::uint16_t>(rng.uniform_int(
+          config.ephemeral_lo, config.ephemeral_hi));
+      f.dst_port = static_cast<std::uint16_t>(
+          rng.uniform_int(rule.port_lo, rule.port_hi));
+      const double size = rng.lognormal(mu, config.sigma);
+      f.bytes = std::min(size, remaining);
+      remaining -= f.bytes;
+      flows.push_back(f);
+    }
+  }
+  rng.shuffle(flows);  // interleave realms like a real capture
+  return flows;
+}
+
+void ingest_flows(ProfileStore& store, UserId user, std::int64_t day,
+                  const PortClassifier& classifier,
+                  const std::vector<FlowRecord>& flows) {
+  UserProfileHistory& h = store.user(user);
+  for (const FlowRecord& f : flows) {
+    h.add(day, classifier.classify(f), f.bytes);
+  }
+}
+
+}  // namespace s3::apps

@@ -1,0 +1,45 @@
+// Synthetic core-router flows.
+//
+// The paper's profile pipeline ingests per-packet 5-tuples from the
+// core routers and classifies them by port (§III-A). Our trace
+// generator books traffic directly per realm; this module closes the
+// loop for tests and ingest-path demos by synthesizing a plausible
+// flow list that *realizes* a per-realm byte budget — drawing server
+// ports from the classifier's own rule table so that classification
+// round-trips the budget exactly.
+#pragma once
+
+#include <vector>
+
+#include "s3/apps/classifier.h"
+#include "s3/apps/profile.h"
+#include "s3/util/ids.h"
+#include "s3/util/rng.h"
+
+namespace s3::apps {
+
+struct FlowSynthesisConfig {
+  /// Typical flow size; individual flows are lognormal around it.
+  double mean_flow_bytes = 2.0e6;
+  double sigma = 1.0;
+  /// Client-side ephemeral port range.
+  std::uint16_t ephemeral_lo = 49152;
+  std::uint16_t ephemeral_hi = 65535;
+};
+
+/// Flows whose per-realm byte totals equal `budget` (each realm's last
+/// flow is sized to the remainder). Ports are drawn from `classifier`'s
+/// rules for the realm, restricted to rules that classify back to that
+/// realm (i.e. not shadowed by an earlier rule).
+std::vector<FlowRecord> synthesize_flows(const AppMix& budget,
+                                         const PortClassifier& classifier,
+                                         util::Rng& rng,
+                                         const FlowSynthesisConfig& config = {});
+
+/// Ingest path: classifies `flows` and books them on `store[user]`'s
+/// day `d` — what a deployment would run against real router exports.
+void ingest_flows(ProfileStore& store, UserId user, std::int64_t day,
+                  const PortClassifier& classifier,
+                  const std::vector<FlowRecord>& flows);
+
+}  // namespace s3::apps

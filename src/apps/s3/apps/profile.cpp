@@ -1,0 +1,75 @@
+#include "s3/apps/profile.h"
+
+#include <algorithm>
+
+namespace s3::apps {
+
+const AppMix UserProfileHistory::kZero{};
+
+void UserProfileHistory::add(std::int64_t d, AppCategory c, double bytes) {
+  S3_REQUIRE(d >= 0, "UserProfileHistory: negative day");
+  S3_REQUIRE(bytes >= 0.0, "UserProfileHistory: negative bytes");
+  if (static_cast<std::size_t>(d) >= days_.size()) {
+    days_.resize(static_cast<std::size_t>(d) + 1);
+  }
+  days_[static_cast<std::size_t>(d)][static_cast<std::size_t>(c)] += bytes;
+}
+
+void UserProfileHistory::add_mix(std::int64_t d, const AppMix& mix) {
+  S3_REQUIRE(d >= 0, "UserProfileHistory: negative day");
+  if (static_cast<std::size_t>(d) >= days_.size()) {
+    days_.resize(static_cast<std::size_t>(d) + 1);
+  }
+  accumulate(days_[static_cast<std::size_t>(d)], mix);
+}
+
+const AppMix& UserProfileHistory::day(std::int64_t d) const noexcept {
+  if (d < 0 || static_cast<std::size_t>(d) >= days_.size()) return kZero;
+  return days_[static_cast<std::size_t>(d)];
+}
+
+AppMix UserProfileHistory::cumulative(std::int64_t first_day,
+                                      std::int64_t last_day) const {
+  AppMix out{};
+  if (days_.empty()) return out;
+  const std::int64_t lo = std::max<std::int64_t>(first_day, 0);
+  const std::int64_t hi =
+      std::min<std::int64_t>(last_day, static_cast<std::int64_t>(days_.size()) - 1);
+  for (std::int64_t d = lo; d <= hi; ++d) {
+    accumulate(out, days_[static_cast<std::size_t>(d)]);
+  }
+  return out;
+}
+
+AppMix UserProfileHistory::lifetime() const {
+  if (days_.empty()) return AppMix{};
+  return cumulative(0, static_cast<std::int64_t>(days_.size()) - 1);
+}
+
+bool UserProfileHistory::empty() const noexcept {
+  for (const AppMix& m : days_) {
+    if (total(m) > 0.0) return false;
+  }
+  return true;
+}
+
+std::vector<AppMix> ProfileStore::normalized_profiles() const {
+  std::vector<AppMix> out;
+  out.reserve(profiles_.size());
+  for (const UserProfileHistory& h : profiles_) {
+    out.push_back(normalized(h.lifetime()));
+  }
+  return out;
+}
+
+std::vector<AppMix> ProfileStore::normalized_profiles(
+    std::int64_t first_day, std::int64_t last_day) const {
+  std::vector<AppMix> out;
+  out.reserve(profiles_.size());
+  for (const UserProfileHistory& h : profiles_) {
+    out.push_back(normalized(h.cumulative(first_day, last_day)));
+  }
+  return out;
+}
+
+}  // namespace s3::apps

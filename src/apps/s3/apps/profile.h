@@ -1,0 +1,80 @@
+// Per-user daily application profiles and history aggregation (§III-D).
+//
+// The paper characterizes a user u by T_x(u) = (a¹..a⁶): traffic per
+// application realm on day x, and studies how much history — the
+// cumulative vector Σ_{i=1..n} T_{x-i}(u) — is needed before the
+// profile stabilizes (Fig. 6: ~15 days).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "s3/apps/app_category.h"
+#include "s3/util/error.h"
+#include "s3/util/ids.h"
+
+namespace s3::apps {
+
+/// Daily application-traffic matrix for one user: day index -> AppMix.
+class UserProfileHistory {
+ public:
+  UserProfileHistory() = default;
+  explicit UserProfileHistory(std::size_t num_days) : days_(num_days) {}
+
+  std::size_t num_days() const noexcept { return days_.size(); }
+
+  /// Adds `bytes` of realm `c` traffic on day `d`, growing as needed.
+  void add(std::int64_t d, AppCategory c, double bytes);
+
+  /// Adds a whole mix on day `d`.
+  void add_mix(std::int64_t d, const AppMix& mix);
+
+  /// T_d(u): the day-d vector (zero mix for days outside range).
+  const AppMix& day(std::int64_t d) const noexcept;
+
+  /// Cumulative vector Σ_{i=first..last} T_i(u), inclusive bounds
+  /// clamped to the recorded range.
+  AppMix cumulative(std::int64_t first_day, std::int64_t last_day) const;
+
+  /// Total traffic over all recorded days.
+  AppMix lifetime() const;
+
+  /// True if the user generated no traffic at all.
+  bool empty() const noexcept;
+
+ private:
+  std::vector<AppMix> days_;
+  static const AppMix kZero;
+};
+
+/// Profile store for the whole user population.
+class ProfileStore {
+ public:
+  ProfileStore(std::size_t num_users, std::size_t num_days)
+      : profiles_(num_users, UserProfileHistory(num_days)) {}
+
+  std::size_t num_users() const noexcept { return profiles_.size(); }
+
+  UserProfileHistory& user(UserId u) {
+    S3_REQUIRE(u < profiles_.size(), "ProfileStore: user out of range");
+    return profiles_[u];
+  }
+  const UserProfileHistory& user(UserId u) const {
+    S3_REQUIRE(u < profiles_.size(), "ProfileStore: user out of range");
+    return profiles_[u];
+  }
+
+  /// Normalized lifetime profile of every user (rows aligned to UserId);
+  /// the feature matrix consumed by the clustering stage.
+  std::vector<AppMix> normalized_profiles() const;
+
+  /// Normalized profile restricted to the training window
+  /// [first_day, last_day] — what the controller would have observed.
+  std::vector<AppMix> normalized_profiles(std::int64_t first_day,
+                                          std::int64_t last_day) const;
+
+ private:
+  std::vector<UserProfileHistory> profiles_;
+};
+
+}  // namespace s3::apps

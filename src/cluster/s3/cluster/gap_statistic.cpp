@@ -1,0 +1,141 @@
+#include "s3/cluster/gap_statistic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "s3/cluster/pca.h"
+
+namespace s3::cluster {
+
+namespace {
+
+/// Reference set: uniform over the observed per-feature bounding box.
+Dataset uniform_box_reference(const Dataset& data, util::Rng& rng) {
+  const std::size_t dim = data.dim;
+  std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < data.num_points; ++i) {
+    const auto p = data.point(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
+  Dataset ref;
+  ref.num_points = data.num_points;
+  ref.dim = dim;
+  ref.values.resize(data.num_points * dim);
+  for (std::size_t i = 0; i < data.num_points; ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      ref.values[i * dim + d] =
+          lo[d] < hi[d] ? rng.uniform(lo[d], hi[d]) : lo[d];
+    }
+  }
+  return ref;
+}
+
+/// Reference set: uniform over the PCA-aligned bounding box, mapped
+/// back into feature space (Tibshirani's method (b)).
+Dataset pca_box_reference(const Dataset& data, const PcaBasis& basis,
+                          util::Rng& rng) {
+  const std::size_t dim = data.dim;
+  // Ranges of the data in the PCA frame.
+  std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
+  std::vector<double> y(dim);
+  for (std::size_t i = 0; i < data.num_points; ++i) {
+    to_pca_frame(basis, data.values.data() + i * dim, y.data());
+    for (std::size_t d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], y[d]);
+      hi[d] = std::max(hi[d], y[d]);
+    }
+  }
+  Dataset ref;
+  ref.num_points = data.num_points;
+  ref.dim = dim;
+  ref.values.resize(data.num_points * dim);
+  for (std::size_t i = 0; i < data.num_points; ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      y[d] = lo[d] < hi[d] ? rng.uniform(lo[d], hi[d]) : lo[d];
+    }
+    from_pca_frame(basis, y.data(), ref.values.data() + i * dim);
+  }
+  return ref;
+}
+
+double log_dispersion(const Dataset& data, std::size_t k,
+                      const GapStatisticConfig& cfg, std::uint64_t seed) {
+  KMeansConfig kc;
+  kc.k = k;
+  kc.restarts = cfg.kmeans_restarts;
+  kc.max_iterations = cfg.kmeans_max_iterations;
+  kc.seed = seed;
+  const double w = kmeans(data, kc).inertia;
+  // Guard against log(0) for degenerate (duplicate-point) data.
+  return std::log(std::max(w, 1e-12));
+}
+
+}  // namespace
+
+GapStatisticResult gap_statistic(const Dataset& data,
+                                 const GapStatisticConfig& config) {
+  S3_REQUIRE(config.max_k >= 2, "gap_statistic: max_k must be >= 2");
+  S3_REQUIRE(config.num_references >= 2,
+             "gap_statistic: need at least 2 reference sets");
+  S3_REQUIRE(data.num_points >= config.max_k,
+             "gap_statistic: fewer points than max_k");
+
+  util::Rng master(config.seed);
+  GapStatisticResult result;
+  result.gap.resize(config.max_k);
+  result.s.resize(config.max_k);
+  result.log_w.resize(config.max_k);
+
+  // Draw the B reference data sets once and reuse across k (the
+  // Tibshirani et al. procedure).
+  PcaBasis basis;
+  if (config.reference == GapReference::kPcaAlignedBox) {
+    basis = pca(data.values, data.num_points, data.dim);
+  }
+  std::vector<Dataset> references;
+  references.reserve(config.num_references);
+  for (std::size_t b = 0; b < config.num_references; ++b) {
+    util::Rng rng = master.fork();
+    references.push_back(config.reference == GapReference::kPcaAlignedBox
+                             ? pca_box_reference(data, basis, rng)
+                             : uniform_box_reference(data, rng));
+  }
+
+  util::SplitMix64 seeds(config.seed ^ 0x6a7057a7ULL);
+  for (std::size_t k = 1; k <= config.max_k; ++k) {
+    result.log_w[k - 1] = log_dispersion(data, k, config, seeds.next());
+
+    std::vector<double> ref_log_w(config.num_references);
+    double mean = 0.0;
+    for (std::size_t b = 0; b < config.num_references; ++b) {
+      ref_log_w[b] = log_dispersion(references[b], k, config, seeds.next());
+      mean += ref_log_w[b];
+    }
+    mean /= static_cast<double>(config.num_references);
+
+    double sd = 0.0;
+    for (double v : ref_log_w) sd += (v - mean) * (v - mean);
+    sd = std::sqrt(sd / static_cast<double>(config.num_references));
+
+    result.gap[k - 1] = mean - result.log_w[k - 1];
+    result.s[k - 1] =
+        sd * std::sqrt(1.0 + 1.0 / static_cast<double>(config.num_references));
+  }
+
+  result.optimal_k = config.max_k;
+  for (std::size_t k = 1; k < config.max_k; ++k) {
+    if (result.gap[k - 1] >= result.gap[k] - result.s[k]) {
+      result.optimal_k = k;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace s3::cluster

@@ -1,0 +1,54 @@
+// Gap statistic for choosing k (Tibshirani, Walther & Hastie 2001).
+//
+// Gap(k) = (1/B) Σ_b log(W_kb) − log(W_k), where W_kb is the
+// within-cluster dispersion of the b-th reference data set drawn
+// uniformly over the observed per-dimension ranges. The optimal k is
+// the smallest k with Gap(k) >= Gap(k+1) − s_{k+1}, where s_k is the
+// reference-dispersion standard deviation inflated by sqrt(1 + 1/B).
+// The paper applies this to user application profiles and finds k = 4
+// (Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "s3/cluster/kmeans.h"
+
+namespace s3::cluster {
+
+/// Reference null distribution (Tibshirani et al. §3).
+enum class GapReference : std::uint8_t {
+  /// Uniform over the raw per-feature bounding box (method a).
+  kUniformBox = 0,
+  /// Uniform over the principal-component-aligned bounding box
+  /// (method b) — the right choice for correlated / degenerate data
+  /// such as probability simplices (our application profiles), where
+  /// the raw box wildly over-disperses the reference.
+  kPcaAlignedBox = 1,
+};
+
+struct GapStatisticConfig {
+  std::size_t max_k = 10;
+  std::size_t num_references = 10;  ///< B
+  std::size_t kmeans_restarts = 4;
+  std::size_t kmeans_max_iterations = 100;
+  std::uint64_t seed = 7;
+  GapReference reference = GapReference::kPcaAlignedBox;
+};
+
+struct GapStatisticResult {
+  /// gap[k-1] = Gap(k) for k = 1..max_k.
+  std::vector<double> gap;
+  /// s[k-1] = s_k (already inflated by sqrt(1 + 1/B)).
+  std::vector<double> s;
+  /// log(W_k) on the observed data.
+  std::vector<double> log_w;
+  /// Smallest k with Gap(k) >= Gap(k+1) − s_{k+1}; max_k if the
+  /// criterion never fires.
+  std::size_t optimal_k = 0;
+};
+
+GapStatisticResult gap_statistic(const Dataset& data,
+                                 const GapStatisticConfig& config);
+
+}  // namespace s3::cluster

@@ -1,0 +1,174 @@
+#include "s3/cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace s3::cluster {
+
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then proportional to the
+/// squared distance to the nearest chosen centroid.
+std::vector<double> seed_centroids(const Dataset& data, std::size_t k,
+                                   util::Rng& rng) {
+  const std::size_t dim = data.dim;
+  std::vector<double> centroids;
+  centroids.reserve(k * dim);
+
+  const std::size_t first = rng.index(data.num_points);
+  const auto p0 = data.point(first);
+  centroids.insert(centroids.end(), p0.begin(), p0.end());
+
+  std::vector<double> d2(data.num_points,
+                         std::numeric_limits<double>::infinity());
+  for (std::size_t c = 1; c < k; ++c) {
+    const auto last = std::span<const double>(centroids)
+                          .subspan((c - 1) * dim, dim);
+    for (std::size_t i = 0; i < data.num_points; ++i) {
+      d2[i] = std::min(d2[i], squared_distance(data.point(i), last));
+    }
+    double total = 0.0;
+    for (double v : d2) total += v;
+    std::size_t pick;
+    if (total <= 0.0) {
+      pick = rng.index(data.num_points);  // all points identical
+    } else {
+      pick = rng.weighted_index(d2);
+    }
+    const auto p = data.point(pick);
+    centroids.insert(centroids.end(), p.begin(), p.end());
+  }
+  return centroids;
+}
+
+struct LloydOutcome {
+  std::vector<double> centroids;
+  std::vector<std::size_t> assignment;
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+};
+
+LloydOutcome lloyd(const Dataset& data, std::size_t k,
+                   std::vector<double> centroids, std::size_t max_iterations,
+                   util::Rng& rng) {
+  const std::size_t dim = data.dim;
+  std::vector<std::size_t> assignment(data.num_points, 0);
+  std::vector<double> sums(k * dim, 0.0);
+  std::vector<std::size_t> counts(k, 0);
+
+  std::size_t iter = 0;
+  bool changed = true;
+  while (changed && iter < max_iterations) {
+    ++iter;
+    changed = false;
+
+    // Assignment step.
+    for (std::size_t i = 0; i < data.num_points; ++i) {
+      const auto p = data.point(i);
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(
+            p, std::span<const double>(centroids).subspan(c * dim, dim));
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (assignment[i] != best_c) {
+        assignment[i] = best_c;
+        changed = true;
+      }
+    }
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < data.num_points; ++i) {
+      const auto p = data.point(i);
+      const std::size_t c = assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c * dim + d] += p[d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at the point farthest from its
+        // centroid (standard Lloyd repair).
+        double worst = -1.0;
+        std::size_t worst_i = 0;
+        for (std::size_t i = 0; i < data.num_points; ++i) {
+          const std::size_t ci = assignment[i];
+          const double d = squared_distance(
+              data.point(i),
+              std::span<const double>(centroids).subspan(ci * dim, dim));
+          if (d > worst) {
+            worst = d;
+            worst_i = i;
+          }
+        }
+        const auto p = data.point(worst_i);
+        std::copy(p.begin(), p.end(), centroids.begin() +
+                                          static_cast<std::ptrdiff_t>(c * dim));
+        changed = true;
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        centroids[c * dim + d] =
+            sums[c * dim + d] / static_cast<double>(counts[c]);
+      }
+    }
+    (void)rng;
+  }
+
+  double inertia = 0.0;
+  for (std::size_t i = 0; i < data.num_points; ++i) {
+    inertia += squared_distance(
+        data.point(i), std::span<const double>(centroids)
+                           .subspan(assignment[i] * dim, dim));
+  }
+  return {std::move(centroids), std::move(assignment), inertia, iter};
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Dataset& data, const KMeansConfig& config) {
+  S3_REQUIRE(data.dim > 0, "kmeans: zero-dimensional data");
+  S3_REQUIRE(data.values.size() == data.num_points * data.dim,
+             "kmeans: dataset size mismatch");
+  S3_REQUIRE(config.k >= 1, "kmeans: k must be >= 1");
+  S3_REQUIRE(data.num_points >= config.k, "kmeans: fewer points than k");
+  S3_REQUIRE(config.restarts >= 1, "kmeans: restarts must be >= 1");
+
+  util::Rng master(config.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+
+  for (std::size_t r = 0; r < config.restarts; ++r) {
+    util::Rng rng = master.fork();
+    LloydOutcome out =
+        lloyd(data, config.k, seed_centroids(data, config.k, rng),
+              config.max_iterations, rng);
+    if (out.inertia < best.inertia) {
+      best.centroids = std::move(out.centroids);
+      best.assignment = std::move(out.assignment);
+      best.inertia = out.inertia;
+      best.iterations = out.iterations;
+      best.k = config.k;
+      best.dim = data.dim;
+    }
+  }
+  return best;
+}
+
+}  // namespace s3::cluster

@@ -1,0 +1,60 @@
+// k-means clustering (§III-D-2).
+//
+// The paper clusters users' normalized application-usage vectors with
+// k-means and picks k via the gap statistic (k = 4 on the SJTU trace).
+// Plain Lloyd iterations with k-means++ seeding and multiple restarts;
+// deterministic in the provided seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "s3/util/rng.h"
+
+namespace s3::cluster {
+
+/// Row-major point set.
+struct Dataset {
+  std::vector<double> values;  ///< size = num_points * dim
+  std::size_t num_points = 0;
+  std::size_t dim = 0;
+
+  std::span<const double> point(std::size_t i) const {
+    S3_REQUIRE(i < num_points, "Dataset: point index out of range");
+    return std::span<const double>(values).subspan(i * dim, dim);
+  }
+};
+
+struct KMeansConfig {
+  std::size_t k = 4;
+  std::size_t max_iterations = 100;
+  std::size_t restarts = 4;  ///< keep the best of this many runs
+  std::uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  /// Row-major k x dim centroid matrix.
+  std::vector<double> centroids;
+  std::size_t k = 0;
+  std::size_t dim = 0;
+  /// Cluster id per point.
+  std::vector<std::size_t> assignment;
+  /// Within-cluster sum of squared distances — the dispersion W_k that
+  /// the gap statistic compares.
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+
+  std::span<const double> centroid(std::size_t c) const {
+    S3_REQUIRE(c < k, "KMeansResult: centroid index out of range");
+    return std::span<const double>(centroids).subspan(c * dim, dim);
+  }
+};
+
+/// Runs k-means. Requires data.num_points >= config.k >= 1.
+KMeansResult kmeans(const Dataset& data, const KMeansConfig& config);
+
+/// Squared Euclidean distance between two equal-length vectors.
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) noexcept;
+
+}  // namespace s3::cluster

@@ -1,0 +1,41 @@
+// Small dense symmetric eigendecomposition (cyclic Jacobi) and PCA
+// helpers for the gap statistic's principal-component-aligned
+// reference distribution (Tibshirani et al. 2001, method (b)).
+//
+// Dimensions here are tiny (6 for application profiles), so the O(d^3)
+// Jacobi sweep is the right tool: no dependencies, bit-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace s3::cluster {
+
+/// Eigendecomposition of a symmetric d x d matrix (row-major).
+struct EigenResult {
+  std::vector<double> eigenvalues;   ///< descending
+  std::vector<double> eigenvectors;  ///< row-major d x d; row i = vector i
+};
+
+/// Cyclic Jacobi. `matrix` must be symmetric; converges quadratically.
+EigenResult symmetric_eigen(const std::vector<double>& matrix,
+                            std::size_t dim, std::size_t max_sweeps = 64);
+
+/// PCA basis of row-major `n x dim` data (column-mean-centered
+/// covariance). Returns component rows (descending variance) plus the
+/// column means.
+struct PcaBasis {
+  std::vector<double> components;  ///< row-major dim x dim
+  std::vector<double> mean;        ///< column means, size dim
+  std::vector<double> variances;   ///< per-component, descending
+};
+
+PcaBasis pca(const std::vector<double>& data, std::size_t n, std::size_t dim);
+
+/// Projects a point into the PCA frame: y = V (x - mean).
+void to_pca_frame(const PcaBasis& basis, const double* x, double* y);
+
+/// Maps a PCA-frame point back: x = V^T y + mean.
+void from_pca_frame(const PcaBasis& basis, const double* y, double* x);
+
+}  // namespace s3::cluster

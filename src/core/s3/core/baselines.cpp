@@ -1,0 +1,56 @@
+#include "s3/core/baselines.h"
+
+namespace s3::core {
+
+ApId least_loaded(const sim::Arrival& arrival, const sim::ApLoadTracker& loads,
+                  LoadMetric metric) {
+  return least_loaded_of(arrival.candidates, loads, metric);
+}
+
+ApId least_loaded_of(std::span<const ApId> aps, const sim::ApLoadTracker& loads,
+                     LoadMetric metric) {
+  S3_REQUIRE(!aps.empty(), "least_loaded: no candidates");
+  ApId best = aps.front();
+  for (ApId ap : aps) {
+    double primary_best, primary_cur, secondary_best, secondary_cur;
+    if (metric == LoadMetric::kDemand) {
+      primary_best = loads.demand_mbps(best);
+      primary_cur = loads.demand_mbps(ap);
+      secondary_best = static_cast<double>(loads.station_count(best));
+      secondary_cur = static_cast<double>(loads.station_count(ap));
+    } else {
+      primary_best = static_cast<double>(loads.station_count(best));
+      primary_cur = static_cast<double>(loads.station_count(ap));
+      secondary_best = loads.demand_mbps(best);
+      secondary_cur = loads.demand_mbps(ap);
+    }
+    if (primary_cur < primary_best ||
+        (primary_cur == primary_best && secondary_cur < secondary_best) ||
+        (primary_cur == primary_best && secondary_cur == secondary_best &&
+         ap < best)) {
+      best = ap;
+    }
+  }
+  return best;
+}
+
+ApId LlfSelector::select_one(const sim::Arrival& arrival,
+                             const sim::ApLoadTracker& loads) {
+  return least_loaded(arrival, loads, metric_);
+}
+
+ApId StrongestRssiSelector::select_one(const sim::Arrival& arrival,
+                                       const sim::ApLoadTracker& loads) {
+  (void)loads;
+  S3_REQUIRE(!arrival.candidates.empty(), "RSSI: no candidates");
+  return arrival.candidates.front();  // candidates are strongest-first
+}
+
+ApId RandomSelector::select_one(const sim::Arrival& arrival,
+                                const sim::ApLoadTracker& loads) {
+  (void)loads;
+  S3_REQUIRE(!arrival.candidates.empty(), "random: no candidates");
+  return arrival.candidates[rng_.index(arrival.candidates.size())];
+}
+
+}  // namespace s3::core

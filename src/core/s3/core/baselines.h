@@ -1,0 +1,68 @@
+// Baseline AP-selection policies.
+//
+//  * LlfSelector — Least Loaded First [9], the state of the art the
+//    paper measures against: a new user goes to the candidate AP with
+//    the least workload (aggregate traffic, or station count).
+//  * StrongestRssiSelector — the 802.11 default: strongest signal wins.
+//  * RandomSelector — uniform over candidates; a sanity floor.
+#pragma once
+
+#include <cstdint>
+
+#include "s3/sim/selector.h"
+#include "s3/util/rng.h"
+
+namespace s3::core {
+
+enum class LoadMetric : std::uint8_t {
+  kDemand = 0,    ///< aggregate offered Mbit/s (traffic-load LLF)
+  kStations = 1,  ///< associated-station count (user-count LLF)
+};
+
+class LlfSelector final : public sim::ApSelector {
+ public:
+  explicit LlfSelector(LoadMetric metric = LoadMetric::kDemand) noexcept
+      : metric_(metric) {}
+
+  std::string_view name() const override { return "LLF"; }
+
+  ApId select_one(const sim::Arrival& arrival,
+                  const sim::ApLoadTracker& loads) override;
+
+  LoadMetric metric() const noexcept { return metric_; }
+
+ private:
+  LoadMetric metric_;
+};
+
+class StrongestRssiSelector final : public sim::ApSelector {
+ public:
+  std::string_view name() const override { return "RSSI"; }
+
+  ApId select_one(const sim::Arrival& arrival,
+                  const sim::ApLoadTracker& loads) override;
+};
+
+class RandomSelector final : public sim::ApSelector {
+ public:
+  explicit RandomSelector(std::uint64_t seed) : rng_(seed) {}
+
+  std::string_view name() const override { return "random"; }
+
+  ApId select_one(const sim::Arrival& arrival,
+                  const sim::ApLoadTracker& loads) override;
+
+ private:
+  util::Rng rng_;
+};
+
+/// Shared helper: least-loaded candidate under `metric`; ties broken by
+/// the other metric, then by AP id (determinism).
+ApId least_loaded(const sim::Arrival& arrival, const sim::ApLoadTracker& loads,
+                  LoadMetric metric);
+
+/// Same, over an explicit AP set (used by S3's tie-break fallback).
+ApId least_loaded_of(std::span<const ApId> aps, const sim::ApLoadTracker& loads,
+                     LoadMetric metric);
+
+}  // namespace s3::core

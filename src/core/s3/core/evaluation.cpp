@@ -1,0 +1,122 @@
+#include "s3/core/evaluation.h"
+
+#include <cmath>
+
+namespace s3::core {
+
+namespace {
+
+trace::Trace window_of(const trace::Trace& workload, int first_day,
+                       int last_day_exclusive) {
+  return workload.slice(util::SimTime::from_days(first_day),
+                        util::SimTime::from_days(last_day_exclusive));
+}
+
+bool in_leave_peak(util::SimTime t,
+                   const std::vector<std::pair<double, double>>& peaks) {
+  const double h = static_cast<double>(t.second_of_day()) / 3600.0;
+  for (const auto& [lo, hi] : peaks) {
+    if (h >= lo && h < hi) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+social::SocialIndexModel train_from_workload(const wlan::Network& net,
+                                             const trace::Trace& workload,
+                                             const EvaluationConfig& config) {
+  S3_REQUIRE(config.train_days >= 1, "evaluation: train_days must be >= 1");
+  const trace::Trace training = window_of(workload, 0, config.train_days);
+  LlfSelector llf(config.baseline_metric);
+  const sim::ReplayResult collected =
+      sim::replay(net, training, llf, config.replay);
+  return social::SocialIndexModel::train(collected.assigned, config.social);
+}
+
+PolicyScore score_policy(const wlan::Network& net,
+                         const trace::Trace& workload,
+                         sim::ApSelector& policy,
+                         const EvaluationConfig& config) {
+  S3_REQUIRE(config.test_days >= 1, "evaluation: test_days must be >= 1");
+  const int test_begin = config.train_days;
+  const int test_end = config.train_days + config.test_days;
+  const trace::Trace test = window_of(workload, test_begin, test_end);
+
+  const sim::ReplayResult run = sim::replay(net, test, policy, config.replay);
+
+  analysis::ThroughputOptions opts;
+  opts.slot_s = config.eval_slot_s;
+  const util::SimTime begin = util::SimTime::from_days(test_begin);
+  const util::SimTime end = util::SimTime::from_days(test_end);
+  const analysis::ThroughputSeries series(net, run.assigned, begin, end, opts);
+
+  PolicyScore score;
+  score.policy = std::string(policy.name());
+  score.replay_stats = run.stats;
+  score.per_controller_mean.resize(net.num_controllers());
+  score.per_controller_ci95.resize(net.num_controllers());
+
+  util::RunningStats all;
+  util::RunningStats peak;
+  for (ControllerId c = 0; c < net.num_controllers(); ++c) {
+    util::RunningStats ctrl;
+    for (std::size_t slot = 0; slot < series.num_slots(); ++slot) {
+      const double hour =
+          static_cast<double>(series.slot_begin(slot).second_of_day()) / 3600.0;
+      if (hour < config.score_hours_begin || hour >= config.score_hours_end) {
+        continue;
+      }
+      if (series.total_load(c, slot) < config.min_slot_load_mbps) continue;
+      const double beta =
+          analysis::normalized_balance_index(series.slot_load(c, slot));
+      ctrl.add(beta);
+      all.add(beta);
+      if (in_leave_peak(series.slot_begin(slot), config.leave_peak_hours)) {
+        peak.add(beta);
+      }
+    }
+    score.per_controller_mean[c] = ctrl.mean();
+    score.per_controller_ci95[c] = ctrl.ci95_halfwidth();
+  }
+  score.mean = all.mean();
+  score.ci95 = all.ci95_halfwidth();
+  score.per_site_ci95 =
+      util::mean(score.per_controller_ci95);
+  score.leave_peak_mean = peak.mean();
+  score.slots_scored = all.count();
+  return score;
+}
+
+ComparisonResult compare_s3_vs_llf(const wlan::Network& net,
+                                   const trace::Trace& workload,
+                                   const EvaluationConfig& config) {
+  const social::SocialIndexModel model =
+      train_from_workload(net, workload, config);
+
+  ComparisonResult result;
+  {
+    LlfSelector llf(config.baseline_metric);
+    result.llf = score_policy(net, workload, llf, config);
+  }
+  {
+    S3Selector s3(&net, &model, config.s3);
+    result.s3 = score_policy(net, workload, s3, config);
+  }
+
+  if (result.llf.mean > 0.0) {
+    result.balance_gain = (result.s3.mean - result.llf.mean) / result.llf.mean;
+  }
+  if (result.llf.leave_peak_mean > 0.0) {
+    result.leave_peak_gain =
+        (result.s3.leave_peak_mean - result.llf.leave_peak_mean) /
+        result.llf.leave_peak_mean;
+  }
+  if (result.llf.per_site_ci95 > 0.0) {
+    result.errorbar_reduction =
+        1.0 - result.s3.per_site_ci95 / result.llf.per_site_ci95;
+  }
+  return result;
+}
+
+}  // namespace s3::core

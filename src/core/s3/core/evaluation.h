@@ -1,0 +1,97 @@
+// End-to-end evaluation pipeline (§V-A):
+//
+//   1. generate (or load) a workload;
+//   2. replay the *training* days under LLF — that is the operator's
+//      collected trace, since LLF is what the deployed controllers run;
+//   3. train the social-index model on it;
+//   4. replay the *test* days once per policy and score the balance
+//      index over time and controllers.
+//
+// Figs. 10–12 are parameter sweeps / comparisons over this pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "s3/analysis/balance.h"
+#include "s3/core/s3_selector.h"
+#include "s3/sim/replay.h"
+#include "s3/trace/generator.h"
+#include "s3/util/stats.h"
+
+namespace s3::core {
+
+struct EvaluationConfig {
+  /// Day range [0, train_days) trains; [train_days, train_days +
+  /// test_days) evaluates. The paper trains on ~3 weeks (Jul 4–24) and
+  /// tests on 3 days (Jul 25–27).
+  int train_days = 21;
+  int test_days = 3;
+  /// Load metric of the *deployed* LLF (the collected-trace policy and
+  /// the comparison baseline). Enterprise controllers of the paper's
+  /// era balanced station counts; S3 by contrast estimates per-user
+  /// demand w(u) from history (§IV-B) and is configured via `s3`.
+  LoadMetric baseline_metric = LoadMetric::kStations;
+  sim::ReplayConfig replay{};
+  social::SocialModelConfig social{};
+  S3Config s3{};
+  /// Balance-index sampling slot.
+  std::int64_t eval_slot_s = 600;
+  /// Skip slots whose whole-domain load is below this (idle night
+  /// slots would otherwise dominate the mean with trivial values).
+  double min_slot_load_mbps = 5.0;
+  /// Scored hours of day [first, last): Fig. 12 evaluates "time in
+  /// daytime"; Fig. 4's workday window is 8:00–24:00.
+  double score_hours_begin = 8.0;
+  double score_hours_end = 24.0;
+  /// Leave-peak hours (start, end) for the peak-gain breakdown;
+  /// paper: 12:00–13:00, 16:00–17:50, 21:00–22:00.
+  std::vector<std::pair<double, double>> leave_peak_hours = {
+      {12.0, 13.0}, {16.0, 17.83}, {21.0, 22.0}};
+};
+
+struct PolicyScore {
+  std::string policy;
+  /// Mean normalized balance index per controller over test slots.
+  std::vector<double> per_controller_mean;
+  /// 95% CI half-width per controller.
+  std::vector<double> per_controller_ci95;
+  double mean = 0.0;        ///< over all controllers and slots
+  double ci95 = 0.0;        ///< over all slot samples
+  /// Mean of the per-controller CI half-widths — the "error bar" of
+  /// Fig. 12's per-site bars.
+  double per_site_ci95 = 0.0;
+  double leave_peak_mean = 0.0;
+  std::size_t slots_scored = 0;
+  sim::ReplayStats replay_stats{};
+};
+
+/// Trains a social model from a workload's training window: replays the
+/// window under LLF and learns from the assigned result.
+social::SocialIndexModel train_from_workload(const wlan::Network& net,
+                                             const trace::Trace& workload,
+                                             const EvaluationConfig& config);
+
+/// Replays the test window under `policy` and scores it.
+PolicyScore score_policy(const wlan::Network& net,
+                         const trace::Trace& workload,
+                         sim::ApSelector& policy,
+                         const EvaluationConfig& config);
+
+struct ComparisonResult {
+  PolicyScore llf;
+  PolicyScore s3;
+  /// (mean_S3 − mean_LLF) / mean_LLF — the paper's headline 41.2 %.
+  double balance_gain = 0.0;
+  /// Same, restricted to leave-peak hours — the paper's 52.1 %.
+  double leave_peak_gain = 0.0;
+  /// 1 − ci_S3 / ci_LLF — the paper's 72.1 % error-bar reduction.
+  double errorbar_reduction = 0.0;
+};
+
+/// The full S3-vs-LLF comparison on one workload.
+ComparisonResult compare_s3_vs_llf(const wlan::Network& net,
+                                   const trace::Trace& workload,
+                                   const EvaluationConfig& config);
+
+}  // namespace s3::core

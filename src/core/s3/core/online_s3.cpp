@@ -1,0 +1,128 @@
+#include "s3/core/online_s3.h"
+
+#include <algorithm>
+
+namespace s3::core {
+
+OnlineSocialModel::OnlineSocialModel(const social::SocialIndexModel* base,
+                                     OnlineS3Config config)
+    : base_(base), config_(config) {
+  S3_REQUIRE(base_ != nullptr, "OnlineSocialModel: null base model");
+  S3_REQUIRE(config_.co_leave_window.seconds() > 0 &&
+                 config_.min_encounter_overlap.seconds() > 0,
+             "OnlineSocialModel: windows must be positive");
+}
+
+analysis::PairEventStats& OnlineSocialModel::live_stats(UserId u, UserId v) {
+  const UserPair key(u, v);
+  const auto it = live_.find(key);
+  if (it != live_.end()) return it->second;
+  // Copy-on-first-touch: seed with the trained counts so the live
+  // ratio continues the history instead of restarting from scratch.
+  analysis::PairEventStats seed;
+  const auto trained = base_->pair_stats().find(key);
+  if (trained != base_->pair_stats().end()) seed = trained->second;
+  return live_.emplace(key, seed).first->second;
+}
+
+double OnlineSocialModel::theta(UserId u, UserId v) const {
+  if (u == v) return 0.0;
+  const auto it = live_.find(UserPair(u, v));
+  if (it == live_.end()) return base_->theta(u, v);
+  const double type_term =
+      base_->type_matrix().num_types() > 0
+          ? base_->type_matrix().at(base_->typing().type(u),
+                                    base_->typing().type(v))
+          : 0.0;
+  return it->second.co_leave_probability() + base_->alpha() * type_term;
+}
+
+void OnlineSocialModel::on_associate(std::size_t session_index, UserId user,
+                                     ApId ap, util::SimTime when) {
+  present_[ap].push_back({session_index, user, when});
+}
+
+void OnlineSocialModel::on_disconnect(std::size_t session_index,
+                                      UserId /*user*/, ApId ap,
+                                      util::SimTime when) {
+  auto& present = present_[ap];
+  const auto self = std::find_if(
+      present.begin(), present.end(),
+      [&](const Presence& p) { return p.session_index == session_index; });
+  if (self == present.end()) return;  // session predates tracking
+  const Presence leaving = *self;
+  present.erase(self);
+
+  auto& recent = recent_departures_[ap];
+  // Prune departures older than the co-leave window.
+  recent.erase(std::remove_if(recent.begin(), recent.end(),
+                              [&](const Departure& d) {
+                                return when - d.when > config_.co_leave_window;
+                              }),
+               recent.end());
+
+  // Encounters: overlap with everyone still present (their stay covers
+  // ours since `leaving.since`), and with recent leavers whose overlap
+  // already counted when *they* left — so count only the still-present
+  // side here to avoid double counting.
+  for (const Presence& other : present) {
+    if (other.user == leaving.user) continue;
+    const util::SimTime overlap =
+        when - std::max(other.since, leaving.since);
+    if (overlap >= config_.min_encounter_overlap) {
+      ++live_stats(leaving.user, other.user).encounters;
+    }
+  }
+  // Co-leavings: recent departures within the window whose shared stay
+  // with us was encounter-grade (so that P(L|E) stays <= 1: the
+  // matching encounter was counted when the other side left).
+  for (const Departure& d : recent) {
+    if (d.user == leaving.user) continue;
+    const util::SimTime overlap = d.when - std::max(d.since, leaving.since);
+    if (overlap >= config_.min_encounter_overlap) {
+      ++live_stats(leaving.user, d.user).co_leaves;
+    }
+  }
+  recent.push_back({leaving.user, leaving.since, when});
+}
+
+social::SocialIndexModel OnlineSocialModel::checkpoint() const {
+  analysis::PairStatsMap merged = base_->pair_stats();
+  for (const auto& [pair, stats] : live_) {
+    merged[pair] = stats;  // live entries were seeded from the base
+  }
+  return social::SocialIndexModel::from_parts(
+      base_->config(), std::move(merged), base_->typing(),
+      base_->type_matrix());
+}
+
+// ---------------------------------------------------------------------
+
+OnlineS3Selector::OnlineS3Selector(const wlan::Network* net,
+                                   const social::SocialIndexModel* base,
+                                   OnlineS3Config config)
+    : online_(base, config) {
+  inner_ = std::make_unique<S3Selector>(net, &online_, config.s3);
+}
+
+ApId OnlineS3Selector::select_one(const sim::Arrival& arrival,
+                                  const sim::ApLoadTracker& loads) {
+  return inner_->select_one(arrival, loads);
+}
+
+std::vector<ApId> OnlineS3Selector::select_batch(
+    std::span<const sim::Arrival> batch, const sim::ApLoadTracker& loads) {
+  return inner_->select_batch(batch, loads);
+}
+
+void OnlineS3Selector::on_associate(const sim::Arrival& arrival, ApId ap) {
+  online_.on_associate(arrival.session_index, arrival.user, ap,
+                       arrival.connect);
+}
+
+void OnlineS3Selector::on_disconnect(std::size_t session_index, UserId user,
+                                     ApId ap, util::SimTime when) {
+  online_.on_disconnect(session_index, user, ap, when);
+}
+
+}  // namespace s3::core

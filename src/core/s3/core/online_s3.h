@@ -1,0 +1,115 @@
+// Online S3 — the paper's future-work direction (§VI): instead of a
+// frozen model trained once on historical logs, the controller keeps
+// learning while it operates. Every association/disassociation it
+// processes updates the pairwise encounter/co-leaving statistics, so
+// social relationships formed *after* training (a new semester's
+// classes) start influencing placement within days.
+//
+// The typing stage (k-means + Table-I matrix) stays fixed — re-running
+// clustering online is cheap but would make θ non-monotonic under the
+// reader's feet; the pair-history term P(L|E) is where freshness pays.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "s3/core/s3_selector.h"
+
+namespace s3::core {
+
+struct OnlineS3Config {
+  S3Config s3{};
+  /// Co-leaving window for online event detection (paper optimum: 5 min).
+  util::SimTime co_leave_window = util::SimTime::from_minutes(5);
+  /// Minimum same-AP overlap before a pair counts as encountered.
+  util::SimTime min_encounter_overlap = util::SimTime::from_minutes(10);
+};
+
+/// Wraps a trained SocialIndexModel with live-updated pair statistics.
+/// θ(u,v) = P_live(L|E) + α·T(type_u, type_v), where P_live merges the
+/// trained counts with everything observed since.
+class OnlineSocialModel : public social::ThetaProvider {
+ public:
+  /// `base` must outlive this object; its pair stats seed the live
+  /// counters lazily (copy-on-first-touch).
+  OnlineSocialModel(const social::SocialIndexModel* base,
+                    OnlineS3Config config);
+
+  double theta(UserId u, UserId v) const override;
+  std::size_t num_users() const override { return base_->num_users(); }
+
+  /// Feed an association: the station joined `ap` at `when`.
+  void on_associate(std::size_t session_index, UserId user, ApId ap,
+                    util::SimTime when);
+
+  /// Feed a disassociation; detects encounters (overlap with co-present
+  /// stations) and co-leavings (departures within the window).
+  void on_disconnect(std::size_t session_index, UserId user, ApId ap,
+                     util::SimTime when);
+
+  /// Pairs whose statistics changed since training.
+  std::size_t updated_pairs() const noexcept { return live_.size(); }
+
+  /// Checkpoint: a frozen SocialIndexModel combining the base model's
+  /// typing/matrix with the live pair statistics (trained counts merged
+  /// with everything observed since). Persist it with
+  /// social::write_model_file and reload on the next controller start.
+  social::SocialIndexModel checkpoint() const;
+
+ private:
+  struct Presence {
+    std::size_t session_index;
+    UserId user;
+    util::SimTime since;
+  };
+  struct Departure {
+    UserId user;
+    util::SimTime since;  ///< association start (for the overlap check)
+    util::SimTime when;
+  };
+
+  analysis::PairEventStats& live_stats(UserId u, UserId v);
+
+  const social::SocialIndexModel* base_;
+  OnlineS3Config config_;
+  analysis::PairStatsMap live_;
+  /// Stations currently associated, per AP.
+  std::unordered_map<ApId, std::vector<Presence>> present_;
+  /// Recent departures per AP (pruned past the co-leave window).
+  std::unordered_map<ApId, std::vector<Departure>> recent_departures_;
+};
+
+/// S3 with continuous learning: identical placement machinery, but the
+/// social index it consults is updated by every event the replay engine
+/// delivers.
+class OnlineS3Selector final : public sim::ApSelector {
+ public:
+  OnlineS3Selector(const wlan::Network* net,
+                   const social::SocialIndexModel* base,
+                   OnlineS3Config config = {});
+
+  std::string_view name() const override { return "S3-online"; }
+
+  ApId select_one(const sim::Arrival& arrival,
+                  const sim::ApLoadTracker& loads) override;
+  std::vector<ApId> select_batch(std::span<const sim::Arrival> batch,
+                                 const sim::ApLoadTracker& loads) override;
+
+  void on_associate(const sim::Arrival& arrival, ApId ap) override;
+  void on_disconnect(std::size_t session_index, UserId user, ApId ap,
+                     util::SimTime when) override;
+
+  const OnlineSocialModel& model() const noexcept { return online_; }
+
+ private:
+  /// Rebuilds the delegate selector's view (theta closure) lazily; the
+  /// inner S3Selector consults `shim_`, which forwards to online_.
+  class ShimModel;
+
+  OnlineSocialModel online_;
+  std::unique_ptr<social::SocialIndexModel> shim_;
+  std::unique_ptr<S3Selector> inner_;
+};
+
+}  // namespace s3::core

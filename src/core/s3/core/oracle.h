@@ -1,0 +1,51 @@
+// Offline dispersion upper bound.
+//
+// How balanced could *any* no-migration assignment have been, if the
+// controller had known the whole future (every arrival, departure and
+// demand) in advance? No online policy — S3 included — can beat this;
+// the gap between LLF and this bound is the room the social heuristic
+// is playing for, and "fraction of the gap closed" is a fairer score
+// than absolute gains (EXPERIMENTS.md reports it).
+//
+// Because each slot's total domain load is fixed by the workload, the
+// per-slot Chiu–Jain index is maximized exactly when Σ_ap load² is
+// minimized, so the global objective Σ_{ap,slot} load² is separable and
+// coordinate descent over per-session AP choices converges quickly from
+// an LLF warm start.
+#pragma once
+
+#include <cstdint>
+
+#include "s3/trace/trace.h"
+#include "s3/wlan/network.h"
+#include "s3/wlan/radio.h"
+
+namespace s3::core {
+
+struct OracleConfig {
+  /// Load-averaging slot the objective is evaluated on.
+  std::int64_t slot_s = 600;
+  /// Coordinate-descent sweeps over all sessions (each sweep visits
+  /// every session once, in a seeded random order).
+  std::size_t max_passes = 25;
+  /// Stop early when a whole pass improves the objective by less than
+  /// this relative amount.
+  double convergence_epsilon = 1e-6;
+  wlan::RadioModel radio{};
+  std::uint64_t seed = 1;
+};
+
+struct OracleResult {
+  trace::Trace assigned;      ///< the optimized assignment
+  std::size_t moves = 0;      ///< total accepted session moves
+  std::size_t passes = 0;     ///< sweeps executed
+  double initial_objective = 0.0;  ///< Σ load² of the LLF warm start
+  double final_objective = 0.0;
+};
+
+/// Computes the clairvoyant assignment over the whole workload.
+OracleResult offline_upper_bound(const wlan::Network& net,
+                                 const trace::Trace& workload,
+                                 const OracleConfig& config = {});
+
+}  // namespace s3::core

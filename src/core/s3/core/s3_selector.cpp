@@ -1,0 +1,296 @@
+#include "s3/core/s3_selector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "s3/analysis/balance.h"
+
+namespace s3::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kCostEps = 1e-12;
+
+/// Social cost of adding `user` to `ap` given the committed state:
+/// C(AP) = Σ_{w ∈ S(AP)} θ(user, w), counting only *close* relations
+/// (θ above the graph's edge threshold). The type prior alone gives
+/// every pair a small positive θ; summing those would turn C into a
+/// station-count proxy and make S3 fight LLF's traffic balancing for
+/// users with no real ties — exactly the case the pseudocode routes to
+/// LLF ("if there are multiple candidate APs to choose, apply LLF").
+double base_cost(const social::ThetaProvider& model,
+                 const sim::ApLoadTracker& loads, UserId user, ApId ap,
+                 double threshold) {
+  double cost = 0.0;
+  loads.for_each_station(ap, [&](const sim::ActiveStation& st) {
+    const double th = model.theta(user, st.user);
+    if (threshold < 0.0 || th > threshold) cost += th;
+  });
+  return cost;
+}
+
+/// One candidate distribution of a clique over APs.
+struct Distribution {
+  std::vector<std::size_t> choice;  ///< per member: index into its candidates
+  double cost = 0.0;
+  bool feasible = true;
+};
+
+}  // namespace
+
+S3Selector::S3Selector(const wlan::Network* net,
+                       const social::ThetaProvider* model, S3Config config)
+    : net_(net), model_(model), config_(config), llf_(config.llf_metric) {
+  S3_REQUIRE(net_ != nullptr, "S3Selector: null network");
+  S3_REQUIRE(model_ != nullptr, "S3Selector: null model");
+  S3_REQUIRE(config_.theta_threshold >= 0.0, "S3Selector: bad threshold");
+  S3_REQUIRE(config_.top_fraction > 0.0 && config_.top_fraction <= 1.0,
+             "S3Selector: top_fraction outside (0,1]");
+  S3_REQUIRE(config_.beam_width >= 1, "S3Selector: beam_width must be >= 1");
+}
+
+ApId S3Selector::select_one(const sim::Arrival& arrival,
+                            const sim::ApLoadTracker& loads) {
+  S3_REQUIRE(!arrival.candidates.empty(), "S3: no candidates");
+
+  double best = kInf;
+  std::vector<ApId> ties;
+  for (ApId ap : arrival.candidates) {
+    if (config_.respect_bandwidth &&
+        loads.headroom_mbps(ap) < arrival.demand_mbps) {
+      continue;  // infinite cost (line 8–9 of Algorithm 1)
+    }
+    const double cost =
+        base_cost(*model_, loads, arrival.user, ap,
+                  config_.count_weak_ties_in_cost ? -1.0
+                                                  : config_.theta_threshold);
+    if (cost < best - kCostEps) {
+      best = cost;
+      ties.assign(1, ap);
+    } else if (cost <= best + kCostEps) {
+      ties.push_back(ap);
+    }
+  }
+  if (ties.empty()) {
+    // Every candidate violates the bandwidth constraint: the request
+    // cannot be refused, degrade to LLF over all candidates.
+    ++stats_.bandwidth_fallbacks;
+    return least_loaded(arrival, loads, config_.llf_metric);
+  }
+  if (ties.size() == 1) return ties.front();
+  // Pure tie (typically all-zero social cost): LLF, per the pseudocode.
+  return least_loaded_of(ties, loads, config_.llf_metric);
+}
+
+std::vector<ApId> S3Selector::select_batch(std::span<const sim::Arrival> batch,
+                                           const sim::ApLoadTracker& loads) {
+  if (batch.empty()) return {};
+  ++stats_.batches;
+  std::vector<ApId> result(batch.size(), kInvalidAp);
+  sim::ApLoadTracker scratch = loads;
+
+  auto commit = [&](std::size_t batch_index, ApId ap) {
+    const sim::Arrival& a = batch[batch_index];
+    scratch.associate(a.session_index, ap, a.user, a.demand_mbps);
+    result[batch_index] = ap;
+  };
+
+  // ---- Social graph over the batch (vertices = batch indices) -------
+  social::WeightedGraph graph(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (std::size_t j = i + 1; j < batch.size(); ++j) {
+      const double th = model_->theta(batch[i].user, batch[j].user);
+      if (th > config_.theta_threshold) graph.add_edge(i, j, th);
+    }
+  }
+
+  // ---- Iterative clique extraction + placement ----------------------
+  const std::vector<std::vector<std::size_t>> cover =
+      social::clique_cover(graph, config_.clique);
+
+  for (const std::vector<std::size_t>& clique : cover) {
+    if (clique.size() == 1) {
+      ++stats_.singles;
+      const sim::Arrival& a = batch[clique.front()];
+      commit(clique.front(), select_one(a, scratch));
+      continue;
+    }
+    ++stats_.cliques;
+    stats_.clique_members += clique.size();
+    stats_.largest_clique = std::max(stats_.largest_clique, clique.size());
+    place_clique_members(batch, clique, scratch, commit);
+  }
+  return result;
+}
+
+void S3Selector::place_clique_members(
+    std::span<const sim::Arrival> batch,
+    const std::vector<std::size_t>& clique, const sim::ApLoadTracker& scratch,
+    const std::function<void(std::size_t, ApId)>& commit) {
+  const std::size_t m = clique.size();
+
+  // Precompute, per member, the per-candidate base social cost against
+  // the committed state, and the intra-clique θ matrix.
+  std::vector<std::vector<double>> member_base(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const sim::Arrival& a = batch[clique[k]];
+    member_base[k].reserve(a.candidates.size());
+    for (ApId ap : a.candidates) {
+      member_base[k].push_back(base_cost(
+          *model_, scratch, a.user, ap,
+          config_.count_weak_ties_in_cost ? -1.0 : config_.theta_threshold));
+    }
+  }
+  std::vector<double> theta(m * m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double th =
+          model_->theta(batch[clique[i]].user, batch[clique[j]].user);
+      theta[i * m + j] = th;
+      theta[j * m + i] = th;
+    }
+  }
+
+  // Cost/feasibility of extending a partial distribution with member k
+  // on candidate index c, given per-AP demand already added by earlier
+  // members of this distribution.
+  auto extend_cost = [&](const Distribution& d, std::size_t k, std::size_t c,
+                         std::unordered_map<ApId, double>& added) -> double {
+    const sim::Arrival& a = batch[clique[k]];
+    const ApId ap = a.candidates[c];
+    added.clear();
+    for (std::size_t p = 0; p < k; ++p) {
+      added[batch[clique[p]].candidates[d.choice[p]]] +=
+          batch[clique[p]].demand_mbps;
+    }
+    if (config_.respect_bandwidth &&
+        scratch.headroom_mbps(ap) - added[ap] < a.demand_mbps) {
+      return kInf;
+    }
+    double cost = member_base[k][c];
+    for (std::size_t p = 0; p < k; ++p) {
+      if (batch[clique[p]].candidates[d.choice[p]] == ap) {
+        cost += theta[k * m + p];
+      }
+    }
+    return cost;
+  };
+
+  // ---- Enumerate (exact or beam) -------------------------------------
+  double space = 1.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    space *= static_cast<double>(batch[clique[k]].candidates.size());
+    if (space > 1e18) break;
+  }
+
+  std::vector<Distribution> frontier{Distribution{}};
+  const bool exact = space <= static_cast<double>(config_.enumeration_limit);
+  if (exact) {
+    ++stats_.exact_enumerations;
+  } else {
+    ++stats_.beam_searches;
+  }
+  std::unordered_map<ApId, double> added_scratchpad;
+
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t n_cand = batch[clique[k]].candidates.size();
+    std::vector<Distribution> next;
+    next.reserve(frontier.size() * n_cand);
+    for (const Distribution& d : frontier) {
+      for (std::size_t c = 0; c < n_cand; ++c) {
+        const double step = extend_cost(d, k, c, added_scratchpad);
+        Distribution e = d;
+        e.choice.push_back(c);
+        if (step == kInf) {
+          e.feasible = false;
+          e.cost = kInf;
+        } else if (e.feasible) {
+          e.cost += step;
+        }
+        next.push_back(std::move(e));
+      }
+    }
+    if (!exact && next.size() > config_.beam_width) {
+      std::nth_element(next.begin(),
+                       next.begin() + static_cast<std::ptrdiff_t>(
+                                          config_.beam_width),
+                       next.end(),
+                       [](const Distribution& a, const Distribution& b) {
+                         return a.cost < b.cost;
+                       });
+      next.resize(config_.beam_width);
+    }
+    frontier = std::move(next);
+  }
+
+  // Keep feasible distributions only; if none, place members one by one
+  // via the single-user path (which itself degrades to LLF).
+  std::vector<Distribution> feasible;
+  for (Distribution& d : frontier) {
+    if (d.feasible) feasible.push_back(std::move(d));
+  }
+  if (feasible.empty()) {
+    sim::ApLoadTracker local = scratch;
+    for (std::size_t k = 0; k < m; ++k) {
+      const sim::Arrival& a = batch[clique[k]];
+      const ApId ap = select_one(a, local);
+      local.associate(a.session_index, ap, a.user, a.demand_mbps);
+      commit(clique[k], ap);
+    }
+    return;
+  }
+
+  // Sort by total social cost; keep the cheapest top_fraction (line 6
+  // of Algorithm 1), then pick the best balance index among them.
+  std::sort(feasible.begin(), feasible.end(),
+            [](const Distribution& a, const Distribution& b) {
+              return a.cost < b.cost;
+            });
+  std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(static_cast<double>(feasible.size()) *
+                       config_.top_fraction)));
+  // Extend across cost ties at the boundary so the balance tie-break
+  // sees every distribution as cheap as the last kept one.
+  while (keep < feasible.size() &&
+         feasible[keep].cost <= feasible[keep - 1].cost + kCostEps) {
+    ++keep;
+  }
+
+  const auto domain = net_->aps_of_controller(batch[clique[0]].controller);
+  std::vector<double> loads_base(domain.size());
+  std::unordered_map<ApId, std::size_t> domain_index;
+  for (std::size_t i = 0; i < domain.size(); ++i) {
+    loads_base[i] = scratch.demand_mbps(domain[i]);
+    domain_index.emplace(domain[i], i);
+  }
+
+  const Distribution* best = &feasible.front();
+  double best_beta = -1.0;
+  std::vector<double> loads_tmp;
+  for (std::size_t i = 0; i < keep; ++i) {
+    loads_tmp = loads_base;
+    for (std::size_t k = 0; k < m; ++k) {
+      const sim::Arrival& a = batch[clique[k]];
+      const ApId ap = a.candidates[feasible[i].choice[k]];
+      const auto it = domain_index.find(ap);
+      if (it != domain_index.end()) {
+        loads_tmp[it->second] += a.demand_mbps;
+      }
+    }
+    const double beta = analysis::normalized_balance_index(loads_tmp);
+    if (beta > best_beta) {
+      best_beta = beta;
+      best = &feasible[i];
+    }
+  }
+
+  for (std::size_t k = 0; k < m; ++k) {
+    commit(clique[k], batch[clique[k]].candidates[best->choice[k]]);
+  }
+}
+
+}  // namespace s3::core

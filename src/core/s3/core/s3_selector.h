@@ -1,0 +1,112 @@
+// S3 — the Social-aware AP Selection Scheme (§IV, Algorithm 1).
+//
+// Given a batch of pending association requests, S3:
+//   1. builds a social graph over the batch (edges where θ(u,v)
+//      exceeds the threshold, 0.3 in the paper);
+//   2. repeatedly extracts a maximum clique (Östergård's algorithm;
+//      ties between maximum cliques broken by larger edge-weight sum);
+//   3. for each clique, enumerates distributions of its members over
+//      their candidate APs, sorts them by total added social cost
+//      Σ C(AP_i) with C(AP) = Σ_{w ∈ S(AP)} θ(u, w), keeps the
+//      cheapest top 30 %, and among those picks the distribution with
+//      the best (largest) normalized balance index;
+//   4. places social singletons — and resolves pure ties — with LLF,
+//      exactly as the pseudocode's fallback prescribes.
+//
+// Placements violating the per-AP bandwidth constraint Σ w(u) ≤ W(i)
+// cost infinity; if every candidate violates it, S3 degrades to LLF
+// (the association cannot be refused).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "s3/core/baselines.h"
+#include "s3/sim/selector.h"
+#include "s3/social/clique.h"
+#include "s3/social/social_index.h"
+#include "s3/wlan/network.h"
+
+namespace s3::core {
+
+struct S3Config {
+  /// Social-graph edge threshold on θ (paper: 0.3).
+  double theta_threshold = 0.3;
+  /// Fraction of cheapest distributions kept for the balance
+  /// tie-break (paper: top 30 %).
+  double top_fraction = 0.3;
+  /// Exhaustive-enumeration cap on |candidates|^|clique|; above it a
+  /// beam search over members is used instead.
+  std::size_t enumeration_limit = 20000;
+  std::size_t beam_width = 256;
+  social::CliqueConfig clique{};
+  /// Enforce Σ w(u) ≤ W(i) (Definition 1's constraint).
+  bool respect_bandwidth = true;
+  /// Whether C(AP) sums θ over *all* associated users (the literal
+  /// §IV-B formula — the type prior then acts as a type-diversity
+  /// force) or only over close relations (θ > theta_threshold, the
+  /// same rule as the social graph's edges). With weak ties counted,
+  /// C never ties, so the LLF fallback only fires on empty APs.
+  bool count_weak_ties_in_cost = false;
+  /// Load metric of the embedded LLF fallback — the *deployed*
+  /// controller policy per the pseudocode ("if there are multiple
+  /// candidate APs to choose, we simply apply LLF"), i.e. station
+  /// counts. S3's own demand estimates w(u) enter through the
+  /// bandwidth constraint and the balance-index tie-break instead.
+  LoadMetric llf_metric = LoadMetric::kStations;
+};
+
+/// Running counters a deployment would export (and tests assert on):
+/// how often each path of Algorithm 1 actually fires.
+struct S3Stats {
+  std::size_t batches = 0;
+  std::size_t singles = 0;            ///< size-1 cliques (LLF-ish path)
+  std::size_t cliques = 0;            ///< multi-member cliques placed
+  std::size_t clique_members = 0;     ///< users placed via cliques
+  std::size_t largest_clique = 0;
+  std::size_t exact_enumerations = 0;
+  std::size_t beam_searches = 0;
+  std::size_t bandwidth_fallbacks = 0;  ///< all candidates were full
+};
+
+class S3Selector final : public sim::ApSelector {
+ public:
+  /// `net` and `model` must outlive the selector. The network is used
+  /// to evaluate the balance index over whole controller domains when
+  /// tie-breaking clique distributions. `model` is any ThetaProvider —
+  /// a frozen trained SocialIndexModel or a live OnlineSocialModel.
+  S3Selector(const wlan::Network* net, const social::ThetaProvider* model,
+             S3Config config = {});
+
+  std::string_view name() const override { return "S3"; }
+
+  /// Single-arrival path: AP minimizing the social-cost increment
+  /// C(AP), bandwidth-feasible, LLF on ties.
+  ApId select_one(const sim::Arrival& arrival,
+                  const sim::ApLoadTracker& loads) override;
+
+  /// Algorithm 1 over the whole batch.
+  std::vector<ApId> select_batch(std::span<const sim::Arrival> batch,
+                                 const sim::ApLoadTracker& loads) override;
+
+  const S3Config& config() const noexcept { return config_; }
+  const S3Stats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Places one multi-member clique (steps 5–7 of Algorithm 1) against
+  /// the already-committed scratch state; `commit` receives
+  /// (batch index, chosen AP) per member.
+  void place_clique_members(std::span<const sim::Arrival> batch,
+                            const std::vector<std::size_t>& clique,
+                            const sim::ApLoadTracker& scratch,
+                            const std::function<void(std::size_t, ApId)>& commit);
+
+  const wlan::Network* net_;
+  const social::ThetaProvider* model_;
+  S3Config config_;
+  LlfSelector llf_;
+  S3Stats stats_;
+};
+
+}  // namespace s3::core

@@ -1,0 +1,57 @@
+// Discrete-event queue: the core of the trace-driven simulator.
+//
+// A stable min-heap over (time, sequence) so that events at equal
+// timestamps pop in insertion order — determinism again (the replay
+// engine relies on arrivals at the same second keeping trace order).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "s3/util/sim_time.h"
+
+namespace s3::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    util::SimTime time;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void push(util::SimTime time, Payload payload) {
+    heap_.push(Event{time, next_seq_++, std::move(payload)});
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  const Event& top() const { return heap_.top(); }
+  util::SimTime next_time() const { return heap_.top().time; }
+
+  Event pop() {
+    // priority_queue::top() is const; moving out right before pop() is
+    // safe (the moved-from element is removed immediately) and keeps
+    // move-only payloads usable.
+    Event e = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace s3::sim

@@ -1,0 +1,140 @@
+#include "s3/sim/replay.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace s3::sim {
+
+namespace {
+
+struct PendingBatch {
+  std::vector<Arrival> arrivals;
+  util::SimTime deadline;  // only meaningful when !arrivals.empty()
+};
+
+struct Departure {
+  util::SimTime when;
+  std::size_t session_index;
+  ApId ap;
+  UserId user;
+};
+
+struct DepartureLater {
+  bool operator()(const Departure& a, const Departure& b) const noexcept {
+    if (a.when != b.when) return a.when > b.when;
+    return a.session_index > b.session_index;
+  }
+};
+
+}  // namespace
+
+ReplayResult replay(const wlan::Network& net, const trace::Trace& workload,
+                    ApSelector& policy, const ReplayConfig& config) {
+  S3_REQUIRE(config.dispatch_window_s >= 0,
+             "replay: negative dispatch window");
+
+  const auto sessions = workload.sessions();
+  std::vector<ApId> assignment(sessions.size(), kInvalidAp);
+
+  ApLoadTracker tracker(net);
+  std::priority_queue<Departure, std::vector<Departure>, DepartureLater>
+      departures;
+  std::vector<PendingBatch> pending(net.num_controllers());
+
+  ReplayStats stats;
+  stats.num_sessions = sessions.size();
+
+  auto flush = [&](ControllerId c) {
+    PendingBatch& batch = pending[c];
+    if (batch.arrivals.empty()) return;
+    const std::vector<ApId> chosen =
+        policy.select_batch(batch.arrivals, tracker);
+    S3_ASSERT(chosen.size() == batch.arrivals.size(),
+              "replay: policy returned wrong batch arity");
+    for (std::size_t i = 0; i < chosen.size(); ++i) {
+      const Arrival& a = batch.arrivals[i];
+      const ApId ap = chosen[i];
+      S3_ASSERT(std::find(a.candidates.begin(), a.candidates.end(), ap) !=
+                    a.candidates.end(),
+                "replay: policy picked an AP outside the candidate set");
+      if (tracker.headroom_mbps(ap) < a.demand_mbps) {
+        ++stats.forced_overloads;
+      }
+      tracker.associate(a.session_index, ap, a.user, a.demand_mbps);
+      assignment[a.session_index] = ap;
+      policy.on_associate(a, ap);
+      departures.push(Departure{sessions[a.session_index].disconnect,
+                                a.session_index, ap, a.user});
+    }
+    ++stats.num_batches;
+    stats.max_batch_size = std::max(stats.max_batch_size,
+                                    batch.arrivals.size());
+    batch.arrivals.clear();
+  };
+
+  auto min_flush_deadline = [&]() {
+    util::SimTime best = util::SimTime(std::numeric_limits<std::int64_t>::max());
+    ControllerId who = kInvalidController;
+    for (ControllerId c = 0; c < pending.size(); ++c) {
+      if (!pending[c].arrivals.empty() && pending[c].deadline < best) {
+        best = pending[c].deadline;
+        who = c;
+      }
+    }
+    return std::pair{best, who};
+  };
+
+  std::size_t next_arrival = 0;
+  const auto inf = util::SimTime(std::numeric_limits<std::int64_t>::max());
+
+  while (true) {
+    const util::SimTime ta =
+        next_arrival < sessions.size() ? sessions[next_arrival].connect : inf;
+    const util::SimTime td = departures.empty() ? inf : departures.top().when;
+    const auto [tf, flush_ctrl] = min_flush_deadline();
+
+    if (ta == inf && td == inf && flush_ctrl == kInvalidController) break;
+
+    // Tie order at equal timestamps: departures free capacity first,
+    // then new arrivals join their batch, then due batches flush.
+    if (td <= ta && td <= tf) {
+      const Departure d = departures.top();
+      departures.pop();
+      tracker.disconnect(d.session_index, d.ap);
+      policy.on_disconnect(d.session_index, d.user, d.ap, d.when);
+      continue;
+    }
+    if (ta <= tf) {
+      const trace::SessionRecord& s = sessions[next_arrival];
+      Arrival a;
+      a.session_index = next_arrival;
+      a.user = s.user;
+      a.controller = net.controller_of_building(s.building);
+      a.connect = s.connect;
+      a.demand_mbps = s.demand_mbps;
+      a.candidates = wlan::candidate_aps(net, config.radio, s.building, s.pos);
+      ++next_arrival;
+
+      PendingBatch& batch = pending[a.controller];
+      if (batch.arrivals.empty()) {
+        batch.deadline =
+            a.connect + util::SimTime(config.dispatch_window_s);
+      }
+      const ControllerId c = a.controller;
+      batch.arrivals.push_back(std::move(a));
+      if (config.dispatch_window_s == 0) flush(c);
+      continue;
+    }
+    flush(flush_ctrl);
+  }
+
+  stats.mean_batch_size =
+      stats.num_batches > 0
+          ? static_cast<double>(stats.num_sessions) /
+                static_cast<double>(stats.num_batches)
+          : 0.0;
+
+  return ReplayResult{workload.with_assignments(assignment), stats};
+}
+
+}  // namespace s3::sim

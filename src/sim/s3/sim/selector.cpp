@@ -1,0 +1,18 @@
+#include "s3/sim/selector.h"
+
+namespace s3::sim {
+
+std::vector<ApId> ApSelector::select_batch(std::span<const Arrival> batch,
+                                           const ApLoadTracker& loads) {
+  ApLoadTracker scratch = loads;
+  std::vector<ApId> out;
+  out.reserve(batch.size());
+  for (const Arrival& a : batch) {
+    const ApId ap = select_one(a, scratch);
+    scratch.associate(a.session_index, ap, a.user, a.demand_mbps);
+    out.push_back(ap);
+  }
+  return out;
+}
+
+}  // namespace s3::sim

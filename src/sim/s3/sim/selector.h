@@ -1,0 +1,61 @@
+// AP-selection policy interface.
+//
+// A controller hands the policy a batch of pending association requests
+// (arrivals observed within one dispatch window, all in the same
+// controller domain) together with the current association state, and
+// receives one AP per arrival. Baselines (LLF, strongest-RSSI, random)
+// implement select_one and inherit the sequential batch loop; S3
+// overrides select_batch to run its clique-dispersion algorithm on the
+// whole batch.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "s3/sim/load_state.h"
+#include "s3/util/ids.h"
+#include "s3/util/sim_time.h"
+
+namespace s3::sim {
+
+/// One pending association request.
+struct Arrival {
+  std::size_t session_index = 0;  ///< index into the workload trace
+  UserId user = kInvalidUser;
+  ControllerId controller = kInvalidController;
+  util::SimTime connect;
+  /// Estimated offered rate w(u) (from the user's history in a real
+  /// deployment; the generator's ground-truth demand here).
+  double demand_mbps = 0.0;
+  /// Audible APs, strongest RSSI first. Never empty.
+  std::vector<ApId> candidates;
+};
+
+class ApSelector {
+ public:
+  virtual ~ApSelector() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Picks an AP for one arrival given the current loads. Must return
+  /// one of arrival.candidates.
+  virtual ApId select_one(const Arrival& arrival,
+                          const ApLoadTracker& loads) = 0;
+
+  /// Places a whole batch. The default assigns sequentially, applying
+  /// each placement to a scratch copy of the load state so that later
+  /// picks see earlier ones (LLF spreading a burst of arrivals).
+  /// Returned vector is aligned with `batch`.
+  virtual std::vector<ApId> select_batch(std::span<const Arrival> batch,
+                                         const ApLoadTracker& loads);
+
+  /// Notification that the engine committed a placement (policies that
+  /// maintain internal state — e.g. S3's view of who is where — hook
+  /// these).
+  virtual void on_associate(const Arrival& /*arrival*/, ApId /*ap*/) {}
+  virtual void on_disconnect(std::size_t /*session_index*/, UserId /*user*/,
+                             ApId /*ap*/, util::SimTime /*when*/) {}
+};
+
+}  // namespace s3::sim

@@ -1,0 +1,255 @@
+#include "s3/social/clique.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace s3::social {
+
+std::vector<std::size_t> greedy_coloring(const WeightedGraph& g) {
+  const std::size_t n = g.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const std::size_t da = g.degree(a), db = g.degree(b);
+    if (da != db) return da > db;  // largest degree first
+    return a < b;
+  });
+
+  std::vector<std::size_t> color(n, 0);
+  std::vector<bool> used;
+  for (std::size_t v : order) {
+    used.assign(n, false);
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u != v && g.adjacent(u, v)) used[color[u]] = true;
+    }
+    // Vertices not yet coloured have colour 0 marked used spuriously
+    // only if adjacent; the first free colour is still correct because
+    // an uncoloured neighbour's slot-0 mark merely biases upward.
+    std::size_t c = 0;
+    while (c < n && used[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+namespace {
+
+/// Östergård search state over the colour-ordered, permuted graph.
+class OstergardSearch {
+ public:
+  OstergardSearch(const WeightedGraph& g, const CliqueConfig& cfg)
+      : g_(g), cfg_(cfg), n_(g.size()), c_(n_, 0), suffix_(n_, Bitset(n_)) {
+    // Order: colour ascending, then degree descending — small-colour
+    // (sparse) vertices end up late, matching Östergård's suffix walk.
+    const std::vector<std::size_t> color = greedy_coloring(g);
+    order_.resize(n_);
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    std::sort(order_.begin(), order_.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (color[a] != color[b]) return color[a] < color[b];
+                const std::size_t da = g.degree(a), db = g.degree(b);
+                if (da != db) return da > db;
+                return a < b;
+              });
+
+    // Permuted adjacency.
+    adj_.assign(n_, Bitset(n_));
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        if (g.adjacent(order_[i], order_[j])) {
+          adj_[i].set(j);
+          adj_[j].set(i);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i; j < n_; ++j) suffix_[i].set(j);
+    }
+  }
+
+  CliqueResult run() {
+    if (n_ == 0) return {};
+    for (std::size_t idx = n_; idx-- > 0;) {
+      found_ = false;
+      stack_.assign(1, idx);
+      Bitset u = adj_[idx] & suffix_[idx];
+      expand(u, 1, 0.0);
+      c_[idx] = best_size_;
+      if (aborted_) break;
+    }
+    CliqueResult result;
+    result.vertices.reserve(best_.size());
+    for (std::size_t i : best_) result.vertices.push_back(order_[i]);
+    std::sort(result.vertices.begin(), result.vertices.end());
+    result.internal_weight = best_weight_;
+    result.nodes_explored = nodes_;
+    result.exact = !aborted_;
+    return result;
+  }
+
+ private:
+  double edge_weight(std::size_t i, std::size_t j) const {
+    return g_.weight(order_[i], order_[j]);
+  }
+
+  void record_leaf(std::size_t size, double weight) {
+    if (size > best_size_ ||
+        (cfg_.weight_tie_break && size == best_size_ &&
+         weight > best_weight_)) {
+      if (size > best_size_) found_ = true;
+      best_size_ = size;
+      best_weight_ = weight;
+      best_ = stack_;
+    }
+  }
+
+  /// Prune when even the optimistic bound cannot beat the incumbent
+  /// (cannot *tie* it either, when weight ties matter).
+  bool hopeless(std::size_t optimistic) const {
+    if (optimistic < best_size_) return true;
+    return optimistic == best_size_ && !cfg_.weight_tie_break;
+  }
+
+  void expand(Bitset u, std::size_t size, double weight) {
+    if (aborted_) return;
+    if (++nodes_ > cfg_.node_budget) {
+      aborted_ = true;
+      return;
+    }
+    if (!u.any()) {
+      record_leaf(size, weight);
+      return;
+    }
+    while (u.any()) {
+      if (hopeless(size + u.count())) return;
+      const std::size_t i = u.first();
+      if (hopeless(size + c_[i])) return;
+      u.reset(i);
+
+      double w2 = weight;
+      for (std::size_t v : stack_) w2 += edge_weight(i, v);
+      stack_.push_back(i);
+      expand(u & adj_[i], size + 1, w2);
+      stack_.pop_back();
+
+      if (aborted_) return;
+      // Strict-improvement early exit (Östergård): within suffix i the
+      // best possible is c_[i+1] + 1, already achieved.
+      if (found_ && !cfg_.weight_tie_break) return;
+    }
+    // All extensions pruned/explored: this node is itself maximal
+    // within the remaining candidate order only if u started empty,
+    // handled above.
+  }
+
+  const WeightedGraph& g_;
+  const CliqueConfig cfg_;
+  std::size_t n_;
+  std::vector<std::size_t> order_;
+  std::vector<Bitset> adj_;
+  std::vector<std::size_t> c_;
+  std::vector<Bitset> suffix_;
+
+  std::vector<std::size_t> stack_;
+  std::vector<std::size_t> best_;
+  std::size_t best_size_ = 0;
+  double best_weight_ = -1.0;
+  bool found_ = false;
+  bool aborted_ = false;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+CliqueResult max_clique(const WeightedGraph& g, const CliqueConfig& config) {
+  return OstergardSearch(g, config).run();
+}
+
+CliqueResult greedy_clique(const WeightedGraph& g) {
+  CliqueResult result;
+  const std::size_t n = g.size();
+  if (n == 0) return result;
+
+  // Seed: highest degree, weight-sum tie-break.
+  std::size_t seed = 0;
+  double seed_weight = -1.0;
+  for (std::size_t v = 0; v < n; ++v) {
+    double w = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u != v && g.adjacent(u, v)) w += g.weight(u, v);
+    }
+    if (g.degree(v) > g.degree(seed) ||
+        (g.degree(v) == g.degree(seed) && w > seed_weight)) {
+      seed = v;
+      seed_weight = w;
+    }
+  }
+
+  std::vector<std::size_t> clique{seed};
+  Bitset candidates = g.neighbors(seed);
+  while (candidates.any()) {
+    // Pick the candidate with the most neighbours among the remaining
+    // candidates (it keeps the most options open), weight tie-break.
+    std::size_t best = n;
+    std::size_t best_deg = 0;
+    double best_w = -1.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!candidates.test(v)) continue;
+      const Bitset remaining = candidates & g.neighbors(v);
+      const std::size_t deg = remaining.count();
+      double w = 0.0;
+      for (std::size_t u : clique) w += g.weight(u, v);
+      if (best == n || deg > best_deg ||
+          (deg == best_deg && w > best_w)) {
+        best = v;
+        best_deg = deg;
+        best_w = w;
+      }
+    }
+    clique.push_back(best);
+    candidates &= g.neighbors(best);
+  }
+  std::sort(clique.begin(), clique.end());
+  result.internal_weight = g.internal_weight(clique);
+  result.vertices = std::move(clique);
+  result.nodes_explored = n;
+  result.exact = false;  // heuristic: no optimality guarantee
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> clique_cover(const WeightedGraph& g,
+                                                   const CliqueConfig& config) {
+  std::vector<std::vector<std::size_t>> cover;
+  // current-index -> original-index mapping.
+  std::vector<std::size_t> to_original(g.size());
+  std::iota(to_original.begin(), to_original.end(), std::size_t{0});
+
+  WeightedGraph current = g;
+  while (current.size() > 0) {
+    const CliqueResult r = max_clique(current, config);
+    S3_ASSERT(!r.vertices.empty(), "clique_cover: empty clique on non-empty graph");
+
+    if (r.vertices.size() == 1 && current.num_edges() == 0) {
+      // Only isolated vertices remain: emit them all as singletons.
+      for (std::size_t v = 0; v < current.size(); ++v) {
+        cover.push_back({to_original[v]});
+      }
+      break;
+    }
+
+    std::vector<std::size_t> originals;
+    originals.reserve(r.vertices.size());
+    for (std::size_t v : r.vertices) originals.push_back(to_original[v]);
+    cover.push_back(originals);
+
+    std::vector<std::size_t> keep;
+    current = current.without(r.vertices, &keep);
+    std::vector<std::size_t> next_map;
+    next_map.reserve(keep.size());
+    for (std::size_t v : keep) next_map.push_back(to_original[v]);
+    to_original = std::move(next_map);
+  }
+  return cover;
+}
+
+}  // namespace s3::social

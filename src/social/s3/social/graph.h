@@ -1,0 +1,133 @@
+// Weighted undirected graph over a working set of users, with dynamic
+// bitset adjacency — the representation the clique machinery runs on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "s3/util/error.h"
+
+namespace s3::social {
+
+/// Fixed-capacity bitset sized at construction; supports the set
+/// operations the Östergård search needs.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t capacity() const noexcept { return bits_; }
+
+  void set(std::size_t i) {
+    S3_REQUIRE(i < bits_, "Bitset::set out of range");
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+  void reset(std::size_t i) {
+    S3_REQUIRE(i < bits_, "Bitset::reset out of range");
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  bool test(std::size_t i) const {
+    S3_REQUIRE(i < bits_, "Bitset::test out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  bool any() const noexcept {
+    for (std::uint64_t w : words_) {
+      if (w) return true;
+    }
+    return false;
+  }
+
+  std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// Lowest set bit, or capacity() if none.
+  std::size_t first() const noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w]) {
+        return (w << 6) +
+               static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+      }
+    }
+    return bits_;
+  }
+
+  Bitset& operator&=(const Bitset& o) {
+    S3_REQUIRE(bits_ == o.bits_, "Bitset: size mismatch");
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+    return *this;
+  }
+
+  friend Bitset operator&(Bitset a, const Bitset& b) {
+    a &= b;
+    return a;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Undirected weighted graph on vertices 0..n-1 (the caller maps
+/// vertices to UserIds).
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(std::size_t n)
+      : n_(n), adj_(n, Bitset(n)), weights_(n * n, 0.0) {}
+
+  std::size_t size() const noexcept { return n_; }
+
+  void add_edge(std::size_t u, std::size_t v, double weight) {
+    S3_REQUIRE(u < n_ && v < n_, "add_edge: vertex out of range");
+    S3_REQUIRE(u != v, "add_edge: self loop");
+    adj_[u].set(v);
+    adj_[v].set(u);
+    weights_[u * n_ + v] = weight;
+    weights_[v * n_ + u] = weight;
+  }
+
+  bool adjacent(std::size_t u, std::size_t v) const {
+    S3_REQUIRE(u < n_ && v < n_, "adjacent: vertex out of range");
+    return adj_[u].test(v);
+  }
+
+  double weight(std::size_t u, std::size_t v) const {
+    S3_REQUIRE(u < n_ && v < n_, "weight: vertex out of range");
+    return weights_[u * n_ + v];
+  }
+
+  const Bitset& neighbors(std::size_t u) const {
+    S3_REQUIRE(u < n_, "neighbors: vertex out of range");
+    return adj_[u];
+  }
+
+  std::size_t degree(std::size_t u) const { return neighbors(u).count(); }
+
+  std::size_t num_edges() const noexcept {
+    std::size_t twice = 0;
+    for (const Bitset& b : adj_) twice += b.count();
+    return twice / 2;
+  }
+
+  /// Sum of edge weights inside a vertex subset.
+  double internal_weight(const std::vector<std::size_t>& vertices) const;
+
+  /// True iff every pair in `vertices` is adjacent.
+  bool is_clique(const std::vector<std::size_t>& vertices) const;
+
+  /// Copy of this graph with `vertices` (and incident edges) removed;
+  /// `remap_out`, if non-null, receives new-index -> old-index.
+  WeightedGraph without(const std::vector<std::size_t>& vertices,
+                        std::vector<std::size_t>* remap_out = nullptr) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Bitset> adj_;
+  std::vector<double> weights_;
+};
+
+}  // namespace s3::social

@@ -1,0 +1,197 @@
+#include "s3/social/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace s3::social {
+
+namespace {
+
+constexpr std::string_view kMagic = "# s3lb social model v1";
+
+}  // namespace
+
+bool write_model(std::ostream& os, const SocialIndexModel& model) {
+  os.precision(17);
+  const UserTyping& typing = model.typing();
+  os << kMagic << '\n';
+  os << "alpha " << model.alpha() << '\n';
+  os << "co_leave_window_s "
+     << model.config().events.co_leave_window.seconds() << '\n';
+  os << "min_encounter_overlap_s "
+     << model.config().events.min_encounter_overlap.seconds() << '\n';
+  os << "users " << typing.type_of_user.size() << '\n';
+  os << "types " << typing.num_types << '\n';
+
+  os << "type_of_user";
+  for (std::size_t t : typing.type_of_user) os << ' ' << t;
+  os << '\n';
+
+  os << "centroids";
+  for (double v : typing.centroids) os << ' ' << v;
+  os << '\n';
+
+  os << "matrix";
+  const TypeCoLeaveMatrix& m = model.type_matrix();
+  for (std::size_t i = 0; i < m.num_types(); ++i) {
+    for (std::size_t j = 0; j < m.num_types(); ++j) os << ' ' << m.at(i, j);
+  }
+  os << '\n';
+
+  os << "pairs " << model.pair_stats().size() << '\n';
+  for (const auto& [pair, stats] : model.pair_stats()) {
+    os << pair.a << ' ' << pair.b << ' ' << stats.encounters << ' '
+       << stats.co_leaves << ' ' << stats.co_comings << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+bool write_model_file(const std::string& path, const SocialIndexModel& model) {
+  std::ofstream os(path);
+  return os && write_model(os, model);
+}
+
+ModelReadResult read_model(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    return {std::nullopt, "missing model magic line"};
+  }
+
+  SocialModelConfig config;
+  std::size_t num_users = 0, num_types = 0, num_pairs = 0;
+  UserTyping typing;
+  std::vector<double> matrix_values;
+
+  auto fail = [](const std::string& why) {
+    return ModelReadResult{std::nullopt, why};
+  };
+
+  // alpha
+  std::string key;
+  {
+    std::getline(is, line);
+    std::istringstream ls(line);
+    if (!(ls >> key >> config.alpha) || key != "alpha") {
+      return fail("bad alpha line");
+    }
+    if (config.alpha < 0.0) return fail("negative alpha");
+  }
+  {
+    std::getline(is, line);
+    std::istringstream ls(line);
+    std::int64_t v = 0;
+    if (!(ls >> key >> v) || key != "co_leave_window_s" || v <= 0) {
+      return fail("bad co_leave_window_s line");
+    }
+    config.events.co_leave_window = util::SimTime(v);
+  }
+  {
+    std::getline(is, line);
+    std::istringstream ls(line);
+    std::int64_t v = 0;
+    if (!(ls >> key >> v) || key != "min_encounter_overlap_s" || v <= 0) {
+      return fail("bad min_encounter_overlap_s line");
+    }
+    config.events.min_encounter_overlap = util::SimTime(v);
+  }
+  {
+    std::getline(is, line);
+    std::istringstream ls(line);
+    if (!(ls >> key >> num_users) || key != "users" || num_users == 0) {
+      return fail("bad users line");
+    }
+  }
+  {
+    std::getline(is, line);
+    std::istringstream ls(line);
+    if (!(ls >> key >> num_types) || key != "types" || num_types == 0) {
+      return fail("bad types line");
+    }
+  }
+  {
+    std::getline(is, line);
+    std::istringstream ls(line);
+    if (!(ls >> key) || key != "type_of_user") {
+      return fail("bad type_of_user line");
+    }
+    typing.type_of_user.reserve(num_users);
+    std::size_t t;
+    while (ls >> t) {
+      if (t >= num_types) return fail("type id out of range");
+      typing.type_of_user.push_back(t);
+    }
+    if (typing.type_of_user.size() != num_users) {
+      return fail("type_of_user arity mismatch");
+    }
+  }
+  {
+    std::getline(is, line);
+    std::istringstream ls(line);
+    if (!(ls >> key) || key != "centroids") return fail("bad centroids line");
+    double v;
+    while (ls >> v) typing.centroids.push_back(v);
+    if (typing.centroids.size() != num_types * apps::kNumCategories) {
+      return fail("centroids arity mismatch");
+    }
+  }
+  {
+    std::getline(is, line);
+    std::istringstream ls(line);
+    if (!(ls >> key) || key != "matrix") return fail("bad matrix line");
+    double v;
+    while (ls >> v) matrix_values.push_back(v);
+    if (matrix_values.size() != num_types * num_types) {
+      return fail("matrix arity mismatch");
+    }
+  }
+  {
+    std::getline(is, line);
+    std::istringstream ls(line);
+    if (!(ls >> key >> num_pairs) || key != "pairs") {
+      return fail("bad pairs line");
+    }
+  }
+
+  typing.num_types = num_types;
+  TypeCoLeaveMatrix matrix(num_types);
+  for (std::size_t i = 0; i < num_types; ++i) {
+    for (std::size_t j = i; j < num_types; ++j) {
+      const double a = matrix_values[i * num_types + j];
+      const double b = matrix_values[j * num_types + i];
+      if (a != b) return fail("matrix not symmetric");
+      matrix.set(i, j, a);
+    }
+  }
+
+  analysis::PairStatsMap stats;
+  stats.reserve(num_pairs);
+  for (std::size_t p = 0; p < num_pairs; ++p) {
+    if (!std::getline(is, line)) return fail("truncated pair list");
+    std::istringstream ls(line);
+    UserId a, b;
+    analysis::PairEventStats ps;
+    if (!(ls >> a >> b >> ps.encounters >> ps.co_leaves >> ps.co_comings)) {
+      return fail("bad pair row " + std::to_string(p));
+    }
+    if (a >= num_users || b >= num_users || a == b) {
+      return fail("pair row " + std::to_string(p) + ": bad user ids");
+    }
+    if (ps.co_leaves > ps.encounters) {
+      return fail("pair row " + std::to_string(p) +
+                  ": co_leaves exceed encounters");
+    }
+    stats[UserPair(a, b)] = ps;
+  }
+
+  return {SocialIndexModel::from_parts(config, std::move(stats),
+                                       std::move(typing), std::move(matrix)),
+          ""};
+}
+
+ModelReadResult read_model_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return {std::nullopt, "cannot open " + path};
+  return read_model(is);
+}
+
+}  // namespace s3::social

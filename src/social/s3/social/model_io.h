@@ -1,0 +1,31 @@
+// SocialIndexModel persistence.
+//
+// A controller trains over weeks of logs; the learned state must
+// survive restarts and be shippable between controllers. The format is
+// a line-oriented text file: header, typing block, type matrix block,
+// then one line per pair with encounter/co-leave/co-come counts.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "s3/social/social_index.h"
+
+namespace s3::social {
+
+/// Writes the model; returns false on stream failure.
+bool write_model(std::ostream& os, const SocialIndexModel& model);
+bool write_model_file(const std::string& path, const SocialIndexModel& model);
+
+struct ModelReadResult {
+  std::optional<SocialIndexModel> model;
+  std::string error;  ///< set when model is nullopt
+};
+
+/// Parses a model written by write_model. Validates counts, matrix
+/// symmetry and id ranges; malformed input yields a row-numbered error.
+ModelReadResult read_model(std::istream& is);
+ModelReadResult read_model_file(const std::string& path);
+
+}  // namespace s3::social

@@ -1,0 +1,65 @@
+#include "s3/social/social_index.h"
+
+#include <utility>
+
+namespace s3::social {
+
+SocialIndexModel SocialIndexModel::train(const trace::Trace& training,
+                                         const SocialModelConfig& config) {
+  S3_REQUIRE(training.fully_assigned(),
+             "SocialIndexModel::train: training trace must be assigned");
+  S3_REQUIRE(config.alpha >= 0.0, "SocialIndexModel::train: negative alpha");
+  S3_REQUIRE(config.history_days >= 0,
+             "SocialIndexModel::train: negative history");
+
+  // Optionally restrict to the last `history_days` days of the trace
+  // (Fig. 11's look-back sweep).
+  trace::Trace window = training;
+  if (config.history_days > 0) {
+    const util::SimTime end = training.end_time();
+    const util::SimTime begin =
+        end - util::SimTime::from_days(config.history_days);
+    window = training.slice(begin, end);
+  }
+
+  SocialIndexModel model;
+  model.config_ = config;
+  model.stats_ = analysis::extract_pair_stats(window, config.events);
+
+  const apps::ProfileStore profiles = analysis::build_profiles(window);
+  model.typing_ = cluster_users(profiles.normalized_profiles(), config.typing);
+  model.matrix_ = estimate_type_matrix(model.typing_, model.stats_);
+  return model;
+}
+
+double SocialIndexModel::co_leave_probability(UserId u, UserId v) const {
+  if (u == v) return 0.0;
+  const auto it = stats_.find(UserPair(u, v));
+  if (it == stats_.end()) return 0.0;
+  if (it->second.encounters < config_.min_encounters) return 0.0;
+  return it->second.co_leave_probability();
+}
+
+double SocialIndexModel::theta(UserId u, UserId v) const {
+  if (u == v) return 0.0;
+  S3_REQUIRE(u < num_users() && v < num_users(), "theta: user out of range");
+  const double type_term =
+      matrix_.num_types() > 0
+          ? matrix_.at(typing_.type(u), typing_.type(v))
+          : 0.0;
+  return co_leave_probability(u, v) + config_.alpha * type_term;
+}
+
+SocialIndexModel SocialIndexModel::from_parts(SocialModelConfig config,
+                                              analysis::PairStatsMap stats,
+                                              UserTyping typing,
+                                              TypeCoLeaveMatrix matrix) {
+  SocialIndexModel model;
+  model.config_ = std::move(config);
+  model.stats_ = std::move(stats);
+  model.typing_ = std::move(typing);
+  model.matrix_ = std::move(matrix);
+  return model;
+}
+
+}  // namespace s3::social

@@ -1,0 +1,90 @@
+// The social relation index (§IV):
+//
+//   θ(u,v) = P( L(u,v) | E(u,v) ) + α · T(type_u, type_v)
+//
+// P(L|E) comes from the pair's own encounter history; the type term is
+// the Table-I prior that covers pairs that never met. A trained model
+// is the knowledge base S3 queries at selection time.
+#pragma once
+
+#include <cstdint>
+
+#include "s3/analysis/events.h"
+#include "s3/analysis/profiles.h"
+#include "s3/social/typing.h"
+#include "s3/trace/trace.h"
+
+namespace s3::social {
+
+struct SocialModelConfig {
+  /// Weight of the type prior (the paper sweeps 0.1/0.3/0.5; 0.3 wins).
+  double alpha = 0.3;
+  /// Event-extraction windows (5-minute co-leaving is the paper's
+  /// optimum).
+  analysis::EventExtractionConfig events{};
+  UserTypingConfig typing{};
+  /// Days of history to learn from, counted back from the end of the
+  /// training trace; 0 = use everything (the paper finds ≥15 days is
+  /// saturated, Fig. 11).
+  int history_days = 0;
+  /// Noise suppression (§III-D: fake social relationships are
+  /// "diminished by aggregating multiple common events"): pairs with
+  /// fewer encounters than this contribute no P(L|E) term — only the
+  /// type prior. 1 = no suppression.
+  std::uint32_t min_encounters = 1;
+};
+
+/// Anything that can answer "how socially tied are u and v?". The
+/// selection algorithm depends only on this, so a frozen trained model
+/// and a continuously-updated online model are interchangeable.
+class ThetaProvider {
+ public:
+  virtual ~ThetaProvider() = default;
+
+  /// The social relation index θ(u,v) ≥ 0. Symmetric; 0 for u == v.
+  virtual double theta(UserId u, UserId v) const = 0;
+
+  /// Number of users the provider knows about (ids must be < this).
+  virtual std::size_t num_users() const = 0;
+};
+
+class SocialIndexModel : public ThetaProvider {
+ public:
+  SocialIndexModel() = default;
+
+  /// Learns from an *assigned* training trace (the operator's logs):
+  /// extracts pairwise encounter/co-leave statistics, clusters users
+  /// into types from their application profiles, and estimates the
+  /// type matrix.
+  static SocialIndexModel train(const trace::Trace& assigned_training,
+                                const SocialModelConfig& config = {});
+
+  /// The social relation index θ(u,v). Symmetric; 0 for u == v.
+  double theta(UserId u, UserId v) const override;
+
+  /// The pair-history term P(L|E) alone.
+  double co_leave_probability(UserId u, UserId v) const;
+
+  const UserTyping& typing() const noexcept { return typing_; }
+  const TypeCoLeaveMatrix& type_matrix() const noexcept { return matrix_; }
+  const analysis::PairStatsMap& pair_stats() const noexcept { return stats_; }
+  double alpha() const noexcept { return config_.alpha; }
+  const SocialModelConfig& config() const noexcept { return config_; }
+  std::size_t num_users() const noexcept override {
+    return typing_.type_of_user.size();
+  }
+
+  /// Builds a model directly from parts (tests, serialization).
+  static SocialIndexModel from_parts(SocialModelConfig config,
+                                     analysis::PairStatsMap stats,
+                                     UserTyping typing,
+                                     TypeCoLeaveMatrix matrix);
+
+ private:
+  SocialModelConfig config_{};
+  analysis::PairStatsMap stats_;
+  UserTyping typing_;
+  TypeCoLeaveMatrix matrix_;
+};
+
+}  // namespace s3::social

@@ -1,0 +1,358 @@
+#include "s3/trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace s3::trace {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+double gaussian_bump(double h, double mu, double sigma, double amp) noexcept {
+  const double z = (h - mu) / sigma;
+  return amp * std::exp(-0.5 * z * z);
+}
+
+/// Clamps a point into a building's floor plan (1 m margin).
+wlan::Position clamp_into(const wlan::BuildingConfig& b,
+                          wlan::Position p) noexcept {
+  p.x = std::clamp(p.x, b.origin.x + 1.0, b.origin.x + b.width_m - 1.0);
+  p.y = std::clamp(p.y, b.origin.y + 1.0, b.origin.y + b.depth_m - 1.0);
+  return p;
+}
+
+bool is_weekday(std::int64_t day) noexcept { return day % 7 < 5; }
+
+}  // namespace
+
+std::array<apps::AppMix, kNumArchetypes> archetype_centroids() {
+  // Over (IM, P2P, music, email, video, web); rows sum to 1. Shapes
+  // mirror the four Fig. 8 centroids.
+  return {{
+      {0.30, 0.05, 0.08, 0.12, 0.10, 0.35},  // type1: IM + web
+      {0.05, 0.55, 0.05, 0.03, 0.17, 0.15},  // type2: P2P dominated
+      {0.07, 0.10, 0.08, 0.05, 0.50, 0.20},  // type3: video streamer
+      {0.08, 0.04, 0.06, 0.32, 0.10, 0.40},  // type4: email + web worker
+  }};
+}
+
+std::array<double, kNumArchetypes> archetype_mean_rate_mbps() {
+  // Heavy-tailed across types: a P2P seeder moves ~20x the bytes of a
+  // messaging-centric user (the 2012 campus reality; §III-A's top-30
+  // apps are dominated by P2P/video volume). This is what makes
+  // station-count balancing a poor proxy for traffic balance.
+  return {0.12, 2.00, 1.30, 0.10};
+}
+
+double diurnal_arrival_weight(std::int64_t second_of_day) noexcept {
+  const double h = static_cast<double>(second_of_day) / 3600.0;
+  // Near-zero at night, throughput peaks at 10:00–11:00 and 15:00–16:00
+  // (§III-B), plus an evening shoulder that feeds the 21:00–22:00
+  // leave-peak.
+  double w = 0.02;
+  w += gaussian_bump(h, 10.5, 1.1, 1.00);
+  w += gaussian_bump(h, 12.4, 0.8, 0.60);  // canteen / dorm lunch surge
+  w += gaussian_bump(h, 15.5, 1.3, 0.95);
+  w += gaussian_bump(h, 19.8, 1.6, 0.70);
+  w += gaussian_bump(h, 21.8, 0.9, 0.45);  // evening dorm activity
+  if (h < 6.5) w *= 0.15;  // dormitory quiet hours
+  return w;
+}
+
+namespace {
+
+/// Pre-tabulated inverse-CDF sampler over 5-minute bins of a day.
+class DiurnalSampler {
+ public:
+  DiurnalSampler() {
+    constexpr std::size_t kBins = 24 * 12;
+    cumulative_.resize(kBins);
+    double acc = 0.0;
+    for (std::size_t b = 0; b < kBins; ++b) {
+      acc += diurnal_arrival_weight(static_cast<std::int64_t>(b) * 300 + 150);
+      cumulative_[b] = acc;
+    }
+    total_ = acc;
+  }
+
+  /// Second-of-day sample.
+  std::int64_t sample(util::Rng& rng) const {
+    const double r = rng.uniform(0.0, total_);
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), r);
+    const auto bin = static_cast<std::int64_t>(it - cumulative_.begin());
+    return bin * 300 + rng.uniform_int(0, 299);
+  }
+
+ private:
+  std::vector<double> cumulative_;
+  double total_ = 0.0;
+};
+
+struct UserModel {
+  BuildingId home = 0;
+  std::size_t archetype = 0;
+  apps::AppMix base_profile{};  // normalized
+  double mean_rate_mbps = 0.0;
+};
+
+}  // namespace
+
+GeneratedTrace generate_campus_trace(const GeneratorConfig& cfg) {
+  S3_REQUIRE(cfg.num_users >= 16, "generator: need at least 16 users");
+  S3_REQUIRE(cfg.num_days >= 1, "generator: need at least one day");
+  S3_REQUIRE(cfg.users_in_groups_fraction >= 0.0 &&
+                 cfg.users_in_groups_fraction <= 1.0,
+             "generator: users_in_groups_fraction outside [0,1]");
+  S3_REQUIRE(cfg.group_type_coherence >= 0.0 && cfg.group_type_coherence <= 1.0,
+             "generator: group_type_coherence outside [0,1]");
+  S3_REQUIRE(cfg.min_group_size >= 2, "generator: min_group_size < 2");
+  S3_REQUIRE(!cfg.class_start_hours.empty(),
+             "generator: empty class schedule");
+
+  wlan::Network network = wlan::make_campus(cfg.layout);
+  util::Rng master(cfg.seed);
+  util::Rng rng_population = master.fork();
+  util::Rng rng_schedule = master.fork();
+  util::Rng rng_traffic = master.fork();
+  util::Rng rng_background = master.fork();
+
+  const auto centroids = archetype_centroids();
+  const auto mean_rates = archetype_mean_rate_mbps();
+
+  // ---- Population ----------------------------------------------------
+  GroundTruth truth;
+  truth.user_archetype.resize(cfg.num_users);
+  truth.user_groups.resize(cfg.num_users);
+  std::vector<UserModel> users(cfg.num_users);
+
+  // Home buildings: uniform.
+  std::vector<std::vector<UserId>> building_grouped_pool(
+      network.num_buildings());
+  for (UserId u = 0; u < cfg.num_users; ++u) {
+    users[u].home = static_cast<BuildingId>(
+        rng_population.index(network.num_buildings()));
+  }
+
+  // Grouped users per building.
+  for (UserId u = 0; u < cfg.num_users; ++u) {
+    if (rng_population.bernoulli(cfg.users_in_groups_fraction)) {
+      building_grouped_pool[users[u].home].push_back(u);
+    }
+  }
+
+  // Partition each building's pool into groups.
+  for (BuildingId b = 0; b < network.num_buildings(); ++b) {
+    auto& pool = building_grouped_pool[b];
+    rng_population.shuffle(pool);
+    std::size_t cursor = 0;
+    while (pool.size() - cursor >= cfg.min_group_size) {
+      std::size_t size = static_cast<std::size_t>(
+          rng_population.poisson(cfg.mean_group_size));
+      size = std::max(size, cfg.min_group_size);
+      size = std::min(size, pool.size() - cursor);
+      if (pool.size() - cursor - size < cfg.min_group_size) {
+        size = pool.size() - cursor;  // absorb the remainder
+      }
+      SocialGroupTruth g;
+      g.id = static_cast<GroupId>(truth.groups.size());
+      g.building = b;
+      g.archetype = rng_population.index(kNumArchetypes);
+      g.members.assign(pool.begin() + static_cast<std::ptrdiff_t>(cursor),
+                       pool.begin() + static_cast<std::ptrdiff_t>(cursor + size));
+      for (UserId m : g.members) truth.user_groups[m].push_back(g.id);
+      truth.groups.push_back(std::move(g));
+      cursor += size;
+    }
+  }
+
+  // Archetypes: group members inherit the group archetype with
+  // probability group_type_coherence; everyone else is uniform.
+  for (UserId u = 0; u < cfg.num_users; ++u) {
+    if (!truth.user_groups[u].empty()) {
+      const SocialGroupTruth& g = truth.groups[truth.user_groups[u].front()];
+      if (rng_population.bernoulli(cfg.group_type_coherence)) {
+        users[u].archetype = g.archetype;
+      } else {
+        users[u].archetype = rng_population.index(kNumArchetypes);
+      }
+    } else {
+      users[u].archetype = rng_population.index(kNumArchetypes);
+    }
+    truth.user_archetype[u] = users[u].archetype;
+
+    // Base profile: Dirichlet around the archetype centroid.
+    std::array<double, apps::kNumCategories> alpha{};
+    for (std::size_t c = 0; c < apps::kNumCategories; ++c) {
+      alpha[c] =
+          cfg.profile_concentration * centroids[users[u].archetype][c] + 0.05;
+    }
+    const std::vector<double> p = rng_population.dirichlet(alpha);
+    for (std::size_t c = 0; c < apps::kNumCategories; ++c) {
+      users[u].base_profile[c] = p[c];
+    }
+
+    // Stable per-user mean rate (lognormal, mean = archetype mean).
+    const double sigma = cfg.rate_sigma;
+    users[u].mean_rate_mbps =
+        cfg.rate_scale * mean_rates[users[u].archetype] *
+        rng_population.lognormal(-0.5 * sigma * sigma, sigma);
+  }
+
+  // ---- Session emission ----------------------------------------------
+  std::vector<SessionRecord> sessions;
+  sessions.reserve(cfg.num_users * cfg.num_days * 2);
+  util::SplitMix64 seeder(cfg.seed ^ 0x5e551045ULL);
+
+  auto emit_session = [&](UserId u, BuildingId building, wlan::Position pos,
+                          double t0_raw, double t1_raw, GroupId group) {
+    if (t1_raw - t0_raw < 300.0) t1_raw = t0_raw + 300.0;  // 5-minute floor
+    // Snap to whole seconds first so the stored traffic integral matches
+    // the stored timestamps exactly.
+    const auto t0 = static_cast<std::int64_t>(t0_raw);
+    auto t1 = static_cast<std::int64_t>(t1_raw);
+    if (t1 <= t0) t1 = t0 + 300;
+    SessionRecord s;
+    s.user = u;
+    s.building = building;
+    s.pos = clamp_into(network.building(building), pos);
+    s.connect = util::SimTime(t0);
+    s.disconnect = util::SimTime(t1);
+    s.group = group;
+    s.rate_seed = seeder.next();
+
+    // Offered rate: per-session lognormal around the user's mean,
+    // capped at the per-client effective-throughput ceiling.
+    const double sigma = cfg.rate_sigma;
+    s.demand_mbps = std::min(cfg.per_user_rate_cap_mbps,
+                             users[u].mean_rate_mbps *
+                                 rng_traffic.lognormal(-0.5 * sigma * sigma,
+                                                       sigma));
+
+    // Session application mix: Dirichlet around the base profile (the
+    // per-day noise that makes short histories unreliable, Fig. 6).
+    std::array<double, apps::kNumCategories> alpha{};
+    for (std::size_t c = 0; c < apps::kNumCategories; ++c) {
+      alpha[c] =
+          cfg.session_concentration * users[u].base_profile[c] + 0.02;
+    }
+    const std::vector<double> mix = rng_traffic.dirichlet(alpha);
+    const double megabits = s.demand_mbps * static_cast<double>(t1 - t0);
+    for (std::size_t c = 0; c < apps::kNumCategories; ++c) {
+      s.traffic[c] = mix[c] * megabits / 8.0 * 1.0e6;  // bytes
+    }
+    sessions.push_back(s);
+  };
+
+  // Fixed meeting rooms (lecture halls) per building.
+  S3_REQUIRE(cfg.rooms_per_building >= 1, "generator: need at least one room");
+  std::vector<std::vector<wlan::Position>> rooms(network.num_buildings());
+  {
+    util::Rng rng_rooms = master.fork();
+    for (BuildingId b = 0; b < network.num_buildings(); ++b) {
+      const wlan::BuildingConfig& bc = network.building(b);
+      for (std::size_t r = 0; r < cfg.rooms_per_building; ++r) {
+        rooms[b].push_back(
+            {bc.origin.x + rng_rooms.uniform(5.0, bc.width_m - 5.0),
+             bc.origin.y + rng_rooms.uniform(5.0, bc.depth_m - 5.0)});
+      }
+    }
+  }
+
+  // Group meetings.
+  for (const SocialGroupTruth& g : truth.groups) {
+    for (std::size_t day = 0; day < cfg.num_days; ++day) {
+      const double factor =
+          is_weekday(static_cast<std::int64_t>(day)) ? 1.0 : cfg.weekend_factor;
+      for (int hour : cfg.class_start_hours) {
+        if (!rng_schedule.bernoulli(std::min(1.0, cfg.meeting_prob * factor))) {
+          continue;
+        }
+        const double start = static_cast<double>(day) * kSecondsPerDay +
+                             hour * 3600.0 +
+                             rng_schedule.uniform(-300.0, 300.0);
+        const std::size_t dur_pick =
+            rng_schedule.weighted_index(cfg.meeting_duration_weights);
+        double duration =
+            cfg.meeting_duration_minutes[dur_pick] * 60.0 +
+            rng_schedule.normal(0.0, cfg.meeting_duration_jitter_s);
+        duration = std::clamp(duration, 30.0 * 60.0, 4.0 * 3600.0);
+        const double end = start + duration;
+        // Meeting room: one of the building's lecture halls; members
+        // sit nearby, so their candidate APs coincide.
+        const wlan::Position room =
+            rooms[g.building][rng_schedule.index(rooms[g.building].size())];
+        for (UserId m : g.members) {
+          if (!rng_schedule.bernoulli(cfg.attendance_prob)) continue;
+          const double t0 =
+              start + rng_schedule.normal(0.0, cfg.arrival_jitter_s);
+          const double t1 =
+              end + rng_schedule.normal(0.0, cfg.departure_jitter_s);
+          const wlan::Position pos{room.x + rng_schedule.normal(0.0, 4.0),
+                                   room.y + rng_schedule.normal(0.0, 4.0)};
+          emit_session(m, g.building, pos, std::max(t0, 0.0), t1, g.id);
+        }
+      }
+    }
+  }
+
+  // Background (solitary) sessions.
+  const DiurnalSampler diurnal;
+  for (UserId u = 0; u < cfg.num_users; ++u) {
+    for (std::size_t day = 0; day < cfg.num_days; ++day) {
+      const double factor =
+          is_weekday(static_cast<std::int64_t>(day)) ? 1.0 : cfg.weekend_factor;
+      const auto n = rng_background.poisson(
+          cfg.background_sessions_per_user_per_day * factor);
+      for (std::int64_t k = 0; k < n; ++k) {
+        const std::int64_t sod = diurnal.sample(rng_background);
+        const double t0 =
+            static_cast<double>(day) * kSecondsPerDay + static_cast<double>(sod);
+        const double duration = rng_background.lognormal(
+            std::log(cfg.background_duration_median_s),
+            cfg.background_duration_sigma);
+        // 80% at home, else a uniformly random building (library, labs).
+        const BuildingId where =
+            rng_background.bernoulli(0.8)
+                ? users[u].home
+                : static_cast<BuildingId>(
+                      rng_background.index(network.num_buildings()));
+        const wlan::BuildingConfig& b = network.building(where);
+        const wlan::Position pos{
+            b.origin.x + rng_background.uniform(1.0, b.width_m - 1.0),
+            b.origin.y + rng_background.uniform(1.0, b.depth_m - 1.0)};
+        emit_session(u, where, pos, t0, t0 + duration, kInvalidGroup);
+      }
+
+      // Long-stay (dorm / library) sessions.
+      const auto nl = rng_background.poisson(
+          cfg.long_stay_sessions_per_user_per_day * factor);
+      for (std::int64_t k = 0; k < nl; ++k) {
+        const std::int64_t sod = diurnal.sample(rng_background);
+        const double t0 =
+            static_cast<double>(day) * kSecondsPerDay + static_cast<double>(sod);
+        const double duration = rng_background.lognormal(
+            std::log(cfg.long_stay_duration_median_s),
+            cfg.long_stay_duration_sigma);
+        const BuildingId where =
+            rng_background.bernoulli(0.8)
+                ? users[u].home
+                : static_cast<BuildingId>(
+                      rng_background.index(network.num_buildings()));
+        const wlan::BuildingConfig& b = network.building(where);
+        const wlan::Position pos{
+            b.origin.x + rng_background.uniform(1.0, b.width_m - 1.0),
+            b.origin.y + rng_background.uniform(1.0, b.depth_m - 1.0)};
+        emit_session(u, where, pos, t0, t0 + duration, kInvalidGroup);
+      }
+    }
+  }
+
+  Trace workload(cfg.num_users, cfg.num_days, std::move(sessions));
+  return GeneratedTrace{std::move(network), std::move(workload),
+                        std::move(truth)};
+}
+
+}  // namespace s3::trace

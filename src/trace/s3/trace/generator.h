@@ -1,0 +1,153 @@
+// Calibrated synthetic campus-trace generator.
+//
+// Substitution for the proprietary SJTU trace (see DESIGN.md §2). The
+// generator reproduces the statistical structure the paper measures:
+//
+//  * social groups (classes, meetings) with scheduled start/end times
+//    drive co-coming and co-leaving — group members arrive within a few
+//    minutes of a meeting's start and leave within a few minutes of its
+//    end (§III-D-1, Fig. 5);
+//  * group members share an application-profile archetype with high
+//    probability, so pairs with similar profiles co-leave more often
+//    (Table I);
+//  * four application archetypes over the six realms, each user's daily
+//    mix noisy around its archetype, so cumulative history converges to
+//    the archetype over ~two weeks (Fig. 6's NMI plateau);
+//  * diurnal background (solitary) sessions with network-throughput
+//    peaks at 10:00–11:00 and 15:00–16:00 and group schedules whose
+//    meeting ends concentrate leavings at 12:00–13:00, 16:00–17:50 and
+//    21:00–22:00 (§V-C);
+//  * weekday/weekend modulation over a multi-week horizon.
+//
+// The output is an *unassigned* workload: sessions carry arrival time,
+// duration, building, position, offered rate and per-realm traffic, but
+// no AP — the replay engine places them under a policy (LLF reproduces
+// the "collected" trace, since LLF is what SJTU's controllers deploy).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "s3/apps/app_category.h"
+#include "s3/trace/trace.h"
+#include "s3/util/rng.h"
+#include "s3/wlan/network.h"
+
+namespace s3::trace {
+
+/// Number of application-profile archetypes (the paper finds k = 4).
+inline constexpr std::size_t kNumArchetypes = 4;
+
+/// The four archetype centroids over (IM, P2P, music, email, video,
+/// web). Shapes mirror Fig. 8: a messaging/web type, a P2P-dominated
+/// type, a video-streaming type and an email/web "worker" type.
+std::array<apps::AppMix, kNumArchetypes> archetype_centroids();
+
+/// Mean offered rate (Mbit/s) per archetype; P2P/video types are heavy.
+std::array<double, kNumArchetypes> archetype_mean_rate_mbps();
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+
+  // Scale. Defaults are the laptop scale of DESIGN.md §7; the paper
+  // scale is 12374 users / 22 buildings / ~15 APs per building.
+  std::size_t num_users = 2400;
+  std::size_t num_days = 28;
+  wlan::CampusLayout layout{};
+
+  // Social structure.
+  double users_in_groups_fraction = 0.85;  ///< share of users in >=1 group
+  double mean_group_size = 22.0;           ///< Poisson mean, min size 4
+  std::size_t min_group_size = 4;
+  /// Probability that a member's archetype equals the group's archetype
+  /// (the source of Table I's diagonal dominance).
+  double group_type_coherence = 0.8;
+
+  // Group schedule: class periods start at these hours; each group holds
+  /// each period's meeting with probability meeting_prob on weekdays.
+  /// SJTU-style fixed class blocks (8:00, 10:00, 14:00, 16:00, 19:00);
+  /// durations are drawn from the mixture below, so meeting *ends*
+  /// stagger across groups while leavings still concentrate around the
+  /// paper's leave-peak windows (12:00–13:00, 16:00–17:50, 21:00–22:00).
+  std::vector<int> class_start_hours = {8, 10, 14, 16, 19};
+  double meeting_prob = 0.30;
+  /// Fixed meeting rooms per building (lecture halls): successive
+  /// groups meet in the same few places, so their members share
+  /// candidate APs — the interleaving opportunity S3 exploits.
+  std::size_t rooms_per_building = 6;
+  /// Duration mixture (minutes / weights). Heterogeneous durations are
+  /// what makes social dispersion pay off: when groups sharing an area
+  /// leave at different times, diversifying each AP's population keeps
+  /// every departure's impact even across APs.
+  std::vector<double> meeting_duration_minutes = {60, 90, 120, 150, 180};
+  std::vector<double> meeting_duration_weights = {0.15, 0.20, 0.35, 0.20, 0.10};
+  double meeting_duration_jitter_s = 6.0 * 60.0;
+  double attendance_prob = 0.85;
+  /// Co-coming/co-leaving tightness.
+  double arrival_jitter_s = 150.0;
+  double departure_jitter_s = 150.0;
+
+  // Background (solitary) sessions.
+  double background_sessions_per_user_per_day = 0.6;
+  double background_duration_median_s = 45.0 * 60.0;
+  double background_duration_sigma = 0.6;  ///< lognormal sigma
+  /// Long-stay sessions (dorm / library): fewer, but spanning several
+  /// hours, so the network keeps a placed population through the
+  /// between-class lulls (the SJTU campus never empties at noon).
+  double long_stay_sessions_per_user_per_day = 0.35;
+  double long_stay_duration_median_s = 2.5 * 3600.0;
+  double long_stay_duration_sigma = 0.5;
+
+  // Traffic model.
+  /// Dirichlet concentration for a user's *base* profile around its
+  /// archetype centroid (higher = tighter).
+  double profile_concentration = 80.0;
+  /// Dirichlet concentration for the *per-session* mix around the
+  /// user's base profile (lower = noisier days; drives Fig. 6).
+  double session_concentration = 6.0;
+  double rate_sigma = 0.8;  ///< lognormal sigma around archetype mean rate
+  /// Global multiplier on archetype mean rates: lets experiments scale
+  /// the population up while keeping the offered load constant.
+  double rate_scale = 1.0;
+  /// Per-client effective-throughput ceiling (Mbit/s). A 2012-era
+  /// 802.11g client tops out well below AP capacity; without this cap
+  /// a single lognormal-tail "whale" pins an AP and floors the balance
+  /// index for every policy alike.
+  double per_user_rate_cap_mbps = 6.0;
+
+  // Calendar.
+  double weekend_factor = 0.35;  ///< activity multiplier on days 5,6 mod 7
+};
+
+/// Ground truth the generator knows but policies must never see.
+struct SocialGroupTruth {
+  GroupId id = kInvalidGroup;
+  BuildingId building = 0;
+  std::size_t archetype = 0;
+  std::vector<UserId> members;
+};
+
+struct GroundTruth {
+  std::vector<SocialGroupTruth> groups;
+  /// Archetype per user (all users, grouped or not).
+  std::vector<std::size_t> user_archetype;
+  /// Groups a user belongs to.
+  std::vector<std::vector<GroupId>> user_groups;
+};
+
+struct GeneratedTrace {
+  wlan::Network network;
+  Trace workload;  ///< unassigned sessions
+  GroundTruth truth;
+};
+
+/// Runs the generator. Deterministic in config.seed.
+GeneratedTrace generate_campus_trace(const GeneratorConfig& config);
+
+/// Diurnal arrival weight for background sessions at second-of-day s:
+/// bimodal with maxima in 10:00–11:00 and 15:00–16:00, near-zero at
+/// night. Exposed for tests and for the workload-shape bench.
+double diurnal_arrival_weight(std::int64_t second_of_day) noexcept;
+
+}  // namespace s3::trace

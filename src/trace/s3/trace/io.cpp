@@ -1,0 +1,177 @@
+#include "s3/trace/io.h"
+
+#include <array>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace s3::trace {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "user,ap,building,pos_x,pos_y,connect_s,disconnect_s,"
+    "im_bytes,p2p_bytes,music_bytes,email_bytes,video_bytes,web_bytes,"
+    "demand_mbps,group,rate_seed";
+
+constexpr std::size_t kNumFields = 16;
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+template <typename T>
+bool parse_number(std::string_view s, T& out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+// from_chars for double is not universally available for all formats;
+// fall back to strtod via a bounded copy.
+bool parse_double(std::string_view s, double& out) {
+  char buf[64];
+  if (s.size() >= sizeof(buf) || s.empty()) return false;
+  std::copy(s.begin(), s.end(), buf);
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  out = std::strtod(buf, &end);
+  return end == buf + s.size();
+}
+
+}  // namespace
+
+bool write_csv(std::ostream& os, const Trace& trace) {
+  // Shortest round-trippable representation for doubles.
+  os.precision(17);
+  os << "# s3lb trace v1 users=" << trace.num_users()
+     << " days=" << trace.num_days() << '\n';
+  os << kHeader << '\n';
+  for (const SessionRecord& s : trace.sessions()) {
+    os << s.user << ',';
+    if (s.ap == kInvalidAp) {
+      os << "-,";
+    } else {
+      os << s.ap << ',';
+    }
+    os << s.building << ',' << s.pos.x << ',' << s.pos.y << ','
+       << s.connect.seconds() << ',' << s.disconnect.seconds() << ',';
+    for (double v : s.traffic) os << v << ',';
+    os << s.demand_mbps << ',';
+    if (s.group == kInvalidGroup) {
+      os << "-,";
+    } else {
+      os << s.group << ',';
+    }
+    os << s.rate_seed << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+bool write_csv_file(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  return os && write_csv(os, trace);
+}
+
+ReadResult read_csv(std::istream& is) {
+  std::string line;
+
+  // Metadata comment line.
+  if (!std::getline(is, line) || line.rfind("# s3lb trace v1", 0) != 0) {
+    return {std::nullopt, "missing trace metadata line"};
+  }
+  std::size_t num_users = 0, num_days = 0;
+  {
+    std::istringstream meta(line);
+    std::string tok;
+    while (meta >> tok) {
+      if (tok.rfind("users=", 0) == 0) {
+        if (!parse_number(std::string_view(tok).substr(6), num_users)) {
+          return {std::nullopt, "bad users= field"};
+        }
+      } else if (tok.rfind("days=", 0) == 0) {
+        if (!parse_number(std::string_view(tok).substr(5), num_days)) {
+          return {std::nullopt, "bad days= field"};
+        }
+      }
+    }
+  }
+  if (num_users == 0) return {std::nullopt, "metadata: users missing or zero"};
+
+  if (!std::getline(is, line) || line != kHeader) {
+    return {std::nullopt, "missing or unexpected header row"};
+  }
+
+  std::vector<SessionRecord> sessions;
+  std::size_t row = 2;
+  while (std::getline(is, line)) {
+    ++row;
+    if (line.empty()) continue;
+    const auto fields = split_fields(line);
+    if (fields.size() != kNumFields) {
+      return {std::nullopt,
+              "row " + std::to_string(row) + ": expected " +
+                  std::to_string(kNumFields) + " fields, got " +
+                  std::to_string(fields.size())};
+    }
+    SessionRecord s;
+    std::int64_t connect = 0, disconnect = 0;
+    bool ok = parse_number(fields[0], s.user);
+    if (fields[1] == "-") {
+      s.ap = kInvalidAp;
+    } else {
+      ok = ok && parse_number(fields[1], s.ap);
+    }
+    ok = ok && parse_number(fields[2], s.building);
+    ok = ok && parse_double(fields[3], s.pos.x);
+    ok = ok && parse_double(fields[4], s.pos.y);
+    ok = ok && parse_number(fields[5], connect);
+    ok = ok && parse_number(fields[6], disconnect);
+    for (std::size_t c = 0; ok && c < apps::kNumCategories; ++c) {
+      ok = parse_double(fields[7 + c], s.traffic[c]);
+    }
+    ok = ok && parse_double(fields[13], s.demand_mbps);
+    if (fields[14] == "-") {
+      s.group = kInvalidGroup;
+    } else {
+      ok = ok && parse_number(fields[14], s.group);
+    }
+    ok = ok && parse_number(fields[15], s.rate_seed);
+    if (!ok) {
+      return {std::nullopt, "row " + std::to_string(row) + ": parse error"};
+    }
+    s.connect = util::SimTime(connect);
+    s.disconnect = util::SimTime(disconnect);
+    if (s.connect >= s.disconnect) {
+      return {std::nullopt,
+              "row " + std::to_string(row) + ": non-positive duration"};
+    }
+    if (s.user >= num_users) {
+      return {std::nullopt,
+              "row " + std::to_string(row) + ": user id out of range"};
+    }
+    sessions.push_back(s);
+  }
+  return {Trace(num_users, num_days, std::move(sessions)), ""};
+}
+
+ReadResult read_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return {std::nullopt, "cannot open " + path};
+  return read_csv(is);
+}
+
+}  // namespace s3::trace

@@ -1,0 +1,33 @@
+// Trace persistence: CSV round-trip.
+//
+// The on-disk format mirrors the logged fields of §III-A one session
+// per row. Used to export synthesized workloads for external tooling
+// and to re-import captured traces. Errors are reported via a status
+// struct (I/O failure is expected fallibility, not a caller bug).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "s3/trace/trace.h"
+
+namespace s3::trace {
+
+/// Writes a trace as CSV with a header row. Returns false on stream
+/// failure.
+bool write_csv(std::ostream& os, const Trace& trace);
+bool write_csv_file(const std::string& path, const Trace& trace);
+
+struct ReadResult {
+  std::optional<Trace> trace;  ///< nullopt on parse failure
+  std::string error;           ///< human-readable reason when nullopt
+};
+
+/// Parses a trace written by write_csv. Validates the header, field
+/// arity and value ranges; a malformed row aborts the parse with a
+/// row-numbered error message.
+ReadResult read_csv(std::istream& is);
+ReadResult read_csv_file(const std::string& path);
+
+}  // namespace s3::trace

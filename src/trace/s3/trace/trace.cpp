@@ -1,0 +1,65 @@
+#include "s3/trace/trace.h"
+
+#include <algorithm>
+
+namespace s3::trace {
+
+Trace::Trace(std::size_t num_users, std::size_t num_days,
+             std::vector<SessionRecord> sessions)
+    : num_users_(num_users),
+      num_days_(num_days),
+      sessions_(std::move(sessions)) {
+  S3_REQUIRE(num_users_ > 0, "Trace: num_users must be positive");
+  for (const SessionRecord& s : sessions_) {
+    S3_REQUIRE(s.user < num_users_, "Trace: user id out of range");
+    S3_REQUIRE(s.connect < s.disconnect,
+               "Trace: session must have positive duration");
+    S3_REQUIRE(s.demand_mbps >= 0.0, "Trace: negative demand");
+    for (double v : s.traffic) {
+      S3_REQUIRE(v >= 0.0, "Trace: negative traffic volume");
+    }
+  }
+  std::stable_sort(sessions_.begin(), sessions_.end(),
+                   [](const SessionRecord& a, const SessionRecord& b) {
+                     if (a.connect != b.connect) return a.connect < b.connect;
+                     return a.user < b.user;
+                   });
+}
+
+bool Trace::fully_assigned() const noexcept {
+  return std::all_of(sessions_.begin(), sessions_.end(),
+                     [](const SessionRecord& s) { return s.assigned(); });
+}
+
+std::vector<std::size_t> Trace::sessions_of_user(UserId u) const {
+  S3_REQUIRE(u < num_users_, "Trace: user id out of range");
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i].user == u) out.push_back(i);
+  }
+  return out;
+}
+
+Trace Trace::with_assignments(std::span<const ApId> aps) const {
+  S3_REQUIRE(aps.size() == sessions_.size(),
+             "with_assignments: arity mismatch");
+  std::vector<SessionRecord> copy = sessions_;
+  for (std::size_t i = 0; i < copy.size(); ++i) copy[i].ap = aps[i];
+  return Trace(num_users_, num_days_, std::move(copy));
+}
+
+Trace Trace::slice(util::SimTime begin, util::SimTime end) const {
+  std::vector<SessionRecord> kept;
+  for (const SessionRecord& s : sessions_) {
+    if (s.overlaps(begin, end)) kept.push_back(s);
+  }
+  return Trace(num_users_, num_days_, std::move(kept));
+}
+
+util::SimTime Trace::end_time() const noexcept {
+  util::SimTime t{};
+  for (const SessionRecord& s : sessions_) t = std::max(t, s.disconnect);
+  return t;
+}
+
+}  // namespace s3::trace

@@ -1,0 +1,101 @@
+// WLAN usage trace: the record format of §III-A.
+//
+// A trace is a time-ordered list of association sessions. Each record
+// carries exactly the fields the SJTU data center logs — user id, AP,
+// connect/disconnect timestamps, served traffic per application realm —
+// plus the generator-side context a simulation needs (station position,
+// offered rate, ground-truth activity group).
+//
+// A trace may be a *workload* (ap == kInvalidAp: arrivals waiting for a
+// selection policy to place them) or *assigned* (every ap valid: what a
+// deployed network actually logged). The replay engine turns the former
+// into the latter under a given policy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "s3/apps/app_category.h"
+#include "s3/util/error.h"
+#include "s3/util/ids.h"
+#include "s3/util/sim_time.h"
+#include "s3/wlan/access_point.h"
+
+namespace s3::trace {
+
+struct SessionRecord {
+  UserId user = kInvalidUser;
+  /// AP serving the session; kInvalidAp in an unassigned workload.
+  ApId ap = kInvalidAp;
+  /// Building the station is in (fixes the controller domain).
+  BuildingId building = 0;
+  /// Station position for the radio model / candidate-set computation.
+  wlan::Position pos;
+  util::SimTime connect;
+  util::SimTime disconnect;
+  /// Served bytes per application realm over the whole session.
+  apps::AppMix traffic{};
+  /// Offered throughput w(u) in Mbit/s (Definition 1's demand).
+  double demand_mbps = 0.0;
+  /// Ground-truth social activity behind this session; kInvalidGroup
+  /// for background (solitary) sessions. Never visible to policies.
+  GroupId group = kInvalidGroup;
+  /// Seed for deterministic within-session rate modulation.
+  std::uint64_t rate_seed = 0;
+
+  double duration_s() const noexcept {
+    return static_cast<double>((disconnect - connect).seconds());
+  }
+  bool assigned() const noexcept { return ap != kInvalidAp; }
+  bool overlaps(util::SimTime b, util::SimTime e) const noexcept {
+    return connect < e && b < disconnect;
+  }
+};
+
+/// An immutable, connect-time-ordered session log.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Validates and sorts the records by (connect, user).
+  Trace(std::size_t num_users, std::size_t num_days,
+        std::vector<SessionRecord> sessions);
+
+  std::size_t num_users() const noexcept { return num_users_; }
+  std::size_t num_days() const noexcept { return num_days_; }
+  std::size_t size() const noexcept { return sessions_.size(); }
+  bool empty() const noexcept { return sessions_.empty(); }
+
+  std::span<const SessionRecord> sessions() const noexcept {
+    return sessions_;
+  }
+  const SessionRecord& session(std::size_t i) const {
+    S3_REQUIRE(i < sessions_.size(), "Trace: session index out of range");
+    return sessions_[i];
+  }
+
+  /// True iff every session has a valid AP.
+  bool fully_assigned() const noexcept;
+
+  /// Session indices of one user, connect-ordered.
+  std::vector<std::size_t> sessions_of_user(UserId u) const;
+
+  /// Copy of this trace with per-session APs replaced (same order as
+  /// sessions()); used by the replay engine to publish its placement.
+  Trace with_assignments(std::span<const ApId> aps) const;
+
+  /// Sub-trace restricted to sessions overlapping [begin, end); sessions
+  /// are kept whole (timestamps are not clipped).
+  Trace slice(util::SimTime begin, util::SimTime end) const;
+
+  /// End of the last session (epoch if empty).
+  util::SimTime end_time() const noexcept;
+
+ private:
+  std::size_t num_users_ = 0;
+  std::size_t num_days_ = 0;
+  std::vector<SessionRecord> sessions_;
+};
+
+}  // namespace s3::trace

@@ -1,0 +1,77 @@
+#include "s3/util/cdf.h"
+
+#include <algorithm>
+
+#include "s3/util/error.h"
+#include "s3/util/stats.h"
+
+namespace s3::util {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false) {}
+
+void EmpiricalCdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  ensure_sorted();
+  return util::quantile(samples_, q);
+}
+
+double EmpiricalCdf::min() const {
+  S3_REQUIRE(!samples_.empty(), "min of empty CDF");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  S3_REQUIRE(!samples_.empty(), "max of empty CDF");
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t points) const {
+  S3_REQUIRE(points >= 2, "curve needs at least 2 points");
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty()) return out;
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+std::vector<double> EmpiricalCdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+}  // namespace s3::util

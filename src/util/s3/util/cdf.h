@@ -1,0 +1,48 @@
+// Empirical cumulative distribution functions.
+//
+// Several paper figures (Figs. 2, 3, 5) are CDFs over per-slot or
+// per-user statistics; EmpiricalCdf collects the samples and renders
+// the curve as (x, F(x)) points for bench output.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace s3::util {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// F(x) = P[X <= x]; 0 for an empty CDF.
+  double at(double x) const;
+
+  /// Inverse CDF via linear-interpolation quantile, q in [0, 1].
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+
+  /// Renders the curve as `points` (x, F(x)) pairs with x spaced evenly
+  /// over [min, max] — the series a plotting script would consume.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 50) const;
+
+  /// Sorted copy of the underlying samples.
+  std::vector<double> sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace s3::util

@@ -1,0 +1,94 @@
+#include "s3/util/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "s3/util/error.h"
+
+namespace s3::util {
+
+double entropy(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    S3_REQUIRE(w >= 0.0, "entropy: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) {
+      const double p = w / total;
+      h -= p * std::log(p);
+    }
+  }
+  return h;
+}
+
+double joint_entropy(std::span<const double> joint, std::size_t rows,
+                     std::size_t cols) {
+  S3_REQUIRE(joint.size() == rows * cols, "joint_entropy: size mismatch");
+  return entropy(joint);
+}
+
+std::vector<std::size_t> quantize(std::span<const double> v,
+                                  std::size_t bins) {
+  S3_REQUIRE(bins >= 1, "quantize: bins must be >= 1");
+  std::vector<std::size_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double clamped = std::clamp(v[i], 0.0, 1.0);
+    auto b = static_cast<std::size_t>(clamped * static_cast<double>(bins));
+    if (b == bins) b = bins - 1;  // value exactly 1.0
+    out[i] = b;
+  }
+  return out;
+}
+
+double mutual_information(std::span<const std::size_t> xs,
+                          std::span<const std::size_t> ys, std::size_t nx,
+                          std::size_t ny) {
+  S3_REQUIRE(xs.size() == ys.size(), "mutual_information: length mismatch");
+  if (xs.empty()) return 0.0;
+  std::vector<double> joint(nx * ny, 0.0);
+  std::vector<double> px(nx, 0.0);
+  std::vector<double> py(ny, 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    S3_REQUIRE(xs[i] < nx && ys[i] < ny, "mutual_information: symbol range");
+    joint[xs[i] * ny + ys[i]] += 1.0;
+    px[xs[i]] += 1.0;
+    py[ys[i]] += 1.0;
+  }
+  const double mi = entropy(px) + entropy(py) - entropy(joint);
+  return mi > 0.0 ? mi : 0.0;  // clip tiny negative rounding
+}
+
+double nmi(std::span<const double> x, std::span<const double> y,
+           std::size_t bins) {
+  S3_REQUIRE(x.size() == y.size(), "nmi: length mismatch");
+  if (x.empty()) return 0.0;
+
+  auto normalize = [](std::span<const double> v) {
+    double total = 0.0;
+    for (double a : v) total += a;
+    std::vector<double> out(v.size(), 0.0);
+    if (total > 0.0) {
+      for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[i] / total;
+    }
+    return out;
+  };
+
+  const std::vector<double> px = normalize(x);
+  const std::vector<double> py = normalize(y);
+  const std::vector<std::size_t> bx = quantize(px, bins);
+  const std::vector<std::size_t> by = quantize(py, bins);
+
+  // H(X) from the binned day-x profile.
+  std::vector<double> hx_counts(bins, 0.0);
+  for (std::size_t b : bx) hx_counts[b] += 1.0;
+  const double hx = entropy(hx_counts);
+  if (hx <= 0.0) return 0.0;
+
+  const double mi = mutual_information(bx, by, bins, bins);
+  return mi / hx;
+}
+
+}  // namespace s3::util

@@ -1,0 +1,44 @@
+// Entropy and mutual-information kernels.
+//
+// Used by the §III-D analysis of application-profile stability: the
+// paper measures the Normalized Mutual Information between a user's
+// day-x application traffic vector and the cumulative vector over days
+// x-1 .. x-n, and finds it plateaus at n ≈ 15 (Fig. 6).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace s3::util {
+
+/// Shannon entropy (nats) of a non-negative weight vector, normalized
+/// internally to a distribution. Zero entries contribute 0. Returns 0
+/// for an all-zero vector.
+double entropy(std::span<const double> weights);
+
+/// Shannon entropy (nats) of a joint distribution given as a row-major
+/// `rows x cols` count/weight matrix.
+double joint_entropy(std::span<const double> joint, std::size_t rows,
+                     std::size_t cols);
+
+/// Quantizes each value of `v` (assumed in [0, 1]) into one of `bins`
+/// equal-width bins. Values at 1.0 land in the top bin.
+std::vector<std::size_t> quantize(std::span<const double> v, std::size_t bins);
+
+/// Discrete mutual information (nats) between paired categorical samples
+/// xs[i], ys[i], with alphabet sizes nx and ny.
+double mutual_information(std::span<const std::size_t> xs,
+                          std::span<const std::size_t> ys, std::size_t nx,
+                          std::size_t ny);
+
+/// NMI between two same-length non-negative vectors, following §III-D:
+/// both vectors are normalized to distributions over their categories,
+/// each category's share is quantized into `bins` bins, the paired
+/// (bin_x[i], bin_y[i]) samples over categories define the joint
+/// distribution, and the MI is normalized by H(x side):
+///   NMI = (H(X) + H(Y) - H(X,Y)) / H(X).
+/// Returns 0 when H(X) is 0 (degenerate profile).
+double nmi(std::span<const double> x, std::span<const double> y,
+           std::size_t bins = 4);
+
+}  // namespace s3::util

@@ -1,0 +1,47 @@
+// Precondition / invariant checking for the s3lb library.
+//
+// Library-wide convention (see DESIGN.md §5): caller bugs (violated
+// preconditions) throw std::invalid_argument via S3_REQUIRE; internal
+// invariant violations throw std::logic_error via S3_ASSERT. Expected
+// runtime fallibility (I/O, infeasible placements) is reported through
+// return values, never exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace s3::util {
+
+[[noreturn]] inline void throw_require_failure(const char* expr,
+                                               const char* file, int line,
+                                               const std::string& msg) {
+  throw std::invalid_argument(std::string("S3_REQUIRE failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void throw_assert_failure(const char* expr,
+                                              const char* file, int line,
+                                              const std::string& msg) {
+  throw std::logic_error(std::string("S3_ASSERT failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace s3::util
+
+// Validates a caller-supplied argument; throws std::invalid_argument.
+#define S3_REQUIRE(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::s3::util::throw_require_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (false)
+
+// Checks an internal invariant; throws std::logic_error.
+#define S3_ASSERT(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::s3::util::throw_assert_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)

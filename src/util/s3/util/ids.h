@@ -1,0 +1,48 @@
+// Entity identifiers shared across the library.
+//
+// Dense 0-based indices (not hashes): every container keyed by an id is
+// a flat vector. Hashed MAC addresses from a real trace are mapped to
+// dense UserIds at ingest (s3::trace::TraceBuilder).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace s3 {
+
+using UserId = std::uint32_t;
+using ApId = std::uint32_t;
+using ControllerId = std::uint32_t;
+using BuildingId = std::uint32_t;
+using GroupId = std::uint32_t;
+
+inline constexpr UserId kInvalidUser = std::numeric_limits<UserId>::max();
+inline constexpr ApId kInvalidAp = std::numeric_limits<ApId>::max();
+inline constexpr ControllerId kInvalidController =
+    std::numeric_limits<ControllerId>::max();
+inline constexpr GroupId kInvalidGroup = std::numeric_limits<GroupId>::max();
+
+/// Canonical unordered user pair (a < b), used as a key for pairwise
+/// social statistics.
+struct UserPair {
+  UserId a;
+  UserId b;
+
+  constexpr UserPair(UserId x, UserId y) noexcept
+      : a(x < y ? x : y), b(x < y ? y : x) {}
+
+  constexpr bool operator==(const UserPair&) const noexcept = default;
+  constexpr auto operator<=>(const UserPair&) const noexcept = default;
+};
+
+struct UserPairHash {
+  std::size_t operator()(const UserPair& p) const noexcept {
+    // 64-bit mix of the packed pair.
+    std::uint64_t z = (static_cast<std::uint64_t>(p.a) << 32) | p.b;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace s3

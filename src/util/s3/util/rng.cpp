@@ -1,0 +1,57 @@
+#include "s3/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace s3::util {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  S3_REQUIRE(!weights.empty(), "weighted_index: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    S3_REQUIRE(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  S3_REQUIRE(total > 0.0, "weighted_index: all weights zero");
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+std::vector<double> Rng::dirichlet(std::span<const double> alpha) {
+  S3_REQUIRE(!alpha.empty(), "dirichlet: empty alpha");
+  std::vector<double> out(alpha.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    S3_REQUIRE(alpha[i] > 0.0, "dirichlet: alpha must be positive");
+    std::gamma_distribution<double> gamma(alpha[i], 1.0);
+    out[i] = gamma(engine_);
+    sum += out[i];
+  }
+  if (sum <= 0.0) {
+    // All gammas underflowed (tiny alphas): fall back to a uniform point.
+    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(out.size()));
+    return out;
+  }
+  for (double& x : out) x /= sum;
+  return out;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  S3_REQUIRE(k <= n, "sample_indices: k > n");
+  // Partial Fisher–Yates over an index vector: O(n) memory, O(n + k) time.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace s3::util

@@ -1,0 +1,126 @@
+// Deterministic random-number utilities.
+//
+// All stochastic components of the library (trace synthesis, k-means
+// seeding, gap-statistic reference sets, ...) draw from an explicitly
+// plumbed Rng so that every experiment is reproducible bit-for-bit from
+// its seed. Library code never touches global RNG state or the wall
+// clock.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "s3/util/error.h"
+
+namespace s3::util {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used to derive independent
+/// child seeds from a master seed (so subsystems can be re-seeded without
+/// correlations) and as the seed sequence for the heavier mt19937_64.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Convenience wrapper over std::mt19937_64 with the distributions the
+/// library needs. Cheap to pass by reference; not thread-safe (use one
+/// Rng per thread / per subsystem).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(SplitMix64(seed).next()) {}
+
+  /// Derives an independent child generator; successive calls yield
+  /// uncorrelated streams.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    S3_REQUIRE(lo <= hi, "uniform: lo > hi");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    S3_REQUIRE(lo <= hi, "uniform_int: lo > hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    S3_REQUIRE(n > 0, "index: empty range");
+    return static_cast<std::size_t>(
+        std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_));
+  }
+
+  bool bernoulli(double p) {
+    S3_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p outside [0,1]");
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    S3_REQUIRE(stddev >= 0.0, "normal: negative stddev");
+    if (stddev == 0.0) return mean;
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  double exponential(double rate) {
+    S3_REQUIRE(rate > 0.0, "exponential: rate must be positive");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Log-normal parameterized by the underlying normal's (mu, sigma).
+  double lognormal(double mu, double sigma) {
+    S3_REQUIRE(sigma >= 0.0, "lognormal: negative sigma");
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  std::int64_t poisson(double mean) {
+    S3_REQUIRE(mean >= 0.0, "poisson: negative mean");
+    if (mean == 0.0) return 0;
+    return std::poisson_distribution<std::int64_t>(mean)(engine_);
+  }
+
+  /// Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed traffic).
+  double pareto(double x_m, double alpha) {
+    S3_REQUIRE(x_m > 0.0 && alpha > 0.0, "pareto: bad parameters");
+    const double u = uniform(std::numeric_limits<double>::min(), 1.0);
+    return x_m / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Samples an index according to non-negative `weights` (need not sum
+  /// to 1). At least one weight must be positive.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Samples a point on the probability simplex: Dirichlet(alpha_i).
+  std::vector<double> dirichlet(std::span<const double> alpha);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Draws `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace s3::util

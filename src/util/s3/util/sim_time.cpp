@@ -1,0 +1,17 @@
+#include "s3/util/sim_time.h"
+
+#include <cstdio>
+
+namespace s3::util {
+
+std::string SimTime::to_string() const {
+  const std::int64_t d = day();
+  const std::int64_t sod = second_of_day();
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld %02d:%02d:%02d",
+                static_cast<long long>(d), static_cast<int>(sod / 3600),
+                static_cast<int>((sod / 60) % 60), static_cast<int>(sod % 60));
+  return buf;
+}
+
+}  // namespace s3::util

@@ -1,0 +1,103 @@
+// Strongly-typed simulation time.
+//
+// All trace timestamps and simulation clocks are integral seconds since
+// the trace epoch (day 0, 00:00). Windows throughout the library are
+// half-open intervals [start, start + width).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace s3::util {
+
+/// Seconds since trace epoch. A thin strong type: arithmetic is explicit
+/// through named helpers so that unit mistakes (seconds vs minutes) are
+/// hard to write.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(std::int64_t seconds) noexcept
+      : seconds_(seconds) {}
+
+  static constexpr SimTime from_seconds(std::int64_t s) noexcept {
+    return SimTime(s);
+  }
+  static constexpr SimTime from_minutes(std::int64_t m) noexcept {
+    return SimTime(m * 60);
+  }
+  static constexpr SimTime from_hours(std::int64_t h) noexcept {
+    return SimTime(h * 3600);
+  }
+  static constexpr SimTime from_days(std::int64_t d) noexcept {
+    return SimTime(d * 86400);
+  }
+  /// Day `d`, local time hh:mm:ss within that day.
+  static constexpr SimTime at(std::int64_t d, int hh, int mm = 0,
+                              int ss = 0) noexcept {
+    return SimTime(d * 86400 + hh * 3600 + mm * 60 + ss);
+  }
+
+  constexpr std::int64_t seconds() const noexcept { return seconds_; }
+  constexpr double minutes() const noexcept { return seconds_ / 60.0; }
+  constexpr double hours() const noexcept { return seconds_ / 3600.0; }
+
+  /// Day index since epoch (floor; negative times round toward -inf).
+  constexpr std::int64_t day() const noexcept {
+    return seconds_ >= 0 ? seconds_ / 86400 : (seconds_ - 86399) / 86400;
+  }
+  /// Seconds into the current day, in [0, 86400).
+  constexpr std::int64_t second_of_day() const noexcept {
+    const std::int64_t s = seconds_ % 86400;
+    return s >= 0 ? s : s + 86400;
+  }
+  /// Hour of day in [0, 24).
+  constexpr int hour_of_day() const noexcept {
+    return static_cast<int>(second_of_day() / 3600);
+  }
+
+  /// "d HH:MM:SS" rendering for logs and bench output.
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime operator+(SimTime rhs) const noexcept {
+    return SimTime(seconds_ + rhs.seconds_);
+  }
+  constexpr SimTime operator-(SimTime rhs) const noexcept {
+    return SimTime(seconds_ - rhs.seconds_);
+  }
+  constexpr SimTime& operator+=(SimTime rhs) noexcept {
+    seconds_ += rhs.seconds_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) noexcept {
+    seconds_ -= rhs.seconds_;
+    return *this;
+  }
+
+ private:
+  std::int64_t seconds_ = 0;
+};
+
+/// Half-open time interval [begin, end).
+struct TimeInterval {
+  SimTime begin;
+  SimTime end;
+
+  constexpr bool contains(SimTime t) const noexcept {
+    return begin <= t && t < end;
+  }
+  constexpr SimTime duration() const noexcept { return end - begin; }
+  constexpr bool empty() const noexcept { return end <= begin; }
+  /// Length of the overlap with [b, e), in seconds (>= 0).
+  constexpr std::int64_t overlap_seconds(SimTime b, SimTime e) const noexcept {
+    const std::int64_t lo = begin.seconds() > b.seconds() ? begin.seconds()
+                                                          : b.seconds();
+    const std::int64_t hi =
+        end.seconds() < e.seconds() ? end.seconds() : e.seconds();
+    return hi > lo ? hi - lo : 0;
+  }
+};
+
+}  // namespace s3::util

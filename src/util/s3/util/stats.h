@@ -1,0 +1,65 @@
+// Streaming and batch statistics used across analyses and benches.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace s3::util {
+
+/// Welford's online mean/variance accumulator. Numerically stable; O(1)
+/// memory; mergeable (parallel-friendly).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  /// Merges another accumulator (Chan et al. parallel update).
+  void merge(const RunningStats& o) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n - 1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Half-width of the normal-approximation 95% confidence interval of
+  /// the mean: 1.96 * s / sqrt(n). 0 for fewer than two samples.
+  double ci95_halfwidth() const noexcept {
+    return n_ > 1 ? 1.96 * stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a span; 0 for empty input.
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample variance (n-1); 0 for fewer than two samples.
+double variance(std::span<const double> xs) noexcept;
+
+double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolation quantile, q in [0, 1]. Sorts a copy; 0 for empty
+/// input.
+double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace s3::util

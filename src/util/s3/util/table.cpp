@@ -1,0 +1,94 @@
+#include "s3/util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "s3/util/error.h"
+
+namespace s3::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  S3_REQUIRE(!header_.empty(), "TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  S3_REQUIRE(row.size() == header_.size(), "TextTable: row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_numeric_row(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << csv_escape(row[c]);
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace s3::util

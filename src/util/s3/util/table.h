@@ -1,0 +1,45 @@
+// Plain-text table and CSV rendering for bench/example output.
+//
+// Figure benches print labelled series; table benches print aligned
+// columns. Keeping the rendering here keeps bench binaries tiny.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace s3::util {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a row of doubles with `precision` digits.
+  void add_numeric_row(const std::vector<double>& row, int precision = 4);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with single-space-padded columns and a rule under the header.
+  std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes fields containing , " or \n).
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (bench output helper).
+std::string fmt(double v, int precision = 4);
+
+/// Escapes one CSV field.
+std::string csv_escape(const std::string& field);
+
+}  // namespace s3::util

@@ -1,0 +1,49 @@
+// Static description of the enterprise-WLAN entities (§III-A, Fig. 1):
+// light-weight APs grouped under WLAN controllers, one controller per
+// building in the SJTU deployment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "s3/util/ids.h"
+
+namespace s3::wlan {
+
+/// Physical position on the campus plane, metres.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Position& a, const Position& b) noexcept;
+
+/// Immutable configuration of one access point.
+struct ApConfig {
+  ApId id = kInvalidAp;
+  ControllerId controller = kInvalidController;
+  BuildingId building = 0;
+  Position pos;
+  /// Effective shared downlink+uplink capacity in Mbit/s — the W(i)
+  /// bandwidth bound of Definition 1.
+  double capacity_mbps = 20.0;
+  /// Transmit power in dBm, input to the radio model.
+  double tx_power_dbm = 20.0;
+};
+
+/// Immutable configuration of one controller domain.
+struct ControllerConfig {
+  ControllerId id = kInvalidController;
+  BuildingId building = 0;
+  std::string name;
+};
+
+/// Immutable configuration of one building.
+struct BuildingConfig {
+  BuildingId id = 0;
+  Position origin;       ///< south-west corner on the campus plane
+  double width_m = 60.0;
+  double depth_m = 40.0;
+};
+
+}  // namespace s3::wlan

@@ -1,0 +1,20 @@
+#include "s3/wlan/contention.h"
+
+#include <algorithm>
+
+namespace s3::wlan {
+
+double ContentionModel::efficiency(std::size_t stations) const noexcept {
+  const double n = stations == 0 ? 1.0 : static_cast<double>(stations);
+  const double span =
+      std::max(0.0, single_station_efficiency - efficiency_floor);
+  return efficiency_floor +
+         span / (1.0 + decay_per_station * (n - 1.0));
+}
+
+double ContentionModel::effective_capacity_mbps(
+    double nominal_mbps, std::size_t stations) const noexcept {
+  return nominal_mbps * efficiency(stations);
+}
+
+}  // namespace s3::wlan

@@ -1,0 +1,39 @@
+// 802.11 contention efficiency.
+//
+// A cell's usable throughput is not a constant: CSMA/CA arbitration
+// burns airtime as more stations contend (collisions, backoff, and the
+// slowest station's rate anchoring). The classic measurements (Heusse
+// et al. 2003, Jun et al. 2007) show aggregate MAC efficiency decaying
+// from ~90 % with one station toward ~50-60 % with dozens.
+//
+// The model here is the standard hyperbolic fit
+//     eff(n) = floor + (1 - floor) / (1 + k * (n - 1)),
+// which matches those measurements well and is monotone, bounded and
+// cheap. It feeds the fairness analysis (an AP crowded with stations
+// serves less than its nominal capacity) and is available to policies
+// that want contention-aware headroom.
+#pragma once
+
+#include <cstddef>
+
+namespace s3::wlan {
+
+struct ContentionModel {
+  /// Efficiency with a single associated station.
+  double single_station_efficiency = 0.9;
+  /// Asymptotic efficiency under heavy contention.
+  double efficiency_floor = 0.55;
+  /// Decay rate per additional contending station.
+  double decay_per_station = 0.08;
+
+  /// MAC efficiency for `stations` associated stations, in
+  /// (0, single_station_efficiency]. Zero stations count as one (the
+  /// medium is idle; nominal efficiency applies to the first arrival).
+  double efficiency(std::size_t stations) const noexcept;
+
+  /// Usable cell throughput: nominal capacity times efficiency.
+  double effective_capacity_mbps(double nominal_mbps,
+                                 std::size_t stations) const noexcept;
+};
+
+}  // namespace s3::wlan

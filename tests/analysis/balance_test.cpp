@@ -1,0 +1,240 @@
+#include "s3/analysis/balance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "s3/util/rng.h"
+#include "testing/mini.h"
+
+namespace s3::analysis {
+namespace {
+
+using s3::testing::SessionSpec;
+using s3::testing::make_trace;
+using s3::testing::mini_network;
+
+TEST(BalanceIndex, PerfectBalanceIsOne) {
+  const std::vector<double> t = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(balance_index(t), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_balance_index(t), 1.0);
+}
+
+TEST(BalanceIndex, SingleActiveApIsFloor) {
+  const std::vector<double> t = {10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(balance_index(t), 0.25);  // 1/n
+  EXPECT_DOUBLE_EQ(normalized_balance_index(t), 0.0);
+}
+
+TEST(BalanceIndex, KnownIntermediateValue) {
+  // (1+3)^2 / (2 * (1+9)) = 16/20 = 0.8
+  const std::vector<double> t = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(balance_index(t), 0.8);
+  EXPECT_DOUBLE_EQ(normalized_balance_index(t), (0.8 - 0.5) / 0.5);
+}
+
+TEST(BalanceIndex, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(balance_index(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(balance_index(std::vector<double>{7.0}), 1.0);
+  EXPECT_DOUBLE_EQ(balance_index(std::vector<double>{0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_balance_index(std::vector<double>{0.0, 0.0}),
+                   1.0);
+}
+
+TEST(BalanceVariation, RelativeSteps) {
+  const std::vector<double> beta = {0.5, 0.55, 0.44};
+  const auto s = balance_variation(beta);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_NEAR(s[0], 0.1, 1e-12);
+  EXPECT_NEAR(s[1], 0.11 / 0.55, 1e-12);
+}
+
+TEST(BalanceVariation, SkipsZeroBase) {
+  const std::vector<double> beta = {0.0, 0.5, 0.5};
+  const auto s = balance_variation(beta);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+}
+
+TEST(BalanceVariation, TooShortIsEmpty) {
+  EXPECT_TRUE(balance_variation(std::vector<double>{0.5}).empty());
+  EXPECT_TRUE(balance_variation(std::vector<double>{}).empty());
+}
+
+// Property sweep over random load vectors.
+class BalancePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BalancePropertyTest, RangeScaleAndPermutationInvariance) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 2 + rng.index(20);
+  std::vector<double> t(n);
+  for (double& v : t) v = rng.uniform(0.0, 100.0);
+
+  const double beta = balance_index(t);
+  EXPECT_GE(beta, 1.0 / static_cast<double>(n) - 1e-12);
+  EXPECT_LE(beta, 1.0 + 1e-12);
+  const double nb = normalized_balance_index(t);
+  EXPECT_GE(nb, -1e-12);
+  EXPECT_LE(nb, 1.0 + 1e-12);
+
+  // Scale invariance.
+  std::vector<double> scaled = t;
+  for (double& v : scaled) v *= 3.7;
+  EXPECT_NEAR(balance_index(scaled), beta, 1e-12);
+
+  // Permutation invariance.
+  std::vector<double> shuffled = t;
+  rng.shuffle(shuffled);
+  EXPECT_NEAR(balance_index(shuffled), beta, 1e-12);
+}
+
+TEST_P(BalancePropertyTest, EqualizingTransferImprovesBalance) {
+  // Moving load from the most-loaded AP to the least-loaded one must
+  // not decrease the index (Chiu-Jain is Schur-concave).
+  util::Rng rng(GetParam() ^ 0xABCDULL);
+  std::vector<double> t(6);
+  for (double& v : t) v = rng.uniform(1.0, 50.0);
+  const double before = balance_index(t);
+  auto hi = std::max_element(t.begin(), t.end());
+  auto lo = std::min_element(t.begin(), t.end());
+  const double delta = (*hi - *lo) / 4.0;
+  *hi -= delta;
+  *lo += delta;
+  EXPECT_GE(balance_index(t), before - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalancePropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(ThroughputSeries, RequiresAssignedTrace) {
+  const auto net = mini_network(2);
+  const auto unassigned = make_trace(1, {SessionSpec{}});
+  EXPECT_THROW(ThroughputSeries(net, unassigned, util::SimTime(0),
+                                util::SimTime(600)),
+               std::invalid_argument);
+}
+
+TEST(ThroughputSeries, SingleSessionLoad) {
+  const auto net = mini_network(2);
+  // 1 Mbit/s from t=0 to t=600 on AP 0.
+  const auto t = make_trace(
+      1, {SessionSpec{.connect_s = 0, .disconnect_s = 600, .ap = 0,
+                      .demand_mbps = 1.0}});
+  ThroughputOptions opts;
+  opts.slot_s = 600;
+  const ThroughputSeries s(net, t, util::SimTime(0), util::SimTime(1200),
+                           opts);
+  EXPECT_EQ(s.num_slots(), 2u);
+  EXPECT_DOUBLE_EQ(s.slot_load(0, 0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.slot_load(0, 0)[1], 0.0);
+  EXPECT_DOUBLE_EQ(s.slot_load(0, 1)[0], 0.0);  // session ended
+  EXPECT_DOUBLE_EQ(s.slot_users(0, 0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.total_load(0, 0), 1.0);
+}
+
+TEST(ThroughputSeries, PartialOverlapWeighted) {
+  const auto net = mini_network(2);
+  // Session covers half of the second slot.
+  const auto t = make_trace(
+      1, {SessionSpec{.connect_s = 600, .disconnect_s = 900, .ap = 1,
+                      .demand_mbps = 2.0}});
+  ThroughputOptions opts;
+  opts.slot_s = 600;
+  const ThroughputSeries s(net, t, util::SimTime(0), util::SimTime(1200),
+                           opts);
+  EXPECT_DOUBLE_EQ(s.slot_load(0, 1)[1], 1.0);  // 2 Mbps * 300/600
+  EXPECT_DOUBLE_EQ(s.slot_users(0, 1)[1], 0.5);
+}
+
+TEST(ThroughputSeries, CapAtCapacity) {
+  wlan::CampusLayout layout;
+  layout.num_buildings = 1;
+  layout.aps_per_building = 1;
+  layout.ap_capacity_mbps = 3.0;
+  const auto net = wlan::make_campus(layout);
+  const auto t = make_trace(
+      2, {SessionSpec{.user = 0, .connect_s = 0, .disconnect_s = 600, .ap = 0,
+                      .demand_mbps = 2.5},
+          SessionSpec{.user = 1, .connect_s = 0, .disconnect_s = 600, .ap = 0,
+                      .demand_mbps = 2.5}});
+  ThroughputOptions capped;
+  capped.slot_s = 600;
+  const ThroughputSeries s1(net, t, util::SimTime(0), util::SimTime(600),
+                            capped);
+  EXPECT_DOUBLE_EQ(s1.slot_load(0, 0)[0], 3.0);
+
+  ThroughputOptions uncapped = capped;
+  uncapped.cap_at_capacity = false;
+  const ThroughputSeries s2(net, t, util::SimTime(0), util::SimTime(600),
+                            uncapped);
+  EXPECT_DOUBLE_EQ(s2.slot_load(0, 0)[0], 5.0);
+}
+
+TEST(ThroughputSeries, BalanceSeriesMatchesManual) {
+  const auto net = mini_network(2);
+  const auto t = make_trace(
+      2, {SessionSpec{.user = 0, .connect_s = 0, .disconnect_s = 600, .ap = 0,
+                      .demand_mbps = 1.0},
+          SessionSpec{.user = 1, .connect_s = 0, .disconnect_s = 600, .ap = 1,
+                      .demand_mbps = 3.0}});
+  ThroughputOptions opts;
+  opts.slot_s = 600;
+  const ThroughputSeries s(net, t, util::SimTime(0), util::SimTime(600), opts);
+  const auto series = s.normalized_balance_series(0);
+  ASSERT_EQ(series.size(), 1u);
+  const std::vector<double> loads = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(series[0], normalized_balance_index(loads));
+}
+
+TEST(ThroughputSeries, ModulationPreservesSessionTotal) {
+  const auto net = mini_network(1);
+  const auto t = make_trace(
+      1, {SessionSpec{.connect_s = 0, .disconnect_s = 3600, .ap = 0,
+                      .demand_mbps = 2.0}});
+  ThroughputOptions opts;
+  opts.slot_s = 300;
+  opts.cap_at_capacity = false;
+  opts.modulate_within_session = true;
+  opts.modulation_sigma = 0.5;
+  const ThroughputSeries s(net, t, util::SimTime(0), util::SimTime(3600),
+                           opts);
+  double total = 0.0;
+  bool varies = false;
+  double first = s.slot_load(0, 0)[0];
+  for (std::size_t slot = 0; slot < s.num_slots(); ++slot) {
+    total += s.slot_load(0, slot)[0];
+    if (std::abs(s.slot_load(0, slot)[0] - first) > 1e-9) varies = true;
+  }
+  // Mean rate over the session equals the configured demand...
+  EXPECT_NEAR(total / static_cast<double>(s.num_slots()), 2.0, 1e-9);
+  // ...but individual blocks differ (the application dynamics exist).
+  EXPECT_TRUE(varies);
+}
+
+TEST(SessionBlockRate, DeterministicAndUnmodulatedPassThrough) {
+  const auto rec = s3::testing::make_session(
+      SessionSpec{.connect_s = 0, .disconnect_s = 1200, .demand_mbps = 4.0});
+  ThroughputOptions off;
+  EXPECT_DOUBLE_EQ(session_block_rate_mbps(rec, util::SimTime(0), off), 4.0);
+  ThroughputOptions on;
+  on.modulate_within_session = true;
+  const double r1 = session_block_rate_mbps(rec, util::SimTime(300), on);
+  const double r2 = session_block_rate_mbps(rec, util::SimTime(300), on);
+  EXPECT_DOUBLE_EQ(r1, r2);
+  EXPECT_GT(r1, 0.0);
+}
+
+TEST(ThroughputSeries, ValidatesArguments) {
+  const auto net = mini_network(1);
+  const auto t = make_trace(1, {SessionSpec{.ap = 0}});
+  EXPECT_THROW(ThroughputSeries(net, t, util::SimTime(600), util::SimTime(0)),
+               std::invalid_argument);
+  ThroughputOptions bad;
+  bad.slot_s = 0;
+  EXPECT_THROW(
+      ThroughputSeries(net, t, util::SimTime(0), util::SimTime(600), bad),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s3::analysis

@@ -1,0 +1,149 @@
+#include "s3/analysis/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/mini.h"
+
+namespace s3::analysis {
+namespace {
+
+using s3::testing::SessionSpec;
+using s3::testing::make_trace;
+using s3::testing::mini_network;
+
+TEST(JainFairness, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_fairness(std::vector<double>{1, 1, 1, 1}), 1.0);
+  // One user hogging: (1)^2 / (4 * 1) = 0.25.
+  EXPECT_DOUBLE_EQ(jain_fairness(std::vector<double>{1, 0, 0, 0}), 0.25);
+  EXPECT_DOUBLE_EQ(jain_fairness(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness(std::vector<double>{0.0, 0.0}), 1.0);
+  // Scale invariance.
+  EXPECT_NEAR(jain_fairness(std::vector<double>{1, 2, 3}),
+              jain_fairness(std::vector<double>{10, 20, 30}), 1e-12);
+}
+
+TEST(EvaluateFairness, UncongestedServesEverything) {
+  const auto net = mini_network(2);  // 20 Mbps APs
+  const auto t = make_trace(2, {
+      SessionSpec{.user = 0, .connect_s = 0, .disconnect_s = 600, .ap = 0,
+                  .demand_mbps = 3.0},
+      SessionSpec{.user = 1, .connect_s = 0, .disconnect_s = 600, .ap = 1,
+                  .demand_mbps = 5.0},
+  });
+  const FairnessReport r =
+      evaluate_fairness(net, t, util::SimTime(0), util::SimTime(600));
+  EXPECT_DOUBLE_EQ(r.per_user[0].served_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(r.per_user[1].served_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_served_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.jain_index, 1.0);
+  EXPECT_DOUBLE_EQ(r.throttled_slot_fraction, 0.0);
+}
+
+TEST(EvaluateFairness, OverloadThrottlesProportionally) {
+  wlan::CampusLayout layout;
+  layout.num_buildings = 1;
+  layout.aps_per_building = 1;
+  layout.ap_capacity_mbps = 10.0;
+  const auto net = wlan::make_campus(layout);
+  // 15 Mbps offered on a 10 Mbps AP: everyone served 2/3.
+  const auto t = make_trace(2, {
+      SessionSpec{.user = 0, .connect_s = 0, .disconnect_s = 600, .ap = 0,
+                  .demand_mbps = 10.0},
+      SessionSpec{.user = 1, .connect_s = 0, .disconnect_s = 600, .ap = 0,
+                  .demand_mbps = 5.0},
+  });
+  const FairnessReport r =
+      evaluate_fairness(net, t, util::SimTime(0), util::SimTime(600));
+  EXPECT_NEAR(r.per_user[0].served_fraction(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.per_user[1].served_fraction(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.throttled_slot_fraction, 1.0);
+  EXPECT_NEAR(r.per_user[0].offered_mb, 10.0 * 600.0, 1e-9);
+  EXPECT_NEAR(r.per_user[0].served_mb, 10.0 * 600.0 * 2.0 / 3.0, 1e-9);
+}
+
+TEST(EvaluateFairness, UnevenPlacementIsUnfair) {
+  wlan::CampusLayout layout;
+  layout.num_buildings = 1;
+  layout.aps_per_building = 2;
+  layout.ap_capacity_mbps = 10.0;
+  const auto net = wlan::make_campus(layout);
+  // Both heavy users crammed on AP 0 while AP 1 carries only the small
+  // one: the heavy pair is throttled.
+  const auto t = make_trace(3, {
+      SessionSpec{.user = 0, .connect_s = 0, .disconnect_s = 600, .ap = 0,
+                  .demand_mbps = 8.0},
+      SessionSpec{.user = 1, .connect_s = 0, .disconnect_s = 600, .ap = 0,
+                  .demand_mbps = 8.0},
+      SessionSpec{.user = 2, .connect_s = 0, .disconnect_s = 600, .ap = 1,
+                  .demand_mbps = 2.0},
+  });
+  const FairnessReport crowded =
+      evaluate_fairness(net, t, util::SimTime(0), util::SimTime(600));
+  EXPECT_LT(crowded.jain_index, 1.0);
+  EXPECT_LT(crowded.mean_served_fraction, 1.0);
+
+  // Spread placement (8+2 / 8): everyone fits under the 10 Mbps caps.
+  const auto spread = t.with_assignments(std::vector<ApId>{0, 1, 1});
+  const FairnessReport even =
+      evaluate_fairness(net, spread, util::SimTime(0), util::SimTime(600));
+  EXPECT_GT(even.mean_served_fraction, crowded.mean_served_fraction);
+  EXPECT_GT(even.jain_index, crowded.jain_index);
+}
+
+TEST(EvaluateFairness, PartialOverlapWeighted) {
+  const auto net = mini_network(1);
+  const auto t = make_trace(1, {
+      SessionSpec{.user = 0, .connect_s = 300, .disconnect_s = 900, .ap = 0,
+                  .demand_mbps = 2.0},
+  });
+  const FairnessReport r =
+      evaluate_fairness(net, t, util::SimTime(0), util::SimTime(600));
+  // Only 300 s of the session fall in the window.
+  EXPECT_NEAR(r.per_user[0].offered_mb, 2.0 * 300.0, 1e-9);
+}
+
+TEST(EvaluateFairness, ContentionShrinksService) {
+  wlan::CampusLayout layout;
+  layout.num_buildings = 1;
+  layout.aps_per_building = 1;
+  layout.ap_capacity_mbps = 10.0;
+  const auto net = wlan::make_campus(layout);
+  // Ten light stations: fits nominal capacity exactly, but contention
+  // efficiency shaves the usable capacity below the offered load.
+  std::vector<SessionSpec> specs;
+  for (UserId u = 0; u < 10; ++u) {
+    specs.push_back(SessionSpec{.user = u, .connect_s = 0,
+                                .disconnect_s = 600, .demand_mbps = 1.0});
+  }
+  auto t = make_trace(10, specs);
+  std::vector<ApId> all_zero(10, 0);
+  t = t.with_assignments(all_zero);
+
+  const FairnessReport nominal =
+      evaluate_fairness(net, t, util::SimTime(0), util::SimTime(600));
+  EXPECT_DOUBLE_EQ(nominal.mean_served_fraction, 1.0);
+
+  FairnessOptions with_contention;
+  with_contention.contention = wlan::ContentionModel{};
+  const FairnessReport contended = evaluate_fairness(
+      net, t, util::SimTime(0), util::SimTime(600), with_contention);
+  EXPECT_LT(contended.mean_served_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(contended.throttled_slot_fraction, 1.0);
+  // Proportional sharing: still perfectly fair within the cell.
+  EXPECT_NEAR(contended.jain_index, 1.0, 1e-9);
+}
+
+TEST(EvaluateFairness, Validation) {
+  const auto net = mini_network(1);
+  const auto unassigned = make_trace(1, {SessionSpec{}});
+  EXPECT_THROW(evaluate_fairness(net, unassigned, util::SimTime(0),
+                                 util::SimTime(600)),
+               std::invalid_argument);
+  const auto t = make_trace(1, {SessionSpec{.ap = 0}});
+  EXPECT_THROW(
+      evaluate_fairness(net, t, util::SimTime(600), util::SimTime(0)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s3::analysis

@@ -1,0 +1,117 @@
+#include "s3/analysis/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "s3/trace/generator.h"
+#include "testing/mini.h"
+
+namespace s3::analysis {
+namespace {
+
+using s3::testing::SessionSpec;
+using s3::testing::make_trace;
+
+TEST(BuildProfiles, BooksSessionsOnConnectDay) {
+  const auto t = make_trace(2, {
+      SessionSpec{.user = 0, .connect_s = 100, .disconnect_s = 700,
+                  .web_bytes = 50.0},
+      SessionSpec{.user = 0, .connect_s = 86400 + 100,
+                  .disconnect_s = 86400 + 900, .web_bytes = 30.0},
+      SessionSpec{.user = 1, .connect_s = 200, .disconnect_s = 800,
+                  .web_bytes = 10.0},
+  }, 2);
+  const apps::ProfileStore store = build_profiles(t);
+  const std::size_t web = static_cast<std::size_t>(apps::AppCategory::kWeb);
+  EXPECT_DOUBLE_EQ(store.user(0).day(0)[web], 50.0);
+  EXPECT_DOUBLE_EQ(store.user(0).day(1)[web], 30.0);
+  EXPECT_DOUBLE_EQ(store.user(1).day(0)[web], 10.0);
+  EXPECT_DOUBLE_EQ(apps::total(store.user(1).day(1)), 0.0);
+}
+
+TEST(BuildProfiles, WorksOnUnassignedWorkload) {
+  const auto t = make_trace(1, {SessionSpec{.web_bytes = 5.0}});
+  const apps::ProfileStore store = build_profiles(t);
+  EXPECT_DOUBLE_EQ(apps::total(store.user(0).lifetime()), 5.0);
+}
+
+TEST(NmiVsHistory, ValidatesConfig) {
+  const apps::ProfileStore store(1, 10);
+  NmiCurveConfig bad;
+  bad.day_x = 0;
+  EXPECT_THROW(nmi_vs_history(store, bad), std::invalid_argument);
+  bad = NmiCurveConfig{};
+  bad.max_history_days = 0;
+  EXPECT_THROW(nmi_vs_history(store, bad), std::invalid_argument);
+}
+
+TEST(NmiVsHistory, SkipsInactiveUsers) {
+  apps::ProfileStore store(3, 10);
+  // Only user 1 has traffic on day 5 and history before it.
+  store.user(1).add(5, apps::AppCategory::kWeb, 100.0);
+  store.user(1).add(4, apps::AppCategory::kWeb, 80.0);
+  NmiCurveConfig cfg;
+  cfg.day_x = 5;
+  cfg.max_history_days = 3;
+  const NmiCurve curve = nmi_vs_history(store, cfg);
+  EXPECT_EQ(curve.users_considered, 1u);
+  EXPECT_EQ(curve.mean_nmi.size(), 3u);
+}
+
+TEST(NmiVsHistory, RisesAndPlateausOnGeneratedTrace) {
+  // The paper's Fig. 6 shape: NMI grows with history length and
+  // saturates; with the generator's noisy daily mixes the curve at
+  // n=15 should clearly beat n=1 and roughly match n=20.
+  trace::GeneratorConfig cfg;
+  cfg.seed = 5;
+  cfg.num_users = 300;
+  cfg.num_days = 22;
+  cfg.layout.num_buildings = 2;
+  cfg.layout.aps_per_building = 6;
+  const trace::GeneratedTrace g = trace::generate_campus_trace(cfg);
+  const apps::ProfileStore store = build_profiles(g.workload);
+
+  NmiCurveConfig nc;
+  nc.day_x = 21;
+  nc.max_history_days = 20;
+  const NmiCurve curve = nmi_vs_history(store, nc);
+  ASSERT_EQ(curve.mean_nmi.size(), 20u);
+  EXPECT_GT(curve.users_considered, 50u);
+  EXPECT_GT(curve.mean_nmi[14], curve.mean_nmi[0]);  // rises
+  EXPECT_NEAR(curve.mean_nmi[19], curve.mean_nmi[14],
+              0.1 * curve.mean_nmi[14] + 0.02);  // plateau
+}
+
+TEST(NmiVsHistory, PerfectHistoryScoresHigherThanNoise) {
+  apps::ProfileStore store(2, 12);
+  // User 0: identical profile every day -> history == today.
+  for (std::int64_t d = 0; d < 12; ++d) {
+    store.user(0).add(d, apps::AppCategory::kWeb, 60.0);
+    store.user(0).add(d, apps::AppCategory::kIm, 25.0);
+    store.user(0).add(d, apps::AppCategory::kVideo, 15.0);
+  }
+  // User 1: completely different realm each day.
+  for (std::int64_t d = 0; d < 12; ++d) {
+    store.user(1).add(d, static_cast<apps::AppCategory>(d % 6), 100.0);
+  }
+  NmiCurveConfig cfg;
+  cfg.day_x = 11;
+  cfg.max_history_days = 5;
+
+  apps::ProfileStore stable(1, 12);
+  for (std::int64_t d = 0; d < 12; ++d) {
+    stable.user(0).add(d, apps::AppCategory::kWeb, 60.0);
+    stable.user(0).add(d, apps::AppCategory::kIm, 25.0);
+    stable.user(0).add(d, apps::AppCategory::kVideo, 15.0);
+  }
+  const NmiCurve s = nmi_vs_history(stable, cfg);
+
+  apps::ProfileStore churny(1, 12);
+  for (std::int64_t d = 0; d < 12; ++d) {
+    churny.user(0).add(d, static_cast<apps::AppCategory>(d % 6), 100.0);
+  }
+  const NmiCurve c = nmi_vs_history(churny, cfg);
+  EXPECT_GT(s.mean_nmi[4], c.mean_nmi[4]);
+}
+
+}  // namespace
+}  // namespace s3::analysis

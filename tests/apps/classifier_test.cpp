@@ -1,0 +1,132 @@
+#include "s3/apps/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace s3::apps {
+namespace {
+
+FlowRecord flow(std::uint16_t dst_port, Transport t = Transport::kTcp,
+                double bytes = 100.0) {
+  FlowRecord f;
+  f.src_port = 50000;  // ephemeral client port
+  f.dst_port = dst_port;
+  f.transport = t;
+  f.bytes = bytes;
+  return f;
+}
+
+TEST(PortClassifier, WellKnownPortsPerCategory) {
+  const PortClassifier c;
+  EXPECT_EQ(c.classify(flow(80)), AppCategory::kWeb);
+  EXPECT_EQ(c.classify(flow(443)), AppCategory::kWeb);
+  EXPECT_EQ(c.classify(flow(25)), AppCategory::kEmail);
+  EXPECT_EQ(c.classify(flow(993)), AppCategory::kEmail);
+  EXPECT_EQ(c.classify(flow(5222)), AppCategory::kIm);
+  EXPECT_EQ(c.classify(flow(1863)), AppCategory::kIm);
+  EXPECT_EQ(c.classify(flow(6881)), AppCategory::kP2p);
+  EXPECT_EQ(c.classify(flow(6999)), AppCategory::kP2p);
+  EXPECT_EQ(c.classify(flow(4662)), AppCategory::kP2p);
+  EXPECT_EQ(c.classify(flow(554)), AppCategory::kVideo);
+  EXPECT_EQ(c.classify(flow(1935)), AppCategory::kVideo);
+  EXPECT_EQ(c.classify(flow(3689)), AppCategory::kMusic);
+}
+
+TEST(PortClassifier, TransportMatters) {
+  const PortClassifier c;
+  // QQ IM is UDP 8000; TCP 8000 matches nothing and falls back.
+  EXPECT_EQ(c.classify(flow(8000, Transport::kUdp)), AppCategory::kIm);
+  EXPECT_EQ(c.classify(flow(8000, Transport::kTcp)), AppCategory::kWeb);
+}
+
+TEST(PortClassifier, MatchesEitherEndpoint) {
+  const PortClassifier c;
+  FlowRecord f;  // server-to-client direction: service port on src side
+  f.src_port = 443;
+  f.dst_port = 51234;
+  EXPECT_EQ(c.classify(f), AppCategory::kWeb);
+}
+
+TEST(PortClassifier, FallbackConfigurable) {
+  const PortClassifier c;
+  const FlowRecord unknown = flow(9999);
+  EXPECT_EQ(c.classify(unknown), AppCategory::kWeb);
+  EXPECT_EQ(c.classify(unknown, AppCategory::kMusic), AppCategory::kMusic);
+  EXPECT_FALSE(c.try_classify(unknown).has_value());
+}
+
+TEST(PortClassifier, FirstMatchWins) {
+  const PortClassifier c({{Transport::kTcp, 80, 80, AppCategory::kMusic},
+                          {Transport::kTcp, 80, 80, AppCategory::kWeb}});
+  EXPECT_EQ(c.classify(flow(80)), AppCategory::kMusic);
+}
+
+TEST(PortClassifier, RangeRules) {
+  const PortClassifier c({{Transport::kUdp, 100, 200, AppCategory::kVideo}});
+  EXPECT_EQ(c.classify(flow(100, Transport::kUdp)), AppCategory::kVideo);
+  EXPECT_EQ(c.classify(flow(150, Transport::kUdp)), AppCategory::kVideo);
+  EXPECT_EQ(c.classify(flow(200, Transport::kUdp)), AppCategory::kVideo);
+  EXPECT_FALSE(c.try_classify(flow(201, Transport::kUdp)).has_value());
+}
+
+TEST(AccumulateFlows, SumsBytesPerRealm) {
+  const PortClassifier c;
+  const std::vector<FlowRecord> flows = {
+      flow(80, Transport::kTcp, 10.0), flow(443, Transport::kTcp, 5.0),
+      flow(6881, Transport::kTcp, 100.0), flow(25, Transport::kTcp, 2.0)};
+  const AppMix mix = accumulate_flows(c, flows);
+  EXPECT_DOUBLE_EQ(mix[static_cast<std::size_t>(AppCategory::kWeb)], 15.0);
+  EXPECT_DOUBLE_EQ(mix[static_cast<std::size_t>(AppCategory::kP2p)], 100.0);
+  EXPECT_DOUBLE_EQ(mix[static_cast<std::size_t>(AppCategory::kEmail)], 2.0);
+  EXPECT_DOUBLE_EQ(mix[static_cast<std::size_t>(AppCategory::kIm)], 0.0);
+}
+
+TEST(AppMix, TotalAndNormalize) {
+  AppMix m{};
+  m[0] = 2.0;
+  m[5] = 6.0;
+  EXPECT_DOUBLE_EQ(total(m), 8.0);
+  const AppMix n = normalized(m);
+  EXPECT_DOUBLE_EQ(n[0], 0.25);
+  EXPECT_DOUBLE_EQ(n[5], 0.75);
+  EXPECT_DOUBLE_EQ(total(n), 1.0);
+}
+
+TEST(AppMix, NormalizeZeroStaysZero) {
+  const AppMix zero{};
+  EXPECT_EQ(normalized(zero), zero);
+}
+
+TEST(AppMix, Accumulate) {
+  AppMix a{};
+  a[1] = 1.0;
+  AppMix b{};
+  b[1] = 2.0;
+  b[3] = 4.0;
+  accumulate(a, b);
+  EXPECT_DOUBLE_EQ(a[1], 3.0);
+  EXPECT_DOUBLE_EQ(a[3], 4.0);
+}
+
+TEST(AppMix, Distances) {
+  AppMix a{}, b{};
+  a[0] = 1.0;
+  b[1] = 1.0;
+  EXPECT_NEAR(l2_distance(a, b), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(l2_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+  EXPECT_NEAR(cosine_similarity(a, a), 1.0, 1e-12);
+  const AppMix zero{};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, zero), 0.0);
+}
+
+TEST(AppCategory, Names) {
+  EXPECT_EQ(to_string(AppCategory::kIm), "IM");
+  EXPECT_EQ(to_string(AppCategory::kP2p), "P2P");
+  EXPECT_EQ(to_string(AppCategory::kWeb), "browsing");
+  EXPECT_EQ(kAllCategories.size(), kNumCategories);
+}
+
+}  // namespace
+}  // namespace s3::apps

@@ -1,0 +1,122 @@
+#include "s3/apps/flow_synthesis.h"
+
+#include <gtest/gtest.h>
+
+namespace s3::apps {
+namespace {
+
+TEST(DefaultRules, NoCrossCategoryShadowing) {
+  // Every rule in the default table must classify back to its own
+  // category when probed at its low port (first-match-wins sanity).
+  const PortClassifier c;
+  for (const PortRule& rule : c.rules()) {
+    FlowRecord probe;
+    probe.transport = rule.transport;
+    probe.src_port = 50001;
+    probe.dst_port = rule.port_lo;
+    EXPECT_EQ(c.classify(probe), rule.category)
+        << "rule at port " << rule.port_lo << " is shadowed";
+  }
+}
+
+TEST(SynthesizeFlows, RoundTripsBudgetExactly) {
+  const PortClassifier classifier;
+  util::Rng rng(1);
+  AppMix budget{};
+  budget[0] = 5.0e6;   // IM
+  budget[1] = 50.0e6;  // P2P
+  budget[3] = 1.0e6;   // email
+  budget[5] = 20.0e6;  // web
+  const auto flows = synthesize_flows(budget, classifier, rng);
+  const AppMix back = accumulate_flows(classifier, flows);
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    EXPECT_NEAR(back[c], budget[c], 1e-6) << "realm " << c;
+  }
+}
+
+TEST(SynthesizeFlows, EmptyBudgetGivesNoFlows) {
+  const PortClassifier classifier;
+  util::Rng rng(2);
+  EXPECT_TRUE(synthesize_flows(AppMix{}, classifier, rng).empty());
+}
+
+TEST(SynthesizeFlows, FlowSizesFollowConfig) {
+  const PortClassifier classifier;
+  util::Rng rng(3);
+  AppMix budget{};
+  budget[5] = 1.0e9;
+  FlowSynthesisConfig cfg;
+  cfg.mean_flow_bytes = 1.0e6;
+  cfg.sigma = 0.5;
+  const auto flows = synthesize_flows(budget, classifier, rng, cfg);
+  // Expect roughly budget/mean flows.
+  EXPECT_GT(flows.size(), 500u);
+  EXPECT_LT(flows.size(), 2000u);
+  for (const FlowRecord& f : flows) {
+    EXPECT_GT(f.bytes, 0.0);
+    EXPECT_GE(f.src_port, cfg.ephemeral_lo);
+  }
+}
+
+TEST(SynthesizeFlows, DeterministicInSeed) {
+  const PortClassifier classifier;
+  AppMix budget{};
+  budget[2] = 3.0e6;
+  budget[4] = 9.0e6;
+  util::Rng a(7), b(7);
+  const auto fa = synthesize_flows(budget, classifier, a);
+  const auto fb = synthesize_flows(budget, classifier, b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].dst_port, fb[i].dst_port);
+    EXPECT_DOUBLE_EQ(fa[i].bytes, fb[i].bytes);
+  }
+}
+
+TEST(SynthesizeFlows, Validation) {
+  const PortClassifier classifier;
+  util::Rng rng(4);
+  FlowSynthesisConfig bad;
+  bad.mean_flow_bytes = 0.0;
+  AppMix budget{};
+  budget[0] = 1.0;
+  EXPECT_THROW(synthesize_flows(budget, classifier, rng, bad),
+               std::invalid_argument);
+}
+
+TEST(IngestFlows, BooksOnUserDay) {
+  const PortClassifier classifier;
+  util::Rng rng(5);
+  AppMix budget{};
+  budget[1] = 10.0e6;
+  budget[5] = 4.0e6;
+  const auto flows = synthesize_flows(budget, classifier, rng);
+
+  ProfileStore store(2, 3);
+  ingest_flows(store, 1, 2, classifier, flows);
+  const AppMix& day = store.user(1).day(2);
+  EXPECT_NEAR(day[1], 10.0e6, 1e-6);
+  EXPECT_NEAR(day[5], 4.0e6, 1e-6);
+  EXPECT_DOUBLE_EQ(total(store.user(0).lifetime()), 0.0);
+}
+
+TEST(IngestFlows, MatchesDirectBooking) {
+  // The flow-ingest path and the direct AppMix path must agree.
+  const PortClassifier classifier;
+  util::Rng rng(6);
+  AppMix budget{};
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    budget[c] = 1.0e6 * static_cast<double>(c + 1);
+  }
+  const auto flows = synthesize_flows(budget, classifier, rng);
+
+  ProfileStore via_flows(1, 1), direct(1, 1);
+  ingest_flows(via_flows, 0, 0, classifier, flows);
+  direct.user(0).add_mix(0, budget);
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    EXPECT_NEAR(via_flows.user(0).day(0)[c], direct.user(0).day(0)[c], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace s3::apps

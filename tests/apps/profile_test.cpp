@@ -1,0 +1,98 @@
+#include "s3/apps/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace s3::apps {
+namespace {
+
+TEST(UserProfileHistory, AddAndQuery) {
+  UserProfileHistory h(5);
+  h.add(0, AppCategory::kWeb, 10.0);
+  h.add(0, AppCategory::kWeb, 5.0);
+  h.add(2, AppCategory::kP2p, 100.0);
+  EXPECT_DOUBLE_EQ(h.day(0)[static_cast<std::size_t>(AppCategory::kWeb)], 15.0);
+  EXPECT_DOUBLE_EQ(h.day(2)[static_cast<std::size_t>(AppCategory::kP2p)], 100.0);
+  EXPECT_DOUBLE_EQ(total(h.day(1)), 0.0);
+}
+
+TEST(UserProfileHistory, OutOfRangeDaysAreZero) {
+  UserProfileHistory h(3);
+  h.add(1, AppCategory::kIm, 1.0);
+  EXPECT_DOUBLE_EQ(total(h.day(-5)), 0.0);
+  EXPECT_DOUBLE_EQ(total(h.day(99)), 0.0);
+}
+
+TEST(UserProfileHistory, GrowsOnDemand) {
+  UserProfileHistory h;  // zero days
+  h.add(7, AppCategory::kVideo, 3.0);
+  EXPECT_EQ(h.num_days(), 8u);
+  EXPECT_DOUBLE_EQ(total(h.day(7)), 3.0);
+}
+
+TEST(UserProfileHistory, RejectsBadInput) {
+  UserProfileHistory h(2);
+  EXPECT_THROW(h.add(-1, AppCategory::kIm, 1.0), std::invalid_argument);
+  EXPECT_THROW(h.add(0, AppCategory::kIm, -1.0), std::invalid_argument);
+}
+
+TEST(UserProfileHistory, CumulativeClampsBounds) {
+  UserProfileHistory h(4);
+  for (std::int64_t d = 0; d < 4; ++d) h.add(d, AppCategory::kEmail, 1.0);
+  EXPECT_DOUBLE_EQ(total(h.cumulative(1, 2)), 2.0);
+  EXPECT_DOUBLE_EQ(total(h.cumulative(-10, 10)), 4.0);
+  EXPECT_DOUBLE_EQ(total(h.cumulative(3, 1)), 0.0);  // inverted range
+}
+
+TEST(UserProfileHistory, LifetimeAndEmpty) {
+  UserProfileHistory h(3);
+  EXPECT_TRUE(h.empty());
+  h.add(1, AppCategory::kMusic, 2.0);
+  EXPECT_FALSE(h.empty());
+  EXPECT_DOUBLE_EQ(total(h.lifetime()), 2.0);
+}
+
+TEST(UserProfileHistory, AddMix) {
+  UserProfileHistory h(2);
+  AppMix m{};
+  m[0] = 1.0;
+  m[5] = 2.0;
+  h.add_mix(1, m);
+  h.add_mix(1, m);
+  EXPECT_DOUBLE_EQ(h.day(1)[0], 2.0);
+  EXPECT_DOUBLE_EQ(h.day(1)[5], 4.0);
+}
+
+TEST(ProfileStore, PerUserIsolation) {
+  ProfileStore store(3, 2);
+  store.user(0).add(0, AppCategory::kWeb, 10.0);
+  store.user(2).add(1, AppCategory::kP2p, 20.0);
+  EXPECT_DOUBLE_EQ(total(store.user(0).lifetime()), 10.0);
+  EXPECT_DOUBLE_EQ(total(store.user(1).lifetime()), 0.0);
+  EXPECT_DOUBLE_EQ(total(store.user(2).lifetime()), 20.0);
+  EXPECT_THROW(store.user(3), std::invalid_argument);
+}
+
+TEST(ProfileStore, NormalizedProfiles) {
+  ProfileStore store(2, 2);
+  store.user(0).add(0, AppCategory::kWeb, 3.0);
+  store.user(0).add(1, AppCategory::kIm, 1.0);
+  const auto profiles = store.normalized_profiles();
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_DOUBLE_EQ(profiles[0][static_cast<std::size_t>(AppCategory::kWeb)],
+                   0.75);
+  EXPECT_DOUBLE_EQ(profiles[0][static_cast<std::size_t>(AppCategory::kIm)],
+                   0.25);
+  EXPECT_DOUBLE_EQ(total(profiles[1]), 0.0);  // inactive user stays zero
+}
+
+TEST(ProfileStore, WindowedProfiles) {
+  ProfileStore store(1, 4);
+  store.user(0).add(0, AppCategory::kWeb, 100.0);
+  store.user(0).add(3, AppCategory::kIm, 50.0);
+  const auto windowed = store.normalized_profiles(2, 3);
+  EXPECT_DOUBLE_EQ(windowed[0][static_cast<std::size_t>(AppCategory::kIm)],
+                   1.0);
+}
+
+}  // namespace
+}  // namespace s3::apps

@@ -1,0 +1,42 @@
+# End-to-end smoke test of the s3lb CLI: generate -> replay(llf) ->
+# train -> replay(s3). Invoked by ctest with -DCLI=<path-to-binary>.
+
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<s3lb binary>")
+endif()
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/cli_test_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+function(run_cli)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "s3lb ${ARGN} failed (${rc}):\n${out}\n${err}")
+  endif()
+  message(STATUS "s3lb ${ARGN}: OK")
+endfunction()
+
+run_cli(generate --out "${WORK}/w.csv" --users 300 --days 5
+        --buildings 2 --aps 5 --seed 3)
+run_cli(replay --in "${WORK}/w.csv" --out "${WORK}/collected.csv"
+        --policy llf --buildings 2 --aps 5)
+run_cli(train --in "${WORK}/collected.csv" --out "${WORK}/model.txt")
+run_cli(replay --in "${WORK}/w.csv" --out "${WORK}/s3.csv"
+        --policy s3 --model "${WORK}/model.txt" --buildings 2 --aps 5)
+
+foreach(f w.csv collected.csv model.txt s3.csv)
+  if(NOT EXISTS "${WORK}/${f}")
+    message(FATAL_ERROR "expected output ${f} missing")
+  endif()
+endforeach()
+
+# The usage path must exit non-zero on an unknown command.
+execute_process(COMMAND ${CLI} bogus RESULT_VARIABLE rc OUTPUT_QUIET
+                ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown command should fail")
+endif()

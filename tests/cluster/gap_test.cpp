@@ -1,0 +1,132 @@
+#include "s3/cluster/gap_statistic.h"
+
+#include <gtest/gtest.h>
+
+#include "s3/util/rng.h"
+
+namespace s3::cluster {
+namespace {
+
+Dataset blobs(std::size_t k, std::size_t per_cluster, double spread,
+              double noise, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset d;
+  d.dim = 2;
+  d.num_points = k * per_cluster;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double cx = spread * static_cast<double>(c % 3);
+    const double cy = spread * static_cast<double>(c / 3);
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      d.values.push_back(cx + rng.normal(0.0, noise));
+      d.values.push_back(cy + rng.normal(0.0, noise));
+    }
+  }
+  return d;
+}
+
+TEST(GapStatistic, FindsFourClusters) {
+  const Dataset d = blobs(4, 50, 10.0, 0.4, 1);
+  GapStatisticConfig cfg;
+  cfg.max_k = 8;
+  cfg.num_references = 8;
+  const GapStatisticResult r = gap_statistic(d, cfg);
+  EXPECT_EQ(r.optimal_k, 4u);
+}
+
+TEST(GapStatistic, FindsTwoClusters) {
+  const Dataset d = blobs(2, 80, 12.0, 0.5, 2);
+  GapStatisticConfig cfg;
+  cfg.max_k = 6;
+  const GapStatisticResult r = gap_statistic(d, cfg);
+  EXPECT_EQ(r.optimal_k, 2u);
+}
+
+TEST(GapStatistic, UniformDataPrefersOneCluster) {
+  util::Rng rng(3);
+  Dataset d;
+  d.dim = 2;
+  d.num_points = 200;
+  for (std::size_t i = 0; i < 400; ++i) {
+    d.values.push_back(rng.uniform(0.0, 1.0));
+  }
+  GapStatisticConfig cfg;
+  cfg.max_k = 6;
+  const GapStatisticResult r = gap_statistic(d, cfg);
+  EXPECT_LE(r.optimal_k, 2u);  // no real structure
+}
+
+TEST(GapStatistic, OutputShapes) {
+  const Dataset d = blobs(3, 30, 8.0, 0.5, 4);
+  GapStatisticConfig cfg;
+  cfg.max_k = 5;
+  const GapStatisticResult r = gap_statistic(d, cfg);
+  EXPECT_EQ(r.gap.size(), 5u);
+  EXPECT_EQ(r.s.size(), 5u);
+  EXPECT_EQ(r.log_w.size(), 5u);
+  for (double s : r.s) EXPECT_GE(s, 0.0);
+  // log W_k decreases in k on the observed data.
+  for (std::size_t k = 1; k < 5; ++k) {
+    EXPECT_LE(r.log_w[k], r.log_w[k - 1] + 0.05);
+  }
+}
+
+TEST(GapStatistic, DeterministicInSeed) {
+  const Dataset d = blobs(3, 30, 8.0, 0.5, 5);
+  GapStatisticConfig cfg;
+  cfg.max_k = 5;
+  cfg.seed = 99;
+  const GapStatisticResult a = gap_statistic(d, cfg);
+  const GapStatisticResult b = gap_statistic(d, cfg);
+  EXPECT_EQ(a.optimal_k, b.optimal_k);
+  EXPECT_EQ(a.gap, b.gap);
+}
+
+TEST(GapStatistic, UniformBoxReferenceAlsoWorksOnRoundBlobs) {
+  // On isotropic well-separated blobs both reference methods agree;
+  // they only diverge on degenerate/correlated data (see pca.h).
+  const Dataset d = blobs(4, 50, 10.0, 0.4, 1);  // FindsFourClusters data
+  GapStatisticConfig cfg;
+  cfg.max_k = 8;
+  cfg.num_references = 8;
+  cfg.reference = GapReference::kUniformBox;
+  EXPECT_EQ(gap_statistic(d, cfg).optimal_k, 4u);
+  cfg.reference = GapReference::kPcaAlignedBox;
+  EXPECT_EQ(gap_statistic(d, cfg).optimal_k, 4u);
+}
+
+TEST(GapStatistic, PcaReferenceHandlesDegenerateSimplexData) {
+  // Points on a 1-d segment embedded in 2-d (simplex-like degeneracy):
+  // two clusters on the segment. The PCA-aligned reference samples on
+  // the segment's box and finds them.
+  util::Rng rng(10);
+  Dataset d;
+  d.dim = 2;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 80; ++i) {
+      const double t = 10.0 * c + rng.normal(0.0, 0.4);
+      d.values.push_back(t);
+      d.values.push_back(1.0 - t);  // x + y = 1: degenerate direction
+      ++d.num_points;
+    }
+  }
+  GapStatisticConfig cfg;
+  cfg.max_k = 5;
+  cfg.reference = GapReference::kPcaAlignedBox;
+  EXPECT_EQ(gap_statistic(d, cfg).optimal_k, 2u);
+}
+
+TEST(GapStatistic, Validation) {
+  const Dataset d = blobs(2, 5, 5.0, 0.3, 6);
+  GapStatisticConfig cfg;
+  cfg.max_k = 1;
+  EXPECT_THROW(gap_statistic(d, cfg), std::invalid_argument);
+  cfg = GapStatisticConfig{};
+  cfg.num_references = 1;
+  EXPECT_THROW(gap_statistic(d, cfg), std::invalid_argument);
+  cfg = GapStatisticConfig{};
+  cfg.max_k = 100;  // more than points
+  EXPECT_THROW(gap_statistic(d, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s3::cluster

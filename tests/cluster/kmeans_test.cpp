@@ -1,0 +1,180 @@
+#include "s3/cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "s3/util/rng.h"
+
+namespace s3::cluster {
+namespace {
+
+/// Builds `per_cluster` points around each of the given centers.
+Dataset blobs(const std::vector<std::vector<double>>& centers,
+              std::size_t per_cluster, double noise, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset d;
+  d.dim = centers.front().size();
+  d.num_points = centers.size() * per_cluster;
+  d.values.reserve(d.num_points * d.dim);
+  for (const auto& c : centers) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      for (double x : c) d.values.push_back(x + rng.normal(0.0, noise));
+    }
+  }
+  return d;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  const Dataset d = blobs({{0, 0}, {10, 0}, {0, 10}}, 40, 0.3, 1);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const KMeansResult r = kmeans(d, cfg);
+  EXPECT_EQ(r.k, 3u);
+  // Every blob is internally pure: all 40 points share one label.
+  for (std::size_t b = 0; b < 3; ++b) {
+    std::set<std::size_t> labels;
+    for (std::size_t i = 0; i < 40; ++i) labels.insert(r.assignment[b * 40 + i]);
+    EXPECT_EQ(labels.size(), 1u);
+  }
+  // Labels differ across blobs.
+  std::set<std::size_t> blob_labels = {r.assignment[0], r.assignment[40],
+                                       r.assignment[80]};
+  EXPECT_EQ(blob_labels.size(), 3u);
+}
+
+TEST(KMeans, CentroidsNearTrueCenters) {
+  const Dataset d = blobs({{0, 0}, {8, 8}}, 100, 0.2, 2);
+  KMeansConfig cfg;
+  cfg.k = 2;
+  const KMeansResult r = kmeans(d, cfg);
+  // Each true center is close to some centroid.
+  for (const std::vector<double>& truth : {std::vector<double>{0, 0},
+                                          std::vector<double>{8, 8}}) {
+    double best = 1e18;
+    for (std::size_t c = 0; c < 2; ++c) {
+      best = std::min(best, squared_distance(r.centroid(c), truth));
+    }
+    EXPECT_LT(best, 0.05);
+  }
+}
+
+TEST(KMeans, AssignmentIsNearestCentroid) {
+  const Dataset d = blobs({{0, 0}, {5, 5}, {0, 9}}, 30, 0.8, 3);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const KMeansResult r = kmeans(d, cfg);
+  for (std::size_t i = 0; i < d.num_points; ++i) {
+    const double own =
+        squared_distance(d.point(i), r.centroid(r.assignment[i]));
+    for (std::size_t c = 0; c < r.k; ++c) {
+      EXPECT_LE(own, squared_distance(d.point(i), r.centroid(c)) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeans, InertiaEqualsSumOfSquares) {
+  const Dataset d = blobs({{0, 0}}, 50, 1.0, 4);
+  KMeansConfig cfg;
+  cfg.k = 2;
+  const KMeansResult r = kmeans(d, cfg);
+  double manual = 0.0;
+  for (std::size_t i = 0; i < d.num_points; ++i) {
+    manual += squared_distance(d.point(i), r.centroid(r.assignment[i]));
+  }
+  EXPECT_NEAR(r.inertia, manual, 1e-9);
+}
+
+TEST(KMeans, DeterministicInSeed) {
+  const Dataset d = blobs({{0, 0}, {6, 1}}, 60, 1.0, 5);
+  KMeansConfig cfg;
+  cfg.k = 2;
+  cfg.seed = 77;
+  const KMeansResult a = kmeans(d, cfg);
+  const KMeansResult b = kmeans(d, cfg);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(KMeans, KEqualsOneGivesMean) {
+  const Dataset d = blobs({{2, 4}}, 100, 0.5, 6);
+  KMeansConfig cfg;
+  cfg.k = 1;
+  const KMeansResult r = kmeans(d, cfg);
+  EXPECT_NEAR(r.centroid(0)[0], 2.0, 0.2);
+  EXPECT_NEAR(r.centroid(0)[1], 4.0, 0.2);
+}
+
+TEST(KMeans, KEqualsNPutsEachPointAlone) {
+  Dataset d;
+  d.dim = 1;
+  d.num_points = 4;
+  d.values = {0.0, 1.0, 2.0, 3.0};
+  KMeansConfig cfg;
+  cfg.k = 4;
+  const KMeansResult r = kmeans(d, cfg);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+  std::set<std::size_t> labels(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(KMeans, AllIdenticalPoints) {
+  Dataset d;
+  d.dim = 2;
+  d.num_points = 10;
+  d.values.assign(20, 3.0);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const KMeansResult r = kmeans(d, cfg);  // must not hang or crash
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, Validation) {
+  Dataset d;
+  d.dim = 2;
+  d.num_points = 3;
+  d.values.assign(6, 0.0);
+  KMeansConfig cfg;
+  cfg.k = 5;  // more clusters than points
+  EXPECT_THROW(kmeans(d, cfg), std::invalid_argument);
+  cfg.k = 0;
+  EXPECT_THROW(kmeans(d, cfg), std::invalid_argument);
+  Dataset bad;
+  bad.dim = 2;
+  bad.num_points = 3;
+  bad.values.assign(5, 0.0);  // wrong size
+  KMeansConfig ok;
+  EXPECT_THROW(kmeans(bad, ok), std::invalid_argument);
+}
+
+TEST(Dataset, PointAccessValidation) {
+  Dataset d;
+  d.dim = 2;
+  d.num_points = 2;
+  d.values = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(d.point(1)[0], 3.0);
+  EXPECT_THROW(d.point(2), std::invalid_argument);
+}
+
+// Property: inertia is non-increasing in k (with enough restarts).
+class KMeansInertiaTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KMeansInertiaTest, InertiaNonIncreasingInK) {
+  const Dataset d = blobs({{0, 0}, {4, 4}, {8, 0}}, 30, 1.2, GetParam());
+  double prev = 1e18;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    KMeansConfig cfg;
+    cfg.k = k;
+    cfg.restarts = 6;
+    cfg.seed = GetParam();
+    const double inertia = kmeans(d, cfg).inertia;
+    EXPECT_LE(inertia, prev * 1.02 + 1e-9);  // small slack for local optima
+    prev = inertia;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansInertiaTest,
+                         ::testing::Values(1ULL, 7ULL, 13ULL));
+
+}  // namespace
+}  // namespace s3::cluster

@@ -1,0 +1,136 @@
+#include "s3/cluster/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "s3/util/rng.h"
+
+namespace s3::cluster {
+namespace {
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  const std::vector<double> m = {3.0, 0.0, 0.0,
+                                 0.0, 1.0, 0.0,
+                                 0.0, 0.0, 2.0};
+  const EigenResult r = symmetric_eigen(m, 3);
+  ASSERT_EQ(r.eigenvalues.size(), 3u);
+  EXPECT_NEAR(r.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/sqrt2,
+  // (1,-1)/sqrt2.
+  const std::vector<double> m = {2.0, 1.0, 1.0, 2.0};
+  const EigenResult r = symmetric_eigen(m, 2);
+  EXPECT_NEAR(r.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.eigenvalues[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(r.eigenvectors[0]), std::abs(r.eigenvectors[1]),
+              1e-10);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  util::Rng rng(3);
+  const std::size_t d = 5;
+  std::vector<double> m(d * d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      m[i * d + j] = m[j * d + i] = rng.normal(0.0, 1.0);
+    }
+  }
+  const EigenResult r = symmetric_eigen(m, d);
+  // A = sum_k lambda_k v_k v_k^T
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        s += r.eigenvalues[k] * r.eigenvectors[k * d + i] *
+             r.eigenvectors[k * d + j];
+      }
+      EXPECT_NEAR(s, m[i * d + j], 1e-8);
+    }
+  }
+}
+
+TEST(SymmetricEigen, VectorsOrthonormal) {
+  util::Rng rng(4);
+  const std::size_t d = 6;
+  std::vector<double> m(d * d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      m[i * d + j] = m[j * d + i] = rng.uniform(-1.0, 1.0);
+    }
+  }
+  const EigenResult r = symmetric_eigen(m, d);
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::size_t b = 0; b < d; ++b) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        dot += r.eigenvectors[a * d + k] * r.eigenvectors[b * d + k];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(SymmetricEigen, Validation) {
+  EXPECT_THROW(symmetric_eigen({1.0, 2.0, 3.0}, 2), std::invalid_argument);
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points spread along (1,1)/sqrt2 with tiny orthogonal noise.
+  util::Rng rng(5);
+  const std::size_t n = 500;
+  std::vector<double> data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = rng.normal(0.0, 3.0);
+    const double o = rng.normal(0.0, 0.1);
+    data.push_back(t + o + 10.0);
+    data.push_back(t - o - 4.0);
+  }
+  const PcaBasis basis = pca(data, n, 2);
+  EXPECT_NEAR(basis.mean[0], 10.0, 0.5);
+  EXPECT_NEAR(basis.mean[1], -4.0, 0.5);
+  EXPECT_GT(basis.variances[0], 50.0 * basis.variances[1]);
+  EXPECT_NEAR(std::abs(basis.components[0]), std::abs(basis.components[1]),
+              0.05);
+}
+
+TEST(Pca, RoundTripFrames) {
+  util::Rng rng(6);
+  const std::size_t n = 60, d = 4;
+  std::vector<double> data(n * d);
+  for (double& v : data) v = rng.normal(1.0, 2.0);
+  const PcaBasis basis = pca(data, n, d);
+  std::vector<double> y(d), back(d);
+  for (std::size_t i = 0; i < n; i += 7) {
+    to_pca_frame(basis, data.data() + i * d, y.data());
+    from_pca_frame(basis, y.data(), back.data());
+    for (std::size_t k = 0; k < d; ++k) {
+      EXPECT_NEAR(back[k], data[i * d + k], 1e-9);
+    }
+  }
+}
+
+TEST(Pca, DegenerateDimensionGetsZeroVariance) {
+  // Data on the x-axis only.
+  util::Rng rng(7);
+  const std::size_t n = 100;
+  std::vector<double> data;
+  for (std::size_t i = 0; i < n; ++i) {
+    data.push_back(rng.normal(0.0, 2.0));
+    data.push_back(5.0);  // constant second coordinate
+  }
+  const PcaBasis basis = pca(data, n, 2);
+  EXPECT_NEAR(basis.variances[1], 0.0, 1e-9);
+}
+
+TEST(Pca, Validation) {
+  EXPECT_THROW(pca({1.0, 2.0}, 1, 2), std::invalid_argument);  // n < 2
+  EXPECT_THROW(pca({1.0, 2.0, 3.0}, 2, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s3::cluster

@@ -1,0 +1,124 @@
+#include "s3/core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/mini.h"
+
+namespace s3::core {
+namespace {
+
+using s3::testing::mini_network;
+
+sim::Arrival arrival(std::vector<ApId> candidates, double demand = 1.0,
+                     UserId user = 0) {
+  sim::Arrival a;
+  a.session_index = 0;
+  a.user = user;
+  a.controller = 0;
+  a.demand_mbps = demand;
+  a.candidates = std::move(candidates);
+  return a;
+}
+
+TEST(LlfSelector, PicksLeastDemand) {
+  const auto net = mini_network(3);
+  sim::ApLoadTracker loads(net);
+  loads.associate(1, 0, 10, 5.0);
+  loads.associate(2, 1, 11, 2.0);
+  loads.associate(3, 2, 12, 8.0);
+  LlfSelector llf(LoadMetric::kDemand);
+  EXPECT_EQ(llf.select_one(arrival({0, 1, 2}), loads), 1u);
+}
+
+TEST(LlfSelector, PicksLeastStations) {
+  const auto net = mini_network(3);
+  sim::ApLoadTracker loads(net);
+  loads.associate(1, 0, 10, 0.1);
+  loads.associate(2, 0, 11, 0.1);
+  loads.associate(3, 1, 12, 9.0);  // heavy but single station
+  LlfSelector llf(LoadMetric::kStations);
+  EXPECT_EQ(llf.select_one(arrival({0, 1}), loads), 1u);
+}
+
+TEST(LlfSelector, RestrictedToCandidates) {
+  const auto net = mini_network(3);
+  sim::ApLoadTracker loads(net);
+  loads.associate(1, 2, 10, 0.0);  // AP 2 would win but is not audible
+  LlfSelector llf;
+  const ApId chosen = llf.select_one(arrival({0, 1}), loads);
+  EXPECT_TRUE(chosen == 0 || chosen == 1);
+}
+
+TEST(LlfSelector, TieBreaksBySecondaryThenId) {
+  const auto net = mini_network(3);
+  sim::ApLoadTracker loads(net);
+  // Equal demand on APs 1 and 2, but AP 2 has fewer stations.
+  loads.associate(1, 1, 10, 2.0);
+  loads.associate(2, 1, 11, 2.0);
+  loads.associate(3, 2, 12, 4.0);
+  LlfSelector llf(LoadMetric::kDemand);
+  EXPECT_EQ(llf.select_one(arrival({1, 2}), loads), 2u);
+  // Full tie -> lowest AP id.
+  sim::ApLoadTracker empty(net);
+  EXPECT_EQ(llf.select_one(arrival({2, 0, 1}), empty), 0u);
+}
+
+TEST(LlfSelector, BatchSeesOwnPlacements) {
+  const auto net = mini_network(2);
+  sim::ApLoadTracker loads(net);
+  std::vector<sim::Arrival> batch;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sim::Arrival a = arrival({0, 1}, 1.0, static_cast<UserId>(i));
+    a.session_index = i;
+    batch.push_back(a);
+  }
+  LlfSelector llf;
+  const auto chosen = llf.select_batch(batch, loads);
+  // Alternates between the two APs: 2 each.
+  EXPECT_EQ(std::count(chosen.begin(), chosen.end(), 0u), 2);
+  EXPECT_EQ(std::count(chosen.begin(), chosen.end(), 1u), 2);
+}
+
+TEST(StrongestRssiSelector, PicksFirstCandidate) {
+  const auto net = mini_network(2);
+  sim::ApLoadTracker loads(net);
+  loads.associate(1, 1, 9, 19.0);  // load is irrelevant to RSSI policy
+  StrongestRssiSelector rssi;
+  EXPECT_EQ(rssi.select_one(arrival({1, 0}), loads), 1u);
+}
+
+TEST(RandomSelector, StaysInCandidatesAndCoversThem) {
+  const auto net = mini_network(4);
+  sim::ApLoadTracker loads(net);
+  RandomSelector rnd(7);
+  std::set<ApId> seen;
+  for (int i = 0; i < 200; ++i) {
+    const ApId c = rnd.select_one(arrival({1, 2, 3}), loads);
+    EXPECT_TRUE(c == 1 || c == 2 || c == 3);
+    seen.insert(c);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Selectors, EmptyCandidatesRejected) {
+  const auto net = mini_network(1);
+  sim::ApLoadTracker loads(net);
+  LlfSelector llf;
+  StrongestRssiSelector rssi;
+  RandomSelector rnd(1);
+  EXPECT_THROW(llf.select_one(arrival({}), loads), std::invalid_argument);
+  EXPECT_THROW(rssi.select_one(arrival({}), loads), std::invalid_argument);
+  EXPECT_THROW(rnd.select_one(arrival({}), loads), std::invalid_argument);
+}
+
+TEST(Selectors, Names) {
+  LlfSelector llf;
+  StrongestRssiSelector rssi;
+  RandomSelector rnd(1);
+  EXPECT_EQ(llf.name(), "LLF");
+  EXPECT_EQ(rssi.name(), "RSSI");
+  EXPECT_EQ(rnd.name(), "random");
+}
+
+}  // namespace
+}  // namespace s3::core

@@ -1,0 +1,108 @@
+#include "s3/core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+namespace s3::core {
+namespace {
+
+trace::GeneratedTrace small_world(std::uint64_t seed = 1) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.num_users = 300;
+  cfg.num_days = 9;
+  cfg.layout.num_buildings = 2;
+  cfg.layout.aps_per_building = 6;
+  return trace::generate_campus_trace(cfg);
+}
+
+EvaluationConfig small_eval() {
+  EvaluationConfig eval;
+  eval.train_days = 7;
+  eval.test_days = 2;
+  return eval;
+}
+
+TEST(Evaluation, TrainProducesUsableModel) {
+  const auto world = small_world();
+  const social::SocialIndexModel model =
+      train_from_workload(world.network, world.workload, small_eval());
+  EXPECT_EQ(model.num_users(), 300u);
+  EXPECT_GT(model.pair_stats().size(), 10u);
+  EXPECT_EQ(model.typing().num_types, 4u);
+}
+
+TEST(Evaluation, ScoresAreInRange) {
+  const auto world = small_world();
+  const EvaluationConfig eval = small_eval();
+  LlfSelector llf(eval.baseline_metric);
+  const PolicyScore score =
+      score_policy(world.network, world.workload, llf, eval);
+  EXPECT_EQ(score.policy, "LLF");
+  EXPECT_GT(score.slots_scored, 0u);
+  EXPECT_GT(score.mean, 0.0);
+  EXPECT_LE(score.mean, 1.0);
+  EXPECT_GE(score.ci95, 0.0);
+  EXPECT_EQ(score.per_controller_mean.size(), world.network.num_controllers());
+  for (double m : score.per_controller_mean) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+  }
+}
+
+TEST(Evaluation, ComparisonShapesAndDirection) {
+  // Tiny worlds are noisy; the paper's direction (S3 beats the deployed
+  // LLF) must hold on average over seeds.
+  double total_gain = 0.0;
+  for (std::uint64_t seed : {42ULL, 43ULL, 44ULL}) {
+    const auto world = small_world(seed);
+    const ComparisonResult r =
+        compare_s3_vs_llf(world.network, world.workload, small_eval());
+    EXPECT_EQ(r.llf.policy, "LLF");
+    EXPECT_EQ(r.s3.policy, "S3");
+    EXPECT_EQ(r.llf.slots_scored, r.s3.slots_scored);
+    total_gain += r.balance_gain;
+  }
+  EXPECT_GT(total_gain / 3.0, 0.0);
+}
+
+TEST(Evaluation, DeterministicAcrossRuns) {
+  const auto world = small_world(7);
+  const ComparisonResult a =
+      compare_s3_vs_llf(world.network, world.workload, small_eval());
+  const ComparisonResult b =
+      compare_s3_vs_llf(world.network, world.workload, small_eval());
+  EXPECT_DOUBLE_EQ(a.llf.mean, b.llf.mean);
+  EXPECT_DOUBLE_EQ(a.s3.mean, b.s3.mean);
+  EXPECT_DOUBLE_EQ(a.balance_gain, b.balance_gain);
+}
+
+TEST(Evaluation, ScoreWindowRespected) {
+  const auto world = small_world();
+  EvaluationConfig eval = small_eval();
+  eval.score_hours_begin = 0.0;
+  eval.score_hours_end = 24.0;
+  LlfSelector llf(eval.baseline_metric);
+  const PolicyScore all_day =
+      score_policy(world.network, world.workload, llf, eval);
+  eval.score_hours_begin = 8.0;
+  LlfSelector llf2(eval.baseline_metric);
+  const PolicyScore daytime =
+      score_policy(world.network, world.workload, llf2, eval);
+  EXPECT_GT(all_day.slots_scored, daytime.slots_scored);
+}
+
+TEST(Evaluation, ValidatesConfig) {
+  const auto world = small_world();
+  EvaluationConfig bad = small_eval();
+  bad.train_days = 0;
+  EXPECT_THROW(train_from_workload(world.network, world.workload, bad),
+               std::invalid_argument);
+  bad = small_eval();
+  bad.test_days = 0;
+  LlfSelector llf;
+  EXPECT_THROW(score_policy(world.network, world.workload, llf, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s3::core

@@ -1,0 +1,133 @@
+#include "s3/core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "s3/analysis/balance.h"
+#include "s3/core/evaluation.h"
+#include "s3/trace/generator.h"
+#include "s3/util/stats.h"
+#include "testing/mini.h"
+
+namespace s3::core {
+namespace {
+
+using s3::testing::SessionSpec;
+using s3::testing::make_trace;
+using s3::testing::mini_network;
+
+TEST(Oracle, ValidatesConfig) {
+  const auto net = mini_network(2);
+  const auto t = make_trace(1, {SessionSpec{}});
+  OracleConfig bad;
+  bad.slot_s = 0;
+  EXPECT_THROW(offline_upper_bound(net, t, bad), std::invalid_argument);
+  bad = OracleConfig{};
+  bad.max_passes = 0;
+  EXPECT_THROW(offline_upper_bound(net, t, bad), std::invalid_argument);
+}
+
+TEST(Oracle, NeverIncreasesObjective) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = 4;
+  cfg.num_users = 150;
+  cfg.num_days = 2;
+  cfg.layout.num_buildings = 1;
+  cfg.layout.aps_per_building = 5;
+  const trace::GeneratedTrace g = trace::generate_campus_trace(cfg);
+  const OracleResult r = offline_upper_bound(g.network, g.workload);
+  EXPECT_LE(r.final_objective, r.initial_objective);
+  EXPECT_TRUE(r.assigned.fully_assigned());
+  EXPECT_GT(r.moves, 0u);
+}
+
+TEST(Oracle, RespectsCandidateSets) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = 5;
+  cfg.num_users = 100;
+  cfg.num_days = 1;
+  cfg.layout.num_buildings = 2;
+  cfg.layout.aps_per_building = 4;
+  const trace::GeneratedTrace g = trace::generate_campus_trace(cfg);
+  OracleConfig oc;
+  const OracleResult r = offline_upper_bound(g.network, g.workload, oc);
+  for (const trace::SessionRecord& s : r.assigned.sessions()) {
+    const auto cands =
+        wlan::candidate_aps(g.network, oc.radio, s.building, s.pos);
+    EXPECT_NE(std::find(cands.begin(), cands.end(), s.ap), cands.end());
+  }
+}
+
+TEST(Oracle, SolvesToyInstanceOptimally) {
+  // Two simultaneous equal sessions, two APs: the optimum is one each.
+  const auto net = mini_network(2);
+  const auto t = make_trace(2, {
+      SessionSpec{.user = 0, .connect_s = 0, .disconnect_s = 600,
+                  .demand_mbps = 2.0},
+      SessionSpec{.user = 1, .connect_s = 0, .disconnect_s = 600,
+                  .demand_mbps = 2.0},
+  });
+  OracleConfig oc;
+  oc.radio.association_threshold_dbm = -75.0;  // both APs audible
+  const OracleResult r = offline_upper_bound(net, t, oc);
+  EXPECT_NE(r.assigned.session(0).ap, r.assigned.session(1).ap);
+}
+
+TEST(Oracle, BeatsOnlinePoliciesOnBalance) {
+  // The clairvoyant bound must dominate LLF and S3 on the scored mean
+  // balance index (it optimizes exactly that, slot-separably).
+  trace::GeneratorConfig cfg;
+  cfg.seed = 6;
+  cfg.num_users = 300;
+  cfg.num_days = 9;
+  cfg.layout.num_buildings = 2;
+  cfg.layout.aps_per_building = 6;
+  const trace::GeneratedTrace g = trace::generate_campus_trace(cfg);
+
+  EvaluationConfig eval;
+  eval.train_days = 7;
+  eval.test_days = 2;
+  const ComparisonResult cmp =
+      compare_s3_vs_llf(g.network, g.workload, eval);
+
+  const trace::Trace test = g.workload.slice(util::SimTime::from_days(7),
+                                             util::SimTime::from_days(9));
+  const OracleResult oracle = offline_upper_bound(g.network, test);
+
+  // Score the oracle assignment identically to score_policy.
+  analysis::ThroughputOptions opts;
+  opts.slot_s = eval.eval_slot_s;
+  const analysis::ThroughputSeries series(
+      g.network, oracle.assigned, util::SimTime::from_days(7),
+      util::SimTime::from_days(9), opts);
+  util::RunningStats beta;
+  for (ControllerId c = 0; c < g.network.num_controllers(); ++c) {
+    for (std::size_t slot = 0; slot < series.num_slots(); ++slot) {
+      const double hour =
+          series.slot_begin(slot).second_of_day() / 3600.0;
+      if (hour < eval.score_hours_begin) continue;
+      if (series.total_load(c, slot) < eval.min_slot_load_mbps) continue;
+      beta.add(analysis::normalized_balance_index(series.slot_load(c, slot)));
+    }
+  }
+  EXPECT_GT(beta.mean(), cmp.s3.mean);
+  EXPECT_GT(beta.mean(), cmp.llf.mean);
+}
+
+TEST(Oracle, DeterministicInSeed) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = 7;
+  cfg.num_users = 80;
+  cfg.num_days = 1;
+  cfg.layout.num_buildings = 1;
+  cfg.layout.aps_per_building = 4;
+  const trace::GeneratedTrace g = trace::generate_campus_trace(cfg);
+  const OracleResult a = offline_upper_bound(g.network, g.workload);
+  const OracleResult b = offline_upper_bound(g.network, g.workload);
+  EXPECT_DOUBLE_EQ(a.final_objective, b.final_objective);
+  for (std::size_t i = 0; i < a.assigned.size(); ++i) {
+    EXPECT_EQ(a.assigned.session(i).ap, b.assigned.session(i).ap);
+  }
+}
+
+}  // namespace
+}  // namespace s3::core

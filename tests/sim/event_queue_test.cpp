@@ -1,0 +1,82 @@
+#include "s3/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "s3/util/rng.h"
+
+namespace s3::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(util::SimTime(30), 3);
+  q.push(util::SimTime(10), 1);
+  q.push(util::SimTime(20), 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StableAtEqualTimestamps) {
+  EventQueue<std::string> q;
+  q.push(util::SimTime(5), "first");
+  q.push(util::SimTime(5), "second");
+  q.push(util::SimTime(5), "third");
+  EXPECT_EQ(q.pop().payload, "first");
+  EXPECT_EQ(q.pop().payload, "second");
+  EXPECT_EQ(q.pop().payload, "third");
+}
+
+TEST(EventQueue, NextTimeAndTop) {
+  EventQueue<int> q;
+  q.push(util::SimTime(42), 7);
+  EXPECT_EQ(q.next_time().seconds(), 42);
+  EXPECT_EQ(q.top().payload, 7);
+  EXPECT_EQ(q.size(), 1u);  // top does not pop
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue<int> q;
+  q.push(util::SimTime(10), 1);
+  q.push(util::SimTime(30), 3);
+  EXPECT_EQ(q.pop().payload, 1);
+  q.push(util::SimTime(20), 2);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+}
+
+TEST(EventQueue, RandomizedOrderingProperty) {
+  util::Rng rng(11);
+  EventQueue<std::size_t> q;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    q.push(util::SimTime(rng.uniform_int(0, 100)), i);
+  }
+  util::SimTime prev(-1);
+  std::size_t prev_seq = 0;
+  bool first = true;
+  while (!q.empty()) {
+    const auto e = q.pop();
+    EXPECT_GE(e.time, prev);
+    if (!first && e.time == prev) {
+      EXPECT_GT(e.seq, prev_seq);  // stable within a timestamp
+    }
+    prev = e.time;
+    prev_seq = e.seq;
+    first = false;
+  }
+}
+
+TEST(EventQueue, MovesPayload) {
+  EventQueue<std::unique_ptr<int>> q;
+  q.push(util::SimTime(1), std::make_unique<int>(5));
+  auto e = q.pop();
+  ASSERT_TRUE(e.payload);
+  EXPECT_EQ(*e.payload, 5);
+}
+
+}  // namespace
+}  // namespace s3::sim

@@ -1,0 +1,103 @@
+#include "s3/sim/load_state.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/mini.h"
+
+namespace s3::sim {
+namespace {
+
+TEST(ApLoadTracker, StartsEmpty) {
+  const ApLoadTracker t(testing::mini_network(4));
+  EXPECT_EQ(t.num_aps(), 4u);
+  EXPECT_EQ(t.total_stations(), 0u);
+  for (ApId a = 0; a < 4; ++a) {
+    EXPECT_EQ(t.station_count(a), 0u);
+    EXPECT_DOUBLE_EQ(t.demand_mbps(a), 0.0);
+    EXPECT_DOUBLE_EQ(t.capacity_mbps(a), 20.0);
+    EXPECT_DOUBLE_EQ(t.headroom_mbps(a), 20.0);
+  }
+}
+
+TEST(ApLoadTracker, AssociateAndDisconnect) {
+  ApLoadTracker t(testing::mini_network(2));
+  t.associate(100, 0, 7, 1.5);
+  t.associate(101, 0, 8, 2.5);
+  t.associate(102, 1, 9, 4.0);
+  EXPECT_EQ(t.station_count(0), 2u);
+  EXPECT_DOUBLE_EQ(t.demand_mbps(0), 4.0);
+  EXPECT_DOUBLE_EQ(t.headroom_mbps(0), 16.0);
+  EXPECT_EQ(t.total_stations(), 3u);
+
+  t.disconnect(100, 0);
+  EXPECT_EQ(t.station_count(0), 1u);
+  EXPECT_DOUBLE_EQ(t.demand_mbps(0), 2.5);
+}
+
+TEST(ApLoadTracker, ForEachStation) {
+  ApLoadTracker t(testing::mini_network(2));
+  t.associate(1, 0, 10, 1.0);
+  t.associate(2, 0, 11, 2.0);
+  double demand_sum = 0.0;
+  std::set<UserId> users;
+  t.for_each_station(0, [&](const ActiveStation& st) {
+    demand_sum += st.demand_mbps;
+    users.insert(st.user);
+  });
+  EXPECT_DOUBLE_EQ(demand_sum, 3.0);
+  EXPECT_EQ(users, (std::set<UserId>{10, 11}));
+}
+
+TEST(ApLoadTracker, RejectsDuplicateSessionOnAp) {
+  ApLoadTracker t(testing::mini_network(2));
+  t.associate(1, 0, 10, 1.0);
+  EXPECT_THROW(t.associate(1, 0, 10, 1.0), std::invalid_argument);
+}
+
+TEST(ApLoadTracker, RejectsUnknownDisconnect) {
+  ApLoadTracker t(testing::mini_network(2));
+  EXPECT_THROW(t.disconnect(99, 0), std::invalid_argument);
+  t.associate(1, 0, 10, 1.0);
+  EXPECT_THROW(t.disconnect(1, 1), std::invalid_argument);  // wrong AP
+}
+
+TEST(ApLoadTracker, RejectsOutOfRangeAp) {
+  ApLoadTracker t(testing::mini_network(2));
+  EXPECT_THROW(t.associate(1, 5, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.demand_mbps(5), std::invalid_argument);
+  EXPECT_THROW(t.station_count(5), std::invalid_argument);
+}
+
+TEST(ApLoadTracker, CopyIsIndependent) {
+  ApLoadTracker t(testing::mini_network(1));
+  t.associate(1, 0, 0, 1.0);
+  ApLoadTracker copy = t;
+  copy.associate(2, 0, 1, 2.0);
+  EXPECT_EQ(t.station_count(0), 1u);
+  EXPECT_EQ(copy.station_count(0), 2u);
+}
+
+TEST(ApLoadTracker, FloatingPointDustClamped) {
+  ApLoadTracker t(testing::mini_network(1));
+  t.associate(1, 0, 0, 0.1);
+  t.associate(2, 0, 1, 0.2);
+  t.disconnect(1, 0);
+  t.disconnect(2, 0);
+  EXPECT_GE(t.demand_mbps(0), 0.0);
+  EXPECT_EQ(t.station_count(0), 0u);
+}
+
+TEST(ApLoadTracker, HeadroomTracksCapacity) {
+  wlan::CampusLayout layout;
+  layout.num_buildings = 1;
+  layout.aps_per_building = 1;
+  layout.ap_capacity_mbps = 10.0;
+  ApLoadTracker t{wlan::make_campus(layout)};
+  t.associate(1, 0, 0, 7.0);
+  EXPECT_DOUBLE_EQ(t.headroom_mbps(0), 3.0);
+  t.associate(2, 0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(t.headroom_mbps(0), -2.0);  // oversubscribed
+}
+
+}  // namespace
+}  // namespace s3::sim

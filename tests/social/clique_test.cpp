@@ -1,0 +1,285 @@
+#include "s3/social/clique.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "s3/util/rng.h"
+
+namespace s3::social {
+namespace {
+
+/// Exhaustive maximum-clique for cross-checking (n <= ~20).
+std::size_t brute_force_max_clique_size(const WeightedGraph& g) {
+  const std::size_t n = g.size();
+  std::size_t best = 0;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<std::size_t> vs;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mask & (1u << v)) vs.push_back(v);
+    }
+    if (vs.size() > best && g.is_clique(vs)) best = vs.size();
+  }
+  return best;
+}
+
+WeightedGraph random_graph(std::size_t n, double p, util::Rng& rng) {
+  WeightedGraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) g.add_edge(i, j, rng.uniform(0.1, 1.0));
+    }
+  }
+  return g;
+}
+
+TEST(MaxClique, EmptyGraph) {
+  const CliqueResult r = max_clique(WeightedGraph(0));
+  EXPECT_TRUE(r.vertices.empty());
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(MaxClique, SingleVertex) {
+  const CliqueResult r = max_clique(WeightedGraph(1));
+  EXPECT_EQ(r.vertices, (std::vector<std::size_t>{0}));
+}
+
+TEST(MaxClique, NoEdgesGivesSingleton) {
+  const CliqueResult r = max_clique(WeightedGraph(5));
+  EXPECT_EQ(r.vertices.size(), 1u);
+}
+
+TEST(MaxClique, Triangle) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const CliqueResult r = max_clique(g);
+  EXPECT_EQ(r.vertices, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(r.internal_weight, 3.0);
+}
+
+TEST(MaxClique, CompleteGraph) {
+  WeightedGraph g(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) g.add_edge(i, j, 0.5);
+  }
+  const CliqueResult r = max_clique(g);
+  EXPECT_EQ(r.vertices.size(), 8u);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(MaxClique, StarGraphGivesPair) {
+  WeightedGraph g(6);
+  for (std::size_t leaf = 1; leaf < 6; ++leaf) g.add_edge(0, leaf, 1.0);
+  const CliqueResult r = max_clique(g);
+  EXPECT_EQ(r.vertices.size(), 2u);
+}
+
+TEST(MaxClique, WeightTieBreakPicksHeavier) {
+  // Two disjoint triangles; the second is heavier.
+  WeightedGraph g(6);
+  g.add_edge(0, 1, 0.1);
+  g.add_edge(1, 2, 0.1);
+  g.add_edge(0, 2, 0.1);
+  g.add_edge(3, 4, 0.9);
+  g.add_edge(4, 5, 0.9);
+  g.add_edge(3, 5, 0.9);
+  CliqueConfig cfg;
+  cfg.weight_tie_break = true;
+  const CliqueResult r = max_clique(g, cfg);
+  EXPECT_EQ(r.vertices, (std::vector<std::size_t>{3, 4, 5}));
+  EXPECT_NEAR(r.internal_weight, 2.7, 1e-12);
+}
+
+TEST(MaxClique, MatchesBruteForceOnRandomGraphs) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 4 + rng.index(12);
+    const double p = rng.uniform(0.2, 0.8);
+    const WeightedGraph g = random_graph(n, p, rng);
+    const CliqueResult r = max_clique(g);
+    ASSERT_TRUE(r.exact);
+    EXPECT_TRUE(g.is_clique(r.vertices));
+    EXPECT_EQ(r.vertices.size(), brute_force_max_clique_size(g))
+        << "n=" << n << " p=" << p << " trial=" << trial;
+  }
+}
+
+TEST(MaxClique, ResultIsAlwaysAClique) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const WeightedGraph g = random_graph(30, 0.5, rng);
+    const CliqueResult r = max_clique(g);
+    EXPECT_TRUE(g.is_clique(r.vertices));
+    EXPECT_NEAR(r.internal_weight, g.internal_weight(r.vertices), 1e-9);
+  }
+}
+
+TEST(MaxClique, NodeBudgetFallsBackGracefully) {
+  util::Rng rng(9);
+  const WeightedGraph g = random_graph(40, 0.7, rng);
+  CliqueConfig cfg;
+  cfg.node_budget = 50;  // absurdly small
+  const CliqueResult r = max_clique(g, cfg);
+  EXPECT_FALSE(r.exact);
+  EXPECT_FALSE(r.vertices.empty());
+  EXPECT_TRUE(g.is_clique(r.vertices));
+}
+
+TEST(GreedyColoring, ProperColoring) {
+  util::Rng rng(5);
+  const WeightedGraph g = random_graph(25, 0.4, rng);
+  const auto color = greedy_coloring(g);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    for (std::size_t j = i + 1; j < g.size(); ++j) {
+      if (g.adjacent(i, j)) {
+        EXPECT_NE(color[i], color[j]);
+      }
+    }
+  }
+}
+
+TEST(GreedyColoring, CompleteGraphUsesNColors) {
+  WeightedGraph g(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) g.add_edge(i, j, 1.0);
+  }
+  const auto color = greedy_coloring(g);
+  std::set<std::size_t> used(color.begin(), color.end());
+  EXPECT_EQ(used.size(), 5u);
+}
+
+TEST(CliqueCover, PartitionsAllVertices) {
+  util::Rng rng(11);
+  const WeightedGraph g = random_graph(20, 0.4, rng);
+  const auto cover = clique_cover(g);
+  std::vector<bool> seen(20, false);
+  for (const auto& clique : cover) {
+    EXPECT_TRUE(g.is_clique(clique));
+    for (std::size_t v : clique) {
+      EXPECT_FALSE(seen[v]) << "vertex covered twice";
+      seen[v] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(CliqueCover, ExtractionOrderIsNonIncreasingSize) {
+  util::Rng rng(13);
+  const WeightedGraph g = random_graph(24, 0.5, rng);
+  const auto cover = clique_cover(g);
+  for (std::size_t i = 1; i < cover.size(); ++i) {
+    EXPECT_LE(cover[i].size(), cover[i - 1].size());
+  }
+}
+
+TEST(CliqueCover, TwoTrianglesAndIsolated) {
+  WeightedGraph g(7);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(3, 4, 2.0);
+  g.add_edge(4, 5, 2.0);
+  g.add_edge(3, 5, 2.0);
+  const auto cover = clique_cover(g);
+  ASSERT_EQ(cover.size(), 3u);
+  EXPECT_EQ(cover[0], (std::vector<std::size_t>{3, 4, 5}));  // heavier first
+  EXPECT_EQ(cover[1], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(cover[2], (std::vector<std::size_t>{6}));
+}
+
+TEST(CliqueCover, EmptyGraph) {
+  EXPECT_TRUE(clique_cover(WeightedGraph(0)).empty());
+}
+
+TEST(CliqueCover, AllIsolatedVertices) {
+  const auto cover = clique_cover(WeightedGraph(4));
+  EXPECT_EQ(cover.size(), 4u);
+  for (const auto& c : cover) EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(GreedyClique, EmptyAndTrivial) {
+  EXPECT_TRUE(greedy_clique(WeightedGraph(0)).vertices.empty());
+  EXPECT_EQ(greedy_clique(WeightedGraph(1)).vertices.size(), 1u);
+  EXPECT_EQ(greedy_clique(WeightedGraph(4)).vertices.size(), 1u);  // no edges
+}
+
+TEST(GreedyClique, FindsTheObviousClique) {
+  WeightedGraph g(6);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) g.add_edge(i, j, 1.0);
+  }
+  g.add_edge(4, 5, 1.0);
+  const CliqueResult r = greedy_clique(g);
+  EXPECT_EQ(r.vertices, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_FALSE(r.exact);
+}
+
+TEST(GreedyClique, AlwaysACliqueNeverLargerThanExact) {
+  util::Rng rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 6 + rng.index(30);
+    const WeightedGraph g = random_graph(n, rng.uniform(0.2, 0.7), rng);
+    const CliqueResult greedy = greedy_clique(g);
+    EXPECT_TRUE(g.is_clique(greedy.vertices));
+    EXPECT_FALSE(greedy.vertices.empty());
+    const CliqueResult exact = max_clique(g);
+    EXPECT_LE(greedy.vertices.size(), exact.vertices.size());
+  }
+}
+
+TEST(GreedyClique, ResultIsMaximal) {
+  // No vertex outside the greedy clique is adjacent to all of it.
+  util::Rng rng(23);
+  const WeightedGraph g = random_graph(25, 0.5, rng);
+  const CliqueResult r = greedy_clique(g);
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    if (std::find(r.vertices.begin(), r.vertices.end(), v) !=
+        r.vertices.end()) {
+      continue;
+    }
+    bool adjacent_to_all = true;
+    for (std::size_t u : r.vertices) {
+      if (!g.adjacent(u, v)) {
+        adjacent_to_all = false;
+        break;
+      }
+    }
+    EXPECT_FALSE(adjacent_to_all) << "greedy clique not maximal at " << v;
+  }
+}
+
+// Property sweep across densities: solver exactness and cover sanity.
+class CliquePropertyTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, double>> {};
+
+TEST_P(CliquePropertyTest, ExactAndConsistent) {
+  const auto [n, p] = GetParam();
+  util::Rng rng(n * 1000 + static_cast<std::uint64_t>(p * 100));
+  const WeightedGraph g = random_graph(n, p, rng);
+  const CliqueResult r = max_clique(g);
+  EXPECT_TRUE(r.exact);
+  EXPECT_TRUE(g.is_clique(r.vertices));
+  if (n <= 16) {
+    EXPECT_EQ(r.vertices.size(), brute_force_max_clique_size(g));
+  }
+  const auto cover = clique_cover(g);
+  std::size_t covered = 0;
+  for (const auto& c : cover) covered += c.size();
+  EXPECT_EQ(covered, n);
+  EXPECT_EQ(cover.front().size(), r.vertices.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, CliquePropertyTest,
+    ::testing::Values(std::pair<std::size_t, double>{8, 0.2},
+                      std::pair<std::size_t, double>{12, 0.5},
+                      std::pair<std::size_t, double>{16, 0.8},
+                      std::pair<std::size_t, double>{32, 0.3},
+                      std::pair<std::size_t, double>{48, 0.15}));
+
+}  // namespace
+}  // namespace s3::social

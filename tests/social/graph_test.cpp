@@ -1,0 +1,135 @@
+#include "s3/social/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace s3::social {
+namespace {
+
+TEST(Bitset, SetResetTest) {
+  Bitset b(100);
+  EXPECT_FALSE(b.any());
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitset, FirstBit) {
+  Bitset b(130);
+  EXPECT_EQ(b.first(), 130u);  // empty -> capacity
+  b.set(90);
+  b.set(120);
+  EXPECT_EQ(b.first(), 90u);
+  b.set(5);
+  EXPECT_EQ(b.first(), 5u);
+}
+
+TEST(Bitset, Intersection) {
+  Bitset a(70), b(70);
+  a.set(3);
+  a.set(65);
+  a.set(20);
+  b.set(65);
+  b.set(20);
+  b.set(1);
+  const Bitset c = a & b;
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_TRUE(c.test(65));
+  EXPECT_TRUE(c.test(20));
+  EXPECT_FALSE(c.test(3));
+}
+
+TEST(Bitset, BoundsChecked) {
+  Bitset b(10);
+  EXPECT_THROW(b.set(10), std::invalid_argument);
+  EXPECT_THROW(b.test(10), std::invalid_argument);
+  Bitset other(11);
+  EXPECT_THROW(b &= other, std::invalid_argument);
+}
+
+TEST(WeightedGraph, EdgesAndWeights) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 0.5);
+  g.add_edge(1, 2, 0.9);
+  EXPECT_TRUE(g.adjacent(0, 1));
+  EXPECT_TRUE(g.adjacent(1, 0));  // undirected
+  EXPECT_FALSE(g.adjacent(0, 2));
+  EXPECT_DOUBLE_EQ(g.weight(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(g.weight(1, 0), 0.5);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(WeightedGraph, RejectsSelfLoopAndBadVertices) {
+  WeightedGraph g(3);
+  EXPECT_THROW(g.add_edge(1, 1, 0.5), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 3, 0.5), std::invalid_argument);
+  EXPECT_THROW(g.adjacent(0, 9), std::invalid_argument);
+}
+
+TEST(WeightedGraph, InternalWeight) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 0.5);
+  g.add_edge(1, 2, 0.9);
+  g.add_edge(0, 2, 0.4);
+  EXPECT_DOUBLE_EQ(g.internal_weight({0, 1, 2}), 1.8);
+  EXPECT_DOUBLE_EQ(g.internal_weight({0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(g.internal_weight({0, 3}), 0.0);
+}
+
+TEST(WeightedGraph, IsClique) {
+  WeightedGraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  EXPECT_TRUE(g.is_clique({0, 1, 2}));
+  EXPECT_TRUE(g.is_clique({0, 1}));
+  EXPECT_TRUE(g.is_clique({3}));
+  EXPECT_FALSE(g.is_clique({0, 1, 3}));
+}
+
+TEST(WeightedGraph, WithoutRemovesAndRemaps) {
+  WeightedGraph g(5);
+  g.add_edge(0, 1, 0.1);
+  g.add_edge(2, 3, 0.2);
+  g.add_edge(3, 4, 0.3);
+  std::vector<std::size_t> remap;
+  const WeightedGraph h = g.without({0, 1}, &remap);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(remap, (std::vector<std::size_t>{2, 3, 4}));
+  EXPECT_TRUE(h.adjacent(0, 1));   // old (2,3)
+  EXPECT_TRUE(h.adjacent(1, 2));   // old (3,4)
+  EXPECT_DOUBLE_EQ(h.weight(1, 2), 0.3);
+  EXPECT_EQ(h.num_edges(), 2u);
+}
+
+TEST(WeightedGraph, WithoutEverything) {
+  WeightedGraph g(2);
+  g.add_edge(0, 1, 1.0);
+  const WeightedGraph h = g.without({0, 1});
+  EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(WeightedGraph, NeighborsBitset) {
+  WeightedGraph g(4);
+  g.add_edge(2, 0, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const Bitset& n = g.neighbors(2);
+  EXPECT_TRUE(n.test(0));
+  EXPECT_TRUE(n.test(3));
+  EXPECT_FALSE(n.test(1));
+  EXPECT_FALSE(n.test(2));
+}
+
+}  // namespace
+}  // namespace s3::social

@@ -1,0 +1,144 @@
+#include "s3/social/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "s3/trace/generator.h"
+#include "s3/wlan/radio.h"
+
+namespace s3::social {
+namespace {
+
+SocialIndexModel sample_model() {
+  SocialModelConfig cfg;
+  cfg.alpha = 0.25;
+  cfg.events.co_leave_window = util::SimTime::from_minutes(5);
+  cfg.events.min_encounter_overlap = util::SimTime::from_minutes(10);
+  analysis::PairStatsMap stats;
+  stats[UserPair(0, 1)] = {5, 3, 2};
+  stats[UserPair(2, 4)] = {2, 2, 0};
+  UserTyping typing;
+  typing.num_types = 2;
+  typing.type_of_user = {0, 1, 0, 1, 0};
+  typing.centroids.assign(2 * apps::kNumCategories, 0.1);
+  typing.centroids[0] = 0.5;
+  TypeCoLeaveMatrix matrix(2);
+  matrix.set(0, 0, 0.6);
+  matrix.set(1, 1, 0.4);
+  matrix.set(0, 1, 0.1);
+  return SocialIndexModel::from_parts(cfg, std::move(stats), std::move(typing),
+                                      std::move(matrix));
+}
+
+TEST(ModelIo, RoundTripPreservesEverything) {
+  const SocialIndexModel original = sample_model();
+  std::stringstream ss;
+  ASSERT_TRUE(write_model(ss, original));
+  const ModelReadResult r = read_model(ss);
+  ASSERT_TRUE(r.model.has_value()) << r.error;
+  const SocialIndexModel& back = *r.model;
+
+  EXPECT_DOUBLE_EQ(back.alpha(), original.alpha());
+  EXPECT_EQ(back.config().events.co_leave_window,
+            original.config().events.co_leave_window);
+  EXPECT_EQ(back.num_users(), original.num_users());
+  EXPECT_EQ(back.typing().num_types, original.typing().num_types);
+  EXPECT_EQ(back.typing().type_of_user, original.typing().type_of_user);
+  EXPECT_EQ(back.typing().centroids, original.typing().centroids);
+  EXPECT_EQ(back.pair_stats().size(), original.pair_stats().size());
+  for (UserId u = 0; u < 5; ++u) {
+    for (UserId v = u + 1; v < 5; ++v) {
+      EXPECT_DOUBLE_EQ(back.theta(u, v), original.theta(u, v))
+          << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(ModelIo, RoundTripTrainedModel) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = 8;
+  cfg.num_users = 150;
+  cfg.num_days = 6;
+  cfg.layout.num_buildings = 1;
+  cfg.layout.aps_per_building = 5;
+  const trace::GeneratedTrace g = trace::generate_campus_trace(cfg);
+  std::vector<ApId> aps;
+  wlan::RadioModel radio;
+  for (const trace::SessionRecord& s : g.workload.sessions()) {
+    aps.push_back(wlan::strongest_ap(g.network, radio, s.building, s.pos));
+  }
+  const SocialIndexModel trained =
+      SocialIndexModel::train(g.workload.with_assignments(aps), {});
+
+  std::stringstream ss;
+  ASSERT_TRUE(write_model(ss, trained));
+  const ModelReadResult r = read_model(ss);
+  ASSERT_TRUE(r.model.has_value()) << r.error;
+  EXPECT_EQ(r.model->pair_stats().size(), trained.pair_stats().size());
+  // Spot-check thetas.
+  for (UserId u = 0; u < 150; u += 17) {
+    for (UserId v = u + 1; v < 150; v += 23) {
+      EXPECT_DOUBLE_EQ(r.model->theta(u, v), trained.theta(u, v));
+    }
+  }
+}
+
+TEST(ModelIo, RejectsGarbage) {
+  std::stringstream ss("not a model\n");
+  const ModelReadResult r = read_model(ss);
+  EXPECT_FALSE(r.model.has_value());
+  EXPECT_NE(r.error.find("magic"), std::string::npos);
+}
+
+TEST(ModelIo, RejectsTruncatedPairList) {
+  const SocialIndexModel original = sample_model();
+  std::stringstream ss;
+  write_model(ss, original);
+  std::string text = ss.str();
+  text.erase(text.rfind('\n', text.size() - 2));  // drop last pair row
+  std::stringstream cut(text);
+  const ModelReadResult r = read_model(cut);
+  EXPECT_FALSE(r.model.has_value());
+}
+
+TEST(ModelIo, RejectsInconsistentCounts) {
+  const SocialIndexModel original = sample_model();
+  std::stringstream ss;
+  write_model(ss, original);
+  std::string text = ss.str();
+  // Corrupt a pair row: co_leaves > encounters.
+  const std::size_t pos = text.find("5 3 2");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "2 9 0");
+  std::stringstream bad(text);
+  const ModelReadResult r = read_model(bad);
+  EXPECT_FALSE(r.model.has_value());
+  EXPECT_NE(r.error.find("exceed"), std::string::npos);
+}
+
+TEST(ModelIo, RejectsUserIdOutOfRange) {
+  const SocialIndexModel original = sample_model();
+  std::stringstream ss;
+  write_model(ss, original);
+  std::string text = ss.str();
+  const std::size_t pos = text.find("2 4 2 2 0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "2 9 2 2 0");  // user 9 > num_users
+  std::stringstream bad(text);
+  const ModelReadResult r = read_model(bad);
+  EXPECT_FALSE(r.model.has_value());
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/s3lb_model.txt";
+  const SocialIndexModel original = sample_model();
+  ASSERT_TRUE(write_model_file(path, original));
+  const ModelReadResult r = read_model_file(path);
+  ASSERT_TRUE(r.model.has_value()) << r.error;
+  EXPECT_DOUBLE_EQ(r.model->theta(0, 1), original.theta(0, 1));
+  EXPECT_FALSE(read_model_file("/nonexistent/model.txt").model.has_value());
+}
+
+}  // namespace
+}  // namespace s3::social

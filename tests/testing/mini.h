@@ -1,0 +1,56 @@
+// Shared test fixtures: tiny deterministic networks and traces.
+#pragma once
+
+#include <vector>
+
+#include "s3/trace/trace.h"
+#include "s3/wlan/network.h"
+
+namespace s3::testing {
+
+/// One-building campus with `aps` access points, 20 Mbit/s each.
+inline wlan::Network mini_network(std::size_t aps = 4,
+                                  std::size_t buildings = 1) {
+  wlan::CampusLayout layout;
+  layout.num_buildings = buildings;
+  layout.aps_per_building = aps;
+  return wlan::make_campus(layout);
+}
+
+struct SessionSpec {
+  UserId user = 0;
+  std::int64_t connect_s = 0;
+  std::int64_t disconnect_s = 600;
+  ApId ap = kInvalidAp;
+  double demand_mbps = 1.0;
+  BuildingId building = 0;
+  double web_bytes = 1000.0;
+  GroupId group = kInvalidGroup;
+};
+
+inline trace::SessionRecord make_session(const SessionSpec& spec) {
+  trace::SessionRecord s;
+  s.user = spec.user;
+  s.ap = spec.ap;
+  s.building = spec.building;
+  s.pos = {10.0, 10.0};
+  s.connect = util::SimTime(spec.connect_s);
+  s.disconnect = util::SimTime(spec.disconnect_s);
+  s.demand_mbps = spec.demand_mbps;
+  s.traffic[static_cast<std::size_t>(apps::AppCategory::kWeb)] =
+      spec.web_bytes;
+  s.group = spec.group;
+  s.rate_seed = 0x1234 + spec.user;
+  return s;
+}
+
+inline trace::Trace make_trace(std::size_t num_users,
+                               const std::vector<SessionSpec>& specs,
+                               std::size_t num_days = 1) {
+  std::vector<trace::SessionRecord> sessions;
+  sessions.reserve(specs.size());
+  for (const SessionSpec& sp : specs) sessions.push_back(make_session(sp));
+  return trace::Trace(num_users, num_days, std::move(sessions));
+}
+
+}  // namespace s3::testing

@@ -1,0 +1,112 @@
+#include "s3/trace/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "s3/trace/generator.h"
+#include "s3/trace/io.h"
+#include "testing/mini.h"
+
+namespace s3::trace {
+namespace {
+
+using s3::testing::SessionSpec;
+using s3::testing::make_trace;
+
+TEST(BinaryIo, RoundTripIsBitExact) {
+  GeneratorConfig cfg;
+  cfg.seed = 19;
+  cfg.num_users = 120;
+  cfg.num_days = 3;
+  cfg.layout.num_buildings = 2;
+  cfg.layout.aps_per_building = 4;
+  const GeneratedTrace g = generate_campus_trace(cfg);
+
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(write_binary(ss, g.workload));
+  const BinaryReadResult r = read_binary(ss);
+  ASSERT_TRUE(r.trace.has_value()) << r.error;
+  ASSERT_EQ(r.trace->size(), g.workload.size());
+  EXPECT_EQ(r.trace->num_users(), g.workload.num_users());
+  EXPECT_EQ(r.trace->num_days(), g.workload.num_days());
+  for (std::size_t i = 0; i < g.workload.size(); ++i) {
+    const SessionRecord& a = g.workload.session(i);
+    const SessionRecord& b = r.trace->session(i);
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.ap, b.ap);
+    EXPECT_EQ(a.group, b.group);
+    EXPECT_EQ(a.connect, b.connect);
+    EXPECT_EQ(a.disconnect, b.disconnect);
+    // Bit-exact doubles — the point of the binary format.
+    EXPECT_EQ(a.demand_mbps, b.demand_mbps);
+    EXPECT_EQ(a.pos.x, b.pos.x);
+    EXPECT_EQ(a.traffic, b.traffic);
+    EXPECT_EQ(a.rate_seed, b.rate_seed);
+  }
+}
+
+TEST(BinaryIo, AssignedTraceKeepsAps) {
+  const Trace t = make_trace(2, {
+      SessionSpec{.user = 0, .ap = 3},
+      SessionSpec{.user = 1, .connect_s = 5, .disconnect_s = 700},
+  });
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(write_binary(ss, t));
+  const BinaryReadResult r = read_binary(ss);
+  ASSERT_TRUE(r.trace.has_value()) << r.error;
+  EXPECT_EQ(r.trace->session(0).ap, 3u);
+  EXPECT_EQ(r.trace->session(1).ap, kInvalidAp);
+}
+
+TEST(BinaryIo, SniffDetectsFormat) {
+  const Trace t = make_trace(1, {SessionSpec{}});
+  std::stringstream bin(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(bin, t);
+  EXPECT_TRUE(sniff_binary(bin));
+  // Sniffing must not consume the stream.
+  const BinaryReadResult r = read_binary(bin);
+  EXPECT_TRUE(r.trace.has_value()) << r.error;
+
+  std::stringstream csv;
+  write_csv(csv, t);
+  EXPECT_FALSE(sniff_binary(csv));
+  const ReadResult rc = read_csv(csv);
+  EXPECT_TRUE(rc.trace.has_value()) << rc.error;
+}
+
+TEST(BinaryIo, RejectsGarbage) {
+  std::stringstream ss("definitely not binary");
+  const BinaryReadResult r = read_binary(ss);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_NE(r.error.find("magic"), std::string::npos);
+}
+
+TEST(BinaryIo, RejectsTruncation) {
+  const Trace t = make_trace(2, {
+      SessionSpec{.user = 0},
+      SessionSpec{.user = 1, .connect_s = 3, .disconnect_s = 700},
+  });
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ss, t);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 10);  // chop mid-record
+  std::stringstream cut(bytes,
+                        std::ios::in | std::ios::out | std::ios::binary);
+  const BinaryReadResult r = read_binary(cut);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_NE(r.error.find("truncated"), std::string::npos);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/s3lb_trace.bin";
+  const Trace t = make_trace(2, {SessionSpec{.user = 1, .ap = 0}});
+  ASSERT_TRUE(write_binary_file(path, t));
+  const BinaryReadResult r = read_binary_file(path);
+  ASSERT_TRUE(r.trace.has_value()) << r.error;
+  EXPECT_EQ(r.trace->size(), 1u);
+  EXPECT_FALSE(read_binary_file("/nonexistent.bin").trace.has_value());
+}
+
+}  // namespace
+}  // namespace s3::trace

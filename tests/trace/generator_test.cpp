@@ -1,0 +1,321 @@
+#include "s3/trace/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace s3::trace {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed = 1) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.num_users = 200;
+  cfg.num_days = 7;
+  cfg.layout.num_buildings = 2;
+  cfg.layout.aps_per_building = 6;
+  return cfg;
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const GeneratedTrace a = generate_campus_trace(small_config(9));
+  const GeneratedTrace b = generate_campus_trace(small_config(9));
+  ASSERT_EQ(a.workload.size(), b.workload.size());
+  for (std::size_t i = 0; i < a.workload.size(); ++i) {
+    const SessionRecord& sa = a.workload.session(i);
+    const SessionRecord& sb = b.workload.session(i);
+    EXPECT_EQ(sa.user, sb.user);
+    EXPECT_EQ(sa.connect, sb.connect);
+    EXPECT_EQ(sa.disconnect, sb.disconnect);
+    EXPECT_DOUBLE_EQ(sa.demand_mbps, sb.demand_mbps);
+    EXPECT_EQ(sa.traffic, sb.traffic);
+  }
+  EXPECT_EQ(a.truth.groups.size(), b.truth.groups.size());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const GeneratedTrace a = generate_campus_trace(small_config(1));
+  const GeneratedTrace b = generate_campus_trace(small_config(2));
+  bool differs = a.workload.size() != b.workload.size();
+  if (!differs) {
+    for (std::size_t i = 0; i < a.workload.size() && !differs; ++i) {
+      differs = a.workload.session(i).connect != b.workload.session(i).connect;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, WorkloadIsUnassigned) {
+  const GeneratedTrace g = generate_campus_trace(small_config());
+  EXPECT_FALSE(g.workload.empty());
+  for (const SessionRecord& s : g.workload.sessions()) {
+    EXPECT_EQ(s.ap, kInvalidAp);
+  }
+}
+
+TEST(Generator, SessionsWithinConfiguredRanges) {
+  const GeneratorConfig cfg = small_config();
+  const GeneratedTrace g = generate_campus_trace(cfg);
+  for (const SessionRecord& s : g.workload.sessions()) {
+    EXPECT_LT(s.user, cfg.num_users);
+    EXPECT_LT(s.building, cfg.layout.num_buildings);
+    EXPECT_GT(s.demand_mbps, 0.0);
+    EXPECT_LE(s.demand_mbps, cfg.per_user_rate_cap_mbps + 1e-12);
+    EXPECT_GE(s.connect.seconds(), 0);
+    EXPECT_GE(s.duration_s(), 300.0);  // 5-minute floor
+    // Position inside the building.
+    const wlan::BuildingConfig& b = g.network.building(s.building);
+    EXPECT_GE(s.pos.x, b.origin.x);
+    EXPECT_LE(s.pos.x, b.origin.x + b.width_m);
+    EXPECT_GE(s.pos.y, b.origin.y);
+    EXPECT_LE(s.pos.y, b.origin.y + b.depth_m);
+  }
+}
+
+TEST(Generator, TrafficMatchesDemandIntegral) {
+  const GeneratedTrace g = generate_campus_trace(small_config());
+  for (const SessionRecord& s : g.workload.sessions()) {
+    const double expected_bytes =
+        s.demand_mbps * s.duration_s() / 8.0 * 1.0e6;
+    EXPECT_NEAR(apps::total(s.traffic), expected_bytes,
+                expected_bytes * 1e-9 + 1.0);
+  }
+}
+
+TEST(Generator, GroundTruthConsistent) {
+  const GeneratorConfig cfg = small_config();
+  const GeneratedTrace g = generate_campus_trace(cfg);
+  EXPECT_EQ(g.truth.user_archetype.size(), cfg.num_users);
+  EXPECT_EQ(g.truth.user_groups.size(), cfg.num_users);
+  for (const SocialGroupTruth& grp : g.truth.groups) {
+    EXPECT_GE(grp.members.size(), cfg.min_group_size);
+    EXPECT_LT(grp.archetype, kNumArchetypes);
+    for (UserId m : grp.members) {
+      const auto& ug = g.truth.user_groups[m];
+      EXPECT_NE(std::find(ug.begin(), ug.end(), grp.id), ug.end());
+    }
+  }
+  for (std::size_t a : g.truth.user_archetype) {
+    EXPECT_LT(a, kNumArchetypes);
+  }
+}
+
+TEST(Generator, GroupSessionsShareMeetingWindows) {
+  // Sessions of one group with overlapping times should sit in the
+  // group's building, close together in space.
+  const GeneratedTrace g = generate_campus_trace(small_config());
+  for (const SessionRecord& s : g.workload.sessions()) {
+    if (s.group == kInvalidGroup) continue;
+    EXPECT_EQ(s.building, g.truth.groups[s.group].building);
+  }
+}
+
+TEST(Generator, CoLeavingStructureExists) {
+  // Within a group's meeting, departures cluster: for a sample of group
+  // sessions, another member should leave within 5 minutes.
+  const GeneratedTrace g = generate_campus_trace(small_config());
+  std::size_t clustered = 0, total = 0;
+  const auto sessions = g.workload.sessions();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    if (sessions[i].group == kInvalidGroup) continue;
+    ++total;
+    for (std::size_t j = 0; j < sessions.size(); ++j) {
+      if (j == i || sessions[j].group != sessions[i].group) continue;
+      if (sessions[j].user == sessions[i].user) continue;
+      if (std::llabs(sessions[j].disconnect.seconds() -
+                     sessions[i].disconnect.seconds()) <= 300) {
+        ++clustered;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(clustered) / static_cast<double>(total), 0.5);
+}
+
+TEST(Generator, ProfilesReflectArchetypes) {
+  // A user's aggregate traffic mix should be closer to its own
+  // archetype centroid than to the average other centroid.
+  const GeneratedTrace g = generate_campus_trace(small_config());
+  const auto centroids = archetype_centroids();
+  std::vector<apps::AppMix> totals(200);
+  for (const SessionRecord& s : g.workload.sessions()) {
+    apps::accumulate(totals[s.user], s.traffic);
+  }
+  std::size_t closer = 0, counted = 0;
+  for (UserId u = 0; u < 200; ++u) {
+    if (apps::total(totals[u]) <= 0.0) continue;
+    ++counted;
+    const apps::AppMix norm = apps::normalized(totals[u]);
+    const std::size_t own = g.truth.user_archetype[u];
+    const double own_d = apps::l2_distance(norm, centroids[own]);
+    double other_d = 0.0;
+    for (std::size_t a = 0; a < kNumArchetypes; ++a) {
+      if (a != own) other_d += apps::l2_distance(norm, centroids[a]);
+    }
+    other_d /= static_cast<double>(kNumArchetypes - 1);
+    if (own_d < other_d) ++closer;
+  }
+  ASSERT_GT(counted, 100u);
+  EXPECT_GT(static_cast<double>(closer) / static_cast<double>(counted), 0.9);
+}
+
+TEST(Generator, MeetingsStartNearClassHours) {
+  const GeneratorConfig cfg = small_config();
+  const GeneratedTrace g = generate_campus_trace(cfg);
+  std::size_t near = 0, total = 0;
+  for (const SessionRecord& s : g.workload.sessions()) {
+    if (s.group == kInvalidGroup) continue;
+    ++total;
+    const std::int64_t sod = s.connect.second_of_day();
+    for (int h : cfg.class_start_hours) {
+      // Start jitter (±5 min) + arrival jitter (sigma 150 s).
+      if (std::llabs(sod - h * 3600) <= 20 * 60) {
+        ++near;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(static_cast<double>(near) / static_cast<double>(total), 0.95);
+}
+
+TEST(Generator, LongStaySessionsExist) {
+  const GeneratedTrace g = generate_campus_trace(small_config());
+  std::size_t long_background = 0;
+  for (const SessionRecord& s : g.workload.sessions()) {
+    if (s.group == kInvalidGroup && s.duration_s() >= 2.0 * 3600.0) {
+      ++long_background;
+    }
+  }
+  EXPECT_GT(long_background, 20u);  // dorm/library population exists
+}
+
+TEST(Generator, GroupMembersSitTogether) {
+  // Sessions of the same group overlapping in time sit within a few
+  // metres of each other (same room), so their candidate APs coincide.
+  const GeneratedTrace g = generate_campus_trace(small_config());
+  const auto sessions = g.workload.sessions();
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < sessions.size() && checked < 200; ++i) {
+    if (sessions[i].group == kInvalidGroup) continue;
+    for (std::size_t j = i + 1; j < sessions.size(); ++j) {
+      if (sessions[j].connect >= sessions[i].disconnect) break;
+      if (sessions[j].group != sessions[i].group) continue;
+      if (sessions[j].user == sessions[i].user) continue;
+      // Same meeting: arrivals within the jitter envelope.
+      if (std::llabs(sessions[j].connect.seconds() -
+                     sessions[i].connect.seconds()) > 900) {
+        continue;
+      }
+      EXPECT_LT(wlan::distance(sessions[i].pos, sessions[j].pos), 30.0);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+TEST(Generator, WeekendQuieter) {
+  GeneratorConfig cfg = small_config();
+  cfg.num_days = 14;
+  const GeneratedTrace g = generate_campus_trace(cfg);
+  std::size_t weekday = 0, weekend = 0;
+  for (const SessionRecord& s : g.workload.sessions()) {
+    (s.connect.day() % 7 < 5 ? weekday : weekend) += 1;
+  }
+  // 5 weekdays vs 2 weekend days; weekend activity also damped.
+  EXPECT_GT(static_cast<double>(weekday) / 5.0,
+            2.0 * static_cast<double>(weekend) / 2.0);
+}
+
+TEST(Generator, DiurnalWeightShape) {
+  // Peaks at 10:00-11:00 and 15:00-16:00 beat 3am and noon-lull levels.
+  const double morning_peak = diurnal_arrival_weight(10 * 3600 + 1800);
+  const double afternoon_peak = diurnal_arrival_weight(15 * 3600 + 1800);
+  const double night = diurnal_arrival_weight(3 * 3600);
+  EXPECT_GT(morning_peak, 5.0 * night);
+  EXPECT_GT(afternoon_peak, 5.0 * night);
+}
+
+TEST(Generator, RejectsBadConfig) {
+  GeneratorConfig cfg = small_config();
+  cfg.num_users = 4;
+  EXPECT_THROW(generate_campus_trace(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.users_in_groups_fraction = 1.5;
+  EXPECT_THROW(generate_campus_trace(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.class_start_hours.clear();
+  EXPECT_THROW(generate_campus_trace(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.min_group_size = 1;
+  EXPECT_THROW(generate_campus_trace(cfg), std::invalid_argument);
+}
+
+TEST(Generator, RateScaleScalesDemand) {
+  GeneratorConfig a = small_config();
+  GeneratorConfig b = small_config();
+  b.rate_scale = 0.5;
+  b.per_user_rate_cap_mbps = 1e9;  // disable cap to see pure scaling
+  a.per_user_rate_cap_mbps = 1e9;
+  const GeneratedTrace ga = generate_campus_trace(a);
+  const GeneratedTrace gb = generate_campus_trace(b);
+  ASSERT_EQ(ga.workload.size(), gb.workload.size());
+  for (std::size_t i = 0; i < ga.workload.size(); i += 17) {
+    EXPECT_NEAR(gb.workload.session(i).demand_mbps,
+                0.5 * ga.workload.session(i).demand_mbps, 1e-9);
+  }
+}
+
+TEST(Generator, ArchetypeTablesConsistent) {
+  const auto centroids = archetype_centroids();
+  for (const apps::AppMix& c : centroids) {
+    EXPECT_NEAR(apps::total(c), 1.0, 1e-9);
+  }
+  for (double r : archetype_mean_rate_mbps()) {
+    EXPECT_GT(r, 0.0);
+  }
+}
+
+// Property sweep: structural invariants hold across seeds and scales.
+struct GenParam {
+  std::uint64_t seed;
+  std::size_t users;
+  std::size_t buildings;
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(GeneratorPropertyTest, StructuralInvariants) {
+  const GenParam p = GetParam();
+  GeneratorConfig cfg;
+  cfg.seed = p.seed;
+  cfg.num_users = p.users;
+  cfg.num_days = 3;
+  cfg.layout.num_buildings = p.buildings;
+  cfg.layout.aps_per_building = 4;
+  const GeneratedTrace g = generate_campus_trace(cfg);
+
+  // Every user belongs to at most one group, and group members are
+  // within the user population.
+  std::set<UserId> seen;
+  for (const SocialGroupTruth& grp : g.truth.groups) {
+    for (UserId m : grp.members) {
+      EXPECT_LT(m, p.users);
+      EXPECT_TRUE(seen.insert(m).second) << "user in two groups";
+    }
+  }
+  // Session timestamps ordered, positive durations.
+  for (const SessionRecord& s : g.workload.sessions()) {
+    EXPECT_LT(s.connect, s.disconnect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scales, GeneratorPropertyTest,
+    ::testing::Values(GenParam{1, 64, 1}, GenParam{2, 200, 2},
+                      GenParam{3, 500, 4}, GenParam{17, 128, 3}));
+
+}  // namespace
+}  // namespace s3::trace

@@ -1,0 +1,151 @@
+#include "s3/trace/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "s3/trace/generator.h"
+#include "testing/mini.h"
+
+namespace s3::trace {
+namespace {
+
+using testing::SessionSpec;
+using testing::make_trace;
+
+TEST(TraceIo, RoundTripMiniTrace) {
+  const Trace t = make_trace(3, {
+      SessionSpec{.user = 0, .connect_s = 10, .disconnect_s = 700, .ap = 2},
+      SessionSpec{.user = 2, .connect_s = 20, .disconnect_s = 900,
+                  .demand_mbps = 2.5, .group = 4},
+  }, 2);
+  std::stringstream ss;
+  ASSERT_TRUE(write_csv(ss, t));
+  const ReadResult r = read_csv(ss);
+  ASSERT_TRUE(r.trace.has_value()) << r.error;
+  const Trace& back = *r.trace;
+  ASSERT_EQ(back.size(), t.size());
+  EXPECT_EQ(back.num_users(), 3u);
+  EXPECT_EQ(back.num_days(), 2u);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const SessionRecord& a = t.session(i);
+    const SessionRecord& b = back.session(i);
+    EXPECT_EQ(a.user, b.user);
+    EXPECT_EQ(a.ap, b.ap);
+    EXPECT_EQ(a.group, b.group);
+    EXPECT_EQ(a.connect, b.connect);
+    EXPECT_EQ(a.disconnect, b.disconnect);
+    EXPECT_DOUBLE_EQ(a.demand_mbps, b.demand_mbps);
+    EXPECT_EQ(a.rate_seed, b.rate_seed);
+    for (std::size_t c = 0; c < apps::kNumCategories; ++c) {
+      EXPECT_NEAR(a.traffic[c], b.traffic[c], 1e-6 * (1.0 + a.traffic[c]));
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripGeneratedWorkload) {
+  GeneratorConfig cfg;
+  cfg.num_users = 64;
+  cfg.num_days = 2;
+  cfg.layout.num_buildings = 1;
+  cfg.layout.aps_per_building = 4;
+  const GeneratedTrace g = generate_campus_trace(cfg);
+  std::stringstream ss;
+  ASSERT_TRUE(write_csv(ss, g.workload));
+  const ReadResult r = read_csv(ss);
+  ASSERT_TRUE(r.trace.has_value()) << r.error;
+  EXPECT_EQ(r.trace->size(), g.workload.size());
+  EXPECT_FALSE(r.trace->fully_assigned());
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  const Trace t(5, 1, {});
+  std::stringstream ss;
+  ASSERT_TRUE(write_csv(ss, t));
+  const ReadResult r = read_csv(ss);
+  ASSERT_TRUE(r.trace.has_value()) << r.error;
+  EXPECT_EQ(r.trace->size(), 0u);
+  EXPECT_EQ(r.trace->num_users(), 5u);
+}
+
+TEST(TraceIo, RejectsMissingMetadata) {
+  std::stringstream ss("not a trace\n");
+  const ReadResult r = read_csv(ss);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_NE(r.error.find("metadata"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::stringstream ss("# s3lb trace v1 users=2 days=1\nwrong,header\n");
+  const ReadResult r = read_csv(ss);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_NE(r.error.find("header"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsWrongFieldCount) {
+  std::stringstream good;
+  write_csv(good, make_trace(1, {SessionSpec{.ap = 0}}));
+  std::string text = good.str();
+  text += "1,2,3\n";  // short row appended
+  std::stringstream ss(text);
+  const ReadResult r = read_csv(ss);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_NE(r.error.find("fields"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsUserOutOfRange) {
+  std::stringstream good;
+  write_csv(good, make_trace(1, {SessionSpec{.ap = 0}}));
+  std::string text = good.str();
+  // Duplicate the data row but bump the user id to 7 (> num_users).
+  const std::size_t last_row = text.rfind("0,");
+  std::string row = text.substr(last_row);
+  row[0] = '7';
+  text += row;
+  std::stringstream ss(text);
+  const ReadResult r = read_csv(ss);
+  EXPECT_FALSE(r.trace.has_value());
+}
+
+TEST(TraceIo, RejectsNonPositiveDuration) {
+  std::stringstream ss(
+      "# s3lb trace v1 users=1 days=1\n"
+      "user,ap,building,pos_x,pos_y,connect_s,disconnect_s,"
+      "im_bytes,p2p_bytes,music_bytes,email_bytes,video_bytes,web_bytes,"
+      "demand_mbps,group,rate_seed\n"
+      "0,-,0,1,1,500,500,0,0,0,0,0,0,1.0,-,7\n");
+  const ReadResult r = read_csv(ss);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_NE(r.error.find("duration"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsGarbageNumbers) {
+  std::stringstream ss(
+      "# s3lb trace v1 users=1 days=1\n"
+      "user,ap,building,pos_x,pos_y,connect_s,disconnect_s,"
+      "im_bytes,p2p_bytes,music_bytes,email_bytes,video_bytes,web_bytes,"
+      "demand_mbps,group,rate_seed\n"
+      "0,-,0,xx,1,0,600,0,0,0,0,0,0,1.0,-,7\n");
+  const ReadResult r = read_csv(ss);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_NE(r.error.find("parse"), std::string::npos);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/s3lb_io_test.csv";
+  const Trace t = make_trace(2, {SessionSpec{.user = 1, .ap = 3}});
+  ASSERT_TRUE(write_csv_file(path, t));
+  const ReadResult r = read_csv_file(path);
+  ASSERT_TRUE(r.trace.has_value()) << r.error;
+  EXPECT_EQ(r.trace->size(), 1u);
+  EXPECT_EQ(r.trace->session(0).ap, 3u);
+}
+
+TEST(TraceIo, MissingFileReportsError) {
+  const ReadResult r = read_csv_file("/nonexistent/path/trace.csv");
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s3::trace

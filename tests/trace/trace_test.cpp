@@ -1,0 +1,118 @@
+#include "s3/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/mini.h"
+
+namespace s3::trace {
+namespace {
+
+using testing::SessionSpec;
+using testing::make_trace;
+
+TEST(Trace, SortsByConnectThenUser) {
+  const Trace t = make_trace(3, {
+      SessionSpec{.user = 2, .connect_s = 100, .disconnect_s = 700},
+      SessionSpec{.user = 0, .connect_s = 50, .disconnect_s = 600},
+      SessionSpec{.user = 1, .connect_s = 100, .disconnect_s = 800},
+  });
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.session(0).user, 0u);
+  EXPECT_EQ(t.session(1).user, 1u);  // equal connect: lower user first
+  EXPECT_EQ(t.session(2).user, 2u);
+}
+
+TEST(Trace, ValidatesRecords) {
+  EXPECT_THROW(make_trace(1, {SessionSpec{.user = 5}}),
+               std::invalid_argument);  // user out of range
+  EXPECT_THROW(
+      make_trace(1, {SessionSpec{.connect_s = 100, .disconnect_s = 100}}),
+      std::invalid_argument);  // zero duration
+  EXPECT_THROW(
+      make_trace(1, {SessionSpec{.demand_mbps = -1.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_trace(1, {SessionSpec{.web_bytes = -2.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(Trace(0, 1, {}), std::invalid_argument);  // no users
+}
+
+TEST(Trace, FullyAssigned) {
+  EXPECT_FALSE(make_trace(1, {SessionSpec{}}).fully_assigned());
+  EXPECT_TRUE(make_trace(1, {SessionSpec{.ap = 0}}).fully_assigned());
+  EXPECT_TRUE(Trace(1, 1, {}).fully_assigned());  // vacuously
+}
+
+TEST(Trace, SessionsOfUser) {
+  const Trace t = make_trace(2, {
+      SessionSpec{.user = 0, .connect_s = 0, .disconnect_s = 300},
+      SessionSpec{.user = 1, .connect_s = 10, .disconnect_s = 310},
+      SessionSpec{.user = 0, .connect_s = 400, .disconnect_s = 900},
+  });
+  const auto idx = t.sessions_of_user(0);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(t.session(idx[0]).connect.seconds(), 0);
+  EXPECT_EQ(t.session(idx[1]).connect.seconds(), 400);
+  EXPECT_THROW(t.sessions_of_user(2), std::invalid_argument);
+}
+
+TEST(Trace, WithAssignments) {
+  const Trace t = make_trace(2, {
+      SessionSpec{.user = 0},
+      SessionSpec{.user = 1, .connect_s = 5, .disconnect_s = 700},
+  });
+  const std::vector<ApId> aps = {3, 1};
+  const Trace assigned = t.with_assignments(aps);
+  EXPECT_TRUE(assigned.fully_assigned());
+  EXPECT_EQ(assigned.session(0).ap, 3u);
+  EXPECT_EQ(assigned.session(1).ap, 1u);
+  // Original untouched.
+  EXPECT_FALSE(t.fully_assigned());
+  EXPECT_THROW(t.with_assignments(std::vector<ApId>{1}),
+               std::invalid_argument);
+}
+
+TEST(Trace, SliceKeepsOverlappingWhole) {
+  const Trace t = make_trace(1, {
+      SessionSpec{.connect_s = 0, .disconnect_s = 1000},
+      SessionSpec{.connect_s = 2000, .disconnect_s = 2600},
+      SessionSpec{.connect_s = 900, .disconnect_s = 2100},
+  });
+  const Trace sliced = t.slice(util::SimTime(950), util::SimTime(1500));
+  ASSERT_EQ(sliced.size(), 2u);
+  // Timestamps are not clipped.
+  EXPECT_EQ(sliced.session(0).connect.seconds(), 0);
+  EXPECT_EQ(sliced.session(1).disconnect.seconds(), 2100);
+}
+
+TEST(Trace, SliceHalfOpenBoundaries) {
+  const Trace t = make_trace(1, {
+      SessionSpec{.connect_s = 100, .disconnect_s = 200},
+  });
+  // Session [100, 200) does not overlap [200, 300) or [0, 100).
+  EXPECT_EQ(t.slice(util::SimTime(200), util::SimTime(300)).size(), 0u);
+  EXPECT_EQ(t.slice(util::SimTime(0), util::SimTime(100)).size(), 0u);
+  EXPECT_EQ(t.slice(util::SimTime(199), util::SimTime(200)).size(), 1u);
+}
+
+TEST(Trace, EndTime) {
+  EXPECT_EQ(Trace(1, 1, {}).end_time().seconds(), 0);
+  const Trace t = make_trace(1, {
+      SessionSpec{.connect_s = 0, .disconnect_s = 500},
+      SessionSpec{.connect_s = 100, .disconnect_s = 2000},
+  });
+  EXPECT_EQ(t.end_time().seconds(), 2000);
+}
+
+TEST(SessionRecord, Helpers) {
+  const SessionRecord s =
+      testing::make_session(SessionSpec{.connect_s = 100, .disconnect_s = 400});
+  EXPECT_DOUBLE_EQ(s.duration_s(), 300.0);
+  EXPECT_FALSE(s.assigned());
+  EXPECT_TRUE(s.overlaps(util::SimTime(0), util::SimTime(101)));
+  EXPECT_FALSE(s.overlaps(util::SimTime(400), util::SimTime(500)));
+  EXPECT_FALSE(s.overlaps(util::SimTime(0), util::SimTime(100)));
+}
+
+}  // namespace
+}  // namespace s3::trace

@@ -1,0 +1,81 @@
+#include "s3/util/cdf.h"
+
+#include <gtest/gtest.h>
+
+#include "s3/util/rng.h"
+
+namespace s3::util {
+namespace {
+
+TEST(EmpiricalCdf, EmptyBehaviour) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.at(0.0), 0.0);
+  EXPECT_TRUE(cdf.curve().empty());
+  EXPECT_THROW(cdf.min(), std::invalid_argument);
+  EXPECT_THROW(cdf.max(), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, StepValues) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);   // P[X <= 1]
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, DuplicatesAccumulate) {
+  EmpiricalCdf cdf({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(1.9), 0.0);
+}
+
+TEST(EmpiricalCdf, AddKeepsConsistency) {
+  EmpiricalCdf cdf;
+  cdf.add(3.0);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 1.0);
+  cdf.add(1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.5);
+  cdf.add_all({0.0, 2.0});
+  EXPECT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.min(), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+}
+
+TEST(EmpiricalCdf, CurveEndpointsAndMonotonicity) {
+  Rng rng(5);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 500; ++i) cdf.add(rng.normal(10.0, 2.0));
+  const auto pts = cdf.curve(40);
+  ASSERT_EQ(pts.size(), 40u);
+  EXPECT_DOUBLE_EQ(pts.front().first, cdf.min());
+  EXPECT_DOUBLE_EQ(pts.back().first, cdf.max());
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+}
+
+TEST(EmpiricalCdf, CurveRejectsTooFewPoints) {
+  EmpiricalCdf cdf({1.0, 2.0});
+  EXPECT_THROW(cdf.curve(1), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, QuantileInverse) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 30.0);
+}
+
+TEST(EmpiricalCdf, SortedSamples) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0});
+  const auto s = cdf.sorted_samples();
+  EXPECT_EQ(s, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace s3::util

@@ -1,0 +1,144 @@
+#include "s3/util/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "s3/util/rng.h"
+
+namespace s3::util {
+namespace {
+
+TEST(Entropy, UniformIsLogN) {
+  const std::vector<double> p = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(entropy(p), std::log(4.0), 1e-12);
+}
+
+TEST(Entropy, DegenerateIsZero) {
+  const std::vector<double> p = {0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(entropy(p), 0.0);
+}
+
+TEST(Entropy, AllZeroIsZero) {
+  const std::vector<double> p = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(entropy(p), 0.0);
+}
+
+TEST(Entropy, ScaleInvariant) {
+  const std::vector<double> p = {1.0, 2.0, 3.0};
+  const std::vector<double> q = {10.0, 20.0, 30.0};
+  EXPECT_NEAR(entropy(p), entropy(q), 1e-12);
+}
+
+TEST(Entropy, RejectsNegativeWeights) {
+  const std::vector<double> p = {0.5, -0.5};
+  EXPECT_THROW(entropy(p), std::invalid_argument);
+}
+
+TEST(JointEntropy, SizeValidation) {
+  const std::vector<double> joint = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(joint_entropy(joint, 2, 2), std::log(4.0), 1e-12);
+  EXPECT_THROW(joint_entropy(joint, 2, 3), std::invalid_argument);
+}
+
+TEST(Quantize, BinAssignment) {
+  const std::vector<double> v = {0.0, 0.24, 0.25, 0.5, 0.74, 0.99, 1.0};
+  const auto b = quantize(v, 4);
+  EXPECT_EQ(b, (std::vector<std::size_t>{0, 0, 1, 2, 2, 3, 3}));
+}
+
+TEST(Quantize, ClampsOutOfRange) {
+  const std::vector<double> v = {-0.5, 1.5};
+  const auto b = quantize(v, 4);
+  EXPECT_EQ(b[0], 0u);
+  EXPECT_EQ(b[1], 3u);
+}
+
+TEST(MutualInformation, IdenticalSymbolsEqualEntropy) {
+  const std::vector<std::size_t> x = {0, 1, 2, 0, 1, 2, 0, 1};
+  const double mi = mutual_information(x, x, 3, 3);
+  std::vector<double> counts = {3, 3, 2};
+  EXPECT_NEAR(mi, entropy(counts), 1e-12);
+}
+
+TEST(MutualInformation, IndependentIsNearZero) {
+  Rng rng(1);
+  std::vector<std::size_t> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.index(4));
+    y.push_back(rng.index(4));
+  }
+  EXPECT_LT(mutual_information(x, y, 4, 4), 0.01);
+}
+
+TEST(MutualInformation, NonNegative) {
+  Rng rng(2);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<std::size_t> x, y;
+    for (int i = 0; i < 10; ++i) {
+      x.push_back(rng.index(3));
+      y.push_back(rng.index(3));
+    }
+    EXPECT_GE(mutual_information(x, y, 3, 3), 0.0);
+  }
+}
+
+TEST(MutualInformation, Validation) {
+  const std::vector<std::size_t> x = {0, 1};
+  const std::vector<std::size_t> bad = {0, 5};
+  EXPECT_THROW(mutual_information(x, bad, 2, 2), std::invalid_argument);
+  const std::vector<std::size_t> shorter = {0};
+  EXPECT_THROW(mutual_information(x, shorter, 2, 2), std::invalid_argument);
+}
+
+TEST(Nmi, IdenticalProfilesScoreHigh) {
+  const std::vector<double> p = {0.4, 0.05, 0.05, 0.1, 0.1, 0.3};
+  EXPECT_NEAR(nmi(p, p, 4), 1.0, 1e-9);
+}
+
+TEST(Nmi, ZeroProfileIsZero) {
+  const std::vector<double> zero(6, 0.0);
+  const std::vector<double> p = {1, 2, 3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(nmi(zero, p), 0.0);
+}
+
+TEST(Nmi, ScaleInvariantInTotals) {
+  const std::vector<double> p = {4.0, 1.0, 0.2, 1.5, 2.0, 3.0};
+  std::vector<double> q = p;
+  for (double& v : q) v *= 1000.0;  // same distribution, more traffic
+  EXPECT_NEAR(nmi(p, q, 4), nmi(p, p, 4), 1e-9);
+}
+
+TEST(Nmi, ConvergesWithAveraging) {
+  // Cumulative noisy copies of a base profile approach the base, so NMI
+  // against the sum should (on average) beat NMI against one noisy day.
+  Rng rng(3);
+  const std::vector<double> base = {0.35, 0.05, 0.1, 0.15, 0.05, 0.3};
+  double one_day = 0.0, twenty_days = 0.0;
+  const int trials = 300;
+  auto noisy = [&]() {
+    std::vector<double> alpha(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) alpha[i] = 6.0 * base[i] + 0.02;
+    return rng.dirichlet(alpha);
+  };
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<double> today = noisy();
+    one_day += nmi(today, noisy(), 4);
+    std::vector<double> sum(base.size(), 0.0);
+    for (int d = 0; d < 20; ++d) {
+      const auto day = noisy();
+      for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += day[i];
+    }
+    twenty_days += nmi(today, sum, 4);
+  }
+  EXPECT_GT(twenty_days / trials, one_day / trials);
+}
+
+TEST(Nmi, RejectsLengthMismatch) {
+  const std::vector<double> p = {1, 2};
+  const std::vector<double> q = {1, 2, 3};
+  EXPECT_THROW(nmi(p, q), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s3::util

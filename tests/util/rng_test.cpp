@@ -1,0 +1,248 @@
+#include "s3/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace s3::util {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, DeterministicInSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(9);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  // Streams differ from each other.
+  bool differ = false;
+  for (int i = 0; i < 16 && !differ; ++i) {
+    differ = c1.uniform() != c2.uniform();
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(2);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformRejectsBadRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(5.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_int(3, 1), std::invalid_argument);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+  EXPECT_THROW(rng.bernoulli(-0.1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, NormalZeroStddevIsMean) {
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, LognormalMeanMatches) {
+  // E[lognormal(mu, s)] = exp(mu + s^2/2); with mu = -s^2/2 the mean is 1.
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 100000;
+  const double sigma = 0.5;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.lognormal(-0.5 * sigma * sigma, sigma);
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, ParetoBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+  EXPECT_THROW(rng.pareto(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(12);
+  const std::vector<double> w = {0.0, 1.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[rng.weighted_index(w)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexRejectsDegenerate) {
+  Rng rng(13);
+  EXPECT_THROW(rng.weighted_index(std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(14);
+  const std::vector<double> alpha = {2.0, 3.0, 5.0};
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> p = rng.dirichlet(alpha);
+    ASSERT_EQ(p.size(), 3u);
+    const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (double v : p) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(Rng, DirichletMeanMatchesAlpha) {
+  Rng rng(15);
+  const std::vector<double> alpha = {1.0, 3.0};
+  double mean0 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) mean0 += rng.dirichlet(alpha)[0];
+  EXPECT_NEAR(mean0 / n, 0.25, 0.01);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(16);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto idx = rng.sample_indices(20, 7);
+    ASSERT_EQ(idx.size(), 7u);
+    std::set<std::size_t> unique(idx.begin(), idx.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (std::size_t i : idx) EXPECT_LT(i, 20u);
+  }
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SampleIndicesFullPermutation) {
+  Rng rng(17);
+  const auto idx = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(18);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to match
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// Property sweep: every distribution is deterministic in the seed.
+class RngDeterminismTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngDeterminismTest, AllDistributionsReproducible) {
+  const std::uint64_t seed = GetParam();
+  Rng a(seed), b(seed);
+  const std::vector<double> alpha = {1.0, 2.0, 3.0};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+    EXPECT_DOUBLE_EQ(a.normal(0, 1), b.normal(0, 1));
+    EXPECT_DOUBLE_EQ(a.lognormal(0, 1), b.lognormal(0, 1));
+    EXPECT_EQ(a.poisson(4.0), b.poisson(4.0));
+    EXPECT_EQ(a.dirichlet(alpha), b.dirichlet(alpha));
+    EXPECT_EQ(a.sample_indices(30, 5), b.sample_indices(30, 5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngDeterminismTest,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xDEADBEEFULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace s3::util

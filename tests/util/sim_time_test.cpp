@@ -1,0 +1,85 @@
+#include "s3/util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace s3::util {
+namespace {
+
+TEST(SimTime, Constructors) {
+  EXPECT_EQ(SimTime::from_seconds(90).seconds(), 90);
+  EXPECT_EQ(SimTime::from_minutes(2).seconds(), 120);
+  EXPECT_EQ(SimTime::from_hours(1).seconds(), 3600);
+  EXPECT_EQ(SimTime::from_days(2).seconds(), 172800);
+  EXPECT_EQ(SimTime::at(1, 8, 30, 15).seconds(), 86400 + 8 * 3600 + 30 * 60 + 15);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::from_hours(2);
+  const SimTime b = SimTime::from_minutes(30);
+  EXPECT_EQ((a + b).seconds(), 9000);
+  EXPECT_EQ((a - b).seconds(), 5400);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c.seconds(), 9000);
+  c -= a;
+  EXPECT_EQ(c.seconds(), 1800);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime(5), SimTime(6));
+  EXPECT_EQ(SimTime(5), SimTime(5));
+  EXPECT_GE(SimTime(7), SimTime(7));
+}
+
+TEST(SimTime, DayAndSecondOfDay) {
+  const SimTime t = SimTime::at(3, 14, 25, 9);
+  EXPECT_EQ(t.day(), 3);
+  EXPECT_EQ(t.second_of_day(), 14 * 3600 + 25 * 60 + 9);
+  EXPECT_EQ(t.hour_of_day(), 14);
+}
+
+TEST(SimTime, NegativeTimesFloorCorrectly) {
+  const SimTime t(-1);  // one second before epoch
+  EXPECT_EQ(t.day(), -1);
+  EXPECT_EQ(t.second_of_day(), 86399);
+}
+
+TEST(SimTime, UnitConversions) {
+  const SimTime t = SimTime::from_minutes(90);
+  EXPECT_DOUBLE_EQ(t.minutes(), 90.0);
+  EXPECT_DOUBLE_EQ(t.hours(), 1.5);
+}
+
+TEST(SimTime, ToString) {
+  EXPECT_EQ(SimTime::at(2, 9, 5, 3).to_string(), "2 09:05:03");
+  EXPECT_EQ(SimTime(0).to_string(), "0 00:00:00");
+}
+
+TEST(TimeInterval, ContainsHalfOpen) {
+  const TimeInterval iv{SimTime(10), SimTime(20)};
+  EXPECT_FALSE(iv.contains(SimTime(9)));
+  EXPECT_TRUE(iv.contains(SimTime(10)));
+  EXPECT_TRUE(iv.contains(SimTime(19)));
+  EXPECT_FALSE(iv.contains(SimTime(20)));
+  EXPECT_EQ(iv.duration().seconds(), 10);
+  EXPECT_FALSE(iv.empty());
+}
+
+TEST(TimeInterval, EmptyInterval) {
+  const TimeInterval iv{SimTime(5), SimTime(5)};
+  EXPECT_TRUE(iv.empty());
+  EXPECT_FALSE(iv.contains(SimTime(5)));
+}
+
+TEST(TimeInterval, OverlapSeconds) {
+  const TimeInterval iv{SimTime(10), SimTime(20)};
+  EXPECT_EQ(iv.overlap_seconds(SimTime(0), SimTime(5)), 0);
+  EXPECT_EQ(iv.overlap_seconds(SimTime(0), SimTime(15)), 5);
+  EXPECT_EQ(iv.overlap_seconds(SimTime(12), SimTime(18)), 6);
+  EXPECT_EQ(iv.overlap_seconds(SimTime(15), SimTime(30)), 5);
+  EXPECT_EQ(iv.overlap_seconds(SimTime(20), SimTime(30)), 0);
+  EXPECT_EQ(iv.overlap_seconds(SimTime(0), SimTime(100)), 10);
+}
+
+}  // namespace
+}  // namespace s3::util

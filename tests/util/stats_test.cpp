@@ -1,0 +1,154 @@
+#include "s3/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "s3/util/rng.h"
+
+namespace s3::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.2);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.2);
+  EXPECT_DOUBLE_EQ(s.max(), 4.2);
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0, 3.5, -2.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-12);
+  EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(3);
+  std::vector<double> all;
+  RunningStats a, b, whole;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 5.0);
+    all.push_back(x);
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double m = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), m);
+  b.merge(a);  // adopt
+  EXPECT_DOUBLE_EQ(b.mean(), m);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  Rng rng(4);
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.normal(0, 1));
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal(0, 1));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(BatchStats, EmptyInputs) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(empty, 0.5), 0.0);
+}
+
+TEST(BatchStats, VarianceNeedsTwo) {
+  const std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Quantile, KnownValues) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0, 4.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_NEAR(quantile(xs, 0.25), 1.75, 1e-12);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.37), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 7.0);
+}
+
+TEST(Quantile, RejectsOutOfRangeQ) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg(y.rbegin(), y.rend());
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSideIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> c = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+}
+
+TEST(Pearson, RejectsLengthMismatch) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {1, 2};
+  EXPECT_THROW(pearson(x, y), std::invalid_argument);
+}
+
+// Property sweep: quantile is monotone in q and bounded by min/max.
+class QuantileMonotoneTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(0, 10));
+  double prev = quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(xs, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), *std::max_element(xs.begin(), xs.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL));
+
+}  // namespace
+}  // namespace s3::util

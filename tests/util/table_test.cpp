@@ -1,0 +1,76 @@
+#include "s3/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace s3::util {
+namespace {
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(-0.5, 3), "-0.500");
+}
+
+TEST(CsvEscape, PlainPassthrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  const std::string s = t.to_string();
+  std::istringstream is(s);
+  std::string l1, l2, l3, l4;
+  std::getline(is, l1);
+  std::getline(is, l2);
+  std::getline(is, l3);
+  std::getline(is, l4);
+  // 'v' column starts at the same offset in every row.
+  EXPECT_EQ(l1.find('v'), l3.find('1'));
+  EXPECT_EQ(l3.find('1'), l4.find('2'));
+  EXPECT_EQ(l2.find_first_not_of('-'), std::string::npos);  // rule line
+}
+
+TEST(TextTable, DoubleRowsUsePrecision) {
+  TextTable t({"a", "b"});
+  t.add_numeric_row(std::vector<double>{1.23456, 2.0}, 2);
+  const std::string s = t.to_csv();
+  EXPECT_NE(s.find("1.23,2.00"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"x", "note"});
+  t.add_row({"1", "a,b"});
+  EXPECT_EQ(t.to_csv(), "x,note\n1,\"a,b\"\n");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTable, StreamOperator) {
+  TextTable t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace s3::util

@@ -1,0 +1,66 @@
+#include "s3/wlan/contention.h"
+
+#include <gtest/gtest.h>
+
+namespace s3::wlan {
+namespace {
+
+TEST(ContentionModel, SingleStationIsNominalEfficiency) {
+  const ContentionModel m;
+  EXPECT_DOUBLE_EQ(m.efficiency(1), m.single_station_efficiency);
+  // Idle medium behaves like one station (the first arrival's view).
+  EXPECT_DOUBLE_EQ(m.efficiency(0), m.single_station_efficiency);
+}
+
+TEST(ContentionModel, MonotoneDecreasing) {
+  const ContentionModel m;
+  double prev = m.efficiency(1);
+  for (std::size_t n = 2; n <= 60; ++n) {
+    const double cur = m.efficiency(n);
+    EXPECT_LT(cur, prev) << "n=" << n;
+    prev = cur;
+  }
+}
+
+TEST(ContentionModel, BoundedByFloor) {
+  const ContentionModel m;
+  for (std::size_t n : {1u, 5u, 20u, 100u, 10000u}) {
+    EXPECT_GE(m.efficiency(n), m.efficiency_floor);
+    EXPECT_LE(m.efficiency(n), m.single_station_efficiency);
+  }
+  // Approaches the floor asymptotically.
+  EXPECT_NEAR(m.efficiency(100000), m.efficiency_floor, 1e-3);
+}
+
+TEST(ContentionModel, EffectiveCapacityScales) {
+  const ContentionModel m;
+  EXPECT_DOUBLE_EQ(m.effective_capacity_mbps(20.0, 1),
+                   20.0 * m.single_station_efficiency);
+  EXPECT_LT(m.effective_capacity_mbps(20.0, 30),
+            m.effective_capacity_mbps(20.0, 2));
+}
+
+TEST(ContentionModel, DegenerateParameters) {
+  ContentionModel flat;
+  flat.single_station_efficiency = 0.7;
+  flat.efficiency_floor = 0.7;  // no decay span
+  EXPECT_DOUBLE_EQ(flat.efficiency(1), 0.7);
+  EXPECT_DOUBLE_EQ(flat.efficiency(50), 0.7);
+
+  ContentionModel inverted;
+  inverted.single_station_efficiency = 0.5;
+  inverted.efficiency_floor = 0.8;  // floor above nominal: span clamps to 0
+  EXPECT_DOUBLE_EQ(inverted.efficiency(10), 0.8);
+}
+
+TEST(ContentionModel, RoughlyMatchesPublishedShape) {
+  // Heusse et al.-style numbers: ~0.9 at 1 station, ~0.7 around 5,
+  // ~0.6 by a few dozen.
+  const ContentionModel m;
+  EXPECT_NEAR(m.efficiency(1), 0.90, 0.01);
+  EXPECT_GT(m.efficiency(5), 0.75);
+  EXPECT_LT(m.efficiency(40), 0.65);
+}
+
+}  // namespace
+}  // namespace s3::wlan

@@ -1,0 +1,151 @@
+#include "s3/wlan/network.h"
+
+#include <gtest/gtest.h>
+
+namespace s3::wlan {
+namespace {
+
+TEST(MakeCampus, DefaultShape) {
+  const CampusLayout layout;
+  const Network net = make_campus(layout);
+  EXPECT_EQ(net.num_buildings(), layout.num_buildings);
+  EXPECT_EQ(net.num_controllers(), layout.num_buildings);
+  EXPECT_EQ(net.num_aps(), layout.num_buildings * layout.aps_per_building);
+}
+
+TEST(MakeCampus, PaperScale) {
+  CampusLayout layout;
+  layout.num_buildings = 22;
+  layout.aps_per_building = 15;
+  const Network net = make_campus(layout);
+  EXPECT_EQ(net.num_aps(), 330u);  // ~334 in the SJTU deployment
+  EXPECT_EQ(net.num_controllers(), 22u);
+}
+
+TEST(MakeCampus, ApsInsideTheirBuilding) {
+  const Network net = make_campus({});
+  for (const ApConfig& ap : net.aps()) {
+    const BuildingConfig& b = net.building(ap.building);
+    EXPECT_GE(ap.pos.x, b.origin.x);
+    EXPECT_LE(ap.pos.x, b.origin.x + b.width_m);
+    EXPECT_GE(ap.pos.y, b.origin.y);
+    EXPECT_LE(ap.pos.y, b.origin.y + b.depth_m);
+  }
+}
+
+TEST(MakeCampus, DomainsPartitionAps) {
+  const Network net = make_campus({});
+  std::size_t total = 0;
+  for (ControllerId c = 0; c < net.num_controllers(); ++c) {
+    const auto domain = net.aps_of_controller(c);
+    total += domain.size();
+    for (ApId a : domain) {
+      EXPECT_EQ(net.controller_of_ap(a), c);
+      EXPECT_EQ(net.ap(a).building, net.controller(c).building);
+    }
+  }
+  EXPECT_EQ(total, net.num_aps());
+}
+
+TEST(MakeCampus, ControllerOfBuildingRoundTrip) {
+  const Network net = make_campus({});
+  for (BuildingId b = 0; b < net.num_buildings(); ++b) {
+    const ControllerId c = net.controller_of_building(b);
+    EXPECT_EQ(net.controller(c).building, b);
+  }
+}
+
+TEST(MakeCampus, RejectsDegenerateLayouts) {
+  CampusLayout empty;
+  empty.num_buildings = 0;
+  EXPECT_THROW(make_campus(empty), std::invalid_argument);
+  CampusLayout no_aps;
+  no_aps.aps_per_building = 0;
+  EXPECT_THROW(make_campus(no_aps), std::invalid_argument);
+  CampusLayout bad_cap;
+  bad_cap.ap_capacity_mbps = 0.0;
+  EXPECT_THROW(make_campus(bad_cap), std::invalid_argument);
+}
+
+TEST(Network, ValidatesDenseIds) {
+  std::vector<BuildingConfig> buildings = {{0, {0, 0}, 10, 10}};
+  std::vector<ControllerConfig> controllers = {{0, 0, "c0"}};
+  std::vector<ApConfig> aps(1);
+  aps[0].id = 5;  // not dense
+  aps[0].controller = 0;
+  EXPECT_THROW(
+      Network(buildings, controllers, aps), std::invalid_argument);
+}
+
+TEST(Network, RejectsEmptyDomain) {
+  std::vector<BuildingConfig> buildings = {{0, {0, 0}, 10, 10},
+                                           {1, {50, 0}, 10, 10}};
+  std::vector<ControllerConfig> controllers = {{0, 0, "c0"}, {1, 1, "c1"}};
+  std::vector<ApConfig> aps(1);
+  aps[0].id = 0;
+  aps[0].controller = 0;  // controller 1 has no APs
+  EXPECT_THROW(Network(buildings, controllers, aps), std::invalid_argument);
+}
+
+TEST(Network, RejectsZeroCapacityAp) {
+  std::vector<BuildingConfig> buildings = {{0, {0, 0}, 10, 10}};
+  std::vector<ControllerConfig> controllers = {{0, 0, "c0"}};
+  std::vector<ApConfig> aps(1);
+  aps[0].id = 0;
+  aps[0].controller = 0;
+  aps[0].capacity_mbps = 0.0;
+  EXPECT_THROW(Network(buildings, controllers, aps), std::invalid_argument);
+}
+
+TEST(Network, RejectsTwoControllersPerBuilding) {
+  std::vector<BuildingConfig> buildings = {{0, {0, 0}, 10, 10}};
+  std::vector<ControllerConfig> controllers = {{0, 0, "c0"}, {1, 0, "c1"}};
+  std::vector<ApConfig> aps(2);
+  aps[0].id = 0;
+  aps[0].controller = 0;
+  aps[1].id = 1;
+  aps[1].controller = 1;
+  EXPECT_THROW(Network(buildings, controllers, aps), std::invalid_argument);
+}
+
+TEST(Network, AccessorsValidateRange) {
+  const Network net = make_campus({});
+  EXPECT_THROW(net.ap(net.num_aps()), std::invalid_argument);
+  EXPECT_THROW(net.controller(net.num_controllers()), std::invalid_argument);
+  EXPECT_THROW(net.building(net.num_buildings()), std::invalid_argument);
+  EXPECT_THROW(net.aps_of_controller(net.num_controllers()),
+               std::invalid_argument);
+}
+
+TEST(Position, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+// Parameterized: campus shape invariants across scales.
+class CampusScaleTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(CampusScaleTest, DenseIdsAndConsistentDomains) {
+  const auto [buildings, aps_per] = GetParam();
+  CampusLayout layout;
+  layout.num_buildings = buildings;
+  layout.aps_per_building = aps_per;
+  const Network net = make_campus(layout);
+  for (std::size_t i = 0; i < net.num_aps(); ++i) {
+    EXPECT_EQ(net.ap(static_cast<ApId>(i)).id, i);
+  }
+  for (ControllerId c = 0; c < net.num_controllers(); ++c) {
+    EXPECT_EQ(net.aps_of_controller(c).size(), aps_per);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CampusScaleTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{3, 5},
+                      std::pair<std::size_t, std::size_t>{8, 12},
+                      std::pair<std::size_t, std::size_t>{22, 15}));
+
+}  // namespace
+}  // namespace s3::wlan

@@ -1,0 +1,126 @@
+#include "s3/wlan/radio.h"
+
+#include <gtest/gtest.h>
+
+namespace s3::wlan {
+namespace {
+
+TEST(RadioModel, RssiDecreasesWithDistance) {
+  RadioModel radio;
+  ApConfig ap;
+  ap.pos = {0, 0};
+  double prev = radio.rssi_dbm(ap, {1, 0});
+  for (double d = 2.0; d <= 64.0; d *= 2.0) {
+    const double cur = radio.rssi_dbm(ap, {d, 0});
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(RadioModel, ClampsBelowReferenceDistance) {
+  RadioModel radio;
+  ApConfig ap;
+  ap.pos = {0, 0};
+  // At or inside 1 m the path loss is the reference loss.
+  EXPECT_DOUBLE_EQ(radio.rssi_dbm(ap, {0, 0}),
+                   ap.tx_power_dbm - radio.reference_loss_db);
+  EXPECT_DOUBLE_EQ(radio.rssi_dbm(ap, {0.5, 0}),
+                   radio.rssi_dbm(ap, {0, 0}));
+}
+
+TEST(RadioModel, LogDistanceFormula) {
+  RadioModel radio;
+  radio.path_loss_exponent = 3.0;
+  radio.reference_loss_db = 40.0;
+  ApConfig ap;
+  ap.pos = {0, 0};
+  ap.tx_power_dbm = 20.0;
+  EXPECT_NEAR(radio.rssi_dbm(ap, {10, 0}), 20.0 - 40.0 - 30.0, 1e-9);
+  EXPECT_NEAR(radio.rssi_dbm(ap, {100, 0}), 20.0 - 40.0 - 60.0, 1e-9);
+}
+
+TEST(CandidateAps, SortedStrongestFirst) {
+  const Network net = make_campus({});
+  RadioModel radio;
+  const BuildingConfig& b = net.building(0);
+  const Position at{b.origin.x + 5.0, b.origin.y + 5.0};
+  const auto cands = candidate_aps(net, radio, 0, at);
+  ASSERT_FALSE(cands.empty());
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    EXPECT_GE(radio.rssi_dbm(net.ap(cands[i - 1]), at),
+              radio.rssi_dbm(net.ap(cands[i]), at));
+  }
+}
+
+TEST(CandidateAps, AllAboveThreshold) {
+  const Network net = make_campus({});
+  RadioModel radio;
+  const BuildingConfig& b = net.building(2);
+  const Position at{b.origin.x + 20.0, b.origin.y + 15.0};
+  const auto cands = candidate_aps(net, radio, 2, at);
+  if (cands.size() > 1) {
+    for (ApId a : cands) {
+      EXPECT_GE(radio.rssi_dbm(net.ap(a), at),
+                radio.association_threshold_dbm);
+    }
+  }
+}
+
+TEST(CandidateAps, SameBuildingOnlyByDefault) {
+  const Network net = make_campus({});
+  RadioModel radio;
+  const BuildingConfig& b = net.building(1);
+  const Position at{b.origin.x + 10.0, b.origin.y + 10.0};
+  for (ApId a : candidate_aps(net, radio, 1, at)) {
+    EXPECT_EQ(net.ap(a).building, 1u);
+  }
+}
+
+TEST(CandidateAps, OrphanFallsBackToStrongestInBuilding) {
+  const Network net = make_campus({});
+  RadioModel radio;
+  radio.association_threshold_dbm = 0.0;  // nothing is audible
+  const BuildingConfig& b = net.building(0);
+  const Position at{b.origin.x + 1.0, b.origin.y + 1.0};
+  const auto cands = candidate_aps(net, radio, 0, at);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(net.ap(cands[0]).building, 0u);
+}
+
+TEST(CandidateAps, CrossBuildingWhenAllowed) {
+  CampusLayout layout;
+  layout.campus_pitch_m = 20.0;  // buildings nearly touching
+  const Network net = make_campus(layout);
+  RadioModel radio;
+  radio.same_building_only = false;
+  radio.association_threshold_dbm = -90.0;
+  const BuildingConfig& b = net.building(0);
+  const Position at{b.origin.x + b.width_m - 1.0, b.origin.y + 1.0};
+  bool cross = false;
+  for (ApId a : candidate_aps(net, radio, 0, at)) {
+    if (net.ap(a).building != 0u) cross = true;
+  }
+  EXPECT_TRUE(cross);
+}
+
+TEST(StrongestAp, IsNearestOnUniformGrid) {
+  const Network net = make_campus({});
+  RadioModel radio;
+  // Stand exactly on an AP: that AP must win.
+  const ApConfig& target = net.ap(5);
+  EXPECT_EQ(strongest_ap(net, radio, target.building, target.pos), target.id);
+}
+
+TEST(CandidateAps, ThresholdShrinksSet) {
+  const Network net = make_campus({});
+  RadioModel loose, tight;
+  loose.association_threshold_dbm = -80.0;
+  tight.association_threshold_dbm = -55.0;
+  const BuildingConfig& b = net.building(0);
+  const Position at{b.origin.x + 30.0, b.origin.y + 20.0};
+  EXPECT_GE(candidate_aps(net, loose, 0, at).size(),
+            candidate_aps(net, tight, 0, at).size());
+}
+
+}  // namespace
+}  // namespace s3::wlan

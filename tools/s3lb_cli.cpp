@@ -1,0 +1,262 @@
+// s3lb — command-line front-end.
+//
+//   s3lb generate  --out FILE [--users N] [--days D] [--buildings B]
+//                  [--aps K] [--seed S]
+//       Synthesize a campus workload and write it as CSV.
+//
+//   s3lb replay    --in FILE --out FILE --policy P [--model FILE]
+//                  [--buildings B] [--aps K] [--window SECONDS]
+//       Assign APs to a workload under policy P
+//       (llf | llf-demand | rssi | random | s3) and write the result.
+//       s3 requires --model.
+//
+//   s3lb train     --in FILE --out FILE [--alpha A] [--coleave-min M]
+//                  [--history DAYS] [--buildings B] [--aps K]
+//       Learn a social model from an *assigned* trace.
+//
+//   s3lb compare   [--users N] [--days D] [--buildings B] [--aps K]
+//                  [--seed S] [--train DAYS] [--test DAYS]
+//       Full pipeline: generate, train, score LLF vs S3, print the
+//       per-site table and headline gains.
+//
+// The topology flags must match between commands operating on the same
+// trace (the CSV carries session building ids, not the AP layout).
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "s3/core/evaluation.h"
+#include "s3/core/online_s3.h"
+#include "s3/social/model_io.h"
+#include "s3/trace/generator.h"
+#include "s3/trace/binary_io.h"
+#include "s3/trace/io.h"
+#include "s3/util/table.h"
+
+using namespace s3;
+
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  bool has(const std::string& key) const { return values.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& def = "") const {
+    const auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+  }
+  long num(const std::string& key, long def) const {
+    const auto it = values.find(key);
+    return it == values.end() ? def : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  double real(const std::string& key, double def) const {
+    const auto it = values.find(key);
+    return it == values.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      std::cerr << "unexpected argument: " << a << "\n";
+      std::exit(2);
+    }
+    a = a.substr(2);
+    const std::size_t eq = a.find('=');
+    if (eq != std::string::npos) {
+      flags.values[a.substr(0, eq)] = a.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values[a] = argv[++i];
+    } else {
+      flags.values[a] = "1";
+    }
+  }
+  return flags;
+}
+
+wlan::Network network_from(const Flags& f) {
+  wlan::CampusLayout layout;
+  layout.num_buildings = static_cast<std::size_t>(f.num("buildings", 8));
+  layout.aps_per_building = static_cast<std::size_t>(f.num("aps", 12));
+  return wlan::make_campus(layout);
+}
+
+[[noreturn]] void die(const std::string& msg) {
+  std::cerr << "error: " << msg << "\n";
+  std::exit(1);
+}
+
+bool wants_binary(const std::string& path) {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+}
+
+trace::Trace load_trace(const std::string& path) {
+  // Sniff the format: binary traces carry a magic header.
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) die("cannot open trace " + path);
+  if (trace::sniff_binary(probe)) {
+    const trace::BinaryReadResult r = trace::read_binary_file(path);
+    if (!r.trace) die("cannot read trace " + path + ": " + r.error);
+    return *r.trace;
+  }
+  const trace::ReadResult r = trace::read_csv_file(path);
+  if (!r.trace) die("cannot read trace " + path + ": " + r.error);
+  return *r.trace;
+}
+
+/// Writes CSV by default; binary when the path ends in ".bin".
+void store_trace(const std::string& path, const trace::Trace& t) {
+  const bool ok = wants_binary(path) ? trace::write_binary_file(path, t)
+                                     : trace::write_csv_file(path, t);
+  if (!ok) die("cannot write " + path);
+}
+
+int cmd_generate(const Flags& f) {
+  if (!f.has("out")) die("generate: --out is required");
+  trace::GeneratorConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(f.num("seed", 42));
+  cfg.num_users = static_cast<std::size_t>(f.num("users", 2400));
+  cfg.num_days = static_cast<std::size_t>(f.num("days", 24));
+  cfg.layout.num_buildings = static_cast<std::size_t>(f.num("buildings", 8));
+  cfg.layout.aps_per_building = static_cast<std::size_t>(f.num("aps", 12));
+  const trace::GeneratedTrace g = trace::generate_campus_trace(cfg);
+  store_trace(f.get("out"), g.workload);
+  std::cout << "wrote " << f.get("out") << ": " << g.workload.size()
+            << " sessions, " << g.truth.groups.size() << " social groups\n";
+  return 0;
+}
+
+int cmd_replay(const Flags& f) {
+  if (!f.has("in") || !f.has("out")) die("replay: --in and --out required");
+  const trace::Trace workload = load_trace(f.get("in"));
+  const wlan::Network net = network_from(f);
+
+  const std::string policy_name = f.get("policy", "llf");
+  std::optional<social::SocialIndexModel> model;
+  std::unique_ptr<sim::ApSelector> policy;
+  if (policy_name == "llf") {
+    policy = std::make_unique<core::LlfSelector>(core::LoadMetric::kStations);
+  } else if (policy_name == "llf-demand") {
+    policy = std::make_unique<core::LlfSelector>(core::LoadMetric::kDemand);
+  } else if (policy_name == "rssi") {
+    policy = std::make_unique<core::StrongestRssiSelector>();
+  } else if (policy_name == "random") {
+    policy = std::make_unique<core::RandomSelector>(
+        static_cast<std::uint64_t>(f.num("seed", 1)));
+  } else if (policy_name == "s3") {
+    if (!f.has("model")) die("replay --policy s3 needs --model");
+    social::ModelReadResult mr = social::read_model_file(f.get("model"));
+    if (!mr.model) die("cannot read model: " + mr.error);
+    model = std::move(*mr.model);
+    policy = std::make_unique<core::S3Selector>(&net, &*model);
+  } else {
+    die("unknown policy " + policy_name);
+  }
+
+  sim::ReplayConfig rc;
+  rc.dispatch_window_s = f.num("window", 120);
+  const sim::ReplayResult r = sim::replay(net, workload, *policy, rc);
+  store_trace(f.get("out"), r.assigned);
+  std::cout << "replayed " << r.stats.num_sessions << " sessions under "
+            << policy->name() << " (" << r.stats.num_batches
+            << " batches, mean size "
+            << util::fmt(r.stats.mean_batch_size, 2) << ", "
+            << r.stats.forced_overloads << " forced overloads)\n"
+            << "wrote " << f.get("out") << "\n";
+  return 0;
+}
+
+int cmd_train(const Flags& f) {
+  if (!f.has("in") || !f.has("out")) die("train: --in and --out required");
+  const trace::Trace assigned = load_trace(f.get("in"));
+  if (!assigned.fully_assigned()) {
+    die("train: trace must be assigned (run `s3lb replay` first)");
+  }
+  social::SocialModelConfig cfg;
+  cfg.alpha = f.real("alpha", 0.3);
+  cfg.events.co_leave_window =
+      util::SimTime::from_minutes(f.num("coleave-min", 5));
+  cfg.history_days = static_cast<int>(f.num("history", 0));
+  const social::SocialIndexModel model =
+      social::SocialIndexModel::train(assigned, cfg);
+  if (!social::write_model_file(f.get("out"), model)) {
+    die("cannot write " + f.get("out"));
+  }
+  std::cout << "trained on " << assigned.size() << " sessions: "
+            << model.pair_stats().size() << " pairs, "
+            << model.typing().num_types << " usage types\n"
+            << "wrote " << f.get("out") << "\n";
+  return 0;
+}
+
+int cmd_compare(const Flags& f) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(f.num("seed", 42));
+  cfg.num_users = static_cast<std::size_t>(f.num("users", 2400));
+  cfg.num_days = static_cast<std::size_t>(f.num("days", 24));
+  cfg.layout.num_buildings = static_cast<std::size_t>(f.num("buildings", 8));
+  cfg.layout.aps_per_building = static_cast<std::size_t>(f.num("aps", 12));
+  const trace::GeneratedTrace g = trace::generate_campus_trace(cfg);
+
+  core::EvaluationConfig eval;
+  eval.train_days = static_cast<int>(f.num("train", 21));
+  eval.test_days = static_cast<int>(f.num("test", 3));
+  const core::ComparisonResult r =
+      core::compare_s3_vs_llf(g.network, g.workload, eval);
+
+  util::TextTable table({"site", "llf", "s3", "gain_%"});
+  for (std::size_t c = 0; c < r.llf.per_controller_mean.size(); ++c) {
+    const double gain =
+        r.llf.per_controller_mean[c] > 0
+            ? 100.0 * (r.s3.per_controller_mean[c] -
+                       r.llf.per_controller_mean[c]) /
+                  r.llf.per_controller_mean[c]
+            : 0.0;
+    table.add_row({std::to_string(c), util::fmt(r.llf.per_controller_mean[c]),
+                   util::fmt(r.s3.per_controller_mean[c]),
+                   util::fmt(gain, 1)});
+  }
+  std::cout << table;
+  std::cout << "\noverall: LLF " << util::fmt(r.llf.mean) << "  S3 "
+            << util::fmt(r.s3.mean) << "  gain "
+            << util::fmt(100.0 * r.balance_gain, 1) << " %  (leave-peak "
+            << util::fmt(100.0 * r.leave_peak_gain, 1) << " %)\n";
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "usage: s3lb <generate|replay|train|compare> [--flag value ...]\n"
+      "  generate --out FILE [--users N --days D --buildings B --aps K --seed S]\n"
+      "  replay   --in FILE --out FILE --policy llf|llf-demand|rssi|random|s3\n"
+      "           [--model FILE --buildings B --aps K --window SECONDS]\n"
+      "  train    --in ASSIGNED --out MODEL [--alpha A --coleave-min M --history D]\n"
+      "  compare  [--users N --days D --buildings B --aps K --seed S --train D --test D]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Flags flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "replay") return cmd_replay(flags);
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "compare") return cmd_compare(flags);
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+  usage();
+  return 2;
+}
