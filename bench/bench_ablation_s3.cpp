@@ -29,7 +29,7 @@ core::PolicyScore run_s3(const trace::GeneratedTrace& world,
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
   const trace::GeneratedTrace world = bench::make_world(args);
-  const core::EvaluationConfig base_eval = bench::evaluation_config();
+  const core::EvaluationConfig base_eval = bench::evaluation_config(args);
 
   util::TextTable table({"variant", "mean_beta", "leave_peak", "ci95"});
   auto add = [&](const std::string& name, const core::PolicyScore& s) {
@@ -140,5 +140,6 @@ int main(int argc, char** argv) {
 
   std::cout << "# S3 design-choice ablations (same workload, same split)\n";
   std::cout << table.to_csv();
+  bench::maybe_dump_metrics(args);
   return 0;
 }

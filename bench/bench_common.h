@@ -5,6 +5,14 @@
 //                               2400 users; full: the SJTU deployment's
 //                               22 buildings / ~12.4k users)
 //   --seed=N                    generator seed (default 42)
+//   --threads=N                 replay worker threads (default 0 = all
+//                               cores; results are identical for every
+//                               value, only wall clock changes)
+//   --metrics                   dump the instrumentation bus to stderr
+//                               before exit (via bench::maybe_dump_metrics)
+//
+// Unknown flags are an error (usage + exit 2) — a typoed "--thread=4"
+// silently running single-threaded would invalidate a measurement.
 //
 // Benches print labelled CSV-ish series to stdout — the artifact a
 // plotting script consumes — with '#' comment lines describing the
@@ -19,13 +27,21 @@
 
 #include "s3/core/evaluation.h"
 #include "s3/trace/generator.h"
+#include "s3/util/metrics.h"
 
 namespace s3::bench {
 
 struct BenchArgs {
   std::string scale = "small";
   std::uint64_t seed = 42;
+  unsigned threads = 0;  ///< replay workers; 0 = hardware_concurrency
+  bool metrics = false;  ///< dump instrumentation counters on exit
 };
+
+inline void print_usage(std::ostream& out) {
+  out << "usage: bench [--scale=small|medium|full] [--seed=N] "
+         "[--threads=N] [--metrics]\n";
+}
 
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
@@ -33,11 +49,26 @@ inline BenchArgs parse_args(int argc, char** argv) {
     const std::string a = argv[i];
     if (a.rfind("--scale=", 0) == 0) {
       args.scale = a.substr(8);
+      if (args.scale != "small" && args.scale != "medium" &&
+          args.scale != "full") {
+        std::cerr << "unknown scale: " << args.scale << "\n";
+        print_usage(std::cerr);
+        std::exit(2);
+      }
     } else if (a.rfind("--seed=", 0) == 0) {
       args.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a.rfind("--threads=", 0) == 0) {
+      args.threads = static_cast<unsigned>(
+          std::strtoul(a.c_str() + 10, nullptr, 10));
+    } else if (a == "--metrics") {
+      args.metrics = true;
     } else if (a == "--help" || a == "-h") {
-      std::cout << "usage: bench [--scale=small|medium|full] [--seed=N]\n";
+      print_usage(std::cout);
       std::exit(0);
+    } else {
+      std::cerr << "unknown flag: " << a << "\n";
+      print_usage(std::cerr);
+      std::exit(2);
     }
   }
   return args;
@@ -67,10 +98,11 @@ inline trace::GeneratorConfig generator_config(const BenchArgs& args) {
   return cfg;
 }
 
-inline core::EvaluationConfig evaluation_config() {
+inline core::EvaluationConfig evaluation_config(const BenchArgs& args) {
   core::EvaluationConfig eval;
   eval.train_days = 21;
   eval.test_days = 3;
+  eval.threads = args.threads;
   return eval;
 }
 
@@ -82,12 +114,24 @@ inline trace::GeneratedTrace make_world(const BenchArgs& args) {
   return trace::generate_campus_trace(cfg);
 }
 
-/// The "collected trace": the operator's LLF-controller logs.
+/// The "collected trace": the operator's LLF-controller logs, replayed
+/// by the sharded driver (eval.threads workers).
 inline trace::Trace collected_trace(const wlan::Network& net,
                                     const trace::Trace& workload,
                                     const core::EvaluationConfig& eval) {
-  core::LlfSelector llf(eval.baseline_metric);
-  return sim::replay(net, workload, llf, eval.replay).assigned;
+  const core::LlfFactory llf(eval.baseline_metric);
+  runtime::ReplayDriverConfig rc;
+  rc.replay = eval.replay;
+  rc.threads = eval.threads;
+  return runtime::ReplayDriver(net, rc).run(workload, llf).assigned;
+}
+
+/// Call at the end of main: dumps the instrumentation bus to stderr
+/// when --metrics was given.
+inline void maybe_dump_metrics(const BenchArgs& args) {
+  if (!args.metrics) return;
+  std::cerr << "# instrumentation bus\n";
+  util::metrics().dump(std::cerr);
 }
 
 }  // namespace s3::bench

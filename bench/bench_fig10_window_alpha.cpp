@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   for (std::size_t w = 0; w < windows_min.size(); ++w) {
     for (std::size_t a = 0; a < alphas.size(); ++a) {
-      core::EvaluationConfig eval = bench::evaluation_config();
+      core::EvaluationConfig eval = bench::evaluation_config(args);
       eval.social.events.co_leave_window =
           util::SimTime::from_minutes(windows_min[w]);
       eval.social.alpha = alphas[a];
@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
               << " min (paper: 5; our curve plateaus past 5 instead of "
                  "falling — see EXPERIMENTS.md)\n";
   }
+  bench::maybe_dump_metrics(args);
   return 0;
 }

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   for (int d : days) {
     std::vector<double> row = {static_cast<double>(d)};
     for (double alpha : alphas) {
-      core::EvaluationConfig eval = bench::evaluation_config();
+      core::EvaluationConfig eval = bench::evaluation_config(args);
       eval.social.alpha = alpha;
       eval.social.history_days = d;
       const social::SocialIndexModel model =
@@ -41,5 +41,6 @@ int main(int argc, char** argv) {
     table.add_numeric_row(row);
   }
   std::cout << table.to_csv();
+  bench::maybe_dump_metrics(args);
   return 0;
 }

@@ -12,7 +12,7 @@ using namespace s3;
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
   const trace::GeneratedTrace world = bench::make_world(args);
-  const core::EvaluationConfig eval = bench::evaluation_config();
+  const core::EvaluationConfig eval = bench::evaluation_config(args);
 
   const core::ComparisonResult r =
       core::compare_s3_vs_llf(world.network, world.workload, eval);
@@ -53,5 +53,6 @@ int main(int argc, char** argv) {
             << util::fmt(r.s3.replay_stats.mean_batch_size, 2)
             << ", forced overloads = " << r.s3.replay_stats.forced_overloads
             << " (LLF: " << r.llf.replay_stats.forced_overloads << ")\n";
+  bench::maybe_dump_metrics(args);
   return 0;
 }

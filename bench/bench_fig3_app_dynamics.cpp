@@ -15,7 +15,7 @@ using namespace s3;
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
   const trace::GeneratedTrace world = bench::make_world(args);
-  const core::EvaluationConfig eval = bench::evaluation_config();
+  const core::EvaluationConfig eval = bench::evaluation_config(args);
   const trace::Trace assigned =
       bench::collected_trace(world.network, world.workload, eval);
 

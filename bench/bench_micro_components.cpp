@@ -10,6 +10,8 @@
 #include "s3/core/baselines.h"
 #include "s3/core/evaluation.h"
 #include "s3/core/s3_selector.h"
+#include "s3/core/selector_factory.h"
+#include "s3/runtime/replay_driver.h"
 #include "s3/sim/replay.h"
 #include "s3/social/clique.h"
 #include "s3/trace/generator.h"
@@ -136,6 +138,22 @@ void BM_ReplayLlf(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ReplayLlf)->Unit(benchmark::kMillisecond);
+
+void BM_ReplayLlfSharded(benchmark::State& state) {
+  const trace::GeneratedTrace& world = bench_world();
+  const core::LlfFactory llf;
+  runtime::ReplayDriverConfig rc;
+  rc.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    runtime::ReplayDriver driver(world.network, rc);
+    benchmark::DoNotOptimize(driver.run(world.workload, llf));
+  }
+  state.counters["sessions/s"] = benchmark::Counter(
+      static_cast<double>(world.workload.size() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReplayLlfSharded)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
 
 void BM_ReplayS3(benchmark::State& state) {
   const trace::GeneratedTrace& world = bench_world();

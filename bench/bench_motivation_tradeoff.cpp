@@ -47,7 +47,7 @@ double mean_beta(const wlan::Network& net, const core::RebalanceResult& r) {
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
   const trace::GeneratedTrace world = bench::make_world(args);
-  const core::EvaluationConfig eval = bench::evaluation_config();
+  const core::EvaluationConfig eval = bench::evaluation_config(args);
 
   util::TextTable table({"scheme", "mean_beta", "migrations",
                          "disrupted_sessions_pct"});

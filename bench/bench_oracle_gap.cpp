@@ -43,7 +43,7 @@ double score_assigned(const wlan::Network& net, const trace::Trace& assigned,
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::parse_args(argc, argv);
   const trace::GeneratedTrace world = bench::make_world(args);
-  const core::EvaluationConfig eval = bench::evaluation_config();
+  const core::EvaluationConfig eval = bench::evaluation_config(args);
 
   const core::ComparisonResult cmp =
       core::compare_s3_vs_llf(world.network, world.workload, eval);

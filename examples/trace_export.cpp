@@ -10,8 +10,8 @@
 #include <iostream>
 #include <string>
 
-#include "s3/core/baselines.h"
-#include "s3/sim/replay.h"
+#include "s3/core/selector_factory.h"
+#include "s3/runtime/replay_driver.h"
 #include "s3/trace/generator.h"
 #include "s3/trace/io.h"
 
@@ -34,9 +34,11 @@ int main(int argc, char** argv) {
   std::cout << "workload:  " << workload_path << "  ("
             << world.workload.size() << " sessions, unassigned)\n";
 
-  core::LlfSelector llf(core::LoadMetric::kStations);
+  // Sharded replay: one count-LLF instance per controller domain, all
+  // cores; the result is identical to a sequential replay.
+  const core::LlfFactory llf(core::LoadMetric::kStations);
   const sim::ReplayResult run =
-      sim::replay(world.network, world.workload, llf);
+      runtime::ReplayDriver(world.network).run(world.workload, llf);
   const std::string collected_path = dir + "/s3lb_collected.csv";
   if (!trace::write_csv_file(collected_path, run.assigned)) {
     std::cerr << "cannot write " << collected_path << "\n";

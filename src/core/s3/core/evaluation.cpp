@@ -21,29 +21,22 @@ bool in_leave_peak(util::SimTime t,
   return false;
 }
 
-}  // namespace
-
-social::SocialIndexModel train_from_workload(const wlan::Network& net,
-                                             const trace::Trace& workload,
-                                             const EvaluationConfig& config) {
-  S3_REQUIRE(config.train_days >= 1, "evaluation: train_days must be >= 1");
-  const trace::Trace training = window_of(workload, 0, config.train_days);
-  LlfSelector llf(config.baseline_metric);
-  const sim::ReplayResult collected =
-      sim::replay(net, training, llf, config.replay);
-  return social::SocialIndexModel::train(collected.assigned, config.social);
+runtime::ReplayDriver make_driver(const wlan::Network& net,
+                                  const EvaluationConfig& config) {
+  runtime::ReplayDriverConfig driver_config;
+  driver_config.replay = config.replay;
+  driver_config.threads = config.threads;
+  return runtime::ReplayDriver(net, driver_config);
 }
 
-PolicyScore score_policy(const wlan::Network& net,
-                         const trace::Trace& workload,
-                         sim::ApSelector& policy,
+/// Scores an already-replayed test window (shared by both
+/// score_policy overloads).
+PolicyScore score_replay(const wlan::Network& net,
+                         const sim::ReplayResult& run,
+                         std::string policy_name,
                          const EvaluationConfig& config) {
-  S3_REQUIRE(config.test_days >= 1, "evaluation: test_days must be >= 1");
   const int test_begin = config.train_days;
   const int test_end = config.train_days + config.test_days;
-  const trace::Trace test = window_of(workload, test_begin, test_end);
-
-  const sim::ReplayResult run = sim::replay(net, test, policy, config.replay);
 
   analysis::ThroughputOptions opts;
   opts.slot_s = config.eval_slot_s;
@@ -52,7 +45,7 @@ PolicyScore score_policy(const wlan::Network& net,
   const analysis::ThroughputSeries series(net, run.assigned, begin, end, opts);
 
   PolicyScore score;
-  score.policy = std::string(policy.name());
+  score.policy = std::move(policy_name);
   score.replay_stats = run.stats;
   score.per_controller_mean.resize(net.num_controllers());
   score.per_controller_ci95.resize(net.num_controllers());
@@ -88,6 +81,46 @@ PolicyScore score_policy(const wlan::Network& net,
   return score;
 }
 
+}  // namespace
+
+social::SocialIndexModel train_from_workload(const wlan::Network& net,
+                                             const trace::Trace& workload,
+                                             const EvaluationConfig& config) {
+  S3_REQUIRE(config.train_days >= 1, "evaluation: train_days must be >= 1");
+  const trace::Trace training = window_of(workload, 0, config.train_days);
+  const LlfFactory llf(config.baseline_metric);
+  const sim::ReplayResult collected =
+      make_driver(net, config).run(training, llf);
+  return social::SocialIndexModel::train(collected.assigned, config.social);
+}
+
+PolicyScore score_policy(const wlan::Network& net,
+                         const trace::Trace& workload,
+                         const sim::SelectorFactory& factory,
+                         const EvaluationConfig& config) {
+  S3_REQUIRE(config.test_days >= 1, "evaluation: test_days must be >= 1");
+  const int test_begin = config.train_days;
+  const int test_end = config.train_days + config.test_days;
+  const trace::Trace test = window_of(workload, test_begin, test_end);
+
+  const sim::ReplayResult run = make_driver(net, config).run(test, factory);
+  return score_replay(net, run, std::string(factory.name()), config);
+}
+
+PolicyScore score_policy(const wlan::Network& net,
+                         const trace::Trace& workload,
+                         sim::ApSelector& policy,
+                         const EvaluationConfig& config) {
+  S3_REQUIRE(config.test_days >= 1, "evaluation: test_days must be >= 1");
+  const int test_begin = config.train_days;
+  const int test_end = config.train_days + config.test_days;
+  const trace::Trace test = window_of(workload, test_begin, test_end);
+
+  const sim::ReplayResult run =
+      make_driver(net, config).run_sequential(test, policy);
+  return score_replay(net, run, std::string(policy.name()), config);
+}
+
 ComparisonResult compare_s3_vs_llf(const wlan::Network& net,
                                    const trace::Trace& workload,
                                    const EvaluationConfig& config) {
@@ -96,11 +129,11 @@ ComparisonResult compare_s3_vs_llf(const wlan::Network& net,
 
   ComparisonResult result;
   {
-    LlfSelector llf(config.baseline_metric);
+    const LlfFactory llf(config.baseline_metric);
     result.llf = score_policy(net, workload, llf, config);
   }
   {
-    S3Selector s3(&net, &model, config.s3);
+    const S3Factory s3(&net, &model, config.s3);
     result.s3 = score_policy(net, workload, s3, config);
   }
 

@@ -15,7 +15,8 @@
 
 #include "s3/analysis/balance.h"
 #include "s3/core/s3_selector.h"
-#include "s3/sim/replay.h"
+#include "s3/core/selector_factory.h"
+#include "s3/runtime/replay_driver.h"
 #include "s3/trace/generator.h"
 #include "s3/util/stats.h"
 
@@ -33,6 +34,10 @@ struct EvaluationConfig {
   /// demand w(u) from history (§IV-B) and is configured via `s3`.
   LoadMetric baseline_metric = LoadMetric::kStations;
   sim::ReplayConfig replay{};
+  /// Worker threads for the sharded replay driver; 0 = all cores.
+  /// Scores are identical for every value — controller domains are
+  /// independent, so sharding only changes wall clock.
+  unsigned threads = 0;
   social::SocialModelConfig social{};
   S3Config s3{};
   /// Balance-index sampling slot.
@@ -72,7 +77,16 @@ social::SocialIndexModel train_from_workload(const wlan::Network& net,
                                              const trace::Trace& workload,
                                              const EvaluationConfig& config);
 
-/// Replays the test window under `policy` and scores it.
+/// Replays the test window under per-domain instances from `factory`
+/// (sharded across config.threads workers) and scores it.
+PolicyScore score_policy(const wlan::Network& net,
+                         const trace::Trace& workload,
+                         const sim::SelectorFactory& factory,
+                         const EvaluationConfig& config);
+
+/// Replays the test window under the single shared `policy` instance
+/// (sequential, global event order — required for policies whose
+/// state must span controller domains) and scores it.
 PolicyScore score_policy(const wlan::Network& net,
                          const trace::Trace& workload,
                          sim::ApSelector& policy,

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "s3/analysis/balance.h"
+#include "s3/util/metrics.h"
 
 namespace s3::core {
 
@@ -13,6 +14,25 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kCostEps = 1e-12;
+
+struct S3Metrics {
+  util::Timer* clique_cover;
+  util::Counter* distributions;
+  util::Counter* exact_enumerations;
+  util::Counter* beam_searches;
+  util::Histogram* clique_size;
+};
+
+const S3Metrics& s3_metrics() {
+  static const S3Metrics m{
+      util::metrics().timer("core.s3.clique_cover_ns"),
+      util::metrics().counter("core.s3.distributions_enumerated"),
+      util::metrics().counter("core.s3.exact_enumerations"),
+      util::metrics().counter("core.s3.beam_searches"),
+      util::metrics().histogram("core.s3.clique_size"),
+  };
+  return m;
+}
 
 /// Social cost of adding `user` to `ap` given the committed state:
 /// C(AP) = Σ_{w ∈ S(AP)} θ(user, w), counting only *close* relations
@@ -108,8 +128,11 @@ std::vector<ApId> S3Selector::select_batch(std::span<const sim::Arrival> batch,
   }
 
   // ---- Iterative clique extraction + placement ----------------------
-  const std::vector<std::vector<std::size_t>> cover =
-      social::clique_cover(graph, config_.clique);
+  std::vector<std::vector<std::size_t>> cover;
+  {
+    util::ScopedTimer timing(s3_metrics().clique_cover);
+    cover = social::clique_cover(graph, config_.clique);
+  }
 
   for (const std::vector<std::size_t>& clique : cover) {
     if (clique.size() == 1) {
@@ -121,6 +144,7 @@ std::vector<ApId> S3Selector::select_batch(std::span<const sim::Arrival> batch,
     ++stats_.cliques;
     stats_.clique_members += clique.size();
     stats_.largest_clique = std::max(stats_.largest_clique, clique.size());
+    s3_metrics().clique_size->record(clique.size());
     place_clique_members(batch, clique, scratch, commit);
   }
   return result;
@@ -190,8 +214,10 @@ void S3Selector::place_clique_members(
   const bool exact = space <= static_cast<double>(config_.enumeration_limit);
   if (exact) {
     ++stats_.exact_enumerations;
+    s3_metrics().exact_enumerations->add();
   } else {
     ++stats_.beam_searches;
+    s3_metrics().beam_searches->add();
   }
   std::unordered_map<ApId, double> added_scratchpad;
 
@@ -213,6 +239,7 @@ void S3Selector::place_clique_members(
         next.push_back(std::move(e));
       }
     }
+    s3_metrics().distributions->add(next.size());
     if (!exact && next.size() > config_.beam_width) {
       std::nth_element(next.begin(),
                        next.begin() + static_cast<std::ptrdiff_t>(

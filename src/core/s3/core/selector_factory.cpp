@@ -1,0 +1,120 @@
+#include "s3/core/selector_factory.h"
+
+#include <map>
+#include <mutex>
+
+namespace s3::core {
+
+namespace {
+
+/// splitmix64 finalizer: decorrelates the per-domain RNG streams from
+/// the base seed and from each other.
+std::uint64_t mix_seed(std::uint64_t seed, ControllerId domain) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (domain + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SelectorFactoryBuilder> builders;
+};
+
+Registry& registry() {
+  static Registry& r = []() -> Registry& {
+    static Registry reg;
+    reg.builders["llf"] = [](const SelectorSpec& spec) {
+      return std::make_unique<LlfFactory>(spec.llf_metric);
+    };
+    reg.builders["llf-demand"] = [](const SelectorSpec&) {
+      return std::make_unique<LlfFactory>(LoadMetric::kDemand);
+    };
+    reg.builders["llf-stations"] = [](const SelectorSpec&) {
+      return std::make_unique<LlfFactory>(LoadMetric::kStations);
+    };
+    reg.builders["rssi"] = [](const SelectorSpec&) {
+      return std::make_unique<StrongestRssiFactory>();
+    };
+    reg.builders["random"] = [](const SelectorSpec& spec) {
+      return std::make_unique<RandomFactory>(spec.random_seed);
+    };
+    reg.builders["s3"] = [](const SelectorSpec& spec) {
+      S3_REQUIRE(spec.net != nullptr && spec.model != nullptr,
+                 "selector registry: \"s3\" needs spec.net and spec.model");
+      return std::make_unique<S3Factory>(spec.net, spec.model, spec.s3);
+    };
+    reg.builders["s3-online"] = [](const SelectorSpec& spec) {
+      S3_REQUIRE(spec.net != nullptr && spec.base_model != nullptr,
+                 "selector registry: \"s3-online\" needs spec.net and "
+                 "spec.base_model");
+      return std::make_unique<OnlineS3Factory>(spec.net, spec.base_model,
+                                               spec.online);
+    };
+    return reg;
+  }();
+  return r;
+}
+
+}  // namespace
+
+std::unique_ptr<sim::ApSelector> RandomFactory::create(
+    ControllerId domain) const {
+  return std::make_unique<RandomSelector>(mix_seed(seed_, domain));
+}
+
+S3Factory::S3Factory(const wlan::Network* net,
+                     const social::ThetaProvider* model, S3Config config)
+    : net_(net), model_(model), config_(config) {
+  S3_REQUIRE(net_ != nullptr, "S3Factory: null network");
+  S3_REQUIRE(model_ != nullptr, "S3Factory: null model");
+}
+
+OnlineS3Factory::OnlineS3Factory(const wlan::Network* net,
+                                 const social::SocialIndexModel* base,
+                                 OnlineS3Config config)
+    : net_(net), base_(base), config_(config) {
+  S3_REQUIRE(net_ != nullptr, "OnlineS3Factory: null network");
+  S3_REQUIRE(base_ != nullptr, "OnlineS3Factory: null base model");
+}
+
+void register_selector(const std::string& name,
+                       SelectorFactoryBuilder builder) {
+  S3_REQUIRE(builder != nullptr, "register_selector: null builder");
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  const bool inserted = r.builders.emplace(name, std::move(builder)).second;
+  S3_REQUIRE(inserted, "register_selector: duplicate policy name: " + name);
+}
+
+std::vector<std::string> registered_selectors() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.builders.size());
+  for (const auto& [name, builder] : r.builders) names.push_back(name);
+  return names;  // std::map iteration: already sorted
+}
+
+std::unique_ptr<sim::SelectorFactory> make_selector_factory(
+    const std::string& name, const SelectorSpec& spec) {
+  SelectorFactoryBuilder builder;
+  {
+    Registry& r = registry();
+    std::lock_guard lock(r.mu);
+    const auto it = r.builders.find(name);
+    if (it != r.builders.end()) builder = it->second;
+  }
+  if (!builder) {
+    std::string known;
+    for (const std::string& n : registered_selectors()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown policy \"" + name +
+                                "\" (registered: " + known + ")");
+  }
+  return builder(spec);
+}
+
+}  // namespace s3::core

@@ -1,0 +1,132 @@
+// Concrete SelectorFactory implementations + a name registry.
+//
+// The sharded ReplayDriver needs one policy instance per controller
+// domain (controllers are independent; a shared mutable instance would
+// serialize them). Each shipped policy therefore comes with a factory
+// that stamps out per-domain instances:
+//
+//   * LlfFactory            — "LLF", stateless; metric configurable
+//   * StrongestRssiFactory  — "RSSI", stateless
+//   * RandomFactory         — "random"; per-domain RNG streams derived
+//                             deterministically from (seed, domain) so
+//                             replays are thread-schedule independent
+//   * S3Factory             — "S3" over a shared frozen ThetaProvider
+//                             (read-only, safe across threads)
+//   * OnlineS3Factory       — "S3-online"; each domain learns from its
+//                             own events, which is exactly the
+//                             knowledge a real per-domain controller
+//                             would have
+//
+// The registry maps policy names to factory builders so tools (CLI,
+// benches) can construct any registered policy from flags; new
+// policies register themselves via register_selector().
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "s3/core/baselines.h"
+#include "s3/core/online_s3.h"
+#include "s3/core/s3_selector.h"
+
+namespace s3::core {
+
+class LlfFactory final : public sim::SelectorFactory {
+ public:
+  explicit LlfFactory(LoadMetric metric = LoadMetric::kDemand) noexcept
+      : metric_(metric) {}
+  std::string_view name() const override { return "LLF"; }
+  std::unique_ptr<sim::ApSelector> create(ControllerId) const override {
+    return std::make_unique<LlfSelector>(metric_);
+  }
+
+ private:
+  LoadMetric metric_;
+};
+
+class StrongestRssiFactory final : public sim::SelectorFactory {
+ public:
+  std::string_view name() const override { return "RSSI"; }
+  std::unique_ptr<sim::ApSelector> create(ControllerId) const override {
+    return std::make_unique<StrongestRssiSelector>();
+  }
+};
+
+class RandomFactory final : public sim::SelectorFactory {
+ public:
+  explicit RandomFactory(std::uint64_t seed) noexcept : seed_(seed) {}
+  std::string_view name() const override { return "random"; }
+  std::unique_ptr<sim::ApSelector> create(ControllerId domain) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+class S3Factory final : public sim::SelectorFactory {
+ public:
+  /// `net` and `model` must outlive the factory and every instance it
+  /// creates; both are only ever read at selection time.
+  S3Factory(const wlan::Network* net, const social::ThetaProvider* model,
+            S3Config config = {});
+  std::string_view name() const override { return "S3"; }
+  std::unique_ptr<sim::ApSelector> create(ControllerId) const override {
+    return std::make_unique<S3Selector>(net_, model_, config_);
+  }
+
+ private:
+  const wlan::Network* net_;
+  const social::ThetaProvider* model_;
+  S3Config config_;
+};
+
+class OnlineS3Factory final : public sim::SelectorFactory {
+ public:
+  /// Each created instance wraps `base` with its own live pair
+  /// statistics, fed only by its domain's events — the same knowledge
+  /// horizon a physically separate controller has.
+  OnlineS3Factory(const wlan::Network* net,
+                  const social::SocialIndexModel* base,
+                  OnlineS3Config config = {});
+  std::string_view name() const override { return "S3-online"; }
+  std::unique_ptr<sim::ApSelector> create(ControllerId) const override {
+    return std::make_unique<OnlineS3Selector>(net_, base_, config_);
+  }
+
+ private:
+  const wlan::Network* net_;
+  const social::SocialIndexModel* base_;
+  OnlineS3Config config_;
+};
+
+/// Everything a registered factory builder may need. Policies ignore
+/// the fields they do not use; "s3" requires net+model, "s3-online"
+/// requires net+base_model.
+struct SelectorSpec {
+  LoadMetric llf_metric = LoadMetric::kDemand;
+  std::uint64_t random_seed = 1;
+  const wlan::Network* net = nullptr;
+  const social::ThetaProvider* model = nullptr;
+  const social::SocialIndexModel* base_model = nullptr;
+  S3Config s3{};
+  OnlineS3Config online{};
+};
+
+using SelectorFactoryBuilder =
+    std::function<std::unique_ptr<sim::SelectorFactory>(const SelectorSpec&)>;
+
+/// Adds a policy to the registry; throws on duplicate names. The
+/// built-ins ("llf", "llf-demand", "llf-stations", "rssi", "random",
+/// "s3", "s3-online") are pre-registered.
+void register_selector(const std::string& name, SelectorFactoryBuilder builder);
+
+/// Registered policy names, sorted.
+std::vector<std::string> registered_selectors();
+
+/// Builds the factory registered under `name`; throws
+/// std::invalid_argument (listing the known names) on an unknown name
+/// or a spec missing a required field.
+std::unique_ptr<sim::SelectorFactory> make_selector_factory(
+    const std::string& name, const SelectorSpec& spec);
+
+}  // namespace s3::core

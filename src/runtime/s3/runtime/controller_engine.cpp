@@ -1,0 +1,185 @@
+#include "s3/runtime/controller_engine.h"
+
+#include <algorithm>
+
+#include "s3/util/metrics.h"
+#include "s3/wlan/radio.h"
+
+namespace s3::runtime {
+
+namespace {
+
+struct SimMetrics {
+  util::Counter* batches;
+  util::Counter* sessions;
+  util::Counter* forced_overloads;
+  util::Counter* candidate_violations;
+  util::Histogram* batch_size;
+  util::Timer* dispatch;
+};
+
+/// Instrument handles are resolved once; the registry guarantees
+/// pointer stability.
+const SimMetrics& sim_metrics() {
+  static const SimMetrics m{
+      util::metrics().counter("sim.batches"),
+      util::metrics().counter("sim.sessions"),
+      util::metrics().counter("sim.forced_overloads"),
+      util::metrics().counter("sim.candidate_violations"),
+      util::metrics().histogram("sim.batch_size"),
+      util::metrics().timer("sim.dispatch_ns"),
+  };
+  return m;
+}
+
+}  // namespace
+
+ControllerEngine::ControllerEngine(const wlan::Network& net,
+                                   const trace::Trace& workload,
+                                   ControllerId domain,
+                                   std::vector<std::size_t> sessions,
+                                   sim::ApSelector& policy,
+                                   const sim::ReplayConfig& config,
+                                   std::span<ApId> assignment)
+    : net_(&net),
+      workload_(&workload),
+      domain_(domain),
+      sessions_(std::move(sessions)),
+      policy_(&policy),
+      config_(config),
+      assignment_(assignment),
+      tracker_(net) {
+  S3_REQUIRE(config_.dispatch_window_s >= 0,
+             "replay: negative dispatch window");
+  S3_REQUIRE(assignment_.size() == workload.size(),
+             "ControllerEngine: assignment size mismatch");
+  stats_.num_sessions = sessions_.size();
+  sim_metrics().sessions->add(sessions_.size());
+}
+
+bool ControllerEngine::done() const noexcept {
+  return next_arrival_ >= sessions_.size() && departures_.empty() &&
+         batch_.empty();
+}
+
+util::SimTime ControllerEngine::next_arrival_time() const noexcept {
+  return next_arrival_ < sessions_.size()
+             ? workload_->sessions()[sessions_[next_arrival_]].connect
+             : kNever;
+}
+
+std::size_t ControllerEngine::next_arrival_session() const noexcept {
+  return sessions_[next_arrival_];
+}
+
+util::SimTime ControllerEngine::next_departure_time() const noexcept {
+  return departures_.empty() ? kNever : departures_.top().when;
+}
+
+std::size_t ControllerEngine::next_departure_session() const noexcept {
+  return departures_.top().session_index;
+}
+
+util::SimTime ControllerEngine::flush_deadline() const noexcept {
+  return batch_.empty() ? kNever : batch_deadline_;
+}
+
+void ControllerEngine::process_arrival() {
+  const std::size_t index = sessions_[next_arrival_];
+  const trace::SessionRecord& s = workload_->sessions()[index];
+  sim::Arrival a;
+  a.session_index = index;
+  a.user = s.user;
+  a.controller = net_->controller_of_building(s.building);
+  a.connect = s.connect;
+  a.demand_mbps = s.demand_mbps;
+  a.candidates = wlan::candidate_aps(*net_, config_.radio, s.building, s.pos);
+  ++next_arrival_;
+
+  if (batch_.empty()) {
+    batch_deadline_ = a.connect + util::SimTime(config_.dispatch_window_s);
+  }
+  batch_.push_back(std::move(a));
+  if (config_.dispatch_window_s == 0) flush();
+}
+
+void ControllerEngine::process_departure() {
+  const Departure d = departures_.top();
+  departures_.pop();
+  tracker_.disconnect(d.session_index, d.ap);
+  policy_->on_disconnect(d.session_index, d.user, d.ap, d.when);
+}
+
+void ControllerEngine::flush() {
+  if (batch_.empty()) return;
+  const SimMetrics& m = sim_metrics();
+
+  std::vector<ApId> chosen;
+  {
+    util::ScopedTimer timing(m.dispatch);
+    chosen = policy_->select_batch(batch_, tracker_);
+  }
+  S3_ASSERT(chosen.size() == batch_.size(),
+            "replay: policy returned wrong batch arity");
+  const auto sessions = workload_->sessions();
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    const sim::Arrival& a = batch_[i];
+    const ApId ap = chosen[i];
+    if (std::find(a.candidates.begin(), a.candidates.end(), ap) ==
+        a.candidates.end()) {
+      // Broken policy contract: keep the placement (the association
+      // already happened from the stations' point of view) but make
+      // the breach observable instead of trusting silently.
+      ++stats_.candidate_violations;
+      m.candidate_violations->add();
+      S3_DEBUG_ASSERT(false,
+                      "replay: policy picked an AP outside the candidate set");
+    }
+    if (tracker_.headroom_mbps(ap) < a.demand_mbps) {
+      ++stats_.forced_overloads;
+      m.forced_overloads->add();
+      // Per-AP breakdown, created lazily — overload is the cold path,
+      // so the registry lookup cost does not matter here.
+      util::metrics()
+          .counter("sim.forced_overloads.ap" + std::to_string(ap))
+          ->add();
+    }
+    tracker_.associate(a.session_index, ap, a.user, a.demand_mbps);
+    assignment_[a.session_index] = ap;
+    policy_->on_associate(a, ap);
+    departures_.push(Departure{sessions[a.session_index].disconnect,
+                               a.session_index, ap, a.user});
+  }
+  ++stats_.num_batches;
+  stats_.max_batch_size = std::max(stats_.max_batch_size, batch_.size());
+  m.batches->add();
+  m.batch_size->record(batch_.size());
+  batch_.clear();
+  batch_deadline_ = kNever;
+}
+
+void ControllerEngine::run() {
+  while (!done()) {
+    const util::SimTime ta = next_arrival_time();
+    const util::SimTime td = next_departure_time();
+    const util::SimTime tf = flush_deadline();
+    if (td <= ta && td <= tf) {
+      process_departure();
+    } else if (ta <= tf) {
+      process_arrival();
+    } else {
+      flush();
+    }
+  }
+  finalize();
+}
+
+void ControllerEngine::finalize() {
+  stats_.mean_batch_size =
+      stats_.num_batches > 0
+          ? static_cast<double>(stats_.num_sessions) /
+                static_cast<double>(stats_.num_batches)
+          : 0.0;
+}
+
+}  // namespace s3::runtime

@@ -1,0 +1,115 @@
+// Per-controller replay engine.
+//
+// One ControllerEngine owns everything a single controller domain
+// needs to replay its slice of the workload: the domain's arrival
+// stream (global session indices into the shared trace), a departure
+// queue, the pending association batch, a policy instance, and an
+// association-load tracker. Controllers are fully independent domains
+// (§V-A): candidate sets never cross buildings under the default radio
+// model, so engines share no mutable state and can run on different
+// threads without synchronization. Each engine writes its placements
+// into a disjoint set of slots of the shared assignment vector.
+//
+// The engine exposes two execution styles:
+//   * run() — walk the domain's whole event stream (sharded mode, one
+//     engine per thread-pool task);
+//   * peek/process stepping — the ReplayDriver's sequential mode
+//     interleaves engines on a global clock, reproducing the historic
+//     single-threaded sim::replay() bit-for-bit, shared policy
+//     instance and all.
+#pragma once
+
+#include <limits>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "s3/sim/replay.h"
+#include "s3/sim/selector.h"
+#include "s3/trace/trace.h"
+#include "s3/wlan/network.h"
+
+namespace s3::runtime {
+
+class ControllerEngine {
+ public:
+  /// Sentinel "no more events of this kind" timestamp.
+  static constexpr util::SimTime kNever =
+      util::SimTime(std::numeric_limits<std::int64_t>::max());
+
+  /// `sessions` are global indices into `workload.sessions()`, in trace
+  /// (connect-time) order, all belonging to controller `domain`. The
+  /// engine keeps references to `net`, `workload` and `policy` and
+  /// writes into `assignment` (one slot per workload session); all must
+  /// outlive it.
+  ControllerEngine(const wlan::Network& net, const trace::Trace& workload,
+                   ControllerId domain, std::vector<std::size_t> sessions,
+                   sim::ApSelector& policy, const sim::ReplayConfig& config,
+                   std::span<ApId> assignment);
+
+  ControllerId domain() const noexcept { return domain_; }
+
+  /// Processes every event of this domain, then finalizes stats.
+  void run();
+
+  // --- Fine-grained stepping (sequential global-interleave mode) ----
+  // Tie order at equal timestamps matches the historic monolith:
+  // departures free capacity first, then arrivals join their batch,
+  // then due batches flush.
+
+  bool done() const noexcept;
+
+  util::SimTime next_arrival_time() const noexcept;
+  /// Global session index of the next arrival (only valid when
+  /// next_arrival_time() != kNever).
+  std::size_t next_arrival_session() const noexcept;
+
+  util::SimTime next_departure_time() const noexcept;
+  std::size_t next_departure_session() const noexcept;
+
+  /// Deadline of the pending batch; kNever when nothing is pending.
+  util::SimTime flush_deadline() const noexcept;
+
+  void process_arrival();
+  void process_departure();
+  void flush();
+
+  /// Computes derived statistics (mean batch size); call once after
+  /// the event walk. run() does this itself.
+  void finalize();
+
+  const sim::ReplayStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Departure {
+    util::SimTime when;
+    std::size_t session_index;
+    ApId ap;
+    UserId user;
+  };
+  struct DepartureLater {
+    bool operator()(const Departure& a, const Departure& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.session_index > b.session_index;
+    }
+  };
+
+  const wlan::Network* net_;
+  const trace::Trace* workload_;
+  ControllerId domain_;
+  std::vector<std::size_t> sessions_;  // global indices, connect order
+  sim::ApSelector* policy_;
+  sim::ReplayConfig config_;
+  std::span<ApId> assignment_;
+
+  sim::ApLoadTracker tracker_;
+  std::priority_queue<Departure, std::vector<Departure>, DepartureLater>
+      departures_;
+  std::vector<sim::Arrival> batch_;
+  util::SimTime batch_deadline_ = kNever;
+  std::size_t next_arrival_ = 0;
+
+  sim::ReplayStats stats_;
+};
+
+}  // namespace s3::runtime

@@ -1,0 +1,18 @@
+// Definition of the historic sim::replay() entry point on top of the
+// sharded runtime: a ReplayDriver in sequential mode, which preserves
+// the single-threaded global event order (and therefore every byte of
+// the assigned trace) that callers of the old monolith saw.
+#include "s3/runtime/replay_driver.h"
+#include "s3/sim/replay.h"
+
+namespace s3::sim {
+
+ReplayResult replay(const wlan::Network& net, const trace::Trace& workload,
+                    ApSelector& policy, const ReplayConfig& config) {
+  runtime::ReplayDriverConfig driver_config;
+  driver_config.replay = config;
+  return runtime::ReplayDriver(net, driver_config)
+      .run_sequential(workload, policy);
+}
+
+}  // namespace s3::sim

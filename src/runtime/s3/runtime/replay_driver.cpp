@@ -1,0 +1,184 @@
+#include "s3/runtime/replay_driver.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace s3::runtime {
+
+sim::ReplayStats merge_stats(std::span<const sim::ReplayStats> shards) {
+  sim::ReplayStats merged;
+  for (const sim::ReplayStats& s : shards) {
+    merged.num_sessions += s.num_sessions;
+    merged.num_batches += s.num_batches;
+    merged.max_batch_size = std::max(merged.max_batch_size, s.max_batch_size);
+    merged.forced_overloads += s.forced_overloads;
+    merged.candidate_violations += s.candidate_violations;
+  }
+  merged.mean_batch_size =
+      merged.num_batches > 0
+          ? static_cast<double>(merged.num_sessions) /
+                static_cast<double>(merged.num_batches)
+          : 0.0;
+  return merged;
+}
+
+ReplayDriver::ReplayDriver(const wlan::Network& net, ReplayDriverConfig config)
+    : net_(&net), config_(config) {
+  S3_REQUIRE(config_.replay.dispatch_window_s >= 0,
+             "ReplayDriver: negative dispatch window");
+}
+
+unsigned ReplayDriver::effective_threads() const noexcept {
+  if (config_.threads > 0) return config_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::vector<std::vector<std::size_t>> ReplayDriver::shard_sessions(
+    const trace::Trace& workload) const {
+  std::vector<std::vector<std::size_t>> shards(net_->num_controllers());
+  const auto sessions = workload.sessions();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const ControllerId c = net_->controller_of_building(sessions[i].building);
+    shards[c].push_back(i);
+  }
+  return shards;
+}
+
+sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
+                                    const sim::SelectorFactory& factory) const {
+  std::vector<std::vector<std::size_t>> shards = shard_sessions(workload);
+  std::vector<ApId> assignment(workload.size(), kInvalidAp);
+
+  // One policy + engine per non-empty domain, in controller order so
+  // that policy construction (seed derivation, model wiring) never
+  // depends on thread schedule.
+  std::vector<std::unique_ptr<sim::ApSelector>> policies;
+  std::vector<std::unique_ptr<ControllerEngine>> engines;
+  for (ControllerId c = 0; c < shards.size(); ++c) {
+    if (shards[c].empty()) continue;
+    policies.push_back(factory.create(c));
+    S3_ASSERT(policies.back() != nullptr,
+              "ReplayDriver: factory returned a null policy");
+    engines.push_back(std::make_unique<ControllerEngine>(
+        *net_, workload, c, std::move(shards[c]), *policies.back(),
+        config_.replay, assignment));
+  }
+
+  const unsigned workers = std::min<unsigned>(
+      effective_threads(), static_cast<unsigned>(engines.size()));
+  if (workers <= 1) {
+    for (auto& e : engines) e->run();
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    auto work = [&]() {
+      for (std::size_t i = next.fetch_add(1); i < engines.size();
+           i = next.fetch_add(1)) {
+        try {
+          engines[i]->run();
+        } catch (...) {
+          std::lock_guard lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  std::vector<sim::ReplayStats> shard_stats;
+  shard_stats.reserve(engines.size());
+  for (const auto& e : engines) shard_stats.push_back(e->stats());
+  return sim::ReplayResult{workload.with_assignments(assignment),
+                           merge_stats(shard_stats)};
+}
+
+sim::ReplayResult ReplayDriver::run_sequential(const trace::Trace& workload,
+                                               sim::ApSelector& policy) const {
+  std::vector<std::vector<std::size_t>> shards = shard_sessions(workload);
+  std::vector<ApId> assignment(workload.size(), kInvalidAp);
+
+  std::vector<std::unique_ptr<ControllerEngine>> engines;
+  for (ControllerId c = 0; c < shards.size(); ++c) {
+    if (shards[c].empty()) continue;
+    engines.push_back(std::make_unique<ControllerEngine>(
+        *net_, workload, c, std::move(shards[c]), policy, config_.replay,
+        assignment));
+  }
+
+  constexpr util::SimTime kNever = ControllerEngine::kNever;
+  while (true) {
+    // Global minima over the engines. Arrivals and departures order by
+    // (time, global session index) — exactly the single heap / single
+    // cursor of the historic monolith; flushes take the first engine
+    // (ascending controller id) at the minimum deadline.
+    ControllerEngine* arrival_engine = nullptr;
+    util::SimTime ta = kNever;
+    std::size_t arrival_session = 0;
+    ControllerEngine* departure_engine = nullptr;
+    util::SimTime td = kNever;
+    std::size_t departure_session = 0;
+    ControllerEngine* flush_engine = nullptr;
+    util::SimTime tf = kNever;
+
+    for (const auto& e : engines) {
+      const util::SimTime ea = e->next_arrival_time();
+      if (ea != kNever) {
+        const std::size_t s = e->next_arrival_session();
+        if (!arrival_engine || ea < ta || (ea == ta && s < arrival_session)) {
+          arrival_engine = e.get();
+          ta = ea;
+          arrival_session = s;
+        }
+      }
+      const util::SimTime ed = e->next_departure_time();
+      if (ed != kNever) {
+        const std::size_t s = e->next_departure_session();
+        if (!departure_engine || ed < td ||
+            (ed == td && s < departure_session)) {
+          departure_engine = e.get();
+          td = ed;
+          departure_session = s;
+        }
+      }
+      const util::SimTime ef = e->flush_deadline();
+      if (ef != kNever && ef < tf) {
+        flush_engine = e.get();
+        tf = ef;
+      }
+    }
+
+    if (!arrival_engine && !departure_engine && !flush_engine) break;
+
+    // Tie order at equal timestamps: departures free capacity first,
+    // then new arrivals join their batch, then due batches flush.
+    if (departure_engine && td <= ta && td <= tf) {
+      departure_engine->process_departure();
+      continue;
+    }
+    if (arrival_engine && ta <= tf) {
+      arrival_engine->process_arrival();
+      continue;
+    }
+    flush_engine->flush();
+  }
+
+  std::vector<sim::ReplayStats> shard_stats;
+  shard_stats.reserve(engines.size());
+  for (auto& e : engines) {
+    e->finalize();
+    shard_stats.push_back(e->stats());
+  }
+  return sim::ReplayResult{workload.with_assignments(assignment),
+                           merge_stats(shard_stats)};
+}
+
+}  // namespace s3::runtime

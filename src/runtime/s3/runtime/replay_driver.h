@@ -1,0 +1,68 @@
+// Sharded replay driver.
+//
+// The driver decomposes a replay into one ControllerEngine per
+// controller domain and runs the engines on a thread pool. Because
+// domains are independent (disjoint APs, disjoint arrivals, per-shard
+// policy instances from a SelectorFactory), the merged result —
+// assigned trace, statistics, instrumentation counters — is identical
+// for every thread count, including 1. Wall clock scales with the
+// number of cores until the largest single domain dominates.
+//
+// Two modes:
+//   * run(factory)        — sharded, one policy instance per domain,
+//                           threads from ReplayDriverConfig;
+//   * run_sequential(...) — one shared policy instance observing every
+//                           domain's events in global time order; this
+//                           is the historic sim::replay() behavior
+//                           bit-for-bit, kept for stateful policies
+//                           that learn across domains and as the
+//                           differential-testing reference.
+#pragma once
+
+#include "s3/runtime/controller_engine.h"
+
+namespace s3::runtime {
+
+struct ReplayDriverConfig {
+  sim::ReplayConfig replay{};
+  /// Worker threads for sharded replay; 0 = hardware_concurrency().
+  /// The result is the same for every value; only wall clock changes.
+  unsigned threads = 0;
+};
+
+/// Deterministically merges per-shard statistics (shard order must be
+/// controller order). Guards the mean against num_batches == 0.
+sim::ReplayStats merge_stats(std::span<const sim::ReplayStats> shards);
+
+class ReplayDriver {
+ public:
+  /// `net` must outlive the driver.
+  explicit ReplayDriver(const wlan::Network& net,
+                        ReplayDriverConfig config = {});
+
+  /// Sharded replay of `workload`: partitions sessions by controller
+  /// domain, builds one policy per non-empty domain via `factory`, and
+  /// runs the engines on the thread pool.
+  sim::ReplayResult run(const trace::Trace& workload,
+                        const sim::SelectorFactory& factory) const;
+
+  /// Sequential replay with one shared policy instance: engines are
+  /// interleaved on a global clock with the historic tie order
+  /// (departures, then arrivals, then due batch flushes).
+  sim::ReplayResult run_sequential(const trace::Trace& workload,
+                                   sim::ApSelector& policy) const;
+
+  /// Threads run() will actually use (resolves the 0 default).
+  unsigned effective_threads() const noexcept;
+
+  const ReplayDriverConfig& config() const noexcept { return config_; }
+
+ private:
+  std::vector<std::vector<std::size_t>> shard_sessions(
+      const trace::Trace& workload) const;
+
+  const wlan::Network* net_;
+  ReplayDriverConfig config_;
+};
+
+}  // namespace s3::runtime

@@ -37,6 +37,11 @@ struct ReplayStats {
   /// Placements where the chosen AP had no headroom for the arrival
   /// (every candidate violated the bandwidth constraint).
   std::size_t forced_overloads = 0;
+  /// Policy contract violations: placements where the returned AP was
+  /// not in the arrival's candidate set. Debug builds additionally
+  /// throw; release builds count and keep the returned AP so the
+  /// breach is observable instead of fatal.
+  std::size_t candidate_violations = 0;
 };
 
 struct ReplayResult {
@@ -47,6 +52,13 @@ struct ReplayResult {
 /// Replays `workload` on `net` under `policy`. The workload must be
 /// time-consistent (guaranteed by trace::Trace); sessions shorter than
 /// the dispatch window are still placed before their departure.
+///
+/// This is the shared-policy sequential entry point: a single policy
+/// instance observes every controller's events in global time order.
+/// It is defined by the s3lb::runtime library (a ReplayDriver in
+/// sequential mode — see s3/runtime/replay_driver.h); link
+/// s3lb::runtime to use it. For multi-threaded sharded replay, use
+/// runtime::ReplayDriver with a SelectorFactory directly.
 ReplayResult replay(const wlan::Network& net, const trace::Trace& workload,
                     ApSelector& policy, const ReplayConfig& config = {});
 

@@ -9,6 +9,7 @@
 // whole batch.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -56,6 +57,27 @@ class ApSelector {
   virtual void on_associate(const Arrival& /*arrival*/, ApId /*ap*/) {}
   virtual void on_disconnect(std::size_t /*session_index*/, UserId /*user*/,
                              ApId /*ap*/, util::SimTime /*when*/) {}
+};
+
+/// Builds one policy instance per controller shard.
+///
+/// Controller domains are fully independent (§V-A), so the sharded
+/// replay driver gives every domain its own ApSelector rather than
+/// funnelling all domains through one shared instance. Stateful
+/// policies must derive any randomness or learning state
+/// deterministically from `domain`, never from thread identity or wall
+/// clock — that is what makes a sharded replay reproducible regardless
+/// of thread count. Concrete factories for every shipped policy live
+/// in s3::core (selector_factory.h).
+class SelectorFactory {
+ public:
+  virtual ~SelectorFactory() = default;
+
+  /// Policy name, identical to what the created instances report.
+  virtual std::string_view name() const = 0;
+
+  /// Fresh policy instance for controller shard `domain`.
+  virtual std::unique_ptr<ApSelector> create(ControllerId domain) const = 0;
 };
 
 }  // namespace s3::sim

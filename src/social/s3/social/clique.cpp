@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "s3/util/metrics.h"
+
 namespace s3::social {
 
 std::vector<std::size_t> greedy_coloring(const WeightedGraph& g) {
@@ -162,7 +164,14 @@ class OstergardSearch {
 }  // namespace
 
 CliqueResult max_clique(const WeightedGraph& g, const CliqueConfig& config) {
-  return OstergardSearch(g, config).run();
+  static util::Counter* const extractions =
+      util::metrics().counter("social.clique_extractions");
+  static util::Counter* const nodes =
+      util::metrics().counter("social.clique_nodes_explored");
+  CliqueResult result = OstergardSearch(g, config).run();
+  extractions->add();
+  nodes->add(result.nodes_explored);
+  return result;
 }
 
 CliqueResult greedy_clique(const WeightedGraph& g) {

@@ -2,7 +2,28 @@
 
 #include <utility>
 
+#include "s3/util/metrics.h"
+
 namespace s3::social {
+
+namespace {
+
+struct ThetaMetrics {
+  util::Counter* evals;        ///< θ(u,v) queries answered
+  util::Counter* pair_lookups; ///< pair-history probes
+  util::Counter* pair_hits;    ///< probes answered from learned pair stats
+};
+
+const ThetaMetrics& theta_metrics() {
+  static const ThetaMetrics m{
+      util::metrics().counter("social.theta_evals"),
+      util::metrics().counter("social.pair_lookups"),
+      util::metrics().counter("social.pair_hits"),
+  };
+  return m;
+}
+
+}  // namespace
 
 SocialIndexModel SocialIndexModel::train(const trace::Trace& training,
                                          const SocialModelConfig& config) {
@@ -34,15 +55,19 @@ SocialIndexModel SocialIndexModel::train(const trace::Trace& training,
 
 double SocialIndexModel::co_leave_probability(UserId u, UserId v) const {
   if (u == v) return 0.0;
+  const ThetaMetrics& m = theta_metrics();
+  m.pair_lookups->add();
   const auto it = stats_.find(UserPair(u, v));
   if (it == stats_.end()) return 0.0;
   if (it->second.encounters < config_.min_encounters) return 0.0;
+  m.pair_hits->add();
   return it->second.co_leave_probability();
 }
 
 double SocialIndexModel::theta(UserId u, UserId v) const {
   if (u == v) return 0.0;
   S3_REQUIRE(u < num_users() && v < num_users(), "theta: user out of range");
+  theta_metrics().evals->add();
   const double type_term =
       matrix_.num_types() > 0
           ? matrix_.at(typing_.type(u), typing_.type(v))

@@ -45,3 +45,15 @@ namespace s3::util {
       ::s3::util::throw_assert_failure(#expr, __FILE__, __LINE__, (msg)); \
     }                                                                     \
   } while (false)
+
+// Debug-build-only invariant check: compiled out under NDEBUG. For
+// contracts that are *also* tracked by a counted stat on the release
+// path (e.g. the replay engine's candidate-set validation), so that a
+// production run degrades observably instead of aborting.
+#ifdef NDEBUG
+#define S3_DEBUG_ASSERT(expr, msg) \
+  do {                             \
+  } while (false)
+#else
+#define S3_DEBUG_ASSERT(expr, msg) S3_ASSERT(expr, msg)
+#endif

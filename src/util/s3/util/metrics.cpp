@@ -1,0 +1,143 @@
+#include "s3/util/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "s3/util/error.h"
+
+namespace s3::util {
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               MetricKind kind) {
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    S3_REQUIRE(it->second.kind == kind,
+               "metrics: name already registered with a different kind: " +
+                   std::string(name));
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kTimer:
+      e.timer = std::make_unique<Timer>();
+      break;
+    case MetricKind::kHistogram:
+      e.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return entries_.emplace(std::string(name), std::move(e)).first->second;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  return entry(name, MetricKind::kCounter).counter.get();
+}
+
+Timer* MetricsRegistry::timer(std::string_view name) {
+  std::lock_guard lock(mu_);
+  return entry(name, MetricKind::kTimer).timer.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  return entry(name, MetricKind::kHistogram).histogram.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {  // std::map: already sorted
+    MetricSample s;
+    s.name = name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.count = e.counter->value();
+        break;
+      case MetricKind::kTimer:
+        s.count = e.timer->count();
+        s.total = e.timer->total_ns();
+        s.mean = e.timer->mean_ns();
+        break;
+      case MetricKind::kHistogram:
+        s.count = e.histogram->count();
+        s.total = e.histogram->sum();
+        s.mean = e.histogram->mean();
+        s.max = e.histogram->max();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::dump(std::ostream& out) const {
+  StreamSink sink(out);
+  const std::vector<MetricSample> samples = snapshot();
+  sink.write(samples);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        e.counter->reset();
+        break;
+      case MetricKind::kTimer:
+        e.timer->reset();
+        break;
+      case MetricKind::kHistogram:
+        e.histogram->reset();
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::set_sink(std::shared_ptr<MetricsSink> sink) {
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void MetricsRegistry::flush() const {
+  std::shared_ptr<MetricsSink> sink;
+  {
+    std::lock_guard lock(mu_);
+    sink = sink_;
+  }
+  if (!sink) return;
+  const std::vector<MetricSample> samples = snapshot();
+  sink->write(samples);
+}
+
+void StreamSink::write(std::span<const MetricSample> samples) {
+  for (const MetricSample& s : samples) {
+    *out_ << s.name;
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        *out_ << " counter " << s.count;
+        break;
+      case MetricKind::kTimer:
+        *out_ << " timer count=" << s.count << " total_ns=" << s.total
+              << " mean_ns=" << s.mean;
+        break;
+      case MetricKind::kHistogram:
+        *out_ << " histogram count=" << s.count << " sum=" << s.total
+              << " mean=" << s.mean << " max=" << s.max;
+        break;
+    }
+    *out_ << "\n";
+  }
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace s3::util

@@ -1,0 +1,229 @@
+// Lightweight instrumentation bus.
+//
+// The runtime layers (sim engines, core policies, social model) report
+// what they actually did — batches dispatched, cliques extracted, θ
+// lookups served — through process-global counters, timers and
+// histograms. Instruments are cheap enough for hot paths (relaxed
+// atomics, cache-line padded) and are never unregistered, so call
+// sites cache the pointer once:
+//
+//   static util::Counter* const evals =
+//       util::metrics().counter("social.theta_evals");
+//   evals->add();
+//
+// Counter values and histogram shapes are deterministic for a seeded
+// run regardless of thread count (shards only ever *add*); timer
+// durations are wall-clock and therefore not, but their call counts
+// are. A pluggable MetricsSink receives snapshots on flush(); the
+// default is none (metrics are pull-only via snapshot()/dump()).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s3::util {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulated wall-clock duration + call count.
+class Timer {
+ public:
+  void record_ns(std::uint64_t ns) noexcept {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double mean_ns() const noexcept {
+    const std::uint64_t n = count();
+    return n > 0 ? static_cast<double>(total_ns()) / static_cast<double>(n)
+                 : 0.0;
+  }
+  void reset() noexcept {
+    total_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII timing of a scope into a Timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer) noexcept
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    timer_->record_ns(static_cast<std::uint64_t>(ns));
+  }
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Log2-bucketed distribution of non-negative integer samples (batch
+/// sizes, clique sizes, ...). Bucket i counts samples whose bit width
+/// is i, i.e. bucket 0 holds value 0, bucket i holds [2^(i-1), 2^i).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 41;  // values up to 2^40 - 1
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Racy max is fine: the loop converges and the final value is the
+    // true maximum of all recorded samples.
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+  }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_of(std::uint64_t v) noexcept {
+    std::size_t b = 0;
+    while (v > 0 && b + 1 < kBuckets) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kTimer, kHistogram };
+
+/// One metric's state at snapshot time. For counters only `count` is
+/// meaningful; timers use (count, total=ns, mean=ns/call); histograms
+/// use (count, total=sum, mean, max).
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;
+  std::uint64_t total = 0;
+  double mean = 0.0;
+  std::uint64_t max = 0;
+};
+
+/// Receives registry snapshots on MetricsRegistry::flush().
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void write(std::span<const MetricSample> samples) = 0;
+};
+
+/// Sink that renders "name kind count total mean max" lines to a
+/// stream (the format dump() uses).
+class StreamSink final : public MetricsSink {
+ public:
+  explicit StreamSink(std::ostream& out) : out_(&out) {}
+  void write(std::span<const MetricSample> samples) override;
+
+ private:
+  std::ostream* out_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the instrument registered under `name`, creating it on
+  /// first use. Pointers remain valid for the registry's lifetime;
+  /// registering the same name with a different kind throws.
+  Counter* counter(std::string_view name);
+  Timer* timer(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// All instruments, sorted by name (deterministic output order).
+  std::vector<MetricSample> snapshot() const;
+
+  /// Writes the snapshot as text lines, one metric per line.
+  void dump(std::ostream& out) const;
+
+  /// Zeroes every instrument (pointers stay valid). Tests use this to
+  /// isolate per-run counter assertions.
+  void reset();
+
+  void set_sink(std::shared_ptr<MetricsSink> sink);
+  /// Pushes a snapshot to the sink, if any.
+  void flush() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Timer> timer;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::shared_ptr<MetricsSink> sink_;
+};
+
+/// The process-global instrumentation bus.
+MetricsRegistry& metrics();
+
+}  // namespace s3::util

@@ -1,0 +1,123 @@
+#include "s3/core/selector_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "s3/social/social_index.h"
+#include "testing/mini.h"
+
+namespace s3::core {
+namespace {
+
+using s3::testing::SessionSpec;
+using s3::testing::make_trace;
+using s3::testing::mini_network;
+
+/// Tiny assigned trace good enough to train a model the S3 factories
+/// can hold a pointer to.
+social::SocialIndexModel tiny_model() {
+  const auto assigned = make_trace(4, {
+      SessionSpec{.user = 0, .connect_s = 0, .disconnect_s = 600, .ap = 0},
+      SessionSpec{.user = 1, .connect_s = 30, .disconnect_s = 610, .ap = 0},
+      SessionSpec{.user = 2, .connect_s = 100, .disconnect_s = 900, .ap = 1},
+      SessionSpec{.user = 3, .connect_s = 120, .disconnect_s = 910, .ap = 1},
+  });
+  return social::SocialIndexModel::train(assigned, {});
+}
+
+TEST(SelectorRegistry, ShipsTheBuiltins) {
+  const std::vector<std::string> names = registered_selectors();
+  for (const char* expected : {"llf", "llf-demand", "llf-stations", "rssi",
+                               "random", "s3", "s3-online"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing builtin: " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SelectorRegistry, UnknownNameThrowsListingKnownOnes) {
+  try {
+    make_selector_factory("no-such-policy", {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-policy"), std::string::npos);
+    EXPECT_NE(msg.find("registered"), std::string::npos);
+    EXPECT_NE(msg.find("llf"), std::string::npos);
+  }
+}
+
+TEST(SelectorRegistry, FactoryNameMatchesInstanceName) {
+  const auto net = mini_network(4);
+  const social::SocialIndexModel model = tiny_model();
+  SelectorSpec spec;
+  spec.net = &net;
+  spec.model = &model;
+  spec.base_model = &model;
+  for (const std::string& name : registered_selectors()) {
+    const auto factory = make_selector_factory(name, spec);
+    const auto instance = factory->create(0);
+    EXPECT_EQ(factory->name(), instance->name()) << "policy " << name;
+  }
+}
+
+TEST(SelectorRegistry, LlfRespectsSpecMetric) {
+  SelectorSpec spec;
+  spec.llf_metric = LoadMetric::kStations;
+  const auto f = make_selector_factory("llf", spec);
+  EXPECT_EQ(f->name(), "LLF");
+  // "llf-demand"/"llf-stations" pin the metric regardless of the spec.
+  EXPECT_NE(make_selector_factory("llf-demand", spec), nullptr);
+}
+
+TEST(SelectorRegistry, S3NeedsNetAndModel) {
+  EXPECT_THROW(make_selector_factory("s3", {}), std::invalid_argument);
+  EXPECT_THROW(make_selector_factory("s3-online", {}), std::invalid_argument);
+}
+
+TEST(SelectorRegistry, RegisterRejectsDuplicatesAndNullBuilders) {
+  register_selector("test-llf-alias", [](const SelectorSpec& spec) {
+    return std::make_unique<LlfFactory>(spec.llf_metric);
+  });
+  EXPECT_NO_THROW(make_selector_factory("test-llf-alias", {}));
+  EXPECT_THROW(register_selector("test-llf-alias",
+                                 [](const SelectorSpec&) {
+                                   return std::make_unique<LlfFactory>();
+                                 }),
+               std::invalid_argument);
+  EXPECT_THROW(register_selector("test-null", nullptr),
+               std::invalid_argument);
+}
+
+/// Feeds the same arrival repeatedly and records the pick sequence.
+std::vector<ApId> draw_sequence(sim::ApSelector& policy,
+                                const wlan::Network& net, int draws) {
+  sim::ApLoadTracker loads(net);
+  sim::Arrival a;
+  a.user = 0;
+  a.controller = 0;
+  a.demand_mbps = 1.0;
+  for (ApId ap = 0; ap < 8; ++ap) a.candidates.push_back(ap);
+  std::vector<ApId> picks;
+  for (int i = 0; i < draws; ++i) picks.push_back(policy.select_one(a, loads));
+  return picks;
+}
+
+TEST(RandomFactory, PerDomainStreamsAreDeterministicAndDistinct) {
+  const auto net = mini_network(8);
+  const RandomFactory f1(42), f2(42), other_seed(43);
+
+  // Same (seed, domain) -> the same stream, independent of which
+  // factory object stamped the instance.
+  const auto a = draw_sequence(*f1.create(3), net, 32);
+  const auto b = draw_sequence(*f2.create(3), net, 32);
+  EXPECT_EQ(a, b);
+
+  // Different domain or different base seed -> decorrelated streams.
+  EXPECT_NE(a, draw_sequence(*f1.create(4), net, 32));
+  EXPECT_NE(a, draw_sequence(*other_seed.create(3), net, 32));
+}
+
+}  // namespace
+}  // namespace s3::core

@@ -6,9 +6,14 @@
 //
 //   s3lb replay    --in FILE --out FILE --policy P [--model FILE]
 //                  [--buildings B] [--aps K] [--window SECONDS]
-//       Assign APs to a workload under policy P
-//       (llf | llf-demand | rssi | random | s3) and write the result.
-//       s3 requires --model.
+//                  [--threads N] [--metrics]
+//       Assign APs to a workload under policy P (any name registered
+//       with the selector registry; llf | llf-demand | llf-stations |
+//       rssi | random | s3 | s3-online ship by default) and write the
+//       result. s3 and s3-online require --model. --threads shards the
+//       replay per controller domain (0 = all cores; the assignment is
+//       identical for every thread count). --metrics dumps the
+//       instrumentation bus to stderr.
 //
 //   s3lb train     --in FILE --out FILE [--alpha A] [--coleave-min M]
 //                  [--history DAYS] [--buildings B] [--aps K]
@@ -31,10 +36,13 @@
 
 #include "s3/core/evaluation.h"
 #include "s3/core/online_s3.h"
+#include "s3/core/selector_factory.h"
+#include "s3/runtime/replay_driver.h"
 #include "s3/social/model_io.h"
 #include "s3/trace/generator.h"
 #include "s3/trace/binary_io.h"
 #include "s3/trace/io.h"
+#include "s3/util/metrics.h"
 #include "s3/util/table.h"
 
 using namespace s3;
@@ -139,36 +147,44 @@ int cmd_replay(const Flags& f) {
 
   const std::string policy_name = f.get("policy", "llf");
   std::optional<social::SocialIndexModel> model;
-  std::unique_ptr<sim::ApSelector> policy;
-  if (policy_name == "llf") {
-    policy = std::make_unique<core::LlfSelector>(core::LoadMetric::kStations);
-  } else if (policy_name == "llf-demand") {
-    policy = std::make_unique<core::LlfSelector>(core::LoadMetric::kDemand);
-  } else if (policy_name == "rssi") {
-    policy = std::make_unique<core::StrongestRssiSelector>();
-  } else if (policy_name == "random") {
-    policy = std::make_unique<core::RandomSelector>(
-        static_cast<std::uint64_t>(f.num("seed", 1)));
-  } else if (policy_name == "s3") {
-    if (!f.has("model")) die("replay --policy s3 needs --model");
+  core::SelectorSpec spec;
+  // The bare "llf" the operator deploys counts stations (DESIGN.md §2);
+  // demand-LLF is the separate "llf-demand" policy name.
+  spec.llf_metric = core::LoadMetric::kStations;
+  spec.random_seed = static_cast<std::uint64_t>(f.num("seed", 1));
+  spec.net = &net;
+  if (policy_name == "s3" || policy_name == "s3-online") {
+    if (!f.has("model")) die("replay --policy " + policy_name + " needs --model");
     social::ModelReadResult mr = social::read_model_file(f.get("model"));
     if (!mr.model) die("cannot read model: " + mr.error);
     model = std::move(*mr.model);
-    policy = std::make_unique<core::S3Selector>(&net, &*model);
-  } else {
-    die("unknown policy " + policy_name);
+    spec.model = &*model;
+    spec.base_model = &*model;
+  }
+  std::unique_ptr<sim::SelectorFactory> factory;
+  try {
+    factory = core::make_selector_factory(policy_name, spec);
+  } catch (const std::invalid_argument& e) {
+    die(e.what());
   }
 
-  sim::ReplayConfig rc;
-  rc.dispatch_window_s = f.num("window", 120);
-  const sim::ReplayResult r = sim::replay(net, workload, *policy, rc);
+  runtime::ReplayDriverConfig rc;
+  rc.replay.dispatch_window_s = f.num("window", 120);
+  rc.threads = static_cast<unsigned>(f.num("threads", 0));
+  runtime::ReplayDriver driver(net, rc);
+  const sim::ReplayResult r = driver.run(workload, *factory);
   store_trace(f.get("out"), r.assigned);
   std::cout << "replayed " << r.stats.num_sessions << " sessions under "
-            << policy->name() << " (" << r.stats.num_batches
+            << factory->name() << " (" << r.stats.num_batches
             << " batches, mean size "
             << util::fmt(r.stats.mean_batch_size, 2) << ", "
-            << r.stats.forced_overloads << " forced overloads)\n"
+            << r.stats.forced_overloads << " forced overloads, "
+            << driver.effective_threads() << " threads)\n"
             << "wrote " << f.get("out") << "\n";
+  if (f.has("metrics")) {
+    std::cerr << "# instrumentation bus\n";
+    util::metrics().dump(std::cerr);
+  }
   return 0;
 }
 
@@ -234,8 +250,10 @@ void usage() {
   std::cout <<
       "usage: s3lb <generate|replay|train|compare> [--flag value ...]\n"
       "  generate --out FILE [--users N --days D --buildings B --aps K --seed S]\n"
-      "  replay   --in FILE --out FILE --policy llf|llf-demand|rssi|random|s3\n"
+      "  replay   --in FILE --out FILE\n"
+      "           --policy llf|llf-demand|llf-stations|rssi|random|s3|s3-online\n"
       "           [--model FILE --buildings B --aps K --window SECONDS]\n"
+      "           [--threads N --metrics]\n"
       "  train    --in ASSIGNED --out MODEL [--alpha A --coleave-min M --history D]\n"
       "  compare  [--users N --days D --buildings B --aps K --seed S --train D --test D]\n";
 }
