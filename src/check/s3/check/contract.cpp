@@ -1,0 +1,116 @@
+#include "s3/check/contract.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+#include "s3/util/metrics.h"
+
+namespace s3::check {
+
+namespace {
+
+ContractMode initial_mode() {
+  if (const char* env = std::getenv("S3LB_CHECK")) {
+    if (const std::optional<ContractMode> m = parse_contract_mode(env)) {
+      return *m;
+    }
+    std::cerr << "[s3lb-check] ignoring unknown S3LB_CHECK value \"" << env
+              << "\" (expected off|count|log|abort)\n";
+  }
+  return ContractMode::kOff;
+}
+
+std::atomic<ContractMode>& mode_state() {
+  static std::atomic<ContractMode> mode{initial_mode()};
+  return mode;
+}
+
+void count_violation(ContractKind kind) {
+  // Cold path (violations only), so the registry lookups are fine.
+  util::metrics().counter("check.violations")->add();
+  util::metrics()
+      .counter(std::string("check.violations.") +
+               std::string(to_string(kind)))
+      ->add();
+}
+
+}  // namespace
+
+ContractMode contract_mode() noexcept {
+  return mode_state().load(std::memory_order_relaxed);
+}
+
+void set_contract_mode(ContractMode mode) noexcept {
+  mode_state().store(mode, std::memory_order_relaxed);
+}
+
+std::optional<ContractMode> parse_contract_mode(std::string_view text) {
+  if (text == "off") return ContractMode::kOff;
+  if (text == "count") return ContractMode::kCount;
+  if (text == "log") return ContractMode::kLog;
+  if (text == "abort") return ContractMode::kAbort;
+  return std::nullopt;
+}
+
+std::string_view to_string(ContractMode mode) noexcept {
+  switch (mode) {
+    case ContractMode::kOff:
+      return "off";
+    case ContractMode::kCount:
+      return "count";
+    case ContractMode::kLog:
+      return "log";
+    case ContractMode::kAbort:
+      return "abort";
+  }
+  return "?";
+}
+
+std::string_view to_string(ContractKind kind) noexcept {
+  switch (kind) {
+    case ContractKind::kPrecondition:
+      return "precondition";
+    case ContractKind::kPostcondition:
+      return "postcondition";
+    case ContractKind::kInvariant:
+      return "invariant";
+  }
+  return "?";
+}
+
+void report_violation(ContractKind kind, const char* expr, const char* file,
+                      int line, std::string_view msg) {
+  const ContractMode mode = contract_mode();
+  if (mode == ContractMode::kOff) return;
+  count_violation(kind);
+  std::string text = std::string(to_string(kind)) + " violated: " + expr +
+                     " at " + file + ":" + std::to_string(line);
+  if (!msg.empty()) {
+    text += ": ";
+    text += msg;
+  }
+  if (mode == ContractMode::kLog) {
+    std::cerr << "[s3lb-check] " << text << "\n";
+  } else if (mode == ContractMode::kAbort) {
+    throw ContractViolation(kind, text);
+  }
+}
+
+void report_validator_issue(std::string_view validator, std::string_view msg) {
+  const ContractMode mode = contract_mode();
+  if (mode == ContractMode::kOff) return;
+  count_violation(ContractKind::kInvariant);
+  util::metrics()
+      .counter("check." + std::string(validator) + ".violations")
+      ->add();
+  const std::string text =
+      std::string(validator) + ": " + std::string(msg);
+  if (mode == ContractMode::kLog) {
+    std::cerr << "[s3lb-check] " << text << "\n";
+  } else if (mode == ContractMode::kAbort) {
+    throw ContractViolation(ContractKind::kInvariant, text);
+  }
+}
+
+}  // namespace s3::check

@@ -1,0 +1,114 @@
+// Runtime-selectable contract checking (the s3::check layer).
+//
+// The library-wide S3_REQUIRE / S3_ASSERT macros (s3/util/error.h) are
+// always-on and always-throwing — right for cheap argument checks,
+// wrong for the expensive structural invariants a production replay
+// wants to *monitor* rather than die on. This layer adds contracts
+// whose behavior is chosen at runtime:
+//
+//   kOff    — contracts are not even evaluated (the default; zero cost)
+//   kCount  — violations bump counters on the util::metrics() bus
+//   kLog    — kCount + one stderr line per violation
+//   kAbort  — first violation throws check::ContractViolation, aborting
+//             the computation (not the process)
+//
+// Use S3_PRECONDITION / S3_POSTCONDITION / S3_INVARIANT for inline
+// contracts; the structural validators (validators.h) report through
+// the same dispatch, so one mode switch governs both. The mode is
+// process-global (set_contract_mode, or the S3LB_CHECK environment
+// variable at first use) — contract state is observability
+// configuration, not per-component state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace s3::check {
+
+enum class ContractMode : std::uint8_t { kOff, kCount, kLog, kAbort };
+
+enum class ContractKind : std::uint8_t {
+  kPrecondition,
+  kPostcondition,
+  kInvariant,
+};
+
+/// Thrown in kAbort mode. Derives from std::logic_error: a violated
+/// contract is a bug in the caller or in this library, never expected
+/// runtime fallibility.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(ContractKind kind, const std::string& what)
+      : std::logic_error(what), kind_(kind) {}
+  ContractKind kind() const noexcept { return kind_; }
+
+ private:
+  ContractKind kind_;
+};
+
+/// Active mode. Initialized once from the S3LB_CHECK environment
+/// variable ("off" | "count" | "log" | "abort") if set, else kOff.
+ContractMode contract_mode() noexcept;
+void set_contract_mode(ContractMode mode) noexcept;
+inline bool contracts_enabled() noexcept {
+  return contract_mode() != ContractMode::kOff;
+}
+
+/// Parses "off" / "count" / "log" / "abort"; nullopt otherwise.
+std::optional<ContractMode> parse_contract_mode(std::string_view text);
+std::string_view to_string(ContractMode mode) noexcept;
+std::string_view to_string(ContractKind kind) noexcept;
+
+/// RAII mode override (tests, CLI commands).
+class ScopedContractMode {
+ public:
+  explicit ScopedContractMode(ContractMode mode) : saved_(contract_mode()) {
+    set_contract_mode(mode);
+  }
+  ~ScopedContractMode() { set_contract_mode(saved_); }
+  ScopedContractMode(const ScopedContractMode&) = delete;
+  ScopedContractMode& operator=(const ScopedContractMode&) = delete;
+
+ private:
+  ContractMode saved_;
+};
+
+/// Dispatches one violation under the active mode: bumps
+/// "check.violations" and "check.violations.<kind>" (count/log),
+/// writes a stderr line (log), or throws ContractViolation (abort).
+/// `expr` is the violated expression (or a site name), `msg` the
+/// human explanation. No-op when the mode is kOff.
+void report_violation(ContractKind kind, const char* expr, const char* file,
+                      int line, std::string_view msg);
+
+/// Same dispatch for a structural validator's finding: the counter is
+/// "check.<validator>.violations" and the text carries the validator
+/// name instead of a source location.
+void report_validator_issue(std::string_view validator, std::string_view msg);
+
+}  // namespace s3::check
+
+// Contract macros. The condition is NOT evaluated in kOff mode, so
+// arbitrarily expensive checks are free when checking is disabled.
+#define S3_CHECK_DETAIL(kind, expr, msg)                                  \
+  do {                                                                    \
+    if (::s3::check::contracts_enabled() && !(expr)) {                    \
+      ::s3::check::report_violation((kind), #expr, __FILE__, __LINE__,    \
+                                    (msg));                               \
+    }                                                                     \
+  } while (false)
+
+// Caller-facing contract on a boundary's inputs.
+#define S3_PRECONDITION(expr, msg) \
+  S3_CHECK_DETAIL(::s3::check::ContractKind::kPrecondition, expr, msg)
+
+// Contract on what an operation just produced.
+#define S3_POSTCONDITION(expr, msg) \
+  S3_CHECK_DETAIL(::s3::check::ContractKind::kPostcondition, expr, msg)
+
+// Contract on internal state between operations.
+#define S3_INVARIANT(expr, msg) \
+  S3_CHECK_DETAIL(::s3::check::ContractKind::kInvariant, expr, msg)

@@ -1,0 +1,351 @@
+#include "s3/check/validators.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "s3/analysis/balance.h"
+
+namespace s3::check {
+
+namespace {
+
+constexpr std::string_view kTrace = "validate_trace";
+constexpr std::string_view kSocialGraph = "validate_social_graph";
+constexpr std::string_view kCliqueCover = "validate_clique_cover";
+constexpr std::string_view kLoadState = "validate_load_state";
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// NaN-safe |a - b| <= tol: returns false (i.e. "differs") when either
+/// side is NaN, which a plain fabs comparison would silently pass.
+bool close(double a, double b, double tol) noexcept {
+  return std::fabs(a - b) <= tol;
+}
+
+void check_load_vector(CheckReport& report, std::span<const double> demand,
+                       const LoadCheckOptions& options) {
+  for (std::size_t ap = 0; ap < demand.size(); ++ap) {
+    if (!std::isfinite(demand[ap])) {
+      report.add(kLoadState, "ap " + std::to_string(ap) +
+                                 ": non-finite load " + fmt_double(demand[ap]));
+    } else if (demand[ap] < -options.epsilon) {
+      report.add(kLoadState, "ap " + std::to_string(ap) +
+                                 ": negative load " + fmt_double(demand[ap]));
+    }
+  }
+  if (demand.empty()) return;
+  const double n = static_cast<double>(demand.size());
+  const double beta = analysis::balance_index(demand);
+  const bool in_range = std::isfinite(beta) &&
+                        beta >= 1.0 / n - options.epsilon &&
+                        beta <= 1.0 + options.epsilon;
+  if (!in_range) {
+    report.add(kLoadState, "balance index beta=" + fmt_double(beta) +
+                               " outside [1/n, 1] = [" + fmt_double(1.0 / n) +
+                               ", 1] over " + std::to_string(demand.size()) +
+                               " APs");
+  }
+}
+
+}  // namespace
+
+void CheckReport::add(std::string_view validator, std::string message) {
+  if (issues_.size() >= max_issues_) {
+    ++dropped_;
+    return;
+  }
+  // Dispatch first: in abort mode the contract layer throws and the
+  // caller sees the violation as an exception, not a report entry.
+  report_validator_issue(validator, message);
+  issues_.push_back(CheckIssue{std::string(validator), std::move(message)});
+}
+
+void CheckReport::merge(CheckReport other) {
+  for (CheckIssue& issue : other.issues_) {
+    if (issues_.size() >= max_issues_) {
+      ++dropped_;
+      continue;
+    }
+    // Already dispatched when the source report recorded it.
+    issues_.push_back(std::move(issue));
+  }
+  dropped_ += other.dropped_;
+}
+
+CheckReport validate_trace(std::span<const trace::SessionRecord> sessions,
+                           std::size_t num_users, const wlan::Network* net,
+                           const TraceCheckOptions& options) {
+  CheckReport report(options.max_issues);
+  if (num_users == 0) {
+    report.add(kTrace, "trace declares zero users");
+    return report;
+  }
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const trace::SessionRecord& s = sessions[i];
+    const std::string at = "record " + std::to_string(i);
+    if (i > 0 && s.connect < sessions[i - 1].connect) {
+      report.add(kTrace, at + ": connect timestamps regress (" +
+                             std::to_string(s.connect.seconds()) + "s after " +
+                             std::to_string(sessions[i - 1].connect.seconds()) +
+                             "s)");
+    }
+    if (s.connect >= s.disconnect) {
+      report.add(kTrace, at + ": non-positive session duration");
+    }
+    if (s.user >= num_users) {
+      report.add(kTrace, at + ": unknown user id " + std::to_string(s.user) +
+                             " (trace has " + std::to_string(num_users) +
+                             " users)");
+    }
+    if (net == nullptr) continue;
+    const bool building_known = s.building < net->num_buildings();
+    if (!building_known) {
+      report.add(kTrace, at + ": unknown building id " +
+                             std::to_string(s.building) + " (network has " +
+                             std::to_string(net->num_buildings()) +
+                             " buildings)");
+    }
+    if (s.assigned()) {
+      if (s.ap >= net->num_aps()) {
+        report.add(kTrace, at + ": unknown AP id " + std::to_string(s.ap) +
+                               " (network has " +
+                               std::to_string(net->num_aps()) + " APs)");
+      } else if (building_known &&
+                 net->controller_of_ap(s.ap) !=
+                     net->controller_of_building(s.building)) {
+        report.add(kTrace, at + ": AP " + std::to_string(s.ap) +
+                               " is outside building " +
+                               std::to_string(s.building) +
+                               "'s controller domain");
+      }
+    }
+  }
+  return report;
+}
+
+CheckReport validate_trace(const trace::Trace& trace, const wlan::Network* net,
+                           const TraceCheckOptions& options) {
+  return validate_trace(trace.sessions(), trace.num_users(), net, options);
+}
+
+CheckReport validate_social_graph(const social::ThetaProvider& theta,
+                                  const SocialGraphCheckOptions& options) {
+  CheckReport report(options.max_issues);
+  const std::size_t n = theta.num_users();
+  std::size_t budget = options.max_pairs;
+  for (std::size_t u = 0; u < n && budget > 0; ++u) {
+    const double self = theta.theta(static_cast<UserId>(u),
+                                    static_cast<UserId>(u));
+    if (!close(self, 0.0, options.epsilon)) {
+      report.add(kSocialGraph, "theta(" + std::to_string(u) + ", " +
+                                   std::to_string(u) + ") = " +
+                                   fmt_double(self) + ", expected 0");
+    }
+    for (std::size_t v = u + 1; v < n && budget > 0; ++v, --budget) {
+      const double uv = theta.theta(static_cast<UserId>(u),
+                                    static_cast<UserId>(v));
+      const double vu = theta.theta(static_cast<UserId>(v),
+                                    static_cast<UserId>(u));
+      const std::string pair =
+          "theta(" + std::to_string(u) + ", " + std::to_string(v) + ")";
+      if (!std::isfinite(uv)) {
+        report.add(kSocialGraph, pair + " = " + fmt_double(uv) +
+                                     " is not finite");
+        continue;
+      }
+      if (uv < -options.epsilon) {
+        report.add(kSocialGraph, pair + " = " + fmt_double(uv) +
+                                     " is negative");
+      }
+      if (!close(uv, vu, options.epsilon)) {
+        report.add(kSocialGraph, pair + " = " + fmt_double(uv) +
+                                     " but theta(" + std::to_string(v) + ", " +
+                                     std::to_string(u) + ") = " +
+                                     fmt_double(vu) + " (asymmetric)");
+      }
+    }
+  }
+  return report;
+}
+
+CheckReport validate_social_graph(const social::WeightedGraph& graph,
+                                  const social::ThetaProvider* theta,
+                                  const SocialGraphCheckOptions& options) {
+  CheckReport report(options.max_issues);
+  const std::size_t n = graph.size();
+  if (theta != nullptr && theta->num_users() != n) {
+    report.add(kSocialGraph,
+               "graph has " + std::to_string(n) + " vertices but the theta "
+                   "provider knows " + std::to_string(theta->num_users()) +
+                   " users");
+    return report;
+  }
+  std::size_t budget = options.max_pairs;
+  for (std::size_t u = 0; u < n && budget > 0; ++u) {
+    if (graph.adjacent(u, u)) {
+      report.add(kSocialGraph, "self-edge at vertex " + std::to_string(u));
+    }
+    for (std::size_t v = u + 1; v < n && budget > 0; ++v, --budget) {
+      const bool uv = graph.adjacent(u, v);
+      const bool vu = graph.adjacent(v, u);
+      const std::string edge =
+          "edge (" + std::to_string(u) + ", " + std::to_string(v) + ")";
+      if (uv != vu) {
+        report.add(kSocialGraph, edge + ": adjacency is asymmetric");
+        continue;
+      }
+      const double w = graph.weight(u, v);
+      if (!close(w, graph.weight(v, u), options.epsilon)) {
+        report.add(kSocialGraph, edge + ": weight is asymmetric");
+      }
+      if (uv) {
+        if (!std::isfinite(w)) {
+          report.add(kSocialGraph, edge + ": non-finite weight " +
+                                       fmt_double(w));
+        } else if (w < options.theta_threshold - options.epsilon) {
+          report.add(kSocialGraph,
+                     edge + ": weight " + fmt_double(w) +
+                         " below the theta threshold " +
+                         fmt_double(options.theta_threshold));
+        }
+        if (theta != nullptr) {
+          const double th = theta->theta(static_cast<UserId>(u),
+                                         static_cast<UserId>(v));
+          if (!close(w, th, options.epsilon)) {
+            report.add(kSocialGraph, edge + ": weight " + fmt_double(w) +
+                                         " disagrees with theta " +
+                                         fmt_double(th));
+          }
+        }
+      } else if (theta != nullptr) {
+        const double th = theta->theta(static_cast<UserId>(u),
+                                       static_cast<UserId>(v));
+        if (std::isfinite(th) &&
+            th >= options.theta_threshold + options.epsilon) {
+          report.add(kSocialGraph, edge + ": missing although theta " +
+                                       fmt_double(th) +
+                                       " clears the threshold " +
+                                       fmt_double(options.theta_threshold));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+social::WeightedGraph build_social_graph(const social::ThetaProvider& theta,
+                                         double theta_threshold) {
+  const std::size_t n = theta.num_users();
+  social::WeightedGraph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double th = theta.theta(static_cast<UserId>(u),
+                                    static_cast<UserId>(v));
+      if (std::isfinite(th) && th >= theta_threshold) {
+        g.add_edge(u, v, th);
+      }
+    }
+  }
+  return g;
+}
+
+CheckReport validate_clique_cover(
+    const social::WeightedGraph& graph,
+    std::span<const std::vector<std::size_t>> cover,
+    const CliqueCoverCheckOptions& options) {
+  CheckReport report(options.max_issues);
+  std::vector<std::size_t> covered(graph.size(), 0);
+  for (std::size_t c = 0; c < cover.size(); ++c) {
+    const std::vector<std::size_t>& clique = cover[c];
+    const std::string at = "clique " + std::to_string(c);
+    if (clique.empty()) {
+      report.add(kCliqueCover, at + " is empty");
+      continue;
+    }
+    bool in_range = true;
+    for (const std::size_t v : clique) {
+      if (v >= graph.size()) {
+        report.add(kCliqueCover, at + ": vertex " + std::to_string(v) +
+                                     " out of range (graph has " +
+                                     std::to_string(graph.size()) +
+                                     " vertices)");
+        in_range = false;
+      } else {
+        ++covered[v];
+      }
+    }
+    if (in_range && !graph.is_clique(clique)) {
+      report.add(kCliqueCover, at + " is not a clique (a member pair is "
+                                   "not adjacent)");
+    }
+  }
+  for (std::size_t v = 0; v < covered.size(); ++v) {
+    if (covered[v] == 0) {
+      report.add(kCliqueCover, "not a partition: vertex " +
+                                   std::to_string(v) + " is uncovered");
+    } else if (covered[v] > 1) {
+      report.add(kCliqueCover, "not a partition: vertex " +
+                                   std::to_string(v) + " is covered " +
+                                   std::to_string(covered[v]) + " times");
+    }
+  }
+  return report;
+}
+
+CheckReport validate_load_state(std::span<const double> per_ap_demand,
+                                const LoadCheckOptions& options) {
+  CheckReport report(options.max_issues);
+  check_load_vector(report, per_ap_demand, options);
+  return report;
+}
+
+CheckReport validate_load_state(const sim::ApLoadTracker& tracker,
+                                const LoadCheckOptions& options) {
+  CheckReport report(options.max_issues);
+  std::vector<double> cached(tracker.num_aps());
+  for (ApId ap = 0; ap < tracker.num_aps(); ++ap) {
+    cached[ap] = tracker.demand_mbps(ap);
+    double recomputed = 0.0;
+    tracker.for_each_station(
+        ap, [&](const sim::ActiveStation& st) { recomputed += st.demand_mbps; });
+    const double tol =
+        options.epsilon * std::max(1.0, std::fabs(recomputed));
+    if (!close(cached[ap], recomputed, tol)) {
+      report.add(kLoadState,
+                 "ap " + std::to_string(ap) + ": load not conserved (cached " +
+                     fmt_double(cached[ap]) + " != sum over stations " +
+                     fmt_double(recomputed) + ")");
+    }
+  }
+  check_load_vector(report, cached, options);
+  return report;
+}
+
+CheckReport validate_load_state(const wlan::Network& net,
+                                const trace::Trace& assigned,
+                                const LoadCheckOptions& options) {
+  CheckReport report(options.max_issues);
+  if (!assigned.fully_assigned()) {
+    report.add(kLoadState, "trace is not fully assigned");
+    return report;
+  }
+  std::vector<double> demand(net.num_aps(), 0.0);
+  for (std::size_t i = 0; i < assigned.size(); ++i) {
+    const trace::SessionRecord& s = assigned.session(i);
+    if (s.ap >= net.num_aps()) {
+      report.add(kLoadState, "record " + std::to_string(i) +
+                                 ": AP id " + std::to_string(s.ap) +
+                                 " out of range");
+      continue;
+    }
+    demand[s.ap] += s.demand_mbps;
+  }
+  check_load_vector(report, demand, options);
+  return report;
+}
+
+}  // namespace s3::check

@@ -1,7 +1,8 @@
 #include "s3/core/selector_factory.h"
 
 #include <map>
-#include <mutex>
+
+#include "s3/util/thread_annotations.h"
 
 namespace s3::core {
 
@@ -17,13 +18,16 @@ std::uint64_t mix_seed(std::uint64_t seed, ControllerId domain) {
 }
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, SelectorFactoryBuilder> builders;
+  util::Mutex mu;
+  std::map<std::string, SelectorFactoryBuilder> builders S3_GUARDED_BY(mu);
 };
 
 Registry& registry() {
   static Registry& r = []() -> Registry& {
     static Registry reg;
+    // Single-threaded (magic static), but the builders map is guarded,
+    // so take the lock to keep the capability analysis exact.
+    util::MutexLock lock(reg.mu);
     reg.builders["llf"] = [](const SelectorSpec& spec) {
       return std::make_unique<LlfFactory>(spec.llf_metric);
     };
@@ -82,14 +86,14 @@ void register_selector(const std::string& name,
                        SelectorFactoryBuilder builder) {
   S3_REQUIRE(builder != nullptr, "register_selector: null builder");
   Registry& r = registry();
-  std::lock_guard lock(r.mu);
+  util::MutexLock lock(r.mu);
   const bool inserted = r.builders.emplace(name, std::move(builder)).second;
   S3_REQUIRE(inserted, "register_selector: duplicate policy name: " + name);
 }
 
 std::vector<std::string> registered_selectors() {
   Registry& r = registry();
-  std::lock_guard lock(r.mu);
+  util::MutexLock lock(r.mu);
   std::vector<std::string> names;
   names.reserve(r.builders.size());
   for (const auto& [name, builder] : r.builders) names.push_back(name);
@@ -101,7 +105,7 @@ std::unique_ptr<sim::SelectorFactory> make_selector_factory(
   SelectorFactoryBuilder builder;
   {
     Registry& r = registry();
-    std::lock_guard lock(r.mu);
+    util::MutexLock lock(r.mu);
     const auto it = r.builders.find(name);
     if (it != r.builders.end()) builder = it->second;
   }

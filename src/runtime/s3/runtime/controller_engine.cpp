@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "s3/check/contract.h"
+#include "s3/check/validators.h"
 #include "s3/util/metrics.h"
 #include "s3/wlan/radio.h"
 
@@ -132,6 +134,8 @@ void ControllerEngine::flush() {
       // the breach observable instead of trusting silently.
       ++stats_.candidate_violations;
       m.candidate_violations->add();
+      S3_POSTCONDITION(false,
+                       "replay: policy picked an AP outside the candidate set");
       S3_DEBUG_ASSERT(false,
                       "replay: policy picked an AP outside the candidate set");
     }
@@ -156,6 +160,11 @@ void ControllerEngine::flush() {
   m.batch_size->record(batch_.size());
   batch_.clear();
   batch_deadline_ = kNever;
+  // Post-flush structural invariant: per-AP load conservation and
+  // β ∈ [1/n, 1]. Evaluated only when contract checking is on.
+  if (check::contracts_enabled()) {
+    check::validate_load_state(tracker_);
+  }
 }
 
 void ControllerEngine::run() {

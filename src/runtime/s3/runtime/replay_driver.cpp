@@ -3,10 +3,44 @@
 #include <atomic>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "s3/check/contract.h"
+#include "s3/check/validators.h"
+#include "s3/util/thread_annotations.h"
+
 namespace s3::runtime {
+
+namespace {
+
+/// First-error capture for the worker pool; the annotated mutex makes
+/// the cross-thread handoff a compiler-checked contract.
+class ErrorCollector {
+ public:
+  void capture(std::exception_ptr error) S3_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    if (!first_) first_ = std::move(error);
+  }
+
+  std::exception_ptr take() S3_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return first_;
+  }
+
+ private:
+  util::Mutex mu_;
+  std::exception_ptr first_ S3_GUARDED_BY(mu_);
+};
+
+/// Boundary contract: a workload handed to the driver must be
+/// structurally sound for this network. Runs only when checking is
+/// enabled (off by default), so the hot path stays free.
+void check_workload(const wlan::Network& net, const trace::Trace& workload) {
+  if (!check::contracts_enabled()) return;
+  check::validate_trace(workload, &net);
+}
+
+}  // namespace
 
 sim::ReplayStats merge_stats(std::span<const sim::ReplayStats> shards) {
   sim::ReplayStats merged;
@@ -50,6 +84,7 @@ std::vector<std::vector<std::size_t>> ReplayDriver::shard_sessions(
 
 sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
                                     const sim::SelectorFactory& factory) const {
+  check_workload(*net_, workload);
   std::vector<std::vector<std::size_t>> shards = shard_sessions(workload);
   std::vector<ApId> assignment(workload.size(), kInvalidAp);
 
@@ -74,16 +109,14 @@ sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
     for (auto& e : engines) e->run();
   } else {
     std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mu;
+    ErrorCollector errors;
     auto work = [&]() {
       for (std::size_t i = next.fetch_add(1); i < engines.size();
            i = next.fetch_add(1)) {
         try {
           engines[i]->run();
         } catch (...) {
-          std::lock_guard lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
+          errors.capture(std::current_exception());
         }
       }
     };
@@ -91,7 +124,9 @@ sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
     for (std::thread& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
+    if (std::exception_ptr first = errors.take()) {
+      std::rethrow_exception(first);
+    }
   }
 
   std::vector<sim::ReplayStats> shard_stats;
@@ -103,6 +138,7 @@ sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
 
 sim::ReplayResult ReplayDriver::run_sequential(const trace::Trace& workload,
                                                sim::ApSelector& policy) const {
+  check_workload(*net_, workload);
   std::vector<std::vector<std::size_t>> shards = shard_sessions(workload);
   std::vector<ApId> assignment(workload.size(), kInvalidAp);
 

@@ -81,17 +81,78 @@ bool sniff_binary(std::istream& is) {
   return ok;
 }
 
+std::string_view to_string(BinaryReadError error) noexcept {
+  switch (error) {
+    case BinaryReadError::kNone:
+      return "none";
+    case BinaryReadError::kOpenFailed:
+      return "open-failed";
+    case BinaryReadError::kBadMagic:
+      return "bad-magic";
+    case BinaryReadError::kBadHeader:
+      return "bad-header";
+    case BinaryReadError::kSizeMismatch:
+      return "size-mismatch";
+    case BinaryReadError::kTruncatedRecord:
+      return "truncated-record";
+    case BinaryReadError::kBadRecord:
+      return "bad-record";
+  }
+  return "?";
+}
+
+namespace {
+
+BinaryReadResult fail(BinaryReadError code, std::string msg) {
+  return {std::nullopt, std::move(msg), code};
+}
+
+/// Bytes left between the current position and the end of a seekable
+/// stream; nullopt when the stream cannot be positioned (pipes).
+std::optional<std::uint64_t> remaining_bytes(std::istream& is) {
+  const std::istream::pos_type here = is.tellg();
+  if (here == std::istream::pos_type(-1)) return std::nullopt;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(here);
+  if (end == std::istream::pos_type(-1) || !is) {
+    is.clear();
+    is.seekg(here);
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(end - here);
+}
+
+}  // namespace
+
 BinaryReadResult read_binary(std::istream& is) {
   Header h{};
   is.read(reinterpret_cast<char*>(&h), sizeof(h));
   if (is.gcount() != sizeof(h) ||
       std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
-    return {std::nullopt, "missing binary trace magic"};
+    return fail(BinaryReadError::kBadMagic, "missing binary trace magic");
   }
-  if (h.num_users == 0) return {std::nullopt, "header: zero users"};
+  if (h.num_users == 0) {
+    return fail(BinaryReadError::kBadHeader, "header: zero users");
+  }
   // Guard against absurd session counts before reserving memory.
   if (h.num_sessions > (1ULL << 32)) {
-    return {std::nullopt, "header: implausible session count"};
+    return fail(BinaryReadError::kBadHeader,
+                "header: implausible session count");
+  }
+  // On a seekable stream, reject a header whose session count does not
+  // fit the bytes actually present *before* reading records — a
+  // corrupt count surfaces as one clear error instead of 96 bytes of
+  // adjacent garbage parsed as a record.
+  if (const std::optional<std::uint64_t> avail = remaining_bytes(is)) {
+    const std::uint64_t need = h.num_sessions * sizeof(DiskRecord);
+    if (*avail < need) {
+      return fail(BinaryReadError::kSizeMismatch,
+                  "truncated stream: header declares " +
+                      std::to_string(h.num_sessions) + " sessions (" +
+                      std::to_string(need) + " bytes) but only " +
+                      std::to_string(*avail) + " bytes remain");
+    }
   }
 
   std::vector<SessionRecord> sessions;
@@ -100,9 +161,9 @@ BinaryReadResult read_binary(std::istream& is) {
     DiskRecord r{};
     is.read(reinterpret_cast<char*>(&r), sizeof(r));
     if (is.gcount() != sizeof(r)) {
-      return {std::nullopt,
-              "truncated at record " + std::to_string(i) + " of " +
-                  std::to_string(h.num_sessions)};
+      return fail(BinaryReadError::kTruncatedRecord,
+                  "truncated at record " + std::to_string(i) + " of " +
+                      std::to_string(h.num_sessions));
     }
     SessionRecord s;
     s.user = r.user;
@@ -118,23 +179,25 @@ BinaryReadResult read_binary(std::istream& is) {
     s.demand_mbps = r.demand_mbps;
     s.rate_seed = r.rate_seed;
     if (s.user >= h.num_users) {
-      return {std::nullopt,
-              "record " + std::to_string(i) + ": user id out of range"};
+      return fail(BinaryReadError::kBadRecord,
+                  "record " + std::to_string(i) + ": user id out of range");
     }
     if (s.connect >= s.disconnect) {
-      return {std::nullopt,
-              "record " + std::to_string(i) + ": non-positive duration"};
+      return fail(BinaryReadError::kBadRecord,
+                  "record " + std::to_string(i) + ": non-positive duration");
     }
     sessions.push_back(s);
   }
   return {Trace(static_cast<std::size_t>(h.num_users),
                 static_cast<std::size_t>(h.num_days), std::move(sessions)),
-          ""};
+          "", BinaryReadError::kNone};
 }
 
 BinaryReadResult read_binary_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) return {std::nullopt, "cannot open " + path};
+  if (!is) {
+    return fail(BinaryReadError::kOpenFailed, "cannot open " + path);
+  }
   return read_binary(is);
 }
 

@@ -8,9 +8,11 @@
 // records.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "s3/trace/trace.h"
 
@@ -20,9 +22,25 @@ namespace s3::trace {
 bool write_binary(std::ostream& os, const Trace& trace);
 bool write_binary_file(const std::string& path, const Trace& trace);
 
+/// What went wrong while reading, beyond the human-readable message —
+/// callers that react differently to corruption vs. I/O failure (e.g.
+/// retry the open, quarantine the file) switch on this.
+enum class BinaryReadError : std::uint8_t {
+  kNone,             ///< success
+  kOpenFailed,       ///< file could not be opened
+  kBadMagic,         ///< stream does not start with the format magic
+  kBadHeader,        ///< header fields are nonsensical (zero users, ...)
+  kSizeMismatch,     ///< header session count inconsistent with stream size
+  kTruncatedRecord,  ///< stream ended mid-record
+  kBadRecord,        ///< a record's fields violate trace invariants
+};
+
+std::string_view to_string(BinaryReadError error) noexcept;
+
 struct BinaryReadResult {
   std::optional<Trace> trace;
   std::string error;
+  BinaryReadError code = BinaryReadError::kNone;
 };
 
 BinaryReadResult read_binary(std::istream& is);

@@ -33,22 +33,22 @@ MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
 }
 
 Counter* MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entry(name, MetricKind::kCounter).counter.get();
 }
 
 Timer* MetricsRegistry::timer(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entry(name, MetricKind::kTimer).timer.get();
 }
 
 Histogram* MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entry(name, MetricKind::kHistogram).histogram.get();
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (const auto& [name, e] : entries_) {  // std::map: already sorted
@@ -83,7 +83,7 @@ void MetricsRegistry::dump(std::ostream& out) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, e] : entries_) {
     switch (e.kind) {
       case MetricKind::kCounter:
@@ -100,14 +100,14 @@ void MetricsRegistry::reset() {
 }
 
 void MetricsRegistry::set_sink(std::shared_ptr<MetricsSink> sink) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   sink_ = std::move(sink);
 }
 
 void MetricsRegistry::flush() const {
   std::shared_ptr<MetricsSink> sink;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     sink = sink_;
   }
   if (!sink) return;

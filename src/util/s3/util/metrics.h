@@ -24,11 +24,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "s3/util/thread_annotations.h"
 
 namespace s3::util {
 
@@ -190,23 +191,23 @@ class MetricsRegistry {
   /// Returns the instrument registered under `name`, creating it on
   /// first use. Pointers remain valid for the registry's lifetime;
   /// registering the same name with a different kind throws.
-  Counter* counter(std::string_view name);
-  Timer* timer(std::string_view name);
-  Histogram* histogram(std::string_view name);
+  Counter* counter(std::string_view name) S3_EXCLUDES(mu_);
+  Timer* timer(std::string_view name) S3_EXCLUDES(mu_);
+  Histogram* histogram(std::string_view name) S3_EXCLUDES(mu_);
 
   /// All instruments, sorted by name (deterministic output order).
-  std::vector<MetricSample> snapshot() const;
+  std::vector<MetricSample> snapshot() const S3_EXCLUDES(mu_);
 
   /// Writes the snapshot as text lines, one metric per line.
-  void dump(std::ostream& out) const;
+  void dump(std::ostream& out) const S3_EXCLUDES(mu_);
 
   /// Zeroes every instrument (pointers stay valid). Tests use this to
   /// isolate per-run counter assertions.
-  void reset();
+  void reset() S3_EXCLUDES(mu_);
 
-  void set_sink(std::shared_ptr<MetricsSink> sink);
+  void set_sink(std::shared_ptr<MetricsSink> sink) S3_EXCLUDES(mu_);
   /// Pushes a snapshot to the sink, if any.
-  void flush() const;
+  void flush() const S3_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -216,11 +217,11 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& entry(std::string_view name, MetricKind kind);
+  Entry& entry(std::string_view name, MetricKind kind) S3_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> entries_;
-  std::shared_ptr<MetricsSink> sink_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_ S3_GUARDED_BY(mu_);
+  std::shared_ptr<MetricsSink> sink_ S3_GUARDED_BY(mu_);
 };
 
 /// The process-global instrumentation bus.

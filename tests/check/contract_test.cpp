@@ -1,0 +1,103 @@
+#include "s3/check/contract.h"
+
+#include <gtest/gtest.h>
+
+#include "s3/util/metrics.h"
+
+namespace s3::check {
+namespace {
+
+class ContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::metrics().reset(); }
+  void TearDown() override {
+    set_contract_mode(ContractMode::kOff);
+    util::metrics().reset();
+  }
+};
+
+TEST_F(ContractTest, OffModeDoesNotEvaluateTheExpression) {
+  const ScopedContractMode scoped(ContractMode::kOff);
+  int evaluations = 0;
+  S3_INVARIANT(++evaluations > 0, "never reached");
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_FALSE(contracts_enabled());
+}
+
+TEST_F(ContractTest, CountModeBumpsCountersWithoutThrowing) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  EXPECT_TRUE(contracts_enabled());
+  S3_PRECONDITION(1 + 1 == 3, "arithmetic is broken");
+  S3_POSTCONDITION(false, "always fires");
+  S3_INVARIANT(true, "holds, no violation");
+  EXPECT_EQ(util::metrics().counter("check.violations")->value(), 2u);
+  EXPECT_EQ(util::metrics().counter("check.violations.precondition")->value(),
+            1u);
+  EXPECT_EQ(util::metrics().counter("check.violations.postcondition")->value(),
+            1u);
+  EXPECT_EQ(util::metrics().counter("check.violations.invariant")->value(),
+            0u);
+}
+
+TEST_F(ContractTest, AbortModeThrowsContractViolation) {
+  const ScopedContractMode scoped(ContractMode::kAbort);
+  try {
+    S3_PRECONDITION(false, "should throw");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.kind(), ContractKind::kPrecondition);
+    EXPECT_NE(std::string(e.what()).find("should throw"), std::string::npos);
+  }
+  // The violation is still counted before the throw.
+  EXPECT_EQ(util::metrics().counter("check.violations")->value(), 1u);
+}
+
+TEST_F(ContractTest, LogModeCountsAndDoesNotThrow) {
+  const ScopedContractMode scoped(ContractMode::kLog);
+  EXPECT_NO_THROW(S3_INVARIANT(false, "logged only"));
+  EXPECT_EQ(util::metrics().counter("check.violations.invariant")->value(),
+            1u);
+}
+
+TEST_F(ContractTest, ValidatorIssuesGetPerValidatorCounters) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  report_validator_issue("validate_trace", "synthetic issue");
+  EXPECT_EQ(
+      util::metrics().counter("check.validate_trace.violations")->value(),
+      1u);
+  EXPECT_EQ(util::metrics().counter("check.violations")->value(), 1u);
+}
+
+TEST_F(ContractTest, ValidatorIssueThrowsInAbortMode) {
+  const ScopedContractMode scoped(ContractMode::kAbort);
+  EXPECT_THROW(report_validator_issue("validate_load_state", "boom"),
+               ContractViolation);
+}
+
+TEST_F(ContractTest, ScopedModeRestoresThePreviousMode) {
+  set_contract_mode(ContractMode::kCount);
+  {
+    const ScopedContractMode scoped(ContractMode::kAbort);
+    EXPECT_EQ(contract_mode(), ContractMode::kAbort);
+  }
+  EXPECT_EQ(contract_mode(), ContractMode::kCount);
+}
+
+TEST(ContractModeTest, ParseAcceptsTheFourModes) {
+  EXPECT_EQ(parse_contract_mode("off"), ContractMode::kOff);
+  EXPECT_EQ(parse_contract_mode("count"), ContractMode::kCount);
+  EXPECT_EQ(parse_contract_mode("log"), ContractMode::kLog);
+  EXPECT_EQ(parse_contract_mode("abort"), ContractMode::kAbort);
+  EXPECT_EQ(parse_contract_mode("verbose"), std::nullopt);
+  EXPECT_EQ(parse_contract_mode(""), std::nullopt);
+}
+
+TEST(ContractModeTest, ToStringRoundTrips) {
+  for (const ContractMode m : {ContractMode::kOff, ContractMode::kCount,
+                               ContractMode::kLog, ContractMode::kAbort}) {
+    EXPECT_EQ(parse_contract_mode(to_string(m)), m);
+  }
+}
+
+}  // namespace
+}  // namespace s3::check

@@ -1,0 +1,298 @@
+#include "s3/check/validators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "s3/util/metrics.h"
+#include "testing/mini.h"
+
+namespace s3::check {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t counter(const char* name) {
+  return util::metrics().counter(name)->value();
+}
+
+bool mentions(const CheckReport& report, const std::string& needle) {
+  for (const CheckIssue& issue : report.issues()) {
+    if (issue.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+class ValidatorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::metrics().reset(); }
+  void TearDown() override {
+    set_contract_mode(ContractMode::kOff);
+    util::metrics().reset();
+  }
+};
+
+// --- validate_trace -------------------------------------------------
+
+std::vector<trace::SessionRecord> corrupted_sessions() {
+  // Record 1 regresses in time relative to record 0; record 2 names an
+  // AP the topology does not have.
+  return {
+      testing::make_session({.user = 0, .connect_s = 500, .disconnect_s = 900}),
+      testing::make_session({.user = 1, .connect_s = 100, .disconnect_s = 400}),
+      testing::make_session(
+          {.user = 2, .connect_s = 600, .disconnect_s = 700, .ap = 9}),
+  };
+}
+
+TEST_F(ValidatorsTest, TraceCountModeReportsRegressionAndUnknownAp) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const wlan::Network net = testing::mini_network(4);
+  const std::vector<trace::SessionRecord> sessions = corrupted_sessions();
+  const CheckReport report = validate_trace(sessions, 3, &net);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "regress"));
+  EXPECT_TRUE(mentions(report, "unknown AP id 9"));
+  EXPECT_EQ(counter("check.validate_trace.violations"),
+            report.issues().size());
+}
+
+TEST_F(ValidatorsTest, TraceAbortModeThrowsOnTheFirstViolation) {
+  const ScopedContractMode scoped(ContractMode::kAbort);
+  const wlan::Network net = testing::mini_network(4);
+  const std::vector<trace::SessionRecord> sessions = corrupted_sessions();
+  EXPECT_THROW(validate_trace(sessions, 3, &net), ContractViolation);
+}
+
+TEST_F(ValidatorsTest, TraceAcceptsAWellFormedWorkload) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const wlan::Network net = testing::mini_network(4);
+  const trace::Trace t = testing::make_trace(
+      2, {{.user = 0, .connect_s = 0, .disconnect_s = 300},
+          {.user = 1, .connect_s = 100, .disconnect_s = 400, .ap = 2}});
+  EXPECT_TRUE(validate_trace(t, &net).ok());
+  EXPECT_EQ(counter("check.validate_trace.violations"), 0u);
+}
+
+TEST_F(ValidatorsTest, TraceRejectsUnknownUserAndZeroUsers) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const std::vector<trace::SessionRecord> sessions = {
+      testing::make_session({.user = 7})};
+  EXPECT_TRUE(mentions(validate_trace(sessions, 3), "unknown user id 7"));
+  EXPECT_TRUE(mentions(validate_trace(sessions, 0), "zero users"));
+}
+
+// --- validate_social_graph ------------------------------------------
+
+/// A θ provider with an injectable (and deliberately breakable) rule.
+class FakeTheta : public social::ThetaProvider {
+ public:
+  FakeTheta(std::size_t n, double (*rule)(UserId, UserId))
+      : n_(n), rule_(rule) {}
+  double theta(UserId u, UserId v) const override { return rule_(u, v); }
+  std::size_t num_users() const override { return n_; }
+
+ private:
+  std::size_t n_;
+  double (*rule_)(UserId, UserId);
+};
+
+TEST_F(ValidatorsTest, SocialGraphCountModeReportsAsymmetricTheta) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const FakeTheta theta(3, [](UserId u, UserId v) {
+    if (u == v) return 0.0;
+    return u < v ? 0.5 : 0.4;  // θ(u,v) ≠ θ(v,u)
+  });
+  const CheckReport report = validate_social_graph(theta);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "asymmetric"));
+  EXPECT_EQ(counter("check.validate_social_graph.violations"),
+            report.issues().size());
+}
+
+TEST_F(ValidatorsTest, SocialGraphAbortModeThrowsOnAsymmetricTheta) {
+  const ScopedContractMode scoped(ContractMode::kAbort);
+  const FakeTheta theta(2, [](UserId u, UserId v) {
+    if (u == v) return 0.0;
+    return u < v ? 0.5 : 0.4;
+  });
+  EXPECT_THROW(validate_social_graph(theta), ContractViolation);
+}
+
+TEST_F(ValidatorsTest, SocialGraphReportsNegativeAndNonZeroDiagonal) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const FakeTheta theta(2, [](UserId u, UserId v) {
+    if (u == v) return 0.25;  // θ(u,u) must be 0
+    return -0.15;             // θ must be non-negative
+  });
+  const CheckReport report = validate_social_graph(theta);
+  EXPECT_TRUE(mentions(report, "expected 0"));
+  EXPECT_TRUE(mentions(report, "negative"));
+}
+
+TEST_F(ValidatorsTest, SocialGraphAcceptsAConsistentProviderAndGraph) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const FakeTheta theta(3, [](UserId u, UserId v) {
+    if (u == v) return 0.0;
+    return (u + v == 1) ? 0.9 : 0.1;  // only the (0,1) tie is social
+  });
+  EXPECT_TRUE(validate_social_graph(theta).ok());
+  const social::WeightedGraph g = build_social_graph(theta, 0.3);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.adjacent(0, 1));
+  EXPECT_TRUE(validate_social_graph(g, &theta).ok());
+}
+
+TEST_F(ValidatorsTest, SocialGraphReportsEdgesDisagreeingWithTheta) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const FakeTheta theta(3, [](UserId u, UserId v) {
+    if (u == v) return 0.0;
+    return (u + v == 1) ? 0.9 : 0.1;
+  });
+  social::WeightedGraph g(3);
+  g.add_edge(0, 2, 0.8);  // θ(0,2) = 0.1: neither weight nor edge belong
+  const CheckReport report = validate_social_graph(g, &theta);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "disagrees with theta"));
+  EXPECT_TRUE(mentions(report, "missing although theta"));
+}
+
+// --- validate_clique_cover ------------------------------------------
+
+social::WeightedGraph two_pairs_graph() {
+  social::WeightedGraph g(4);
+  g.add_edge(0, 1, 0.9);
+  g.add_edge(2, 3, 0.8);
+  return g;
+}
+
+TEST_F(ValidatorsTest, CliqueCoverAcceptsAnExactPartition) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const std::vector<std::vector<std::size_t>> cover = {{0, 1}, {2, 3}};
+  EXPECT_TRUE(validate_clique_cover(two_pairs_graph(), cover).ok());
+  EXPECT_EQ(counter("check.validate_clique_cover.violations"), 0u);
+}
+
+TEST_F(ValidatorsTest, CliqueCoverCountModeReportsNonPartition) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  // Vertex 3 uncovered, vertex 0 covered twice, {0, 2} not a clique.
+  const std::vector<std::vector<std::size_t>> cover = {{0, 1}, {0, 2}};
+  const CheckReport report = validate_clique_cover(two_pairs_graph(), cover);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "not a clique"));
+  EXPECT_TRUE(mentions(report, "vertex 3 is uncovered"));
+  EXPECT_TRUE(mentions(report, "vertex 0 is covered 2 times"));
+  EXPECT_EQ(counter("check.validate_clique_cover.violations"),
+            report.issues().size());
+}
+
+TEST_F(ValidatorsTest, CliqueCoverAbortModeThrowsOnNonPartition) {
+  const ScopedContractMode scoped(ContractMode::kAbort);
+  const std::vector<std::vector<std::size_t>> cover = {{0, 1}};
+  EXPECT_THROW(validate_clique_cover(two_pairs_graph(), cover),
+               ContractViolation);
+}
+
+TEST_F(ValidatorsTest, CliqueCoverReportsOutOfRangeAndEmptyCliques) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const std::vector<std::vector<std::size_t>> cover = {
+      {0, 1}, {2, 3}, {}, {17}};
+  const CheckReport report = validate_clique_cover(two_pairs_graph(), cover);
+  EXPECT_TRUE(mentions(report, "is empty"));
+  EXPECT_TRUE(mentions(report, "out of range"));
+}
+
+// --- validate_load_state --------------------------------------------
+
+TEST_F(ValidatorsTest, LoadStateAcceptsABalancedVector) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const std::vector<double> demand = {2.0, 2.0, 2.0};
+  EXPECT_TRUE(validate_load_state(demand).ok());
+  EXPECT_EQ(counter("check.validate_load_state.violations"), 0u);
+}
+
+TEST_F(ValidatorsTest, LoadStateCountModeReportsBetaOutsideRange) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  // Infinite load drives β = (ΣT)²/(n·ΣT²) to NaN — the only way the
+  // Chiu–Jain index leaves [1/n, 1].
+  const std::vector<double> demand = {kInf, 1.0};
+  const CheckReport report = validate_load_state(demand);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "non-finite load"));
+  EXPECT_TRUE(mentions(report, "outside [1/n, 1]"));
+  EXPECT_EQ(counter("check.validate_load_state.violations"),
+            report.issues().size());
+}
+
+TEST_F(ValidatorsTest, LoadStateAbortModeThrowsOnNonFiniteLoad) {
+  const ScopedContractMode scoped(ContractMode::kAbort);
+  const std::vector<double> demand = {kInf, 1.0};
+  EXPECT_THROW(validate_load_state(demand), ContractViolation);
+}
+
+TEST_F(ValidatorsTest, LoadStateReportsNegativeLoad) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const std::vector<double> demand = {-3.0, 1.0};
+  EXPECT_TRUE(mentions(validate_load_state(demand), "negative load"));
+}
+
+TEST_F(ValidatorsTest, LoadStateAcceptsALiveTracker) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const wlan::Network net = testing::mini_network(3);
+  sim::ApLoadTracker tracker(net);
+  tracker.associate(0, 0, 0, 2.0);
+  tracker.associate(1, 1, 1, 3.0);
+  tracker.associate(2, 1, 2, 1.0);
+  EXPECT_TRUE(validate_load_state(tracker).ok());
+  tracker.disconnect(2, 1);
+  EXPECT_TRUE(validate_load_state(tracker).ok());
+}
+
+TEST_F(ValidatorsTest, LoadStateChecksAnAssignedTrace) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const wlan::Network net = testing::mini_network(4);
+  const trace::Trace ok = testing::make_trace(
+      2, {{.user = 0, .ap = 0, .demand_mbps = 1.5},
+          {.user = 1, .ap = 1, .demand_mbps = 2.5}});
+  EXPECT_TRUE(validate_load_state(net, ok).ok());
+
+  // An unassigned workload carries no load to validate.
+  const trace::Trace unassigned = testing::make_trace(1, {{.user = 0}});
+  EXPECT_TRUE(
+      mentions(validate_load_state(net, unassigned), "not fully assigned"));
+
+  // Infinite per-session demand survives trace construction (inf ≥ 0)
+  // but must be caught here.
+  const trace::Trace inf_demand = testing::make_trace(
+      1, {{.user = 0, .ap = 0, .demand_mbps = kInf}});
+  const CheckReport report = validate_load_state(net, inf_demand);
+  EXPECT_TRUE(mentions(report, "non-finite load"));
+}
+
+// --- report mechanics -----------------------------------------------
+
+TEST_F(ValidatorsTest, ReportCapsIssuesAndCountsTheRest) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  TraceCheckOptions options;
+  options.max_issues = 2;
+  std::vector<trace::SessionRecord> sessions;
+  for (int i = 0; i < 5; ++i) {
+    sessions.push_back(testing::make_session({.user = 9}));  // all unknown
+  }
+  const CheckReport report = validate_trace(sessions, 1, nullptr, options);
+  EXPECT_EQ(report.issues().size(), 2u);
+  EXPECT_EQ(report.dropped(), 3u);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(ValidatorsTest, OffModeStillReturnsFindingsWithoutCounting) {
+  const ScopedContractMode scoped(ContractMode::kOff);
+  const std::vector<double> demand = {-1.0};
+  EXPECT_FALSE(validate_load_state(demand).ok());
+  EXPECT_EQ(counter("check.validate_load_state.violations"), 0u);
+}
+
+}  // namespace
+}  // namespace s3::check

@@ -80,6 +80,7 @@ TEST(BinaryIo, RejectsGarbage) {
   const BinaryReadResult r = read_binary(ss);
   EXPECT_FALSE(r.trace.has_value());
   EXPECT_NE(r.error.find("magic"), std::string::npos);
+  EXPECT_EQ(r.code, BinaryReadError::kBadMagic);
 }
 
 TEST(BinaryIo, RejectsTruncation) {
@@ -95,7 +96,53 @@ TEST(BinaryIo, RejectsTruncation) {
                         std::ios::in | std::ios::out | std::ios::binary);
   const BinaryReadResult r = read_binary(cut);
   EXPECT_FALSE(r.trace.has_value());
+  // A seekable stream is rejected up front: the header's session count
+  // no longer fits the bytes present.
   EXPECT_NE(r.error.find("truncated"), std::string::npos);
+  EXPECT_EQ(r.code, BinaryReadError::kSizeMismatch);
+}
+
+TEST(BinaryIo, RejectsHeaderCountInconsistentWithStreamSize) {
+  const Trace t = make_trace(1, {SessionSpec{.user = 0}});
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ss, t);
+  std::string bytes = ss.str();
+  // Inflate the header's num_sessions (offset 24, little-endian u64)
+  // without adding record bytes.
+  bytes[24] = 9;
+  std::stringstream lying(bytes,
+                          std::ios::in | std::ios::out | std::ios::binary);
+  const BinaryReadResult r = read_binary(lying);
+  EXPECT_FALSE(r.trace.has_value());
+  EXPECT_EQ(r.code, BinaryReadError::kSizeMismatch);
+  EXPECT_NE(r.error.find("9 sessions"), std::string::npos);
+}
+
+TEST(BinaryIo, RejectsBadHeaderAndBadRecordWithTypedCodes) {
+  const Trace t = make_trace(1, {SessionSpec{.user = 0}});
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(ss, t);
+  std::string bytes = ss.str();
+
+  std::string zero_users = bytes;
+  zero_users[8] = 0;  // num_users u64 at offset 8
+  std::stringstream zu(zero_users,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_EQ(read_binary(zu).code, BinaryReadError::kBadHeader);
+
+  std::string bad_user = bytes;
+  bad_user[sizeof(char[8]) + 3 * sizeof(std::uint64_t)] = 7;  // record.user
+  std::stringstream bu(bad_user,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  const BinaryReadResult r = read_binary(bu);
+  EXPECT_EQ(r.code, BinaryReadError::kBadRecord);
+  EXPECT_NE(r.error.find("user id out of range"), std::string::npos);
+}
+
+TEST(BinaryIo, ErrorCodesHaveNames) {
+  EXPECT_EQ(to_string(BinaryReadError::kNone), "none");
+  EXPECT_EQ(to_string(BinaryReadError::kSizeMismatch), "size-mismatch");
+  EXPECT_EQ(to_string(BinaryReadError::kTruncatedRecord), "truncated-record");
 }
 
 TEST(BinaryIo, FileRoundTrip) {

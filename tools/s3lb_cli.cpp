@@ -24,20 +24,39 @@
 //       Full pipeline: generate, train, score LLF vs S3, print the
 //       per-site table and headline gains.
 //
+//   s3lb check trace --in FILE [--buildings B] [--aps K] [--mode M]
+//   s3lb check model --in FILE [--threshold T] [--cover FILE] [--mode M]
+//       Run the s3::check structural validators over an input and exit
+//       non-zero if any invariant is violated. `trace` validates the
+//       session log against the topology (plus load conservation and
+//       β ∈ [1/n, 1] when the trace is assigned); `model` validates the
+//       social relation index θ and its graph, and — with --cover — a
+//       clique cover read from FILE (one clique per line, vertex ids
+//       separated by spaces). --mode off|count|log|abort selects the
+//       contract dispatch (default count; abort stops at the first
+//       violation).
+//
 // The topology flags must match between commands operating on the same
 // trace (the CSV carries session building ids, not the AP layout).
 
+#include <charconv>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <system_error>
+#include <vector>
 
+#include "s3/check/contract.h"
+#include "s3/check/validators.h"
 #include "s3/core/evaluation.h"
 #include "s3/core/online_s3.h"
 #include "s3/core/selector_factory.h"
 #include "s3/runtime/replay_driver.h"
+#include "s3/social/graph.h"
 #include "s3/social/model_io.h"
 #include "s3/trace/generator.h"
 #include "s3/trace/binary_io.h"
@@ -49,6 +68,43 @@ using namespace s3;
 
 namespace {
 
+[[noreturn]] void die(const std::string& msg) {
+  std::cerr << "error: " << msg << "\n";
+  std::exit(1);
+}
+
+/// Strict integer parse: the whole token must be a decimal integer in
+/// range, or the process dies naming the offending flag. strtol's
+/// silent `12abc` → 12 and out-of-range saturation both masked typos.
+long parse_long(const std::string& flag, const std::string& text) {
+  long value = 0;
+  const char* first = text.c_str();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    die("--" + flag + ": integer out of range: \"" + text + "\"");
+  }
+  if (ec != std::errc() || ptr != last) {
+    die("--" + flag + ": expected an integer, got \"" + text + "\"");
+  }
+  return value;
+}
+
+/// Strict floating-point parse; same contract as parse_long.
+double parse_real(const std::string& flag, const std::string& text) {
+  double value = 0.0;
+  const char* first = text.c_str();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range) {
+    die("--" + flag + ": number out of range: \"" + text + "\"");
+  }
+  if (ec != std::errc() || ptr != last) {
+    die("--" + flag + ": expected a number, got \"" + text + "\"");
+  }
+  return value;
+}
+
 struct Flags {
   std::map<std::string, std::string> values;
 
@@ -59,30 +115,32 @@ struct Flags {
   }
   long num(const std::string& key, long def) const {
     const auto it = values.find(key);
-    return it == values.end() ? def : std::strtol(it->second.c_str(), nullptr, 10);
+    return it == values.end() ? def : parse_long(key, it->second);
   }
   double real(const std::string& key, double def) const {
     const auto it = values.find(key);
-    return it == values.end() ? def : std::strtod(it->second.c_str(), nullptr);
+    return it == values.end() ? def : parse_real(key, it->second);
   }
 };
 
 Flags parse_flags(int argc, char** argv, int first) {
   Flags flags;
   for (int i = first; i < argc; ++i) {
-    std::string a = argv[i];
+    const std::string a = argv[i];
     if (a.rfind("--", 0) != 0) {
       std::cerr << "unexpected argument: " << a << "\n";
       std::exit(2);
     }
-    a = a.substr(2);
-    const std::size_t eq = a.find('=');
+    const std::string key = a.substr(2);
+    const std::size_t eq = key.find('=');
     if (eq != std::string::npos) {
-      flags.values[a.substr(0, eq)] = a.substr(eq + 1);
+      flags.values[key.substr(0, eq)] = key.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags.values[a] = argv[++i];
+      // Assign through a temporary: GCC 12's -Wrestrict misfires on
+      // inlined string::operator=(const char*) at -O3 (PR105651).
+      flags.values[key] = std::string(argv[++i]);
     } else {
-      flags.values[a] = "1";
+      flags.values[key] = std::string("1");
     }
   }
   return flags;
@@ -93,11 +151,6 @@ wlan::Network network_from(const Flags& f) {
   layout.num_buildings = static_cast<std::size_t>(f.num("buildings", 8));
   layout.aps_per_building = static_cast<std::size_t>(f.num("aps", 12));
   return wlan::make_campus(layout);
-}
-
-[[noreturn]] void die(const std::string& msg) {
-  std::cerr << "error: " << msg << "\n";
-  std::exit(1);
 }
 
 bool wants_binary(const std::string& path) {
@@ -142,6 +195,12 @@ int cmd_generate(const Flags& f) {
 
 int cmd_replay(const Flags& f) {
   if (!f.has("in") || !f.has("out")) die("replay: --in and --out required");
+  if (f.has("check")) {
+    const std::optional<check::ContractMode> mode =
+        check::parse_contract_mode(f.get("check"));
+    if (!mode) die("replay: --check must be off|count|log|abort");
+    check::set_contract_mode(*mode);
+  }
   const trace::Trace workload = load_trace(f.get("in"));
   const wlan::Network net = network_from(f);
 
@@ -246,16 +305,97 @@ int cmd_compare(const Flags& f) {
   return 0;
 }
 
+/// Reads a clique cover: one clique per line, vertex ids separated by
+/// whitespace; blank lines and `#` comments are skipped.
+std::vector<std::vector<std::size_t>> load_cover_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) die("cannot open cover " + path);
+  std::vector<std::vector<std::size_t>> cover;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::vector<std::size_t> clique;
+    std::string token;
+    while (fields >> token) {
+      const long v = parse_long("cover", token);
+      if (v < 0) die("--cover: negative vertex id \"" + token + "\"");
+      clique.push_back(static_cast<std::size_t>(v));
+    }
+    if (!clique.empty()) cover.push_back(std::move(clique));
+  }
+  return cover;
+}
+
+int report_outcome(const check::CheckReport& report,
+                   const std::string& subject) {
+  if (report.ok()) {
+    std::cout << subject << ": ok\n";
+    return 0;
+  }
+  for (const check::CheckIssue& issue : report.issues()) {
+    std::cerr << "check failed: " << issue.validator << ": " << issue.message
+              << "\n";
+  }
+  if (report.dropped() > 0) {
+    std::cerr << "check failed: ... and " << report.dropped()
+              << " further issues\n";
+  }
+  std::cerr << subject << ": "
+            << (report.issues().size() + report.dropped())
+            << " invariant violations\n";
+  return 1;
+}
+
+int cmd_check(const std::string& what, const Flags& f) {
+  if (!f.has("in")) die("check: --in is required");
+  const std::optional<check::ContractMode> mode =
+      check::parse_contract_mode(f.get("mode", "count"));
+  if (!mode) die("check: --mode must be off|count|log|abort");
+  // The validators record findings in their report regardless of the
+  // contract mode; the mode chooses the side channel (metrics bus,
+  // stderr, or throw-on-first).
+  const check::ScopedContractMode scoped(*mode);
+
+  if (what == "trace") {
+    const trace::Trace t = load_trace(f.get("in"));
+    const wlan::Network net = network_from(f);
+    check::CheckReport report = check::validate_trace(t, &net);
+    if (t.fully_assigned()) {
+      report.merge(check::validate_load_state(net, t));
+    }
+    return report_outcome(report, f.get("in"));
+  }
+  if (what == "model") {
+    social::ModelReadResult mr = social::read_model_file(f.get("in"));
+    if (!mr.model) die("cannot read model: " + mr.error);
+    check::SocialGraphCheckOptions opts;
+    opts.theta_threshold = f.real("threshold", opts.theta_threshold);
+    check::CheckReport report = check::validate_social_graph(*mr.model, opts);
+    const social::WeightedGraph graph =
+        check::build_social_graph(*mr.model, opts.theta_threshold);
+    report.merge(check::validate_social_graph(graph, &*mr.model, opts));
+    if (f.has("cover")) {
+      report.merge(
+          check::validate_clique_cover(graph, load_cover_file(f.get("cover"))));
+    }
+    return report_outcome(report, f.get("in"));
+  }
+  die("check: unknown target \"" + what + "\" (expected trace|model)");
+}
+
 void usage() {
   std::cout <<
-      "usage: s3lb <generate|replay|train|compare> [--flag value ...]\n"
+      "usage: s3lb <generate|replay|train|compare|check> [--flag value ...]\n"
       "  generate --out FILE [--users N --days D --buildings B --aps K --seed S]\n"
       "  replay   --in FILE --out FILE\n"
       "           --policy llf|llf-demand|llf-stations|rssi|random|s3|s3-online\n"
       "           [--model FILE --buildings B --aps K --window SECONDS]\n"
-      "           [--threads N --metrics]\n"
+      "           [--threads N --metrics --check off|count|log|abort]\n"
       "  train    --in ASSIGNED --out MODEL [--alpha A --coleave-min M --history D]\n"
-      "  compare  [--users N --days D --buildings B --aps K --seed S --train D --test D]\n";
+      "  compare  [--users N --days D --buildings B --aps K --seed S --train D --test D]\n"
+      "  check    trace --in FILE [--buildings B --aps K --mode M]\n"
+      "  check    model --in FILE [--threshold T --cover FILE --mode M]\n";
 }
 
 }  // namespace
@@ -266,8 +406,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  const Flags flags = parse_flags(argc, argv, 2);
   try {
+    if (cmd == "check") {
+      if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+        die("check: expected `s3lb check <trace|model> --in FILE ...`");
+      }
+      return cmd_check(argv[2], parse_flags(argc, argv, 3));
+    }
+    const Flags flags = parse_flags(argc, argv, 2);
     if (cmd == "generate") return cmd_generate(flags);
     if (cmd == "replay") return cmd_replay(flags);
     if (cmd == "train") return cmd_train(flags);
