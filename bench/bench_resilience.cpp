@@ -1,0 +1,134 @@
+// Resilience table — S3 vs the deployed LLF under the canned fault
+// plans (EXPERIMENTS.md "Resilience under faults").
+//
+// For each plan the test window is replayed with a deterministic
+// FaultInjector wired into the runtime engines, and we report the
+// Chiu–Jain balance index over the surviving assignments next to the
+// fault ledger: degraded-time fraction (batches the policy served via
+// its embedded LLF fallback), re-association retries, evictions, and
+// abandoned sessions.
+//
+// Expected shape: S3 degrades to LLF-quality balance during a model
+// outage and recovers after it; AP churn costs both policies a similar
+// eviction bill but S3 keeps its balance lead on the surviving APs;
+// the admission storm inflates retries without sinking either policy.
+
+#include <optional>
+#include <vector>
+
+#include "bench_common.h"
+#include "s3/analysis/balance.h"
+#include "s3/core/selector_factory.h"
+#include "s3/fault/fault_injector.h"
+#include "s3/fault/fault_plan.h"
+#include "s3/util/table.h"
+
+using namespace s3;
+
+namespace {
+
+struct PlanCase {
+  std::string name;
+  fault::FaultPlan plan;
+};
+
+/// Mean normalized balance index over the scored slots of the test
+/// window (same daytime/min-load filter as core::score_policy, without
+/// the CI machinery this table does not print).
+double scored_balance(const wlan::Network& net, const trace::Trace& assigned,
+                      util::SimTime begin, util::SimTime end) {
+  // Fault runs abandon sessions whose whole candidate set stayed down;
+  // those carry kInvalidAp and serve no traffic, so score the rest.
+  std::vector<trace::SessionRecord> served;
+  served.reserve(assigned.size());
+  for (const trace::SessionRecord& s : assigned.sessions()) {
+    if (s.assigned()) served.push_back(s);
+  }
+  const trace::Trace survivors(assigned.num_users(), assigned.num_days(),
+                               std::move(served));
+  const analysis::ThroughputSeries series(net, survivors, begin, end);
+
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (ControllerId c = 0; c < net.num_controllers(); ++c) {
+    for (std::size_t slot = 0; slot < series.num_slots(); ++slot) {
+      const double hour =
+          static_cast<double>(series.slot_begin(slot).second_of_day()) /
+          3600.0;
+      if (hour < 8.0) continue;
+      if (series.total_load(c, slot) < 5.0) continue;
+      sum += analysis::normalized_balance_index(series.slot_load(c, slot));
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const trace::GeneratedTrace world = bench::make_world(args);
+  const core::EvaluationConfig eval = bench::evaluation_config(args);
+  const wlan::Network& net = world.network;
+
+  std::cerr << "training social model on the LLF-collected window...\n";
+  const social::SocialIndexModel model =
+      core::train_from_workload(net, world.workload, eval);
+
+  const util::SimTime begin = util::SimTime::from_days(eval.train_days);
+  const util::SimTime end =
+      util::SimTime::from_days(eval.train_days + eval.test_days);
+  const trace::Trace test = world.workload.slice(begin, end);
+
+  std::vector<PlanCase> cases;
+  cases.push_back({"none", fault::FaultPlan{}});
+  cases.push_back({"ap-churn", fault::canned_ap_churn_plan(net, begin, end)});
+  cases.push_back({"model-outage", fault::canned_model_outage_plan(begin, end)});
+  cases.push_back(
+      {"admission-storm", fault::canned_admission_storm_plan(begin, end)});
+
+  core::SelectorSpec spec;
+  spec.net = &net;
+  spec.model = &model;
+  spec.llf_metric = eval.baseline_metric;
+  const std::vector<std::string> policies = {"llf", "s3"};
+
+  std::cout << "# Resilience: balance index and fault ledger per canned "
+               "fault plan\n";
+  std::cout << "# degraded_frac = batches served by the embedded LLF "
+               "fallback / total batches\n";
+  util::TextTable table({"plan", "policy", "balance_index", "degraded_frac",
+                         "evictions", "reassociations", "retries",
+                         "abandoned", "admission_rejected"});
+  for (const PlanCase& pc : cases) {
+    std::optional<fault::FaultInjector> injector;
+    if (!pc.plan.empty()) injector.emplace(pc.plan, args.seed);
+    for (const std::string& policy : policies) {
+      const std::unique_ptr<sim::SelectorFactory> factory =
+          core::make_selector_factory(policy, spec);
+      runtime::ReplayDriverConfig rc;
+      rc.replay = eval.replay;
+      rc.threads = args.threads;
+      rc.injector = injector ? &*injector : nullptr;
+      const sim::ReplayResult run =
+          runtime::ReplayDriver(net, rc).run(test, *factory);
+      const double balance = scored_balance(net, run.assigned, begin, end);
+      const double degraded_frac =
+          run.stats.num_batches > 0
+              ? static_cast<double>(run.stats.degraded_batches) /
+                    static_cast<double>(run.stats.num_batches)
+              : 0.0;
+      table.add_row({pc.name, policy, util::fmt(balance, 4),
+                     util::fmt(degraded_frac, 4),
+                     std::to_string(run.stats.fault_evictions),
+                     std::to_string(run.stats.reassociations),
+                     std::to_string(run.stats.retry_attempts),
+                     std::to_string(run.stats.abandoned_sessions),
+                     std::to_string(run.stats.admission_rejections)});
+    }
+  }
+  std::cout << table.to_csv();
+  bench::maybe_dump_metrics(args);
+  return 0;
+}

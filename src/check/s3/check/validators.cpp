@@ -13,6 +13,7 @@ constexpr std::string_view kTrace = "validate_trace";
 constexpr std::string_view kSocialGraph = "validate_social_graph";
 constexpr std::string_view kCliqueCover = "validate_clique_cover";
 constexpr std::string_view kLoadState = "validate_load_state";
+constexpr std::string_view kModelFreshness = "validate_model_freshness";
 
 std::string fmt_double(double v) {
   char buf[64];
@@ -345,6 +346,35 @@ CheckReport validate_load_state(const wlan::Network& net,
     demand[s.ap] += s.demand_mbps;
   }
   check_load_vector(report, demand, options);
+  return report;
+}
+
+CheckReport validate_model_freshness(const social::SocialIndexModel& model,
+                                     util::SimTime now, util::SimTime max_age,
+                                     const ModelFreshnessOptions& options) {
+  CheckReport report(options.max_issues);
+  const std::int64_t trained_end = model.config().trained_end_s;
+  if (trained_end < 0) {
+    report.add(kModelFreshness,
+               "training horizon unknown (model predates trained_end_s or "
+               "was assembled without one); re-train to record it");
+    return report;
+  }
+  const std::int64_t age = now.seconds() - trained_end;
+  if (age < 0) {
+    report.add(kModelFreshness,
+               "training horizon " + std::to_string(trained_end) +
+                   "s lies in the future of now=" +
+                   std::to_string(now.seconds()) + "s");
+    return report;
+  }
+  if (age > max_age.seconds()) {
+    report.add(kModelFreshness,
+               "social model stale: trained up to t=" +
+                   std::to_string(trained_end) + "s, age " +
+                   std::to_string(age) + "s exceeds max age " +
+                   std::to_string(max_age.seconds()) + "s");
+  }
   return report;
 }
 

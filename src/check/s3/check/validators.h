@@ -36,6 +36,7 @@
 #include "s3/social/graph.h"
 #include "s3/social/social_index.h"
 #include "s3/trace/trace.h"
+#include "s3/util/sim_time.h"
 #include "s3/wlan/network.h"
 
 namespace s3::check {
@@ -149,5 +150,21 @@ CheckReport validate_load_state(const sim::ApLoadTracker& tracker,
 CheckReport validate_load_state(const wlan::Network& net,
                                 const trace::Trace& assigned,
                                 const LoadCheckOptions& options = {});
+
+struct ModelFreshnessOptions {
+  std::size_t max_issues = 64;
+};
+
+/// Validates that a trained social model is fresh enough to steer
+/// placement: its recorded training horizon (`trained_end_s`) must be
+/// known and no older than `max_age` before `now` (both in trace
+/// time). The paper's Fig. 11 shows the model saturates with ~15 days
+/// of history but the flip side is drift — a model trained a semester
+/// ago encodes last semester's cliques. Serving stale θ is a silent
+/// degradation, which is exactly what this gate (and `s3lb check model
+/// --stale-days`) makes loud.
+CheckReport validate_model_freshness(const social::SocialIndexModel& model,
+                                     util::SimTime now, util::SimTime max_age,
+                                     const ModelFreshnessOptions& options = {});
 
 }  // namespace s3::check

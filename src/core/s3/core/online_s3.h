@@ -100,6 +100,16 @@ class OnlineS3Selector final : public sim::ApSelector {
   void on_disconnect(std::size_t session_index, UserId user, ApId ap,
                      util::SimTime when) override;
 
+  // Fault hooks forward to the inner S3 machinery (the online wrapper
+  // degrades exactly like frozen S3: model outage -> embedded LLF).
+  void set_fault_controls(const sim::FaultControls& controls) override {
+    inner_->set_fault_controls(controls);
+  }
+  bool uses_social_model() const override { return true; }
+  bool last_batch_full_fidelity() const override {
+    return inner_->last_batch_full_fidelity();
+  }
+
   const OnlineSocialModel& model() const noexcept { return online_; }
 
  private:

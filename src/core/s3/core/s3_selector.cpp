@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iostream>
 #include <limits>
 #include <unordered_map>
 
@@ -74,7 +75,15 @@ S3Selector::S3Selector(const wlan::Network* net,
 
 ApId S3Selector::select_one(const sim::Arrival& arrival,
                             const sim::ApLoadTracker& loads) {
+  if (arrival.candidates.empty()) {
+    // Caller contract breach; count it before the precondition throws
+    // so the two fallback flavours stay distinguishable in stats.
+    ++stats_.empty_candidate_fallbacks;
+  }
   S3_REQUIRE(!arrival.candidates.empty(), "S3: no candidates");
+  if (degraded()) {
+    return least_loaded(arrival, loads, config_.llf_metric);
+  }
 
   double best = kInf;
   std::vector<ApId> ties;
@@ -109,6 +118,15 @@ std::vector<ApId> S3Selector::select_batch(std::span<const sim::Arrival> batch,
                                            const sim::ApLoadTracker& loads) {
   if (batch.empty()) return {};
   ++stats_.batches;
+  if (degraded()) {
+    // Fault directive: the social model is out (or the engine's state
+    // machine ordered a fallback batch) — serve with the embedded LLF,
+    // the same deployed-controller policy the pseudocode falls back to.
+    ++stats_.degraded_batches;
+    last_full_fidelity_ = controls_.model_available;
+    return llf_.select_batch(batch, loads);
+  }
+  last_full_fidelity_ = true;
   std::vector<ApId> result(batch.size(), kInvalidAp);
   sim::ApLoadTracker scratch = loads;
 
@@ -128,13 +146,28 @@ std::vector<ApId> S3Selector::select_batch(std::span<const sim::Arrival> batch,
   }
 
   // ---- Iterative clique extraction + placement ----------------------
-  std::vector<std::vector<std::size_t>> cover;
+  social::CliqueConfig clique_config = config_.clique;
+  if (controls_.clique_node_budget > 0) {
+    clique_config.node_budget =
+        std::min(clique_config.node_budget, controls_.clique_node_budget);
+  }
+  social::CliqueCoverResult cover_result;
   {
     util::ScopedTimer timing(s3_metrics().clique_cover);
-    cover = social::clique_cover(graph, config_.clique);
+    cover_result = social::clique_cover_detailed(graph, clique_config);
+  }
+  if (!cover_result.exact) {
+    ++stats_.inexact_covers;
+    last_full_fidelity_ = false;
+    if (!warned_inexact_) {
+      warned_inexact_ = true;
+      std::cerr << "s3: clique node budget exhausted on a batch graph; "
+                   "covers may be suboptimal (reported once per replay; see "
+                   "counter social.clique_budget_exhausted)\n";
+    }
   }
 
-  for (const std::vector<std::size_t>& clique : cover) {
+  for (const std::vector<std::size_t>& clique : cover_result.cliques) {
     if (clique.size() == 1) {
       ++stats_.singles;
       const sim::Arrival& a = batch[clique.front()];

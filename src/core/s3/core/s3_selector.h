@@ -67,7 +67,18 @@ struct S3Stats {
   std::size_t largest_clique = 0;
   std::size_t exact_enumerations = 0;
   std::size_t beam_searches = 0;
-  std::size_t bandwidth_fallbacks = 0;  ///< all candidates were full
+  /// Candidates were present but every one violated the bandwidth
+  /// constraint: degraded to LLF over all candidates.
+  std::size_t bandwidth_fallbacks = 0;
+  /// The arrival carried no candidates at all — a caller contract
+  /// breach, counted before select_one throws so deployments can see
+  /// how often the radio layer handed S3 an impossible request.
+  std::size_t empty_candidate_fallbacks = 0;
+  /// Batches served by the embedded LLF because of a fault directive
+  /// (model outage or engine-forced fallback; see sim::FaultControls).
+  std::size_t degraded_batches = 0;
+  /// Batches whose clique cover hit the node budget (non-exact result).
+  std::size_t inexact_covers = 0;
 };
 
 class S3Selector final : public sim::ApSelector {
@@ -86,9 +97,20 @@ class S3Selector final : public sim::ApSelector {
   ApId select_one(const sim::Arrival& arrival,
                   const sim::ApLoadTracker& loads) override;
 
-  /// Algorithm 1 over the whole batch.
+  /// Algorithm 1 over the whole batch; under a fault directive
+  /// (model outage / forced fallback) the batch is served by the
+  /// embedded LLF instead.
   std::vector<ApId> select_batch(std::span<const sim::Arrival> batch,
                                  const sim::ApLoadTracker& loads) override;
+
+  // Fault hooks (see sim::FaultControls and s3::fault).
+  void set_fault_controls(const sim::FaultControls& controls) override {
+    controls_ = controls;
+  }
+  bool uses_social_model() const override { return true; }
+  bool last_batch_full_fidelity() const override {
+    return last_full_fidelity_;
+  }
 
   const S3Config& config() const noexcept { return config_; }
   const S3Stats& stats() const noexcept { return stats_; }
@@ -102,11 +124,19 @@ class S3Selector final : public sim::ApSelector {
                             const sim::ApLoadTracker& scratch,
                             const std::function<void(std::size_t, ApId)>& commit);
 
+  /// True while a fault directive routes batches to the embedded LLF.
+  bool degraded() const noexcept {
+    return controls_.force_fallback || !controls_.model_available;
+  }
+
   const wlan::Network* net_;
   const social::ThetaProvider* model_;
   S3Config config_;
   LlfSelector llf_;
   S3Stats stats_;
+  sim::FaultControls controls_{};
+  bool last_full_fidelity_ = true;
+  bool warned_inexact_ = false;  ///< budget-exhaustion logged once
 };
 
 }  // namespace s3::core

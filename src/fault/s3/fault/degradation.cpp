@@ -1,0 +1,53 @@
+#include "s3/fault/degradation.h"
+
+#include <algorithm>
+
+namespace s3::fault {
+
+util::SimTime RecoveryPolicy::backoff(std::uint32_t attempt) const noexcept {
+  if (attempt == 0) return util::SimTime(initial_backoff_s);
+  double delay = static_cast<double>(initial_backoff_s);
+  for (std::uint32_t i = 1; i < attempt; ++i) {
+    delay *= backoff_multiplier;
+    if (delay >= static_cast<double>(max_backoff_s)) break;
+  }
+  delay = std::min(delay, static_cast<double>(max_backoff_s));
+  return util::SimTime(static_cast<std::int64_t>(delay));
+}
+
+void DegradationTracker::degrade() {
+  if (state_ != HealthState::kDegraded) {
+    state_ = HealthState::kDegraded;
+    ++stats_.to_degraded;
+  }
+  clean_run_ = 0;
+}
+
+bool DegradationTracker::on_batch_start(bool stressed) {
+  ++stats_.observed_batches;
+  if (stressed) {
+    degrade();
+    ++stats_.degraded_batches;
+    return true;
+  }
+  if (state_ == HealthState::kDegraded) {
+    state_ = HealthState::kRecovering;
+    ++stats_.to_recovering;
+    clean_run_ = 0;
+  }
+  return false;
+}
+
+void DegradationTracker::on_batch_end(bool full_fidelity) {
+  if (!full_fidelity) {
+    degrade();
+    return;
+  }
+  if (state_ == HealthState::kRecovering && ++clean_run_ >= clean_needed_) {
+    state_ = HealthState::kHealthy;
+    ++stats_.to_healthy;
+    clean_run_ = 0;
+  }
+}
+
+}  // namespace s3::fault

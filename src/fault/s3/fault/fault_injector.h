@@ -1,0 +1,75 @@
+// Seeded realization of a FaultPlan.
+//
+// The injector is immutable after construction and all queries are pure
+// functions of (plan, seed, arguments) — no internal clocks, no shared
+// mutable state. Engines on different threads can share one injector
+// freely, and the realized fault schedule is identical for any thread
+// count: determinism here is what makes `--fault-plan` + `--fault-seed`
+// reproducible, which the runtime tests assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "s3/fault/fault_plan.h"
+#include "s3/util/ids.h"
+#include "s3/util/sim_time.h"
+
+namespace s3::wlan {
+class Network;
+}  // namespace s3::wlan
+
+namespace s3::fault {
+
+/// One AP state flip inside a controller domain, in event order.
+struct ApFaultEvent {
+  enum class Kind : std::uint8_t { kDown, kUp };
+  util::SimTime when;
+  ApId ap = kInvalidAp;
+  Kind kind = Kind::kDown;
+};
+
+class FaultInjector {
+ public:
+  /// Validates the plan (throws std::invalid_argument on malformed
+  /// windows or probabilities) and indexes the outage windows.
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 1);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// True while `ap` is inside any of its outage windows [begin, end).
+  bool ap_down(ApId ap, util::SimTime t) const;
+
+  /// False while any model outage window covers `t`.
+  bool model_available(util::SimTime t) const;
+
+  /// Active clique node-budget clamp at `t`; 0 means no squeeze (use
+  /// the configured budget). Overlapping squeezes take the tightest.
+  std::uint64_t clique_budget(util::SimTime t) const;
+
+  /// Whether association attempt number `attempt` (0-based) of session
+  /// `session_index` fails at `t`. Pure hash of (seed, session,
+  /// attempt) against the plan probability — identical across runs,
+  /// thread counts, and call orders.
+  bool admission_fails(std::size_t session_index, std::uint32_t attempt,
+                       util::SimTime t) const;
+
+  /// The down/up flips affecting one controller domain, sorted by
+  /// (when, ap) with recoveries ordered before failures at equal time
+  /// so a flapping AP is up at the boundary instant.
+  std::vector<ApFaultEvent> events_for_domain(const wlan::Network& net,
+                                              ControllerId controller) const;
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t seed_ = 1;
+  // Outage windows grouped per AP and sorted, for O(log n) ap_down().
+  struct ApWindows {
+    ApId ap;
+    std::vector<util::TimeInterval> windows;
+  };
+  std::vector<ApWindows> by_ap_;  // sorted by ap
+};
+
+}  // namespace s3::fault

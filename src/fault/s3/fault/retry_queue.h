@@ -1,0 +1,55 @@
+// Deterministic re-association retry queue.
+//
+// Evicted or admission-rejected sessions wait here until their backoff
+// expires, then re-enter the dispatch batch. Ordering is (due, session)
+// so draining is a pure function of queue content — no wall clock, no
+// insertion-order dependence — which keeps the fault path thread-count
+// invariant.
+#pragma once
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "s3/util/sim_time.h"
+
+namespace s3::fault {
+
+class RetryQueue {
+ public:
+  struct Entry {
+    util::SimTime due;
+    std::size_t session_index = 0;
+  };
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  void push(std::size_t session_index, util::SimTime due) {
+    heap_.push({due, session_index});
+  }
+
+  /// Earliest due time; queue must be non-empty.
+  util::SimTime next_due() const { return heap_.top().due; }
+
+  /// Pops every entry with due <= now, ordered by (due, session).
+  std::vector<std::size_t> pop_due(util::SimTime now) {
+    std::vector<std::size_t> out;
+    while (!heap_.empty() && heap_.top().due <= now) {
+      out.push_back(heap_.top().session_index);
+      heap_.pop();
+    }
+    return out;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.due != b.due) return a.due > b.due;
+      return a.session_index > b.session_index;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace s3::fault

@@ -1,6 +1,7 @@
 #include "s3/runtime/controller_engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "s3/check/contract.h"
 #include "s3/check/validators.h"
@@ -34,6 +35,35 @@ const SimMetrics& sim_metrics() {
   return m;
 }
 
+struct FaultMetrics {
+  util::Counter* evictions;
+  util::Counter* reassociations;
+  util::Counter* retry_attempts;
+  util::Counter* admission_rejections;
+  util::Counter* abandoned;
+  util::Counter* degraded_batches;
+  util::Counter* to_degraded;
+  util::Counter* to_recovering;
+  util::Counter* to_healthy;
+  util::Counter* recovery_migrations;
+};
+
+const FaultMetrics& fault_metrics() {
+  static const FaultMetrics m{
+      util::metrics().counter("fault.evictions"),
+      util::metrics().counter("fault.reassociations"),
+      util::metrics().counter("fault.retry_attempts"),
+      util::metrics().counter("fault.admission_rejections"),
+      util::metrics().counter("fault.abandoned_sessions"),
+      util::metrics().counter("fault.degraded_batches"),
+      util::metrics().counter("fault.transitions_to_degraded"),
+      util::metrics().counter("fault.transitions_to_recovering"),
+      util::metrics().counter("fault.transitions_to_healthy"),
+      util::metrics().counter("fault.recovery_migrations"),
+  };
+  return m;
+}
+
 }  // namespace
 
 ControllerEngine::ControllerEngine(const wlan::Network& net,
@@ -42,7 +72,9 @@ ControllerEngine::ControllerEngine(const wlan::Network& net,
                                    std::vector<std::size_t> sessions,
                                    sim::ApSelector& policy,
                                    const sim::ReplayConfig& config,
-                                   std::span<ApId> assignment)
+                                   std::span<ApId> assignment,
+                                   const fault::FaultInjector* injector,
+                                   const fault::RecoveryPolicy& recovery)
     : net_(&net),
       workload_(&workload),
       domain_(domain),
@@ -50,18 +82,24 @@ ControllerEngine::ControllerEngine(const wlan::Network& net,
       policy_(&policy),
       config_(config),
       assignment_(assignment),
-      tracker_(net) {
+      tracker_(net),
+      injector_(injector),
+      recovery_(recovery),
+      degradation_(recovery.healthy_after_clean_batches) {
   S3_REQUIRE(config_.dispatch_window_s >= 0,
              "replay: negative dispatch window");
   S3_REQUIRE(assignment_.size() == workload.size(),
              "ControllerEngine: assignment size mismatch");
   stats_.num_sessions = sessions_.size();
   sim_metrics().sessions->add(sessions_.size());
+  if (injector_ != nullptr) {
+    fault_events_ = injector_->events_for_domain(net, domain_);
+  }
 }
 
 bool ControllerEngine::done() const noexcept {
   return next_arrival_ >= sessions_.size() && departures_.empty() &&
-         batch_.empty();
+         batch_.empty() && retries_.empty();
 }
 
 util::SimTime ControllerEngine::next_arrival_time() const noexcept {
@@ -86,16 +124,32 @@ util::SimTime ControllerEngine::flush_deadline() const noexcept {
   return batch_.empty() ? kNever : batch_deadline_;
 }
 
+util::SimTime ControllerEngine::next_fault_time() const noexcept {
+  return next_fault_ < fault_events_.size() ? fault_events_[next_fault_].when
+                                            : kNever;
+}
+
+util::SimTime ControllerEngine::next_retry_time() const noexcept {
+  return retries_.empty() ? kNever : retries_.next_due();
+}
+
+sim::Arrival ControllerEngine::make_arrival(std::size_t session_index,
+                                            util::SimTime connect) const {
+  const trace::SessionRecord& s = workload_->sessions()[session_index];
+  sim::Arrival a;
+  a.session_index = session_index;
+  a.user = s.user;
+  a.controller = domain_;
+  a.connect = connect;
+  a.demand_mbps = s.demand_mbps;
+  a.candidates = wlan::candidate_aps(*net_, config_.radio, s.building, s.pos);
+  return a;
+}
+
 void ControllerEngine::process_arrival() {
   const std::size_t index = sessions_[next_arrival_];
   const trace::SessionRecord& s = workload_->sessions()[index];
-  sim::Arrival a;
-  a.session_index = index;
-  a.user = s.user;
-  a.controller = net_->controller_of_building(s.building);
-  a.connect = s.connect;
-  a.demand_mbps = s.demand_mbps;
-  a.candidates = wlan::candidate_aps(*net_, config_.radio, s.building, s.pos);
+  sim::Arrival a = make_arrival(index, s.connect);
   ++next_arrival_;
 
   if (batch_.empty()) {
@@ -108,13 +162,198 @@ void ControllerEngine::process_arrival() {
 void ControllerEngine::process_departure() {
   const Departure d = departures_.top();
   departures_.pop();
-  tracker_.disconnect(d.session_index, d.ap);
-  policy_->on_disconnect(d.session_index, d.user, d.ap, d.when);
+  if (injector_ == nullptr) {
+    tracker_.disconnect(d.session_index, d.ap);
+    policy_->on_disconnect(d.session_index, d.user, d.ap, d.when);
+    return;
+  }
+  // Under faults the station may have been evicted (and possibly
+  // re-placed elsewhere) since the departure was queued; active_ holds
+  // the truth. A missing entry means the session is waiting in the
+  // retry queue or was abandoned — nothing is associated to release.
+  const auto it = active_.find(d.session_index);
+  if (it == active_.end()) return;
+  tracker_.disconnect(d.session_index, it->second.ap);
+  policy_->on_disconnect(d.session_index, d.user, it->second.ap, d.when);
+  active_.erase(it);
+}
+
+void ControllerEngine::abandon_session(std::size_t session_index) {
+  ++stats_.abandoned_sessions;
+  attempts_.erase(session_index);
+  requeued_.erase(session_index);
+}
+
+void ControllerEngine::defer_session(std::size_t session_index,
+                                     util::SimTime now) {
+  const std::uint32_t attempt = ++attempts_[session_index];
+  if (attempt >= recovery_.max_attempts) {
+    abandon_session(session_index);
+    return;
+  }
+  retries_.push(session_index, now + recovery_.backoff(attempt));
+  requeued_.insert(session_index);
+  ++stats_.retry_attempts;
+}
+
+void ControllerEngine::evict_ap(ApId ap, util::SimTime when) {
+  std::vector<std::size_t> victims;
+  for (const auto& [session, info] : active_) {
+    if (info.ap == ap) victims.push_back(session);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const std::size_t session : victims) {
+    const ActiveInfo info = active_.at(session);
+    tracker_.disconnect(session, info.ap);
+    policy_->on_disconnect(session, info.user, info.ap, when);
+    active_.erase(session);
+    ++stats_.fault_evictions;
+    // Immediate re-scan: the first re-association attempt happens in
+    // the same instant (surviving APs permitting); backoff only kicks
+    // in if that attempt fails.
+    retries_.push(session, when);
+    requeued_.insert(session);
+    ++stats_.retry_attempts;
+  }
+}
+
+void ControllerEngine::recover_ap(ApId ap, util::SimTime when) {
+  // Bounded greedy sweep: pull load from the domain's most loaded AP
+  // onto the freshly recovered one while the demand gap stays above the
+  // hysteresis band. Mirrors core::Rebalancer's donor/receiver step but
+  // runs engine-local so the fault path needs no upper-layer calls.
+  const auto domain_aps = net_->aps_of_controller(domain_);
+  const auto sessions = workload_->sessions();
+  for (std::size_t moved = 0; moved < recovery_.max_recovery_migrations;
+       ++moved) {
+    const double receiver_load = tracker_.demand_mbps(ap);
+    ApId donor = kInvalidAp;
+    double donor_load = 0.0;
+    for (const ApId d : domain_aps) {
+      if (d == ap || injector_->ap_down(d, when)) continue;
+      const double load = tracker_.demand_mbps(d);
+      if (donor == kInvalidAp || load > donor_load) {
+        donor = d;
+        donor_load = load;
+      }
+    }
+    if (donor == kInvalidAp) break;
+    const double gap = donor_load - receiver_load;
+    if (gap <= recovery_.recovery_hysteresis_mbps) break;
+
+    std::vector<std::size_t> on_donor;
+    for (const auto& [session, info] : active_) {
+      if (info.ap == donor) on_donor.push_back(session);
+    }
+    std::sort(on_donor.begin(), on_donor.end());
+
+    std::size_t best = workload_->size();
+    double best_score = gap;  // require strict improvement
+    std::vector<ApId> best_candidates;
+    for (const std::size_t session : on_donor) {
+      const double demand = active_.at(session).demand_mbps;
+      if (demand <= 0.0 || demand >= gap) continue;
+      if (tracker_.headroom_mbps(ap) < demand) continue;
+      const trace::SessionRecord& rec = sessions[session];
+      std::vector<ApId> cands =
+          wlan::candidate_aps(*net_, config_.radio, rec.building, rec.pos);
+      if (std::find(cands.begin(), cands.end(), ap) == cands.end()) continue;
+      const double score = std::abs(gap - 2.0 * demand);
+      if (score < best_score) {
+        best = session;
+        best_score = score;
+        best_candidates = std::move(cands);
+      }
+    }
+    if (best == workload_->size()) break;
+
+    ActiveInfo& info = active_.at(best);
+    tracker_.disconnect(best, donor);
+    policy_->on_disconnect(best, info.user, donor, when);
+    tracker_.associate(best, ap, info.user, info.demand_mbps);
+    assignment_[best] = ap;
+    info.ap = ap;
+    sim::Arrival moved_arrival;
+    moved_arrival.session_index = best;
+    moved_arrival.user = info.user;
+    moved_arrival.controller = domain_;
+    moved_arrival.connect = when;
+    moved_arrival.demand_mbps = info.demand_mbps;
+    moved_arrival.candidates = std::move(best_candidates);
+    policy_->on_associate(moved_arrival, ap);
+    ++stats_.recovery_migrations;
+  }
+}
+
+void ControllerEngine::process_fault() {
+  const fault::ApFaultEvent& ev = fault_events_[next_fault_++];
+  if (ev.kind == fault::ApFaultEvent::Kind::kDown) {
+    evict_ap(ev.ap, ev.when);
+  } else {
+    recover_ap(ev.ap, ev.when);
+  }
+}
+
+void ControllerEngine::process_retries() {
+  const util::SimTime due = retries_.next_due();
+  const auto ready = retries_.pop_due(due);
+  const auto sessions = workload_->sessions();
+  for (const std::size_t session : ready) {
+    const trace::SessionRecord& rec = sessions[session];
+    if (rec.disconnect <= due) {
+      // Backed off past its own departure: the station left before the
+      // controller could re-admit it.
+      abandon_session(session);
+      continue;
+    }
+    sim::Arrival a = make_arrival(session, due);
+    std::erase_if(a.candidates,
+                  [&](ApId ap) { return injector_->ap_down(ap, due); });
+    if (a.candidates.empty()) {
+      defer_session(session, due);
+      continue;
+    }
+    batch_deadline_ = batch_.empty() ? due : std::min(batch_deadline_, due);
+    batch_.push_back(std::move(a));
+  }
 }
 
 void ControllerEngine::flush() {
   if (batch_.empty()) return;
   const SimMetrics& m = sim_metrics();
+  const util::SimTime now = batch_deadline_;
+
+  bool fallback = false;
+  if (injector_ != nullptr) {
+    // Drop candidates that are inside an outage window right now; a
+    // request whose whole candidate set is down waits in the retry
+    // queue instead of being force-placed on a dead AP.
+    std::vector<sim::Arrival> kept;
+    kept.reserve(batch_.size());
+    for (sim::Arrival& a : batch_) {
+      std::erase_if(a.candidates,
+                    [&](ApId ap) { return injector_->ap_down(ap, now); });
+      if (a.candidates.empty()) {
+        defer_session(a.session_index, now);
+      } else {
+        kept.push_back(std::move(a));
+      }
+    }
+    batch_.swap(kept);
+    if (batch_.empty()) {
+      batch_deadline_ = kNever;
+      return;
+    }
+
+    sim::FaultControls controls;
+    const bool model_out = !injector_->model_available(now);
+    controls.model_available = !model_out;
+    controls.clique_node_budget = injector_->clique_budget(now);
+    fallback =
+        degradation_.on_batch_start(model_out && policy_->uses_social_model());
+    controls.force_fallback = fallback;
+    policy_->set_fault_controls(controls);
+  }
 
   std::vector<ApId> chosen;
   {
@@ -123,10 +362,22 @@ void ControllerEngine::flush() {
   }
   S3_ASSERT(chosen.size() == batch_.size(),
             "replay: policy returned wrong batch arity");
+  if (injector_ != nullptr && !fallback) {
+    degradation_.on_batch_end(policy_->last_batch_full_fidelity());
+  }
   const auto sessions = workload_->sessions();
   for (std::size_t i = 0; i < chosen.size(); ++i) {
     const sim::Arrival& a = batch_[i];
     const ApId ap = chosen[i];
+    if (injector_ != nullptr) {
+      const auto att = attempts_.find(a.session_index);
+      const std::uint32_t attempt = att == attempts_.end() ? 0U : att->second;
+      if (injector_->admission_fails(a.session_index, attempt, now)) {
+        ++stats_.admission_rejections;
+        defer_session(a.session_index, now);
+        continue;
+      }
+    }
     if (std::find(a.candidates.begin(), a.candidates.end(), ap) ==
         a.candidates.end()) {
       // Broken policy contract: keep the placement (the association
@@ -151,8 +402,21 @@ void ControllerEngine::flush() {
     tracker_.associate(a.session_index, ap, a.user, a.demand_mbps);
     assignment_[a.session_index] = ap;
     policy_->on_associate(a, ap);
-    departures_.push(Departure{sessions[a.session_index].disconnect,
-                               a.session_index, ap, a.user});
+    if (injector_ == nullptr) {
+      departures_.push(Departure{sessions[a.session_index].disconnect,
+                                 a.session_index, ap, a.user});
+    } else {
+      active_[a.session_index] = ActiveInfo{a.user, ap, a.demand_mbps};
+      if (requeued_.erase(a.session_index) > 0) ++stats_.reassociations;
+      attempts_.erase(a.session_index);
+      // The departure is queued exactly once per session; after an
+      // eviction + re-association the original entry still fires and
+      // resolves the then-current AP through active_.
+      if (departure_queued_.insert(a.session_index).second) {
+        departures_.push(Departure{sessions[a.session_index].disconnect,
+                                   a.session_index, ap, a.user});
+      }
+    }
   }
   ++stats_.num_batches;
   stats_.max_batch_size = std::max(stats_.max_batch_size, batch_.size());
@@ -168,14 +432,41 @@ void ControllerEngine::flush() {
 }
 
 void ControllerEngine::run() {
+  if (injector_ == nullptr) {
+    while (!done()) {
+      const util::SimTime ta = next_arrival_time();
+      const util::SimTime td = next_departure_time();
+      const util::SimTime tf = flush_deadline();
+      if (td <= ta && td <= tf) {
+        process_departure();
+      } else if (ta <= tf) {
+        process_arrival();
+      } else {
+        flush();
+      }
+    }
+    finalize();
+    return;
+  }
+  // Fault-aware walk. Tie order at equal timestamps: fault flips first
+  // (an AP that dies at t must not accept the batch due at t), then the
+  // legacy order (departures, arrivals), then due retries merge into
+  // the batch, then flushes.
   while (!done()) {
-    const util::SimTime ta = next_arrival_time();
+    const util::SimTime tfault = next_fault_time();
     const util::SimTime td = next_departure_time();
+    const util::SimTime ta = next_arrival_time();
+    const util::SimTime tr = next_retry_time();
     const util::SimTime tf = flush_deadline();
-    if (td <= ta && td <= tf) {
+    if (tfault != kNever && tfault <= td && tfault <= ta && tfault <= tr &&
+        tfault <= tf) {
+      process_fault();
+    } else if (td != kNever && td <= ta && td <= tr && td <= tf) {
       process_departure();
-    } else if (ta <= tf) {
+    } else if (ta != kNever && ta <= tr && ta <= tf) {
       process_arrival();
+    } else if (tr != kNever && tr <= tf) {
+      process_retries();
     } else {
       flush();
     }
@@ -189,6 +480,23 @@ void ControllerEngine::finalize() {
           ? static_cast<double>(stats_.num_sessions) /
                 static_cast<double>(stats_.num_batches)
           : 0.0;
+  if (injector_ == nullptr) return;
+  const fault::DegradationStats& d = degradation_.stats();
+  stats_.degraded_batches = d.degraded_batches;
+  stats_.transitions_to_degraded = d.to_degraded;
+  stats_.transitions_to_recovering = d.to_recovering;
+  stats_.transitions_to_healthy = d.to_healthy;
+  const FaultMetrics& fm = fault_metrics();
+  fm.evictions->add(stats_.fault_evictions);
+  fm.reassociations->add(stats_.reassociations);
+  fm.retry_attempts->add(stats_.retry_attempts);
+  fm.admission_rejections->add(stats_.admission_rejections);
+  fm.abandoned->add(stats_.abandoned_sessions);
+  fm.degraded_batches->add(stats_.degraded_batches);
+  fm.to_degraded->add(stats_.transitions_to_degraded);
+  fm.to_recovering->add(stats_.transitions_to_recovering);
+  fm.to_healthy->add(stats_.transitions_to_healthy);
+  fm.recovery_migrations->add(stats_.recovery_migrations);
 }
 
 }  // namespace s3::runtime

@@ -22,8 +22,13 @@
 #include <limits>
 #include <queue>
 #include <span>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "s3/fault/degradation.h"
+#include "s3/fault/fault_injector.h"
+#include "s3/fault/retry_queue.h"
 #include "s3/sim/replay.h"
 #include "s3/sim/selector.h"
 #include "s3/trace/trace.h"
@@ -39,13 +44,24 @@ class ControllerEngine {
 
   /// `sessions` are global indices into `workload.sessions()`, in trace
   /// (connect-time) order, all belonging to controller `domain`. The
-  /// engine keeps references to `net`, `workload` and `policy` and
-  /// writes into `assignment` (one slot per workload session); all must
-  /// outlive it.
+  /// engine keeps references to `net`, `workload`, `policy` and (when
+  /// given) `injector`, and writes into `assignment` (one slot per
+  /// workload session); all must outlive it.
+  ///
+  /// With a non-null `injector` the engine additionally realizes the
+  /// fault schedule for its domain: AP outages evict stations into a
+  /// capped-exponential-backoff retry queue, AP recoveries trigger a
+  /// bounded rebalance sweep, model outages drive the HEALTHY →
+  /// DEGRADED → RECOVERING state machine (fallback batches are served
+  /// by the policy's embedded LLF), and admission faults reject
+  /// individual placements. Everything is derived from (plan, seed,
+  /// domain), so results stay thread-count invariant.
   ControllerEngine(const wlan::Network& net, const trace::Trace& workload,
                    ControllerId domain, std::vector<std::size_t> sessions,
                    sim::ApSelector& policy, const sim::ReplayConfig& config,
-                   std::span<ApId> assignment);
+                   std::span<ApId> assignment,
+                   const fault::FaultInjector* injector = nullptr,
+                   const fault::RecoveryPolicy& recovery = {});
 
   ControllerId domain() const noexcept { return domain_; }
 
@@ -74,6 +90,11 @@ class ControllerEngine {
   void process_departure();
   void flush();
 
+  /// Current degradation state (kHealthy when no injector is attached).
+  fault::HealthState health_state() const noexcept {
+    return degradation_.state();
+  }
+
   /// Computes derived statistics (mean batch size); call once after
   /// the event walk. run() does this itself.
   void finalize();
@@ -94,6 +115,29 @@ class ControllerEngine {
     }
   };
 
+  // --- fault path (active only when injector_ != nullptr) -----------
+
+  struct ActiveInfo {
+    UserId user = kInvalidUser;
+    ApId ap = kInvalidAp;
+    double demand_mbps = 0.0;
+  };
+
+  util::SimTime next_fault_time() const noexcept;
+  util::SimTime next_retry_time() const noexcept;
+  void process_fault();
+  void process_retries();
+  /// Kicks every station off `ap` into the retry queue.
+  void evict_ap(ApId ap, util::SimTime when);
+  /// Bounded migration sweep toward the just-recovered `ap`.
+  void recover_ap(ApId ap, util::SimTime when);
+  /// Books a failed association attempt: backoff-requeue, or abandon
+  /// once the attempt cap is reached.
+  void defer_session(std::size_t session_index, util::SimTime now);
+  void abandon_session(std::size_t session_index);
+  sim::Arrival make_arrival(std::size_t session_index,
+                            util::SimTime connect) const;
+
   const wlan::Network* net_;
   const trace::Trace* workload_;
   ControllerId domain_;
@@ -108,6 +152,17 @@ class ControllerEngine {
   std::vector<sim::Arrival> batch_;
   util::SimTime batch_deadline_ = kNever;
   std::size_t next_arrival_ = 0;
+
+  const fault::FaultInjector* injector_ = nullptr;
+  fault::RecoveryPolicy recovery_;
+  fault::DegradationTracker degradation_;
+  std::vector<fault::ApFaultEvent> fault_events_;  // domain-local, sorted
+  std::size_t next_fault_ = 0;
+  fault::RetryQueue retries_;
+  std::unordered_map<std::size_t, ActiveInfo> active_;
+  std::unordered_map<std::size_t, std::uint32_t> attempts_;
+  std::unordered_set<std::size_t> requeued_;          // awaiting re-placement
+  std::unordered_set<std::size_t> departure_queued_;  // departure pushed once
 
   sim::ReplayStats stats_;
 };

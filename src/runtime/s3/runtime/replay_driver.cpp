@@ -50,6 +50,16 @@ sim::ReplayStats merge_stats(std::span<const sim::ReplayStats> shards) {
     merged.max_batch_size = std::max(merged.max_batch_size, s.max_batch_size);
     merged.forced_overloads += s.forced_overloads;
     merged.candidate_violations += s.candidate_violations;
+    merged.degraded_batches += s.degraded_batches;
+    merged.transitions_to_degraded += s.transitions_to_degraded;
+    merged.transitions_to_recovering += s.transitions_to_recovering;
+    merged.transitions_to_healthy += s.transitions_to_healthy;
+    merged.fault_evictions += s.fault_evictions;
+    merged.reassociations += s.reassociations;
+    merged.retry_attempts += s.retry_attempts;
+    merged.admission_rejections += s.admission_rejections;
+    merged.abandoned_sessions += s.abandoned_sessions;
+    merged.recovery_migrations += s.recovery_migrations;
   }
   merged.mean_batch_size =
       merged.num_batches > 0
@@ -100,7 +110,7 @@ sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
               "ReplayDriver: factory returned a null policy");
     engines.push_back(std::make_unique<ControllerEngine>(
         *net_, workload, c, std::move(shards[c]), *policies.back(),
-        config_.replay, assignment));
+        config_.replay, assignment, config_.injector, config_.recovery));
   }
 
   const unsigned workers = std::min<unsigned>(
@@ -138,6 +148,10 @@ sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
 
 sim::ReplayResult ReplayDriver::run_sequential(const trace::Trace& workload,
                                                sim::ApSelector& policy) const {
+  // Sequential mode exists to reproduce the historic monolith
+  // bit-for-bit; the fault path deliberately stays out of it.
+  S3_REQUIRE(config_.injector == nullptr,
+             "run_sequential: fault injection requires sharded run()");
   check_workload(*net_, workload);
   std::vector<std::vector<std::size_t>> shards = shard_sessions(workload);
   std::vector<ApId> assignment(workload.size(), kInvalidAp);

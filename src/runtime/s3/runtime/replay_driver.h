@@ -28,6 +28,16 @@ struct ReplayDriverConfig {
   /// Worker threads for sharded replay; 0 = hardware_concurrency().
   /// The result is the same for every value; only wall clock changes.
   unsigned threads = 0;
+  /// Optional fault schedule (s3::fault). The injector is immutable and
+  /// its queries are pure functions of (plan, seed), so sharded engines
+  /// share it without synchronization and the realized schedule — and
+  /// therefore every assignment and statistic — is identical for every
+  /// thread count. Sharded run() only; run_sequential() rejects it.
+  /// Must outlive the driver.
+  const fault::FaultInjector* injector = nullptr;
+  /// Retry/backoff + degradation-hysteresis knobs, used when `injector`
+  /// is set.
+  fault::RecoveryPolicy recovery{};
 };
 
 /// Deterministically merges per-shard statistics (shard order must be

@@ -42,6 +42,19 @@ struct ReplayStats {
   /// throw; release builds count and keep the returned AP so the
   /// breach is observable instead of fatal.
   std::size_t candidate_violations = 0;
+
+  // Fault-path accounting, all zero unless a fault::FaultInjector was
+  // attached to the replay (see s3/fault and runtime::ReplayDriver).
+  std::size_t degraded_batches = 0;    ///< batches served by the fallback
+  std::size_t transitions_to_degraded = 0;
+  std::size_t transitions_to_recovering = 0;
+  std::size_t transitions_to_healthy = 0;
+  std::size_t fault_evictions = 0;     ///< stations kicked by an AP outage
+  std::size_t reassociations = 0;      ///< evicted/rejected sessions re-placed
+  std::size_t retry_attempts = 0;      ///< retry-queue pushes (backoff waits)
+  std::size_t admission_rejections = 0;
+  std::size_t abandoned_sessions = 0;  ///< never (re-)placed before departure
+  std::size_t recovery_migrations = 0; ///< rebalance moves on AP recovery
 };
 
 struct ReplayResult {

@@ -33,6 +33,22 @@ struct Arrival {
   std::vector<ApId> candidates;
 };
 
+/// Degradation directives pushed into a policy before each batch when a
+/// fault injector is active (see s3::fault). Policies that cannot honor
+/// them (baselines with no social model) ignore them.
+struct FaultControls {
+  /// False while the social model is flagged unavailable/stale; a
+  /// model-dependent policy must serve the batch with its embedded
+  /// fallback.
+  bool model_available = true;
+  /// Non-zero clamps the clique-search node budget (CPU-pressure
+  /// squeeze); 0 leaves the configured budget untouched.
+  std::uint64_t clique_node_budget = 0;
+  /// Engine-ordered fallback: the degradation state machine decided
+  /// this batch runs on the fallback policy regardless of model state.
+  bool force_fallback = false;
+};
+
 class ApSelector {
  public:
   virtual ~ApSelector() = default;
@@ -57,6 +73,21 @@ class ApSelector {
   virtual void on_associate(const Arrival& /*arrival*/, ApId /*ap*/) {}
   virtual void on_disconnect(std::size_t /*session_index*/, UserId /*user*/,
                              ApId /*ap*/, util::SimTime /*when*/) {}
+
+  // Fault/degradation hooks (s3::fault). The engine pushes controls
+  // before every batch while an injector is active and reads fidelity
+  // back after dispatch; the defaults make every baseline trivially
+  // fault-transparent.
+
+  /// Applies degradation directives for the next batch(es).
+  virtual void set_fault_controls(const FaultControls& /*controls*/) {}
+  /// True for policies that depend on an external social model and so
+  /// degrade when the injector declares a model outage.
+  virtual bool uses_social_model() const { return false; }
+  /// Whether the most recent select_batch ran at full fidelity (e.g.
+  /// S3's clique cover stayed exact). Feeds the RECOVERING -> HEALTHY
+  /// hysteresis of the degradation state machine.
+  virtual bool last_batch_full_fidelity() const { return true; }
 };
 
 /// Builds one policy instance per controller shard.

@@ -168,9 +168,12 @@ CliqueResult max_clique(const WeightedGraph& g, const CliqueConfig& config) {
       util::metrics().counter("social.clique_extractions");
   static util::Counter* const nodes =
       util::metrics().counter("social.clique_nodes_explored");
+  static util::Counter* const budget_exhausted =
+      util::metrics().counter("social.clique_budget_exhausted");
   CliqueResult result = OstergardSearch(g, config).run();
   extractions->add();
   nodes->add(result.nodes_explored);
+  if (!result.exact) budget_exhausted->add();
   return result;
 }
 
@@ -226,9 +229,9 @@ CliqueResult greedy_clique(const WeightedGraph& g) {
   return result;
 }
 
-std::vector<std::vector<std::size_t>> clique_cover(const WeightedGraph& g,
-                                                   const CliqueConfig& config) {
-  std::vector<std::vector<std::size_t>> cover;
+CliqueCoverResult clique_cover_detailed(const WeightedGraph& g,
+                                        const CliqueConfig& config) {
+  CliqueCoverResult cover;
   // current-index -> original-index mapping.
   std::vector<std::size_t> to_original(g.size());
   std::iota(to_original.begin(), to_original.end(), std::size_t{0});
@@ -237,11 +240,13 @@ std::vector<std::vector<std::size_t>> clique_cover(const WeightedGraph& g,
   while (current.size() > 0) {
     const CliqueResult r = max_clique(current, config);
     S3_ASSERT(!r.vertices.empty(), "clique_cover: empty clique on non-empty graph");
+    cover.exact = cover.exact && r.exact;
+    cover.nodes_explored += r.nodes_explored;
 
     if (r.vertices.size() == 1 && current.num_edges() == 0) {
       // Only isolated vertices remain: emit them all as singletons.
       for (std::size_t v = 0; v < current.size(); ++v) {
-        cover.push_back({to_original[v]});
+        cover.cliques.push_back({to_original[v]});
       }
       break;
     }
@@ -249,7 +254,7 @@ std::vector<std::vector<std::size_t>> clique_cover(const WeightedGraph& g,
     std::vector<std::size_t> originals;
     originals.reserve(r.vertices.size());
     for (std::size_t v : r.vertices) originals.push_back(to_original[v]);
-    cover.push_back(originals);
+    cover.cliques.push_back(originals);
 
     std::vector<std::size_t> keep;
     current = current.without(r.vertices, &keep);
@@ -259,6 +264,11 @@ std::vector<std::vector<std::size_t>> clique_cover(const WeightedGraph& g,
     to_original = std::move(next_map);
   }
   return cover;
+}
+
+std::vector<std::vector<std::size_t>> clique_cover(const WeightedGraph& g,
+                                                   const CliqueConfig& config) {
+  return clique_cover_detailed(g, config).cliques;
 }
 
 }  // namespace s3::social

@@ -43,6 +43,21 @@ CliqueResult max_clique(const WeightedGraph& g, const CliqueConfig& config = {})
 /// each vertex (count = 1 + max entry). Exposed for tests.
 std::vector<std::size_t> greedy_coloring(const WeightedGraph& g);
 
+/// Clique cover plus the exactness/exploration telemetry of every
+/// extraction. `exact` is false as soon as any max_clique call hit the
+/// node budget — consumers (S3Selector, the runtime's degradation
+/// machinery) treat such a cover as reduced-fidelity. Every non-exact
+/// extraction also bumps the `social.clique_budget_exhausted` counter
+/// on the metrics bus.
+struct CliqueCoverResult {
+  std::vector<std::vector<std::size_t>> cliques;  ///< extraction order
+  bool exact = true;
+  std::uint64_t nodes_explored = 0;
+};
+
+CliqueCoverResult clique_cover_detailed(const WeightedGraph& g,
+                                        const CliqueConfig& config = {});
+
 /// Iterative clique cover: repeatedly extract a maximum clique (ties
 /// broken by weight) and delete it, until the graph is empty (§IV-A's
 /// procedure). Singleton vertices come out as size-1 cliques at the

@@ -20,6 +20,11 @@ bool write_model(std::ostream& os, const SocialIndexModel& model) {
      << model.config().events.co_leave_window.seconds() << '\n';
   os << "min_encounter_overlap_s "
      << model.config().events.min_encounter_overlap.seconds() << '\n';
+  // Optional: omitted entirely for models that never recorded their
+  // training horizon, so byte-for-byte golden files stay valid.
+  if (model.config().trained_end_s >= 0) {
+    os << "trained_end_s " << model.config().trained_end_s << '\n';
+  }
   os << "users " << typing.type_of_user.size() << '\n';
   os << "types " << typing.num_types << '\n';
 
@@ -97,7 +102,18 @@ ModelReadResult read_model(std::istream& is) {
   {
     std::getline(is, line);
     std::istringstream ls(line);
-    if (!(ls >> key >> num_users) || key != "users" || num_users == 0) {
+    if (!(ls >> key)) return fail("bad users line");
+    // Optional training-horizon line (absent in models written before
+    // the field existed — config.trained_end_s stays -1 for those).
+    if (key == "trained_end_s") {
+      std::int64_t v = 0;
+      if (!(ls >> v) || v < 0) return fail("bad trained_end_s line");
+      config.trained_end_s = v;
+      std::getline(is, line);
+      ls = std::istringstream(line);
+      if (!(ls >> key)) return fail("bad users line");
+    }
+    if (!(ls >> num_users) || key != "users" || num_users == 0) {
       return fail("bad users line");
     }
   }

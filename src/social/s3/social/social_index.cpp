@@ -45,6 +45,7 @@ SocialIndexModel SocialIndexModel::train(const trace::Trace& training,
 
   SocialIndexModel model;
   model.config_ = config;
+  model.config_.trained_end_s = training.end_time().seconds();
   model.stats_ = analysis::extract_pair_stats(window, config.events);
 
   const apps::ProfileStore profiles = analysis::build_profiles(window);

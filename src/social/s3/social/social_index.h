@@ -32,6 +32,12 @@ struct SocialModelConfig {
   /// fewer encounters than this contribute no P(L|E) term — only the
   /// type prior. 1 = no suppression.
   std::uint32_t min_encounters = 1;
+  /// Trace-time horizon (seconds) of the training data: set by train()
+  /// to the training trace's end_time(), persisted by model_io, and
+  /// consulted by check::validate_model_freshness / `s3lb check model
+  /// --stale-days`. -1 = unknown (models written before this field or
+  /// assembled via from_parts without one).
+  std::int64_t trained_end_s = -1;
 };
 
 /// Anything that can answer "how socially tied are u and v?". The

@@ -271,6 +271,69 @@ TEST_F(ValidatorsTest, LoadStateChecksAnAssignedTrace) {
   EXPECT_TRUE(mentions(report, "non-finite load"));
 }
 
+// --- validate_model_freshness ---------------------------------------
+
+social::SocialIndexModel model_trained_until(std::int64_t trained_end_s) {
+  social::SocialModelConfig cfg;
+  cfg.trained_end_s = trained_end_s;
+  analysis::PairStatsMap stats;
+  stats[UserPair(0, 1)] = {4, 2, 1};
+  social::UserTyping typing;
+  typing.num_types = 1;
+  typing.type_of_user = {0, 0};
+  typing.centroids.assign(apps::kNumCategories, 0.1);
+  social::TypeCoLeaveMatrix matrix(1);
+  matrix.set(0, 0, 0.5);
+  return social::SocialIndexModel::from_parts(
+      cfg, std::move(stats), std::move(typing), std::move(matrix));
+}
+
+TEST_F(ValidatorsTest, ModelFreshnessAcceptsARecentModel) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const auto model = model_trained_until(util::SimTime::from_days(10).seconds());
+  EXPECT_TRUE(validate_model_freshness(model, util::SimTime::from_days(12),
+                                       util::SimTime::from_days(7))
+                  .ok());
+  EXPECT_EQ(counter("check.validate_model_freshness.violations"), 0u);
+}
+
+TEST_F(ValidatorsTest, ModelFreshnessFlagsAStaleModel) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const auto model = model_trained_until(util::SimTime::from_days(2).seconds());
+  const CheckReport report = validate_model_freshness(
+      model, util::SimTime::from_days(30), util::SimTime::from_days(7));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "stale"));
+  EXPECT_EQ(counter("check.validate_model_freshness.violations"),
+            report.issues().size());
+}
+
+TEST_F(ValidatorsTest, ModelFreshnessFlagsAnUnknownHorizon) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const auto model = model_trained_until(-1);
+  const CheckReport report = validate_model_freshness(
+      model, util::SimTime::from_days(1), util::SimTime::from_days(7));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "training horizon unknown"));
+}
+
+TEST_F(ValidatorsTest, ModelFreshnessFlagsAFutureHorizon) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const auto model = model_trained_until(util::SimTime::from_days(9).seconds());
+  const CheckReport report = validate_model_freshness(
+      model, util::SimTime::from_days(1), util::SimTime::from_days(7));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "future"));
+}
+
+TEST_F(ValidatorsTest, ModelFreshnessAbortModeThrowsOnStale) {
+  const ScopedContractMode scoped(ContractMode::kAbort);
+  const auto model = model_trained_until(0);
+  EXPECT_THROW(validate_model_freshness(model, util::SimTime::from_days(30),
+                                        util::SimTime::from_days(7)),
+               ContractViolation);
+}
+
 // --- report mechanics -----------------------------------------------
 
 TEST_F(ValidatorsTest, ReportCapsIssuesAndCountsTheRest) {

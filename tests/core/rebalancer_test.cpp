@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "s3/analysis/balance.h"
+#include "s3/check/contract.h"
+#include "s3/fault/fault_injector.h"
 #include "s3/util/stats.h"
 #include "s3/trace/generator.h"
 #include "testing/mini.h"
@@ -120,6 +122,112 @@ TEST(Rebalancer, BetterBalanceThanPlainLlfButDisruptive) {
   };
   EXPECT_GT(mean_beta(mig), mean_beta(plain));
   EXPECT_GT(mig.migrations, 50u);  // "constant disruptions"
+}
+
+TEST(Rebalancer, ApRemovalMidDomainEvictsOntoSurvivors) {
+  // Satellite check: an AP failing mid-domain must land its stations on
+  // the surviving APs without ever over-committing bandwidth, and the
+  // whole run must stay contract-clean in abort mode.
+  wlan::CampusLayout layout;
+  layout.num_buildings = 1;
+  layout.aps_per_building = 3;
+  layout.ap_capacity_mbps = 20.0;
+  const auto net = wlan::make_campus(layout);
+  const auto t = make_trace(6, {
+      SessionSpec{.user = 0, .connect_s = 0, .disconnect_s = 7200,
+                  .demand_mbps = 3.0},
+      SessionSpec{.user = 1, .connect_s = 0, .disconnect_s = 7200,
+                  .demand_mbps = 3.0},
+      SessionSpec{.user = 2, .connect_s = 5, .disconnect_s = 7200,
+                  .demand_mbps = 3.0},
+      SessionSpec{.user = 3, .connect_s = 10, .disconnect_s = 7200,
+                  .demand_mbps = 3.0},
+      SessionSpec{.user = 4, .connect_s = 15, .disconnect_s = 7200,
+                  .demand_mbps = 3.0},
+      SessionSpec{.user = 5, .connect_s = 20, .disconnect_s = 7200,
+                  .demand_mbps = 3.0},
+  });
+
+  // AP 0 fails during [1000, 5000) — mid-domain, everyone connected.
+  fault::FaultPlan plan;
+  plan.ap_outages.push_back({0, util::SimTime(1000), util::SimTime(5000)});
+  const fault::FaultInjector injector(plan, 1);
+  RebalancerConfig cfg;
+  cfg.radio.association_threshold_dbm = -75.0;  // all 3 APs audible
+  cfg.slot_s = 500;
+  cfg.injector = &injector;
+
+  const check::ScopedContractMode guard(check::ContractMode::kAbort);
+  const RebalanceResult r = simulate_with_migration(net, t, cfg);
+
+  // LLF spread 6 x 3 Mbit/s over 3 APs => 2 stations on AP 0, both
+  // kicked by the outage; the survivors had headroom for everyone.
+  EXPECT_EQ(r.fault_evictions, 2u);
+  EXPECT_EQ(r.dropped_sessions, 0u);
+
+  // While the AP is down every session is served by a surviving AP and
+  // their capacity is honored: slot covering [1500, 2000) has AP 0 at
+  // zero and 18 Mbit/s split across APs 1 and 2 within the 20 cap.
+  const std::size_t down_slot = 3;  // [1500, 2000)
+  const auto loads = r.loads(0, down_slot, 3);
+  EXPECT_NEAR(loads[0], 0.0, 1e-9);
+  EXPECT_NEAR(loads[1] + loads[2], 18.0, 1e-9);
+  EXPECT_LE(loads[1], 20.0 + 1e-9);
+  EXPECT_LE(loads[2], 20.0 + 1e-9);
+
+  // After recovery the sweep pulls load back onto AP 0.
+  const std::size_t recovered_slot = 11;  // [5500, 6000)
+  const auto after = r.loads(0, recovered_slot, 3);
+  EXPECT_GT(after[0], 0.0);
+}
+
+TEST(Rebalancer, WholeDomainOutageDropsSessions) {
+  const auto net = mini_network(2);
+  fault::FaultPlan plan;
+  plan.ap_outages.push_back({0, util::SimTime(0), util::SimTime(4000)});
+  plan.ap_outages.push_back({1, util::SimTime(0), util::SimTime(4000)});
+  const fault::FaultInjector injector(plan, 1);
+  const auto t = make_trace(1, {
+      SessionSpec{.user = 0, .connect_s = 100, .disconnect_s = 600},
+  });
+  RebalancerConfig cfg;
+  cfg.radio.association_threshold_dbm = -75.0;
+  cfg.injector = &injector;
+  const RebalanceResult r = simulate_with_migration(net, t, cfg);
+  EXPECT_EQ(r.dropped_sessions, 1u);
+  EXPECT_EQ(r.migrations, 0u);
+}
+
+TEST(Rebalancer, NoInjectorKeepsLegacyArrivalPath) {
+  // Bit-parity guard: cfg.injector == nullptr must reproduce the exact
+  // pre-fault arrival placement (least_loaded, no surviving-filter).
+  trace::GeneratorConfig gen;
+  gen.seed = 12;
+  gen.num_users = 100;
+  gen.num_days = 1;
+  gen.layout.num_buildings = 1;
+  gen.layout.aps_per_building = 4;
+  // Unconstrained capacity: the fault path's headroom preference never
+  // has anything to prefer, so any divergence is a real ordering bug.
+  gen.layout.ap_capacity_mbps = 1e6;
+  const trace::GeneratedTrace g = trace::generate_campus_trace(gen);
+  RebalancerConfig base;
+  const RebalanceResult a = simulate_with_migration(g.network, g.workload, base);
+  RebalancerConfig with_empty = base;
+  const fault::FaultInjector injector(fault::FaultPlan{}, 1);
+  with_empty.injector = &injector;
+  const RebalanceResult b =
+      simulate_with_migration(g.network, g.workload, with_empty);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(b.fault_evictions, 0u);
+  EXPECT_EQ(b.dropped_sessions, 0u);
+  ASSERT_EQ(a.slot_load.size(), b.slot_load.size());
+  for (std::size_t c = 0; c < a.slot_load.size(); ++c) {
+    ASSERT_EQ(a.slot_load[c].size(), b.slot_load[c].size());
+    for (std::size_t i = 0; i < a.slot_load[c].size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.slot_load[c][i], b.slot_load[c][i]);
+    }
+  }
 }
 
 TEST(Rebalancer, SlotLoadsMatchDemandIntegral) {

@@ -297,6 +297,66 @@ TEST(S3Selector, StatsCountPaths) {
   EXPECT_EQ(st.exact_enumerations, 1u);
   EXPECT_EQ(st.beam_searches, 0u);
   EXPECT_EQ(st.bandwidth_fallbacks, 0u);
+  EXPECT_EQ(st.empty_candidate_fallbacks, 0u);
+  EXPECT_EQ(st.degraded_batches, 0u);
+  EXPECT_EQ(st.inexact_covers, 0u);
+}
+
+TEST(S3Selector, FallbackCountersSplitFullFromEmpty) {
+  // "every candidate is over capacity" and "no candidate at all" are
+  // different failures: the first is a capacity event the operator can
+  // provision for, the second a radio/outage event. The stats must not
+  // conflate them.
+  wlan::CampusLayout layout;
+  layout.num_buildings = 1;
+  layout.aps_per_building = 2;
+  layout.ap_capacity_mbps = 5.0;
+  const auto net = wlan::make_campus(layout);
+  const auto model = explicit_model(3, {});
+  sim::ApLoadTracker loads(net);
+  loads.associate(100, 0, 1, 4.9);
+  loads.associate(101, 1, 2, 4.5);
+  S3Selector s3(&net, &model);
+
+  // Candidates present, none fits: bandwidth_fallbacks only.
+  (void)s3.select_one(arrival(0, 0, {0, 1}, 2.0), loads);
+  EXPECT_EQ(s3.stats().bandwidth_fallbacks, 1u);
+  EXPECT_EQ(s3.stats().empty_candidate_fallbacks, 0u);
+
+  // No candidates at all: counted, then rejected as a caller error.
+  EXPECT_THROW((void)s3.select_one(arrival(1, 0, {}, 1.0), loads),
+               std::invalid_argument);
+  EXPECT_EQ(s3.stats().bandwidth_fallbacks, 1u);
+  EXPECT_EQ(s3.stats().empty_candidate_fallbacks, 1u);
+}
+
+TEST(S3Selector, FaultControlsForceLlfFallback) {
+  const auto net = mini_network(3);
+  // Strong tie would normally push user 0 away from user 1's AP 0...
+  const auto model = explicit_model(3, {{0, 1, 4, 4}});
+  sim::ApLoadTracker loads(net);
+  loads.associate(100, 0, 1, 1.0);
+  loads.associate(101, 2, 2, 1.0);  // AP 1 idle, AP 0/2 loaded
+  S3Selector s3(&net, &model);
+  EXPECT_TRUE(s3.uses_social_model());
+  EXPECT_TRUE(s3.last_batch_full_fidelity());
+
+  sim::FaultControls controls;
+  controls.model_available = false;
+  s3.set_fault_controls(controls);
+  // ...but with the model out the embedded LLF just takes the idle AP.
+  std::vector<sim::Arrival> batch{arrival(0, 0, {0, 1, 2})};
+  const auto chosen = s3.select_batch(batch, loads);
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0], 1u);
+  EXPECT_EQ(s3.stats().degraded_batches, 1u);
+  EXPECT_FALSE(s3.last_batch_full_fidelity());
+
+  // Restoring the model restores full fidelity.
+  s3.set_fault_controls(sim::FaultControls{});
+  (void)s3.select_batch(batch, loads);
+  EXPECT_TRUE(s3.last_batch_full_fidelity());
+  EXPECT_EQ(s3.stats().degraded_batches, 1u);
 }
 
 }  // namespace

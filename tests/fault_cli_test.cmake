@@ -1,0 +1,133 @@
+# End-to-end test of fault-injected replay: a canned AP-churn /
+# model-outage / admission-failure plan must replay identically for
+# every --threads value, the stale-model freshness gate must fail loud,
+# and malformed plans must be rejected. Invoked by ctest with
+# -DCLI=<path-to-binary>.
+
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<s3lb binary>")
+endif()
+
+set(WORK "${CMAKE_CURRENT_BINARY_DIR}/fault_cli_test_work")
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+function(run_cli)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "s3lb ${ARGN} failed (${rc}):\n${out}\n${err}")
+  endif()
+  message(STATUS "s3lb ${ARGN}: OK")
+endfunction()
+
+# Runs the CLI expecting failure; asserts stderr mentions `needle`.
+function(run_cli_expect_failure needle)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "s3lb ${ARGN} should have failed:\n${out}")
+  endif()
+  if(NOT err MATCHES "${needle}")
+    message(FATAL_ERROR
+      "s3lb ${ARGN}: expected stderr to mention \"${needle}\", got:\n${err}")
+  endif()
+  message(STATUS "s3lb ${ARGN}: rejected with \"${needle}\" as expected")
+endfunction()
+
+# --- world + model ----------------------------------------------------
+
+run_cli(generate --out "${WORK}/w.csv" --users 60 --days 2
+        --buildings 2 --aps 3 --seed 5)
+run_cli(replay --in "${WORK}/w.csv" --out "${WORK}/llf.csv"
+        --policy llf --buildings 2 --aps 3)
+run_cli(train --in "${WORK}/llf.csv" --out "${WORK}/model.txt")
+
+# --- fault plan: churn + model outage + admission storm ---------------
+# The trace spans 2 days (172800 s); 6 APs (ids 0-5).
+
+file(WRITE "${WORK}/plan.txt"
+"s3fault v1
+# one AP per building fails for a few hours
+ap-outage 1 20000 40000
+ap-outage 4 60000 80000
+model-outage 50000 110000
+clique-budget 50000 110000 64
+admission-failure 0.1 30000 90000
+")
+
+# Determinism across thread counts: the assigned output must be
+# byte-identical for --threads 1 and --threads 8 under faults.
+run_cli(replay --in "${WORK}/w.csv" --out "${WORK}/fault_t1.csv"
+        --policy s3 --model "${WORK}/model.txt" --buildings 2 --aps 3
+        --fault-plan "${WORK}/plan.txt" --fault-seed 9 --threads 1)
+run_cli(replay --in "${WORK}/w.csv" --out "${WORK}/fault_t8.csv"
+        --policy s3 --model "${WORK}/model.txt" --buildings 2 --aps 3
+        --fault-plan "${WORK}/plan.txt" --fault-seed 9 --threads 8)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                "${WORK}/fault_t1.csv" "${WORK}/fault_t8.csv"
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+    "fault-injected replay differs between --threads 1 and --threads 8")
+endif()
+message(STATUS "fault replay threads 1 vs 8: byte-identical")
+
+# Contracts in abort mode stay clean through evictions and retries.
+run_cli(replay --in "${WORK}/w.csv" --out "${WORK}/fault_abort.csv"
+        --policy s3 --model "${WORK}/model.txt" --buildings 2 --aps 3
+        --fault-plan "${WORK}/plan.txt" --fault-seed 9 --check abort)
+
+# --- model freshness gate ---------------------------------------------
+
+# The trained model recorded its 2-day horizon: fresh at day 3...
+run_cli(check model --in "${WORK}/model.txt" --stale-days 7 --now-day 3)
+# ...stale at day 60.
+run_cli_expect_failure("stale"
+        check model --in "${WORK}/model.txt" --stale-days 7 --now-day 60)
+run_cli_expect_failure("needs --now-day"
+        check model --in "${WORK}/model.txt" --stale-days 7)
+
+# A hand-written model without trained_end_s must always fail the gate.
+file(WRITE "${WORK}/old.model"
+"# s3lb social model v1
+alpha 0.3
+co_leave_window_s 300
+min_encounter_overlap_s 60
+users 2
+types 1
+type_of_user 0 0
+centroids 0.1 0.1 0.1 0.1 0.1 0.1
+matrix 0.5
+pairs 1
+0 1 10 9 5
+")
+run_cli(check model --in "${WORK}/old.model")
+run_cli_expect_failure("training horizon unknown"
+        check model --in "${WORK}/old.model" --stale-days 7 --now-day 1)
+
+# --- malformed plans are rejected up front ----------------------------
+
+file(WRITE "${WORK}/bad_ap.txt"
+"s3fault v1
+ap-outage 999 0 100
+")
+run_cli_expect_failure("bad fault plan.*unknown AP"
+        replay --in "${WORK}/w.csv" --out "${WORK}/x.csv"
+        --policy llf --buildings 2 --aps 3
+        --fault-plan "${WORK}/bad_ap.txt")
+
+file(WRITE "${WORK}/bad_magic.txt" "not a plan\n")
+run_cli_expect_failure("cannot read fault plan.*s3fault v1"
+        replay --in "${WORK}/w.csv" --out "${WORK}/x.csv"
+        --policy llf --buildings 2 --aps 3
+        --fault-plan "${WORK}/bad_magic.txt")
+
+run_cli_expect_failure("cannot read fault plan"
+        replay --in "${WORK}/w.csv" --out "${WORK}/x.csv"
+        --policy llf --buildings 2 --aps 3
+        --fault-plan "${WORK}/does_not_exist.txt")

@@ -1,0 +1,261 @@
+// Fault-injected replay: determinism across thread counts, degraded-
+// mode fallback + recovery, AP-outage eviction/re-association, and the
+// admission-storm abandonment path.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "s3/check/contract.h"
+#include "s3/core/evaluation.h"
+#include "s3/core/selector_factory.h"
+#include "s3/fault/fault_injector.h"
+#include "s3/fault/fault_plan.h"
+#include "s3/runtime/replay_driver.h"
+#include "s3/trace/generator.h"
+#include "testing/mini.h"
+
+namespace s3::runtime {
+namespace {
+
+using s3::testing::SessionSpec;
+using s3::testing::make_trace;
+using s3::testing::mini_network;
+
+const trace::GeneratedTrace& shared_world() {
+  static const trace::GeneratedTrace world = [] {
+    trace::GeneratorConfig cfg;
+    cfg.seed = 11;
+    cfg.num_users = 150;
+    cfg.num_days = 3;
+    cfg.layout.num_buildings = 3;
+    cfg.layout.aps_per_building = 5;
+    return trace::generate_campus_trace(cfg);
+  }();
+  return world;
+}
+
+const social::SocialIndexModel& shared_model() {
+  static const social::SocialIndexModel model = [] {
+    const trace::GeneratedTrace& w = shared_world();
+    core::EvaluationConfig eval;
+    eval.train_days = 2;
+    eval.test_days = 1;
+    return core::train_from_workload(w.network, w.workload, eval);
+  }();
+  return model;
+}
+
+/// A plan exercising every fault class over the shared world's 3 days.
+fault::FaultPlan everything_plan() {
+  const trace::GeneratedTrace& w = shared_world();
+  const util::SimTime begin(0);
+  const util::SimTime end = w.workload.end_time();
+  fault::FaultPlan plan =
+      fault::canned_ap_churn_plan(w.network, begin, end, 4, 2 * 3600);
+  const fault::FaultPlan model = fault::canned_model_outage_plan(begin, end);
+  plan.model_outages = model.model_outages;
+  plan.admission.failure_probability = 0.2;
+  plan.admission.begin = util::SimTime(end.seconds() / 4);
+  plan.admission.end = util::SimTime(end.seconds() / 2);
+  return plan;
+}
+
+sim::ReplayResult run_faulted(const sim::SelectorFactory& factory,
+                              const fault::FaultInjector* injector,
+                              unsigned threads) {
+  const trace::GeneratedTrace& w = shared_world();
+  ReplayDriverConfig rc;
+  rc.threads = threads;
+  rc.injector = injector;
+  return ReplayDriver(w.network, rc).run(w.workload, factory);
+}
+
+void expect_identical(const sim::ReplayResult& a, const sim::ReplayResult& b) {
+  ASSERT_EQ(a.assigned.size(), b.assigned.size());
+  for (std::size_t i = 0; i < a.assigned.size(); ++i) {
+    ASSERT_EQ(a.assigned.session(i).ap, b.assigned.session(i).ap)
+        << "session " << i;
+  }
+  EXPECT_EQ(a.stats.num_sessions, b.stats.num_sessions);
+  EXPECT_EQ(a.stats.num_batches, b.stats.num_batches);
+  EXPECT_EQ(a.stats.forced_overloads, b.stats.forced_overloads);
+  EXPECT_EQ(a.stats.fault_evictions, b.stats.fault_evictions);
+  EXPECT_EQ(a.stats.reassociations, b.stats.reassociations);
+  EXPECT_EQ(a.stats.retry_attempts, b.stats.retry_attempts);
+  EXPECT_EQ(a.stats.admission_rejections, b.stats.admission_rejections);
+  EXPECT_EQ(a.stats.abandoned_sessions, b.stats.abandoned_sessions);
+  EXPECT_EQ(a.stats.degraded_batches, b.stats.degraded_batches);
+  EXPECT_EQ(a.stats.transitions_to_degraded, b.stats.transitions_to_degraded);
+  EXPECT_EQ(a.stats.transitions_to_recovering,
+            b.stats.transitions_to_recovering);
+  EXPECT_EQ(a.stats.transitions_to_healthy, b.stats.transitions_to_healthy);
+  EXPECT_EQ(a.stats.recovery_migrations, b.stats.recovery_migrations);
+}
+
+TEST(FaultReplay, ThreadCountInvariantUnderFaultsForLlf) {
+  const fault::FaultInjector injector(everything_plan(), 5);
+  const core::LlfFactory f(core::LoadMetric::kStations);
+  expect_identical(run_faulted(f, &injector, 1), run_faulted(f, &injector, 8));
+}
+
+TEST(FaultReplay, ThreadCountInvariantUnderFaultsForS3) {
+  const fault::FaultInjector injector(everything_plan(), 5);
+  const core::S3Factory s3(&shared_world().network, &shared_model());
+  expect_identical(run_faulted(s3, &injector, 1),
+                   run_faulted(s3, &injector, 8));
+}
+
+TEST(FaultReplay, EmptyPlanMatchesNoInjectorBitForBit) {
+  // The fault-aware event loop with nothing scheduled must reproduce
+  // the legacy loop exactly — same batches, same assignment.
+  const fault::FaultInjector injector(fault::FaultPlan{}, 1);
+  const core::LlfFactory f(core::LoadMetric::kStations);
+  const sim::ReplayResult with = run_faulted(f, &injector, 2);
+  const sim::ReplayResult without = run_faulted(f, nullptr, 2);
+  expect_identical(with, without);
+  EXPECT_EQ(with.stats.fault_evictions, 0u);
+  EXPECT_EQ(with.stats.degraded_batches, 0u);
+  EXPECT_TRUE(with.assigned.fully_assigned());
+}
+
+TEST(FaultReplay, ModelOutageDegradesS3ToLlfAndRecovers) {
+  const trace::GeneratedTrace& w = shared_world();
+  const fault::FaultPlan plan =
+      fault::canned_model_outage_plan(util::SimTime(0), w.workload.end_time());
+  const fault::FaultInjector injector(plan, 1);
+  const core::S3Factory s3(&w.network, &shared_model());
+
+  // Contract abort mode: any load-conservation or candidate-set breach
+  // during the degraded window throws and fails the test.
+  const check::ScopedContractMode guard(check::ContractMode::kAbort);
+  const sim::ReplayResult r = run_faulted(s3, &injector, 4);
+
+  // The outage forced the embedded LLF fallback...
+  EXPECT_GT(r.stats.degraded_batches, 0u);
+  EXPECT_GT(r.stats.transitions_to_degraded, 0u);
+  // ...and the hysteresis path brought S3 back once the model returned.
+  EXPECT_GT(r.stats.transitions_to_recovering, 0u);
+  EXPECT_GT(r.stats.transitions_to_healthy, 0u);
+  // A model outage alone never unassigns anybody.
+  EXPECT_TRUE(r.assigned.fully_assigned());
+  EXPECT_EQ(r.stats.fault_evictions, 0u);
+}
+
+TEST(FaultReplay, LlfNeverDegradesOnModelOutage) {
+  // LLF does not consult the social model; a model outage is a no-op.
+  const trace::GeneratedTrace& w = shared_world();
+  const fault::FaultPlan plan =
+      fault::canned_model_outage_plan(util::SimTime(0), w.workload.end_time());
+  const fault::FaultInjector injector(plan, 1);
+  const core::LlfFactory f(core::LoadMetric::kStations);
+  const sim::ReplayResult r = run_faulted(f, &injector, 2);
+  EXPECT_EQ(r.stats.degraded_batches, 0u);
+  EXPECT_EQ(r.stats.transitions_to_degraded, 0u);
+}
+
+TEST(FaultReplay, ApOutageEvictsAndReassociatesOntoSurvivor) {
+  const auto net = mini_network(2);  // 2 APs, both audible
+  // One long session spanning the outage; one short helper so both APs
+  // carry load before the outage.
+  const auto workload = make_trace(2, {
+      SessionSpec{.user = 0, .connect_s = 0, .disconnect_s = 10'000},
+      SessionSpec{.user = 1, .connect_s = 10, .disconnect_s = 500},
+  });
+
+  // Whichever AP user 0 landed on fails during [1000, 2000). Both APs
+  // must be audible or there is no survivor to re-associate onto.
+  const core::LlfFactory f(core::LoadMetric::kStations);
+  ReplayDriverConfig probe_rc;
+  probe_rc.replay.dispatch_window_s = 0;
+  probe_rc.replay.radio.association_threshold_dbm = -75.0;
+  const sim::ReplayResult probe =
+      ReplayDriver(net, probe_rc).run(workload, f);
+  const ApId original = probe.assigned.session(0).ap;
+  ASSERT_NE(original, kInvalidAp);
+
+  fault::FaultPlan plan;
+  plan.ap_outages.push_back(
+      {original, util::SimTime(1000), util::SimTime(2000)});
+  const fault::FaultInjector injector(plan, 1);
+  ReplayDriverConfig rc = probe_rc;
+  rc.injector = &injector;
+  const sim::ReplayResult r = ReplayDriver(net, rc).run(workload, f);
+
+  EXPECT_EQ(r.stats.fault_evictions, 1u);
+  EXPECT_GE(r.stats.retry_attempts, 1u);
+  EXPECT_EQ(r.stats.reassociations, 1u);
+  EXPECT_EQ(r.stats.abandoned_sessions, 0u);
+  // The published assignment reflects the post-eviction AP.
+  EXPECT_NE(r.assigned.session(0).ap, original);
+  EXPECT_NE(r.assigned.session(0).ap, kInvalidAp);
+}
+
+TEST(FaultReplay, WholeCandidateSetDownAbandonsAfterBackoff) {
+  const auto net = mini_network(2);
+  const auto workload = make_trace(1, {
+      SessionSpec{.user = 0, .connect_s = 100, .disconnect_s = 400},
+  });
+  // Both APs down for the session's whole lifetime: admission is
+  // impossible and the retry loop must give up cleanly.
+  fault::FaultPlan plan;
+  plan.ap_outages.push_back({0, util::SimTime(0), util::SimTime(1000)});
+  plan.ap_outages.push_back({1, util::SimTime(0), util::SimTime(1000)});
+  const fault::FaultInjector injector(plan, 1);
+  ReplayDriverConfig rc;
+  rc.replay.dispatch_window_s = 0;
+  rc.injector = &injector;
+  const core::LlfFactory f;
+  const sim::ReplayResult r = ReplayDriver(net, rc).run(workload, f);
+  EXPECT_EQ(r.stats.abandoned_sessions, 1u);
+  EXPECT_EQ(r.assigned.session(0).ap, kInvalidAp);
+  EXPECT_FALSE(r.assigned.fully_assigned());
+}
+
+TEST(FaultReplay, CertainAdmissionFailureAbandonsEverySession) {
+  const auto net = mini_network(3);
+  const auto workload = make_trace(2, {
+      SessionSpec{.user = 0, .connect_s = 0, .disconnect_s = 600},
+      SessionSpec{.user = 1, .connect_s = 50, .disconnect_s = 700},
+  });
+  fault::FaultPlan plan;
+  plan.admission.failure_probability = 1.0;
+  plan.admission.begin = util::SimTime(0);
+  const fault::FaultInjector injector(plan, 1);
+  ReplayDriverConfig rc;
+  rc.replay.dispatch_window_s = 0;
+  rc.injector = &injector;
+  const core::LlfFactory f;
+  const sim::ReplayResult r = ReplayDriver(net, rc).run(workload, f);
+  EXPECT_EQ(r.stats.abandoned_sessions, 2u);
+  EXPECT_GT(r.stats.admission_rejections, 0u);
+  EXPECT_EQ(r.stats.reassociations, 0u);
+  EXPECT_FALSE(r.assigned.fully_assigned());
+}
+
+TEST(FaultReplay, SequentialDriverRejectsInjector) {
+  const auto net = mini_network(2);
+  const trace::Trace workload(1, 1, {});
+  const fault::FaultInjector injector(fault::FaultPlan{}, 1);
+  ReplayDriverConfig rc;
+  rc.injector = &injector;
+  core::LlfSelector policy;
+  EXPECT_THROW(ReplayDriver(net, rc).run_sequential(workload, policy),
+               std::invalid_argument);
+}
+
+TEST(FaultReplay, AbortModeCleanUnderFullChurnPlan) {
+  // The acceptance gate: a full churn + outage + storm plan replayed
+  // with contracts in abort mode must finish without a single
+  // violation (load conservation holds through evictions/migrations).
+  const fault::FaultInjector injector(everything_plan(), 3);
+  const core::S3Factory s3(&shared_world().network, &shared_model());
+  const check::ScopedContractMode guard(check::ContractMode::kAbort);
+  EXPECT_NO_THROW({
+    const sim::ReplayResult r = run_faulted(s3, &injector, 4);
+    EXPECT_GT(r.stats.fault_evictions, 0u);
+  });
+}
+
+}  // namespace
+}  // namespace s3::runtime

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <set>
 
+#include "s3/util/metrics.h"
 #include "s3/util/rng.h"
 
 namespace s3::social {
@@ -127,6 +128,20 @@ TEST(MaxClique, NodeBudgetFallsBackGracefully) {
   EXPECT_FALSE(r.exact);
   EXPECT_FALSE(r.vertices.empty());
   EXPECT_TRUE(g.is_clique(r.vertices));
+}
+
+TEST(MaxClique, BudgetExhaustionBumpsTheMetricsCounter) {
+  util::Rng rng(9);
+  const WeightedGraph g = random_graph(40, 0.7, rng);
+  CliqueConfig cfg;
+  cfg.node_budget = 50;
+  util::metrics().reset();
+  (void)max_clique(g, cfg);
+  std::uint64_t exhausted = 0;
+  for (const util::MetricSample& s : util::metrics().snapshot()) {
+    if (s.name == "social.clique_budget_exhausted") exhausted = s.count;
+  }
+  EXPECT_EQ(exhausted, 1u);
 }
 
 TEST(GreedyColoring, ProperColoring) {

@@ -84,6 +84,55 @@ TEST(ModelIo, RoundTripTrainedModel) {
   }
 }
 
+TEST(ModelIo, TrainedEndSurvivesRoundTrip) {
+  SocialModelConfig cfg;
+  cfg.trained_end_s = 2 * 86400;
+  analysis::PairStatsMap stats;
+  stats[UserPair(0, 1)] = {5, 3, 2};
+  UserTyping typing;
+  typing.num_types = 1;
+  typing.type_of_user = {0, 0};
+  typing.centroids.assign(apps::kNumCategories, 0.1);
+  TypeCoLeaveMatrix matrix(1);
+  matrix.set(0, 0, 0.5);
+  const SocialIndexModel original = SocialIndexModel::from_parts(
+      cfg, std::move(stats), std::move(typing), std::move(matrix));
+
+  std::stringstream ss;
+  ASSERT_TRUE(write_model(ss, original));
+  EXPECT_NE(ss.str().find("trained_end_s 172800"), std::string::npos);
+  const ModelReadResult r = read_model(ss);
+  ASSERT_TRUE(r.model.has_value()) << r.error;
+  EXPECT_EQ(r.model->config().trained_end_s, 2 * 86400);
+}
+
+TEST(ModelIo, OmitsUnknownTrainingHorizonForBackCompat) {
+  // sample_model() leaves trained_end_s at its default (-1): the line
+  // must be absent so pre-existing golden files stay byte-identical,
+  // and reading such a file must preserve the "unknown" sentinel.
+  const SocialIndexModel original = sample_model();
+  std::stringstream ss;
+  ASSERT_TRUE(write_model(ss, original));
+  EXPECT_EQ(ss.str().find("trained_end_s"), std::string::npos);
+  const ModelReadResult r = read_model(ss);
+  ASSERT_TRUE(r.model.has_value()) << r.error;
+  EXPECT_EQ(r.model->config().trained_end_s, -1);
+}
+
+TEST(ModelIo, RejectsNegativeTrainedEnd) {
+  const SocialIndexModel original = sample_model();
+  std::stringstream ss;
+  write_model(ss, original);
+  std::string text = ss.str();
+  const std::size_t pos = text.find("users ");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos, "trained_end_s -7\n");
+  std::stringstream bad(text);
+  const ModelReadResult r = read_model(bad);
+  EXPECT_FALSE(r.model.has_value());
+  EXPECT_NE(r.error.find("trained_end_s"), std::string::npos);
+}
+
 TEST(ModelIo, RejectsGarbage) {
   std::stringstream ss("not a model\n");
   const ModelReadResult r = read_model(ss);

@@ -7,13 +7,19 @@
 //   s3lb replay    --in FILE --out FILE --policy P [--model FILE]
 //                  [--buildings B] [--aps K] [--window SECONDS]
 //                  [--threads N] [--metrics]
+//                  [--fault-plan FILE] [--fault-seed S]
 //       Assign APs to a workload under policy P (any name registered
 //       with the selector registry; llf | llf-demand | llf-stations |
 //       rssi | random | s3 | s3-online ship by default) and write the
 //       result. s3 and s3-online require --model. --threads shards the
 //       replay per controller domain (0 = all cores; the assignment is
 //       identical for every thread count). --metrics dumps the
-//       instrumentation bus to stderr.
+//       instrumentation bus to stderr. --fault-plan injects a
+//       deterministic fault schedule (s3fault v1 format: AP outages,
+//       model outages, clique-budget squeezes, admission failures);
+//       --fault-seed (default 1) seeds the per-association failure
+//       draws. The fault schedule is a pure function of (plan, seed),
+//       so the assignment stays identical for every --threads value.
 //
 //   s3lb train     --in FILE --out FILE [--alpha A] [--coleave-min M]
 //                  [--history DAYS] [--buildings B] [--aps K]
@@ -26,13 +32,18 @@
 //
 //   s3lb check trace --in FILE [--buildings B] [--aps K] [--mode M]
 //   s3lb check model --in FILE [--threshold T] [--cover FILE] [--mode M]
+//                    [--stale-days D] [--now-day N]
 //       Run the s3::check structural validators over an input and exit
 //       non-zero if any invariant is violated. `trace` validates the
 //       session log against the topology (plus load conservation and
 //       β ∈ [1/n, 1] when the trace is assigned); `model` validates the
 //       social relation index θ and its graph, and — with --cover — a
 //       clique cover read from FILE (one clique per line, vertex ids
-//       separated by spaces). --mode off|count|log|abort selects the
+//       separated by spaces). --stale-days D rejects a model whose
+//       recorded training horizon is more than D days before --now-day
+//       (both in trace time; --now-day is required with --stale-days,
+//       and a model that never recorded a horizon always fails the
+//       freshness gate). --mode off|count|log|abort selects the
 //       contract dispatch (default count; abort stops at the first
 //       violation).
 //
@@ -55,6 +66,8 @@
 #include "s3/core/evaluation.h"
 #include "s3/core/online_s3.h"
 #include "s3/core/selector_factory.h"
+#include "s3/fault/fault_injector.h"
+#include "s3/fault/fault_plan.h"
 #include "s3/runtime/replay_driver.h"
 #include "s3/social/graph.h"
 #include "s3/social/model_io.h"
@@ -230,6 +243,20 @@ int cmd_replay(const Flags& f) {
   runtime::ReplayDriverConfig rc;
   rc.replay.dispatch_window_s = f.num("window", 120);
   rc.threads = static_cast<unsigned>(f.num("threads", 0));
+  std::optional<fault::FaultInjector> injector;
+  if (f.has("fault-plan")) {
+    const fault::FaultPlanParseResult pr =
+        fault::read_fault_plan_file(f.get("fault-plan"));
+    if (!pr.ok()) die("cannot read fault plan: " + pr.error);
+    try {
+      fault::validate_plan(pr.plan, &net);
+    } catch (const std::exception& e) {
+      die("bad fault plan: " + std::string(e.what()));
+    }
+    injector.emplace(pr.plan,
+                     static_cast<std::uint64_t>(f.num("fault-seed", 1)));
+    rc.injector = &*injector;
+  }
   runtime::ReplayDriver driver(net, rc);
   const sim::ReplayResult r = driver.run(workload, *factory);
   store_trace(f.get("out"), r.assigned);
@@ -240,6 +267,16 @@ int cmd_replay(const Flags& f) {
             << r.stats.forced_overloads << " forced overloads, "
             << driver.effective_threads() << " threads)\n"
             << "wrote " << f.get("out") << "\n";
+  if (injector) {
+    std::cout << "faults: " << r.stats.fault_evictions << " evictions, "
+              << r.stats.reassociations << " re-associations ("
+              << r.stats.retry_attempts << " retries, "
+              << r.stats.abandoned_sessions << " abandoned), "
+              << r.stats.admission_rejections << " admission rejections, "
+              << r.stats.degraded_batches << " degraded batches ("
+              << r.stats.transitions_to_degraded << " degrade / "
+              << r.stats.transitions_to_healthy << " recover transitions)\n";
+  }
   if (f.has("metrics")) {
     std::cerr << "# instrumentation bus\n";
     util::metrics().dump(std::cerr);
@@ -379,6 +416,12 @@ int cmd_check(const std::string& what, const Flags& f) {
       report.merge(
           check::validate_clique_cover(graph, load_cover_file(f.get("cover"))));
     }
+    if (f.has("stale-days")) {
+      if (!f.has("now-day")) die("check model: --stale-days needs --now-day");
+      report.merge(check::validate_model_freshness(
+          *mr.model, util::SimTime::from_days(f.num("now-day", 0)),
+          util::SimTime::from_days(f.num("stale-days", 0))));
+    }
     return report_outcome(report, f.get("in"));
   }
   die("check: unknown target \"" + what + "\" (expected trace|model)");
@@ -392,10 +435,12 @@ void usage() {
       "           --policy llf|llf-demand|llf-stations|rssi|random|s3|s3-online\n"
       "           [--model FILE --buildings B --aps K --window SECONDS]\n"
       "           [--threads N --metrics --check off|count|log|abort]\n"
+      "           [--fault-plan FILE --fault-seed S]\n"
       "  train    --in ASSIGNED --out MODEL [--alpha A --coleave-min M --history D]\n"
       "  compare  [--users N --days D --buildings B --aps K --seed S --train D --test D]\n"
       "  check    trace --in FILE [--buildings B --aps K --mode M]\n"
-      "  check    model --in FILE [--threshold T --cover FILE --mode M]\n";
+      "  check    model --in FILE [--threshold T --cover FILE --mode M]\n"
+      "           [--stale-days D --now-day N]\n";
 }
 
 }  // namespace
