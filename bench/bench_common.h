@@ -23,10 +23,13 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "s3/core/evaluation.h"
 #include "s3/trace/generator.h"
+#include "s3/util/argspec.h"
 #include "s3/util/metrics.h"
 
 namespace s3::bench {
@@ -43,34 +46,48 @@ inline void print_usage(std::ostream& out) {
          "[--threads=N] [--metrics]\n";
 }
 
-inline BenchArgs parse_args(int argc, char** argv) {
-  BenchArgs args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind("--scale=", 0) == 0) {
-      args.scale = a.substr(8);
-      if (args.scale != "small" && args.scale != "medium" &&
-          args.scale != "full") {
-        std::cerr << "unknown scale: " << args.scale << "\n";
-        print_usage(std::cerr);
-        std::exit(2);
-      }
-    } else if (a.rfind("--seed=", 0) == 0) {
-      args.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
-    } else if (a.rfind("--threads=", 0) == 0) {
-      args.threads = static_cast<unsigned>(
-          std::strtoul(a.c_str() + 10, nullptr, 10));
-    } else if (a == "--metrics") {
-      args.metrics = true;
-    } else if (a == "--help" || a == "-h") {
-      print_usage(std::cout);
-      std::exit(0);
-    } else {
-      std::cerr << "unknown flag: " << a << "\n";
-      print_usage(std::cerr);
-      std::exit(2);
-    }
+/// Flag table shared by every bench binary; extend with `extra` specs
+/// for bench-specific flags (the caller reads them off the returned
+/// ParsedArgs).
+inline util::ParsedArgs parse_raw_args(
+    int argc, char** argv, std::span<const util::ArgSpec> extra = {}) {
+  static constexpr util::ArgSpec kCommon[] = {
+      {"scale", util::ArgKind::kString, "small|medium|full"},
+      {"seed", util::ArgKind::kInt, "generator seed"},
+      {"threads", util::ArgKind::kInt, "replay workers (0 = all cores)"},
+      {"metrics", util::ArgKind::kFlag, "dump instrumentation bus"},
+  };
+  std::vector<util::ArgSpec> specs(std::begin(kCommon), std::end(kCommon));
+  specs.insert(specs.end(), extra.begin(), extra.end());
+  const util::ArgParseResult parsed =
+      util::parse_args(specs, argc, argv, 1);
+  if (parsed.want_help) {
+    print_usage(std::cout);
+    std::exit(0);
   }
+  if (!parsed.ok()) {
+    std::cerr << parsed.error << "\n";
+    print_usage(std::cerr);
+    std::exit(2);
+  }
+  return parsed.args;
+}
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  const util::ParsedArgs raw = parse_raw_args(argc, argv);
+  BenchArgs args;
+  args.scale = raw.get("scale", args.scale);
+  if (args.scale != "small" && args.scale != "medium" &&
+      args.scale != "full") {
+    std::cerr << "unknown scale: " << args.scale << "\n";
+    print_usage(std::cerr);
+    std::exit(2);
+  }
+  args.seed = static_cast<std::uint64_t>(
+      raw.num("seed", static_cast<long>(args.seed)));
+  args.threads = static_cast<unsigned>(
+      raw.num("threads", static_cast<long>(args.threads)));
+  args.metrics = raw.has("metrics");
   return args;
 }
 

@@ -240,18 +240,10 @@ CheckReport validate_social_graph(const social::WeightedGraph& graph,
 
 social::WeightedGraph build_social_graph(const social::ThetaProvider& theta,
                                          double theta_threshold) {
-  const std::size_t n = theta.num_users();
-  social::WeightedGraph g(n);
-  for (std::size_t u = 0; u < n; ++u) {
-    for (std::size_t v = u + 1; v < n; ++v) {
-      const double th = theta.theta(static_cast<UserId>(u),
-                                    static_cast<UserId>(v));
-      if (std::isfinite(th) && th >= theta_threshold) {
-        g.add_edge(u, v, th);
-      }
-    }
-  }
-  return g;
+  // Delegates to the social layer's builder: batched theta_row rows,
+  // plus the recorded-pairs pruning when the provider is an indexed
+  // SocialIndexModel whose type prior cannot reach the threshold.
+  return social::build_theta_graph(theta, theta_threshold);
 }
 
 CheckReport validate_clique_cover(

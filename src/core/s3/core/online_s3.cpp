@@ -13,28 +13,51 @@ OnlineSocialModel::OnlineSocialModel(const social::SocialIndexModel* base,
              "OnlineSocialModel: windows must be positive");
 }
 
-analysis::PairEventStats& OnlineSocialModel::live_stats(UserId u, UserId v) {
+social::PairStore::Stats& OnlineSocialModel::live_stats(UserId u, UserId v) {
   const UserPair key(u, v);
-  const auto it = live_.find(key);
-  if (it != live_.end()) return it->second;
+  if (social::PairStore::Stats* hit = live_.find(key)) return *hit;
   // Copy-on-first-touch: seed with the trained counts so the live
   // ratio continues the history instead of restarting from scratch.
-  analysis::PairEventStats seed;
-  const auto trained = base_->pair_stats().find(key);
-  if (trained != base_->pair_stats().end()) seed = trained->second;
-  return live_.emplace(key, seed).first->second;
+  social::PairStore::Stats seed;
+  if (const social::PairStore::Stats* trained = base_->pair_stats().find(key)) {
+    seed = *trained;
+  }
+  social::PairStore::Stats& slot = live_.upsert(key);
+  slot = seed;
+  return slot;
 }
 
 double OnlineSocialModel::theta(UserId u, UserId v) const {
   if (u == v) return 0.0;
-  const auto it = live_.find(UserPair(u, v));
-  if (it == live_.end()) return base_->theta(u, v);
+  const social::PairStore::Stats* live = live_.find(UserPair(u, v));
+  if (live == nullptr) return base_->theta(u, v);
   const double type_term =
       base_->type_matrix().num_types() > 0
           ? base_->type_matrix().at(base_->typing().type(u),
                                     base_->typing().type(v))
           : 0.0;
-  return it->second.co_leave_probability() + base_->alpha() * type_term;
+  return live->co_leave_probability() + base_->alpha() * type_term;
+}
+
+void OnlineSocialModel::theta_row(UserId u, std::span<const UserId> vs,
+                                  std::span<double> out) const {
+  // One flat pass over the frozen model's row, then overwrite the few
+  // entries whose pair has live history. Expression shapes match the
+  // scalar theta() exactly, so batched and scalar agree bit for bit.
+  base_->theta_row(u, vs, out);
+  if (live_.empty()) return;
+  const bool typed = base_->type_matrix().num_types() > 0;
+  const std::size_t type_u = typed ? base_->typing().type(u) : 0;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const UserId v = vs[i];
+    if (v == u) continue;
+    if (const social::PairStore::Stats* live = live_.find(UserPair(u, v))) {
+      const double type_term =
+          typed ? base_->type_matrix().at(type_u, base_->typing().type(v))
+                : 0.0;
+      out[i] = live->co_leave_probability() + base_->alpha() * type_term;
+    }
+  }
 }
 
 void OnlineSocialModel::on_associate(std::size_t session_index, UserId user,
@@ -87,10 +110,10 @@ void OnlineSocialModel::on_disconnect(std::size_t session_index,
 }
 
 social::SocialIndexModel OnlineSocialModel::checkpoint() const {
-  analysis::PairStatsMap merged = base_->pair_stats();
-  for (const auto& [pair, stats] : live_) {
-    merged[pair] = stats;  // live entries were seeded from the base
-  }
+  social::PairStore merged = base_->pair_stats();
+  live_.for_each([&](UserPair pair, const social::PairStore::Stats& stats) {
+    merged.assign(pair, stats);  // live entries were seeded from the base
+  });
   return social::SocialIndexModel::from_parts(
       base_->config(), std::move(merged), base_->typing(),
       base_->type_matrix());
@@ -110,9 +133,9 @@ ApId OnlineS3Selector::select_one(const sim::Arrival& arrival,
   return inner_->select_one(arrival, loads);
 }
 
-std::vector<ApId> OnlineS3Selector::select_batch(
-    std::span<const sim::Arrival> batch, const sim::ApLoadTracker& loads) {
-  return inner_->select_batch(batch, loads);
+sim::BatchResult OnlineS3Selector::place_batch(
+    const sim::BatchRequest& request, const sim::ApLoadTracker& loads) {
+  return inner_->place_batch(request, loads);
 }
 
 void OnlineS3Selector::on_associate(const sim::Arrival& arrival, ApId ap) {

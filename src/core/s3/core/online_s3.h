@@ -37,6 +37,12 @@ class OnlineSocialModel : public social::ThetaProvider {
                     OnlineS3Config config);
 
   double theta(UserId u, UserId v) const override;
+
+  /// Batched kernel: one flat pass over the base model's row, then the
+  /// live deltas patched on top. Bit-identical to the scalar path.
+  void theta_row(UserId u, std::span<const UserId> vs,
+                 std::span<double> out) const override;
+
   std::size_t num_users() const override { return base_->num_users(); }
 
   /// Feed an association: the station joined `ap` at `when`.
@@ -69,11 +75,13 @@ class OnlineSocialModel : public social::ThetaProvider {
     util::SimTime when;
   };
 
-  analysis::PairEventStats& live_stats(UserId u, UserId v);
+  social::PairStore::Stats& live_stats(UserId u, UserId v);
 
   const social::SocialIndexModel* base_;
   OnlineS3Config config_;
-  analysis::PairStatsMap live_;
+  /// Live pair counters, same flat layout as the trained store so the
+  /// hot θ patch loop probes contiguous memory.
+  social::PairStore live_;
   /// Stations currently associated, per AP.
   std::unordered_map<ApId, std::vector<Presence>> present_;
   /// Recent departures per AP (pruned past the co-leave window).
@@ -93,32 +101,23 @@ class OnlineS3Selector final : public sim::ApSelector {
 
   ApId select_one(const sim::Arrival& arrival,
                   const sim::ApLoadTracker& loads) override;
-  std::vector<ApId> select_batch(std::span<const sim::Arrival> batch,
-                                 const sim::ApLoadTracker& loads) override;
+
+  /// Forwards to the inner S3 machinery, fault directives included (the
+  /// online wrapper degrades exactly like frozen S3: model outage ->
+  /// embedded LLF).
+  sim::BatchResult place_batch(const sim::BatchRequest& request,
+                               const sim::ApLoadTracker& loads) override;
 
   void on_associate(const sim::Arrival& arrival, ApId ap) override;
   void on_disconnect(std::size_t session_index, UserId user, ApId ap,
                      util::SimTime when) override;
 
-  // Fault hooks forward to the inner S3 machinery (the online wrapper
-  // degrades exactly like frozen S3: model outage -> embedded LLF).
-  void set_fault_controls(const sim::FaultControls& controls) override {
-    inner_->set_fault_controls(controls);
-  }
   bool uses_social_model() const override { return true; }
-  bool last_batch_full_fidelity() const override {
-    return inner_->last_batch_full_fidelity();
-  }
 
   const OnlineSocialModel& model() const noexcept { return online_; }
 
  private:
-  /// Rebuilds the delegate selector's view (theta closure) lazily; the
-  /// inner S3Selector consults `shim_`, which forwards to online_.
-  class ShimModel;
-
   OnlineSocialModel online_;
-  std::unique_ptr<social::SocialIndexModel> shim_;
   std::unique_ptr<S3Selector> inner_;
 };
 

@@ -35,24 +35,6 @@ const S3Metrics& s3_metrics() {
   return m;
 }
 
-/// Social cost of adding `user` to `ap` given the committed state:
-/// C(AP) = Σ_{w ∈ S(AP)} θ(user, w), counting only *close* relations
-/// (θ above the graph's edge threshold). The type prior alone gives
-/// every pair a small positive θ; summing those would turn C into a
-/// station-count proxy and make S3 fight LLF's traffic balancing for
-/// users with no real ties — exactly the case the pseudocode routes to
-/// LLF ("if there are multiple candidate APs to choose, apply LLF").
-double base_cost(const social::ThetaProvider& model,
-                 const sim::ApLoadTracker& loads, UserId user, ApId ap,
-                 double threshold) {
-  double cost = 0.0;
-  loads.for_each_station(ap, [&](const sim::ActiveStation& st) {
-    const double th = model.theta(user, st.user);
-    if (threshold < 0.0 || th > threshold) cost += th;
-  });
-  return cost;
-}
-
 /// One candidate distribution of a clique over APs.
 struct Distribution {
   std::vector<std::size_t> choice;  ///< per member: index into its candidates
@@ -71,6 +53,36 @@ S3Selector::S3Selector(const wlan::Network* net,
   S3_REQUIRE(config_.top_fraction > 0.0 && config_.top_fraction <= 1.0,
              "S3Selector: top_fraction outside (0,1]");
   S3_REQUIRE(config_.beam_width >= 1, "S3Selector: beam_width must be >= 1");
+}
+
+// C(AP) counts only *close* relations (θ above the graph's edge
+// threshold) unless threshold < 0. The type prior alone gives every
+// pair a small positive θ; summing those would turn C into a
+// station-count proxy and make S3 fight LLF's traffic balancing for
+// users with no real ties — exactly the case the pseudocode routes to
+// LLF ("if there are multiple candidate APs to choose, apply LLF").
+// The station users are gathered once and scored with a single
+// theta_row call: one batched probe sweep instead of |S(AP)| virtual
+// scalar lookups. Summation order matches the station iteration order,
+// so the total is bit-identical to the old per-station loop.
+double S3Selector::social_cost(const sim::ApLoadTracker& loads, UserId user,
+                               ApId ap, double threshold) {
+  row_users_.clear();
+  loads.for_each_station(ap, [&](const sim::ActiveStation& st) {
+    row_users_.push_back(st.user);
+  });
+  if (row_users_.empty()) return 0.0;
+  if (row_theta_.size() < row_users_.size()) {
+    row_theta_.resize(row_users_.size());
+  }
+  const std::span<double> out =
+      std::span<double>(row_theta_).first(row_users_.size());
+  model_->theta_row(user, row_users_, out);
+  double cost = 0.0;
+  for (const double th : out) {
+    if (threshold < 0.0 || th > threshold) cost += th;
+  }
+  return cost;
 }
 
 ApId S3Selector::select_one(const sim::Arrival& arrival,
@@ -93,9 +105,9 @@ ApId S3Selector::select_one(const sim::Arrival& arrival,
       continue;  // infinite cost (line 8–9 of Algorithm 1)
     }
     const double cost =
-        base_cost(*model_, loads, arrival.user, ap,
-                  config_.count_weak_ties_in_cost ? -1.0
-                                                  : config_.theta_threshold);
+        social_cost(loads, arrival.user, ap,
+                    config_.count_weak_ties_in_cost ? -1.0
+                                                    : config_.theta_threshold);
     if (cost < best - kCostEps) {
       best = cost;
       ties.assign(1, ap);
@@ -114,8 +126,10 @@ ApId S3Selector::select_one(const sim::Arrival& arrival,
   return least_loaded_of(ties, loads, config_.llf_metric);
 }
 
-std::vector<ApId> S3Selector::select_batch(std::span<const sim::Arrival> batch,
-                                           const sim::ApLoadTracker& loads) {
+sim::BatchResult S3Selector::place_batch(const sim::BatchRequest& request,
+                                         const sim::ApLoadTracker& loads) {
+  const std::span<const sim::Arrival> batch = request.arrivals;
+  controls_ = request.faults;
   if (batch.empty()) return {};
   ++stats_.batches;
   if (degraded()) {
@@ -124,7 +138,9 @@ std::vector<ApId> S3Selector::select_batch(std::span<const sim::Arrival> batch,
     // the same deployed-controller policy the pseudocode falls back to.
     ++stats_.degraded_batches;
     last_full_fidelity_ = controls_.model_available;
-    return llf_.select_batch(batch, loads);
+    sim::BatchResult fallback = llf_.place_batch(request, loads);
+    fallback.full_fidelity = last_full_fidelity_;
+    return fallback;
   }
   last_full_fidelity_ = true;
   std::vector<ApId> result(batch.size(), kInvalidAp);
@@ -137,11 +153,23 @@ std::vector<ApId> S3Selector::select_batch(std::span<const sim::Arrival> batch,
   };
 
   // ---- Social graph over the batch (vertices = batch indices) -------
+  // One theta_row per vertex against the suffix of the batch: θ is
+  // symmetric, so the upper triangle covers every pair.
   social::WeightedGraph graph(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    for (std::size_t j = i + 1; j < batch.size(); ++j) {
-      const double th = model_->theta(batch[i].user, batch[j].user);
-      if (th > config_.theta_threshold) graph.add_edge(i, j, th);
+  {
+    std::vector<UserId> users(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) users[i] = batch[i].user;
+    std::vector<double> row(batch.size(), 0.0);
+    for (std::size_t i = 0; i + 1 < batch.size(); ++i) {
+      const std::span<const UserId> vs =
+          std::span<const UserId>(users).subspan(i + 1);
+      const std::span<double> out = std::span<double>(row).first(vs.size());
+      model_->theta_row(users[i], vs, out);
+      for (std::size_t j = 0; j < vs.size(); ++j) {
+        if (out[j] > config_.theta_threshold) {
+          graph.add_edge(i, i + 1 + j, out[j]);
+        }
+      }
     }
   }
 
@@ -180,7 +208,7 @@ std::vector<ApId> S3Selector::select_batch(std::span<const sim::Arrival> batch,
     s3_metrics().clique_size->record(clique.size());
     place_clique_members(batch, clique, scratch, commit);
   }
-  return result;
+  return {std::move(result), last_full_fidelity_};
 }
 
 void S3Selector::place_clique_members(
@@ -190,24 +218,32 @@ void S3Selector::place_clique_members(
   const std::size_t m = clique.size();
 
   // Precompute, per member, the per-candidate base social cost against
-  // the committed state, and the intra-clique θ matrix.
+  // the committed state, and the intra-clique θ matrix (one theta_row
+  // per member against the later members — θ is symmetric).
   std::vector<std::vector<double>> member_base(m);
   for (std::size_t k = 0; k < m; ++k) {
     const sim::Arrival& a = batch[clique[k]];
     member_base[k].reserve(a.candidates.size());
     for (ApId ap : a.candidates) {
-      member_base[k].push_back(base_cost(
-          *model_, scratch, a.user, ap,
+      member_base[k].push_back(social_cost(
+          scratch, a.user, ap,
           config_.count_weak_ties_in_cost ? -1.0 : config_.theta_threshold));
     }
   }
   std::vector<double> theta(m * m, 0.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = i + 1; j < m; ++j) {
-      const double th =
-          model_->theta(batch[clique[i]].user, batch[clique[j]].user);
-      theta[i * m + j] = th;
-      theta[j * m + i] = th;
+  {
+    std::vector<UserId> members(m);
+    for (std::size_t k = 0; k < m; ++k) members[k] = batch[clique[k]].user;
+    std::vector<double> row(m, 0.0);
+    for (std::size_t i = 0; i + 1 < m; ++i) {
+      const std::span<const UserId> vs =
+          std::span<const UserId>(members).subspan(i + 1);
+      const std::span<double> out = std::span<double>(row).first(vs.size());
+      model_->theta_row(members[i], vs, out);
+      for (std::size_t j = 0; j < vs.size(); ++j) {
+        theta[i * m + (i + 1 + j)] = out[j];
+        theta[(i + 1 + j) * m + i] = out[j];
+      }
     }
   }
 

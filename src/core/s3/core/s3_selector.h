@@ -98,19 +98,13 @@ class S3Selector final : public sim::ApSelector {
                   const sim::ApLoadTracker& loads) override;
 
   /// Algorithm 1 over the whole batch; under a fault directive
-  /// (model outage / forced fallback) the batch is served by the
-  /// embedded LLF instead.
-  std::vector<ApId> select_batch(std::span<const sim::Arrival> batch,
-                                 const sim::ApLoadTracker& loads) override;
+  /// (request.faults: model outage / forced fallback) the batch is
+  /// served by the embedded LLF instead and the result reports reduced
+  /// fidelity.
+  sim::BatchResult place_batch(const sim::BatchRequest& request,
+                               const sim::ApLoadTracker& loads) override;
 
-  // Fault hooks (see sim::FaultControls and s3::fault).
-  void set_fault_controls(const sim::FaultControls& controls) override {
-    controls_ = controls;
-  }
   bool uses_social_model() const override { return true; }
-  bool last_batch_full_fidelity() const override {
-    return last_full_fidelity_;
-  }
 
   const S3Config& config() const noexcept { return config_; }
   const S3Stats& stats() const noexcept { return stats_; }
@@ -124,6 +118,12 @@ class S3Selector final : public sim::ApSelector {
                             const sim::ApLoadTracker& scratch,
                             const std::function<void(std::size_t, ApId)>& commit);
 
+  /// Social cost of adding `user` to `ap` against the committed state:
+  /// C(AP) = Σ_{w ∈ S(AP)} θ(user, w) over one batched theta_row call.
+  /// `threshold < 0` counts weak ties too.
+  double social_cost(const sim::ApLoadTracker& loads, UserId user, ApId ap,
+                     double threshold);
+
   /// True while a fault directive routes batches to the embedded LLF.
   bool degraded() const noexcept {
     return controls_.force_fallback || !controls_.model_available;
@@ -134,9 +134,14 @@ class S3Selector final : public sim::ApSelector {
   S3Config config_;
   LlfSelector llf_;
   S3Stats stats_;
+  /// Directives of the batch in flight (select_one consults them when
+  /// called standalone; place_batch refreshes them per request).
   sim::FaultControls controls_{};
   bool last_full_fidelity_ = true;
   bool warned_inexact_ = false;  ///< budget-exhaustion logged once
+  // theta_row scratch, reused across social_cost calls.
+  std::vector<UserId> row_users_;
+  std::vector<double> row_theta_;
 };
 
 }  // namespace s3::core

@@ -324,6 +324,7 @@ void ControllerEngine::flush() {
   const util::SimTime now = batch_deadline_;
 
   bool fallback = false;
+  sim::BatchRequest request;
   if (injector_ != nullptr) {
     // Drop candidates that are inside an outage window right now; a
     // request whose whole candidate set is down waits in the retry
@@ -345,25 +346,25 @@ void ControllerEngine::flush() {
       return;
     }
 
-    sim::FaultControls controls;
     const bool model_out = !injector_->model_available(now);
-    controls.model_available = !model_out;
-    controls.clique_node_budget = injector_->clique_budget(now);
+    request.faults.model_available = !model_out;
+    request.faults.clique_node_budget = injector_->clique_budget(now);
     fallback =
         degradation_.on_batch_start(model_out && policy_->uses_social_model());
-    controls.force_fallback = fallback;
-    policy_->set_fault_controls(controls);
+    request.faults.force_fallback = fallback;
   }
 
-  std::vector<ApId> chosen;
+  sim::BatchResult dispatched;
   {
     util::ScopedTimer timing(m.dispatch);
-    chosen = policy_->select_batch(batch_, tracker_);
+    request.arrivals = batch_;
+    dispatched = policy_->place_batch(request, tracker_);
   }
+  const std::vector<ApId>& chosen = dispatched.placements;
   S3_ASSERT(chosen.size() == batch_.size(),
             "replay: policy returned wrong batch arity");
   if (injector_ != nullptr && !fallback) {
-    degradation_.on_batch_end(policy_->last_batch_full_fidelity());
+    degradation_.on_batch_end(dispatched.full_fidelity);
   }
   const auto sessions = workload_->sessions();
   for (std::size_t i = 0; i < chosen.size(); ++i) {

@@ -2,17 +2,32 @@
 
 namespace s3::sim {
 
-std::vector<ApId> ApSelector::select_batch(std::span<const Arrival> batch,
-                                           const ApLoadTracker& loads) {
+BatchResult ApSelector::place_batch(const BatchRequest& request,
+                                    const ApLoadTracker& loads) {
   ApLoadTracker scratch = loads;
-  std::vector<ApId> out;
-  out.reserve(batch.size());
-  for (const Arrival& a : batch) {
+  BatchResult result;
+  result.placements.reserve(request.arrivals.size());
+  for (const Arrival& a : request.arrivals) {
     const ApId ap = select_one(a, scratch);
     scratch.associate(a.session_index, ap, a.user, a.demand_mbps);
-    out.push_back(ap);
+    result.placements.push_back(ap);
   }
-  return out;
+  return result;
 }
+
+// Shim definitions live out of line so the deprecation attribute fires
+// on callers, not here.
+std::vector<ApId> ApSelector::select_batch(std::span<const Arrival> batch,
+                                           const ApLoadTracker& loads) {
+  BatchResult result = place_batch(BatchRequest{batch, shim_faults_}, loads);
+  shim_fidelity_ = result.full_fidelity;
+  return std::move(result.placements);
+}
+
+void ApSelector::set_fault_controls(const FaultControls& controls) {
+  shim_faults_ = controls;
+}
+
+bool ApSelector::last_batch_full_fidelity() const { return shim_fidelity_; }
 
 }  // namespace s3::sim

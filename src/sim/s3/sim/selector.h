@@ -1,12 +1,13 @@
 // AP-selection policy interface.
 //
-// A controller hands the policy a batch of pending association requests
-// (arrivals observed within one dispatch window, all in the same
-// controller domain) together with the current association state, and
-// receives one AP per arrival. Baselines (LLF, strongest-RSSI, random)
-// implement select_one and inherit the sequential batch loop; S3
-// overrides select_batch to run its clique-dispersion algorithm on the
-// whole batch.
+// A controller hands the policy a BatchRequest — the pending
+// association requests observed within one dispatch window (all in the
+// same controller domain) plus the fault directives in force — together
+// with the current association state, and receives a BatchResult: one
+// AP per arrival and whether the batch was served at full fidelity.
+// Baselines (LLF, strongest-RSSI, random) implement select_one and
+// inherit the sequential batch loop; S3 overrides place_batch to run
+// its clique-dispersion algorithm on the whole batch.
 #pragma once
 
 #include <memory>
@@ -49,6 +50,24 @@ struct FaultControls {
   bool force_fallback = false;
 };
 
+/// One dispatch window's worth of work, handed to the policy as a
+/// single value: the arrivals plus the degradation directives in force
+/// while they are placed.
+struct BatchRequest {
+  std::span<const Arrival> arrivals;
+  FaultControls faults{};
+};
+
+/// What the policy did with a BatchRequest.
+struct BatchResult {
+  /// Chosen AP per arrival, aligned with BatchRequest::arrivals.
+  std::vector<ApId> placements;
+  /// False when the batch was served degraded (fallback policy) or
+  /// inexactly (e.g. S3's clique search hit its node budget). Feeds the
+  /// RECOVERING -> HEALTHY hysteresis of the degradation state machine.
+  bool full_fidelity = true;
+};
+
 class ApSelector {
  public:
   virtual ~ApSelector() = default;
@@ -60,12 +79,13 @@ class ApSelector {
   virtual ApId select_one(const Arrival& arrival,
                           const ApLoadTracker& loads) = 0;
 
-  /// Places a whole batch. The default assigns sequentially, applying
-  /// each placement to a scratch copy of the load state so that later
-  /// picks see earlier ones (LLF spreading a burst of arrivals).
-  /// Returned vector is aligned with `batch`.
-  virtual std::vector<ApId> select_batch(std::span<const Arrival> batch,
-                                         const ApLoadTracker& loads);
+  /// Places a whole batch under the request's fault directives. The
+  /// default ignores the directives (baselines have no model to lose)
+  /// and assigns sequentially, applying each placement to a scratch
+  /// copy of the load state so that later picks see earlier ones (LLF
+  /// spreading a burst of arrivals).
+  virtual BatchResult place_batch(const BatchRequest& request,
+                                  const ApLoadTracker& loads);
 
   /// Notification that the engine committed a placement (policies that
   /// maintain internal state — e.g. S3's view of who is where — hook
@@ -74,20 +94,29 @@ class ApSelector {
   virtual void on_disconnect(std::size_t /*session_index*/, UserId /*user*/,
                              ApId /*ap*/, util::SimTime /*when*/) {}
 
-  // Fault/degradation hooks (s3::fault). The engine pushes controls
-  // before every batch while an injector is active and reads fidelity
-  // back after dispatch; the defaults make every baseline trivially
-  // fault-transparent.
-
-  /// Applies degradation directives for the next batch(es).
-  virtual void set_fault_controls(const FaultControls& /*controls*/) {}
   /// True for policies that depend on an external social model and so
   /// degrade when the injector declares a model outage.
   virtual bool uses_social_model() const { return false; }
-  /// Whether the most recent select_batch ran at full fidelity (e.g.
-  /// S3's clique cover stayed exact). Feeds the RECOVERING -> HEALTHY
-  /// hysteresis of the degradation state machine.
-  virtual bool last_batch_full_fidelity() const { return true; }
+
+  // ---- Deprecated shims (pre-BatchRequest API) ------------------------
+  //
+  // The split select_batch / set_fault_controls /
+  // last_batch_full_fidelity protocol is folded into place_batch; these
+  // keep out-of-tree callers compiling. They are non-virtual: policies
+  // customize batching by overriding place_batch only.
+
+  [[deprecated("use place_batch(BatchRequest, loads)")]]
+  std::vector<ApId> select_batch(std::span<const Arrival> batch,
+                                 const ApLoadTracker& loads);
+  [[deprecated("pass controls in BatchRequest::faults")]]
+  void set_fault_controls(const FaultControls& controls);
+  [[deprecated("read BatchResult::full_fidelity")]]
+  bool last_batch_full_fidelity() const;
+
+ private:
+  // State backing the deprecated shims only.
+  FaultControls shim_faults_{};
+  bool shim_fidelity_ = true;
 };
 
 /// Builds one policy instance per controller shard.

@@ -1,6 +1,10 @@
 #include "s3/social/graph.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "s3/social/social_index.h"
 
 namespace s3::social {
 
@@ -49,6 +53,45 @@ WeightedGraph WeightedGraph::without(
   }
   if (remap_out) *remap_out = std::move(keep);
   return g;
+}
+
+WeightedGraph build_theta_graph(const ThetaProvider& model, double threshold) {
+  const std::size_t n = model.num_users();
+  WeightedGraph graph(n);
+  if (n < 2) return graph;
+
+  // Pruned path: when the type prior alone cannot clear the threshold,
+  // a pair without recorded history has θ = α·T ≤ max_type_term <
+  // threshold — so only the store's recorded pairs can produce edges,
+  // and the CSR neighbor index enumerates exactly those.
+  if (const auto* indexed = dynamic_cast<const SocialIndexModel*>(&model);
+      indexed != nullptr && indexed->pair_stats().has_neighbor_index() &&
+      indexed->max_type_term() < threshold) {
+    for (UserId u = 0; u + 1 < n; ++u) {
+      for (UserId v : indexed->pair_stats().neighbors(u)) {
+        if (v <= u) continue;  // each pair once, from its smaller endpoint
+        const double th = indexed->theta(u, v);
+        if (std::isfinite(th) && th >= threshold) graph.add_edge(u, v, th);
+      }
+    }
+    return graph;
+  }
+
+  std::vector<UserId> ids(n);
+  std::iota(ids.begin(), ids.end(), UserId{0});
+  std::vector<double> row(n, 0.0);
+  for (std::size_t u = 0; u + 1 < n; ++u) {
+    const std::span<const UserId> vs =
+        std::span<const UserId>(ids).subspan(u + 1);
+    const std::span<double> out = std::span<double>(row).first(vs.size());
+    model.theta_row(static_cast<UserId>(u), vs, out);
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      if (std::isfinite(out[i]) && out[i] >= threshold) {
+        graph.add_edge(u, vs[i], out[i]);
+      }
+    }
+  }
+  return graph;
 }
 
 }  // namespace s3::social

@@ -9,6 +9,8 @@
 
 namespace s3::social {
 
+class ThetaProvider;
+
 /// Fixed-capacity bitset sized at construction; supports the set
 /// operations the Östergård search needs.
 class Bitset {
@@ -129,5 +131,14 @@ class WeightedGraph {
   std::vector<Bitset> adj_;
   std::vector<double> weights_;
 };
+
+/// The full social graph of a model: vertices are all user ids, with an
+/// edge (u, v, θ(u,v)) wherever θ(u,v) >= threshold (the validators'
+/// edge rule). When the provider is a SocialIndexModel whose pair store
+/// has a neighbor index and whose type prior alone cannot reach the
+/// threshold (max_type_term() < threshold), only pairs with recorded
+/// history are enumerated — O(recorded pairs) instead of O(users²).
+/// Otherwise every pair is scored through the batched theta_row kernel.
+WeightedGraph build_theta_graph(const ThetaProvider& model, double threshold);
 
 }  // namespace s3::social

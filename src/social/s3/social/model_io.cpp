@@ -1,5 +1,7 @@
 #include "s3/social/model_io.h"
 
+#include <bit>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -8,6 +10,40 @@ namespace s3::social {
 namespace {
 
 constexpr std::string_view kMagic = "# s3lb social model v1";
+// 8 bytes, deliberately not valid UTF-8 text past the version byte so a
+// text parser bails on byte one.
+constexpr char kBinaryMagic[8] = {'s', '3', 'l', 'b', 'm', 'd', 'l', '\x01'};
+
+static_assert(std::endian::native == std::endian::little,
+              "binary model format assumes a little-endian host");
+
+template <typename T>
+void put(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+bool get(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  return static_cast<bool>(is);
+}
+
+template <typename T>
+void put_vec(std::ostream& os, const std::vector<T>& v) {
+  if (!v.empty()) {
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool get_vec(std::istream& is, std::vector<T>& v, std::size_t n) {
+  v.resize(n);
+  if (n == 0) return true;
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  return static_cast<bool>(is);
+}
 
 }  // namespace
 
@@ -44,9 +80,11 @@ bool write_model(std::ostream& os, const SocialIndexModel& model) {
   os << '\n';
 
   os << "pairs " << model.pair_stats().size() << '\n';
-  for (const auto& [pair, stats] : model.pair_stats()) {
-    os << pair.a << ' ' << pair.b << ' ' << stats.encounters << ' '
-       << stats.co_leaves << ' ' << stats.co_comings << '\n';
+  // Canonical (a, b) order: file bytes depend only on model contents,
+  // never on hash capacity or insertion history.
+  for (const PairStore::Entry& e : model.pair_stats().sorted_entries()) {
+    os << e.pair.a << ' ' << e.pair.b << ' ' << e.stats.encounters << ' '
+       << e.stats.co_leaves << ' ' << e.stats.co_comings << '\n';
   }
   return static_cast<bool>(os);
 }
@@ -179,13 +217,12 @@ ModelReadResult read_model(std::istream& is) {
     }
   }
 
-  analysis::PairStatsMap stats;
-  stats.reserve(num_pairs);
+  PairStore stats(num_pairs);
   for (std::size_t p = 0; p < num_pairs; ++p) {
     if (!std::getline(is, line)) return fail("truncated pair list");
     std::istringstream ls(line);
     UserId a, b;
-    analysis::PairEventStats ps;
+    PairStore::Stats ps;
     if (!(ls >> a >> b >> ps.encounters >> ps.co_leaves >> ps.co_comings)) {
       return fail("bad pair row " + std::to_string(p));
     }
@@ -196,7 +233,7 @@ ModelReadResult read_model(std::istream& is) {
       return fail("pair row " + std::to_string(p) +
                   ": co_leaves exceed encounters");
     }
-    stats[UserPair(a, b)] = ps;
+    stats.assign(UserPair(a, b), ps);
   }
 
   return {SocialIndexModel::from_parts(config, std::move(stats),
@@ -208,6 +245,158 @@ ModelReadResult read_model_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) return {std::nullopt, "cannot open " + path};
   return read_model(is);
+}
+
+bool write_model_binary(std::ostream& os, const SocialIndexModel& model) {
+  os.write(kBinaryMagic, sizeof kBinaryMagic);
+  const UserTyping& typing = model.typing();
+  put(os, model.alpha());
+  put(os, model.config().events.co_leave_window.seconds());
+  put(os, model.config().events.min_encounter_overlap.seconds());
+  put(os, model.config().trained_end_s);
+  put(os, static_cast<std::uint64_t>(typing.type_of_user.size()));
+  put(os, static_cast<std::uint64_t>(typing.num_types));
+
+  std::vector<std::uint32_t> types(typing.type_of_user.begin(),
+                                   typing.type_of_user.end());
+  put_vec(os, types);
+  put_vec(os, typing.centroids);
+
+  const TypeCoLeaveMatrix& m = model.type_matrix();
+  for (std::size_t i = 0; i < m.num_types(); ++i) {
+    for (std::size_t j = 0; j < m.num_types(); ++j) put(os, m.at(i, j));
+  }
+
+  put(os, static_cast<std::uint64_t>(model.pair_stats().size()));
+  for (const PairStore::Entry& e : model.pair_stats().sorted_entries()) {
+    put(os, e.pair.a);
+    put(os, e.pair.b);
+    put(os, e.stats.encounters);
+    put(os, e.stats.co_leaves);
+    put(os, e.stats.co_comings);
+  }
+  return static_cast<bool>(os);
+}
+
+ModelReadResult read_model_binary(std::istream& is) {
+  auto fail = [](const std::string& why) {
+    return ModelReadResult{std::nullopt, "binary model: " + why};
+  };
+
+  char magic[sizeof kBinaryMagic] = {};
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kBinaryMagic, sizeof magic) != 0) {
+    return fail("missing magic");
+  }
+
+  SocialModelConfig config;
+  std::int64_t window_s = 0, overlap_s = 0;
+  std::uint64_t num_users = 0, num_types = 0;
+  if (!get(is, config.alpha) || !get(is, window_s) || !get(is, overlap_s) ||
+      !get(is, config.trained_end_s) || !get(is, num_users) ||
+      !get(is, num_types)) {
+    return fail("truncated header");
+  }
+  if (config.alpha < 0.0) return fail("negative alpha");
+  if (window_s <= 0 || overlap_s <= 0) return fail("bad event windows");
+  if (num_users == 0 || num_types == 0) return fail("bad counts");
+  if (config.trained_end_s < -1) return fail("bad trained_end_s");
+  config.events.co_leave_window = util::SimTime(window_s);
+  config.events.min_encounter_overlap = util::SimTime(overlap_s);
+
+  UserTyping typing;
+  typing.num_types = num_types;
+  std::vector<std::uint32_t> types;
+  if (!get_vec(is, types, num_users)) return fail("truncated typing");
+  typing.type_of_user.reserve(num_users);
+  for (std::uint32_t t : types) {
+    if (t >= num_types) return fail("type id out of range");
+    typing.type_of_user.push_back(t);
+  }
+  if (!get_vec(is, typing.centroids, num_types * apps::kNumCategories)) {
+    return fail("truncated centroids");
+  }
+
+  std::vector<double> matrix_values;
+  if (!get_vec(is, matrix_values, num_types * num_types)) {
+    return fail("truncated matrix");
+  }
+  TypeCoLeaveMatrix matrix(num_types);
+  for (std::size_t i = 0; i < num_types; ++i) {
+    for (std::size_t j = i; j < num_types; ++j) {
+      const double a = matrix_values[i * num_types + j];
+      const double b = matrix_values[j * num_types + i];
+      if (a != b) return fail("matrix not symmetric");
+      matrix.set(i, j, a);
+    }
+  }
+
+  std::uint64_t num_pairs = 0;
+  if (!get(is, num_pairs)) return fail("truncated pair count");
+  PairStore stats(num_pairs);
+  for (std::uint64_t p = 0; p < num_pairs; ++p) {
+    UserId a = 0, b = 0;
+    PairStore::Stats ps;
+    if (!get(is, a) || !get(is, b) || !get(is, ps.encounters) ||
+        !get(is, ps.co_leaves) || !get(is, ps.co_comings)) {
+      return fail("truncated pair list");
+    }
+    if (a >= num_users || b >= num_users || a == b) {
+      return fail("pair row " + std::to_string(p) + ": bad user ids");
+    }
+    if (ps.co_leaves > ps.encounters) {
+      return fail("pair row " + std::to_string(p) +
+                  ": co_leaves exceed encounters");
+    }
+    stats.assign(UserPair(a, b), ps);
+  }
+
+  return {SocialIndexModel::from_parts(config, std::move(stats),
+                                       std::move(typing), std::move(matrix)),
+          ""};
+}
+
+std::optional<ModelFormat> parse_model_format(const std::string& name) {
+  if (name == "text") return ModelFormat::kTextV1;
+  if (name == "binary") return ModelFormat::kBinaryV1;
+  if (name == "auto") return ModelFormat::kAuto;
+  return std::nullopt;
+}
+
+bool save_model(const std::string& path, const SocialIndexModel& model,
+                ModelFormat format) {
+  S3_REQUIRE(format != ModelFormat::kAuto,
+             "save_model: kAuto is a load-only format");
+  if (format == ModelFormat::kBinaryV1) {
+    std::ofstream os(path, std::ios::binary);
+    return os && write_model_binary(os, model);
+  }
+  return write_model_file(path, model);
+}
+
+ModelReadResult load_model(const std::string& path, ModelFormat format) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {std::nullopt, "cannot open " + path};
+  if (format == ModelFormat::kAuto) {
+    char first = 0;
+    format = ModelFormat::kTextV1;
+    if (is.get(first)) {
+      if (first == kBinaryMagic[0]) {
+        // Could still be text that happens to start with 's'; check the
+        // full magic before committing.
+        char rest[sizeof kBinaryMagic - 1] = {};
+        is.read(rest, sizeof rest);
+        if (is &&
+            std::memcmp(rest, kBinaryMagic + 1, sizeof rest) == 0) {
+          format = ModelFormat::kBinaryV1;
+        }
+      }
+    }
+    is.clear();
+    is.seekg(0);
+  }
+  return format == ModelFormat::kBinaryV1 ? read_model_binary(is)
+                                          : read_model(is);
 }
 
 }  // namespace s3::social

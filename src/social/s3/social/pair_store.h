@@ -1,0 +1,218 @@
+// Flat pair-keyed storage for social statistics — the table behind
+// every θ(u,v) lookup.
+//
+// std::unordered_map<UserPair, PairEventStats> puts each entry in its
+// own heap node: a θ probe costs a hash, a bucket-array load, and at
+// least one pointer chase to a cache line shared with nothing useful.
+// PairStore packs the canonical pair into one 64-bit key and stores
+// key + counters inline in a single contiguous power-of-two slot array
+// with linear probing, so a probe is a multiply-shift hash plus a short
+// streak of adjacent cache lines. Deletion is backward-shift (no
+// tombstones), so chains never decay. A frozen table can additionally
+// build a CSR-style per-user neighbor index: for every user, the
+// sorted list of partners it has recorded history with, plus the slot
+// of each pair's counters — the iteration order graph construction
+// wants and the hash table cannot give.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "s3/analysis/events.h"
+#include "s3/util/error.h"
+#include "s3/util/ids.h"
+
+namespace s3::social {
+
+class PairStore {
+ public:
+  using Stats = analysis::PairEventStats;
+
+  PairStore() = default;
+  /// Pre-sizes the table for `expected_pairs` entries (no rehash until
+  /// the load-factor bound is crossed).
+  explicit PairStore(std::size_t expected_pairs) { reserve(expected_pairs); }
+
+  /// Canonical 64-bit key: high word = smaller id, low word = larger.
+  static constexpr std::uint64_t pack(UserPair p) noexcept {
+    return (static_cast<std::uint64_t>(p.a) << 32) | p.b;
+  }
+  static constexpr UserPair unpack(std::uint64_t key) noexcept {
+    return UserPair(static_cast<UserId>(key >> 32),
+                    static_cast<UserId>(key & 0xffffffffULL));
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  /// Slot-array length (power of two; 0 before the first insert).
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Pointer to the pair's counters, or nullptr if absent. Never
+  /// invalidated by other lookups; invalidated by any mutation.
+  const Stats* find(UserPair p) const noexcept {
+    if (size_ == 0) return nullptr;
+    const std::uint64_t key = pack(p);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+      if (slots_[i].key == key) return &slots_[i].stats;
+      if (slots_[i].key == kEmptyKey) return nullptr;
+    }
+  }
+  Stats* find(UserPair p) noexcept {
+    return const_cast<Stats*>(std::as_const(*this).find(p));
+  }
+
+  /// Counters for `p`, default-constructed on first touch.
+  Stats& upsert(UserPair p);
+
+  /// Inserts or overwrites; returns true when the pair was new.
+  bool assign(UserPair p, const Stats& stats);
+
+  /// Removes the pair (backward-shift, no tombstone). Returns whether
+  /// it existed.
+  bool erase(UserPair p);
+
+  void clear();
+  void reserve(std::size_t expected_pairs);
+
+  /// Applies fn(UserPair, const Stats&) to every entry, in slot order
+  /// (deterministic for a fixed insertion history, but not sorted).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != kEmptyKey) fn(unpack(s.key), s.stats);
+    }
+  }
+
+  struct Entry {
+    UserPair pair;
+    Stats stats;
+  };
+  /// All entries sorted by (a, b) — the canonical order serialization
+  /// uses so written models do not depend on table capacity or
+  /// insertion order.
+  std::vector<Entry> sorted_entries() const;
+
+ private:
+  struct Slot;  // defined below; declared here for const_iterator
+
+ public:
+  // Range-for support: yields {UserPair pair, const Stats& stats}.
+  class const_iterator {
+   public:
+    struct value_type {
+      UserPair pair;
+      const Stats& stats;
+    };
+    value_type operator*() const { return {unpack(at_->key), at_->stats}; }
+    const_iterator& operator++() {
+      ++at_;
+      skip();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return at_ == o.at_; }
+    bool operator!=(const const_iterator& o) const { return at_ != o.at_; }
+
+   private:
+    friend class PairStore;
+    const_iterator(const Slot* at, const Slot* end) : at_(at), end_(end) {
+      skip();
+    }
+    void skip() {
+      while (at_ != end_ && at_->key == kEmptyKey) ++at_;
+    }
+    const Slot* at_;
+    const Slot* end_;
+  };
+  const_iterator begin() const {
+    return {slots_.data(), slots_.data() + slots_.size()};
+  }
+  const_iterator end() const {
+    return {slots_.data() + slots_.size(), slots_.data() + slots_.size()};
+  }
+
+  // ---- CSR neighbor index ----------------------------------------------
+  //
+  // Frozen-table accelerator: neighbors(u) is the ascending list of
+  // users that share a recorded pair with u; neighbor_slots(u) is the
+  // parallel list of slot indices of those pairs' counters. Any
+  // mutation (upsert of a new pair, erase, rehash) invalidates the
+  // index; updating counters of an existing pair does not.
+
+  /// Builds the index. Every recorded user id must be < num_users.
+  void build_neighbor_index(std::size_t num_users);
+  bool has_neighbor_index() const noexcept { return !nbr_offsets_.empty(); }
+  void drop_neighbor_index();
+
+  std::span<const UserId> neighbors(UserId u) const {
+    S3_REQUIRE(has_neighbor_index(), "PairStore: no neighbor index");
+    S3_REQUIRE(u + 1 < nbr_offsets_.size(),
+               "PairStore::neighbors: user out of range");
+    return std::span<const UserId>(nbr_ids_)
+        .subspan(nbr_offsets_[u], nbr_offsets_[u + 1] - nbr_offsets_[u]);
+  }
+  std::span<const std::uint32_t> neighbor_slots(UserId u) const {
+    S3_REQUIRE(has_neighbor_index(), "PairStore: no neighbor index");
+    S3_REQUIRE(u + 1 < nbr_offsets_.size(),
+               "PairStore::neighbor_slots: user out of range");
+    return std::span<const std::uint32_t>(nbr_slots_)
+        .subspan(nbr_offsets_[u], nbr_offsets_[u + 1] - nbr_offsets_[u]);
+  }
+  const Stats& stats_at(std::uint32_t slot) const {
+    S3_REQUIRE(slot < slots_.size() && slots_[slot].key != kEmptyKey,
+               "PairStore::stats_at: bad slot");
+    return slots_[slot].stats;
+  }
+
+  // ---- Conversions ------------------------------------------------------
+  static PairStore from_map(const analysis::PairStatsMap& map);
+  analysis::PairStatsMap to_map() const;
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    Stats stats{};
+  };
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;  // pair (max, max): a == b,
+                                                     // never storable
+  static constexpr std::size_t kMinCapacity = 16;
+
+  /// splitmix64 finalizer — the same mix UserPairHash uses, so the two
+  /// backends agree on distribution quality.
+  static std::size_t hash(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+
+  /// Slot for `key`: either its current position or the empty slot
+  /// where it belongs. Requires a non-full table.
+  std::size_t probe(std::uint64_t key) const noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(key) & mask;
+    while (slots_[i].key != kEmptyKey && slots_[i].key != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void rehash(std::size_t new_capacity);
+  void grow_if_needed() {
+    if (slots_.empty() || size_ + 1 > max_load_) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t max_load_ = 0;  ///< rehash when size_ would exceed this
+
+  // CSR index (empty = not built).
+  std::vector<std::size_t> nbr_offsets_;
+  std::vector<UserId> nbr_ids_;
+  std::vector<std::uint32_t> nbr_slots_;
+};
+
+}  // namespace s3::social

@@ -1,5 +1,6 @@
 #include "s3/social/social_index.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "s3/util/metrics.h"
@@ -12,6 +13,7 @@ struct ThetaMetrics {
   util::Counter* evals;        ///< θ(u,v) queries answered
   util::Counter* pair_lookups; ///< pair-history probes
   util::Counter* pair_hits;    ///< probes answered from learned pair stats
+  util::Counter* row_calls;    ///< batched theta_row invocations
 };
 
 const ThetaMetrics& theta_metrics() {
@@ -19,11 +21,18 @@ const ThetaMetrics& theta_metrics() {
       util::metrics().counter("social.theta_evals"),
       util::metrics().counter("social.pair_lookups"),
       util::metrics().counter("social.pair_hits"),
+      util::metrics().counter("social.theta_row_calls"),
   };
   return m;
 }
 
 }  // namespace
+
+void ThetaProvider::theta_row(UserId u, std::span<const UserId> vs,
+                              std::span<double> out) const {
+  S3_REQUIRE(out.size() >= vs.size(), "theta_row: output span too small");
+  for (std::size_t i = 0; i < vs.size(); ++i) out[i] = theta(u, vs[i]);
+}
 
 SocialIndexModel SocialIndexModel::train(const trace::Trace& training,
                                          const SocialModelConfig& config) {
@@ -46,11 +55,13 @@ SocialIndexModel SocialIndexModel::train(const trace::Trace& training,
   SocialIndexModel model;
   model.config_ = config;
   model.config_.trained_end_s = training.end_time().seconds();
-  model.stats_ = analysis::extract_pair_stats(window, config.events);
+  model.stats_ =
+      PairStore::from_map(analysis::extract_pair_stats(window, config.events));
 
   const apps::ProfileStore profiles = analysis::build_profiles(window);
   model.typing_ = cluster_users(profiles.normalized_profiles(), config.typing);
   model.matrix_ = estimate_type_matrix(model.typing_, model.stats_);
+  model.finalize();
   return model;
 }
 
@@ -58,11 +69,11 @@ double SocialIndexModel::co_leave_probability(UserId u, UserId v) const {
   if (u == v) return 0.0;
   const ThetaMetrics& m = theta_metrics();
   m.pair_lookups->add();
-  const auto it = stats_.find(UserPair(u, v));
-  if (it == stats_.end()) return 0.0;
-  if (it->second.encounters < config_.min_encounters) return 0.0;
+  const PairStore::Stats* stats = stats_.find(UserPair(u, v));
+  if (stats == nullptr) return 0.0;
+  if (stats->encounters < config_.min_encounters) return 0.0;
   m.pair_hits->add();
-  return it->second.co_leave_probability();
+  return stats->co_leave_probability();
 }
 
 double SocialIndexModel::theta(UserId u, UserId v) const {
@@ -76,8 +87,59 @@ double SocialIndexModel::theta(UserId u, UserId v) const {
   return co_leave_probability(u, v) + config_.alpha * type_term;
 }
 
+void SocialIndexModel::theta_row(UserId u, std::span<const UserId> vs,
+                                 std::span<double> out) const {
+  S3_REQUIRE(out.size() >= vs.size(), "theta_row: output span too small");
+  if (vs.empty()) return;
+  S3_REQUIRE(u < num_users(), "theta_row: user out of range");
+  const bool typed = matrix_.num_types() > 0;
+  const std::size_t type_u = typed ? typing_.type(u) : 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const UserId v = vs[i];
+    if (v == u) {
+      out[i] = 0.0;
+      continue;
+    }
+    S3_REQUIRE(v < num_users(), "theta_row: user out of range");
+    const double type_term = typed ? matrix_.at(type_u, typing_.type(v)) : 0.0;
+    // Same expression shape as theta(): P + α·T, so the batched and
+    // scalar paths agree bit for bit.
+    double p = 0.0;
+    ++lookups;
+    if (const PairStore::Stats* stats = stats_.find(UserPair(u, v));
+        stats != nullptr && stats->encounters >= config_.min_encounters) {
+      ++hits;
+      p = stats->co_leave_probability();
+    }
+    out[i] = p + config_.alpha * type_term;
+  }
+  const ThetaMetrics& m = theta_metrics();
+  m.row_calls->add();
+  m.evals->add(vs.size());
+  m.pair_lookups->add(lookups);
+  m.pair_hits->add(hits);
+}
+
+double SocialIndexModel::max_type_term() const {
+  double max_entry = 0.0;
+  for (std::size_t i = 0; i < matrix_.num_types(); ++i) {
+    for (std::size_t j = i; j < matrix_.num_types(); ++j) {
+      max_entry = std::max(max_entry, matrix_.at(i, j));
+    }
+  }
+  return config_.alpha * max_entry;
+}
+
+void SocialIndexModel::finalize() {
+  if (!typing_.type_of_user.empty() && !stats_.empty()) {
+    stats_.build_neighbor_index(typing_.type_of_user.size());
+  }
+}
+
 SocialIndexModel SocialIndexModel::from_parts(SocialModelConfig config,
-                                              analysis::PairStatsMap stats,
+                                              PairStore stats,
                                               UserTyping typing,
                                               TypeCoLeaveMatrix matrix) {
   SocialIndexModel model;
@@ -85,7 +147,16 @@ SocialIndexModel SocialIndexModel::from_parts(SocialModelConfig config,
   model.stats_ = std::move(stats);
   model.typing_ = std::move(typing);
   model.matrix_ = std::move(matrix);
+  model.finalize();
   return model;
+}
+
+SocialIndexModel SocialIndexModel::from_parts(SocialModelConfig config,
+                                              analysis::PairStatsMap stats,
+                                              UserTyping typing,
+                                              TypeCoLeaveMatrix matrix) {
+  return from_parts(std::move(config), PairStore::from_map(stats),
+                    std::move(typing), std::move(matrix));
 }
 
 }  // namespace s3::social

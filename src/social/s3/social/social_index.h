@@ -4,13 +4,18 @@
 //
 // P(L|E) comes from the pair's own encounter history; the type term is
 // the Table-I prior that covers pairs that never met. A trained model
-// is the knowledge base S3 queries at selection time.
+// is the knowledge base S3 queries at selection time. Pair history
+// lives in a flat open-addressing PairStore (one contiguous
+// allocation, no per-pair heap nodes) — θ probes are the hottest loads
+// in the whole system, one per pair per candidate AP per batch.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "s3/analysis/events.h"
 #include "s3/analysis/profiles.h"
+#include "s3/social/pair_store.h"
 #include "s3/social/typing.h"
 #include "s3/trace/trace.h"
 
@@ -50,6 +55,15 @@ class ThetaProvider {
   /// The social relation index θ(u,v) ≥ 0. Symmetric; 0 for u == v.
   virtual double theta(UserId u, UserId v) const = 0;
 
+  /// Batched kernel: out[i] = theta(u, vs[i]) for i < vs.size().
+  /// `out` must have at least vs.size() elements. The default loops
+  /// theta(); SocialIndexModel overrides it with one flat probe
+  /// sequence per row (no virtual dispatch, no per-pair hashing
+  /// overhead beyond the mix itself). Results are bit-identical to the
+  /// scalar path.
+  virtual void theta_row(UserId u, std::span<const UserId> vs,
+                         std::span<double> out) const;
+
   /// Number of users the provider knows about (ids must be < this).
   virtual std::size_t num_users() const = 0;
 };
@@ -68,27 +82,43 @@ class SocialIndexModel : public ThetaProvider {
   /// The social relation index θ(u,v). Symmetric; 0 for u == v.
   double theta(UserId u, UserId v) const override;
 
+  /// One flat probe sequence per row — see ThetaProvider::theta_row.
+  void theta_row(UserId u, std::span<const UserId> vs,
+                 std::span<double> out) const override;
+
   /// The pair-history term P(L|E) alone.
   double co_leave_probability(UserId u, UserId v) const;
 
+  /// Largest possible type-prior contribution α·max T(i,j). When this
+  /// stays below a θ threshold, only pairs with recorded history can
+  /// clear it — the pruning rule graph construction exploits.
+  double max_type_term() const;
+
   const UserTyping& typing() const noexcept { return typing_; }
   const TypeCoLeaveMatrix& type_matrix() const noexcept { return matrix_; }
-  const analysis::PairStatsMap& pair_stats() const noexcept { return stats_; }
+  const PairStore& pair_stats() const noexcept { return stats_; }
   double alpha() const noexcept { return config_.alpha; }
   const SocialModelConfig& config() const noexcept { return config_; }
   std::size_t num_users() const noexcept override {
     return typing_.type_of_user.size();
   }
 
-  /// Builds a model directly from parts (tests, serialization).
+  /// Builds a model directly from parts (tests, serialization). The
+  /// map overload converts into the flat store; both end in the same
+  /// representation.
+  static SocialIndexModel from_parts(SocialModelConfig config,
+                                     PairStore stats, UserTyping typing,
+                                     TypeCoLeaveMatrix matrix);
   static SocialIndexModel from_parts(SocialModelConfig config,
                                      analysis::PairStatsMap stats,
                                      UserTyping typing,
                                      TypeCoLeaveMatrix matrix);
 
  private:
+  void finalize();  ///< builds the CSR neighbor index over stats_
+
   SocialModelConfig config_{};
-  analysis::PairStatsMap stats_;
+  PairStore stats_;
   UserTyping typing_;
   TypeCoLeaveMatrix matrix_;
 };

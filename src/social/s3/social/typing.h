@@ -10,6 +10,7 @@
 #include "s3/apps/app_category.h"
 #include "s3/cluster/gap_statistic.h"
 #include "s3/cluster/kmeans.h"
+#include "s3/social/pair_store.h"
 #include "s3/util/ids.h"
 
 namespace s3::social {
@@ -81,7 +82,10 @@ class TypeCoLeaveMatrix {
 
 /// Estimates T from typed users and per-pair event statistics:
 /// T[i][j] = Σ co_leaves / Σ encounters over pairs with types {i, j}.
+/// Overloads cover both pair-stats backends (hash map and flat store).
 TypeCoLeaveMatrix estimate_type_matrix(const UserTyping& typing,
                                        const analysis::PairStatsMap& stats);
+TypeCoLeaveMatrix estimate_type_matrix(const UserTyping& typing,
+                                       const PairStore& stats);
 
 }  // namespace s3::social

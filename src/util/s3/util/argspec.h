@@ -1,0 +1,91 @@
+// Declarative command-line parsing shared by the s3lb CLI and the
+// bench binaries.
+//
+// Each subcommand declares a table of `ArgSpec{name, kind, help}` and
+// hands argv to `parse_args`. The parser accepts both `--name value`
+// and `--name=value`, validates typed operands eagerly (a typoed
+// `--users 12abc` fails at parse time instead of silently truncating),
+// and rejects unknown flags and stray positionals — so `s3lb replay`,
+// `s3lb check`, and every bench report the same errors the same way.
+//
+// Errors are returned, not printed: callers own the exit-code policy
+// (the CLI dies with "error: ..." on bad values but keeps usage-class
+// failures on exit 2; benches print usage and exit 2 for everything).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace s3::util {
+
+/// Operand type of one flag. kFlag takes no operand (presence only);
+/// the typed kinds require one and validate it during parsing.
+enum class ArgKind {
+  kInt,
+  kReal,
+  kString,
+  kFlag,
+};
+
+/// One row of a subcommand's flag table. `name` is spelled without the
+/// leading "--".
+struct ArgSpec {
+  std::string_view name;
+  ArgKind kind;
+  std::string_view help;
+};
+
+/// Strict integer parse: the whole token must be a decimal integer in
+/// range. Returns an error message naming the flag ("" on success).
+/// strtol's silent `12abc` -> 12 and out-of-range saturation both
+/// masked typos.
+std::string parse_integer(std::string_view flag, std::string_view text,
+                          long& value);
+
+/// Strict floating-point parse; same contract as parse_integer.
+std::string parse_number(std::string_view flag, std::string_view text,
+                         double& value);
+
+/// Validated flag values. Typed accessors cannot fail: the operands
+/// were checked against their declared kind during parse_args.
+struct ParsedArgs {
+  std::map<std::string, std::string, std::less<>> values;
+
+  bool has(std::string_view key) const {
+    return values.find(key) != values.end();
+  }
+  std::string get(std::string_view key, const std::string& def = "") const {
+    const auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+  }
+  long num(std::string_view key, long def) const;
+  double real(std::string_view key, double def) const;
+};
+
+/// How a parse failed — callers map the class to their exit policy.
+enum class ArgErrorKind {
+  kNone,   ///< success
+  kUsage,  ///< unknown flag or stray positional argument
+  kValue,  ///< typed operand malformed, out of range, or missing
+};
+
+struct ArgParseResult {
+  ParsedArgs args;
+  std::string error;  ///< empty on success
+  ArgErrorKind error_kind = ArgErrorKind::kNone;
+  bool want_help = false;  ///< --help / -h seen (parsing stops there)
+
+  bool ok() const { return error_kind == ArgErrorKind::kNone; }
+};
+
+/// Parses argv[first..argc) against the spec table. Stops at the first
+/// error; `--help` / `-h` short-circuits with want_help set.
+ArgParseResult parse_args(std::span<const ArgSpec> specs, int argc,
+                          char** argv, int first);
+
+/// One "  --name KIND  help" line per spec, for usage text.
+std::string format_arg_specs(std::span<const ArgSpec> specs);
+
+}  // namespace s3::util

@@ -73,7 +73,7 @@ TEST(LlfSelector, BatchSeesOwnPlacements) {
     batch.push_back(a);
   }
   LlfSelector llf;
-  const auto chosen = llf.select_batch(batch, loads);
+  const auto chosen = llf.place_batch({batch}, loads).placements;
   // Alternates between the two APs: 2 each.
   EXPECT_EQ(std::count(chosen.begin(), chosen.end(), 0u), 2);
   EXPECT_EQ(std::count(chosen.begin(), chosen.end(), 1u), 2);

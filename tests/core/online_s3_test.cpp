@@ -18,7 +18,8 @@ social::SocialIndexModel empty_model(std::size_t n, double alpha = 0.3) {
   typing.num_types = 1;
   typing.type_of_user.assign(n, 0);
   typing.centroids.assign(apps::kNumCategories, 0.0);
-  return social::SocialIndexModel::from_parts(cfg, {}, std::move(typing),
+  return social::SocialIndexModel::from_parts(cfg, social::PairStore{},
+                                              std::move(typing),
                                               social::TypeCoLeaveMatrix(1));
 }
 
@@ -203,12 +204,12 @@ TEST(OnlineSocialModel, AgreesWithOfflineExtractorExactly) {
   for (const auto& [pair, off] : offline) {
     if (off.encounters == 0) continue;
     ++offline_encounter_pairs;
-    const auto it = check.pair_stats().find(pair);
-    ASSERT_NE(it, check.pair_stats().end())
+    const social::PairStore::Stats* live = check.pair_stats().find(pair);
+    ASSERT_NE(live, nullptr)
         << "pair " << pair.a << "," << pair.b << " missing online";
-    EXPECT_EQ(it->second.encounters, off.encounters)
+    EXPECT_EQ(live->encounters, off.encounters)
         << "pair " << pair.a << "," << pair.b;
-    EXPECT_EQ(it->second.co_leaves, off.co_leaves)
+    EXPECT_EQ(live->co_leaves, off.co_leaves)
         << "pair " << pair.a << "," << pair.b;
   }
   std::size_t online_encounter_pairs = 0;

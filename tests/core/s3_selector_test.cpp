@@ -122,7 +122,7 @@ TEST(S3Selector, BatchDispersesClique) {
     batch.push_back(arrival(u, u, {0, 1, 2, 3}));
   }
   S3Selector s3(&net, &model);
-  const auto chosen = s3.select_batch(batch, loads);
+  const auto chosen = s3.place_batch({batch}, loads).placements;
   // Four candidates, four clique members: one per AP.
   const std::set<ApId> unique(chosen.begin(), chosen.end());
   EXPECT_EQ(unique.size(), 4u);
@@ -139,7 +139,7 @@ TEST(S3Selector, CliqueBiggerThanCandidateSetMinimizesOverlap) {
   std::vector<sim::Arrival> batch;
   for (UserId u = 0; u < 4; ++u) batch.push_back(arrival(u, u, {0, 1}));
   S3Selector s3(&net, &model);
-  const auto chosen = s3.select_batch(batch, loads);
+  const auto chosen = s3.place_batch({batch}, loads).placements;
   // Best dispersion over two APs is 2 + 2.
   EXPECT_EQ(std::count(chosen.begin(), chosen.end(), 0u), 2);
   EXPECT_EQ(std::count(chosen.begin(), chosen.end(), 1u), 2);
@@ -156,7 +156,7 @@ TEST(S3Selector, BatchAvoidsExistingAssociates) {
   std::vector<sim::Arrival> batch = {arrival(0, 0, {0, 1, 2}),
                                      arrival(1, 1, {0, 1, 2})};
   S3Selector s3(&net, &model);
-  const auto chosen = s3.select_batch(batch, loads);
+  const auto chosen = s3.place_batch({batch}, loads).placements;
   // User 0 must avoid AP 0 (resident friend) and user 1 must avoid
   // AP 1; they also avoid each other.
   EXPECT_NE(chosen[0], 0u);
@@ -172,7 +172,7 @@ TEST(S3Selector, MixedBatchSingletonsGetLlf) {
   // User 2 is a singleton in the batch: plain LLF -> AP 1.
   std::vector<sim::Arrival> batch = {arrival(0, 2, {0, 1})};
   S3Selector s3(&net, &model);
-  const auto chosen = s3.select_batch(batch, loads);
+  const auto chosen = s3.place_batch({batch}, loads).placements;
   EXPECT_EQ(chosen[0], 1u);
 }
 
@@ -181,7 +181,7 @@ TEST(S3Selector, EmptyBatch) {
   const auto model = explicit_model(1, {});
   sim::ApLoadTracker loads(net);
   S3Selector s3(&net, &model);
-  EXPECT_TRUE(s3.select_batch({}, loads).empty());
+  EXPECT_TRUE(s3.place_batch({}, loads).placements.empty());
 }
 
 TEST(S3Selector, BeamPathHandlesLargeClique) {
@@ -202,7 +202,7 @@ TEST(S3Selector, BeamPathHandlesLargeClique) {
   cfg.enumeration_limit = 1000;
   cfg.beam_width = 64;
   S3Selector s3(&net, &model, cfg);
-  const auto chosen = s3.select_batch(batch, loads);
+  const auto chosen = s3.place_batch({batch}, loads).placements;
   std::array<int, 6> counts{};
   for (ApId a : chosen) counts[a]++;
   for (int c : counts) EXPECT_EQ(c, 2);  // perfectly even
@@ -219,7 +219,7 @@ TEST(S3Selector, BalanceTieBreakPrefersLighterAps) {
   std::vector<sim::Arrival> batch = {arrival(0, 0, {0, 1, 2}, 1.0),
                                      arrival(1, 1, {0, 1, 2}, 1.0)};
   S3Selector s3(&net, &model);
-  const auto chosen = s3.select_batch(batch, loads);
+  const auto chosen = s3.place_batch({batch}, loads).placements;
   EXPECT_NE(chosen[0], chosen[1]);
   EXPECT_NE(chosen[0], 2u);
   EXPECT_NE(chosen[1], 2u);
@@ -241,10 +241,12 @@ TEST(S3Selector, BatchDeterministic) {
     batch.push_back(arrival(u, u, {0, 1, 2, 3}, 0.5 + 0.3 * u));
   }
   S3Selector a(&net, &model), b(&net, &model);
-  EXPECT_EQ(a.select_batch(batch, loads), b.select_batch(batch, loads));
+  EXPECT_EQ(a.place_batch({batch}, loads).placements,
+            b.place_batch({batch}, loads).placements);
   // Repeated invocation on the same selector is also stable (no hidden
   // state accumulates).
-  EXPECT_EQ(a.select_batch(batch, loads), b.select_batch(batch, loads));
+  EXPECT_EQ(a.place_batch({batch}, loads).placements,
+            b.place_batch({batch}, loads).placements);
 }
 
 TEST(S3Selector, TopFractionBoundaryTiesIncluded) {
@@ -261,7 +263,7 @@ TEST(S3Selector, TopFractionBoundaryTiesIncluded) {
   S3Config cfg;
   cfg.top_fraction = 0.01;  // would keep a single distribution pre-ties
   S3Selector s3(&net, &model, cfg);
-  const auto chosen = s3.select_batch(batch, loads);
+  const auto chosen = s3.place_batch({batch}, loads).placements;
   EXPECT_NE(chosen[0], 2u);
   EXPECT_NE(chosen[1], 2u);
   EXPECT_NE(chosen[0], chosen[1]);
@@ -287,7 +289,7 @@ TEST(S3Selector, StatsCountPaths) {
   for (UserId u = 0; u < 5; ++u) batch.push_back(arrival(u, u, {0, 1, 2, 3}));
   S3Selector s3(&net, &model);
   EXPECT_EQ(s3.stats().batches, 0u);
-  s3.select_batch(batch, loads);
+  (void)s3.place_batch({batch}, loads);
   const S3Stats& st = s3.stats();
   EXPECT_EQ(st.batches, 1u);
   EXPECT_EQ(st.cliques, 1u);
@@ -339,24 +341,52 @@ TEST(S3Selector, FaultControlsForceLlfFallback) {
   loads.associate(101, 2, 2, 1.0);  // AP 1 idle, AP 0/2 loaded
   S3Selector s3(&net, &model);
   EXPECT_TRUE(s3.uses_social_model());
+
+  // ...but with the model out the embedded LLF just takes the idle AP.
+  std::vector<sim::Arrival> batch{arrival(0, 0, {0, 1, 2})};
+  sim::BatchRequest request;
+  request.arrivals = batch;
+  request.faults.model_available = false;
+  const sim::BatchResult degraded = s3.place_batch(request, loads);
+  ASSERT_EQ(degraded.placements.size(), 1u);
+  EXPECT_EQ(degraded.placements[0], 1u);
+  EXPECT_EQ(s3.stats().degraded_batches, 1u);
+  EXPECT_FALSE(degraded.full_fidelity);
+
+  // Restoring the model restores full fidelity.
+  request.faults = sim::FaultControls{};
+  const sim::BatchResult healthy = s3.place_batch(request, loads);
+  EXPECT_TRUE(healthy.full_fidelity);
+  EXPECT_EQ(s3.stats().degraded_batches, 1u);
+}
+
+TEST(S3Selector, DeprecatedShimsStillDrivePlaceBatch) {
+  // Out-of-tree callers on the pre-BatchRequest API must keep working:
+  // set_fault_controls feeds the next select_batch, whose fidelity is
+  // readable through last_batch_full_fidelity.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto net = mini_network(3);
+  const auto model = explicit_model(3, {{0, 1, 4, 4}});
+  sim::ApLoadTracker loads(net);
+  loads.associate(100, 0, 1, 1.0);
+  loads.associate(101, 2, 2, 1.0);
+  S3Selector s3(&net, &model);
   EXPECT_TRUE(s3.last_batch_full_fidelity());
 
   sim::FaultControls controls;
   controls.model_available = false;
   s3.set_fault_controls(controls);
-  // ...but with the model out the embedded LLF just takes the idle AP.
   std::vector<sim::Arrival> batch{arrival(0, 0, {0, 1, 2})};
   const auto chosen = s3.select_batch(batch, loads);
   ASSERT_EQ(chosen.size(), 1u);
   EXPECT_EQ(chosen[0], 1u);
-  EXPECT_EQ(s3.stats().degraded_batches, 1u);
   EXPECT_FALSE(s3.last_batch_full_fidelity());
 
-  // Restoring the model restores full fidelity.
   s3.set_fault_controls(sim::FaultControls{});
   (void)s3.select_batch(batch, loads);
   EXPECT_TRUE(s3.last_batch_full_fidelity());
-  EXPECT_EQ(s3.stats().degraded_batches, 1u);
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

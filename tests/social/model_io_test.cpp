@@ -179,6 +179,129 @@ TEST(ModelIo, RejectsUserIdOutOfRange) {
   EXPECT_FALSE(r.model.has_value());
 }
 
+TEST(ModelIo, ParseModelFormatVocabulary) {
+  EXPECT_EQ(parse_model_format("text"), ModelFormat::kTextV1);
+  EXPECT_EQ(parse_model_format("binary"), ModelFormat::kBinaryV1);
+  EXPECT_EQ(parse_model_format("auto"), ModelFormat::kAuto);
+  EXPECT_FALSE(parse_model_format("csv").has_value());
+  EXPECT_FALSE(parse_model_format("").has_value());
+}
+
+TEST(ModelIo, BinaryRoundTripPreservesEverything) {
+  const SocialIndexModel original = sample_model();
+  std::stringstream ss;
+  ASSERT_TRUE(write_model_binary(ss, original));
+  const ModelReadResult r = read_model_binary(ss);
+  ASSERT_TRUE(r.model.has_value()) << r.error;
+  const SocialIndexModel& back = *r.model;
+  EXPECT_DOUBLE_EQ(back.alpha(), original.alpha());
+  EXPECT_EQ(back.num_users(), original.num_users());
+  EXPECT_EQ(back.typing().type_of_user, original.typing().type_of_user);
+  EXPECT_EQ(back.typing().centroids, original.typing().centroids);
+  EXPECT_EQ(back.pair_stats().size(), original.pair_stats().size());
+  for (UserId u = 0; u < 5; ++u) {
+    for (UserId v = u + 1; v < 5; ++v) {
+      // Binary stores the doubles verbatim: exact equality.
+      EXPECT_EQ(back.theta(u, v), original.theta(u, v));
+    }
+  }
+}
+
+TEST(ModelIo, BinaryRejectsTruncation) {
+  const SocialIndexModel original = sample_model();
+  std::stringstream ss;
+  ASSERT_TRUE(write_model_binary(ss, original));
+  const std::string full = ss.str();
+  for (const std::size_t cut : {std::size_t{4}, full.size() / 2,
+                                full.size() - 3}) {
+    std::stringstream trunc(full.substr(0, cut));
+    EXPECT_FALSE(read_model_binary(trunc).model.has_value()) << cut;
+  }
+}
+
+TEST(ModelIo, SaveLoadDispatchAndAutoSniff) {
+  const SocialIndexModel original = sample_model();
+  const std::string text_path = ::testing::TempDir() + "/s3lb_fmt.txt";
+  const std::string bin_path = ::testing::TempDir() + "/s3lb_fmt.bin";
+  ASSERT_TRUE(save_model(text_path, original, ModelFormat::kTextV1));
+  ASSERT_TRUE(save_model(bin_path, original, ModelFormat::kBinaryV1));
+
+  // kAuto sniffs either encoding from the leading bytes.
+  for (const std::string& path : {text_path, bin_path}) {
+    const ModelReadResult r = load_model(path);
+    ASSERT_TRUE(r.model.has_value()) << path << ": " << r.error;
+    EXPECT_DOUBLE_EQ(r.model->theta(0, 1), original.theta(0, 1)) << path;
+  }
+  // Concrete formats reject files of the other encoding.
+  EXPECT_FALSE(load_model(text_path, ModelFormat::kBinaryV1).model);
+  EXPECT_FALSE(load_model(bin_path, ModelFormat::kTextV1).model);
+  EXPECT_TRUE(load_model(text_path, ModelFormat::kTextV1).model.has_value());
+  EXPECT_TRUE(load_model(bin_path, ModelFormat::kBinaryV1).model.has_value());
+  // Saving needs a concrete format.
+  EXPECT_THROW(save_model(text_path, original, ModelFormat::kAuto),
+               std::invalid_argument);
+}
+
+TEST(ModelIo, SerializationIsIdenticalAcrossStorageBackends) {
+  // The same logical model assembled through the PairStatsMap overload
+  // and through a hand-built PairStore must serialize to identical
+  // bytes in both formats — written models depend only on contents,
+  // never on hash-table capacity or insertion order.
+  const SocialIndexModel via_map = sample_model();
+
+  SocialModelConfig cfg = via_map.config();
+  PairStore store;
+  // Insert in the opposite order, with extra churn to shift capacity.
+  store.assign(UserPair(2, 4), {2, 2, 0});
+  for (UserId v = 1; v < 40; ++v) store.upsert(UserPair(50 + v, 200 + v));
+  for (UserId v = 1; v < 40; ++v) store.erase(UserPair(50 + v, 200 + v));
+  store.assign(UserPair(0, 1), {5, 3, 2});
+  const SocialIndexModel via_store = SocialIndexModel::from_parts(
+      cfg, std::move(store), via_map.typing(), via_map.type_matrix());
+
+  std::stringstream text_a, text_b, bin_a, bin_b;
+  ASSERT_TRUE(write_model(text_a, via_map));
+  ASSERT_TRUE(write_model(text_b, via_store));
+  EXPECT_EQ(text_a.str(), text_b.str());
+  ASSERT_TRUE(write_model_binary(bin_a, via_map));
+  ASSERT_TRUE(write_model_binary(bin_b, via_store));
+  EXPECT_EQ(bin_a.str(), bin_b.str());
+}
+
+TEST(ModelIo, BinaryRoundTripTrainedModelAcrossFormats) {
+  trace::GeneratorConfig cfg;
+  cfg.seed = 13;
+  cfg.num_users = 120;
+  cfg.num_days = 5;
+  cfg.layout.num_buildings = 1;
+  cfg.layout.aps_per_building = 5;
+  const trace::GeneratedTrace g = trace::generate_campus_trace(cfg);
+  std::vector<ApId> aps;
+  wlan::RadioModel radio;
+  for (const trace::SessionRecord& s : g.workload.sessions()) {
+    aps.push_back(wlan::strongest_ap(g.network, radio, s.building, s.pos));
+  }
+  const SocialIndexModel trained =
+      SocialIndexModel::train(g.workload.with_assignments(aps), {});
+
+  // text -> model -> binary -> model: every theta must survive both
+  // hops exactly (text rounds through max_digits10, binary verbatim).
+  std::stringstream text;
+  ASSERT_TRUE(write_model(text, trained));
+  const ModelReadResult via_text = read_model(text);
+  ASSERT_TRUE(via_text.model.has_value()) << via_text.error;
+  std::stringstream bin;
+  ASSERT_TRUE(write_model_binary(bin, *via_text.model));
+  const ModelReadResult via_bin = read_model_binary(bin);
+  ASSERT_TRUE(via_bin.model.has_value()) << via_bin.error;
+  EXPECT_EQ(via_bin.model->pair_stats().size(), trained.pair_stats().size());
+  for (UserId u = 0; u < 120; u += 7) {
+    for (UserId v = u + 1; v < 120; v += 11) {
+      EXPECT_EQ(via_bin.model->theta(u, v), via_text.model->theta(u, v));
+    }
+  }
+}
+
 TEST(ModelIo, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/s3lb_model.txt";
   const SocialIndexModel original = sample_model();

@@ -1,0 +1,284 @@
+#include "s3/social/pair_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
+namespace s3::social {
+namespace {
+
+using Stats = PairStore::Stats;
+
+UserPair random_pair(std::mt19937_64& rng, UserId universe) {
+  std::uniform_int_distribution<UserId> pick(0, universe - 1);
+  UserId a = pick(rng);
+  UserId b = pick(rng);
+  while (b == a) b = pick(rng);
+  return UserPair(a, b);
+}
+
+TEST(PairStore, PackUnpackRoundTrip) {
+  const UserPair p(3, 0x7fffffffu);
+  EXPECT_EQ(PairStore::unpack(PairStore::pack(p)), p);
+  EXPECT_EQ(PairStore::pack(UserPair(0, 1)), 1u);
+}
+
+TEST(PairStore, EmptyTableBehaves) {
+  PairStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.capacity(), 0u);
+  EXPECT_EQ(store.find(UserPair(0, 1)), nullptr);
+  EXPECT_FALSE(store.erase(UserPair(0, 1)));
+  EXPECT_EQ(store.begin(), store.end());
+  std::size_t visited = 0;
+  store.for_each([&](UserPair, const Stats&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+}
+
+TEST(PairStore, UpsertFindEraseBasics) {
+  PairStore store;
+  Stats& s = store.upsert(UserPair(1, 2));
+  s.encounters = 7;
+  s.co_leaves = 3;
+  EXPECT_EQ(store.size(), 1u);
+  const Stats* found = store.find(UserPair(2, 1));  // canonical order
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->encounters, 7u);
+  EXPECT_TRUE(store.erase(UserPair(1, 2)));
+  EXPECT_EQ(store.find(UserPair(1, 2)), nullptr);
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(PairStore, AssignReportsNewVsOverwrite) {
+  PairStore store;
+  EXPECT_TRUE(store.assign(UserPair(0, 1), {1, 1, 0}));
+  EXPECT_FALSE(store.assign(UserPair(0, 1), {9, 2, 0}));
+  EXPECT_EQ(store.find(UserPair(0, 1))->encounters, 9u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(PairStore, GrowsThroughRehashesKeepingEntries) {
+  PairStore store;
+  // Far past kMinCapacity so several rehashes happen.
+  for (UserId v = 1; v <= 3000; ++v) {
+    store.upsert(UserPair(0, v)).encounters = v;
+  }
+  EXPECT_EQ(store.size(), 3000u);
+  // Power-of-two capacity with headroom.
+  EXPECT_EQ(store.capacity() & (store.capacity() - 1), 0u);
+  EXPECT_GT(store.capacity(), store.size());
+  for (UserId v = 1; v <= 3000; ++v) {
+    const Stats* s = store.find(UserPair(0, v));
+    ASSERT_NE(s, nullptr) << v;
+    EXPECT_EQ(s->encounters, v);
+  }
+}
+
+TEST(PairStore, RandomizedDifferentialAgainstUnorderedMap) {
+  // 1e5 random upsert/assign/erase/find operations over a small id
+  // universe (forcing dense collision chains and backward-shift
+  // deletions), mirrored into the reference std::unordered_map. The
+  // two backends must agree after every mutation batch and at the end.
+  std::mt19937_64 rng(20260805);
+  PairStore store;
+  analysis::PairStatsMap reference;
+  constexpr UserId kUniverse = 64;  // ~2016 distinct pairs
+  constexpr std::size_t kOps = 100'000;
+  std::uniform_int_distribution<int> op(0, 9);
+  for (std::size_t i = 0; i < kOps; ++i) {
+    const UserPair p = random_pair(rng, kUniverse);
+    switch (op(rng)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // upsert + bump
+        Stats& s = store.upsert(p);
+        Stats& r = reference[p];
+        ++s.encounters;
+        ++r.encounters;
+        break;
+      }
+      case 4:
+      case 5: {  // co-leave bump through upsert
+        Stats& s = store.upsert(p);
+        Stats& r = reference[p];
+        ++s.co_leaves;
+        ++r.co_leaves;
+        break;
+      }
+      case 6: {  // assign (overwrite)
+        const Stats fresh{static_cast<std::uint32_t>(i % 97), 0, 1};
+        store.assign(p, fresh);
+        reference[p] = fresh;
+        break;
+      }
+      case 7:
+      case 8: {  // erase
+        const bool a = store.erase(p);
+        const bool b = reference.erase(p) > 0;
+        ASSERT_EQ(a, b) << "op " << i;
+        break;
+      }
+      default: {  // find
+        const Stats* s = store.find(p);
+        const auto it = reference.find(p);
+        ASSERT_EQ(s != nullptr, it != reference.end()) << "op " << i;
+        if (s != nullptr) {
+          ASSERT_EQ(s->encounters, it->second.encounters) << "op " << i;
+          ASSERT_EQ(s->co_leaves, it->second.co_leaves) << "op " << i;
+        }
+        break;
+      }
+    }
+    if (i % 10'000 == 0) {
+      ASSERT_EQ(store.size(), reference.size()) << "op " << i;
+    }
+  }
+  // Full-state equivalence both directions.
+  ASSERT_EQ(store.size(), reference.size());
+  store.for_each([&](UserPair p, const Stats& s) {
+    const auto it = reference.find(p);
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(s.encounters, it->second.encounters);
+    EXPECT_EQ(s.co_leaves, it->second.co_leaves);
+    EXPECT_EQ(s.co_comings, it->second.co_comings);
+  });
+  for (const auto& [p, r] : reference) {
+    const Stats* s = store.find(p);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->encounters, r.encounters);
+  }
+}
+
+TEST(PairStore, SortedEntriesAreCanonicallyOrdered) {
+  std::mt19937_64 rng(7);
+  PairStore store;
+  for (int i = 0; i < 500; ++i) {
+    store.upsert(random_pair(rng, 40)).encounters = 1;
+  }
+  const std::vector<PairStore::Entry> entries = store.sorted_entries();
+  EXPECT_EQ(entries.size(), store.size());
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    const UserPair& a = entries[i - 1].pair;
+    const UserPair& b = entries[i].pair;
+    EXPECT_TRUE(a.a < b.a || (a.a == b.a && a.b < b.b));
+  }
+}
+
+TEST(PairStore, MapConversionsRoundTrip) {
+  std::mt19937_64 rng(11);
+  analysis::PairStatsMap map;
+  for (int i = 0; i < 800; ++i) {
+    map[random_pair(rng, 60)] = {static_cast<std::uint32_t>(i), 2, 1};
+  }
+  const PairStore store = PairStore::from_map(map);
+  EXPECT_EQ(store.size(), map.size());
+  const analysis::PairStatsMap back = store.to_map();
+  EXPECT_EQ(back.size(), map.size());
+  for (const auto& [p, s] : map) {
+    const auto it = back.find(p);
+    ASSERT_NE(it, back.end());
+    EXPECT_EQ(it->second.encounters, s.encounters);
+  }
+}
+
+TEST(PairStore, RangeForIterationMatchesForEach) {
+  std::mt19937_64 rng(3);
+  PairStore store;
+  for (int i = 0; i < 200; ++i) store.upsert(random_pair(rng, 30));
+  std::vector<UserPair> via_for_each;
+  store.for_each(
+      [&](UserPair p, const Stats&) { via_for_each.push_back(p); });
+  std::vector<UserPair> via_range;
+  for (const auto& [pair, stats] : store) {
+    via_range.push_back(pair);
+    (void)stats;
+  }
+  EXPECT_EQ(via_range, via_for_each);  // same slot order
+}
+
+TEST(PairStore, NeighborIndexListsSortedPartners) {
+  PairStore store;
+  store.upsert(UserPair(0, 3)).encounters = 1;
+  store.upsert(UserPair(0, 1)).encounters = 2;
+  store.upsert(UserPair(2, 3)).encounters = 3;
+  EXPECT_FALSE(store.has_neighbor_index());
+  store.build_neighbor_index(5);
+  ASSERT_TRUE(store.has_neighbor_index());
+
+  const std::span<const UserId> n0 = store.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 3u);
+  EXPECT_TRUE(store.neighbors(4).empty());
+
+  // neighbor_slots parallels neighbors: slot -> the pair's counters.
+  const std::span<const std::uint32_t> s3v = store.neighbor_slots(3);
+  const std::span<const UserId> n3 = store.neighbors(3);
+  ASSERT_EQ(s3v.size(), n3.size());
+  for (std::size_t i = 0; i < n3.size(); ++i) {
+    const Stats* direct = store.find(UserPair(3, n3[i]));
+    ASSERT_NE(direct, nullptr);
+    EXPECT_EQ(&store.stats_at(s3v[i]), direct);
+  }
+}
+
+TEST(PairStore, NeighborIndexMatchesBruteForceOnRandomTable) {
+  std::mt19937_64 rng(17);
+  PairStore store;
+  constexpr UserId kUsers = 50;
+  for (int i = 0; i < 400; ++i) store.upsert(random_pair(rng, kUsers));
+  store.build_neighbor_index(kUsers);
+  for (UserId u = 0; u < kUsers; ++u) {
+    std::vector<UserId> expected;
+    store.for_each([&](UserPair p, const Stats&) {
+      if (p.a == u) expected.push_back(p.b);
+      if (p.b == u) expected.push_back(p.a);
+    });
+    std::sort(expected.begin(), expected.end());
+    const std::span<const UserId> got = store.neighbors(u);
+    ASSERT_EQ(got.size(), expected.size()) << "u=" << u;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin()));
+  }
+}
+
+TEST(PairStore, MutationInvalidatesNeighborIndex) {
+  PairStore store;
+  store.upsert(UserPair(0, 1));
+  store.build_neighbor_index(2);
+  EXPECT_TRUE(store.has_neighbor_index());
+  ++store.upsert(UserPair(0, 1)).encounters;  // existing pair: index kept
+  EXPECT_TRUE(store.has_neighbor_index());
+  store.upsert(UserPair(0, 2));  // fresh pair: dropped
+  EXPECT_FALSE(store.has_neighbor_index());
+
+  store.build_neighbor_index(3);
+  store.erase(UserPair(0, 2));
+  EXPECT_FALSE(store.has_neighbor_index());
+  EXPECT_THROW(store.neighbors(0), std::invalid_argument);
+}
+
+TEST(PairStore, ReservePreventsRehash) {
+  PairStore store;
+  store.reserve(1000);
+  const std::size_t cap = store.capacity();
+  for (UserId v = 1; v <= 1000; ++v) store.upsert(UserPair(0, v));
+  EXPECT_EQ(store.capacity(), cap);
+}
+
+TEST(PairStore, ClearResetsEverything) {
+  PairStore store;
+  store.upsert(UserPair(0, 1));
+  store.build_neighbor_index(2);
+  store.clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.capacity(), 0u);
+  EXPECT_FALSE(store.has_neighbor_index());
+  EXPECT_EQ(store.find(UserPair(0, 1)), nullptr);
+}
+
+}  // namespace
+}  // namespace s3::social

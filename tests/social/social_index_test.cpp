@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "s3/trace/generator.h"
 #include "s3/util/stats.h"
 #include "s3/wlan/radio.h"
@@ -152,6 +154,67 @@ TEST(SocialIndexModel, HistoryDaysRestrictsLearning) {
   limited.history_days = 1;
   const SocialIndexModel without = SocialIndexModel::train(t, limited);
   EXPECT_DOUBLE_EQ(without.co_leave_probability(0, 1), 0.0);
+}
+
+TEST(SocialIndexModel, ThetaRowMatchesScalarBitwise) {
+  // The batched kernel is a perf path, not a semantics path: over a
+  // *trained* model (real pair table, real type matrix) every row
+  // entry must equal the scalar theta() bit for bit — replay
+  // byte-identity depends on it.
+  trace::GeneratorConfig cfg;
+  cfg.seed = 5;
+  cfg.num_users = 120;
+  cfg.num_days = 5;
+  cfg.layout.num_buildings = 1;
+  cfg.layout.aps_per_building = 5;
+  const trace::GeneratedTrace g = trace::generate_campus_trace(cfg);
+  std::vector<ApId> aps;
+  wlan::RadioModel radio;
+  for (const trace::SessionRecord& s : g.workload.sessions()) {
+    aps.push_back(wlan::strongest_ap(g.network, radio, s.building, s.pos));
+  }
+  const SocialIndexModel m =
+      SocialIndexModel::train(g.workload.with_assignments(aps), {});
+
+  std::vector<UserId> vs(m.num_users());
+  std::iota(vs.begin(), vs.end(), UserId{0});
+  std::vector<double> out(vs.size());
+  std::vector<double> base_out(vs.size());
+  for (UserId u = 0; u < m.num_users(); ++u) {
+    m.theta_row(u, vs, out);
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      // operator== — bit identity, not EXPECT_NEAR.
+      ASSERT_TRUE(out[i] == m.theta(u, vs[i]))
+          << "u=" << u << " v=" << vs[i];
+    }
+    // The unoverridden ThetaProvider default (a theta() loop) must
+    // agree with the flat-probe override exactly.
+    m.ThetaProvider::theta_row(u, vs, base_out);
+    ASSERT_TRUE(base_out == out) << "u=" << u;
+  }
+}
+
+TEST(SocialIndexModel, ThetaRowSupportsPartialAndEmptyRows) {
+  const SocialIndexModel m = toy_model(0.3);
+  const std::vector<UserId> vs = {2, 0, 1};
+  std::vector<double> out(vs.size());
+  m.theta_row(1, vs, out);
+  EXPECT_DOUBLE_EQ(out[0], m.theta(1, 2));
+  EXPECT_DOUBLE_EQ(out[1], m.theta(1, 0));
+  EXPECT_DOUBLE_EQ(out[2], 0.0);  // self
+  m.theta_row(0, std::span<const UserId>{}, std::span<double>{});
+}
+
+TEST(SocialIndexModel, MaxTypeTermBoundsThePrior) {
+  const SocialIndexModel m = toy_model(0.3);
+  EXPECT_NEAR(m.max_type_term(), 0.3 * 0.6, 1e-12);
+  for (UserId u = 0; u < 3; ++u) {
+    for (UserId v = 0; v < 3; ++v) {
+      if (u == v) continue;
+      EXPECT_LE(m.theta(u, v) - m.co_leave_probability(u, v),
+                m.max_type_term() + 1e-12);
+    }
+  }
 }
 
 TEST(SocialIndexModel, EndToEndOnGeneratedTrace) {

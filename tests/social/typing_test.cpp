@@ -127,7 +127,8 @@ TEST(EstimateTypeMatrix, NoEncountersGivesZero) {
   UserTyping typing;
   typing.num_types = 2;
   typing.type_of_user = {0, 1};
-  const TypeCoLeaveMatrix m = estimate_type_matrix(typing, {});
+  const TypeCoLeaveMatrix m =
+      estimate_type_matrix(typing, analysis::PairStatsMap{});
   EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
   EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
 }

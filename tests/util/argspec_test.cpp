@@ -1,0 +1,140 @@
+#include "s3/util/argspec.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace s3::util {
+namespace {
+
+constexpr ArgSpec kSpecs[] = {
+    {"users", ArgKind::kInt, "population"},
+    {"alpha", ArgKind::kReal, "weight"},
+    {"out", ArgKind::kString, "output file"},
+    {"metrics", ArgKind::kFlag, "dump counters"},
+};
+
+ArgParseResult parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return parse_args(kSpecs, static_cast<int>(argv.size()),
+                    const_cast<char**>(argv.data()), 1);
+}
+
+TEST(ArgSpec, AcceptsBothOperandForms) {
+  const ArgParseResult r =
+      parse({"--users", "12", "--alpha=0.5", "--out", "x.csv"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.args.num("users", 0), 12);
+  EXPECT_DOUBLE_EQ(r.args.real("alpha", 0.0), 0.5);
+  EXPECT_EQ(r.args.get("out"), "x.csv");
+}
+
+TEST(ArgSpec, DefaultsWhenAbsent) {
+  const ArgParseResult r = parse({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.args.num("users", 7), 7);
+  EXPECT_DOUBLE_EQ(r.args.real("alpha", 0.25), 0.25);
+  EXPECT_EQ(r.args.get("out", "def"), "def");
+  EXPECT_FALSE(r.args.has("metrics"));
+}
+
+TEST(ArgSpec, BareFlagNeedsNoOperand) {
+  const ArgParseResult r = parse({"--metrics", "--users", "3"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.args.has("metrics"));
+  EXPECT_EQ(r.args.num("users", 0), 3);
+}
+
+TEST(ArgSpec, FlagRejectsOperand) {
+  const ArgParseResult r = parse({"--metrics=yes"});
+  EXPECT_EQ(r.error_kind, ArgErrorKind::kValue);
+  EXPECT_EQ(r.error, "--metrics: takes no value");
+}
+
+TEST(ArgSpec, UnknownFlagIsUsageError) {
+  const ArgParseResult r = parse({"--thread", "4"});
+  EXPECT_EQ(r.error_kind, ArgErrorKind::kUsage);
+  EXPECT_EQ(r.error, "unknown flag: --thread");
+}
+
+TEST(ArgSpec, StrayPositionalIsUsageError) {
+  const ArgParseResult r = parse({"frob"});
+  EXPECT_EQ(r.error_kind, ArgErrorKind::kUsage);
+  EXPECT_EQ(r.error, "unexpected argument: frob");
+}
+
+TEST(ArgSpec, IntegerValidationIsEagerAndStrict) {
+  // The exact message shape the CLI end-to-end scripts grep for.
+  ArgParseResult r = parse({"--users", "12abc"});
+  EXPECT_EQ(r.error_kind, ArgErrorKind::kValue);
+  EXPECT_EQ(r.error, "--users: expected an integer, got \"12abc\"");
+  r = parse({"--users", "99999999999999999999999"});
+  EXPECT_EQ(r.error,
+            "--users: integer out of range: \"99999999999999999999999\"");
+  r = parse({"--users", "-3"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.args.num("users", 0), -3);
+}
+
+TEST(ArgSpec, RealValidationIsEagerAndStrict) {
+  ArgParseResult r = parse({"--alpha", "0.3x"});
+  EXPECT_EQ(r.error_kind, ArgErrorKind::kValue);
+  EXPECT_EQ(r.error, "--alpha: expected a number, got \"0.3x\"");
+  r = parse({"--alpha=-1.5e2"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.args.real("alpha", 0.0), -150.0);
+}
+
+TEST(ArgSpec, MissingOperandIsValueError) {
+  ArgParseResult r = parse({"--out"});
+  EXPECT_EQ(r.error_kind, ArgErrorKind::kValue);
+  EXPECT_EQ(r.error, "--out: expected a value");
+  // A following flag does not count as the operand.
+  r = parse({"--out", "--metrics"});
+  EXPECT_EQ(r.error, "--out: expected a value");
+}
+
+TEST(ArgSpec, EmptyEqualsOperandIsAllowedForStrings) {
+  const ArgParseResult r = parse({"--out="});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.args.has("out"));
+  EXPECT_EQ(r.args.get("out", "def"), "");
+}
+
+TEST(ArgSpec, HelpShortCircuits) {
+  ArgParseResult r = parse({"--help"});
+  EXPECT_TRUE(r.want_help);
+  EXPECT_TRUE(r.ok());
+  r = parse({"-h", "--users", "12abc"});
+  EXPECT_TRUE(r.want_help);  // stops before the bad operand
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ArgSpec, LastOccurrenceWins) {
+  const ArgParseResult r = parse({"--users", "1", "--users=2"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.args.num("users", 0), 2);
+}
+
+TEST(ArgSpec, ParseHelpersReportErrorsWithoutDying) {
+  long l = 0;
+  EXPECT_EQ(parse_integer("users", "42", l), "");
+  EXPECT_EQ(l, 42);
+  EXPECT_NE(parse_integer("users", "", l), "");
+  double d = 0.0;
+  EXPECT_EQ(parse_number("alpha", "0.25", d), "");
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_NE(parse_number("alpha", "x", d), "");
+}
+
+TEST(ArgSpec, FormatSpecsListsEveryFlag) {
+  const std::string text = format_arg_specs(kSpecs);
+  EXPECT_NE(text.find("--users N"), std::string::npos);
+  EXPECT_NE(text.find("--alpha X"), std::string::npos);
+  EXPECT_NE(text.find("--out VALUE"), std::string::npos);
+  EXPECT_NE(text.find("--metrics"), std::string::npos);
+  EXPECT_NE(text.find("population"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s3::util

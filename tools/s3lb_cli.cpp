@@ -23,7 +23,10 @@
 //
 //   s3lb train     --in FILE --out FILE [--alpha A] [--coleave-min M]
 //                  [--history DAYS] [--buildings B] [--aps K]
-//       Learn a social model from an *assigned* trace.
+//                  [--model-format text|binary]
+//       Learn a social model from an *assigned* trace. --model-format
+//       selects the on-disk encoding (text is the default; binary is
+//       smaller and loads faster). replay auto-detects either format.
 //
 //   s3lb compare   [--users N] [--days D] [--buildings B] [--aps K]
 //                  [--seed S] [--train DAYS] [--test DAYS]
@@ -50,15 +53,13 @@
 // The topology flags must match between commands operating on the same
 // trace (the CSV carries session building ids, not the AP layout).
 
-#include <charconv>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
-#include <system_error>
 #include <vector>
 
 #include "s3/check/contract.h"
@@ -74,6 +75,7 @@
 #include "s3/trace/generator.h"
 #include "s3/trace/binary_io.h"
 #include "s3/trace/io.h"
+#include "s3/util/argspec.h"
 #include "s3/util/metrics.h"
 #include "s3/util/table.h"
 
@@ -86,77 +88,105 @@ namespace {
   std::exit(1);
 }
 
-/// Strict integer parse: the whole token must be a decimal integer in
-/// range, or the process dies naming the offending flag. strtol's
-/// silent `12abc` → 12 and out-of-range saturation both masked typos.
-long parse_long(const std::string& flag, const std::string& text) {
-  long value = 0;
-  const char* first = text.c_str();
-  const char* last = first + text.size();
-  const auto [ptr, ec] = std::from_chars(first, last, value);
-  if (ec == std::errc::result_out_of_range) {
-    die("--" + flag + ": integer out of range: \"" + text + "\"");
-  }
-  if (ec != std::errc() || ptr != last) {
-    die("--" + flag + ": expected an integer, got \"" + text + "\"");
-  }
-  return value;
-}
+using util::ArgKind;
+using util::ArgSpec;
+using Flags = util::ParsedArgs;
 
-/// Strict floating-point parse; same contract as parse_long.
-double parse_real(const std::string& flag, const std::string& text) {
-  double value = 0.0;
-  const char* first = text.c_str();
-  const char* last = first + text.size();
-  const auto [ptr, ec] = std::from_chars(first, last, value);
-  if (ec == std::errc::result_out_of_range) {
-    die("--" + flag + ": number out of range: \"" + text + "\"");
-  }
-  if (ec != std::errc() || ptr != last) {
-    die("--" + flag + ": expected a number, got \"" + text + "\"");
-  }
-  return value;
-}
-
-struct Flags {
-  std::map<std::string, std::string> values;
-
-  bool has(const std::string& key) const { return values.count(key) > 0; }
-  std::string get(const std::string& key, const std::string& def = "") const {
-    const auto it = values.find(key);
-    return it == values.end() ? def : it->second;
-  }
-  long num(const std::string& key, long def) const {
-    const auto it = values.find(key);
-    return it == values.end() ? def : parse_long(key, it->second);
-  }
-  double real(const std::string& key, double def) const {
-    const auto it = values.find(key);
-    return it == values.end() ? def : parse_real(key, it->second);
-  }
+// Per-subcommand flag tables. Parsing, typed-value validation, and the
+// unknown-flag/stray-positional rejection all live in s3::util's shared
+// ArgSpec parser — benches use the same machinery, so a typoed flag is
+// reported identically everywhere.
+constexpr ArgSpec kGenerateSpecs[] = {
+    {"out", ArgKind::kString, "output trace (CSV, or .bin for binary)"},
+    {"users", ArgKind::kInt, "population size (default 2400)"},
+    {"days", ArgKind::kInt, "trace span in days (default 24)"},
+    {"buildings", ArgKind::kInt, "campus buildings (default 8)"},
+    {"aps", ArgKind::kInt, "APs per building (default 12)"},
+    {"seed", ArgKind::kInt, "generator seed (default 42)"},
 };
 
-Flags parse_flags(int argc, char** argv, int first) {
-  Flags flags;
-  for (int i = first; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind("--", 0) != 0) {
-      std::cerr << "unexpected argument: " << a << "\n";
-      std::exit(2);
-    }
-    const std::string key = a.substr(2);
-    const std::size_t eq = key.find('=');
-    if (eq != std::string::npos) {
-      flags.values[key.substr(0, eq)] = key.substr(eq + 1);
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      // Assign through a temporary: GCC 12's -Wrestrict misfires on
-      // inlined string::operator=(const char*) at -O3 (PR105651).
-      flags.values[key] = std::string(argv[++i]);
-    } else {
-      flags.values[key] = std::string("1");
-    }
+constexpr ArgSpec kReplaySpecs[] = {
+    {"in", ArgKind::kString, "input workload trace"},
+    {"out", ArgKind::kString, "assigned-trace output"},
+    {"policy", ArgKind::kString, "selector policy name (default llf)"},
+    {"model", ArgKind::kString, "social model (s3 / s3-online)"},
+    {"model-format", ArgKind::kString, "model format: auto|text|binary"},
+    {"buildings", ArgKind::kInt, "campus buildings (default 8)"},
+    {"aps", ArgKind::kInt, "APs per building (default 12)"},
+    {"window", ArgKind::kInt, "dispatch window seconds (default 120)"},
+    {"threads", ArgKind::kInt, "replay workers (default 0 = all cores)"},
+    {"seed", ArgKind::kInt, "seed for the random policy (default 1)"},
+    {"metrics", ArgKind::kFlag, "dump the instrumentation bus"},
+    {"check", ArgKind::kString, "contract mode: off|count|log|abort"},
+    {"fault-plan", ArgKind::kString, "s3fault v1 schedule file"},
+    {"fault-seed", ArgKind::kInt, "fault draw seed (default 1)"},
+};
+
+constexpr ArgSpec kTrainSpecs[] = {
+    {"in", ArgKind::kString, "assigned trace to learn from"},
+    {"out", ArgKind::kString, "model output file"},
+    {"model-format", ArgKind::kString, "model format: text|binary"},
+    {"alpha", ArgKind::kReal, "type-term weight (default 0.3)"},
+    {"coleave-min", ArgKind::kInt, "co-leave window minutes (default 5)"},
+    {"history", ArgKind::kInt, "training history days (default all)"},
+    {"buildings", ArgKind::kInt, "campus buildings (default 8)"},
+    {"aps", ArgKind::kInt, "APs per building (default 12)"},
+};
+
+constexpr ArgSpec kCompareSpecs[] = {
+    {"users", ArgKind::kInt, "population size (default 2400)"},
+    {"days", ArgKind::kInt, "trace span in days (default 24)"},
+    {"buildings", ArgKind::kInt, "campus buildings (default 8)"},
+    {"aps", ArgKind::kInt, "APs per building (default 12)"},
+    {"seed", ArgKind::kInt, "generator seed (default 42)"},
+    {"train", ArgKind::kInt, "training days (default 21)"},
+    {"test", ArgKind::kInt, "test days (default 3)"},
+};
+
+constexpr ArgSpec kCheckTraceSpecs[] = {
+    {"in", ArgKind::kString, "trace to validate"},
+    {"buildings", ArgKind::kInt, "campus buildings (default 8)"},
+    {"aps", ArgKind::kInt, "APs per building (default 12)"},
+    {"mode", ArgKind::kString, "contract mode: off|count|log|abort"},
+};
+
+constexpr ArgSpec kCheckModelSpecs[] = {
+    {"in", ArgKind::kString, "model to validate"},
+    {"threshold", ArgKind::kReal, "graph edge threshold"},
+    {"cover", ArgKind::kString, "clique cover file"},
+    {"mode", ArgKind::kString, "contract mode: off|count|log|abort"},
+    {"stale-days", ArgKind::kInt, "max model age in days"},
+    {"now-day", ArgKind::kInt, "current trace day (with --stale-days)"},
+};
+
+void usage();
+
+/// Parses argv against the subcommand's table. Usage-class failures
+/// (unknown flag, stray positional) keep the historical exit code 2;
+/// malformed typed values die with "error: ..." and exit 1.
+Flags parse_or_die(std::span<const ArgSpec> specs, int argc, char** argv,
+                   int first) {
+  util::ArgParseResult parsed = util::parse_args(specs, argc, argv, first);
+  if (parsed.want_help) {
+    usage();
+    std::exit(0);
   }
-  return flags;
+  if (parsed.error_kind == util::ArgErrorKind::kUsage) {
+    std::cerr << parsed.error << "\n";
+    std::exit(2);
+  }
+  if (!parsed.ok()) die(parsed.error);
+  return std::move(parsed.args);
+}
+
+/// Resolves --model-format (default `def`); dies on bad vocabulary.
+social::ModelFormat model_format_from(const Flags& f, const std::string& def) {
+  const std::string name = f.get("model-format", def);
+  const std::optional<social::ModelFormat> format =
+      social::parse_model_format(name);
+  if (!format) die("--model-format must be auto|text|binary, got \"" + name +
+                   "\"");
+  return *format;
 }
 
 wlan::Network network_from(const Flags& f) {
@@ -227,7 +257,8 @@ int cmd_replay(const Flags& f) {
   spec.net = &net;
   if (policy_name == "s3" || policy_name == "s3-online") {
     if (!f.has("model")) die("replay --policy " + policy_name + " needs --model");
-    social::ModelReadResult mr = social::read_model_file(f.get("model"));
+    social::ModelReadResult mr =
+        social::load_model(f.get("model"), model_format_from(f, "auto"));
     if (!mr.model) die("cannot read model: " + mr.error);
     model = std::move(*mr.model);
     spec.model = &*model;
@@ -297,7 +328,11 @@ int cmd_train(const Flags& f) {
   cfg.history_days = static_cast<int>(f.num("history", 0));
   const social::SocialIndexModel model =
       social::SocialIndexModel::train(assigned, cfg);
-  if (!social::write_model_file(f.get("out"), model)) {
+  const social::ModelFormat format = model_format_from(f, "text");
+  if (format == social::ModelFormat::kAuto) {
+    die("train: --model-format must be text or binary");
+  }
+  if (!social::save_model(f.get("out"), model, format)) {
     die("cannot write " + f.get("out"));
   }
   std::cout << "trained on " << assigned.size() << " sessions: "
@@ -355,7 +390,9 @@ std::vector<std::vector<std::size_t>> load_cover_file(const std::string& path) {
     std::vector<std::size_t> clique;
     std::string token;
     while (fields >> token) {
-      const long v = parse_long("cover", token);
+      long v = 0;
+      const std::string err = util::parse_integer("cover", token, v);
+      if (!err.empty()) die(err);
       if (v < 0) die("--cover: negative vertex id \"" + token + "\"");
       clique.push_back(static_cast<std::size_t>(v));
     }
@@ -404,7 +441,7 @@ int cmd_check(const std::string& what, const Flags& f) {
     return report_outcome(report, f.get("in"));
   }
   if (what == "model") {
-    social::ModelReadResult mr = social::read_model_file(f.get("in"));
+    social::ModelReadResult mr = social::load_model(f.get("in"));
     if (!mr.model) die("cannot read model: " + mr.error);
     check::SocialGraphCheckOptions opts;
     opts.theta_threshold = f.real("threshold", opts.theta_threshold);
@@ -433,10 +470,12 @@ void usage() {
       "  generate --out FILE [--users N --days D --buildings B --aps K --seed S]\n"
       "  replay   --in FILE --out FILE\n"
       "           --policy llf|llf-demand|llf-stations|rssi|random|s3|s3-online\n"
-      "           [--model FILE --buildings B --aps K --window SECONDS]\n"
+      "           [--model FILE --model-format auto|text|binary]\n"
+      "           [--buildings B --aps K --window SECONDS]\n"
       "           [--threads N --metrics --check off|count|log|abort]\n"
       "           [--fault-plan FILE --fault-seed S]\n"
-      "  train    --in ASSIGNED --out MODEL [--alpha A --coleave-min M --history D]\n"
+      "  train    --in ASSIGNED --out MODEL [--model-format text|binary]\n"
+      "           [--alpha A --coleave-min M --history D]\n"
       "  compare  [--users N --days D --buildings B --aps K --seed S --train D --test D]\n"
       "  check    trace --in FILE [--buildings B --aps K --mode M]\n"
       "  check    model --in FILE [--threshold T --cover FILE --mode M]\n"
@@ -456,13 +495,27 @@ int main(int argc, char** argv) {
       if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
         die("check: expected `s3lb check <trace|model> --in FILE ...`");
       }
-      return cmd_check(argv[2], parse_flags(argc, argv, 3));
+      const std::string what = argv[2];
+      if (what != "trace" && what != "model") {
+        die("check: unknown target \"" + what + "\" (expected trace|model)");
+      }
+      const std::span<const ArgSpec> specs =
+          what == "trace" ? std::span<const ArgSpec>(kCheckTraceSpecs)
+                          : std::span<const ArgSpec>(kCheckModelSpecs);
+      return cmd_check(what, parse_or_die(specs, argc, argv, 3));
     }
-    const Flags flags = parse_flags(argc, argv, 2);
-    if (cmd == "generate") return cmd_generate(flags);
-    if (cmd == "replay") return cmd_replay(flags);
-    if (cmd == "train") return cmd_train(flags);
-    if (cmd == "compare") return cmd_compare(flags);
+    if (cmd == "generate") {
+      return cmd_generate(parse_or_die(kGenerateSpecs, argc, argv, 2));
+    }
+    if (cmd == "replay") {
+      return cmd_replay(parse_or_die(kReplaySpecs, argc, argv, 2));
+    }
+    if (cmd == "train") {
+      return cmd_train(parse_or_die(kTrainSpecs, argc, argv, 2));
+    }
+    if (cmd == "compare") {
+      return cmd_compare(parse_or_die(kCompareSpecs, argc, argv, 2));
+    }
   } catch (const std::exception& e) {
     die(e.what());
   }
