@@ -1,0 +1,230 @@
+// Failover bench — what a controller crash costs at 0, 1 and 2 backup
+// replicas, under the canned controller-churn schedule.
+//
+// The test window is replayed with S3 (trained on the LLF-collected
+// window) three times through the replicated driver, varying only the
+// backup count, next to an outage-free baseline. For each run we report
+// the scored balance index β′ and its degradation vs the baseline, the
+// sessions dropped while a domain ran headless, re-associations, and
+// the replication layer's catch-up bill (records replayed, wall-clock
+// latency per failover).
+//
+// Expected shape: with >= 1 backup the failover is lossless — β′
+// matches the baseline to the last digit and nothing is dropped; with
+// 0 backups every crash window drops its in-flight batch and arrivals,
+// and β′ dips in proportion.
+//
+// Flags beyond the common set:
+//   --quick       shrink the world (CI-sized run)
+//   --out FILE    JSON destination (default BENCH_failover.json)
+
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "s3/analysis/balance.h"
+#include "s3/core/selector_factory.h"
+#include "s3/fault/fault_injector.h"
+#include "s3/fault/fault_plan.h"
+#include "s3/repl/replicated_driver.h"
+#include "s3/util/table.h"
+
+using namespace s3;
+
+namespace {
+
+/// Mean normalized balance index over the scored slots of the test
+/// window (daytime, minimum-load filtered; unassigned sessions are
+/// dropped — they serve no traffic).
+double scored_balance(const wlan::Network& net, const trace::Trace& assigned,
+                      util::SimTime begin, util::SimTime end) {
+  std::vector<trace::SessionRecord> served;
+  served.reserve(assigned.size());
+  for (const trace::SessionRecord& s : assigned.sessions()) {
+    if (s.assigned()) served.push_back(s);
+  }
+  const trace::Trace survivors(assigned.num_users(), assigned.num_days(),
+                               std::move(served));
+  const analysis::ThroughputSeries series(net, survivors, begin, end);
+
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (ControllerId c = 0; c < net.num_controllers(); ++c) {
+    for (std::size_t slot = 0; slot < series.num_slots(); ++slot) {
+      const double hour =
+          static_cast<double>(series.slot_begin(slot).second_of_day()) /
+          3600.0;
+      if (hour < 8.0) continue;
+      if (series.total_load(c, slot) < 5.0) continue;
+      sum += analysis::normalized_balance_index(series.slot_load(c, slot));
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+struct ReplicaRun {
+  std::size_t backups = 0;
+  double balance = 0.0;
+  double degradation = 0.0;  ///< baseline β′ − this run's β′
+  std::size_t dropped = 0;
+  std::size_t reassociations = 0;
+  std::size_t failovers = 0;
+  std::size_t headless_windows = 0;
+  std::uint64_t log_records = 0;
+  std::uint64_t catchup_records = 0;
+  double catchup_ms_mean = 0.0;  ///< per failover + rejoin
+  bool lossless = false;         ///< assignment identical to baseline
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  static constexpr util::ArgSpec kExtra[] = {
+      {"quick", util::ArgKind::kFlag, "CI-sized run"},
+      {"out", util::ArgKind::kString, "JSON output (BENCH_failover.json)"},
+  };
+  const util::ParsedArgs raw = bench::parse_raw_args(argc, argv, kExtra);
+  bench::BenchArgs args;
+  args.scale = raw.get("scale", args.scale);
+  args.seed = static_cast<std::uint64_t>(raw.num("seed", 42));
+  args.threads = static_cast<unsigned>(raw.num("threads", 0));
+  args.metrics = raw.has("metrics");
+  const bool quick = raw.has("quick");
+  const std::string out_path = raw.get("out", "BENCH_failover.json");
+
+  trace::GeneratorConfig cfg = bench::generator_config(args);
+  if (quick) {
+    cfg.num_users = 600;
+    cfg.layout.aps_per_building = 6;
+  }
+  std::cerr << "generating workload: " << cfg.num_users << " users, "
+            << cfg.layout.num_buildings << " buildings (seed " << cfg.seed
+            << ")\n";
+  const trace::GeneratedTrace world = trace::generate_campus_trace(cfg);
+  const wlan::Network& net = world.network;
+  const core::EvaluationConfig eval = bench::evaluation_config(args);
+
+  std::cerr << "training social model on the LLF-collected window...\n";
+  const social::SocialIndexModel model =
+      core::train_from_workload(net, world.workload, eval);
+
+  const util::SimTime begin = util::SimTime::from_days(eval.train_days);
+  const util::SimTime end =
+      util::SimTime::from_days(eval.train_days + eval.test_days);
+  const trace::Trace test = world.workload.slice(begin, end);
+
+  const fault::FaultPlan plan =
+      fault::canned_controller_churn_plan(net, begin, end);
+  const fault::FaultInjector injector(plan, args.seed);
+
+  core::SelectorSpec spec;
+  spec.net = &net;
+  spec.model = &model;
+  spec.llf_metric = eval.baseline_metric;
+  const std::unique_ptr<sim::SelectorFactory> factory =
+      core::make_selector_factory("s3", spec);
+
+  // Outage-free baseline through the plain driver.
+  runtime::ReplayDriverConfig base_rc;
+  base_rc.replay = eval.replay;
+  base_rc.threads = args.threads;
+  const sim::ReplayResult baseline =
+      runtime::ReplayDriver(net, base_rc).run(test, *factory);
+  const double base_beta = scored_balance(net, baseline.assigned, begin, end);
+  std::cerr << "baseline beta' " << util::fmt(base_beta, 4) << "\n";
+
+  std::vector<ReplicaRun> runs;
+  for (const std::size_t backups : {0UL, 1UL, 2UL}) {
+    repl::ReplicatedDriverConfig rc;
+    rc.replay = eval.replay;
+    rc.threads = args.threads;
+    rc.injector = &injector;
+    rc.repl.backups = backups;
+    const repl::ReplicatedReplayResult rr =
+        repl::ReplicatedReplayDriver(net, rc).run(test, *factory);
+    ReplicaRun run;
+    run.backups = backups;
+    run.balance = scored_balance(net, rr.result.assigned, begin, end);
+    run.degradation = base_beta - run.balance;
+    run.dropped = rr.result.stats.dropped_sessions;
+    run.reassociations = rr.result.stats.reassociations;
+    run.failovers = rr.repl.failovers;
+    run.headless_windows = rr.repl.headless_windows;
+    run.log_records = rr.repl.log_records;
+    run.catchup_records = rr.repl.catchup_records;
+    const std::size_t catchups = rr.repl.failovers + rr.repl.rejoins;
+    run.catchup_ms_mean =
+        catchups > 0 ? static_cast<double>(rr.repl.catchup_wall_ns) / 1e6 /
+                           static_cast<double>(catchups)
+                     : 0.0;
+    run.lossless =
+        rr.result.assigned.sessions().size() ==
+            baseline.assigned.sessions().size() &&
+        std::equal(rr.result.assigned.sessions().begin(),
+                   rr.result.assigned.sessions().end(),
+                   baseline.assigned.sessions().begin(),
+                   [](const trace::SessionRecord& a,
+                      const trace::SessionRecord& b) { return a.ap == b.ap; });
+    runs.push_back(run);
+    std::cerr << "replicas " << backups << ": beta' "
+              << util::fmt(run.balance, 4) << " dropped " << run.dropped
+              << (run.lossless ? " (lossless)" : "") << "\n";
+  }
+
+  std::cout << "# Failover: beta' and failover ledger vs backup count\n";
+  util::TextTable table({"backups", "balance_index", "degradation", "dropped",
+                         "reassociations", "failovers", "headless",
+                         "catchup_records", "catchup_ms_mean", "lossless"});
+  for (const ReplicaRun& run : runs) {
+    table.add_row({std::to_string(run.backups), util::fmt(run.balance, 4),
+                   util::fmt(run.degradation, 4), std::to_string(run.dropped),
+                   std::to_string(run.reassociations),
+                   std::to_string(run.failovers),
+                   std::to_string(run.headless_windows),
+                   std::to_string(run.catchup_records),
+                   util::fmt(run.catchup_ms_mean, 3),
+                   run.lossless ? "yes" : "no"});
+  }
+  std::cout << table.to_csv();
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"failover\",\n"
+       << "  \"scale\": \"" << args.scale << "\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"seed\": " << args.seed << ",\n"
+       << "  \"num_users\": " << cfg.num_users << ",\n"
+       << "  \"policy\": \"s3\",\n"
+       << "  \"plan\": \"controller-churn (4 x 2h, test window)\",\n"
+       << "  \"baseline_balance_index\": " << util::fmt(base_beta, 6) << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ReplicaRun& run = runs[i];
+    json << "    {\n"
+         << "      \"backups\": " << run.backups << ",\n"
+         << "      \"balance_index\": " << util::fmt(run.balance, 6) << ",\n"
+         << "      \"balance_degradation\": " << util::fmt(run.degradation, 6)
+         << ",\n"
+         << "      \"dropped_sessions\": " << run.dropped << ",\n"
+         << "      \"reassociations\": " << run.reassociations << ",\n"
+         << "      \"failovers\": " << run.failovers << ",\n"
+         << "      \"headless_windows\": " << run.headless_windows << ",\n"
+         << "      \"log_records\": " << run.log_records << ",\n"
+         << "      \"catchup_records\": " << run.catchup_records << ",\n"
+         << "      \"catchup_ms_mean\": " << util::fmt(run.catchup_ms_mean, 4)
+         << ",\n"
+         << "      \"lossless\": " << (run.lossless ? "true" : "false") << "\n"
+         << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  bench::maybe_dump_metrics(args);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "s3/check/validators.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -14,6 +15,8 @@ constexpr std::string_view kSocialGraph = "validate_social_graph";
 constexpr std::string_view kCliqueCover = "validate_clique_cover";
 constexpr std::string_view kLoadState = "validate_load_state";
 constexpr std::string_view kModelFreshness = "validate_model_freshness";
+constexpr std::string_view kFaultPlan = "validate_fault_plan";
+constexpr std::string_view kReplicaConvergence = "validate_replica_convergence";
 
 std::string fmt_double(double v) {
   char buf[64];
@@ -366,6 +369,172 @@ CheckReport validate_model_freshness(const social::SocialIndexModel& model,
                    std::to_string(trained_end) + "s, age " +
                    std::to_string(age) + "s exceeds max age " +
                    std::to_string(max_age.seconds()) + "s");
+  }
+  return report;
+}
+
+namespace {
+
+std::string window_str(util::SimTime b, util::SimTime e) {
+  return "[" + std::to_string(b.seconds()) + ", " +
+         std::to_string(e.seconds()) + ")";
+}
+
+/// Flags empty/inverted windows and — sorted per entity — overlaps.
+template <typename Outage, typename IdOf>
+void check_outage_windows(CheckReport& report, std::string_view what,
+                          std::vector<Outage> outages, IdOf id_of) {
+  std::sort(outages.begin(), outages.end(),
+            [&](const Outage& a, const Outage& b) {
+              if (id_of(a) != id_of(b)) return id_of(a) < id_of(b);
+              return a.begin < b.begin;
+            });
+  for (std::size_t i = 0; i < outages.size(); ++i) {
+    const Outage& o = outages[i];
+    if (o.begin >= o.end) {
+      report.add(kFaultPlan,
+                 std::string(what) + " " + std::to_string(id_of(o)) +
+                     ": empty outage window " + window_str(o.begin, o.end));
+      continue;
+    }
+    if (i > 0 && id_of(outages[i - 1]) == id_of(o) &&
+        outages[i - 1].end > o.begin && outages[i - 1].begin < outages[i - 1].end) {
+      report.add(kFaultPlan,
+                 std::string(what) + " " + std::to_string(id_of(o)) +
+                     ": outage windows overlap: " +
+                     window_str(outages[i - 1].begin, outages[i - 1].end) +
+                     " and " + window_str(o.begin, o.end));
+    }
+  }
+}
+
+}  // namespace
+
+CheckReport validate_fault_plan(const fault::FaultPlan& plan,
+                                const wlan::Network* net,
+                                const FaultPlanCheckOptions& options) {
+  CheckReport report(options.max_issues);
+  check_outage_windows(report, "ap", plan.ap_outages,
+                       [](const fault::ApOutage& o) { return o.ap; });
+  check_outage_windows(
+      report, "controller", plan.controller_outages,
+      [](const fault::ControllerOutage& o) { return o.controller; });
+  if (net != nullptr) {
+    for (const fault::ApOutage& o : plan.ap_outages) {
+      if (o.ap >= net->num_aps()) {
+        report.add(kFaultPlan, "ap-outage references unknown AP " +
+                                   std::to_string(o.ap) + " (network has " +
+                                   std::to_string(net->num_aps()) + ")");
+      }
+    }
+    for (const fault::ControllerOutage& o : plan.controller_outages) {
+      if (o.controller >= net->num_controllers()) {
+        report.add(kFaultPlan,
+                   "controller-outage references unknown controller " +
+                       std::to_string(o.controller) + " (network has " +
+                       std::to_string(net->num_controllers()) + ")");
+      }
+    }
+  }
+  for (const fault::ModelOutage& o : plan.model_outages) {
+    if (o.begin >= o.end) {
+      report.add(kFaultPlan,
+                 "model-outage: empty window " + window_str(o.begin, o.end));
+    }
+  }
+  for (const fault::CliqueSqueeze& s : plan.clique_squeezes) {
+    if (s.begin >= s.end) {
+      report.add(kFaultPlan,
+                 "clique-budget: empty window " + window_str(s.begin, s.end));
+    }
+    if (s.node_budget == 0) {
+      report.add(kFaultPlan, "clique-budget: budget must be positive");
+    }
+  }
+  const fault::AdmissionFaults& adm = plan.admission;
+  if (adm.failure_probability < 0.0 || adm.failure_probability > 1.0 ||
+      !std::isfinite(adm.failure_probability)) {
+    report.add(kFaultPlan, "admission-failure: probability " +
+                               fmt_double(adm.failure_probability) +
+                               " outside [0, 1]");
+  } else if (adm.failure_probability > 0.0 && adm.begin >= adm.end) {
+    report.add(kFaultPlan, "admission-failure: empty window " +
+                               window_str(adm.begin, adm.end));
+  }
+  return report;
+}
+
+CheckReport validate_replica_convergence(
+    const fault::ReplicaSnapshot& a, const fault::ReplicaSnapshot& b,
+    const ReplicaConvergenceOptions& options) {
+  CheckReport report(options.max_issues);
+  if (a.controller != b.controller) {
+    report.add(kReplicaConvergence,
+               "snapshots are from different domains: controller " +
+                   std::to_string(a.controller) + " vs " +
+                   std::to_string(b.controller));
+    return report;
+  }
+  if (options.require_equal_terms &&
+      (a.term != b.term || a.applied_records != b.applied_records)) {
+    report.add(kReplicaConvergence,
+               "replication positions differ: term " + std::to_string(a.term) +
+                   "/applied " + std::to_string(a.applied_records) + " vs term " +
+                   std::to_string(b.term) + "/applied " +
+                   std::to_string(b.applied_records));
+  }
+  if (a.placements != b.placements) {
+    std::size_t diffs = 0;
+    const std::size_t n = std::min(a.placements.size(), b.placements.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.placements[i] == b.placements[i]) continue;
+      ++diffs;
+      if (diffs <= 8) {
+        report.add(kReplicaConvergence,
+                   "placement diverges at session " +
+                       std::to_string(a.placements[i].session_index) + ": ap " +
+                       std::to_string(a.placements[i].ap) + " vs " +
+                       std::to_string(b.placements[i].ap));
+      }
+    }
+    if (a.placements.size() != b.placements.size() || diffs > 8) {
+      report.add(kReplicaConvergence,
+                 "placement vectors differ (" +
+                     std::to_string(a.placements.size()) + " vs " +
+                     std::to_string(b.placements.size()) + " entries, " +
+                     std::to_string(diffs) + " divergent)");
+    }
+  }
+  if (a.retries != b.retries) {
+    report.add(kReplicaConvergence,
+               "retry queues differ: " + std::to_string(a.retries.size()) +
+                   " vs " + std::to_string(b.retries.size()) + " entries");
+  }
+  if (a.attempts != b.attempts) {
+    report.add(kReplicaConvergence,
+               "attempt counters differ: " + std::to_string(a.attempts.size()) +
+                   " vs " + std::to_string(b.attempts.size()) + " sessions");
+  }
+  if (a.health != b.health || a.clean_run != b.clean_run) {
+    report.add(kReplicaConvergence,
+               "degradation state differs: state " +
+                   std::to_string(static_cast<int>(a.health)) + "/clean_run " +
+                   std::to_string(a.clean_run) + " vs state " +
+                   std::to_string(static_cast<int>(b.health)) + "/clean_run " +
+                   std::to_string(b.clean_run));
+  }
+  if (!(a.degradation == b.degradation)) {
+    report.add(kReplicaConvergence, "degradation transition counters differ");
+  }
+  if (a.policy_digest != b.policy_digest) {
+    report.add(kReplicaConvergence,
+               "policy state digests differ: " +
+                   std::to_string(a.policy_digest) + " vs " +
+                   std::to_string(b.policy_digest) +
+                   " (online social counters diverged)");
+  }
+  if (!(a.stats == b.stats)) {
+    report.add(kReplicaConvergence, "replay stats differ");
   }
   return report;
 }

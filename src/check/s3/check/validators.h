@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "s3/check/contract.h"
+#include "s3/fault/fault_plan.h"
+#include "s3/fault/replica_snapshot.h"
 #include "s3/sim/load_state.h"
 #include "s3/social/graph.h"
 #include "s3/social/social_index.h"
@@ -166,5 +168,35 @@ struct ModelFreshnessOptions {
 CheckReport validate_model_freshness(const social::SocialIndexModel& model,
                                      util::SimTime now, util::SimTime max_age,
                                      const ModelFreshnessOptions& options = {});
+
+struct FaultPlanCheckOptions {
+  std::size_t max_issues = 64;
+};
+
+/// Lints a parsed fault plan: empty/inverted windows, probabilities
+/// outside [0, 1], overlapping outage windows of the same AP or
+/// controller, and — when `net` is given — AP/controller ids outside
+/// the topology. Stricter than fault::validate_plan (which tolerates
+/// overlapping AP windows); backs `s3lb check fault-plan`.
+CheckReport validate_fault_plan(const fault::FaultPlan& plan,
+                                const wlan::Network* net = nullptr,
+                                const FaultPlanCheckOptions& options = {});
+
+struct ReplicaConvergenceOptions {
+  /// Require equal terms/applied-record counts too. Off by default: a
+  /// promoted backup's term is one past the crashed primary's even
+  /// when its domain state is bit-identical.
+  bool require_equal_terms = false;
+  std::size_t max_issues = 64;
+};
+
+/// Validates that two replica snapshots are bit-identical: placements,
+/// retry queues, attempt counters, degradation state machine, policy
+/// state digest, and stats must all match. This is the replication
+/// layer's acceptance gate — a promoted backup that diverges anywhere
+/// from the primary it replaced produces findings here.
+CheckReport validate_replica_convergence(
+    const fault::ReplicaSnapshot& a, const fault::ReplicaSnapshot& b,
+    const ReplicaConvergenceOptions& options = {});
 
 }  // namespace s3::check

@@ -50,6 +50,7 @@ ApId RandomSelector::select_one(const sim::Arrival& arrival,
                                 const sim::ApLoadTracker& loads) {
   (void)loads;
   S3_REQUIRE(!arrival.candidates.empty(), "random: no candidates");
+  ++draws_;
   return arrival.candidates[rng_.index(arrival.candidates.size())];
 }
 

@@ -45,14 +45,23 @@ class StrongestRssiSelector final : public sim::ApSelector {
 
 class RandomSelector final : public sim::ApSelector {
  public:
-  explicit RandomSelector(std::uint64_t seed) : rng_(seed) {}
+  explicit RandomSelector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
 
   std::string_view name() const override { return "random"; }
 
   ApId select_one(const sim::Arrival& arrival,
                   const sim::ApLoadTracker& loads) override;
 
+  /// (seed, draws) pins the mt19937 stream position — two instances
+  /// with equal digests produce identical future picks.
+  std::uint64_t state_digest() const override {
+    util::SplitMix64 mix(seed_ ^ (draws_ * 0x9e3779b97f4a7c15ULL));
+    return mix.next();
+  }
+
  private:
+  std::uint64_t seed_;
+  std::uint64_t draws_ = 0;
   util::Rng rng_;
 };
 

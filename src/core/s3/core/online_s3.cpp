@@ -119,6 +119,57 @@ social::SocialIndexModel OnlineSocialModel::checkpoint() const {
       base_->type_matrix());
 }
 
+std::uint64_t OnlineSocialModel::state_digest() const {
+  std::uint64_t h = 0x6f6e6c696e65ULL;  // "online"
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  };
+  for (const social::PairStore::Entry& e : live_.sorted_entries()) {
+    mix((static_cast<std::uint64_t>(e.pair.a) << 32) | e.pair.b);
+    mix(e.stats.encounters);
+    mix(e.stats.co_leaves);
+    mix(e.stats.co_comings);
+  }
+  // The unordered maps hash in canonical (ap, content) order so table
+  // capacity and insertion order cannot leak into the digest.
+  std::vector<ApId> aps;
+  aps.reserve(present_.size());
+  for (const auto& [ap, stations] : present_) {
+    if (!stations.empty()) aps.push_back(ap);
+  }
+  std::sort(aps.begin(), aps.end());
+  for (const ApId ap : aps) {
+    std::vector<Presence> stations = present_.at(ap);
+    std::sort(stations.begin(), stations.end(),
+              [](const Presence& a, const Presence& b) {
+                return a.session_index < b.session_index;
+              });
+    mix(ap);
+    for (const Presence& p : stations) {
+      mix(p.session_index);
+      mix(p.user);
+      mix(static_cast<std::uint64_t>(p.since.seconds()));
+    }
+  }
+  aps.clear();
+  for (const auto& [ap, departures] : recent_departures_) {
+    if (!departures.empty()) aps.push_back(ap);
+  }
+  std::sort(aps.begin(), aps.end());
+  for (const ApId ap : aps) {
+    mix(ap);
+    // The departure ring is append-ordered by `when` already (pruning
+    // pops the front), so its stored order is canonical.
+    for (const Departure& d : recent_departures_.at(ap)) {
+      mix(d.user);
+      mix(static_cast<std::uint64_t>(d.since.seconds()));
+      mix(static_cast<std::uint64_t>(d.when.seconds()));
+    }
+  }
+  return h;
+}
+
 // ---------------------------------------------------------------------
 
 OnlineS3Selector::OnlineS3Selector(const wlan::Network* net,
@@ -146,6 +197,12 @@ void OnlineS3Selector::on_associate(const sim::Arrival& arrival, ApId ap) {
 void OnlineS3Selector::on_disconnect(std::size_t session_index, UserId user,
                                      ApId ap, util::SimTime when) {
   online_.on_disconnect(session_index, user, ap, when);
+}
+
+std::uint64_t OnlineS3Selector::state_digest() const {
+  std::uint64_t h = online_.state_digest();
+  h ^= inner_->state_digest() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
 }
 
 }  // namespace s3::core

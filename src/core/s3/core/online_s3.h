@@ -57,6 +57,12 @@ class OnlineSocialModel : public social::ThetaProvider {
   /// Pairs whose statistics changed since training.
   std::size_t updated_pairs() const noexcept { return live_.size(); }
 
+  /// Canonical-order fold of the live pair counters, presence maps, and
+  /// recent-departure ring — the state a replicated controller must
+  /// carry across failover bit-for-bit. Insertion-order independent
+  /// (entries are sorted before hashing).
+  std::uint64_t state_digest() const;
+
   /// Checkpoint: a frozen SocialIndexModel combining the base model's
   /// typing/matrix with the live pair statistics (trained counts merged
   /// with everything observed since). Persist it with
@@ -113,6 +119,9 @@ class OnlineS3Selector final : public sim::ApSelector {
                      util::SimTime when) override;
 
   bool uses_social_model() const override { return true; }
+
+  /// Live social counters plus the inner S3 machinery's digest.
+  std::uint64_t state_digest() const override;
 
   const OnlineSocialModel& model() const noexcept { return online_; }
 

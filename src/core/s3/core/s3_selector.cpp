@@ -55,6 +55,27 @@ S3Selector::S3Selector(const wlan::Network* net,
   S3_REQUIRE(config_.beam_width >= 1, "S3Selector: beam_width must be >= 1");
 }
 
+std::uint64_t S3Selector::state_digest() const {
+  std::uint64_t h = 0x53335f646967ULL;  // "S3_dig"
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  };
+  mix(stats_.batches);
+  mix(stats_.singles);
+  mix(stats_.cliques);
+  mix(stats_.clique_members);
+  mix(stats_.largest_clique);
+  mix(stats_.exact_enumerations);
+  mix(stats_.beam_searches);
+  mix(stats_.bandwidth_fallbacks);
+  mix(stats_.empty_candidate_fallbacks);
+  mix(stats_.degraded_batches);
+  mix(stats_.inexact_covers);
+  mix(last_full_fidelity_ ? 1 : 0);
+  return h;
+}
+
 // C(AP) counts only *close* relations (θ above the graph's edge
 // threshold) unless threshold < 0. The type prior alone gives every
 // pair a small positive θ; summing those would turn C into a

@@ -106,6 +106,11 @@ class S3Selector final : public sim::ApSelector {
 
   bool uses_social_model() const override { return true; }
 
+  /// Folds the running S3Stats and fidelity flag — the only state that
+  /// outlives a batch (the θ model is external and the scratch vectors
+  /// are transient).
+  std::uint64_t state_digest() const override;
+
   const S3Config& config() const noexcept { return config_; }
   const S3Stats& stats() const noexcept { return stats_; }
 

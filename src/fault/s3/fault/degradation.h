@@ -27,6 +27,8 @@ struct DegradationStats {
   std::size_t to_healthy = 0;
   std::size_t degraded_batches = 0;  ///< batches served by the fallback
   std::size_t observed_batches = 0;
+
+  bool operator==(const DegradationStats&) const noexcept = default;
 };
 
 /// Retry/backoff and recovery-rebalance knobs for outage handling.
@@ -50,6 +52,11 @@ class DegradationTracker {
 
   HealthState state() const noexcept { return state_; }
   const DegradationStats& stats() const noexcept { return stats_; }
+
+  /// Consecutive full-fidelity batches observed while RECOVERING; part
+  /// of the replica snapshot so a promoted backup resumes hysteresis
+  /// mid-count.
+  std::size_t clean_run() const noexcept { return clean_run_; }
 
   /// Called before dispatching a batch. `stressed` = the policy cannot
   /// run at full fidelity right now (e.g. it needs the social model and

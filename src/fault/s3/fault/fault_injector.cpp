@@ -45,6 +45,27 @@ bool FaultInjector::ap_down(ApId ap, util::SimTime t) const {
   return w != it->windows.begin() && std::prev(w)->contains(t);
 }
 
+bool FaultInjector::controller_down(ControllerId controller,
+                                    util::SimTime t) const {
+  for (const ControllerOutage& o : plan_.controller_outages) {
+    if (o.controller == controller && o.begin <= t && t < o.end) return true;
+  }
+  return false;
+}
+
+std::vector<util::TimeInterval> FaultInjector::controller_outages(
+    ControllerId controller) const {
+  std::vector<util::TimeInterval> windows;
+  for (const ControllerOutage& o : plan_.controller_outages) {
+    if (o.controller == controller) windows.push_back({o.begin, o.end});
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const util::TimeInterval& a, const util::TimeInterval& b) {
+              return a.begin < b.begin;
+            });
+  return windows;
+}
+
 bool FaultInjector::model_available(util::SimTime t) const {
   for (const ModelOutage& o : plan_.model_outages) {
     if (o.begin <= t && t < o.end) return false;

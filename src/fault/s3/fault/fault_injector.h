@@ -41,6 +41,16 @@ class FaultInjector {
   /// True while `ap` is inside any of its outage windows [begin, end).
   bool ap_down(ApId ap, util::SimTime t) const;
 
+  /// True while `controller` is inside any of its outage windows
+  /// [begin, end).
+  bool controller_down(ControllerId controller, util::SimTime t) const;
+
+  /// The outage windows of one controller, sorted by begin. Windows of
+  /// a validated plan never overlap, so these pair crash/restart
+  /// instants one-to-one for a replication group.
+  std::vector<util::TimeInterval> controller_outages(
+      ControllerId controller) const;
+
   /// False while any model outage window covers `t`.
   bool model_available(util::SimTime t) const;
 

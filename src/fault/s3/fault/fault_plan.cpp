@@ -81,6 +81,20 @@ FaultPlanParseResult parse_fault_plan(const std::string& text) {
       if (b >= e) return fail(line_no, "ap-outage: begin must precede end");
       r.plan.ap_outages.push_back({static_cast<ApId>(ap), util::SimTime(b),
                                    util::SimTime(e)});
+    } else if (verb == "controller-outage") {
+      if (toks.size() != 3) {
+        return fail(line_no, "controller-outage wants CONTROLLER BEGIN END");
+      }
+      std::int64_t c = 0, b = 0, e = 0;
+      if (!parse_i64(toks[0], c) || !parse_i64(toks[1], b) ||
+          !parse_i64(toks[2], e) || c < 0 || b < 0) {
+        return fail(line_no, "controller-outage: malformed number");
+      }
+      if (b >= e) {
+        return fail(line_no, "controller-outage: begin must precede end");
+      }
+      r.plan.controller_outages.push_back({static_cast<ControllerId>(c),
+                                           util::SimTime(b), util::SimTime(e)});
     } else if (verb == "model-outage" || verb == "model-stale") {
       if (toks.size() != 2) return fail(line_no, verb + " wants BEGIN END");
       std::int64_t b = 0, e = 0;
@@ -151,6 +165,10 @@ std::string write_fault_plan(const FaultPlan& plan) {
     out << "ap-outage " << o.ap << ' ' << o.begin.seconds() << ' '
         << o.end.seconds() << "\n";
   }
+  for (const ControllerOutage& o : plan.controller_outages) {
+    out << "controller-outage " << o.controller << ' ' << o.begin.seconds()
+        << ' ' << o.end.seconds() << "\n";
+  }
   for (const ModelOutage& o : plan.model_outages) {
     out << "model-outage " << o.begin.seconds() << ' ' << o.end.seconds()
         << "\n";
@@ -178,6 +196,30 @@ void validate_plan(const FaultPlan& plan, const wlan::Network* net) {
     S3_REQUIRE(o.begin < o.end, "ap outage window is empty");
     if (net != nullptr) {
       S3_REQUIRE(o.ap < net->num_aps(), "ap outage references unknown AP");
+    }
+  }
+  {
+    // Per-controller windows must be disjoint: a window's begin crashes
+    // a live replica and its end restarts that same replica, so an
+    // overlap would leave crash/restart unpairable.
+    std::vector<ControllerOutage> sorted = plan.controller_outages;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ControllerOutage& a, const ControllerOutage& b) {
+                return a.controller != b.controller
+                           ? a.controller < b.controller
+                           : a.begin < b.begin;
+              });
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const ControllerOutage& o = sorted[i];
+      S3_REQUIRE(o.begin < o.end, "controller outage window is empty");
+      if (net != nullptr) {
+        S3_REQUIRE(o.controller < net->num_controllers(),
+                   "controller outage references unknown controller");
+      }
+      if (i > 0 && sorted[i - 1].controller == o.controller) {
+        S3_REQUIRE(sorted[i - 1].end <= o.begin,
+                   "controller outage windows overlap for one controller");
+      }
     }
   }
   for (const ModelOutage& o : plan.model_outages) {
@@ -243,6 +285,37 @@ FaultPlan canned_admission_storm_plan(util::SimTime begin, util::SimTime end) {
   plan.clique_squeezes.push_back(
       {plan.admission.begin, plan.admission.end, 64});
   validate_plan(plan);
+  return plan;
+}
+
+FaultPlan canned_controller_churn_plan(const wlan::Network& net,
+                                       util::SimTime begin, util::SimTime end,
+                                       std::size_t num_outages,
+                                       std::int64_t outage_s) {
+  S3_REQUIRE(begin < end, "controller churn plan wants a non-empty horizon");
+  S3_REQUIRE(net.num_controllers() > 0,
+             "controller churn plan wants a non-empty network");
+  FaultPlan plan;
+  const std::size_t n = std::min(num_outages, net.num_controllers());
+  if (n == 0) return plan;
+  const std::int64_t span = (end - begin).seconds();
+  const std::int64_t len = std::min(outage_s, span / 2 > 0 ? span / 2 : 1);
+  // Stagger one crash per chosen controller, striding over the campus
+  // so outages hit alternating domains rather than one corner.
+  const std::size_t stride =
+      std::max<std::size_t>(1, net.num_controllers() / n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ControllerId c =
+        static_cast<ControllerId>((i * stride) % net.num_controllers());
+    const std::int64_t start =
+        begin.seconds() +
+        static_cast<std::int64_t>(i) * span / static_cast<std::int64_t>(n);
+    const std::int64_t stop = std::min(start + len, end.seconds());
+    if (start >= stop) continue;
+    plan.controller_outages.push_back(
+        {c, util::SimTime(start), util::SimTime(stop)});
+  }
+  validate_plan(plan, &net);
   return plan;
 }
 

@@ -33,6 +33,19 @@ struct ApOutage {
   util::SimTime end;
 };
 
+/// The controller serving one domain crashes at `begin` and restarts at
+/// `end`. With a replication group attached (s3::repl) a backup is
+/// promoted at the crash instant and the crashed replica rejoins as a
+/// backup at `end`; without one the domain runs headless — arrivals in
+/// the window are dropped, retries wait for the restart. Windows of the
+/// same controller must not overlap (a controller cannot crash while
+/// already down).
+struct ControllerOutage {
+  ControllerId controller = kInvalidController;
+  util::SimTime begin;
+  util::SimTime end;
+};
+
 /// Social model unreachable (or known-stale) for the window; policies
 /// that depend on it must run their embedded fallback.
 struct ModelOutage {
@@ -60,13 +73,15 @@ struct AdmissionFaults {
 
 struct FaultPlan {
   std::vector<ApOutage> ap_outages;
+  std::vector<ControllerOutage> controller_outages;
   std::vector<ModelOutage> model_outages;
   std::vector<CliqueSqueeze> clique_squeezes;
   AdmissionFaults admission;
 
   bool empty() const noexcept {
-    return ap_outages.empty() && model_outages.empty() &&
-           clique_squeezes.empty() && admission.failure_probability <= 0.0;
+    return ap_outages.empty() && controller_outages.empty() &&
+           model_outages.empty() && clique_squeezes.empty() &&
+           admission.failure_probability <= 0.0;
   }
 };
 
@@ -83,6 +98,7 @@ struct FaultPlanParseResult {
 // Text format (one directive per line, `#` comments, times in seconds):
 //   s3fault v1
 //   ap-outage AP BEGIN END
+//   controller-outage CONTROLLER BEGIN END
 //   model-outage BEGIN END
 //   clique-budget BEGIN END NODES
 //   admission-failure P [BEGIN END]
@@ -94,8 +110,9 @@ std::string write_fault_plan(const FaultPlan& plan);
 void write_fault_plan_file(const FaultPlan& plan, const std::string& path);
 
 /// Throws util::S3Error (via S3_REQUIRE) on malformed windows
-/// (begin >= end), probabilities outside [0, 1], or — when `net` is
-/// given — AP ids outside the topology.
+/// (begin >= end), probabilities outside [0, 1], overlapping outage
+/// windows of the same controller, or — when `net` is given — AP or
+/// controller ids outside the topology.
 void validate_plan(const FaultPlan& plan, const wlan::Network* net = nullptr);
 
 // Canned plans used by bench_resilience, CI, and EXPERIMENTS.md. All
@@ -113,5 +130,13 @@ FaultPlan canned_model_outage_plan(util::SimTime begin, util::SimTime end);
 /// Admission storm: failure_probability 0.3 over the middle half of
 /// [begin, end), plus a clique-budget squeeze over the same window.
 FaultPlan canned_admission_storm_plan(util::SimTime begin, util::SimTime end);
+
+/// Controller churn: every second controller of the network crashes for
+/// `outage_s`, with staggered start times across [begin, end). Drives
+/// bench_failover and the repl determinism tests.
+FaultPlan canned_controller_churn_plan(const wlan::Network& net,
+                                       util::SimTime begin, util::SimTime end,
+                                       std::size_t num_outages = 4,
+                                       std::int64_t outage_s = 2 * 3600);
 
 }  // namespace s3::fault

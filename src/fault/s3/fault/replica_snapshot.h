@@ -1,0 +1,110 @@
+// Bit-exact controller state capture for replication.
+//
+// A ReplicaSnapshot is everything a ControllerEngine owns that outlives
+// a single event-loop step: published placements, the retry queue,
+// per-session attempt counters, the degradation state machine, the
+// policy's internal-state digest, and the accumulated stats. Two
+// engines that applied the same event-log prefix must produce equal
+// snapshots — that is the replication layer's correctness claim, and
+// check::validate_replica_convergence asserts it field by field.
+//
+// The struct lives in s3::fault (below check and runtime in the build
+// graph) so the validator library can name it without depending on the
+// runtime engine that produces it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "s3/fault/degradation.h"
+#include "s3/fault/retry_queue.h"
+#include "s3/sim/replay.h"
+#include "s3/util/ids.h"
+
+namespace s3::fault {
+
+/// One published (or pending-invalid) placement; `placements` is sorted
+/// by session index and covers exactly the owning domain's sessions.
+struct SessionPlacement {
+  std::size_t session_index = 0;
+  ApId ap = kInvalidAp;
+
+  bool operator==(const SessionPlacement&) const noexcept = default;
+};
+
+/// Retry-attempt count of one session; sorted by session index, only
+/// sessions with at least one attempt appear.
+struct SessionAttempts {
+  std::size_t session_index = 0;
+  std::uint32_t attempts = 0;
+
+  bool operator==(const SessionAttempts&) const noexcept = default;
+};
+
+struct ReplicaSnapshot {
+  ControllerId controller = kInvalidController;
+  /// Replication term of the engine at capture (0 for an unreplicated
+  /// engine) and how many event-log records it had applied.
+  std::uint64_t term = 0;
+  std::uint64_t applied_records = 0;
+
+  std::vector<SessionPlacement> placements;
+  std::vector<RetryQueue::Entry> retries;
+  std::vector<SessionAttempts> attempts;
+
+  HealthState health = HealthState::kHealthy;
+  std::size_t clean_run = 0;
+  DegradationStats degradation;
+
+  /// sim::ApSelector::state_digest() of the engine's policy — folds the
+  /// online social counters (PairStore), presence maps, and any policy
+  /// RNG state into one comparable word.
+  std::uint64_t policy_digest = 0;
+
+  sim::ReplayStats stats;
+
+  bool operator==(const ReplicaSnapshot&) const noexcept = default;
+
+  /// SplitMix64-style fold of every field; equal snapshots have equal
+  /// digests, and the event log stores this per flush so a backup can
+  /// cheaply verify it tracked the primary.
+  std::uint64_t digest() const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ controller;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    };
+    for (const SessionPlacement& p : placements) {
+      mix(p.session_index);
+      mix(p.ap);
+    }
+    for (const RetryQueue::Entry& e : retries) {
+      mix(static_cast<std::uint64_t>(e.due.seconds()));
+      mix(e.session_index);
+    }
+    for (const SessionAttempts& a : attempts) {
+      mix(a.session_index);
+      mix(a.attempts);
+    }
+    mix(static_cast<std::uint64_t>(health));
+    mix(clean_run);
+    mix(degradation.to_degraded);
+    mix(degradation.to_recovering);
+    mix(degradation.to_healthy);
+    mix(degradation.degraded_batches);
+    mix(degradation.observed_batches);
+    mix(policy_digest);
+    mix(stats.num_sessions);
+    mix(stats.num_batches);
+    mix(stats.forced_overloads);
+    mix(stats.fault_evictions);
+    mix(stats.reassociations);
+    mix(stats.retry_attempts);
+    mix(stats.admission_rejections);
+    mix(stats.abandoned_sessions);
+    mix(stats.dropped_sessions);
+    return h;
+  }
+};
+
+}  // namespace s3::fault

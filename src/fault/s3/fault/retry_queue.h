@@ -20,6 +20,8 @@ class RetryQueue {
   struct Entry {
     util::SimTime due;
     std::size_t session_index = 0;
+
+    bool operator==(const Entry&) const noexcept = default;
   };
 
   bool empty() const noexcept { return heap_.empty(); }
@@ -38,6 +40,35 @@ class RetryQueue {
     while (!heap_.empty() && heap_.top().due <= now) {
       out.push_back(heap_.top().session_index);
       heap_.pop();
+    }
+    return out;
+  }
+
+  /// Pushes every due time to at least `t` — a headless domain (its
+  /// controller down, nobody to serve retries) parks all pending
+  /// re-associations until the controller restarts. Rebuilds the heap;
+  /// ordering stays (due, session).
+  void postpone_until(util::SimTime t) {
+    std::vector<Entry> entries;
+    entries.reserve(heap_.size());
+    while (!heap_.empty()) {
+      Entry e = heap_.top();
+      heap_.pop();
+      if (e.due < t) e.due = t;
+      entries.push_back(e);
+    }
+    for (const Entry& e : entries) heap_.push(e);
+  }
+
+  /// Content snapshot sorted by (due, session) — the canonical order —
+  /// for replica digests and convergence checks. Does not drain.
+  std::vector<Entry> sorted_entries() const {
+    auto copy = heap_;
+    std::vector<Entry> out;
+    out.reserve(copy.size());
+    while (!copy.empty()) {
+      out.push_back(copy.top());
+      copy.pop();
     }
     return out;
   }

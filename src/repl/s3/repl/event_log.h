@@ -1,0 +1,126 @@
+// Append-only replication log of controller-engine steps.
+//
+// The primary appends one record per step it applies: the step kind,
+// its simulation time, the replication term it was written under, and
+// the engine's post-step state digest. A backup catches up by replaying
+// the suffix it has not applied yet — engines are deterministic, so
+// re-applying the same kinds in the same order reproduces the primary's
+// state bit-for-bit, and the stored digest lets the backup verify that
+// claim record by record instead of trusting it.
+//
+// The log also records control events (crash, promotion, restart) and
+// the headless-mode actions of an unreplicated controller (dropped
+// arrivals/batches, postponed retries); those make the log a complete
+// failover audit trail but only engine-step kinds are replayed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "s3/runtime/controller_engine.h"
+#include "s3/util/error.h"
+#include "s3/util/sim_time.h"
+
+namespace s3::repl {
+
+enum class RecordKind : std::uint8_t {
+  // Engine steps — replayed by backups, 1:1 with ControllerEngine::StepKind.
+  kFault = 0,
+  kDeparture,
+  kArrival,
+  kRetries,
+  kFlush,
+  // Headless-mode actions (controller down, nobody to promote).
+  kDroppedArrival,
+  kDroppedBatch,
+  kPostponedRetries,
+  // Control events — audit trail only, never replayed.
+  kCrash,
+  kPromotion,
+  kRestart,
+};
+
+/// True for kinds a backup replays through ControllerEngine.
+constexpr bool is_engine_step(RecordKind kind) noexcept {
+  return kind <= RecordKind::kFlush;
+}
+
+/// True for the headless-mode kinds a rejoining replica replays with
+/// the engine's drop/postpone helpers.
+constexpr bool is_headless_step(RecordKind kind) noexcept {
+  return kind >= RecordKind::kDroppedArrival &&
+         kind <= RecordKind::kPostponedRetries;
+}
+
+constexpr runtime::ControllerEngine::StepKind to_step_kind(
+    RecordKind kind) noexcept {
+  using StepKind = runtime::ControllerEngine::StepKind;
+  switch (kind) {
+    case RecordKind::kFault:
+      return StepKind::kFault;
+    case RecordKind::kDeparture:
+      return StepKind::kDeparture;
+    case RecordKind::kArrival:
+      return StepKind::kArrival;
+    case RecordKind::kRetries:
+      return StepKind::kRetries;
+    case RecordKind::kFlush:
+      return StepKind::kFlush;
+    default:
+      return StepKind::kNone;
+  }
+}
+
+constexpr RecordKind from_step_kind(
+    runtime::ControllerEngine::StepKind kind) noexcept {
+  using StepKind = runtime::ControllerEngine::StepKind;
+  switch (kind) {
+    case StepKind::kFault:
+      return RecordKind::kFault;
+    case StepKind::kDeparture:
+      return RecordKind::kDeparture;
+    case StepKind::kArrival:
+      return RecordKind::kArrival;
+    case StepKind::kRetries:
+      return RecordKind::kRetries;
+    default:
+      return RecordKind::kFlush;
+  }
+}
+
+struct LogRecord {
+  std::uint64_t index = 0;  ///< 0-based position in the log
+  std::uint64_t term = 0;   ///< replication term it was written under
+  RecordKind kind = RecordKind::kFlush;
+  util::SimTime when;       ///< simulation time of the step
+  std::uint64_t digest = 0; ///< engine state digest after applying
+};
+
+class EventLog {
+ public:
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+  std::span<const LogRecord> records() const noexcept { return records_; }
+
+  /// Records at index >= `from` — what a replica that applied `from`
+  /// records still has to replay.
+  std::span<const LogRecord> suffix(std::uint64_t from) const {
+    S3_REQUIRE(from <= records_.size(), "EventLog: suffix past the end");
+    return std::span<const LogRecord>(records_).subspan(from);
+  }
+
+  const LogRecord& append(RecordKind kind, std::uint64_t term,
+                          util::SimTime when, std::uint64_t digest) {
+    records_.push_back(
+        {static_cast<std::uint64_t>(records_.size()), term, kind, when,
+         digest});
+    return records_.back();
+  }
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace s3::repl

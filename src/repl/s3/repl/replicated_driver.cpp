@@ -1,0 +1,138 @@
+#include "s3/repl/replicated_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <thread>
+
+#include "s3/check/contract.h"
+#include "s3/check/validators.h"
+#include "s3/runtime/replay_driver.h"
+#include "s3/util/thread_annotations.h"
+
+namespace s3::repl {
+
+namespace {
+
+/// First-error capture for the worker pool (same contract as the
+/// unreplicated driver's collector).
+class ErrorCollector {
+ public:
+  void capture(std::exception_ptr error) S3_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    if (!first_) first_ = std::move(error);
+  }
+
+  std::exception_ptr take() S3_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return first_;
+  }
+
+ private:
+  util::Mutex mu_;
+  std::exception_ptr first_ S3_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+ReplicatedReplayDriver::ReplicatedReplayDriver(const wlan::Network& net,
+                                               ReplicatedDriverConfig config)
+    : net_(&net), config_(config) {
+  S3_REQUIRE(config_.replay.dispatch_window_s >= 0,
+             "ReplicatedReplayDriver: negative dispatch window");
+  S3_REQUIRE(config_.injector != nullptr,
+             "ReplicatedReplayDriver: an injector is required (without one "
+             "there is nothing to fail over from — use runtime::ReplayDriver)");
+  S3_REQUIRE(config_.repl.heartbeat_s > 0,
+             "ReplicatedReplayDriver: heartbeat period must be positive");
+}
+
+unsigned ReplicatedReplayDriver::effective_threads() const noexcept {
+  if (config_.threads > 0) return config_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ReplicatedReplayResult ReplicatedReplayDriver::run(
+    const trace::Trace& workload, const sim::SelectorFactory& factory) const {
+  if (check::contracts_enabled()) {
+    check::validate_trace(workload, net_);
+  }
+
+  std::vector<std::vector<std::size_t>> shards(net_->num_controllers());
+  const auto sessions = workload.sessions();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const ControllerId c = net_->controller_of_building(sessions[i].building);
+    shards[c].push_back(i);
+  }
+
+  // One group per non-empty domain, in controller order so policy
+  // construction never depends on thread schedule.
+  std::vector<std::unique_ptr<ReplicationGroup>> groups;
+  for (ControllerId c = 0; c < shards.size(); ++c) {
+    if (shards[c].empty()) continue;
+    groups.push_back(std::make_unique<ReplicationGroup>(
+        *net_, workload, c, std::move(shards[c]), factory, config_.replay,
+        *config_.injector, config_.recovery, config_.repl));
+  }
+
+  const unsigned workers = std::min<unsigned>(
+      effective_threads(), static_cast<unsigned>(groups.size()));
+  if (workers <= 1) {
+    for (auto& g : groups) g->run();
+  } else {
+    std::atomic<std::size_t> next{0};
+    ErrorCollector errors;
+    auto work = [&]() {
+      for (std::size_t i = next.fetch_add(1); i < groups.size();
+           i = next.fetch_add(1)) {
+        try {
+          groups[i]->run();
+        } catch (...) {
+          errors.capture(std::current_exception());
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+    if (std::exception_ptr first = errors.take()) {
+      std::rethrow_exception(first);
+    }
+  }
+
+  // Merge after the join, sequentially, in controller order: each group
+  // publishes into its own disjoint assignment slots.
+  std::vector<ApId> assignment(workload.size(), kInvalidAp);
+  std::vector<sim::ReplayStats> shard_stats;
+  shard_stats.reserve(groups.size());
+  ReplicatedReplayResult out;
+  for (const auto& g : groups) {
+    g->publish_assignment(assignment);
+    shard_stats.push_back(g->stats());
+    const ReplStats& rs = g->repl_stats();
+    out.repl.replicas = std::max(out.repl.replicas, rs.replicas);
+    out.repl.failovers += rs.failovers;
+    out.repl.headless_windows += rs.headless_windows;
+    out.repl.rejoins += rs.rejoins;
+    out.repl.heartbeats += rs.heartbeats;
+    out.repl.log_records += rs.log_records;
+    out.repl.catchup_records += rs.catchup_records;
+    out.repl.catchup_wall_ns += rs.catchup_wall_ns;
+    out.repl.final_term = std::max(out.repl.final_term, rs.final_term);
+    const auto events = g->failovers();
+    out.failovers.insert(out.failovers.end(), events.begin(), events.end());
+  }
+  std::sort(out.failovers.begin(), out.failovers.end(),
+            [](const FailoverEvent& a, const FailoverEvent& b) {
+              if (a.when != b.when) return a.when < b.when;
+              return a.domain < b.domain;
+            });
+  out.result = sim::ReplayResult{workload.with_assignments(assignment),
+                                 runtime::merge_stats(shard_stats)};
+  return out;
+}
+
+}  // namespace s3::repl

@@ -1,0 +1,337 @@
+#include "s3/repl/replication_group.h"
+
+#include <chrono>
+#include <limits>
+
+#include "s3/check/validators.h"
+#include "s3/util/error.h"
+#include "s3/util/rng.h"
+
+namespace s3::repl {
+
+namespace {
+
+using StepKind = runtime::ControllerEngine::StepKind;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ReplicationGroup::ReplicationGroup(
+    const wlan::Network& net, const trace::Trace& workload, ControllerId domain,
+    std::vector<std::size_t> sessions, const sim::SelectorFactory& factory,
+    const sim::ReplayConfig& config, const fault::FaultInjector& injector,
+    const fault::RecoveryPolicy& recovery, const ReplicationConfig& repl)
+    : domain_(domain),
+      injector_(&injector),
+      repl_config_(repl),
+      next_heartbeat_(util::SimTime(repl.heartbeat_s)) {
+  S3_REQUIRE(repl_config_.heartbeat_s > 0,
+             "ReplicationGroup: heartbeat period must be positive");
+  const std::size_t count = 1 + repl_config_.backups;
+  replicas_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Replica r;
+    r.policy = factory.create(domain);
+    S3_ASSERT(r.policy != nullptr,
+              "ReplicationGroup: factory returned a null policy");
+    r.assignment.assign(workload.size(), kInvalidAp);
+    r.engine = std::make_unique<runtime::ControllerEngine>(
+        net, workload, domain, sessions, *r.policy, config,
+        std::span<ApId>(r.assignment), &injector, recovery);
+    replicas_.push_back(std::move(r));
+  }
+  repl_stats_.replicas = count;
+  sessions_ = std::move(sessions);
+}
+
+std::uint64_t ReplicationGroup::max_term() const noexcept {
+  std::uint64_t t = 0;
+  for (const Replica& r : replicas_) t = std::max(t, r.term);
+  return t;
+}
+
+std::size_t ReplicationGroup::elect() const {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  std::uint64_t best_term = 0;
+  std::uint64_t best_applied = 0;
+  std::uint64_t best_tiebreak = 0;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    const Replica& r = replicas_[i];
+    if (!r.alive) continue;
+    // The tie-break is a pure hash of (seed, domain, replica index):
+    // every deployment site computes the same winner without talking.
+    const std::uint64_t tiebreak =
+        util::SplitMix64(repl_config_.election_seed ^
+                         (static_cast<std::uint64_t>(domain_) << 32) ^ i)
+            .next();
+    const bool wins =
+        best == std::numeric_limits<std::size_t>::max() ||
+        r.term > best_term ||
+        (r.term == best_term &&
+         (r.applied > best_applied ||
+          (r.applied == best_applied && tiebreak > best_tiebreak)));
+    if (wins) {
+      best = i;
+      best_term = r.term;
+      best_applied = r.applied;
+      best_tiebreak = tiebreak;
+    }
+  }
+  S3_REQUIRE(best != std::numeric_limits<std::size_t>::max(),
+             "ReplicationGroup: no alive replica to elect");
+  return best;
+}
+
+std::uint64_t ReplicationGroup::catch_up(Replica& r) {
+  std::uint64_t replayed = 0;
+  for (const LogRecord& rec : log_.suffix(r.applied)) {
+    if (is_engine_step(rec.kind)) {
+      const std::uint64_t digest = r.engine->apply_step(to_step_kind(rec.kind));
+      S3_ASSERT(digest == rec.digest,
+                "ReplicationGroup: replica diverged from the event log");
+      ++replayed;
+    } else if (is_headless_step(rec.kind)) {
+      switch (rec.kind) {
+        case RecordKind::kDroppedArrival:
+          r.engine->drop_next_arrival();
+          break;
+        case RecordKind::kDroppedBatch:
+          r.engine->drop_pending_batch();
+          break;
+        case RecordKind::kPostponedRetries:
+          // `when` carries the postpone target (the window end).
+          r.engine->postpone_retries_until(rec.when);
+          break;
+        default:
+          break;
+      }
+      const std::uint64_t digest = r.engine->apply_step(StepKind::kNone);
+      S3_ASSERT(digest == rec.digest,
+                "ReplicationGroup: replica diverged on a headless record");
+      ++replayed;
+    }
+    r.term = std::max(r.term, rec.term);
+    r.applied = rec.index + 1;
+  }
+  return replayed;
+}
+
+void ReplicationGroup::append_primary(RecordKind kind, util::SimTime when,
+                                      std::uint64_t digest) {
+  log_.append(kind, primary().term, when, digest);
+  primary().applied = log_.size();
+}
+
+void ReplicationGroup::maybe_heartbeat(util::SimTime when) {
+  if (when < next_heartbeat_) return;
+  while (next_heartbeat_ <= when) {
+    next_heartbeat_ += util::SimTime(repl_config_.heartbeat_s);
+  }
+  ++repl_stats_.heartbeats;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i == primary_index_ || !replicas_[i].alive) continue;
+    catch_up(replicas_[i]);
+  }
+}
+
+void ReplicationGroup::handle_restarts(util::SimTime now, bool force) {
+  for (auto it = pending_restarts_.begin(); it != pending_restarts_.end();) {
+    if (!force && it->at > now) {
+      ++it;
+      continue;
+    }
+    Replica& r = replicas_[it->replica];
+    r.alive = true;
+    const std::uint64_t t0 = now_ns();
+    const std::uint64_t replayed = catch_up(r);
+    const std::uint64_t ns = now_ns() - t0;
+    r.term = max_term();
+    ++repl_stats_.rejoins;
+    repl_stats_.catchup_records += replayed;
+    repl_stats_.catchup_wall_ns += ns;
+    log_.append(RecordKind::kRestart, r.term, it->at,
+                r.engine->apply_step(StepKind::kNone));
+    r.applied = log_.size();
+    it = pending_restarts_.erase(it);
+  }
+}
+
+void ReplicationGroup::run_headless(const util::TimeInterval& window) {
+  ++repl_stats_.headless_windows;
+  Replica& r = primary();
+
+  // Nobody is holding the pending batch anymore; its members are lost.
+  r.engine->drop_pending_batch();
+  append_primary(RecordKind::kDroppedBatch, window.begin,
+                 r.engine->apply_step(StepKind::kNone));
+  // Evicted stations keep scanning but there is no controller to admit
+  // them until the restart.
+  r.engine->postpone_retries_until(window.end);
+  append_primary(RecordKind::kPostponedRetries, window.end,
+                 r.engine->apply_step(StepKind::kNone));
+
+  while (true) {
+    const runtime::ControllerEngine::Step step = r.engine->next_step();
+    if (step.kind == StepKind::kNone || step.when >= window.end) break;
+    switch (step.kind) {
+      case StepKind::kArrival:
+        r.engine->drop_next_arrival();
+        append_primary(RecordKind::kDroppedArrival, step.when,
+                       r.engine->apply_step(StepKind::kNone));
+        break;
+      case StepKind::kRetries:
+        // An AP outage inside the window evicted stations and re-armed
+        // their retries; park them again.
+        r.engine->postpone_retries_until(window.end);
+        append_primary(RecordKind::kPostponedRetries, window.end,
+                       r.engine->apply_step(StepKind::kNone));
+        break;
+      case StepKind::kFlush:
+        // Unreachable in a quiet window (arrivals are dropped before
+        // they batch), but a crash between batching and flushing must
+        // not publish placements nobody computed.
+        r.engine->drop_pending_batch();
+        append_primary(RecordKind::kDroppedBatch, step.when,
+                       r.engine->apply_step(StepKind::kNone));
+        break;
+      default:
+        // Departures and AP fault flips are physical events; they
+        // happen with or without a controller.
+        append_primary(from_step_kind(step.kind), step.when,
+                       r.engine->apply_step(step.kind));
+        break;
+    }
+  }
+
+  r.term = max_term() + 1;
+  append_primary(RecordKind::kRestart, window.end,
+                 r.engine->apply_step(StepKind::kNone));
+  FailoverEvent ev;
+  ev.domain = domain_;
+  ev.when = window.begin;
+  ev.promoted_replica = primary_index_;
+  ev.new_term = r.term;
+  ev.headless = true;
+  failovers_.push_back(ev);
+}
+
+void ReplicationGroup::handle_outage(const util::TimeInterval& window) {
+  Replica& dead = primary();
+  append_primary(RecordKind::kCrash, window.begin,
+                 dead.engine->apply_step(StepKind::kNone));
+
+  bool has_backup = false;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i != primary_index_ && replicas_[i].alive) has_backup = true;
+  }
+  if (!has_backup) {
+    run_headless(window);
+    return;
+  }
+
+  fault::ReplicaSnapshot dead_snap = dead.engine->snapshot();
+  dead_snap.term = dead.term;
+  dead_snap.applied_records = dead.applied;
+  dead.alive = false;
+  pending_restarts_.push_back({primary_index_, window.end});
+
+  const std::size_t winner = elect();
+  const std::uint64_t t0 = now_ns();
+  const std::uint64_t replayed = catch_up(replicas_[winner]);
+  const std::uint64_t ns = now_ns() - t0;
+  replicas_[winner].term = max_term() + 1;
+  primary_index_ = winner;
+
+  // The promotion gate: the backup must now be carrying exactly the
+  // state the primary died with — placements, social counters,
+  // degradation machine, stats, everything.
+  fault::ReplicaSnapshot promoted = snapshot();
+  const check::CheckReport report =
+      check::validate_replica_convergence(dead_snap, promoted);
+  S3_ASSERT(report.ok(),
+            "ReplicationGroup: promoted backup diverged from crashed primary");
+
+  append_primary(RecordKind::kPromotion, window.begin, promoted.digest());
+  ++repl_stats_.failovers;
+  repl_stats_.catchup_records += replayed;
+  repl_stats_.catchup_wall_ns += ns;
+  FailoverEvent ev;
+  ev.domain = domain_;
+  ev.when = window.begin;
+  ev.promoted_replica = winner;
+  ev.new_term = replicas_[winner].term;
+  ev.records_replayed = replayed;
+  ev.catchup_wall_ns = ns;
+  ev.converged = report.ok();
+  failovers_.push_back(ev);
+}
+
+void ReplicationGroup::run() {
+  const std::vector<util::TimeInterval> windows =
+      injector_->controller_outages(domain_);
+  std::size_t wi = 0;
+  while (true) {
+    const runtime::ControllerEngine::Step step = primary().engine->next_step();
+    if (step.kind == StepKind::kNone) break;
+    // Restarts strictly before crashes at the same instant: half-open
+    // windows mean a controller whose window ends at t is back at t.
+    handle_restarts(step.when, /*force=*/false);
+    if (wi < windows.size() && step.when >= windows[wi].begin) {
+      handle_outage(windows[wi]);
+      ++wi;
+      continue;
+    }
+    const std::uint64_t digest = primary().engine->apply_step(step.kind);
+    append_primary(from_step_kind(step.kind), step.when, digest);
+    maybe_heartbeat(step.when);
+  }
+  handle_restarts(runtime::ControllerEngine::kNever, /*force=*/true);
+
+  // End-of-run convergence sweep: every replica must agree with the
+  // acting primary once it has applied the whole log.
+  const fault::ReplicaSnapshot final_snap = snapshot();
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (i == primary_index_) continue;
+    catch_up(replicas_[i]);
+    fault::ReplicaSnapshot backup_snap = replicas_[i].engine->snapshot();
+    backup_snap.term = replicas_[i].term;
+    backup_snap.applied_records = replicas_[i].applied;
+    const check::CheckReport report =
+        check::validate_replica_convergence(final_snap, backup_snap);
+    S3_ASSERT(report.ok(),
+              "ReplicationGroup: backup diverged from primary at end of run");
+  }
+
+  primary().engine->finalize();
+  repl_stats_.log_records = log_.size();
+  repl_stats_.final_term = max_term();
+  finalized_ = true;
+}
+
+const sim::ReplayStats& ReplicationGroup::stats() const {
+  S3_REQUIRE(finalized_, "ReplicationGroup: stats() before run()");
+  return primary().engine->stats();
+}
+
+void ReplicationGroup::publish_assignment(std::span<ApId> global) const {
+  S3_REQUIRE(finalized_, "ReplicationGroup: publish before run()");
+  const Replica& p = primary();
+  S3_REQUIRE(global.size() == p.assignment.size(),
+             "ReplicationGroup: assignment size mismatch");
+  for (const std::size_t s : sessions_) global[s] = p.assignment[s];
+}
+
+fault::ReplicaSnapshot ReplicationGroup::snapshot() const {
+  fault::ReplicaSnapshot snap = primary().engine->snapshot();
+  snap.term = primary().term;
+  snap.applied_records = primary().applied;
+  return snap;
+}
+
+}  // namespace s3::repl

@@ -1,0 +1,176 @@
+// One primary + N backup controllers for a single domain.
+//
+// The shape is MongoDB's replication/topology coordinator scaled down
+// to our deterministic simulation world: a primary ControllerEngine
+// applies domain events and appends one record per step to an
+// append-only EventLog; backups replay the log suffix at logical-clock
+// heartbeat boundaries; when a controller-outage window opens, the
+// primary crashes and the surviving replica with the highest (term,
+// applied-records) pair — seeded SplitMix64 tie-break — is promoted,
+// catches up by replaying the remaining suffix, and provably reaches a
+// bit-identical state (check::validate_replica_convergence against the
+// crashed primary's final snapshot). The crashed replica rejoins as a
+// backup when its window closes, catching up the same way.
+//
+// Everything is a pure function of (workload, plan, seeds): no wall
+// clock enters any decision, so a replicated replay is reproducible
+// across runs and thread counts — the property that lets a backup take
+// over without dropping a single in-flight session.
+//
+// With zero backups the domain runs *headless* through each outage:
+// the pending batch is discarded, arrivals inside the window are
+// dropped (counted in stats().dropped_sessions), retries are parked
+// until the restart, and only physical events (departures, AP fault
+// flips) keep being applied. The restarted controller resumes from its
+// pre-crash state with a bumped term.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "s3/fault/fault_injector.h"
+#include "s3/fault/replica_snapshot.h"
+#include "s3/repl/event_log.h"
+#include "s3/runtime/controller_engine.h"
+#include "s3/sim/selector.h"
+#include "s3/trace/trace.h"
+#include "s3/wlan/network.h"
+
+namespace s3::repl {
+
+struct ReplicationConfig {
+  /// Backup replicas per domain (0 = headless failover handling).
+  std::size_t backups = 1;
+  /// Logical-clock heartbeat: backups replay the log suffix whenever
+  /// the primary's step time crosses a multiple of this period.
+  std::int64_t heartbeat_s = 300;
+  /// Seed of the deterministic election tie-break.
+  std::uint64_t election_seed = 1;
+};
+
+/// One promotion (or headless restart) of a domain controller.
+struct FailoverEvent {
+  ControllerId domain = kInvalidController;
+  util::SimTime when;
+  /// Replica index promoted to primary (== the crashed index for a
+  /// headless restart).
+  std::size_t promoted_replica = 0;
+  std::uint64_t new_term = 0;
+  /// Log records the promoted backup replayed to catch up.
+  std::uint64_t records_replayed = 0;
+  /// Wall-clock catch-up cost (measurement only; no decision reads it).
+  std::uint64_t catchup_wall_ns = 0;
+  /// Whether validate_replica_convergence found the promoted replica
+  /// bit-identical to the crashed primary. Always true for a correct
+  /// build; recorded so benches and tests can assert it.
+  bool converged = true;
+  /// Headless restart (no backup existed) rather than a promotion.
+  bool headless = false;
+};
+
+/// Replication-layer accounting, merged across domains by the driver.
+struct ReplStats {
+  std::size_t replicas = 0;        ///< engines built (1 + backups), max over domains
+  std::size_t failovers = 0;       ///< promotions of a backup
+  std::size_t headless_windows = 0;
+  std::size_t rejoins = 0;         ///< crashed replicas re-joined as backups
+  std::size_t heartbeats = 0;
+  std::uint64_t log_records = 0;
+  std::uint64_t catchup_records = 0;  ///< summed over promotions + rejoins
+  std::uint64_t catchup_wall_ns = 0;
+  std::uint64_t final_term = 0;       ///< max over domains
+};
+
+class ReplicationGroup {
+ public:
+  /// Mirrors ControllerEngine's constructor contract; `factory` is
+  /// invoked once per replica (deterministic factories produce
+  /// identical instances — required). All references must outlive the
+  /// group.
+  ReplicationGroup(const wlan::Network& net, const trace::Trace& workload,
+                   ControllerId domain, std::vector<std::size_t> sessions,
+                   const sim::SelectorFactory& factory,
+                   const sim::ReplayConfig& config,
+                   const fault::FaultInjector& injector,
+                   const fault::RecoveryPolicy& recovery,
+                   const ReplicationConfig& repl);
+
+  /// Walks the domain's whole event stream, crashing/promoting/
+  /// rejoining controllers per the injector's outage windows, then
+  /// finalizes the acting primary.
+  void run();
+
+  ControllerId domain() const noexcept { return domain_; }
+
+  /// Acting primary's replay stats (valid after run()).
+  const sim::ReplayStats& stats() const;
+
+  /// Copies the acting primary's domain-session placements into the
+  /// global assignment vector.
+  void publish_assignment(std::span<ApId> global) const;
+
+  const ReplStats& repl_stats() const noexcept { return repl_stats_; }
+  std::span<const FailoverEvent> failovers() const noexcept {
+    return failovers_;
+  }
+  const EventLog& log() const noexcept { return log_; }
+
+  /// Acting primary's snapshot with term/applied filled in.
+  fault::ReplicaSnapshot snapshot() const;
+
+ private:
+  struct Replica {
+    std::unique_ptr<sim::ApSelector> policy;
+    std::vector<ApId> assignment;
+    std::unique_ptr<runtime::ControllerEngine> engine;
+    std::uint64_t term = 1;
+    std::uint64_t applied = 0;  ///< log records applied
+    bool alive = true;
+  };
+
+  Replica& primary() noexcept { return replicas_[primary_index_]; }
+  const Replica& primary() const noexcept { return replicas_[primary_index_]; }
+
+  std::uint64_t max_term() const noexcept;
+  /// Deterministic election among alive replicas: highest term, then
+  /// longest applied log, then seeded SplitMix64 tie-break.
+  std::size_t elect() const;
+  /// Replays the log suffix into `r`; digests are verified per record.
+  /// Returns the number of records replayed.
+  std::uint64_t catch_up(Replica& r);
+  /// Appends a record for a step the primary just applied and advances
+  /// its position.
+  void append_primary(RecordKind kind, util::SimTime when,
+                      std::uint64_t digest);
+  /// Heartbeat bookkeeping after the primary applied a step at `when`.
+  void maybe_heartbeat(util::SimTime when);
+  /// Crash of the acting primary at `window.begin`: promotion (backups
+  /// exist) or headless walk of the window (none do).
+  void handle_outage(const util::TimeInterval& window);
+  void run_headless(const util::TimeInterval& window);
+  /// Revives a crashed replica once simulation time passed its window
+  /// end; it catches up from the log and rejoins as a backup.
+  void handle_restarts(util::SimTime now, bool force);
+
+  ControllerId domain_;
+  const fault::FaultInjector* injector_;
+  ReplicationConfig repl_config_;
+  std::vector<std::size_t> sessions_;  // global indices, connect order
+  std::vector<Replica> replicas_;
+  std::size_t primary_index_ = 0;
+  EventLog log_;
+  util::SimTime next_heartbeat_;
+  /// (replica index, restart time) of crashed replicas awaiting revival.
+  struct PendingRestart {
+    std::size_t replica;
+    util::SimTime at;
+  };
+  std::vector<PendingRestart> pending_restarts_;
+  std::vector<FailoverEvent> failovers_;
+  ReplStats repl_stats_;
+  bool finalized_ = false;
+};
+
+}  // namespace s3::repl

@@ -432,46 +432,128 @@ void ControllerEngine::flush() {
   }
 }
 
-void ControllerEngine::run() {
+ControllerEngine::Step ControllerEngine::next_step() const noexcept {
+  if (done()) return Step{};
+  const util::SimTime ta = next_arrival_time();
+  const util::SimTime td = next_departure_time();
+  const util::SimTime tf = flush_deadline();
   if (injector_ == nullptr) {
-    while (!done()) {
-      const util::SimTime ta = next_arrival_time();
-      const util::SimTime td = next_departure_time();
-      const util::SimTime tf = flush_deadline();
-      if (td <= ta && td <= tf) {
-        process_departure();
-      } else if (ta <= tf) {
-        process_arrival();
-      } else {
-        flush();
-      }
-    }
-    finalize();
-    return;
+    // Legacy tie order: departures free capacity first, then arrivals
+    // join their batch, then due batches flush.
+    if (td <= ta && td <= tf) return {StepKind::kDeparture, td};
+    if (ta <= tf) return {StepKind::kArrival, ta};
+    return {StepKind::kFlush, tf};
   }
-  // Fault-aware walk. Tie order at equal timestamps: fault flips first
-  // (an AP that dies at t must not accept the batch due at t), then the
-  // legacy order (departures, arrivals), then due retries merge into
-  // the batch, then flushes.
-  while (!done()) {
-    const util::SimTime tfault = next_fault_time();
-    const util::SimTime td = next_departure_time();
-    const util::SimTime ta = next_arrival_time();
-    const util::SimTime tr = next_retry_time();
-    const util::SimTime tf = flush_deadline();
-    if (tfault != kNever && tfault <= td && tfault <= ta && tfault <= tr &&
-        tfault <= tf) {
+  // Fault-aware order: fault flips first (an AP that dies at t must not
+  // accept the batch due at t), then the legacy order, then due retries
+  // merge into the batch, then flushes.
+  const util::SimTime tfault = next_fault_time();
+  const util::SimTime tr = next_retry_time();
+  if (tfault != kNever && tfault <= td && tfault <= ta && tfault <= tr &&
+      tfault <= tf) {
+    return {StepKind::kFault, tfault};
+  }
+  if (td != kNever && td <= ta && td <= tr && td <= tf) {
+    return {StepKind::kDeparture, td};
+  }
+  if (ta != kNever && ta <= tr && ta <= tf) return {StepKind::kArrival, ta};
+  if (tr != kNever && tr <= tf) return {StepKind::kRetries, tr};
+  return {StepKind::kFlush, tf};
+}
+
+std::uint64_t ControllerEngine::step_digest() const noexcept {
+  std::uint64_t h = 0x73746570ULL;  // "step"
+  const auto mix = [&h](std::uint64_t v) noexcept {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  };
+  mix(next_arrival_);
+  mix(batch_.size());
+  mix(departures_.size());
+  mix(retries_.size());
+  mix(active_.size());
+  mix(stats_.num_batches);
+  mix(stats_.forced_overloads);
+  mix(stats_.fault_evictions);
+  mix(stats_.reassociations);
+  mix(stats_.retry_attempts);
+  mix(stats_.admission_rejections);
+  mix(stats_.abandoned_sessions);
+  mix(stats_.dropped_sessions);
+  mix(static_cast<std::uint64_t>(degradation_.state()));
+  return h;
+}
+
+std::uint64_t ControllerEngine::apply_step(StepKind kind) {
+  switch (kind) {
+    case StepKind::kFault:
       process_fault();
-    } else if (td != kNever && td <= ta && td <= tr && td <= tf) {
+      break;
+    case StepKind::kDeparture:
       process_departure();
-    } else if (ta != kNever && ta <= tr && ta <= tf) {
+      break;
+    case StepKind::kArrival:
       process_arrival();
-    } else if (tr != kNever && tr <= tf) {
+      break;
+    case StepKind::kRetries:
       process_retries();
-    } else {
+      break;
+    case StepKind::kFlush:
       flush();
-    }
+      break;
+    case StepKind::kNone:
+      break;
   }
+  return step_digest();
+}
+
+fault::ReplicaSnapshot ControllerEngine::snapshot() const {
+  fault::ReplicaSnapshot snap;
+  snap.controller = domain_;
+  snap.placements.reserve(sessions_.size());
+  for (const std::size_t s : sessions_) {
+    snap.placements.push_back({s, assignment_[s]});
+  }
+  snap.retries = retries_.sorted_entries();
+  snap.attempts.reserve(attempts_.size());
+  for (const auto& [session, count] : attempts_) {
+    snap.attempts.push_back({session, count});
+  }
+  std::sort(snap.attempts.begin(), snap.attempts.end(),
+            [](const fault::SessionAttempts& a, const fault::SessionAttempts& b) {
+              return a.session_index < b.session_index;
+            });
+  snap.health = degradation_.state();
+  snap.clean_run = degradation_.clean_run();
+  snap.degradation = degradation_.stats();
+  snap.policy_digest = policy_->state_digest();
+  snap.stats = stats_;
+  return snap;
+}
+
+void ControllerEngine::drop_next_arrival() {
+  S3_REQUIRE(next_arrival_ < sessions_.size(),
+             "drop_next_arrival: no pending arrival");
+  ++next_arrival_;
+  ++stats_.dropped_sessions;
+}
+
+void ControllerEngine::drop_pending_batch() {
+  for (const sim::Arrival& a : batch_) {
+    attempts_.erase(a.session_index);
+    requeued_.erase(a.session_index);
+    ++stats_.dropped_sessions;
+  }
+  batch_.clear();
+  batch_deadline_ = kNever;
+}
+
+void ControllerEngine::postpone_retries_until(util::SimTime t) {
+  retries_.postpone_until(t);
+}
+
+void ControllerEngine::run() {
+  while (!done()) apply_step(next_step().kind);
   finalize();
 }
 

@@ -28,6 +28,7 @@
 
 #include "s3/fault/degradation.h"
 #include "s3/fault/fault_injector.h"
+#include "s3/fault/replica_snapshot.h"
 #include "s3/fault/retry_queue.h"
 #include "s3/sim/replay.h"
 #include "s3/sim/selector.h"
@@ -90,6 +91,50 @@ class ControllerEngine {
   void process_departure();
   void flush();
 
+  // --- Uniform stepping (replication layer, s3::repl) ---------------
+
+  /// One event-loop step kind, in the engine's priority order.
+  enum class StepKind : std::uint8_t {
+    kNone = 0,  ///< done() — nothing left to process
+    kFault,
+    kDeparture,
+    kArrival,
+    kRetries,
+    kFlush,
+  };
+  struct Step {
+    StepKind kind = StepKind::kNone;
+    util::SimTime when = kNever;
+  };
+
+  /// The next event this engine would process — exactly the branch
+  /// run() takes (fault flips, departures, arrivals, due retries,
+  /// flush; the legacy three-way order without an injector). kNone iff
+  /// done(). Pure; calling it repeatedly without applying is free.
+  Step next_step() const noexcept;
+
+  /// Applies one step of the given kind and returns a cheap O(1) fold
+  /// of the post-step engine state (queue sizes + counters). Replicas
+  /// that applied the same event-log prefix observe the same digest,
+  /// so the log stores it per record and backups verify on replay.
+  std::uint64_t apply_step(StepKind kind);
+
+  /// Full bit-exact state capture (fault/replica_snapshot.h). The
+  /// `term`/`applied_records` fields are owned by the replication
+  /// layer and left zero here.
+  fault::ReplicaSnapshot snapshot() const;
+
+  // --- Headless mode (controller down, no backup to promote) --------
+
+  /// Discards the next arrival — nobody is listening; counted in
+  /// stats().dropped_sessions.
+  void drop_next_arrival();
+  /// Discards the pending batch (controller crashed before the flush);
+  /// every member counts as dropped.
+  void drop_pending_batch();
+  /// Parks all pending retries until `t` (the controller restart).
+  void postpone_retries_until(util::SimTime t);
+
   /// Current degradation state (kHealthy when no injector is attached).
   fault::HealthState health_state() const noexcept {
     return degradation_.state();
@@ -125,6 +170,7 @@ class ControllerEngine {
 
   util::SimTime next_fault_time() const noexcept;
   util::SimTime next_retry_time() const noexcept;
+  std::uint64_t step_digest() const noexcept;
   void process_fault();
   void process_retries();
   /// Kicks every station off `ap` into the retry queue.

@@ -60,6 +60,7 @@ sim::ReplayStats merge_stats(std::span<const sim::ReplayStats> shards) {
     merged.admission_rejections += s.admission_rejections;
     merged.abandoned_sessions += s.abandoned_sessions;
     merged.recovery_migrations += s.recovery_migrations;
+    merged.dropped_sessions += s.dropped_sessions;
   }
   merged.mean_batch_size =
       merged.num_batches > 0
@@ -94,6 +95,12 @@ std::vector<std::vector<std::size_t>> ReplayDriver::shard_sessions(
 
 sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
                                     const sim::SelectorFactory& factory) const {
+  // Controller outages need replicas (or explicit headless handling) —
+  // that is repl::ReplicatedReplayDriver's job, not this one's.
+  S3_REQUIRE(config_.injector == nullptr ||
+                 config_.injector->plan().controller_outages.empty(),
+             "ReplayDriver: controller-outage plans require the replicated "
+             "driver (s3/repl/replicated_driver.h)");
   check_workload(*net_, workload);
   std::vector<std::vector<std::size_t>> shards = shard_sessions(workload);
   std::vector<ApId> assignment(workload.size(), kInvalidAp);

@@ -55,6 +55,12 @@ struct ReplayStats {
   std::size_t admission_rejections = 0;
   std::size_t abandoned_sessions = 0;  ///< never (re-)placed before departure
   std::size_t recovery_migrations = 0; ///< rebalance moves on AP recovery
+  /// Arrivals discarded because the domain's controller was down with no
+  /// backup to promote (headless mode — see s3/repl). Zero whenever at
+  /// least one replica survives every outage.
+  std::size_t dropped_sessions = 0;
+
+  bool operator==(const ReplayStats&) const noexcept = default;
 };
 
 struct ReplayResult {

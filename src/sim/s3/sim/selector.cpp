@@ -15,19 +15,4 @@ BatchResult ApSelector::place_batch(const BatchRequest& request,
   return result;
 }
 
-// Shim definitions live out of line so the deprecation attribute fires
-// on callers, not here.
-std::vector<ApId> ApSelector::select_batch(std::span<const Arrival> batch,
-                                           const ApLoadTracker& loads) {
-  BatchResult result = place_batch(BatchRequest{batch, shim_faults_}, loads);
-  shim_fidelity_ = result.full_fidelity;
-  return std::move(result.placements);
-}
-
-void ApSelector::set_fault_controls(const FaultControls& controls) {
-  shim_faults_ = controls;
-}
-
-bool ApSelector::last_batch_full_fidelity() const { return shim_fidelity_; }
-
 }  // namespace s3::sim

@@ -98,25 +98,14 @@ class ApSelector {
   /// degrade when the injector declares a model outage.
   virtual bool uses_social_model() const { return false; }
 
-  // ---- Deprecated shims (pre-BatchRequest API) ------------------------
-  //
-  // The split select_batch / set_fault_controls /
-  // last_batch_full_fidelity protocol is folded into place_batch; these
-  // keep out-of-tree callers compiling. They are non-virtual: policies
-  // customize batching by overriding place_batch only.
-
-  [[deprecated("use place_batch(BatchRequest, loads)")]]
-  std::vector<ApId> select_batch(std::span<const Arrival> batch,
-                                 const ApLoadTracker& loads);
-  [[deprecated("pass controls in BatchRequest::faults")]]
-  void set_fault_controls(const FaultControls& controls);
-  [[deprecated("read BatchResult::full_fidelity")]]
-  bool last_batch_full_fidelity() const;
-
- private:
-  // State backing the deprecated shims only.
-  FaultControls shim_faults_{};
-  bool shim_fidelity_ = true;
+  /// Order-insensitive fold of the policy's internal mutable state
+  /// (online social counters, presence maps, RNG state). Two policy
+  /// instances that observed the same associate/disconnect/batch
+  /// sequence must report equal digests; the replication layer stores
+  /// this in every replica snapshot to prove a promoted backup carries
+  /// the same social model as the lost primary. Stateless policies
+  /// keep the default 0.
+  virtual std::uint64_t state_digest() const { return 0; }
 };
 
 /// Builds one policy instance per controller shard.

@@ -6,6 +6,8 @@
 #include <limits>
 #include <vector>
 
+#include "s3/fault/fault_plan.h"
+#include "s3/fault/replica_snapshot.h"
 #include "s3/util/metrics.h"
 #include "testing/mini.h"
 
@@ -332,6 +334,129 @@ TEST_F(ValidatorsTest, ModelFreshnessAbortModeThrowsOnStale) {
   EXPECT_THROW(validate_model_freshness(model, util::SimTime::from_days(30),
                                         util::SimTime::from_days(7)),
                ContractViolation);
+}
+
+// --- validate_fault_plan --------------------------------------------
+
+TEST_F(ValidatorsTest, FaultPlanAcceptsACleanPlan) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const wlan::Network net = testing::mini_network(4, 2);
+  fault::FaultPlan plan;
+  plan.ap_outages.push_back({1, util::SimTime(100), util::SimTime(200)});
+  plan.ap_outages.push_back({1, util::SimTime(200), util::SimTime(300)});
+  plan.controller_outages.push_back({0, util::SimTime(50), util::SimTime(150)});
+  plan.controller_outages.push_back({1, util::SimTime(50), util::SimTime(150)});
+  plan.model_outages.push_back({util::SimTime(0), util::SimTime(10)});
+  plan.admission.failure_probability = 0.5;
+  plan.admission.begin = util::SimTime(0);
+  plan.admission.end = util::SimTime(100);
+  EXPECT_TRUE(validate_fault_plan(plan, &net).ok());
+  EXPECT_EQ(counter("check.validate_fault_plan.violations"), 0u);
+}
+
+TEST_F(ValidatorsTest, FaultPlanFlagsWindowProblems) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  fault::FaultPlan plan;
+  // Inverted AP window; overlapping controller windows (touching ones,
+  // as in the clean-plan test above, are fine — windows are half-open).
+  plan.ap_outages.push_back({0, util::SimTime(200), util::SimTime(100)});
+  plan.controller_outages.push_back({3, util::SimTime(0), util::SimTime(150)});
+  plan.controller_outages.push_back({3, util::SimTime(100), util::SimTime(250)});
+  plan.clique_squeezes.push_back({util::SimTime(0), util::SimTime(10), 0});
+  plan.admission.failure_probability = 1.5;
+  const CheckReport report = validate_fault_plan(plan);
+  EXPECT_TRUE(mentions(report, "ap 0: empty outage window"));
+  EXPECT_TRUE(mentions(report, "controller 3: outage windows overlap"));
+  EXPECT_TRUE(mentions(report, "budget must be positive"));
+  EXPECT_TRUE(mentions(report, "probability 1.5 outside [0, 1]"));
+  EXPECT_EQ(counter("check.validate_fault_plan.violations"),
+            report.issues().size());
+}
+
+TEST_F(ValidatorsTest, FaultPlanFlagsUnknownIdsOnlyWithATopology) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  fault::FaultPlan plan;
+  plan.ap_outages.push_back({99, util::SimTime(0), util::SimTime(10)});
+  plan.controller_outages.push_back({7, util::SimTime(0), util::SimTime(10)});
+  // Without a network the ids cannot be checked — plan is clean.
+  EXPECT_TRUE(validate_fault_plan(plan).ok());
+
+  const wlan::Network net = testing::mini_network(4, 2);
+  const CheckReport report = validate_fault_plan(plan, &net);
+  EXPECT_TRUE(mentions(report, "unknown AP 99"));
+  EXPECT_TRUE(mentions(report, "unknown controller 7"));
+}
+
+// --- validate_replica_convergence -----------------------------------
+
+fault::ReplicaSnapshot converged_snapshot() {
+  fault::ReplicaSnapshot s;
+  s.controller = 1;
+  s.term = 3;
+  s.applied_records = 40;
+  s.placements = {{0, 2}, {5, 1}};
+  s.retries = {{util::SimTime(500), 7}};
+  s.attempts = {{7, 2}};
+  s.health = fault::HealthState::kRecovering;
+  s.clean_run = 1;
+  s.policy_digest = 0xfeedULL;
+  s.stats.num_sessions = 6;
+  return s;
+}
+
+TEST_F(ValidatorsTest, ReplicaConvergenceAcceptsIdenticalSnapshots) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const fault::ReplicaSnapshot a = converged_snapshot();
+  fault::ReplicaSnapshot b = converged_snapshot();
+  EXPECT_TRUE(validate_replica_convergence(a, b).ok());
+  EXPECT_EQ(a.digest(), b.digest());
+
+  // A promoted backup is one term ahead of the snapshot the crashed
+  // primary left behind; that only matters under require_equal_terms.
+  b.term = 4;
+  b.applied_records = 43;
+  EXPECT_TRUE(validate_replica_convergence(a, b).ok());
+  ReplicaConvergenceOptions strict;
+  strict.require_equal_terms = true;
+  EXPECT_TRUE(mentions(validate_replica_convergence(a, b, strict),
+                       "replication positions differ"));
+}
+
+TEST_F(ValidatorsTest, ReplicaConvergenceNamesDivergentState) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const fault::ReplicaSnapshot a = converged_snapshot();
+
+  fault::ReplicaSnapshot placed = converged_snapshot();
+  placed.placements[1].ap = 3;
+  const CheckReport p = validate_replica_convergence(a, placed);
+  EXPECT_TRUE(mentions(p, "placement diverges at session 5: ap 1 vs 3"));
+  EXPECT_NE(a.digest(), placed.digest());
+
+  fault::ReplicaSnapshot drifted = converged_snapshot();
+  drifted.retries.clear();
+  drifted.attempts[0].attempts = 3;
+  drifted.health = fault::HealthState::kDegraded;
+  drifted.policy_digest = 0xbeefULL;
+  drifted.stats.num_sessions = 7;
+  const CheckReport d = validate_replica_convergence(a, drifted);
+  EXPECT_TRUE(mentions(d, "retry queues differ"));
+  EXPECT_TRUE(mentions(d, "attempt counters differ"));
+  EXPECT_TRUE(mentions(d, "degradation state differs"));
+  EXPECT_TRUE(mentions(d, "policy state digests differ"));
+  EXPECT_TRUE(mentions(d, "replay stats differ"));
+  EXPECT_EQ(counter("check.validate_replica_convergence.violations"),
+            p.issues().size() + d.issues().size());
+}
+
+TEST_F(ValidatorsTest, ReplicaConvergenceRejectsCrossDomainComparison) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  const fault::ReplicaSnapshot a = converged_snapshot();
+  fault::ReplicaSnapshot other = converged_snapshot();
+  other.controller = 2;
+  other.placements[0].ap = 9;  // masked: cross-domain returns early
+  const CheckReport report = validate_replica_convergence(a, other);
+  EXPECT_TRUE(mentions(report, "different domains"));
+  EXPECT_EQ(report.issues().size(), 1u);
 }
 
 // --- report mechanics -----------------------------------------------

@@ -360,33 +360,27 @@ TEST(S3Selector, FaultControlsForceLlfFallback) {
   EXPECT_EQ(s3.stats().degraded_batches, 1u);
 }
 
-TEST(S3Selector, DeprecatedShimsStillDrivePlaceBatch) {
-  // Out-of-tree callers on the pre-BatchRequest API must keep working:
-  // set_fault_controls feeds the next select_batch, whose fidelity is
-  // readable through last_batch_full_fidelity.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(S3Selector, StateDigestTracksCommittedAssociations) {
+  // Two instances fed the same associate/disconnect sequence agree; a
+  // third that saw different history does not.
   const auto net = mini_network(3);
   const auto model = explicit_model(3, {{0, 1, 4, 4}});
+  S3Selector a(&net, &model);
+  S3Selector b(&net, &model);
+  S3Selector c(&net, &model);
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+
   sim::ApLoadTracker loads(net);
-  loads.associate(100, 0, 1, 1.0);
-  loads.associate(101, 2, 2, 1.0);
-  S3Selector s3(&net, &model);
-  EXPECT_TRUE(s3.last_batch_full_fidelity());
-
-  sim::FaultControls controls;
-  controls.model_available = false;
-  s3.set_fault_controls(controls);
   std::vector<sim::Arrival> batch{arrival(0, 0, {0, 1, 2})};
-  const auto chosen = s3.select_batch(batch, loads);
-  ASSERT_EQ(chosen.size(), 1u);
-  EXPECT_EQ(chosen[0], 1u);
-  EXPECT_FALSE(s3.last_batch_full_fidelity());
+  sim::BatchRequest request;
+  request.arrivals = batch;
+  (void)a.place_batch(request, loads);
+  (void)b.place_batch(request, loads);
+  EXPECT_EQ(a.state_digest(), b.state_digest());
 
-  s3.set_fault_controls(sim::FaultControls{});
-  (void)s3.select_batch(batch, loads);
-  EXPECT_TRUE(s3.last_batch_full_fidelity());
-#pragma GCC diagnostic pop
+  request.faults.model_available = false;  // degraded batch mutates stats
+  (void)c.place_batch(request, loads);
+  EXPECT_NE(a.state_digest(), c.state_digest());
 }
 
 }  // namespace

@@ -44,6 +44,29 @@ TEST(FaultInjector, ModelAvailabilityAndCliqueBudget) {
   EXPECT_EQ(inj.clique_budget(util::SimTime(60)), 0u);  // no squeeze
 }
 
+TEST(FaultInjector, ControllerOutageWindowsAreHalfOpen) {
+  FaultPlan plan;
+  plan.controller_outages.push_back({1, util::SimTime(100), util::SimTime(200)});
+  plan.controller_outages.push_back({1, util::SimTime(300), util::SimTime(400)});
+  plan.controller_outages.push_back({0, util::SimTime(50), util::SimTime(60)});
+  const FaultInjector inj(plan);
+
+  EXPECT_FALSE(inj.controller_down(1, util::SimTime(99)));
+  EXPECT_TRUE(inj.controller_down(1, util::SimTime(100)));  // begin inclusive
+  EXPECT_TRUE(inj.controller_down(1, util::SimTime(199)));
+  EXPECT_FALSE(inj.controller_down(1, util::SimTime(200)));  // end exclusive
+  EXPECT_TRUE(inj.controller_down(1, util::SimTime(350)));
+  EXPECT_FALSE(inj.controller_down(0, util::SimTime(150)));  // other domain
+
+  // Per-domain windows come back sorted by begin regardless of plan
+  // order — the replication layer walks them front to back.
+  const std::vector<util::TimeInterval> windows = inj.controller_outages(1);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].begin.seconds(), 100);
+  EXPECT_EQ(windows[1].begin.seconds(), 300);
+  EXPECT_TRUE(inj.controller_outages(2).empty());
+}
+
 TEST(FaultInjector, AdmissionDrawsAreDeterministicAndWindowed) {
   FaultPlan plan;
   plan.admission.failure_probability = 0.5;

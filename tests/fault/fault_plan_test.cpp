@@ -102,6 +102,88 @@ TEST(FaultPlanCanned, ApChurnStaysInsideHorizonAndTopology) {
   }
 }
 
+TEST(FaultPlanParse, ControllerOutageRoundTrips) {
+  const std::string text =
+      "s3fault v1\n"
+      "controller-outage 2 100 200\n"
+      "controller-outage 0 300 400\n";
+  const FaultPlanParseResult r = parse_fault_plan(text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.plan.controller_outages.size(), 2u);
+  EXPECT_EQ(r.plan.controller_outages[0].controller, 2u);
+  EXPECT_EQ(r.plan.controller_outages[0].begin.seconds(), 100);
+  EXPECT_EQ(r.plan.controller_outages[0].end.seconds(), 200);
+  EXPECT_FALSE(r.plan.empty());
+
+  const FaultPlanParseResult again = parse_fault_plan(write_fault_plan(r.plan));
+  ASSERT_TRUE(again.ok()) << again.error;
+  ASSERT_EQ(again.plan.controller_outages.size(), 2u);
+  EXPECT_EQ(again.plan.controller_outages[1].controller, 0u);
+  EXPECT_EQ(again.plan.controller_outages[1].begin.seconds(), 300);
+}
+
+TEST(FaultPlanParse, ControllerOutageErrorsNameTheLine) {
+  const FaultPlanParseResult short_line =
+      parse_fault_plan("s3fault v1\ncontroller-outage 0 100\n");
+  EXPECT_FALSE(short_line.ok());
+  EXPECT_NE(short_line.error.find("line 2"), std::string::npos);
+
+  const FaultPlanParseResult inverted =
+      parse_fault_plan("s3fault v1\ncontroller-outage 0 200 100\n");
+  EXPECT_FALSE(inverted.ok());
+
+  const FaultPlanParseResult negative =
+      parse_fault_plan("s3fault v1\ncontroller-outage 0 -5 100\n");
+  EXPECT_FALSE(negative.ok());
+}
+
+TEST(FaultPlanValidate, RejectsOverlappingControllerWindows) {
+  // Overlap for one controller is nonsensical — the window's begin
+  // crashes the replica its end restarts — so it is a hard error even
+  // without a topology.
+  FaultPlan plan;
+  plan.controller_outages.push_back({0, util::SimTime(0), util::SimTime(100)});
+  plan.controller_outages.push_back({0, util::SimTime(50), util::SimTime(150)});
+  EXPECT_THROW(validate_plan(plan), std::invalid_argument);
+
+  // The same windows on different controllers are fine.
+  plan.controller_outages[1].controller = 1;
+  EXPECT_NO_THROW(validate_plan(plan));
+
+  // Touching half-open windows on one controller are fine too.
+  plan.controller_outages[1].controller = 0;
+  plan.controller_outages[1].begin = util::SimTime(100);
+  EXPECT_NO_THROW(validate_plan(plan));
+}
+
+TEST(FaultPlanValidate, RejectsUnknownControllerAgainstTopology) {
+  const auto net = mini_network(4, 2);  // 2 controllers
+  FaultPlan plan;
+  plan.controller_outages.push_back({7, util::SimTime(0), util::SimTime(10)});
+  EXPECT_NO_THROW(validate_plan(plan));
+  EXPECT_THROW(validate_plan(plan, &net), std::invalid_argument);
+}
+
+TEST(FaultPlanCanned, ControllerChurnStridesDisjointWindows) {
+  const auto net = mini_network(4, 4);
+  const util::SimTime begin(1000), end(1000 + 24 * 3600);
+  const FaultPlan plan = canned_controller_churn_plan(net, begin, end);
+  ASSERT_FALSE(plan.controller_outages.empty());
+  for (const ControllerOutage& o : plan.controller_outages) {
+    EXPECT_LT(o.controller, net.num_controllers());
+    EXPECT_GE(o.begin, begin);
+    EXPECT_LE(o.end, end);
+    EXPECT_LT(o.begin, o.end);
+  }
+  // Staggered starts never go backwards, and validate_plan accepted the
+  // per-controller disjointness by construction.
+  for (std::size_t i = 1; i < plan.controller_outages.size(); ++i) {
+    EXPECT_LE(plan.controller_outages[i - 1].begin,
+              plan.controller_outages[i].begin);
+  }
+  EXPECT_NO_THROW(validate_plan(plan, &net));
+}
+
 TEST(FaultPlanCanned, ModelOutageCoversTheMiddleThird) {
   const FaultPlan plan =
       canned_model_outage_plan(util::SimTime(0), util::SimTime(900));

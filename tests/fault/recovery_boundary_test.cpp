@@ -1,0 +1,131 @@
+// Boundary cases of the fault/recovery machinery: abandonment at
+// exactly max_attempts, an outage window ending exactly on a batch
+// flush boundary, and the RECOVERING -> DEGRADED relapse one clean
+// batch short of healthy.
+
+#include <gtest/gtest.h>
+
+#include "s3/core/selector_factory.h"
+#include "s3/fault/degradation.h"
+#include "s3/fault/fault_injector.h"
+#include "s3/fault/fault_plan.h"
+#include "s3/runtime/replay_driver.h"
+#include "testing/mini.h"
+
+namespace s3::fault {
+namespace {
+
+using s3::testing::SessionSpec;
+using s3::testing::make_trace;
+using s3::testing::mini_network;
+
+/// One user on a one-AP domain so every retry timing is hand-checkable:
+/// eviction retries immediately, then backs off 5 s, 10 s, 20 s, ...
+sim::ReplayResult run_one_session(const FaultInjector& injector,
+                                  const RecoveryPolicy& recovery,
+                                  std::int64_t window_s) {
+  const wlan::Network net = mini_network(1, 1);
+  const trace::Trace workload =
+      make_trace(1, {SessionSpec{.user = 0, .connect_s = 0,
+                                 .disconnect_s = 10000}});
+  const core::LlfFactory factory(core::LoadMetric::kStations);
+  runtime::ReplayDriverConfig rc;
+  rc.replay.dispatch_window_s = window_s;
+  rc.threads = 1;
+  rc.injector = &injector;
+  rc.recovery = recovery;
+  return runtime::ReplayDriver(net, rc).run(workload, factory);
+}
+
+TEST(RecoveryBoundary, AbandonsAtExactlyMaxAttempts) {
+  // Eviction at 100 retries at 100 (attempt 1, due 105), 105 (attempt
+  // 2, due 115) and 115 — where attempt 3 == max_attempts abandons the
+  // session even though the AP comes back later.
+  FaultPlan plan;
+  plan.ap_outages.push_back({0, util::SimTime(100), util::SimTime(9000)});
+  const FaultInjector injector(plan, 1);
+  RecoveryPolicy recovery;
+  recovery.max_attempts = 3;
+  const sim::ReplayResult r = run_one_session(injector, recovery, 0);
+  EXPECT_EQ(r.stats.fault_evictions, 1u);
+  EXPECT_EQ(r.stats.abandoned_sessions, 1u);
+  EXPECT_EQ(r.stats.reassociations, 0u);
+  // Eviction's immediate re-scan plus the two backoff requeues; the
+  // abandoning attempt itself is not a retry.
+  EXPECT_EQ(r.stats.retry_attempts, 3u);
+}
+
+TEST(RecoveryBoundary, OneAttemptAboveTheCapReassociates) {
+  // Same timeline with max_attempts 4: attempt 3 requeues for 135, the
+  // outage ends at 130, and the 135 re-scan succeeds.
+  FaultPlan plan;
+  plan.ap_outages.push_back({0, util::SimTime(100), util::SimTime(130)});
+  const FaultInjector injector(plan, 1);
+  RecoveryPolicy recovery;
+  recovery.max_attempts = 4;
+  const sim::ReplayResult r = run_one_session(injector, recovery, 0);
+  EXPECT_EQ(r.stats.fault_evictions, 1u);
+  EXPECT_EQ(r.stats.abandoned_sessions, 0u);
+  EXPECT_EQ(r.stats.reassociations, 1u);
+  EXPECT_EQ(r.stats.retry_attempts, 4u);
+  EXPECT_TRUE(r.assigned.fully_assigned());
+}
+
+TEST(RecoveryBoundary, OutageEndingOnFlushBoundaryServesTheBatch) {
+  // Windows are half-open: an outage ending exactly at the batch's
+  // flush deadline (t = 120) leaves the AP up when the flush filters
+  // candidates, so the batch is served with no retry detour.
+  FaultPlan plan;
+  plan.ap_outages.push_back({0, util::SimTime(60), util::SimTime(120)});
+  const FaultInjector injector(plan, 1);
+  const sim::ReplayResult r = run_one_session(injector, RecoveryPolicy{}, 120);
+  EXPECT_EQ(r.stats.retry_attempts, 0u);
+  EXPECT_EQ(r.stats.abandoned_sessions, 0u);
+  EXPECT_TRUE(r.assigned.fully_assigned());
+}
+
+TEST(RecoveryBoundary, OutageOverlappingFlushBoundaryDefersTheBatch) {
+  // One second longer and the flush at 120 sees the AP down: the whole
+  // candidate set is filtered, the session takes the retry path and
+  // re-associates once the window closes.
+  FaultPlan plan;
+  plan.ap_outages.push_back({0, util::SimTime(60), util::SimTime(121)});
+  const FaultInjector injector(plan, 1);
+  const sim::ReplayResult r = run_one_session(injector, RecoveryPolicy{}, 120);
+  EXPECT_EQ(r.stats.retry_attempts, 1u);
+  EXPECT_EQ(r.stats.reassociations, 1u);
+  EXPECT_EQ(r.stats.abandoned_sessions, 0u);
+  EXPECT_TRUE(r.assigned.fully_assigned());
+}
+
+TEST(RecoveryBoundary, RelapseOneCleanBatchShortOfHealthy) {
+  DegradationTracker t(3);
+  EXPECT_TRUE(t.on_batch_start(true));   // HEALTHY -> DEGRADED
+  EXPECT_FALSE(t.on_batch_start(false)); // DEGRADED -> RECOVERING
+  t.on_batch_end(true);                  // clean 1
+  t.on_batch_start(false);
+  t.on_batch_end(true);                  // clean 2 — one short of healthy
+  ASSERT_EQ(t.state(), HealthState::kRecovering);
+  ASSERT_EQ(t.clean_run(), 2u);
+
+  // Stress right at the boundary relapses and resets the clean run.
+  EXPECT_TRUE(t.on_batch_start(true));
+  EXPECT_EQ(t.state(), HealthState::kDegraded);
+  EXPECT_EQ(t.clean_run(), 0u);
+  EXPECT_EQ(t.stats().to_degraded, 2u);
+  EXPECT_EQ(t.stats().to_healthy, 0u);
+
+  // The re-recovery needs the full three clean batches again.
+  t.on_batch_start(false);  // -> RECOVERING
+  t.on_batch_end(true);
+  t.on_batch_start(false);
+  t.on_batch_end(true);
+  EXPECT_EQ(t.state(), HealthState::kRecovering);
+  t.on_batch_start(false);
+  t.on_batch_end(true);  // clean 3 flips exactly here
+  EXPECT_EQ(t.state(), HealthState::kHealthy);
+  EXPECT_EQ(t.stats().to_healthy, 1u);
+}
+
+}  // namespace
+}  // namespace s3::fault

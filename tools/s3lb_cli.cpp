@@ -20,6 +20,14 @@
 //       --fault-seed (default 1) seeds the per-association failure
 //       draws. The fault schedule is a pure function of (plan, seed),
 //       so the assignment stays identical for every --threads value.
+//       Plans with controller-outage windows (and any run with
+//       --replicas) go through the replicated driver: each domain runs
+//       one primary + --replicas backup controllers (default 1), a
+//       crashed primary's backup is promoted deterministically and
+//       catches up from the replication log, and the failover ledger is
+//       printed. --replicas 0 rides outages headless (arrivals dropped,
+//       retries parked until the restart). --heartbeat sets the
+//       logical-clock replication period in seconds.
 //
 //   s3lb train     --in FILE --out FILE [--alpha A] [--coleave-min M]
 //                  [--history DAYS] [--buildings B] [--aps K]
@@ -36,6 +44,7 @@
 //   s3lb check trace --in FILE [--buildings B] [--aps K] [--mode M]
 //   s3lb check model --in FILE [--threshold T] [--cover FILE] [--mode M]
 //                    [--stale-days D] [--now-day N]
+//   s3lb check fault-plan --in FILE [--buildings B] [--aps K] [--mode M]
 //       Run the s3::check structural validators over an input and exit
 //       non-zero if any invariant is violated. `trace` validates the
 //       session log against the topology (plus load conservation and
@@ -69,6 +78,7 @@
 #include "s3/core/selector_factory.h"
 #include "s3/fault/fault_injector.h"
 #include "s3/fault/fault_plan.h"
+#include "s3/repl/replicated_driver.h"
 #include "s3/runtime/replay_driver.h"
 #include "s3/social/graph.h"
 #include "s3/social/model_io.h"
@@ -120,6 +130,8 @@ constexpr ArgSpec kReplaySpecs[] = {
     {"check", ArgKind::kString, "contract mode: off|count|log|abort"},
     {"fault-plan", ArgKind::kString, "s3fault v1 schedule file"},
     {"fault-seed", ArgKind::kInt, "fault draw seed (default 1)"},
+    {"replicas", ArgKind::kInt, "backup controllers per domain"},
+    {"heartbeat", ArgKind::kInt, "replication heartbeat seconds (default 300)"},
 };
 
 constexpr ArgSpec kTrainSpecs[] = {
@@ -146,6 +158,13 @@ constexpr ArgSpec kCompareSpecs[] = {
 constexpr ArgSpec kCheckTraceSpecs[] = {
     {"in", ArgKind::kString, "trace to validate"},
     {"buildings", ArgKind::kInt, "campus buildings (default 8)"},
+    {"aps", ArgKind::kInt, "APs per building (default 12)"},
+    {"mode", ArgKind::kString, "contract mode: off|count|log|abort"},
+};
+
+constexpr ArgSpec kCheckFaultPlanSpecs[] = {
+    {"in", ArgKind::kString, "s3fault v1 plan to validate"},
+    {"buildings", ArgKind::kInt, "campus buildings (checks ids when given)"},
     {"aps", ArgKind::kInt, "APs per building (default 12)"},
     {"mode", ArgKind::kString, "contract mode: off|count|log|abort"},
 };
@@ -271,9 +290,6 @@ int cmd_replay(const Flags& f) {
     die(e.what());
   }
 
-  runtime::ReplayDriverConfig rc;
-  rc.replay.dispatch_window_s = f.num("window", 120);
-  rc.threads = static_cast<unsigned>(f.num("threads", 0));
   std::optional<fault::FaultInjector> injector;
   if (f.has("fault-plan")) {
     const fault::FaultPlanParseResult pr =
@@ -286,17 +302,59 @@ int cmd_replay(const Flags& f) {
     }
     injector.emplace(pr.plan,
                      static_cast<std::uint64_t>(f.num("fault-seed", 1)));
-    rc.injector = &*injector;
   }
-  runtime::ReplayDriver driver(net, rc);
-  const sim::ReplayResult r = driver.run(workload, *factory);
+
+  // Controller-outage plans (and an explicit --replicas) run under the
+  // replicated driver; everything else takes the plain sharded path.
+  const bool replicated =
+      f.has("replicas") ||
+      (injector && !injector->plan().controller_outages.empty());
+  sim::ReplayResult r;
+  unsigned threads_used = 0;
+  if (replicated) {
+    if (!injector) die("replay: --replicas needs --fault-plan");
+    repl::ReplicatedDriverConfig rc;
+    rc.replay.dispatch_window_s = f.num("window", 120);
+    rc.threads = static_cast<unsigned>(f.num("threads", 0));
+    rc.injector = &*injector;
+    rc.repl.backups = static_cast<std::size_t>(f.num("replicas", 1));
+    rc.repl.heartbeat_s = f.num("heartbeat", 300);
+    repl::ReplicatedReplayDriver driver(net, rc);
+    repl::ReplicatedReplayResult rr = driver.run(workload, *factory);
+    threads_used = driver.effective_threads();
+    std::cout << "replication: " << rr.repl.replicas
+              << " replicas/domain, " << rr.repl.failovers << " failovers, "
+              << rr.repl.headless_windows << " headless windows, "
+              << rr.repl.rejoins << " rejoins, " << rr.repl.log_records
+              << " log records, " << rr.repl.catchup_records
+              << " replayed to catch up (term " << rr.repl.final_term
+              << ")\n";
+    for (const repl::FailoverEvent& ev : rr.failovers) {
+      std::cout << "  t=" << ev.when.seconds() << "s domain " << ev.domain
+                << (ev.headless ? " headless restart"
+                                : " promoted replica " +
+                                      std::to_string(ev.promoted_replica))
+                << " term " << ev.new_term << " (" << ev.records_replayed
+                << " records, "
+                << (ev.converged ? "converged" : "DIVERGED") << ")\n";
+    }
+    r = std::move(rr.result);
+  } else {
+    runtime::ReplayDriverConfig rc;
+    rc.replay.dispatch_window_s = f.num("window", 120);
+    rc.threads = static_cast<unsigned>(f.num("threads", 0));
+    if (injector) rc.injector = &*injector;
+    runtime::ReplayDriver driver(net, rc);
+    r = driver.run(workload, *factory);
+    threads_used = driver.effective_threads();
+  }
   store_trace(f.get("out"), r.assigned);
   std::cout << "replayed " << r.stats.num_sessions << " sessions under "
             << factory->name() << " (" << r.stats.num_batches
             << " batches, mean size "
             << util::fmt(r.stats.mean_batch_size, 2) << ", "
             << r.stats.forced_overloads << " forced overloads, "
-            << driver.effective_threads() << " threads)\n"
+            << threads_used << " threads)\n"
             << "wrote " << f.get("out") << "\n";
   if (injector) {
     std::cout << "faults: " << r.stats.fault_evictions << " evictions, "
@@ -304,6 +362,7 @@ int cmd_replay(const Flags& f) {
               << r.stats.retry_attempts << " retries, "
               << r.stats.abandoned_sessions << " abandoned), "
               << r.stats.admission_rejections << " admission rejections, "
+              << r.stats.dropped_sessions << " dropped (controller down), "
               << r.stats.degraded_batches << " degraded batches ("
               << r.stats.transitions_to_degraded << " degrade / "
               << r.stats.transitions_to_healthy << " recover transitions)\n";
@@ -440,6 +499,23 @@ int cmd_check(const std::string& what, const Flags& f) {
     }
     return report_outcome(report, f.get("in"));
   }
+  if (what == "fault-plan") {
+    // Parse errors carry the offending line number; exit non-zero on
+    // either a malformed file or a plan the validators reject.
+    const fault::FaultPlanParseResult pr =
+        fault::read_fault_plan_file(f.get("in"));
+    if (!pr.ok()) {
+      std::cerr << "check failed: " << pr.error << "\n";
+      return 1;
+    }
+    // Controller/AP ids are only checkable against a topology; pass one
+    // when the operator pinned it down.
+    std::optional<wlan::Network> net;
+    if (f.has("buildings") || f.has("aps")) net = network_from(f);
+    const check::CheckReport report =
+        check::validate_fault_plan(pr.plan, net ? &*net : nullptr);
+    return report_outcome(report, f.get("in"));
+  }
   if (what == "model") {
     social::ModelReadResult mr = social::load_model(f.get("in"));
     if (!mr.model) die("cannot read model: " + mr.error);
@@ -461,7 +537,8 @@ int cmd_check(const std::string& what, const Flags& f) {
     }
     return report_outcome(report, f.get("in"));
   }
-  die("check: unknown target \"" + what + "\" (expected trace|model)");
+  die("check: unknown target \"" + what +
+      "\" (expected trace|model|fault-plan)");
 }
 
 void usage() {
@@ -474,12 +551,14 @@ void usage() {
       "           [--buildings B --aps K --window SECONDS]\n"
       "           [--threads N --metrics --check off|count|log|abort]\n"
       "           [--fault-plan FILE --fault-seed S]\n"
+      "           [--replicas N --heartbeat SECONDS]\n"
       "  train    --in ASSIGNED --out MODEL [--model-format text|binary]\n"
       "           [--alpha A --coleave-min M --history D]\n"
       "  compare  [--users N --days D --buildings B --aps K --seed S --train D --test D]\n"
       "  check    trace --in FILE [--buildings B --aps K --mode M]\n"
       "  check    model --in FILE [--threshold T --cover FILE --mode M]\n"
-      "           [--stale-days D --now-day N]\n";
+      "           [--stale-days D --now-day N]\n"
+      "  check    fault-plan --in FILE [--buildings B --aps K --mode M]\n";
 }
 
 }  // namespace
@@ -493,15 +572,18 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "check") {
       if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
-        die("check: expected `s3lb check <trace|model> --in FILE ...`");
+        die("check: expected `s3lb check <trace|model|fault-plan> --in FILE "
+            "...`");
       }
       const std::string what = argv[2];
-      if (what != "trace" && what != "model") {
-        die("check: unknown target \"" + what + "\" (expected trace|model)");
+      if (what != "trace" && what != "model" && what != "fault-plan") {
+        die("check: unknown target \"" + what +
+            "\" (expected trace|model|fault-plan)");
       }
       const std::span<const ArgSpec> specs =
-          what == "trace" ? std::span<const ArgSpec>(kCheckTraceSpecs)
-                          : std::span<const ArgSpec>(kCheckModelSpecs);
+          what == "trace"        ? std::span<const ArgSpec>(kCheckTraceSpecs)
+          : what == "fault-plan" ? std::span<const ArgSpec>(kCheckFaultPlanSpecs)
+                                 : std::span<const ArgSpec>(kCheckModelSpecs);
       return cmd_check(what, parse_or_die(specs, argc, argv, 3));
     }
     if (cmd == "generate") {
