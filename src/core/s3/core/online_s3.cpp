@@ -63,6 +63,7 @@ void OnlineSocialModel::theta_row(UserId u, std::span<const UserId> vs,
 void OnlineSocialModel::on_associate(std::size_t session_index, UserId user,
                                      ApId ap, util::SimTime when) {
   present_[ap].push_back({session_index, user, when});
+  ++epoch_;
 }
 
 void OnlineSocialModel::on_disconnect(std::size_t session_index,
@@ -107,6 +108,7 @@ void OnlineSocialModel::on_disconnect(std::size_t session_index,
     }
   }
   recent.push_back({leaving.user, leaving.since, when});
+  ++epoch_;
 }
 
 social::SocialIndexModel OnlineSocialModel::checkpoint() const {

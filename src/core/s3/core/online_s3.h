@@ -45,6 +45,11 @@ class OnlineSocialModel : public social::ThetaProvider {
 
   std::size_t num_users() const override { return base_->num_users(); }
 
+  /// Advances whenever an event mutates the live statistics or the
+  /// presence state behind them. Single-owner provider: reads never
+  /// race mutations, so the stamp is exact, not momentary.
+  std::uint64_t read_epoch() const noexcept override { return epoch_; }
+
   /// Feed an association: the station joined `ap` at `when`.
   void on_associate(std::size_t session_index, UserId user, ApId ap,
                     util::SimTime when);
@@ -92,6 +97,7 @@ class OnlineSocialModel : public social::ThetaProvider {
   std::unordered_map<ApId, std::vector<Presence>> present_;
   /// Recent departures per AP (pruned past the co-leave window).
   std::unordered_map<ApId, std::vector<Departure>> recent_departures_;
+  std::uint64_t epoch_ = 0;  ///< see read_epoch()
 };
 
 /// S3 with continuous learning: identical placement machinery, but the

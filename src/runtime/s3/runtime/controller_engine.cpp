@@ -320,11 +320,9 @@ void ControllerEngine::process_retries() {
 
 void ControllerEngine::flush() {
   if (batch_.empty()) return;
-  const SimMetrics& m = sim_metrics();
   const util::SimTime now = batch_deadline_;
 
-  bool fallback = false;
-  sim::BatchRequest request;
+  sim::FaultControls faults;
   if (injector_ != nullptr) {
     // Drop candidates that are inside an outage window right now; a
     // request whose whole candidate set is down waits in the retry
@@ -347,28 +345,40 @@ void ControllerEngine::flush() {
     }
 
     const bool model_out = !injector_->model_available(now);
-    request.faults.model_available = !model_out;
-    request.faults.clique_node_budget = injector_->clique_budget(now);
-    fallback =
+    faults.model_available = !model_out;
+    faults.clique_node_budget = injector_->clique_budget(now);
+    faults.force_fallback =
         degradation_.on_batch_start(model_out && policy_->uses_social_model());
-    request.faults.force_fallback = fallback;
   }
 
+  place_batch(batch_, now, faults);
+  batch_.clear();
+  batch_deadline_ = kNever;
+}
+
+std::vector<ApId> ControllerEngine::place_batch(
+    std::span<const sim::Arrival> arrivals, util::SimTime now,
+    const sim::FaultControls& faults) {
+  if (arrivals.empty()) return {};
+  const SimMetrics& m = sim_metrics();
+
+  sim::BatchRequest request;
+  request.faults = faults;
   sim::BatchResult dispatched;
   {
     util::ScopedTimer timing(m.dispatch);
-    request.arrivals = batch_;
+    request.arrivals = arrivals;
     dispatched = policy_->place_batch(request, tracker_);
   }
-  const std::vector<ApId>& chosen = dispatched.placements;
-  S3_ASSERT(chosen.size() == batch_.size(),
+  std::vector<ApId>& chosen = dispatched.placements;
+  S3_ASSERT(chosen.size() == arrivals.size(),
             "replay: policy returned wrong batch arity");
-  if (injector_ != nullptr && !fallback) {
+  if (injector_ != nullptr && !faults.force_fallback) {
     degradation_.on_batch_end(dispatched.full_fidelity);
   }
   const auto sessions = workload_->sessions();
   for (std::size_t i = 0; i < chosen.size(); ++i) {
-    const sim::Arrival& a = batch_[i];
+    const sim::Arrival& a = arrivals[i];
     const ApId ap = chosen[i];
     if (injector_ != nullptr) {
       const auto att = attempts_.find(a.session_index);
@@ -420,16 +430,15 @@ void ControllerEngine::flush() {
     }
   }
   ++stats_.num_batches;
-  stats_.max_batch_size = std::max(stats_.max_batch_size, batch_.size());
+  stats_.max_batch_size = std::max(stats_.max_batch_size, arrivals.size());
   m.batches->add();
-  m.batch_size->record(batch_.size());
-  batch_.clear();
-  batch_deadline_ = kNever;
-  // Post-flush structural invariant: per-AP load conservation and
+  m.batch_size->record(arrivals.size());
+  // Post-batch structural invariant: per-AP load conservation and
   // β ∈ [1/n, 1]. Evaluated only when contract checking is on.
   if (check::contracts_enabled()) {
     check::validate_load_state(tracker_);
   }
+  return std::move(chosen);
 }
 
 ControllerEngine::Step ControllerEngine::next_step() const noexcept {

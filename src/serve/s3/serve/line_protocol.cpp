@@ -1,0 +1,88 @@
+#include "s3/serve/line_protocol.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace s3::serve {
+
+namespace {
+
+/// Why an arrival bounced, recovered from the stats delta — place()
+/// reports rejection only as placed=false, but the protocol wants the
+/// reason on the wire.
+const char* rejection_reason(const ServeStats& before,
+                             const ServeStats& after) {
+  if (after.rejected_duplicate_id > before.rejected_duplicate_id) {
+    return "duplicate-id";
+  }
+  if (after.rejected_unknown_user > before.rejected_unknown_user) {
+    return "unknown-user";
+  }
+  return "no-candidate";
+}
+
+}  // namespace
+
+bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
+                       std::ostream& out) {
+  bool clean = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string verb;
+    fields >> verb;
+    if (verb == "arrive") {
+      PlaceRequest req;
+      std::int64_t t = 0;
+      fields >> req.id >> req.user >> req.building >> req.pos.x >>
+          req.pos.y >> t >> req.demand_mbps;
+      if (fields.fail()) {
+        out << "error malformed arrive: " << line << '\n';
+        clean = false;
+        continue;
+      }
+      req.when = util::SimTime::from_seconds(t);
+      const ServeStats before = pipeline.stats();
+      const PlaceResult r = pipeline.place(req);
+      if (r.placed) {
+        out << "place " << req.id << ' ' << r.ap << '\n';
+      } else {
+        out << "place " << req.id << " reject "
+            << rejection_reason(before, pipeline.stats()) << '\n';
+      }
+    } else if (verb == "depart") {
+      std::uint64_t id = 0;
+      std::int64_t t = 0;
+      fields >> id >> t;
+      if (fields.fail()) {
+        out << "error malformed depart: " << line << '\n';
+        clean = false;
+        continue;
+      }
+      if (pipeline.depart(id, util::SimTime::from_seconds(t))) {
+        out << "gone " << id << '\n';
+      } else {
+        out << "gone " << id << " unknown\n";
+      }
+    } else if (verb == "stats") {
+      const ServeStats s = pipeline.stats();
+      out << "stats placements=" << s.placements
+          << " departures=" << s.departures
+          << " active=" << pipeline.active_sessions()
+          << " fallback=" << s.fallback_placements
+          << " overloads=" << s.forced_overloads << " rejected="
+          << (s.rejected_no_candidate + s.rejected_unknown_user +
+              s.rejected_duplicate_id)
+          << " updated_pairs=" << pipeline.model().updated_pairs() << '\n';
+    } else {
+      out << "error unknown verb: " << verb << '\n';
+      clean = false;
+    }
+  }
+  return clean;
+}
+
+}  // namespace s3::serve

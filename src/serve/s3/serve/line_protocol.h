@@ -1,0 +1,38 @@
+// Text line protocol for driving a ServePipeline over a stream —
+// what `s3lb serve` speaks on stdin/stdout, and what the end-to-end
+// test replays from a file.
+//
+// Requests, one per line (blank lines and `#` comments ignored):
+//
+//   arrive <id> <user> <building> <x> <y> <t_seconds> <demand_mbps>
+//   depart <id> <t_seconds>
+//   stats
+//
+// Responses, one line per request, in order:
+//
+//   place <id> <ap>            arrival placed on <ap>
+//   place <id> reject <why>    arrival rejected (no-candidate,
+//                              unknown-user, duplicate-id)
+//   gone <id>                  departure applied
+//   gone <id> unknown          id was not an active session
+//   stats placements=<n> departures=<n> active=<n> fallback=<n>
+//         overloads=<n> rejected=<n> updated_pairs=<n>   (one line)
+//
+// Malformed lines get `error <message>` and processing continues; the
+// driver returns false iff any line was malformed, so batch callers
+// can fail loudly while interactive callers keep their session.
+#pragma once
+
+#include <iosfwd>
+
+#include "s3/serve/serve_pipeline.h"
+
+namespace s3::serve {
+
+/// Feeds every line of `in` to `pipeline`, writing one response line
+/// per request to `out`. Sequential (single caller thread); the
+/// pipeline itself may concurrently serve other threads.
+bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
+                       std::ostream& out);
+
+}  // namespace s3::serve

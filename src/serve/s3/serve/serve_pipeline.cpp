@@ -1,0 +1,249 @@
+#include "s3/serve/serve_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "s3/util/error.h"
+#include "s3/util/metrics.h"
+
+namespace s3::serve {
+
+ServePipeline::ServePipeline(const wlan::Network* net,
+                             const social::SocialIndexModel* base,
+                             ServeConfig config)
+    : net_(net),
+      config_(std::move(config)),
+      shared_(base, config_.expected_live_pairs),
+      shards_(std::make_unique<Shard[]>(kShards)) {
+  S3_REQUIRE(net_ != nullptr, "ServePipeline: null network");
+  core::SelectorSpec spec;
+  spec.llf_metric = config_.llf_metric;
+  spec.random_seed = config_.random_seed;
+  spec.net = net_;
+  spec.model = &shared_;
+  spec.base_model = base;
+  spec.s3 = config_.s3;
+  spec.online.s3 = config_.s3;
+  spec.online.co_leave_window = config_.co_leave_window;
+  spec.online.min_encounter_overlap = config_.min_encounter_overlap;
+  const auto factory = core::make_selector_factory(config_.policy, spec);
+  domains_.reserve(net_->num_controllers());
+  for (ControllerId c = 0; c < net_->num_controllers(); ++c) {
+    auto d = std::make_unique<Domain>();
+    d->selector = factory->create(c);
+    d->tracker = std::make_unique<sim::ApLoadTracker>(*net_);
+    domains_.push_back(std::move(d));
+  }
+}
+
+ServePipeline::~ServePipeline() = default;
+
+PlaceResult ServePipeline::place(const PlaceRequest& req) {
+  S3_REQUIRE(req.building < net_->num_buildings(),
+             "serve: building id out of range");
+  S3_REQUIRE(req.user != kInvalidUser, "serve: invalid user id");
+  const auto t0 = std::chrono::steady_clock::now();
+  const ControllerId domain_id = net_->controller_of_building(req.building);
+
+  // Reserve the session id first so a concurrent duplicate place() is
+  // rejected instead of double-associated. The placeholder (ap ==
+  // kInvalidAp) also makes a racing depart() for this id a no-op.
+  Shard& shard = shard_of(req.id);
+  {
+    util::MutexLock hold(shard.mu);
+    const auto [it, inserted] = shard.sessions.try_emplace(req.id);
+    if (!inserted) {
+      rejected_duplicate_id_.fetch_add(1, std::memory_order_relaxed);
+      return {};
+    }
+    it->second.user = req.user;
+  }
+
+  sim::Arrival arrival;
+  arrival.session_index = next_session_.fetch_add(1, std::memory_order_relaxed);
+  arrival.user = req.user;
+  arrival.controller = domain_id;
+  arrival.connect = req.when;
+  arrival.demand_mbps = req.demand_mbps;
+  arrival.candidates =
+      wlan::candidate_aps(*net_, config_.radio, req.building, req.pos);
+  // Domain invariant: every AP this pipeline touches for the session
+  // belongs to `domain_id` (presence maps and trackers are per-domain).
+  // Dead APs are pruned exactly like ControllerEngine::flush does.
+  std::erase_if(arrival.candidates, [&](ApId ap) {
+    if (net_->controller_of_ap(ap) != domain_id) return true;
+    return config_.injector != nullptr &&
+           config_.injector->ap_down(ap, req.when);
+  });
+  if (arrival.candidates.empty()) {
+    rejected_no_candidate_.fetch_add(1, std::memory_order_relaxed);
+    util::MutexLock hold(shard.mu);
+    shard.sessions.erase(req.id);
+    return {};
+  }
+
+  PlaceResult result;
+  Domain& d = *domains_[domain_id];
+  {
+    util::MutexLock hold(d.mu);
+    if (d.selector->uses_social_model() &&
+        req.user >= shared_.num_users()) {
+      rejected_unknown_user_.fetch_add(1, std::memory_order_relaxed);
+      util::MutexLock shard_hold(shard.mu);
+      shard.sessions.erase(req.id);
+      return {};
+    }
+    sim::BatchRequest request;
+    request.arrivals = {&arrival, 1};
+    if (config_.injector != nullptr) {
+      const bool model_out = !config_.injector->model_available(req.when);
+      request.faults.model_available = !model_out;
+      request.faults.clique_node_budget =
+          config_.injector->clique_budget(req.when);
+      request.faults.force_fallback = d.degradation.on_batch_start(
+          model_out && d.selector->uses_social_model());
+    }
+    sim::BatchResult dispatched =
+        d.selector->place_batch(request, *d.tracker);
+    S3_ASSERT(dispatched.placements.size() == 1,
+              "serve: policy returned wrong batch arity");
+    if (config_.injector != nullptr && !request.faults.force_fallback) {
+      d.degradation.on_batch_end(dispatched.full_fidelity);
+    }
+    const ApId ap = dispatched.placements[0];
+    S3_ASSERT(std::find(arrival.candidates.begin(), arrival.candidates.end(),
+                        ap) != arrival.candidates.end(),
+              "serve: policy picked an AP outside the candidate set");
+    result.placed = true;
+    result.ap = ap;
+    result.fallback = request.faults.force_fallback || !dispatched.full_fidelity;
+    result.overloaded = d.tracker->headroom_mbps(ap) < req.demand_mbps;
+    d.tracker->associate(arrival.session_index, ap, req.user,
+                         req.demand_mbps);
+    d.selector->on_associate(arrival, ap);
+    d.present[ap].push_back({arrival.session_index, req.user, req.when});
+  }
+
+  {
+    util::MutexLock hold(shard.mu);
+    Session& s = shard.sessions[req.id];
+    s.session_index = arrival.session_index;
+    s.user = req.user;
+    s.ap = result.ap;
+    s.domain = domain_id;
+    s.demand_mbps = req.demand_mbps;
+    s.since = req.when;
+  }
+  active_.fetch_add(1, std::memory_order_relaxed);
+  placements_.fetch_add(1, std::memory_order_relaxed);
+  if (result.fallback) {
+    fallback_placements_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (result.overloaded) {
+    forced_overloads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  util::metrics()
+      .histogram("serve.place_ns")
+      ->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+  return result;
+}
+
+bool ServePipeline::depart(std::uint64_t id, util::SimTime when) {
+  Session s;
+  Shard& shard = shard_of(id);
+  {
+    util::MutexLock hold(shard.mu);
+    auto& sessions = shard.sessions;
+    const auto it = sessions.find(id);
+    if (it == sessions.end() || it->second.ap == kInvalidAp) {
+      // Unknown id, or a placement still in flight on another thread
+      // (the placeholder). Either way nothing was committed yet.
+      unknown_departures_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    s = it->second;
+    sessions.erase(it);
+  }
+
+  Domain& d = *domains_[s.domain];
+  {
+    util::MutexLock hold(d.mu);
+    d.tracker->disconnect(s.session_index, s.ap);
+    d.selector->on_disconnect(s.session_index, s.user, s.ap, when);
+    detect_events(d, s.session_index, s.ap, when);
+  }
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  departures_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ServePipeline::detect_events(Domain& d, std::size_t session_index,
+                                  ApId ap, util::SimTime when) {
+  // Mirrors core::OnlineSocialModel::on_disconnect step for step, with
+  // the counter writes going to the process-wide shared store instead
+  // of a per-domain private one.
+  auto& present = d.present[ap];
+  const auto self = std::find_if(
+      present.begin(), present.end(),
+      [&](const Presence& p) { return p.session_index == session_index; });
+  if (self == present.end()) return;  // session predates tracking
+  const Presence leaving = *self;
+  present.erase(self);
+
+  auto& recent = d.recent[ap];
+  recent.erase(
+      std::remove_if(recent.begin(), recent.end(),
+                     [&](const DepartureRec& r) {
+                       return when - r.when > config_.co_leave_window;
+                     }),
+      recent.end());
+
+  // Encounters only against the still-present side (the symmetric half
+  // is counted when the other user leaves) — see OnlineSocialModel.
+  for (const Presence& other : present) {
+    if (other.user == leaving.user) continue;
+    const util::SimTime overlap = when - std::max(other.since, leaving.since);
+    if (overlap >= config_.min_encounter_overlap) {
+      shared_.record_encounter(leaving.user, other.user);
+    }
+  }
+  for (const DepartureRec& r : recent) {
+    if (r.user == leaving.user) continue;
+    const util::SimTime overlap = r.when - std::max(r.since, leaving.since);
+    if (overlap >= config_.min_encounter_overlap) {
+      shared_.record_co_leave(leaving.user, r.user);
+    }
+  }
+  recent.push_back({leaving.user, leaving.since, when});
+}
+
+ServeStats ServePipeline::stats() const noexcept {
+  ServeStats out;
+  out.placements = placements_.load(std::memory_order_relaxed);
+  out.departures = departures_.load(std::memory_order_relaxed);
+  out.fallback_placements =
+      fallback_placements_.load(std::memory_order_relaxed);
+  out.forced_overloads = forced_overloads_.load(std::memory_order_relaxed);
+  out.rejected_no_candidate =
+      rejected_no_candidate_.load(std::memory_order_relaxed);
+  out.rejected_unknown_user =
+      rejected_unknown_user_.load(std::memory_order_relaxed);
+  out.rejected_duplicate_id =
+      rejected_duplicate_id_.load(std::memory_order_relaxed);
+  out.unknown_departures =
+      unknown_departures_.load(std::memory_order_relaxed);
+  return out;
+}
+
+fault::HealthState ServePipeline::domain_health(ControllerId domain) const {
+  S3_REQUIRE(domain < domains_.size(), "serve: domain out of range");
+  Domain& d = *domains_[domain];
+  util::MutexLock hold(d.mu);
+  return d.degradation.state();
+}
+
+}  // namespace s3::serve

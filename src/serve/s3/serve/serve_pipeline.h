@@ -1,0 +1,193 @@
+// Live association pipeline — the long-running counterpart of the
+// trace-driven ReplayDriver.
+//
+// A ServePipeline answers "which AP?" for a stream of arrivals as they
+// happen, instead of replaying a recorded workload. Structure mirrors
+// the paper's deployment (§V-A): one controller per building group,
+// controllers fully independent. Each domain owns a policy instance, a
+// load tracker, a degradation state machine, and the presence state
+// for online encounter/co-leave detection, all guarded by one
+// per-domain mutex — so placements in different domains run fully in
+// parallel, and every domain's θ lookups go through one shared
+// SharedSocialModel whose reads are lock-free.
+//
+// Threading contract: place() and depart() are safe from any number of
+// threads. Callers bring their own concurrency (the stdin driver is
+// sequential; bench_serve shards domains across workers). Calls for
+// the same domain serialize on the domain mutex; the shared social
+// store serializes only per hash bucket.
+//
+// The fault machinery is reused unchanged from replay: an optional
+// FaultInjector prunes dead APs from candidate sets, declares model
+// outages that drive each domain's HEALTHY → DEGRADED → RECOVERING
+// DegradationTracker, and squeezes the clique budget — exactly the
+// directives ControllerEngine::flush applies, minus the trace-driven
+// retry queue (a live caller re-asks when it wants to retry).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "s3/core/selector_factory.h"
+#include "s3/fault/degradation.h"
+#include "s3/fault/fault_injector.h"
+#include "s3/serve/shared_social_model.h"
+#include "s3/sim/load_state.h"
+#include "s3/sim/selector.h"
+#include "s3/util/thread_annotations.h"
+#include "s3/wlan/network.h"
+#include "s3/wlan/radio.h"
+
+namespace s3::serve {
+
+struct ServeConfig {
+  /// Any policy registered with core::make_selector_factory. "s3" runs
+  /// over the shared live model; baselines ignore it.
+  std::string policy = "s3";
+  wlan::RadioModel radio{};
+  core::S3Config s3{};
+  core::LoadMetric llf_metric = core::LoadMetric::kDemand;
+  std::uint64_t random_seed = 1;
+  /// Online event-detection windows (paper optima, §V-B).
+  util::SimTime co_leave_window = util::SimTime::from_minutes(5);
+  util::SimTime min_encounter_overlap = util::SimTime::from_minutes(10);
+  /// Optional fault schedule; must outlive the pipeline.
+  const fault::FaultInjector* injector = nullptr;
+  /// Pre-size hint for the live pair store.
+  std::size_t expected_live_pairs = 0;
+};
+
+/// One association request from the outside world.
+struct PlaceRequest {
+  std::uint64_t id = 0;  ///< caller-chosen, unique among active sessions
+  UserId user = kInvalidUser;
+  BuildingId building = 0;
+  wlan::Position pos{};
+  util::SimTime when{};
+  double demand_mbps = 0.0;
+};
+
+struct PlaceResult {
+  bool placed = false;
+  ApId ap = kInvalidAp;
+  bool fallback = false;    ///< served by the degradation fallback
+  bool overloaded = false;  ///< chosen AP had no bandwidth headroom
+};
+
+struct ServeStats {
+  std::uint64_t placements = 0;
+  std::uint64_t departures = 0;
+  std::uint64_t fallback_placements = 0;
+  std::uint64_t forced_overloads = 0;
+  std::uint64_t rejected_no_candidate = 0;
+  std::uint64_t rejected_unknown_user = 0;
+  std::uint64_t rejected_duplicate_id = 0;
+  std::uint64_t unknown_departures = 0;
+};
+
+class ServePipeline {
+ public:
+  /// `net` and `base` must outlive the pipeline.
+  ServePipeline(const wlan::Network* net,
+                const social::SocialIndexModel* base,
+                ServeConfig config = {});
+  ~ServePipeline();
+
+  ServePipeline(const ServePipeline&) = delete;
+  ServePipeline& operator=(const ServePipeline&) = delete;
+
+  /// Places one arrival; thread-safe. Rejections (no live candidate
+  /// AP, unknown user under a social policy, duplicate id) return
+  /// placed = false and are counted in stats().
+  PlaceResult place(const PlaceRequest& req);
+
+  /// Ends the session placed under `id`; thread-safe. Returns false
+  /// for ids that are not active.
+  bool depart(std::uint64_t id, util::SimTime when);
+
+  const SharedSocialModel& model() const noexcept { return shared_; }
+  const wlan::Network& network() const noexcept { return *net_; }
+  std::size_t num_domains() const noexcept { return domains_.size(); }
+
+  ServeStats stats() const noexcept;
+  std::size_t active_sessions() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  fault::HealthState domain_health(ControllerId domain) const;
+
+ private:
+  struct Presence {
+    std::size_t session_index;
+    UserId user;
+    util::SimTime since;
+  };
+  struct DepartureRec {
+    UserId user;
+    util::SimTime since;
+    util::SimTime when;
+  };
+  struct Domain {
+    util::Mutex mu;
+    std::unique_ptr<sim::ApSelector> selector S3_GUARDED_BY(mu);
+    std::unique_ptr<sim::ApLoadTracker> tracker S3_GUARDED_BY(mu);
+    fault::DegradationTracker degradation S3_GUARDED_BY(mu);
+    /// Online event-detection state for this domain's APs (an AP
+    /// belongs to exactly one domain, so presence never crosses).
+    std::unordered_map<ApId, std::vector<Presence>> present S3_GUARDED_BY(mu);
+    std::unordered_map<ApId, std::vector<DepartureRec>> recent
+        S3_GUARDED_BY(mu);
+  };
+  struct Session {
+    std::size_t session_index = 0;
+    UserId user = kInvalidUser;
+    ApId ap = kInvalidAp;  ///< kInvalidAp while the placement is in flight
+    ControllerId domain = kInvalidController;
+    double demand_mbps = 0.0;
+    util::SimTime since{};
+  };
+  struct Shard {
+    mutable util::Mutex mu;
+    std::unordered_map<std::uint64_t, Session> sessions S3_GUARDED_BY(mu);
+  };
+  static constexpr std::size_t kShards = 64;  // power of two
+
+  Shard& shard_of(std::uint64_t id) const noexcept {
+    // splitmix64 finalizer, same mix as the pair stores.
+    std::uint64_t z = id;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return shards_[(z ^ (z >> 31)) & (kShards - 1)];
+  }
+
+  /// Mirrors core::OnlineSocialModel::on_disconnect, writing the
+  /// detected encounters/co-leavings into the shared store. Caller
+  /// holds the domain mutex.
+  void detect_events(Domain& d, std::size_t session_index, ApId ap,
+                     util::SimTime when) S3_REQUIRES(d.mu);
+
+  const wlan::Network* net_;
+  ServeConfig config_;
+  SharedSocialModel shared_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  std::unique_ptr<Shard[]> shards_;
+
+  std::atomic<std::size_t> next_session_{0};
+  std::atomic<std::size_t> active_{0};
+
+  // Stats (relaxed atomics; exact once quiescent).
+  std::atomic<std::uint64_t> placements_{0};
+  std::atomic<std::uint64_t> departures_{0};
+  std::atomic<std::uint64_t> fallback_placements_{0};
+  std::atomic<std::uint64_t> forced_overloads_{0};
+  std::atomic<std::uint64_t> rejected_no_candidate_{0};
+  std::atomic<std::uint64_t> rejected_unknown_user_{0};
+  std::atomic<std::uint64_t> rejected_duplicate_id_{0};
+  std::atomic<std::uint64_t> unknown_departures_{0};
+};
+
+}  // namespace s3::serve

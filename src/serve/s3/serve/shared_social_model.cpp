@@ -1,0 +1,62 @@
+#include "s3/serve/shared_social_model.h"
+
+#include "s3/util/error.h"
+
+namespace s3::serve {
+
+SharedSocialModel::SharedSocialModel(const social::SocialIndexModel* base,
+                                     std::size_t expected_live_pairs)
+    : base_(base), store_(expected_live_pairs) {
+  S3_REQUIRE(base_ != nullptr, "SharedSocialModel: null base model");
+}
+
+double SharedSocialModel::theta(UserId u, UserId v) const {
+  if (u == v) return 0.0;
+  // Expression shapes mirror core::OnlineSocialModel::theta exactly so
+  // the two providers agree bit for bit on identical event histories.
+  const auto live = store_.find(UserPair(u, v));
+  if (!live.has_value()) return base_->theta(u, v);
+  const double type_term =
+      base_->type_matrix().num_types() > 0
+          ? base_->type_matrix().at(base_->typing().type(u),
+                                    base_->typing().type(v))
+          : 0.0;
+  return live->co_leave_probability() + base_->alpha() * type_term;
+}
+
+void SharedSocialModel::theta_row(UserId u, std::span<const UserId> vs,
+                                  std::span<double> out) const {
+  // One flat pass over the frozen model's row, then overwrite the few
+  // entries whose pair has live history — same shape as the online
+  // model's row kernel.
+  base_->theta_row(u, vs, out);
+  if (store_.empty()) return;
+  const bool typed = base_->type_matrix().num_types() > 0;
+  const std::size_t type_u = typed ? base_->typing().type(u) : 0;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const UserId v = vs[i];
+    if (v == u) continue;
+    const auto live = store_.find(UserPair(u, v));
+    if (live.has_value()) {
+      const double type_term =
+          typed ? base_->type_matrix().at(type_u, base_->typing().type(v))
+                : 0.0;
+      out[i] = live->co_leave_probability() + base_->alpha() * type_term;
+    }
+  }
+}
+
+void SharedSocialModel::record_encounter(UserId u, UserId v) {
+  bump(u, v,
+       [](social::ConcurrentPairStore::Stats& s) { ++s.encounters; });
+}
+
+void SharedSocialModel::record_co_leave(UserId u, UserId v) {
+  bump(u, v, [](social::ConcurrentPairStore::Stats& s) { ++s.co_leaves; });
+}
+
+void SharedSocialModel::record_co_coming(UserId u, UserId v) {
+  bump(u, v, [](social::ConcurrentPairStore::Stats& s) { ++s.co_comings; });
+}
+
+}  // namespace s3::serve

@@ -1,0 +1,70 @@
+// A ThetaProvider that many controller threads can read lock-free
+// while live counter updates stream in.
+//
+// core::OnlineSocialModel assumes a single owning thread: its live
+// counters sit in a sequential PairStore whose erase/rehash moves
+// other entries. SharedSocialModel keeps the exact same θ semantics —
+// frozen base model plus copy-on-first-touch live pair counters — but
+// stores the live overlay in a ConcurrentPairStore, so:
+//
+//   * theta()/theta_row() never take a lock (per-bucket seqlock
+//     snapshot reads);
+//   * record_encounter()/record_co_leave() serialize only on the
+//     touched pair's hash bucket, so per-domain serve controllers
+//     update disjoint social neighborhoods in parallel;
+//   * read_epoch() exposes the store's mutation stamp, implementing
+//     the ThetaProvider read-snapshot contract for the live regime.
+//
+// Single-threaded, SharedSocialModel and OnlineSocialModel driven by
+// the same event stream produce bit-identical θ values (asserted in
+// tests/serve/serve_test.cpp).
+#pragma once
+
+#include "s3/social/concurrent_pair_store.h"
+#include "s3/social/social_index.h"
+
+namespace s3::serve {
+
+class SharedSocialModel : public social::ThetaProvider {
+ public:
+  /// `base` must outlive this object; its pair stats seed the live
+  /// counters lazily (copy-on-first-touch, at first write).
+  explicit SharedSocialModel(const social::SocialIndexModel* base,
+                             std::size_t expected_live_pairs = 0);
+
+  double theta(UserId u, UserId v) const override;
+  void theta_row(UserId u, std::span<const UserId> vs,
+                 std::span<double> out) const override;
+  std::size_t num_users() const override { return base_->num_users(); }
+  std::uint64_t read_epoch() const noexcept override {
+    return store_.epoch();
+  }
+
+  /// Live-event writers (any thread). Counters are seeded from the
+  /// base model's trained statistics the first time a pair is touched,
+  /// so the live ratio continues the history instead of restarting.
+  void record_encounter(UserId u, UserId v);
+  void record_co_leave(UserId u, UserId v);
+  void record_co_coming(UserId u, UserId v);
+
+  /// Pairs whose statistics changed since training.
+  std::size_t updated_pairs() const noexcept { return store_.size(); }
+
+  const social::SocialIndexModel& base() const noexcept { return *base_; }
+  const social::ConcurrentPairStore& live() const noexcept { return store_; }
+
+ private:
+  template <typename Fn>
+  void bump(UserId u, UserId v, Fn&& fn) {
+    const UserPair key(u, v);
+    social::ConcurrentPairStore::Stats seed{};
+    const social::PairStore::Stats* trained = base_->pair_stats().find(key);
+    if (trained != nullptr) seed = *trained;
+    store_.update(key, std::forward<Fn>(fn), &seed);
+  }
+
+  const social::SocialIndexModel* base_;
+  social::ConcurrentPairStore store_;
+};
+
+}  // namespace s3::serve

@@ -1,0 +1,333 @@
+#include "s3/social/concurrent_pair_store.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace s3::social {
+
+ConcurrentPairStore::Table::Table(std::size_t n)
+    : mask(n - 1), buckets(new Bucket[n]) {}
+
+ConcurrentPairStore::Table::~Table() {
+  for (std::size_t i = 0; i <= mask; ++i) {
+    Node* n = buckets[i].overflow.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+}
+
+ConcurrentPairStore::ConcurrentPairStore(std::size_t expected_pairs) {
+  // Aim for at most half the inline-cell budget at the expected size,
+  // like PairStore's 1/2 load-factor bound.
+  std::size_t buckets = kMinBuckets;
+  if (expected_pairs > 0) {
+    buckets = std::max(kMinBuckets,
+                       std::bit_ceil((expected_pairs * 2) / kCells + 1));
+  }
+  auto table = std::make_unique<Table>(buckets);
+  table_.store(table.get(), std::memory_order_release);
+  util::MutexLock lock(resize_mu_);
+  tables_.push_back(std::move(table));
+}
+
+ConcurrentPairStore::~ConcurrentPairStore() = default;
+
+std::size_t ConcurrentPairStore::bucket_count() const noexcept {
+  return table_.load(std::memory_order_acquire)->mask + 1;
+}
+
+std::optional<ConcurrentPairStore::Stats> ConcurrentPairStore::find(
+    UserPair p) const noexcept {
+  const std::uint64_t key = pack(p);
+  const std::size_t h = hash(key);
+  const std::uint8_t tag = tag_of(h);
+  for (;;) {
+    const Table* t = table_.load(std::memory_order_acquire);
+    const Bucket& b = t->buckets[h & t->mask];
+    const std::uint32_t v1 = b.version.load(std::memory_order_acquire);
+    if ((v1 & 1u) != 0) continue;  // writer in this bucket; retry
+    bool found = false;
+    Stats s{};
+    for (std::size_t i = 0; i < kCells; ++i) {
+      if (b.tags[i].load(std::memory_order_relaxed) == tag &&
+          b.cells[i].key.load(std::memory_order_relaxed) == key) {
+        s.encounters = b.cells[i].encounters.load(std::memory_order_relaxed);
+        s.co_leaves = b.cells[i].co_leaves.load(std::memory_order_relaxed);
+        s.co_comings = b.cells[i].co_comings.load(std::memory_order_relaxed);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      for (const Node* n = b.overflow.load(std::memory_order_acquire);
+           n != nullptr; n = n->next.load(std::memory_order_acquire)) {
+        if (n->cell.key.load(std::memory_order_relaxed) == key) {
+          s.encounters = n->cell.encounters.load(std::memory_order_relaxed);
+          s.co_leaves = n->cell.co_leaves.load(std::memory_order_relaxed);
+          s.co_comings = n->cell.co_comings.load(std::memory_order_relaxed);
+          found = true;
+          break;
+        }
+      }
+    }
+    // Seqlock close: the snapshot is valid iff the version did not move
+    // while we scanned and the table was not republished under us.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (b.version.load(std::memory_order_relaxed) != v1) continue;
+    if (table_.load(std::memory_order_relaxed) != t) continue;
+    if (!found) return std::nullopt;
+    return s;
+  }
+}
+
+ConcurrentPairStore::MutSlot ConcurrentPairStore::acquire_slot(
+    std::uint64_t key) {
+  const std::size_t h = hash(key);
+  const std::uint8_t tag = tag_of(h);
+  for (;;) {
+    Table* t = table_.load(std::memory_order_acquire);
+    Bucket& b = t->buckets[h & t->mask];
+    b.lock.lock();
+    if (table_.load(std::memory_order_relaxed) != t) {
+      // Resized while we waited for the lock; the entry now lives (or
+      // will live) in the new table.
+      b.lock.unlock();
+      continue;
+    }
+    MutSlot slot{&b, nullptr, kCells, false, tag, key};
+    slot.table = t;
+    // Existing inline cell?
+    for (std::size_t i = 0; i < kCells; ++i) {
+      if (b.tags[i].load(std::memory_order_relaxed) == tag &&
+          b.cells[i].key.load(std::memory_order_relaxed) == key) {
+        slot.cell = &b.cells[i];
+        slot.inline_index = i;
+        return slot;
+      }
+    }
+    // Existing overflow node?
+    for (Node* n = b.overflow.load(std::memory_order_relaxed); n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      if (n->cell.key.load(std::memory_order_relaxed) == key) {
+        slot.cell = &n->cell;
+        return slot;
+      }
+    }
+    slot.inserted = true;
+    // Claim the first empty inline cell...
+    for (std::size_t i = 0; i < kCells; ++i) {
+      if (b.tags[i].load(std::memory_order_relaxed) == 0) {
+        slot.cell = &b.cells[i];
+        slot.inline_index = i;
+        return slot;
+      }
+    }
+    // ...else reuse a dead overflow node...
+    for (Node* n = b.overflow.load(std::memory_order_relaxed); n != nullptr;
+         n = n->next.load(std::memory_order_relaxed)) {
+      if (n->cell.key.load(std::memory_order_relaxed) == kEmptyKey) {
+        slot.cell = &n->cell;
+        return slot;
+      }
+    }
+    // ...else push a fresh node. Publishing with release makes the
+    // node's (still-empty) cell visible to lock-free chain walkers;
+    // its key is only set inside commit_slot's seqlock section.
+    Node* node = new Node;
+    node->next.store(b.overflow.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    b.overflow.store(node, std::memory_order_release);
+    slot.cell = &node->cell;
+    return slot;
+  }
+}
+
+ConcurrentPairStore::Stats ConcurrentPairStore::load_stats(
+    const MutSlot& slot) noexcept {
+  Stats s{};
+  s.encounters = slot.cell->encounters.load(std::memory_order_relaxed);
+  s.co_leaves = slot.cell->co_leaves.load(std::memory_order_relaxed);
+  s.co_comings = slot.cell->co_comings.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ConcurrentPairStore::commit_slot(MutSlot& slot, const Stats& value) {
+  Bucket& b = *slot.bucket;
+  const std::uint32_t v = b.version.load(std::memory_order_relaxed);
+  b.version.store(v + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  if (slot.inserted) {
+    slot.cell->key.store(slot.key, std::memory_order_relaxed);
+    if (slot.inline_index < kCells) {
+      b.tags[slot.inline_index].store(slot.tag, std::memory_order_relaxed);
+    }
+  }
+  slot.cell->encounters.store(value.encounters, std::memory_order_relaxed);
+  slot.cell->co_leaves.store(value.co_leaves, std::memory_order_relaxed);
+  slot.cell->co_comings.store(value.co_comings, std::memory_order_relaxed);
+  b.version.store(v + 2, std::memory_order_release);
+  b.lock.unlock();
+  if (slot.inserted) {
+    const std::size_t n = size_.fetch_add(1, std::memory_order_release) + 1;
+    epoch_.fetch_add(1, std::memory_order_release);
+    // Grow once the inline-cell budget is half committed, before
+    // overflow chains become the common case.
+    if (n > (slot.table->mask + 1) * kCells / 2) maybe_grow(slot.table);
+  } else {
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+bool ConcurrentPairStore::erase(UserPair p) {
+  const std::uint64_t key = pack(p);
+  const std::size_t h = hash(key);
+  const std::uint8_t tag = tag_of(h);
+  for (;;) {
+    Table* t = table_.load(std::memory_order_acquire);
+    Bucket& b = t->buckets[h & t->mask];
+    util::SpinlockGuard guard(b.lock);
+    if (table_.load(std::memory_order_relaxed) != t) continue;
+    std::size_t inline_index = kCells;
+    Cell* cell = nullptr;
+    for (std::size_t i = 0; i < kCells; ++i) {
+      if (b.tags[i].load(std::memory_order_relaxed) == tag &&
+          b.cells[i].key.load(std::memory_order_relaxed) == key) {
+        cell = &b.cells[i];
+        inline_index = i;
+        break;
+      }
+    }
+    if (cell == nullptr) {
+      for (Node* n = b.overflow.load(std::memory_order_relaxed); n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        if (n->cell.key.load(std::memory_order_relaxed) == key) {
+          cell = &n->cell;
+          break;
+        }
+      }
+    }
+    if (cell == nullptr) return false;
+    const std::uint32_t v = b.version.load(std::memory_order_relaxed);
+    b.version.store(v + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    if (inline_index < kCells) {
+      b.tags[inline_index].store(0, std::memory_order_relaxed);
+    }
+    cell->key.store(kEmptyKey, std::memory_order_relaxed);
+    cell->encounters.store(0, std::memory_order_relaxed);
+    cell->co_leaves.store(0, std::memory_order_relaxed);
+    cell->co_comings.store(0, std::memory_order_relaxed);
+    b.version.store(v + 2, std::memory_order_release);
+    size_.fetch_sub(1, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+}
+
+void ConcurrentPairStore::maybe_grow(Table* seen) {
+  util::MutexLock lock(resize_mu_);
+  if (tables_.back().get() != seen) return;  // someone else already grew
+  const std::size_t buckets = seen->mask + 1;
+  if (size_.load(std::memory_order_acquire) <= buckets * kCells / 2) return;
+  rehash_locked(buckets * 2);
+}
+
+void ConcurrentPairStore::rehash_locked(std::size_t new_buckets) {
+  Table* old = tables_.back().get();
+  // Exclude every writer; readers stay lock-free on the old table and
+  // notice the republished pointer when they close their snapshot.
+  for (std::size_t i = 0; i <= old->mask; ++i) old->buckets[i].lock.lock();
+  auto fresh = std::make_unique<Table>(new_buckets);
+  for (std::size_t i = 0; i <= old->mask; ++i) {
+    const Bucket& ob = old->buckets[i];
+    auto insert = [&fresh](const Cell& cell) {
+      const std::uint64_t key = cell.key.load(std::memory_order_relaxed);
+      if (key == kEmptyKey) return;
+      const std::size_t h = hash(key);
+      Bucket& nb = fresh->buckets[h & fresh->mask];
+      Cell* target = nullptr;
+      for (std::size_t c = 0; c < kCells; ++c) {
+        if (nb.tags[c].load(std::memory_order_relaxed) == 0) {
+          nb.tags[c].store(tag_of(h), std::memory_order_relaxed);
+          target = &nb.cells[c];
+          break;
+        }
+      }
+      if (target == nullptr) {
+        Node* node = new Node;
+        node->next.store(nb.overflow.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        nb.overflow.store(node, std::memory_order_relaxed);
+        target = &node->cell;
+      }
+      target->key.store(key, std::memory_order_relaxed);
+      target->encounters.store(
+          cell.encounters.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      target->co_leaves.store(cell.co_leaves.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+      target->co_comings.store(cell.co_comings.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+    };
+    for (std::size_t c = 0; c < kCells; ++c) {
+      if (ob.tags[c].load(std::memory_order_relaxed) != 0) {
+        insert(ob.cells[c]);
+      }
+    }
+    for (const Node* n = ob.overflow.load(std::memory_order_relaxed);
+         n != nullptr; n = n->next.load(std::memory_order_relaxed)) {
+      insert(n->cell);
+    }
+  }
+  table_.store(fresh.get(), std::memory_order_release);
+  tables_.push_back(std::move(fresh));
+  for (std::size_t i = old->mask + 1; i-- > 0;) old->buckets[i].lock.unlock();
+}
+
+std::vector<ConcurrentPairStore::Entry> ConcurrentPairStore::sorted_entries()
+    const {
+  util::MutexLock lock(resize_mu_);
+  Table* t = tables_.back().get();
+  std::vector<Entry> out;
+  out.reserve(size_.load(std::memory_order_acquire));
+  for (std::size_t i = 0; i <= t->mask; ++i) t->buckets[i].lock.lock();
+  for (std::size_t i = 0; i <= t->mask; ++i) {
+    const Bucket& b = t->buckets[i];
+    auto collect = [&out](const Cell& cell) {
+      const std::uint64_t key = cell.key.load(std::memory_order_relaxed);
+      if (key == kEmptyKey) return;
+      Stats s;
+      s.encounters = cell.encounters.load(std::memory_order_relaxed);
+      s.co_leaves = cell.co_leaves.load(std::memory_order_relaxed);
+      s.co_comings = cell.co_comings.load(std::memory_order_relaxed);
+      out.push_back(Entry{unpack(key), s});
+    };
+    for (std::size_t c = 0; c < kCells; ++c) {
+      if (b.tags[c].load(std::memory_order_relaxed) != 0) collect(b.cells[c]);
+    }
+    for (const Node* n = b.overflow.load(std::memory_order_relaxed);
+         n != nullptr; n = n->next.load(std::memory_order_relaxed)) {
+      collect(n->cell);
+    }
+  }
+  for (std::size_t i = t->mask + 1; i-- > 0;) t->buckets[i].lock.unlock();
+  std::sort(out.begin(), out.end(), [](const Entry& x, const Entry& y) {
+    return x.pair < y.pair;
+  });
+  return out;
+}
+
+void ConcurrentPairStore::clear() {
+  util::MutexLock lock(resize_mu_);
+  auto fresh = std::make_unique<Table>(kMinBuckets);
+  table_.store(fresh.get(), std::memory_order_release);
+  size_.store(0, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  tables_.clear();  // documented: callers quiesce before clear()
+  tables_.push_back(std::move(fresh));
+}
+
+}  // namespace s3::social

@@ -1,0 +1,212 @@
+// Thread-safe pair-keyed storage for social statistics — the
+// live-serving counterpart of PairStore.
+//
+// PairStore's open addressing is single-writer by construction: a
+// backward-shift erase or rehash moves other pairs' slots, so every
+// reader must be excluded for any writer. The serve pipeline needs the
+// opposite: many controller threads answering θ(u,v) while online
+// counter updates trickle in. ConcurrentPairStore therefore trades
+// open addressing for *bucket chaining*: every key hashes to exactly
+// one bucket of kCells inline cells (a one-byte tag per cell, probed
+// in bulk before any key compare) plus an overflow node chain, so a
+// mutation only ever touches its own bucket.
+//
+//   - Readers (find) take no lock at all: each bucket carries a seqlock
+//     (even/odd version word); a reader snapshots the bucket's version,
+//     scans tags → keys → counters with relaxed atomic loads, and
+//     retries iff the version moved. Uncontended cost is one acquire
+//     load over PairStore's probe.
+//   - Writers (update/erase) take the bucket's one-byte spinlock, bump
+//     the version odd, mutate, bump it even. Writers to different
+//     buckets never contend.
+//   - Growth allocates a double-size table, copies under all bucket
+//     locks, and publishes it with one atomic pointer store. Old
+//     tables are retired, not freed, until clear()/destruction, so an
+//     in-flight reader can finish its (consistent, pre-resize)
+//     snapshot and then notice the pointer moved.
+//
+// Overflow nodes are never unlinked while a table is live — erase
+// marks them dead for reuse — so readers can walk a chain without
+// hazard pointers. A monotonically increasing epoch() is bumped after
+// every committed mutation; ThetaProvider's read-snapshot contract
+// (social_index.h) builds on it.
+//
+// Counter reads are per-bucket-consistent snapshots, and single-thread
+// behaviour is exactly PairStore's (asserted by the randomized
+// differential test in tests/social/concurrent_pair_store_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "s3/analysis/events.h"
+#include "s3/util/ids.h"
+#include "s3/util/spinlock.h"
+#include "s3/util/thread_annotations.h"
+
+namespace s3::social {
+
+class ConcurrentPairStore {
+ public:
+  using Stats = analysis::PairEventStats;
+
+  static constexpr std::size_t kCells = 8;  ///< inline cells per bucket
+
+  ConcurrentPairStore() : ConcurrentPairStore(0) {}
+  /// Pre-sizes for `expected_pairs` entries (no resize until the
+  /// inline-cell budget is half full).
+  explicit ConcurrentPairStore(std::size_t expected_pairs);
+  ~ConcurrentPairStore();
+
+  ConcurrentPairStore(const ConcurrentPairStore&) = delete;
+  ConcurrentPairStore& operator=(const ConcurrentPairStore&) = delete;
+
+  /// Same packed-key convention as PairStore, so serialized models and
+  /// differential tests agree byte-for-byte.
+  static constexpr std::uint64_t pack(UserPair p) noexcept {
+    return (static_cast<std::uint64_t>(p.a) << 32) | p.b;
+  }
+  static constexpr UserPair unpack(std::uint64_t key) noexcept {
+    return UserPair(static_cast<UserId>(key >> 32),
+                    static_cast<UserId>(key & 0xffffffffULL));
+  }
+
+  /// Lock-free consistent snapshot of the pair's counters, or nullopt
+  /// if absent. Safe from any thread, including concurrently with
+  /// update/erase/resize.
+  std::optional<Stats> find(UserPair p) const noexcept;
+
+  /// Atomically applies `fn(Stats&)` to the pair's counters, creating
+  /// them first if absent — zero-initialized, or copied from
+  /// `init_if_new` when given (copy-on-first-touch seeding from a
+  /// frozen base model). Takes only the owning bucket's spinlock;
+  /// concurrent readers of the bucket retry around the mutation.
+  /// Returns true when the pair was newly inserted.
+  template <typename Fn>
+  bool update(UserPair p, Fn&& fn, const Stats* init_if_new = nullptr) {
+    const std::uint64_t key = pack(p);
+    Stats scratch{};
+    MutSlot slot = acquire_slot(key);  // holds the bucket lock
+    if (!slot.inserted) {
+      scratch = load_stats(slot);
+    } else if (init_if_new != nullptr) {
+      scratch = *init_if_new;
+    }
+    fn(scratch);
+    commit_slot(slot, scratch);  // seqlock write + unlock + epoch bump
+    return slot.inserted;
+  }
+
+  /// Inserts or overwrites; returns true when the pair was new.
+  bool assign(UserPair p, const Stats& stats) {
+    return update(p, [&stats](Stats& s) { s = stats; });
+  }
+
+  /// Removes the pair. Returns whether it existed.
+  bool erase(UserPair p);
+
+  /// Entry count. Exact when quiescent; momentary under concurrency.
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Monotonic mutation stamp: advances after every committed
+  /// update/assign/erase/clear. Two equal epoch() reads bracket a
+  /// window in which no counters changed.
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Current bucket count (power of two).
+  std::size_t bucket_count() const noexcept;
+
+  struct Entry {
+    UserPair pair;
+    Stats stats;
+  };
+  /// All entries sorted by (a, b), as a quiesced snapshot (takes every
+  /// bucket lock). Matches PairStore::sorted_entries() ordering.
+  std::vector<Entry> sorted_entries() const S3_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Drops every entry and frees retired tables. Not safe concurrently
+  /// with readers of previously returned snapshots — callers quiesce.
+  void clear();
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> key{kEmptyKey};
+    std::atomic<std::uint32_t> encounters{0};
+    std::atomic<std::uint32_t> co_leaves{0};
+    std::atomic<std::uint32_t> co_comings{0};
+  };
+  struct Node {
+    Cell cell;
+    std::atomic<Node*> next{nullptr};
+  };
+  struct Bucket {
+    util::Spinlock lock;
+    std::atomic<std::uint32_t> version{0};  ///< seqlock; odd = writing
+    std::atomic<std::uint8_t> tags[kCells]{};
+    Cell cells[kCells];
+    std::atomic<Node*> overflow{nullptr};
+  };
+  struct Table {
+    explicit Table(std::size_t n);
+    ~Table();
+    std::size_t mask;  ///< bucket_count - 1
+    std::unique_ptr<Bucket[]> buckets;
+  };
+
+  /// A located-or-claimed cell, with its bucket lock held. Only ever
+  /// lives on update()'s stack between acquire_slot and commit_slot.
+  struct MutSlot {
+    Bucket* bucket;
+    Cell* cell;
+    std::size_t inline_index;  ///< kCells when `cell` is an overflow node
+    bool inserted;
+    std::uint8_t tag;
+    std::uint64_t key;
+    Table* table = nullptr;  ///< table the slot was located in
+  };
+
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+  static constexpr std::size_t kMinBuckets = 8;
+
+  /// splitmix64 finalizer — identical to PairStore::hash.
+  static std::size_t hash(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+  /// One-byte cell fingerprint from the hash's top bits; 0 is reserved
+  /// for "empty" so a tag match always implies a live cell.
+  static std::uint8_t tag_of(std::size_t h) noexcept {
+    const auto t = static_cast<std::uint8_t>(h >> 56);
+    return t == 0 ? std::uint8_t{1} : t;
+  }
+
+  MutSlot acquire_slot(std::uint64_t key) S3_NO_THREAD_SAFETY_ANALYSIS;
+  static Stats load_stats(const MutSlot& slot) noexcept;
+  void commit_slot(MutSlot& slot, const Stats& value)
+      S3_NO_THREAD_SAFETY_ANALYSIS;
+
+  void maybe_grow(Table* seen);
+  void rehash_locked(std::size_t new_buckets) S3_REQUIRES(resize_mu_)
+      S3_NO_THREAD_SAFETY_ANALYSIS;
+
+  std::atomic<Table*> table_{nullptr};
+  alignas(64) std::atomic<std::size_t> size_{0};
+  alignas(64) std::atomic<std::uint64_t> epoch_{0};
+
+  mutable util::Mutex resize_mu_;
+  /// Every table ever published, oldest first; the last is current.
+  /// Retired tables stay allocated so lock-free readers holding the
+  /// old pointer stay safe (freed in clear()/destructor).
+  std::vector<std::unique_ptr<Table>> tables_ S3_GUARDED_BY(resize_mu_);
+};
+
+}  // namespace s3::social

@@ -48,6 +48,15 @@ struct SocialModelConfig {
 /// Anything that can answer "how socially tied are u and v?". The
 /// selection algorithm depends only on this, so a frozen trained model
 /// and a continuously-updated online model are interchangeable.
+///
+/// Read-snapshot contract: every implementation must make theta() and
+/// theta_row() safe to call concurrently with each other from any
+/// number of threads. Whether reads may also race with *mutations* is
+/// implementation-specific — SocialIndexModel is immutable after
+/// train/from_parts, core::OnlineSocialModel assumes a single owning
+/// thread, and serve::SharedSocialModel supports fully concurrent
+/// lock-free reads against live counter updates. read_epoch() lets a
+/// caller tell which regime it observed.
 class ThetaProvider {
  public:
   virtual ~ThetaProvider() = default;
@@ -63,6 +72,14 @@ class ThetaProvider {
   /// scalar path.
   virtual void theta_row(UserId u, std::span<const UserId> vs,
                          std::span<double> out) const;
+
+  /// Monotonic stamp of the statistics behind theta. Two equal
+  /// read_epoch() values bracketing a run of theta/theta_row calls
+  /// prove all of those reads came from one unchanged snapshot; a
+  /// moved epoch means live counters advanced mid-run (each individual
+  /// read remains per-pair consistent regardless). Immutable providers
+  /// return 0 forever — the default.
+  virtual std::uint64_t read_epoch() const noexcept { return 0; }
 
   /// Number of users the provider knows about (ids must be < this).
   virtual std::size_t num_users() const = 0;

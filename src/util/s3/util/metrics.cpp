@@ -7,6 +7,38 @@
 
 namespace s3::util {
 
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = (p / 100.0) * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    for (std::size_t s = 0; s < kSub; ++s) {
+      const std::uint64_t c = fine_[b * kSub + s].load(std::memory_order_relaxed);
+      if (c > 0 && static_cast<double>(cum + c) >= target) {
+        // Sub-bucket value range [lo, hi): interpolate by how far into
+        // this cell's population the target rank sits.
+        double lo = 0.0, hi = 1.0;
+        if (b > 0) {
+          const std::uint64_t base = std::uint64_t{1} << (b - 1);
+          const std::uint64_t step = base / kSub > 0 ? base / kSub : 1;
+          lo = static_cast<double>(base + s * step);
+          const double bucket_hi = static_cast<double>(base) * 2.0;
+          hi = std::min(lo + static_cast<double>(step), bucket_hi);
+        }
+        const double frac =
+            std::max(0.0, target - static_cast<double>(cum)) /
+            static_cast<double>(c);
+        const double v = lo + frac * (hi - lo);
+        return std::min(v, static_cast<double>(max()));
+      }
+      cum += c;
+    }
+  }
+  return static_cast<double>(max());
+}
+
 MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
                                                MetricKind kind) {
   const auto it = entries_.find(name);
@@ -69,6 +101,9 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
         s.total = e.histogram->sum();
         s.mean = e.histogram->mean();
         s.max = e.histogram->max();
+        s.p50 = e.histogram->percentile(50.0);
+        s.p95 = e.histogram->percentile(95.0);
+        s.p99 = e.histogram->percentile(99.0);
         break;
     }
     out.push_back(std::move(s));
@@ -128,7 +163,8 @@ void StreamSink::write(std::span<const MetricSample> samples) {
         break;
       case MetricKind::kHistogram:
         *out_ << " histogram count=" << s.count << " sum=" << s.total
-              << " mean=" << s.mean << " max=" << s.max;
+              << " mean=" << s.mean << " max=" << s.max << " p50=" << s.p50
+              << " p95=" << s.p95 << " p99=" << s.p99;
         break;
     }
     *out_ << "\n";

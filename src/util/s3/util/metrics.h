@@ -96,14 +96,23 @@ class ScopedTimer {
 };
 
 /// Log2-bucketed distribution of non-negative integer samples (batch
-/// sizes, clique sizes, ...). Bucket i counts samples whose bit width
-/// is i, i.e. bucket 0 holds value 0, bucket i holds [2^(i-1), 2^i).
+/// sizes, clique sizes, latencies in ns, ...). Bucket i counts samples
+/// whose bit width is i, i.e. bucket 0 holds value 0, bucket i holds
+/// [2^(i-1), 2^i).
+///
+/// Internally each major (log2) bucket is split into kSub log-linear
+/// sub-buckets of equal width, bounding the relative quantile error to
+/// ~1/kSub regardless of magnitude; percentile() interpolates within
+/// the sub-bucket the requested rank falls in. The public bucket
+/// granularity (`bucket_of`, `bucket`) stays log2.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 41;  // values up to 2^40 - 1
+  static constexpr std::size_t kSub = 16;      // sub-buckets per bucket
 
   void record(std::uint64_t v) noexcept {
-    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    const std::size_t b = bucket_of(v);
+    fine_[b * kSub + sub_of(v, b)].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     // Racy max is fine: the loop converges and the final value is the
@@ -128,8 +137,18 @@ class Histogram {
     return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
   }
   std::uint64_t bucket(std::size_t i) const {
-    return buckets_[i].load(std::memory_order_relaxed);
+    std::uint64_t n = 0;
+    for (std::size_t s = 0; s < kSub; ++s) {
+      n += fine_[i * kSub + s].load(std::memory_order_relaxed);
+    }
+    return n;
   }
+
+  /// Estimated value at percentile p (0..100), linearly interpolated
+  /// within the sub-bucket the rank lands in and clamped to max().
+  /// Concurrent writers make the walk a momentary snapshot, same as
+  /// count()/mean(). Returns 0 on an empty histogram.
+  double percentile(double p) const noexcept;
 
   static std::size_t bucket_of(std::uint64_t v) noexcept {
     std::size_t b = 0;
@@ -141,14 +160,26 @@ class Histogram {
   }
 
   void reset() noexcept {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    for (auto& b : fine_) b.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  alignas(64) std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  // Sub-bucket of v within major bucket b. Bucket b >= 1 spans
+  // [2^(b-1), 2^b); each sub-bucket covers width/kSub of it (at least
+  // 1, so narrow low buckets just use their first `width` cells).
+  // Values saturated into the last major bucket clamp to its last cell.
+  static std::size_t sub_of(std::uint64_t v, std::size_t b) noexcept {
+    if (b == 0) return 0;
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    const std::uint64_t step = lo / kSub > 0 ? lo / kSub : 1;
+    const std::uint64_t s = (v - lo) / step;
+    return s < kSub ? static_cast<std::size_t>(s) : kSub - 1;
+  }
+
+  alignas(64) std::atomic<std::uint64_t> fine_[kBuckets * kSub]{};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> max_{0};
@@ -158,7 +189,7 @@ enum class MetricKind : std::uint8_t { kCounter, kTimer, kHistogram };
 
 /// One metric's state at snapshot time. For counters only `count` is
 /// meaningful; timers use (count, total=ns, mean=ns/call); histograms
-/// use (count, total=sum, mean, max).
+/// use (count, total=sum, mean, max, p50/p95/p99).
 struct MetricSample {
   std::string name;
   MetricKind kind = MetricKind::kCounter;
@@ -166,6 +197,9 @@ struct MetricSample {
   std::uint64_t total = 0;
   double mean = 0.0;
   std::uint64_t max = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 /// Receives registry snapshots on MetricsRegistry::flush().

@@ -1,0 +1,65 @@
+// A one-byte test-and-test-and-set spinlock.
+//
+// The concurrent pair store keys its write serialization to individual
+// hash buckets; a std::mutex per bucket would cost 40 bytes each and
+// park threads in the kernel for critical sections of a few dozen
+// instructions. This lock is a single byte, spins in user space with a
+// relaxed read loop between exchange attempts (so waiters hammer a
+// shared cache line only when it may have changed), and carries the
+// same capability annotations as util::Mutex so clang's
+// -Wthread-safety analysis covers bucket-locked code paths.
+//
+// Use only around short, bounded critical sections (counter bumps,
+// cell claims). Anything that can block or allocate belongs under a
+// real mutex.
+#pragma once
+
+#include <atomic>
+
+#include "s3/util/thread_annotations.h"
+
+namespace s3::util {
+
+class S3_CAPABILITY("mutex") Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept S3_ACQUIRE() {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      // Test-and-test-and-set: wait on a plain load so the cache line
+      // stays shared while the holder works.
+      while (locked_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  bool try_lock() noexcept S3_TRY_ACQUIRE(true) {
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept S3_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// Scoped lock for Spinlock (std::lock_guard is not annotated).
+class S3_SCOPED_CAPABILITY SpinlockGuard {
+ public:
+  explicit SpinlockGuard(Spinlock& lock) S3_ACQUIRE(lock) : lock_(&lock) {
+    lock_->lock();
+  }
+  ~SpinlockGuard() S3_RELEASE() { lock_->unlock(); }
+  SpinlockGuard(const SpinlockGuard&) = delete;
+  SpinlockGuard& operator=(const SpinlockGuard&) = delete;
+
+ private:
+  Spinlock* lock_;
+};
+
+}  // namespace s3::util

@@ -1,0 +1,299 @@
+// s3::serve — live pipeline and shared social model.
+//
+// The anchor test proves the concurrency refactor changed nothing
+// semantically: a ServePipeline's live event detection drives a
+// SharedSocialModel to bit-identical θ values with the single-owner
+// core::OnlineSocialModel fed the same association events.
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "s3/core/evaluation.h"
+#include "s3/core/online_s3.h"
+#include "s3/fault/fault_injector.h"
+#include "s3/fault/fault_plan.h"
+#include "s3/serve/line_protocol.h"
+#include "s3/serve/serve_pipeline.h"
+#include "s3/trace/generator.h"
+
+namespace s3::serve {
+namespace {
+
+/// Small trained world shared by every test in this file.
+struct World {
+  trace::GeneratedTrace gen;
+  social::SocialIndexModel model;
+
+  World()
+      : gen(trace::generate_campus_trace(config())),
+        model(core::train_from_workload(gen.network, gen.workload, eval())) {}
+
+  static trace::GeneratorConfig config() {
+    trace::GeneratorConfig cfg;
+    cfg.seed = 7;
+    cfg.num_users = 200;
+    cfg.num_days = 5;
+    cfg.layout.num_buildings = 2;
+    cfg.layout.aps_per_building = 4;
+    return cfg;
+  }
+  static core::EvaluationConfig eval() {
+    core::EvaluationConfig e;
+    e.train_days = 4;
+    e.test_days = 1;
+    return e;
+  }
+};
+
+const World& world() {
+  static const World w;
+  return w;
+}
+
+PlaceRequest request(std::uint64_t id, UserId user, BuildingId b,
+                     std::int64_t t_s, double demand = 1.0) {
+  PlaceRequest req;
+  req.id = id;
+  req.user = user;
+  req.building = b;
+  const wlan::BuildingConfig& bc = world().gen.network.building(b);
+  req.pos = {bc.origin.x + 5.0 + static_cast<double>(user % 7),
+             bc.origin.y + 5.0 + static_cast<double>(user % 5)};
+  req.when = util::SimTime::from_seconds(t_s);
+  req.demand_mbps = demand;
+  return req;
+}
+
+TEST(ServePipeline, PlacesAndDeparts) {
+  ServeConfig cfg;
+  ServePipeline p(&world().gen.network, &world().model, cfg);
+  const PlaceResult r = p.place(request(1, 0, 0, 0));
+  ASSERT_TRUE(r.placed);
+  EXPECT_LT(r.ap, world().gen.network.num_aps());
+  EXPECT_EQ(p.active_sessions(), 1U);
+  EXPECT_TRUE(p.depart(1, util::SimTime::from_seconds(100)));
+  EXPECT_EQ(p.active_sessions(), 0U);
+  EXPECT_EQ(p.stats().placements, 1U);
+  EXPECT_EQ(p.stats().departures, 1U);
+}
+
+TEST(ServePipeline, RejectsDuplicateIdAndUnknownDeparture) {
+  ServePipeline p(&world().gen.network, &world().model, {});
+  ASSERT_TRUE(p.place(request(7, 0, 0, 0)).placed);
+  EXPECT_FALSE(p.place(request(7, 1, 0, 10)).placed);
+  EXPECT_EQ(p.stats().rejected_duplicate_id, 1U);
+  EXPECT_FALSE(p.depart(999, util::SimTime::from_seconds(1)));
+  EXPECT_EQ(p.stats().unknown_departures, 1U);
+  // The duplicate rejection must not have clobbered the live session.
+  EXPECT_TRUE(p.depart(7, util::SimTime::from_seconds(20)));
+}
+
+TEST(ServePipeline, RejectsUnknownUserUnderSocialPolicy) {
+  ServePipeline p(&world().gen.network, &world().model, {});
+  const UserId unknown =
+      static_cast<UserId>(world().model.num_users() + 5);
+  EXPECT_FALSE(p.place(request(1, unknown, 0, 0)).placed);
+  EXPECT_EQ(p.stats().rejected_unknown_user, 1U);
+  // Baselines have no model to miss: the same user places fine.
+  ServeConfig llf;
+  llf.policy = "llf";
+  ServePipeline q(&world().gen.network, &world().model, llf);
+  EXPECT_TRUE(q.place(request(1, unknown, 0, 0)).placed);
+}
+
+// The tentpole equivalence: pipeline-detected encounters/co-leavings
+// must update the shared model to the exact θ the single-owner online
+// model computes from the same events. The pipeline runs the "rssi"
+// policy so AP choice is deterministic and model-independent; every
+// committed (session, user, ap, t) event is mirrored into an
+// OnlineSocialModel, then θ is compared bit for bit over all pairs.
+TEST(SharedSocialModel, BitIdenticalWithOnlineModelOnSameEvents) {
+  const World& w = world();
+  ServeConfig cfg;
+  cfg.policy = "rssi";
+  ServePipeline pipeline(&w.gen.network, &w.model, cfg);
+  core::OnlineSocialModel online(&w.model, {});
+
+  struct Live {
+    UserId user;
+    ApId ap;
+  };
+  std::unordered_map<std::uint64_t, Live> active;
+  std::uint64_t rng = 99;
+  const auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  // Random arrive/depart schedule: long stays on few APs so plenty of
+  // encounter-grade overlaps and co-leavings fire.
+  std::int64_t now = 0;
+  std::uint64_t next_id = 1;
+  for (int step = 0; step < 4000; ++step) {
+    now += 30 + static_cast<std::int64_t>(next() % 90);
+    const util::SimTime t = util::SimTime::from_seconds(now);
+    if (active.size() > 25 || (!active.empty() && next() % 3 == 0)) {
+      const auto victim =
+          std::next(active.begin(),
+                    static_cast<std::ptrdiff_t>(next() % active.size()));
+      online.on_disconnect(victim->first, victim->second.user,
+                           victim->second.ap, t);
+      ASSERT_TRUE(pipeline.depart(victim->first, t));
+      active.erase(victim);
+    } else {
+      const std::uint64_t id = next_id++;
+      const UserId user = static_cast<UserId>(next() % w.model.num_users());
+      const BuildingId b = static_cast<BuildingId>(next() % 2);
+      const PlaceResult r = pipeline.place(request(id, user, b, now));
+      ASSERT_TRUE(r.placed);
+      online.on_associate(id, user, r.ap, t);
+      active.emplace(id, Live{user, r.ap});
+    }
+  }
+
+  EXPECT_GT(pipeline.model().updated_pairs(), 0U)
+      << "schedule produced no social events — test is vacuous";
+  EXPECT_EQ(pipeline.model().updated_pairs(), online.updated_pairs());
+
+  const SharedSocialModel& shared = pipeline.model();
+  const std::size_t n = w.model.num_users();
+  for (UserId u = 0; u < n; ++u) {
+    for (UserId v = static_cast<UserId>(u + 1); v < n; ++v) {
+      ASSERT_EQ(shared.theta(u, v), online.theta(u, v))
+          << "theta mismatch at (" << u << ", " << v << ")";
+    }
+  }
+  // Row kernel agrees with the online model's row kernel too.
+  std::vector<UserId> vs(n);
+  for (UserId v = 0; v < n; ++v) vs[v] = v;
+  std::vector<double> shared_row(n);
+  std::vector<double> online_row(n);
+  for (UserId u = 0; u < n; u += 17) {
+    shared.theta_row(u, vs, shared_row);
+    online.theta_row(u, vs, online_row);
+    EXPECT_EQ(shared_row, online_row) << "theta_row mismatch at u=" << u;
+  }
+  // Both sides advertise a moving read snapshot.
+  EXPECT_GT(shared.read_epoch(), 0U);
+  EXPECT_GT(online.read_epoch(), 0U);
+}
+
+TEST(ServePipeline, ModelOutageServesFallbackAndRecovers) {
+  fault::FaultPlan plan;
+  plan.model_outages.push_back(
+      {util::SimTime::from_seconds(100), util::SimTime::from_seconds(200)});
+  const fault::FaultInjector injector(plan, 1);
+  ServeConfig cfg;
+  cfg.injector = &injector;
+  ServePipeline p(&world().gen.network, &world().model, cfg);
+
+  ASSERT_TRUE(p.place(request(1, 0, 0, 10)).placed);
+  EXPECT_EQ(p.stats().fallback_placements, 0U);
+
+  const PlaceResult during = p.place(request(2, 1, 0, 150));
+  ASSERT_TRUE(during.placed);
+  EXPECT_TRUE(during.fallback);
+  EXPECT_EQ(p.stats().fallback_placements, 1U);
+  EXPECT_EQ(p.domain_health(0), fault::HealthState::kDegraded);
+
+  // After the outage the degradation hysteresis walks back to healthy.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        p.place(request(100 + static_cast<std::uint64_t>(i),
+                        static_cast<UserId>(3 + i), 0, 300 + i * 10))
+            .placed);
+  }
+  EXPECT_EQ(p.domain_health(0), fault::HealthState::kHealthy);
+}
+
+TEST(ServePipeline, DeadApsArePrunedFromCandidates) {
+  // Kill every AP of building 0's controller for the whole run: an
+  // arrival there has no live candidate and must be rejected.
+  const wlan::Network& net = world().gen.network;
+  const ControllerId dom = net.controller_of_building(0);
+  fault::FaultPlan plan;
+  for (const ApId ap : net.aps_of_controller(dom)) {
+    plan.ap_outages.push_back(
+        {ap, util::SimTime::from_seconds(0), util::SimTime::from_days(10)});
+  }
+  const fault::FaultInjector injector(plan, 1);
+  ServeConfig cfg;
+  cfg.injector = &injector;
+  ServePipeline p(&net, &world().model, cfg);
+  EXPECT_FALSE(p.place(request(1, 0, 0, 50)).placed);
+  EXPECT_EQ(p.stats().rejected_no_candidate, 1U);
+  // The other building's domain is untouched.
+  EXPECT_TRUE(p.place(request(2, 0, 1, 50)).placed);
+}
+
+TEST(ServePipeline, ConcurrentPlaceDepartKeepsBooksBalanced) {
+  ServePipeline p(&world().gen.network, &world().model, {});
+  constexpr unsigned kThreads = 4;
+  constexpr std::size_t kOps = 300;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&p, t]() {
+      const std::uint64_t base = (static_cast<std::uint64_t>(t) + 1) << 32;
+      for (std::size_t i = 0; i < kOps; ++i) {
+        const std::uint64_t id = base + i;
+        const UserId user = static_cast<UserId>((t * 31 + i) %
+                                                world().model.num_users());
+        const BuildingId b = static_cast<BuildingId>(i % 2);
+        const std::int64_t now = static_cast<std::int64_t>(i) * 60;
+        if (p.place(request(id, user, b, now)).placed && i % 2 == 0) {
+          EXPECT_TRUE(p.depart(id, util::SimTime::from_seconds(now + 30)));
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const ServeStats s = p.stats();
+  EXPECT_EQ(s.placements, kThreads * kOps);
+  EXPECT_EQ(s.departures + p.active_sessions(), s.placements);
+  EXPECT_EQ(s.rejected_duplicate_id, 0U);
+  EXPECT_EQ(s.unknown_departures, 0U);
+}
+
+TEST(LineProtocol, EndToEndScript) {
+  ServePipeline p(&world().gen.network, &world().model, {});
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "arrive 1 0 0 5 5 0 1.0\n"
+      "arrive 1 2 0 5 5 10 1.0\n"
+      "depart 1 100\n"
+      "depart 1 110\n"
+      "stats\n");
+  std::ostringstream out;
+  EXPECT_TRUE(run_line_protocol(p, in, out));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("place 1 "), std::string::npos);
+  EXPECT_NE(text.find("place 1 reject duplicate-id"), std::string::npos);
+  EXPECT_NE(text.find("gone 1\n"), std::string::npos);
+  EXPECT_NE(text.find("gone 1 unknown"), std::string::npos);
+  EXPECT_NE(text.find("stats placements=1 departures=1 active=0"),
+            std::string::npos);
+}
+
+TEST(LineProtocol, MalformedLinesReportErrorsButContinue) {
+  ServePipeline p(&world().gen.network, &world().model, {});
+  std::istringstream in(
+      "arrive nope\n"
+      "frobnicate 1\n"
+      "arrive 5 0 0 5 5 0 1.0\n");
+  std::ostringstream out;
+  EXPECT_FALSE(run_line_protocol(p, in, out));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("error malformed arrive"), std::string::npos);
+  EXPECT_NE(text.find("error unknown verb: frobnicate"), std::string::npos);
+  EXPECT_NE(text.find("place 5 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s3::serve

@@ -1,0 +1,258 @@
+// ConcurrentPairStore correctness:
+//  - randomized differential test against the sequential PairStore
+//    (interleaved upsert-style update / assign / erase / find), proving
+//    the two backends are observationally identical single-threaded;
+//  - multi-thread stress tests (disjoint-key writers, mixed
+//    reader/writer/eraser traffic) designed to run under the TSan CI
+//    job: they assert counter totals and snapshot consistency, and TSan
+//    asserts the absence of data races in the seqlock/striped-lock
+//    machinery.
+#include "s3/social/concurrent_pair_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "s3/social/pair_store.h"
+
+namespace s3::social {
+namespace {
+
+UserPair pair_of(UserId x, UserId y) { return UserPair(x, y); }
+
+TEST(ConcurrentPairStore, EmptyFindsNothing) {
+  ConcurrentPairStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.find(pair_of(1, 2)).has_value());
+  EXPECT_FALSE(store.erase(pair_of(1, 2)));
+}
+
+TEST(ConcurrentPairStore, PackMatchesPairStore) {
+  const UserPair p = pair_of(7, 3);
+  EXPECT_EQ(ConcurrentPairStore::pack(p), PairStore::pack(p));
+  EXPECT_EQ(ConcurrentPairStore::unpack(ConcurrentPairStore::pack(p)), p);
+}
+
+TEST(ConcurrentPairStore, UpdateInsertsThenMutates) {
+  ConcurrentPairStore store;
+  EXPECT_TRUE(store.update(pair_of(1, 2), [](ConcurrentPairStore::Stats& s) {
+    s.encounters = 3;
+  }));
+  EXPECT_FALSE(store.update(pair_of(2, 1), [](ConcurrentPairStore::Stats& s) {
+    s.co_leaves = 2;
+  }));
+  const auto got = store.find(pair_of(1, 2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->encounters, 3u);
+  EXPECT_EQ(got->co_leaves, 2u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ConcurrentPairStore, EpochAdvancesOnEveryMutation) {
+  ConcurrentPairStore store;
+  const std::uint64_t e0 = store.epoch();
+  store.update(pair_of(1, 2), [](ConcurrentPairStore::Stats& s) {
+    ++s.encounters;
+  });
+  const std::uint64_t e1 = store.epoch();
+  EXPECT_GT(e1, e0);
+  store.erase(pair_of(1, 2));
+  EXPECT_GT(store.epoch(), e1);
+  // Pure reads do not advance the epoch.
+  const std::uint64_t e2 = store.epoch();
+  (void)store.find(pair_of(1, 2));
+  EXPECT_EQ(store.epoch(), e2);
+}
+
+TEST(ConcurrentPairStore, GrowsPastInlineBudgetAndKeepsEntries) {
+  ConcurrentPairStore store;
+  const std::size_t initial_buckets = store.bucket_count();
+  constexpr std::uint32_t kPairs = 2000;
+  for (std::uint32_t i = 0; i < kPairs; ++i) {
+    store.update(pair_of(i, i + 100000), [i](ConcurrentPairStore::Stats& s) {
+      s.encounters = i + 1;
+    });
+  }
+  EXPECT_EQ(store.size(), kPairs);
+  EXPECT_GT(store.bucket_count(), initial_buckets);
+  for (std::uint32_t i = 0; i < kPairs; ++i) {
+    const auto got = store.find(pair_of(i, i + 100000));
+    ASSERT_TRUE(got.has_value()) << i;
+    EXPECT_EQ(got->encounters, i + 1) << i;
+  }
+}
+
+TEST(ConcurrentPairStore, ClearEmptiesAndBumpsEpoch) {
+  ConcurrentPairStore store;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    store.assign(pair_of(i, i + 1000), {1, 1, 1});
+  }
+  const std::uint64_t e = store.epoch();
+  store.clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_GT(store.epoch(), e);
+  EXPECT_FALSE(store.find(pair_of(0, 1000)).has_value());
+}
+
+// The core single-threaded contract: driven by the same random op
+// sequence, ConcurrentPairStore and PairStore agree on every find
+// result, on size(), and on the full sorted entry dump.
+TEST(ConcurrentPairStore, RandomizedDifferentialVsPairStore) {
+  ConcurrentPairStore concurrent;
+  PairStore sequential;
+  std::mt19937_64 rng(20260809);
+  std::uniform_int_distribution<std::uint32_t> user(0, 299);
+  std::uniform_int_distribution<int> op(0, 99);
+  std::uniform_int_distribution<std::uint32_t> bump(1, 4);
+
+  for (int step = 0; step < 100000; ++step) {
+    UserId a = user(rng);
+    UserId b = user(rng);
+    if (a == b) b = a + 1;
+    const UserPair p = pair_of(a, b);
+    const int o = op(rng);
+    if (o < 45) {  // upsert-style counter bump
+      const std::uint32_t enc = bump(rng);
+      const std::uint32_t col = bump(rng) % 2;
+      concurrent.update(p, [&](ConcurrentPairStore::Stats& s) {
+        s.encounters += enc;
+        s.co_leaves += col;
+        ++s.co_comings;
+      });
+      PairStore::Stats& s = sequential.upsert(p);
+      s.encounters += enc;
+      s.co_leaves += col;
+      ++s.co_comings;
+    } else if (o < 55) {  // overwrite
+      const PairStore::Stats v{bump(rng), bump(rng) % 3, bump(rng) % 2};
+      EXPECT_EQ(concurrent.assign(p, v), sequential.assign(p, v));
+    } else if (o < 75) {  // erase
+      EXPECT_EQ(concurrent.erase(p), sequential.erase(p)) << "step " << step;
+    } else {  // lookup
+      const auto got = concurrent.find(p);
+      const PairStore::Stats* want = sequential.find(p);
+      ASSERT_EQ(got.has_value(), want != nullptr) << "step " << step;
+      if (want != nullptr) {
+        EXPECT_EQ(got->encounters, want->encounters);
+        EXPECT_EQ(got->co_leaves, want->co_leaves);
+        EXPECT_EQ(got->co_comings, want->co_comings);
+      }
+    }
+    ASSERT_EQ(concurrent.size(), sequential.size()) << "step " << step;
+  }
+
+  const auto got = concurrent.sorted_entries();
+  const auto want = sequential.sorted_entries();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].pair, want[i].pair) << "entry " << i;
+    EXPECT_EQ(got[i].stats.encounters, want[i].stats.encounters);
+    EXPECT_EQ(got[i].stats.co_leaves, want[i].stats.co_leaves);
+    EXPECT_EQ(got[i].stats.co_comings, want[i].stats.co_comings);
+  }
+}
+
+// Writers on disjoint key ranges: every increment must land exactly
+// once even across concurrent resizes.
+TEST(ConcurrentPairStoreStress, DisjointWritersLoseNothing) {
+  ConcurrentPairStore store;
+  constexpr int kThreads = 4;
+  constexpr std::uint32_t kPerThread = 400;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&store, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (std::uint32_t i = 0; i < kPerThread; ++i) {
+          const UserId a = static_cast<UserId>(t * kPerThread + i);
+          store.update(pair_of(a, a + 1000000),
+                       [](ConcurrentPairStore::Stats& s) {
+                         ++s.encounters;
+                         s.co_leaves += 2;
+                       });
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(store.size(), std::size_t{kThreads} * kPerThread);
+  for (std::uint32_t a = 0; a < kThreads * kPerThread; ++a) {
+    const auto got = store.find(pair_of(a, a + 1000000));
+    ASSERT_TRUE(got.has_value()) << a;
+    EXPECT_EQ(got->encounters, static_cast<std::uint32_t>(kRounds)) << a;
+    EXPECT_EQ(got->co_leaves, static_cast<std::uint32_t>(2 * kRounds)) << a;
+  }
+}
+
+// Readers race writers and erasers on a shared key set. Every snapshot
+// a reader observes must be internally consistent: writers keep
+// co_leaves == 2 * encounters, so any torn read would break the
+// invariant even though the two counters are separate words.
+TEST(ConcurrentPairStoreStress, ReadersSeeConsistentSnapshots) {
+  ConcurrentPairStore store;
+  constexpr std::uint32_t kKeys = 64;
+  for (std::uint32_t i = 0; i < kKeys; ++i) {
+    store.assign(pair_of(i, i + 500), {1, 2, 0});
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::thread writer([&store, &stop] {
+    std::mt19937 rng(11);
+    std::uniform_int_distribution<std::uint32_t> key(0, kKeys - 1);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint32_t k = key(rng);
+      store.update(pair_of(k, k + 500), [](ConcurrentPairStore::Stats& s) {
+        ++s.encounters;
+        s.co_leaves = 2 * s.encounters;
+      });
+    }
+  });
+  std::thread eraser([&store, &stop] {
+    std::mt19937 rng(13);
+    std::uniform_int_distribution<std::uint32_t> key(0, kKeys - 1);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint32_t k = key(rng);
+      store.erase(pair_of(k, k + 500));
+      store.update(pair_of(k, k + 500), [](ConcurrentPairStore::Stats& s) {
+        ++s.encounters;
+        s.co_leaves = 2 * s.encounters;
+      });
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&store, &stop, &torn, &reads, t] {
+      std::mt19937 rng(17 + t);
+      std::uniform_int_distribution<std::uint32_t> key(0, kKeys - 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint32_t k = key(rng);
+        const auto got = store.find(pair_of(k, k + 500));
+        reads.fetch_add(1, std::memory_order_relaxed);
+        if (got.has_value() && got->co_leaves != 2 * got->encounters) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  writer.join();
+  eraser.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+}
+
+}  // namespace
+}  // namespace s3::social

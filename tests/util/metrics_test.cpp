@@ -80,6 +80,59 @@ TEST(Histogram, RecordAggregates) {
   EXPECT_EQ(h.max(), 0u);
 }
 
+TEST(Histogram, PercentileEmptyIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(Histogram, PercentileSingleValueClampsToMax) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(42);
+  // Every rank lands in 42's sub-bucket and the estimate is clamped to
+  // the recorded maximum, so all percentiles are exact here.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 42.0);
+}
+
+TEST(Histogram, PercentileUniformWithinSubBucketResolution) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  // kSub log-linear sub-buckets bound relative error to ~1/kSub.
+  const double tol = 1.5 / static_cast<double>(Histogram::kSub);
+  EXPECT_NEAR(h.percentile(50.0), 50000.0, 50000.0 * tol);
+  EXPECT_NEAR(h.percentile(95.0), 95000.0, 95000.0 * tol);
+  EXPECT_NEAR(h.percentile(99.0), 99000.0, 99000.0 * tol);
+  EXPECT_LE(h.percentile(100.0), 100000.0);
+}
+
+TEST(Histogram, PercentileIsMonotoneInP) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 5000; v += 7) h.record(v * v % 4096);
+  double prev = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double q = h.percentile(p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
+  EXPECT_LE(prev, static_cast<double>(h.max()));
+}
+
+TEST(Histogram, SnapshotCarriesPercentiles) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("p.lat");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h->record(v);
+  const std::vector<MetricSample> s = reg.snapshot();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_NEAR(s[0].p50, 500.0, 500.0 * 0.1);
+  EXPECT_NEAR(s[0].p95, 950.0, 950.0 * 0.1);
+  EXPECT_NEAR(s[0].p99, 990.0, 990.0 * 0.1);
+  EXPECT_LE(s[0].p50, s[0].p95);
+  EXPECT_LE(s[0].p95, s[0].p99);
+}
+
 TEST(Registry, SameNameSamePointer) {
   MetricsRegistry reg;
   Counter* a = reg.counter("x.events");

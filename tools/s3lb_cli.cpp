@@ -29,6 +29,18 @@
 //       retries parked until the restart). --heartbeat sets the
 //       logical-clock replication period in seconds.
 //
+//   s3lb serve     --policy P [--model FILE] [--buildings B] [--aps K]
+//                  [--in FILE] [--out FILE] [--seed S]
+//                  [--fault-plan FILE] [--fault-seed S] [--metrics]
+//       Run the live association pipeline over the line protocol
+//       (s3/serve/line_protocol.h): requests are read from --in
+//       (default stdin), one response per line goes to --out (default
+//       stdout), and a run summary goes to stderr. Unlike replay there
+//       is no trace — arrivals and departures stream in as they
+//       happen, s3's social counters update live, and the fault
+//       machinery (AP outages, model outages, degraded fallback)
+//       applies to the stream exactly as it does to a replayed batch.
+//
 //   s3lb train     --in FILE --out FILE [--alpha A] [--coleave-min M]
 //                  [--history DAYS] [--buildings B] [--aps K]
 //                  [--model-format text|binary]
@@ -79,6 +91,8 @@
 #include "s3/fault/fault_injector.h"
 #include "s3/fault/fault_plan.h"
 #include "s3/repl/replicated_driver.h"
+#include "s3/serve/line_protocol.h"
+#include "s3/serve/serve_pipeline.h"
 #include "s3/runtime/replay_driver.h"
 #include "s3/social/graph.h"
 #include "s3/social/model_io.h"
@@ -132,6 +146,20 @@ constexpr ArgSpec kReplaySpecs[] = {
     {"fault-seed", ArgKind::kInt, "fault draw seed (default 1)"},
     {"replicas", ArgKind::kInt, "backup controllers per domain"},
     {"heartbeat", ArgKind::kInt, "replication heartbeat seconds (default 300)"},
+};
+
+constexpr ArgSpec kServeSpecs[] = {
+    {"policy", ArgKind::kString, "selector policy name (default s3)"},
+    {"model", ArgKind::kString, "social model (s3 / s3-online)"},
+    {"model-format", ArgKind::kString, "model format: auto|text|binary"},
+    {"buildings", ArgKind::kInt, "campus buildings (default 8)"},
+    {"aps", ArgKind::kInt, "APs per building (default 12)"},
+    {"in", ArgKind::kString, "request script (default stdin)"},
+    {"out", ArgKind::kString, "response stream (default stdout)"},
+    {"seed", ArgKind::kInt, "seed for the random policy (default 1)"},
+    {"fault-plan", ArgKind::kString, "s3fault v1 schedule file"},
+    {"fault-seed", ArgKind::kInt, "fault draw seed (default 1)"},
+    {"metrics", ArgKind::kFlag, "dump the instrumentation bus"},
 };
 
 constexpr ArgSpec kTrainSpecs[] = {
@@ -374,6 +402,77 @@ int cmd_replay(const Flags& f) {
   return 0;
 }
 
+int cmd_serve(const Flags& f) {
+  const std::string policy_name = f.get("policy", "s3");
+  const bool social_policy =
+      policy_name == "s3" || policy_name == "s3-online";
+  if (social_policy && !f.has("model")) {
+    die("serve --policy " + policy_name + " needs --model");
+  }
+  const wlan::Network net = network_from(f);
+
+  // Baselines run over an empty base model (never consulted); social
+  // policies load the trained index that seeds the live counters.
+  social::SocialIndexModel model;
+  if (f.has("model")) {
+    social::ModelReadResult mr =
+        social::load_model(f.get("model"), model_format_from(f, "auto"));
+    if (!mr.model) die("cannot read model: " + mr.error);
+    model = std::move(*mr.model);
+  }
+
+  std::optional<fault::FaultInjector> injector;
+  if (f.has("fault-plan")) {
+    const fault::FaultPlanParseResult pr =
+        fault::read_fault_plan_file(f.get("fault-plan"));
+    if (!pr.ok()) die("cannot read fault plan: " + pr.error);
+    try {
+      fault::validate_plan(pr.plan, &net);
+    } catch (const std::exception& e) {
+      die("bad fault plan: " + std::string(e.what()));
+    }
+    injector.emplace(pr.plan,
+                     static_cast<std::uint64_t>(f.num("fault-seed", 1)));
+  }
+
+  serve::ServeConfig cfg;
+  cfg.policy = policy_name;
+  cfg.llf_metric = core::LoadMetric::kStations;  // matches replay's "llf"
+  cfg.random_seed = static_cast<std::uint64_t>(f.num("seed", 1));
+  if (injector) cfg.injector = &*injector;
+
+  serve::ServePipeline pipeline(&net, &model, cfg);
+
+  std::ifstream in_file;
+  if (f.has("in")) {
+    in_file.open(f.get("in"));
+    if (!in_file) die("cannot open " + f.get("in"));
+  }
+  std::ofstream out_file;
+  if (f.has("out")) {
+    out_file.open(f.get("out"));
+    if (!out_file) die("cannot write " + f.get("out"));
+  }
+  const bool clean = serve::run_line_protocol(
+      pipeline, f.has("in") ? in_file : std::cin,
+      f.has("out") ? static_cast<std::ostream&>(out_file) : std::cout);
+
+  const serve::ServeStats s = pipeline.stats();
+  std::cerr << "served " << s.placements << " placements, " << s.departures
+            << " departures under " << policy_name << " ("
+            << s.fallback_placements << " fallback, " << s.forced_overloads
+            << " forced overloads, "
+            << (s.rejected_no_candidate + s.rejected_unknown_user +
+                s.rejected_duplicate_id)
+            << " rejected, " << pipeline.model().updated_pairs()
+            << " live pairs)\n";
+  if (f.has("metrics")) {
+    std::cerr << "# instrumentation bus\n";
+    util::metrics().dump(std::cerr);
+  }
+  return clean ? 0 : 1;
+}
+
 int cmd_train(const Flags& f) {
   if (!f.has("in") || !f.has("out")) die("train: --in and --out required");
   const trace::Trace assigned = load_trace(f.get("in"));
@@ -543,7 +642,7 @@ int cmd_check(const std::string& what, const Flags& f) {
 
 void usage() {
   std::cout <<
-      "usage: s3lb <generate|replay|train|compare|check> [--flag value ...]\n"
+      "usage: s3lb <generate|replay|serve|train|compare|check> [--flag value ...]\n"
       "  generate --out FILE [--users N --days D --buildings B --aps K --seed S]\n"
       "  replay   --in FILE --out FILE\n"
       "           --policy llf|llf-demand|llf-stations|rssi|random|s3|s3-online\n"
@@ -552,6 +651,10 @@ void usage() {
       "           [--threads N --metrics --check off|count|log|abort]\n"
       "           [--fault-plan FILE --fault-seed S]\n"
       "           [--replicas N --heartbeat SECONDS]\n"
+      "  serve    --policy llf|llf-demand|llf-stations|rssi|random|s3|s3-online\n"
+      "           [--model FILE --model-format auto|text|binary]\n"
+      "           [--buildings B --aps K --in FILE --out FILE --seed S]\n"
+      "           [--fault-plan FILE --fault-seed S --metrics]\n"
       "  train    --in ASSIGNED --out MODEL [--model-format text|binary]\n"
       "           [--alpha A --coleave-min M --history D]\n"
       "  compare  [--users N --days D --buildings B --aps K --seed S --train D --test D]\n"
@@ -591,6 +694,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "replay") {
       return cmd_replay(parse_or_die(kReplaySpecs, argc, argv, 2));
+    }
+    if (cmd == "serve") {
+      return cmd_serve(parse_or_die(kServeSpecs, argc, argv, 2));
     }
     if (cmd == "train") {
       return cmd_train(parse_or_die(kTrainSpecs, argc, argv, 2));
