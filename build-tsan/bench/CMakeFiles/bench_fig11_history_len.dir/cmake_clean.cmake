@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_history_len.dir/bench_fig11_history_len.cpp.o"
+  "CMakeFiles/bench_fig11_history_len.dir/bench_fig11_history_len.cpp.o.d"
+  "bench_fig11_history_len"
+  "bench_fig11_history_len.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_history_len.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

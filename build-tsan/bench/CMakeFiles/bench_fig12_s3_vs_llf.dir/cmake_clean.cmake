@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_s3_vs_llf.dir/bench_fig12_s3_vs_llf.cpp.o"
+  "CMakeFiles/bench_fig12_s3_vs_llf.dir/bench_fig12_s3_vs_llf.cpp.o.d"
+  "bench_fig12_s3_vs_llf"
+  "bench_fig12_s3_vs_llf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_s3_vs_llf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_s3_vs_llf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_user_dynamics.dir/bench_fig4_user_dynamics.cpp.o"
+  "CMakeFiles/bench_fig4_user_dynamics.dir/bench_fig4_user_dynamics.cpp.o.d"
+  "bench_fig4_user_dynamics"
+  "bench_fig4_user_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_user_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_nmi_history.dir/bench_fig6_nmi_history.cpp.o"
+  "CMakeFiles/bench_fig6_nmi_history.dir/bench_fig6_nmi_history.cpp.o.d"
+  "bench_fig6_nmi_history"
+  "bench_fig6_nmi_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_nmi_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_gap_statistic.dir/bench_fig7_gap_statistic.cpp.o"
+  "CMakeFiles/bench_fig7_gap_statistic.dir/bench_fig7_gap_statistic.cpp.o.d"
+  "bench_fig7_gap_statistic"
+  "bench_fig7_gap_statistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_gap_statistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_centroids.dir/bench_fig8_centroids.cpp.o"
+  "CMakeFiles/bench_fig8_centroids.dir/bench_fig8_centroids.cpp.o.d"
+  "bench_fig8_centroids"
+  "bench_fig8_centroids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_centroids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

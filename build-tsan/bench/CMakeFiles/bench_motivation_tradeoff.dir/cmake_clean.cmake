@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_tradeoff.dir/bench_motivation_tradeoff.cpp.o"
+  "CMakeFiles/bench_motivation_tradeoff.dir/bench_motivation_tradeoff.cpp.o.d"
+  "bench_motivation_tradeoff"
+  "bench_motivation_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

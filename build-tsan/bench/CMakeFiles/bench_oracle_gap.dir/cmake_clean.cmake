@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oracle_gap.dir/bench_oracle_gap.cpp.o"
+  "CMakeFiles/bench_oracle_gap.dir/bench_oracle_gap.cpp.o.d"
+  "bench_oracle_gap"
+  "bench_oracle_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_type_coleave.dir/bench_table1_type_coleave.cpp.o"
+  "CMakeFiles/bench_table1_type_coleave.dir/bench_table1_type_coleave.cpp.o.d"
+  "bench_table1_type_coleave"
+  "bench_table1_type_coleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_type_coleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_user_fairness.dir/bench_user_fairness.cpp.o"
+  "CMakeFiles/bench_user_fairness.dir/bench_user_fairness.cpp.o.d"
+  "bench_user_fairness"
+  "bench_user_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_user_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

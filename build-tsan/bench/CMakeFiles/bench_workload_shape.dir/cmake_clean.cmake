@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_shape.dir/bench_workload_shape.cpp.o"
+  "CMakeFiles/bench_workload_shape.dir/bench_workload_shape.cpp.o.d"
+  "bench_workload_shape"
+  "bench_workload_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_day.dir/campus_day.cpp.o"
+  "CMakeFiles/campus_day.dir/campus_day.cpp.o.d"
+  "campus_day"
+  "campus_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

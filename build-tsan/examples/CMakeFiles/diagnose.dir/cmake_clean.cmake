@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose.dir/diagnose.cpp.o"
+  "CMakeFiles/diagnose.dir/diagnose.cpp.o.d"
+  "diagnose"
+  "diagnose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_report.dir/social_report.cpp.o"
+  "CMakeFiles/social_report.dir/social_report.cpp.o.d"
+  "social_report"
+  "social_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("apps")
+subdirs("wlan")
+subdirs("trace")
+subdirs("sim")
+subdirs("fault")
+subdirs("analysis")
+subdirs("cluster")
+subdirs("social")
+subdirs("check")
+subdirs("runtime")
+subdirs("repl")
+subdirs("core")
+subdirs("serve")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/s3/analysis/balance.cpp" "src/analysis/CMakeFiles/analysis.dir/s3/analysis/balance.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/s3/analysis/balance.cpp.o.d"
+  "/root/repo/src/analysis/s3/analysis/churn.cpp" "src/analysis/CMakeFiles/analysis.dir/s3/analysis/churn.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/s3/analysis/churn.cpp.o.d"
+  "/root/repo/src/analysis/s3/analysis/events.cpp" "src/analysis/CMakeFiles/analysis.dir/s3/analysis/events.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/s3/analysis/events.cpp.o.d"
+  "/root/repo/src/analysis/s3/analysis/fairness.cpp" "src/analysis/CMakeFiles/analysis.dir/s3/analysis/fairness.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/s3/analysis/fairness.cpp.o.d"
+  "/root/repo/src/analysis/s3/analysis/profiles.cpp" "src/analysis/CMakeFiles/analysis.dir/s3/analysis/profiles.cpp.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/s3/analysis/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wlan/CMakeFiles/wlan.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

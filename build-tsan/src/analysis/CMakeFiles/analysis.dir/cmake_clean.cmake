@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis.dir/s3/analysis/balance.cpp.o"
+  "CMakeFiles/analysis.dir/s3/analysis/balance.cpp.o.d"
+  "CMakeFiles/analysis.dir/s3/analysis/churn.cpp.o"
+  "CMakeFiles/analysis.dir/s3/analysis/churn.cpp.o.d"
+  "CMakeFiles/analysis.dir/s3/analysis/events.cpp.o"
+  "CMakeFiles/analysis.dir/s3/analysis/events.cpp.o.d"
+  "CMakeFiles/analysis.dir/s3/analysis/fairness.cpp.o"
+  "CMakeFiles/analysis.dir/s3/analysis/fairness.cpp.o.d"
+  "CMakeFiles/analysis.dir/s3/analysis/profiles.cpp.o"
+  "CMakeFiles/analysis.dir/s3/analysis/profiles.cpp.o.d"
+  "libanalysis.a"
+  "libanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

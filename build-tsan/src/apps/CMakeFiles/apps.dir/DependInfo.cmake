@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/s3/apps/app_category.cpp" "src/apps/CMakeFiles/apps.dir/s3/apps/app_category.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/s3/apps/app_category.cpp.o.d"
+  "/root/repo/src/apps/s3/apps/classifier.cpp" "src/apps/CMakeFiles/apps.dir/s3/apps/classifier.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/s3/apps/classifier.cpp.o.d"
+  "/root/repo/src/apps/s3/apps/flow_synthesis.cpp" "src/apps/CMakeFiles/apps.dir/s3/apps/flow_synthesis.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/s3/apps/flow_synthesis.cpp.o.d"
+  "/root/repo/src/apps/s3/apps/profile.cpp" "src/apps/CMakeFiles/apps.dir/s3/apps/profile.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/s3/apps/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

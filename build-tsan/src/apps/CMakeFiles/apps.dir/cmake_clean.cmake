@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/s3/apps/app_category.cpp.o"
+  "CMakeFiles/apps.dir/s3/apps/app_category.cpp.o.d"
+  "CMakeFiles/apps.dir/s3/apps/classifier.cpp.o"
+  "CMakeFiles/apps.dir/s3/apps/classifier.cpp.o.d"
+  "CMakeFiles/apps.dir/s3/apps/flow_synthesis.cpp.o"
+  "CMakeFiles/apps.dir/s3/apps/flow_synthesis.cpp.o.d"
+  "CMakeFiles/apps.dir/s3/apps/profile.cpp.o"
+  "CMakeFiles/apps.dir/s3/apps/profile.cpp.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

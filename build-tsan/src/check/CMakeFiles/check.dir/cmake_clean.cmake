@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check.dir/s3/check/contract.cpp.o"
+  "CMakeFiles/check.dir/s3/check/contract.cpp.o.d"
+  "CMakeFiles/check.dir/s3/check/validators.cpp.o"
+  "CMakeFiles/check.dir/s3/check/validators.cpp.o.d"
+  "libcheck.a"
+  "libcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

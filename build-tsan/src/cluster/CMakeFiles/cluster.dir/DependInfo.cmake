@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/s3/cluster/gap_statistic.cpp" "src/cluster/CMakeFiles/cluster.dir/s3/cluster/gap_statistic.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/s3/cluster/gap_statistic.cpp.o.d"
+  "/root/repo/src/cluster/s3/cluster/kmeans.cpp" "src/cluster/CMakeFiles/cluster.dir/s3/cluster/kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/s3/cluster/kmeans.cpp.o.d"
+  "/root/repo/src/cluster/s3/cluster/pca.cpp" "src/cluster/CMakeFiles/cluster.dir/s3/cluster/pca.cpp.o" "gcc" "src/cluster/CMakeFiles/cluster.dir/s3/cluster/pca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

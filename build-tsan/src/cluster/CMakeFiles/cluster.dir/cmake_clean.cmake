@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster.dir/s3/cluster/gap_statistic.cpp.o"
+  "CMakeFiles/cluster.dir/s3/cluster/gap_statistic.cpp.o.d"
+  "CMakeFiles/cluster.dir/s3/cluster/kmeans.cpp.o"
+  "CMakeFiles/cluster.dir/s3/cluster/kmeans.cpp.o.d"
+  "CMakeFiles/cluster.dir/s3/cluster/pca.cpp.o"
+  "CMakeFiles/cluster.dir/s3/cluster/pca.cpp.o.d"
+  "libcluster.a"
+  "libcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

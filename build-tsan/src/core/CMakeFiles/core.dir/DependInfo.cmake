@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/s3/core/baselines.cpp" "src/core/CMakeFiles/core.dir/s3/core/baselines.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/s3/core/baselines.cpp.o.d"
+  "/root/repo/src/core/s3/core/evaluation.cpp" "src/core/CMakeFiles/core.dir/s3/core/evaluation.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/s3/core/evaluation.cpp.o.d"
+  "/root/repo/src/core/s3/core/online_s3.cpp" "src/core/CMakeFiles/core.dir/s3/core/online_s3.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/s3/core/online_s3.cpp.o.d"
+  "/root/repo/src/core/s3/core/oracle.cpp" "src/core/CMakeFiles/core.dir/s3/core/oracle.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/s3/core/oracle.cpp.o.d"
+  "/root/repo/src/core/s3/core/rebalancer.cpp" "src/core/CMakeFiles/core.dir/s3/core/rebalancer.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/s3/core/rebalancer.cpp.o.d"
+  "/root/repo/src/core/s3/core/s3_selector.cpp" "src/core/CMakeFiles/core.dir/s3/core/s3_selector.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/s3/core/s3_selector.cpp.o.d"
+  "/root/repo/src/core/s3/core/selector_factory.cpp" "src/core/CMakeFiles/core.dir/s3/core/selector_factory.cpp.o" "gcc" "src/core/CMakeFiles/core.dir/s3/core/selector_factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wlan/CMakeFiles/wlan.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/social/CMakeFiles/social.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/check/CMakeFiles/check.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/s3/core/baselines.cpp.o"
+  "CMakeFiles/core.dir/s3/core/baselines.cpp.o.d"
+  "CMakeFiles/core.dir/s3/core/evaluation.cpp.o"
+  "CMakeFiles/core.dir/s3/core/evaluation.cpp.o.d"
+  "CMakeFiles/core.dir/s3/core/online_s3.cpp.o"
+  "CMakeFiles/core.dir/s3/core/online_s3.cpp.o.d"
+  "CMakeFiles/core.dir/s3/core/oracle.cpp.o"
+  "CMakeFiles/core.dir/s3/core/oracle.cpp.o.d"
+  "CMakeFiles/core.dir/s3/core/rebalancer.cpp.o"
+  "CMakeFiles/core.dir/s3/core/rebalancer.cpp.o.d"
+  "CMakeFiles/core.dir/s3/core/s3_selector.cpp.o"
+  "CMakeFiles/core.dir/s3/core/s3_selector.cpp.o.d"
+  "CMakeFiles/core.dir/s3/core/selector_factory.cpp.o"
+  "CMakeFiles/core.dir/s3/core/selector_factory.cpp.o.d"
+  "libcore.a"
+  "libcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

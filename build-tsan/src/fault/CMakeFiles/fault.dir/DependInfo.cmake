@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/s3/fault/degradation.cpp" "src/fault/CMakeFiles/fault.dir/s3/fault/degradation.cpp.o" "gcc" "src/fault/CMakeFiles/fault.dir/s3/fault/degradation.cpp.o.d"
+  "/root/repo/src/fault/s3/fault/fault_injector.cpp" "src/fault/CMakeFiles/fault.dir/s3/fault/fault_injector.cpp.o" "gcc" "src/fault/CMakeFiles/fault.dir/s3/fault/fault_injector.cpp.o.d"
+  "/root/repo/src/fault/s3/fault/fault_plan.cpp" "src/fault/CMakeFiles/fault.dir/s3/fault/fault_plan.cpp.o" "gcc" "src/fault/CMakeFiles/fault.dir/s3/fault/fault_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wlan/CMakeFiles/wlan.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

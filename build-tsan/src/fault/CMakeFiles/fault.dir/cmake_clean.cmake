@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault.dir/s3/fault/degradation.cpp.o"
+  "CMakeFiles/fault.dir/s3/fault/degradation.cpp.o.d"
+  "CMakeFiles/fault.dir/s3/fault/fault_injector.cpp.o"
+  "CMakeFiles/fault.dir/s3/fault/fault_injector.cpp.o.d"
+  "CMakeFiles/fault.dir/s3/fault/fault_plan.cpp.o"
+  "CMakeFiles/fault.dir/s3/fault/fault_plan.cpp.o.d"
+  "libfault.a"
+  "libfault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

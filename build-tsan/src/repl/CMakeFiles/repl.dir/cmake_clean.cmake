@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repl.dir/s3/repl/replicated_driver.cpp.o"
+  "CMakeFiles/repl.dir/s3/repl/replicated_driver.cpp.o.d"
+  "CMakeFiles/repl.dir/s3/repl/replication_group.cpp.o"
+  "CMakeFiles/repl.dir/s3/repl/replication_group.cpp.o.d"
+  "librepl.a"
+  "librepl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

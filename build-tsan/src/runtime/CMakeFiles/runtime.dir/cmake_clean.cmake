@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime.dir/s3/runtime/controller_engine.cpp.o"
+  "CMakeFiles/runtime.dir/s3/runtime/controller_engine.cpp.o.d"
+  "CMakeFiles/runtime.dir/s3/runtime/replay_compat.cpp.o"
+  "CMakeFiles/runtime.dir/s3/runtime/replay_compat.cpp.o.d"
+  "CMakeFiles/runtime.dir/s3/runtime/replay_driver.cpp.o"
+  "CMakeFiles/runtime.dir/s3/runtime/replay_driver.cpp.o.d"
+  "libruntime.a"
+  "libruntime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve.dir/s3/serve/line_protocol.cpp.o"
+  "CMakeFiles/serve.dir/s3/serve/line_protocol.cpp.o.d"
+  "CMakeFiles/serve.dir/s3/serve/serve_pipeline.cpp.o"
+  "CMakeFiles/serve.dir/s3/serve/serve_pipeline.cpp.o.d"
+  "CMakeFiles/serve.dir/s3/serve/shared_social_model.cpp.o"
+  "CMakeFiles/serve.dir/s3/serve/shared_social_model.cpp.o.d"
+  "libserve.a"
+  "libserve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

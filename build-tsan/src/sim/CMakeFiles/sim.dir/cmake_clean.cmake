@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/s3/sim/selector.cpp.o"
+  "CMakeFiles/sim.dir/s3/sim/selector.cpp.o.d"
+  "libsim.a"
+  "libsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/social/s3/social/clique.cpp" "src/social/CMakeFiles/social.dir/s3/social/clique.cpp.o" "gcc" "src/social/CMakeFiles/social.dir/s3/social/clique.cpp.o.d"
+  "/root/repo/src/social/s3/social/concurrent_pair_store.cpp" "src/social/CMakeFiles/social.dir/s3/social/concurrent_pair_store.cpp.o" "gcc" "src/social/CMakeFiles/social.dir/s3/social/concurrent_pair_store.cpp.o.d"
+  "/root/repo/src/social/s3/social/graph.cpp" "src/social/CMakeFiles/social.dir/s3/social/graph.cpp.o" "gcc" "src/social/CMakeFiles/social.dir/s3/social/graph.cpp.o.d"
+  "/root/repo/src/social/s3/social/model_io.cpp" "src/social/CMakeFiles/social.dir/s3/social/model_io.cpp.o" "gcc" "src/social/CMakeFiles/social.dir/s3/social/model_io.cpp.o.d"
+  "/root/repo/src/social/s3/social/pair_store.cpp" "src/social/CMakeFiles/social.dir/s3/social/pair_store.cpp.o" "gcc" "src/social/CMakeFiles/social.dir/s3/social/pair_store.cpp.o.d"
+  "/root/repo/src/social/s3/social/social_index.cpp" "src/social/CMakeFiles/social.dir/s3/social/social_index.cpp.o" "gcc" "src/social/CMakeFiles/social.dir/s3/social/social_index.cpp.o.d"
+  "/root/repo/src/social/s3/social/typing.cpp" "src/social/CMakeFiles/social.dir/s3/social/typing.cpp.o" "gcc" "src/social/CMakeFiles/social.dir/s3/social/typing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wlan/CMakeFiles/wlan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

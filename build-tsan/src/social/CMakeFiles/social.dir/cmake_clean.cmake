@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social.dir/s3/social/clique.cpp.o"
+  "CMakeFiles/social.dir/s3/social/clique.cpp.o.d"
+  "CMakeFiles/social.dir/s3/social/concurrent_pair_store.cpp.o"
+  "CMakeFiles/social.dir/s3/social/concurrent_pair_store.cpp.o.d"
+  "CMakeFiles/social.dir/s3/social/graph.cpp.o"
+  "CMakeFiles/social.dir/s3/social/graph.cpp.o.d"
+  "CMakeFiles/social.dir/s3/social/model_io.cpp.o"
+  "CMakeFiles/social.dir/s3/social/model_io.cpp.o.d"
+  "CMakeFiles/social.dir/s3/social/pair_store.cpp.o"
+  "CMakeFiles/social.dir/s3/social/pair_store.cpp.o.d"
+  "CMakeFiles/social.dir/s3/social/social_index.cpp.o"
+  "CMakeFiles/social.dir/s3/social/social_index.cpp.o.d"
+  "CMakeFiles/social.dir/s3/social/typing.cpp.o"
+  "CMakeFiles/social.dir/s3/social/typing.cpp.o.d"
+  "libsocial.a"
+  "libsocial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/s3/trace/binary_io.cpp" "src/trace/CMakeFiles/trace.dir/s3/trace/binary_io.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/s3/trace/binary_io.cpp.o.d"
+  "/root/repo/src/trace/s3/trace/generator.cpp" "src/trace/CMakeFiles/trace.dir/s3/trace/generator.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/s3/trace/generator.cpp.o.d"
+  "/root/repo/src/trace/s3/trace/io.cpp" "src/trace/CMakeFiles/trace.dir/s3/trace/io.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/s3/trace/io.cpp.o.d"
+  "/root/repo/src/trace/s3/trace/trace.cpp" "src/trace/CMakeFiles/trace.dir/s3/trace/trace.cpp.o" "gcc" "src/trace/CMakeFiles/trace.dir/s3/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wlan/CMakeFiles/wlan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace.dir/s3/trace/binary_io.cpp.o"
+  "CMakeFiles/trace.dir/s3/trace/binary_io.cpp.o.d"
+  "CMakeFiles/trace.dir/s3/trace/generator.cpp.o"
+  "CMakeFiles/trace.dir/s3/trace/generator.cpp.o.d"
+  "CMakeFiles/trace.dir/s3/trace/io.cpp.o"
+  "CMakeFiles/trace.dir/s3/trace/io.cpp.o.d"
+  "CMakeFiles/trace.dir/s3/trace/trace.cpp.o"
+  "CMakeFiles/trace.dir/s3/trace/trace.cpp.o.d"
+  "libtrace.a"
+  "libtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

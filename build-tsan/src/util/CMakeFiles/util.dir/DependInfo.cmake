@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/s3/util/argspec.cpp" "src/util/CMakeFiles/util.dir/s3/util/argspec.cpp.o" "gcc" "src/util/CMakeFiles/util.dir/s3/util/argspec.cpp.o.d"
+  "/root/repo/src/util/s3/util/cdf.cpp" "src/util/CMakeFiles/util.dir/s3/util/cdf.cpp.o" "gcc" "src/util/CMakeFiles/util.dir/s3/util/cdf.cpp.o.d"
+  "/root/repo/src/util/s3/util/entropy.cpp" "src/util/CMakeFiles/util.dir/s3/util/entropy.cpp.o" "gcc" "src/util/CMakeFiles/util.dir/s3/util/entropy.cpp.o.d"
+  "/root/repo/src/util/s3/util/metrics.cpp" "src/util/CMakeFiles/util.dir/s3/util/metrics.cpp.o" "gcc" "src/util/CMakeFiles/util.dir/s3/util/metrics.cpp.o.d"
+  "/root/repo/src/util/s3/util/rng.cpp" "src/util/CMakeFiles/util.dir/s3/util/rng.cpp.o" "gcc" "src/util/CMakeFiles/util.dir/s3/util/rng.cpp.o.d"
+  "/root/repo/src/util/s3/util/sim_time.cpp" "src/util/CMakeFiles/util.dir/s3/util/sim_time.cpp.o" "gcc" "src/util/CMakeFiles/util.dir/s3/util/sim_time.cpp.o.d"
+  "/root/repo/src/util/s3/util/stats.cpp" "src/util/CMakeFiles/util.dir/s3/util/stats.cpp.o" "gcc" "src/util/CMakeFiles/util.dir/s3/util/stats.cpp.o.d"
+  "/root/repo/src/util/s3/util/table.cpp" "src/util/CMakeFiles/util.dir/s3/util/table.cpp.o" "gcc" "src/util/CMakeFiles/util.dir/s3/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util.dir/s3/util/argspec.cpp.o"
+  "CMakeFiles/util.dir/s3/util/argspec.cpp.o.d"
+  "CMakeFiles/util.dir/s3/util/cdf.cpp.o"
+  "CMakeFiles/util.dir/s3/util/cdf.cpp.o.d"
+  "CMakeFiles/util.dir/s3/util/entropy.cpp.o"
+  "CMakeFiles/util.dir/s3/util/entropy.cpp.o.d"
+  "CMakeFiles/util.dir/s3/util/metrics.cpp.o"
+  "CMakeFiles/util.dir/s3/util/metrics.cpp.o.d"
+  "CMakeFiles/util.dir/s3/util/rng.cpp.o"
+  "CMakeFiles/util.dir/s3/util/rng.cpp.o.d"
+  "CMakeFiles/util.dir/s3/util/sim_time.cpp.o"
+  "CMakeFiles/util.dir/s3/util/sim_time.cpp.o.d"
+  "CMakeFiles/util.dir/s3/util/stats.cpp.o"
+  "CMakeFiles/util.dir/s3/util/stats.cpp.o.d"
+  "CMakeFiles/util.dir/s3/util/table.cpp.o"
+  "CMakeFiles/util.dir/s3/util/table.cpp.o.d"
+  "libutil.a"
+  "libutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

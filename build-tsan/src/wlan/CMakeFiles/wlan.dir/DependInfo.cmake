@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wlan/s3/wlan/contention.cpp" "src/wlan/CMakeFiles/wlan.dir/s3/wlan/contention.cpp.o" "gcc" "src/wlan/CMakeFiles/wlan.dir/s3/wlan/contention.cpp.o.d"
+  "/root/repo/src/wlan/s3/wlan/network.cpp" "src/wlan/CMakeFiles/wlan.dir/s3/wlan/network.cpp.o" "gcc" "src/wlan/CMakeFiles/wlan.dir/s3/wlan/network.cpp.o.d"
+  "/root/repo/src/wlan/s3/wlan/radio.cpp" "src/wlan/CMakeFiles/wlan.dir/s3/wlan/radio.cpp.o" "gcc" "src/wlan/CMakeFiles/wlan.dir/s3/wlan/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

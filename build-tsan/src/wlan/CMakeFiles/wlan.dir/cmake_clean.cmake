@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan.dir/s3/wlan/contention.cpp.o"
+  "CMakeFiles/wlan.dir/s3/wlan/contention.cpp.o.d"
+  "CMakeFiles/wlan.dir/s3/wlan/network.cpp.o"
+  "CMakeFiles/wlan.dir/s3/wlan/network.cpp.o.d"
+  "CMakeFiles/wlan.dir/s3/wlan/radio.cpp.o"
+  "CMakeFiles/wlan.dir/s3/wlan/radio.cpp.o.d"
+  "libwlan.a"
+  "libwlan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_balance_test.dir/analysis/balance_test.cpp.o"
+  "CMakeFiles/analysis_balance_test.dir/analysis/balance_test.cpp.o.d"
+  "analysis_balance_test"
+  "analysis_balance_test.pdb"
+  "analysis_balance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_balance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_churn_test.dir/analysis/churn_test.cpp.o"
+  "CMakeFiles/analysis_churn_test.dir/analysis/churn_test.cpp.o.d"
+  "analysis_churn_test"
+  "analysis_churn_test.pdb"
+  "analysis_churn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_events_test.dir/analysis/events_test.cpp.o"
+  "CMakeFiles/analysis_events_test.dir/analysis/events_test.cpp.o.d"
+  "analysis_events_test"
+  "analysis_events_test.pdb"
+  "analysis_events_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

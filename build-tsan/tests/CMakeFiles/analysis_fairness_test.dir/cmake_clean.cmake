@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_fairness_test.dir/analysis/fairness_test.cpp.o"
+  "CMakeFiles/analysis_fairness_test.dir/analysis/fairness_test.cpp.o.d"
+  "analysis_fairness_test"
+  "analysis_fairness_test.pdb"
+  "analysis_fairness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_profiles_test.dir/analysis/profiles_test.cpp.o"
+  "CMakeFiles/analysis_profiles_test.dir/analysis/profiles_test.cpp.o.d"
+  "analysis_profiles_test"
+  "analysis_profiles_test.pdb"
+  "analysis_profiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_profiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

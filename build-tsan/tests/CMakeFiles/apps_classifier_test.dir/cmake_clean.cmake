@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_classifier_test.dir/apps/classifier_test.cpp.o"
+  "CMakeFiles/apps_classifier_test.dir/apps/classifier_test.cpp.o.d"
+  "apps_classifier_test"
+  "apps_classifier_test.pdb"
+  "apps_classifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

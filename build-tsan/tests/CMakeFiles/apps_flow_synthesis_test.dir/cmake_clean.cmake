@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_flow_synthesis_test.dir/apps/flow_synthesis_test.cpp.o"
+  "CMakeFiles/apps_flow_synthesis_test.dir/apps/flow_synthesis_test.cpp.o.d"
+  "apps_flow_synthesis_test"
+  "apps_flow_synthesis_test.pdb"
+  "apps_flow_synthesis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_flow_synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

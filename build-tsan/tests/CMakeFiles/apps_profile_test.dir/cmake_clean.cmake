@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_profile_test.dir/apps/profile_test.cpp.o"
+  "CMakeFiles/apps_profile_test.dir/apps/profile_test.cpp.o.d"
+  "apps_profile_test"
+  "apps_profile_test.pdb"
+  "apps_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

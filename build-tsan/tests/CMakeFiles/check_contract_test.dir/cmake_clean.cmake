@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_contract_test.dir/check/contract_test.cpp.o"
+  "CMakeFiles/check_contract_test.dir/check/contract_test.cpp.o.d"
+  "check_contract_test"
+  "check_contract_test.pdb"
+  "check_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

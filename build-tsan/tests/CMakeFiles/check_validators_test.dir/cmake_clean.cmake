@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_validators_test.dir/check/validators_test.cpp.o"
+  "CMakeFiles/check_validators_test.dir/check/validators_test.cpp.o.d"
+  "check_validators_test"
+  "check_validators_test.pdb"
+  "check_validators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_validators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_gap_test.dir/cluster/gap_test.cpp.o"
+  "CMakeFiles/cluster_gap_test.dir/cluster/gap_test.cpp.o.d"
+  "cluster_gap_test"
+  "cluster_gap_test.pdb"
+  "cluster_gap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_gap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_pca_test.dir/cluster/pca_test.cpp.o"
+  "CMakeFiles/cluster_pca_test.dir/cluster/pca_test.cpp.o.d"
+  "cluster_pca_test"
+  "cluster_pca_test.pdb"
+  "cluster_pca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_pca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

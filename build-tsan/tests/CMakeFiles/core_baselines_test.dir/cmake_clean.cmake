@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_baselines_test.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/core_baselines_test.dir/core/baselines_test.cpp.o.d"
+  "core_baselines_test"
+  "core_baselines_test.pdb"
+  "core_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

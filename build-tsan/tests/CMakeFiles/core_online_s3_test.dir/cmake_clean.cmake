@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_online_s3_test.dir/core/online_s3_test.cpp.o"
+  "CMakeFiles/core_online_s3_test.dir/core/online_s3_test.cpp.o.d"
+  "core_online_s3_test"
+  "core_online_s3_test.pdb"
+  "core_online_s3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_online_s3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

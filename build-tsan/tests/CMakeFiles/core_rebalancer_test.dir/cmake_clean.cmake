@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rebalancer_test.dir/core/rebalancer_test.cpp.o"
+  "CMakeFiles/core_rebalancer_test.dir/core/rebalancer_test.cpp.o.d"
+  "core_rebalancer_test"
+  "core_rebalancer_test.pdb"
+  "core_rebalancer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rebalancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_selector_factory_test.dir/core/selector_factory_test.cpp.o"
+  "CMakeFiles/core_selector_factory_test.dir/core/selector_factory_test.cpp.o.d"
+  "core_selector_factory_test"
+  "core_selector_factory_test.pdb"
+  "core_selector_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_selector_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_injector_test.dir/fault/fault_injector_test.cpp.o"
+  "CMakeFiles/fault_injector_test.dir/fault/fault_injector_test.cpp.o.d"
+  "fault_injector_test"
+  "fault_injector_test.pdb"
+  "fault_injector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_plan_test.dir/fault/fault_plan_test.cpp.o"
+  "CMakeFiles/fault_plan_test.dir/fault/fault_plan_test.cpp.o.d"
+  "fault_plan_test"
+  "fault_plan_test.pdb"
+  "fault_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_recovery_boundary_test.dir/fault/recovery_boundary_test.cpp.o"
+  "CMakeFiles/fault_recovery_boundary_test.dir/fault/recovery_boundary_test.cpp.o.d"
+  "fault_recovery_boundary_test"
+  "fault_recovery_boundary_test.pdb"
+  "fault_recovery_boundary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_recovery_boundary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

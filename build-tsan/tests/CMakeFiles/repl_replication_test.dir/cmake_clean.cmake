@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repl_replication_test.dir/repl/replication_test.cpp.o"
+  "CMakeFiles/repl_replication_test.dir/repl/replication_test.cpp.o.d"
+  "repl_replication_test"
+  "repl_replication_test.pdb"
+  "repl_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repl_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

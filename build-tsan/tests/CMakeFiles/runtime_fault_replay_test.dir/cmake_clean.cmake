@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_fault_replay_test.dir/runtime/fault_replay_test.cpp.o"
+  "CMakeFiles/runtime_fault_replay_test.dir/runtime/fault_replay_test.cpp.o.d"
+  "runtime_fault_replay_test"
+  "runtime_fault_replay_test.pdb"
+  "runtime_fault_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_fault_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

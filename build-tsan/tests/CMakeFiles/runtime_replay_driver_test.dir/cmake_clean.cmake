@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_replay_driver_test.dir/runtime/replay_driver_test.cpp.o"
+  "CMakeFiles/runtime_replay_driver_test.dir/runtime/replay_driver_test.cpp.o.d"
+  "runtime_replay_driver_test"
+  "runtime_replay_driver_test.pdb"
+  "runtime_replay_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_replay_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

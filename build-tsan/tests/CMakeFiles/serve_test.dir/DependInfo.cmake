@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/serve/serve_test.cpp" "tests/CMakeFiles/serve_test.dir/serve/serve_test.cpp.o" "gcc" "tests/CMakeFiles/serve_test.dir/serve/serve_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/repl/CMakeFiles/repl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/check/CMakeFiles/check.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/social/CMakeFiles/social.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fault/CMakeFiles/fault.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/wlan/CMakeFiles/wlan.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/serve/CMakeFiles/serve.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

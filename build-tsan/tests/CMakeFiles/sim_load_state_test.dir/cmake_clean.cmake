@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_load_state_test.dir/sim/load_state_test.cpp.o"
+  "CMakeFiles/sim_load_state_test.dir/sim/load_state_test.cpp.o.d"
+  "sim_load_state_test"
+  "sim_load_state_test.pdb"
+  "sim_load_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_load_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_replay_test.dir/sim/replay_test.cpp.o"
+  "CMakeFiles/sim_replay_test.dir/sim/replay_test.cpp.o.d"
+  "sim_replay_test"
+  "sim_replay_test.pdb"
+  "sim_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

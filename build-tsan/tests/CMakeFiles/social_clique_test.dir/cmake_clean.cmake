@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_clique_test.dir/social/clique_test.cpp.o"
+  "CMakeFiles/social_clique_test.dir/social/clique_test.cpp.o.d"
+  "social_clique_test"
+  "social_clique_test.pdb"
+  "social_clique_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_clique_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

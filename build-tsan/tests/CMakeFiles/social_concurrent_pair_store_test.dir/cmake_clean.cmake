@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_concurrent_pair_store_test.dir/social/concurrent_pair_store_test.cpp.o"
+  "CMakeFiles/social_concurrent_pair_store_test.dir/social/concurrent_pair_store_test.cpp.o.d"
+  "social_concurrent_pair_store_test"
+  "social_concurrent_pair_store_test.pdb"
+  "social_concurrent_pair_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_concurrent_pair_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_graph_test.dir/social/graph_test.cpp.o"
+  "CMakeFiles/social_graph_test.dir/social/graph_test.cpp.o.d"
+  "social_graph_test"
+  "social_graph_test.pdb"
+  "social_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

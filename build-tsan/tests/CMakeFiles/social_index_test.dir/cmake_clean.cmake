@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_index_test.dir/social/social_index_test.cpp.o"
+  "CMakeFiles/social_index_test.dir/social/social_index_test.cpp.o.d"
+  "social_index_test"
+  "social_index_test.pdb"
+  "social_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

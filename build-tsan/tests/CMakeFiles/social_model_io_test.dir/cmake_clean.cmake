@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_model_io_test.dir/social/model_io_test.cpp.o"
+  "CMakeFiles/social_model_io_test.dir/social/model_io_test.cpp.o.d"
+  "social_model_io_test"
+  "social_model_io_test.pdb"
+  "social_model_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_model_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

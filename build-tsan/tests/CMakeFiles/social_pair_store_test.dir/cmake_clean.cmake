@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_pair_store_test.dir/social/pair_store_test.cpp.o"
+  "CMakeFiles/social_pair_store_test.dir/social/pair_store_test.cpp.o.d"
+  "social_pair_store_test"
+  "social_pair_store_test.pdb"
+  "social_pair_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_pair_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

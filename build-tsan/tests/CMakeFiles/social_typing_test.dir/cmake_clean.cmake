@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_typing_test.dir/social/typing_test.cpp.o"
+  "CMakeFiles/social_typing_test.dir/social/typing_test.cpp.o.d"
+  "social_typing_test"
+  "social_typing_test.pdb"
+  "social_typing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_typing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_trace_test.dir/trace/trace_test.cpp.o"
+  "CMakeFiles/trace_trace_test.dir/trace/trace_test.cpp.o.d"
+  "trace_trace_test"
+  "trace_trace_test.pdb"
+  "trace_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_argspec_test.dir/util/argspec_test.cpp.o"
+  "CMakeFiles/util_argspec_test.dir/util/argspec_test.cpp.o.d"
+  "util_argspec_test"
+  "util_argspec_test.pdb"
+  "util_argspec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_argspec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_cdf_test.dir/util/cdf_test.cpp.o"
+  "CMakeFiles/util_cdf_test.dir/util/cdf_test.cpp.o.d"
+  "util_cdf_test"
+  "util_cdf_test.pdb"
+  "util_cdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_cdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

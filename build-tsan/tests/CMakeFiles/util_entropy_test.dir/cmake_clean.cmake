@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_entropy_test.dir/util/entropy_test.cpp.o"
+  "CMakeFiles/util_entropy_test.dir/util/entropy_test.cpp.o.d"
+  "util_entropy_test"
+  "util_entropy_test.pdb"
+  "util_entropy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_entropy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_metrics_test.dir/util/metrics_test.cpp.o"
+  "CMakeFiles/util_metrics_test.dir/util/metrics_test.cpp.o.d"
+  "util_metrics_test"
+  "util_metrics_test.pdb"
+  "util_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_contention_test.dir/wlan/contention_test.cpp.o"
+  "CMakeFiles/wlan_contention_test.dir/wlan/contention_test.cpp.o.d"
+  "wlan_contention_test"
+  "wlan_contention_test.pdb"
+  "wlan_contention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_contention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_network_test.dir/wlan/network_test.cpp.o"
+  "CMakeFiles/wlan_network_test.dir/wlan/network_test.cpp.o.d"
+  "wlan_network_test"
+  "wlan_network_test.pdb"
+  "wlan_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

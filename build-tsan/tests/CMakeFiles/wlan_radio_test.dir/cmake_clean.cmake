@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlan_radio_test.dir/wlan/radio_test.cpp.o"
+  "CMakeFiles/wlan_radio_test.dir/wlan/radio_test.cpp.o.d"
+  "wlan_radio_test"
+  "wlan_radio_test.pdb"
+  "wlan_radio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlan_radio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

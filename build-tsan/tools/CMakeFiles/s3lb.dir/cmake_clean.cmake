@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3lb.dir/s3lb_cli.cpp.o"
+  "CMakeFiles/s3lb.dir/s3lb_cli.cpp.o.d"
+  "s3lb"
+  "s3lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
