@@ -32,6 +32,9 @@ PairStatsMap extract_pair_stats(const trace::Trace& trace,
   PairStatsMap stats;
   const auto sessions = trace.sessions();
 
+  // s3lint: allow(det-unordered-iter): per-AP contributions are integer
+  // counter increments into a pair-keyed map, so accumulation commutes
+  // across AP visit order.
   for (const auto& [ap, idx] : sessions_by_ap(trace)) {
     for (std::size_t a = 0; a < idx.size(); ++a) {
       const trace::SessionRecord& si = sessions[idx[a]];
@@ -82,6 +85,9 @@ void count_companioned_events(const trace::Trace& trace, util::SimTime window,
     util::SimTime when;
     UserId user;
   };
+  // s3lint: allow(det-unordered-iter): each AP's event timeline is
+  // sorted before scanning, and the per-user tallies are integer
+  // counters, so AP visit order cannot change the result.
   for (const auto& [ap, idx] : sessions_by_ap(trace)) {
     std::vector<Ev> events;
     events.reserve(idx.size());

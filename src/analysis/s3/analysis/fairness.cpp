@@ -54,6 +54,9 @@ FairnessReport evaluate_fairness(const wlan::Network& net,
       per_ap[s.ap].push_back(
           {s.user, s.demand_mbps * static_cast<double>(hi - lo)});
     }
+    // s3lint: allow(det-unordered-iter): a user holds one session (one
+    // AP) per slot, so the per-user float accumulations each see a
+    // single contribution per slot; the slot-wide tallies are integers.
     for (const auto& [ap, entries] : per_ap) {
       double offered = 0.0;
       for (const SlotEntry& e : entries) offered += e.offered_mb;

@@ -137,6 +137,7 @@ std::uint64_t OnlineSocialModel::state_digest() const {
   // capacity and insertion order cannot leak into the digest.
   std::vector<ApId> aps;
   aps.reserve(present_.size());
+  // s3lint: allow(det-unordered-iter): keys are collected then sorted.
   for (const auto& [ap, stations] : present_) {
     if (!stations.empty()) aps.push_back(ap);
   }
@@ -155,6 +156,7 @@ std::uint64_t OnlineSocialModel::state_digest() const {
     }
   }
   aps.clear();
+  // s3lint: allow(det-unordered-iter): keys are collected then sorted.
   for (const auto& [ap, departures] : recent_departures_) {
     if (!departures.empty()) aps.push_back(ap);
   }

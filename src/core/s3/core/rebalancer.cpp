@@ -131,16 +131,25 @@ RebalanceResult simulate_with_migration(const wlan::Network& net,
           tracker.demand_mbps(donor) - tracker.demand_mbps(receiver);
       if (gap <= config.hysteresis_mbps) return;
 
-      // Best movable station: minimizes the post-move donor/receiver gap.
-      std::size_t best_session = std::numeric_limits<std::size_t>::max();
-      double best_new_gap = gap;
+      // Best movable station: minimizes the post-move donor/receiver
+      // gap. Candidates are gathered and sorted first so a float tie
+      // resolves to the lowest session id, not to hash order.
+      std::vector<std::size_t> movable;
+      // s3lint: allow(det-unordered-iter): keys are collected then sorted.
       for (const auto& [sid, s] : active) {
         if (s.ap != donor) continue;
         if (std::find(s.candidates.begin(), s.candidates.end(), receiver) ==
             s.candidates.end()) {
           continue;  // receiver not audible for this station
         }
-        const double new_gap = std::abs(gap - 2.0 * s.demand_mbps);
+        movable.push_back(sid);
+      }
+      std::sort(movable.begin(), movable.end());
+      std::size_t best_session = std::numeric_limits<std::size_t>::max();
+      double best_new_gap = gap;
+      for (const std::size_t sid : movable) {
+        const double new_gap =
+            std::abs(gap - 2.0 * active.at(sid).demand_mbps);
         if (new_gap < best_new_gap - 1e-12) {
           best_new_gap = new_gap;
           best_session = sid;
@@ -165,6 +174,7 @@ RebalanceResult simulate_with_migration(const wlan::Network& net,
   // candidate set is down is dropped (its departure entry is skipped).
   auto evict_ap = [&](ApId down_ap, util::SimTime now) {
     std::vector<std::size_t> victims;
+    // s3lint: allow(det-unordered-iter): keys are collected then sorted.
     for (const auto& [sid, s] : active) {
       if (s.ap == down_ap) victims.push_back(sid);
     }

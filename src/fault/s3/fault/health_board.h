@@ -1,0 +1,73 @@
+// Cross-domain health publication for monitoring readers.
+//
+// Each domain's DegradationTracker is engine-local by design: it is
+// only ever stepped under that domain's lock. Monitoring, though,
+// wants "how is domain c doing?" without queueing behind placements on
+// the domain lock. A HealthBoard decouples the two: the owner
+// publishes the tracker's state after stepping it (it already holds
+// the domain lock there), and readers take only the board's per-domain
+// mutex — placement traffic on other domains is never touched, and
+// placements on the same domain contend only for the tiny publish
+// window instead of the whole batch dispatch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "s3/fault/degradation.h"
+#include "s3/util/error.h"
+#include "s3/util/ids.h"
+#include "s3/util/thread_annotations.h"
+
+namespace s3::fault {
+
+class HealthBoard {
+ public:
+  explicit HealthBoard(std::size_t num_domains)
+      : cells_(std::make_unique<Cell[]>(num_domains)),
+        num_domains_(num_domains) {}
+
+  std::size_t num_domains() const noexcept { return num_domains_; }
+
+  /// Publishes `domain`'s current health; called by the domain owner
+  /// after stepping its tracker. Counts the edge when `state` differs
+  /// from the last published value.
+  void publish(ControllerId domain, HealthState state) {
+    Cell& cell = at(domain);
+    util::MutexLock lock(cell.mu);
+    if (cell.state != state) ++cell.transitions;
+    cell.state = state;
+  }
+
+  /// Last published health of `domain` (kHealthy before any publish).
+  HealthState state(ControllerId domain) const {
+    const Cell& cell = at(domain);
+    util::MutexLock lock(cell.mu);
+    return cell.state;
+  }
+
+  /// Published state edges seen for `domain` since construction.
+  std::uint64_t transitions(ControllerId domain) const {
+    const Cell& cell = at(domain);
+    util::MutexLock lock(cell.mu);
+    return cell.transitions;
+  }
+
+ private:
+  struct Cell {
+    mutable util::Mutex mu;
+    HealthState state S3_GUARDED_BY(mu) = HealthState::kHealthy;
+    std::uint64_t transitions S3_GUARDED_BY(mu) = 0;
+  };
+
+  Cell& at(ControllerId domain) const {
+    S3_REQUIRE(domain < num_domains_, "HealthBoard: domain out of range");
+    return cells_[domain];
+  }
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t num_domains_;
+};
+
+}  // namespace s3::fault

@@ -5,6 +5,11 @@
 // so draining is a pure function of queue content — no wall clock, no
 // insertion-order dependence — which keeps the fault path thread-count
 // invariant.
+//
+// Deliberately lock-free: one queue belongs to one ControllerEngine
+// and is only ever touched by the thread running that engine, so
+// adding a mutex here would assert a sharing contract that does not
+// exist.
 #pragma once
 
 #include <cstddef>

@@ -12,6 +12,11 @@
 // the headless-mode actions of an unreplicated controller (dropped
 // arrivals/batches, postponed retries); those make the log a complete
 // failover audit trail but only engine-step kinds are replayed.
+//
+// Deliberately lock-free: a log belongs to one ReplicationGroup, whose
+// whole walk runs on a single worker thread; readers (the driver,
+// tests) only look after the join. Cross-domain observations that do
+// need concurrency go through FailoverLedger instead.
 #pragma once
 
 #include <cstdint>

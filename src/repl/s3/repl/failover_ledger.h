@@ -1,0 +1,55 @@
+// Cross-domain failover event collection.
+//
+// Replication groups run on independent worker threads and each may
+// promote, restart, or rejoin controllers at any point of its walk. A
+// FailoverLedger is the one place those events meet before the join:
+// groups append under a mutex as events happen, and events() hands
+// back a copy in canonical (when, domain, replica) order — the same
+// order the driver used to reconstruct after the join, now available
+// to any observer while the run is still in flight.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "s3/repl/replication_group.h"
+#include "s3/util/thread_annotations.h"
+
+namespace s3::repl {
+
+class FailoverLedger {
+ public:
+  /// Appends one promotion/headless-restart event; any thread.
+  void record(const FailoverEvent& event) S3_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    events_.push_back(event);
+  }
+
+  /// Snapshot of everything recorded so far, sorted by (when, domain,
+  /// promoted replica) so concurrent append order cannot leak out.
+  std::vector<FailoverEvent> events() const S3_EXCLUDES(mu_) {
+    std::vector<FailoverEvent> out;
+    {
+      util::MutexLock lock(mu_);
+      out = events_;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FailoverEvent& a, const FailoverEvent& b) {
+                if (a.when != b.when) return a.when < b.when;
+                if (a.domain != b.domain) return a.domain < b.domain;
+                return a.promoted_replica < b.promoted_replica;
+              });
+    return out;
+  }
+
+  std::size_t size() const S3_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return events_.size();
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  std::vector<FailoverEvent> events_ S3_GUARDED_BY(mu_);
+};
+
+}  // namespace s3::repl

@@ -8,33 +8,13 @@
 
 #include "s3/check/contract.h"
 #include "s3/check/validators.h"
+#include "s3/repl/failover_ledger.h"
+#include "s3/runtime/error_collector.h"
 #include "s3/runtime/replay_driver.h"
+#include "s3/runtime/shard_stats_board.h"
 #include "s3/util/thread_annotations.h"
 
 namespace s3::repl {
-
-namespace {
-
-/// First-error capture for the worker pool (same contract as the
-/// unreplicated driver's collector).
-class ErrorCollector {
- public:
-  void capture(std::exception_ptr error) S3_EXCLUDES(mu_) {
-    util::MutexLock lock(mu_);
-    if (!first_) first_ = std::move(error);
-  }
-
-  std::exception_ptr take() S3_EXCLUDES(mu_) {
-    util::MutexLock lock(mu_);
-    return first_;
-  }
-
- private:
-  util::Mutex mu_;
-  std::exception_ptr first_ S3_GUARDED_BY(mu_);
-};
-
-}  // namespace
 
 ReplicatedReplayDriver::ReplicatedReplayDriver(const wlan::Network& net,
                                                ReplicatedDriverConfig config)
@@ -77,18 +57,30 @@ ReplicatedReplayResult ReplicatedReplayDriver::run(
         *config_.injector, config_.recovery, config_.repl));
   }
 
+  // Groups stream failover events into the ledger as they promote and
+  // post their acting primary's stats to the board as they finish; both
+  // hand back canonically ordered snapshots after the join, so the
+  // merge never depends on thread schedule.
+  FailoverLedger ledger;
+  runtime::ShardStatsBoard board;
+  for (auto& g : groups) g->set_failover_ledger(&ledger);
+
   const unsigned workers = std::min<unsigned>(
       effective_threads(), static_cast<unsigned>(groups.size()));
   if (workers <= 1) {
-    for (auto& g : groups) g->run();
+    for (auto& g : groups) {
+      g->run();
+      board.record(g->domain(), g->stats());
+    }
   } else {
     std::atomic<std::size_t> next{0};
-    ErrorCollector errors;
+    runtime::ErrorCollector errors;
     auto work = [&]() {
       for (std::size_t i = next.fetch_add(1); i < groups.size();
            i = next.fetch_add(1)) {
         try {
           groups[i]->run();
+          board.record(groups[i]->domain(), groups[i]->stats());
         } catch (...) {
           errors.capture(std::current_exception());
         }
@@ -106,12 +98,9 @@ ReplicatedReplayResult ReplicatedReplayDriver::run(
   // Merge after the join, sequentially, in controller order: each group
   // publishes into its own disjoint assignment slots.
   std::vector<ApId> assignment(workload.size(), kInvalidAp);
-  std::vector<sim::ReplayStats> shard_stats;
-  shard_stats.reserve(groups.size());
   ReplicatedReplayResult out;
   for (const auto& g : groups) {
     g->publish_assignment(assignment);
-    shard_stats.push_back(g->stats());
     const ReplStats& rs = g->repl_stats();
     out.repl.replicas = std::max(out.repl.replicas, rs.replicas);
     out.repl.failovers += rs.failovers;
@@ -122,16 +111,10 @@ ReplicatedReplayResult ReplicatedReplayDriver::run(
     out.repl.catchup_records += rs.catchup_records;
     out.repl.catchup_wall_ns += rs.catchup_wall_ns;
     out.repl.final_term = std::max(out.repl.final_term, rs.final_term);
-    const auto events = g->failovers();
-    out.failovers.insert(out.failovers.end(), events.begin(), events.end());
   }
-  std::sort(out.failovers.begin(), out.failovers.end(),
-            [](const FailoverEvent& a, const FailoverEvent& b) {
-              if (a.when != b.when) return a.when < b.when;
-              return a.domain < b.domain;
-            });
+  out.failovers = ledger.events();
   out.result = sim::ReplayResult{workload.with_assignments(assignment),
-                                 runtime::merge_stats(shard_stats)};
+                                 runtime::merge_stats(board.in_domain_order())};
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "s3/check/validators.h"
+#include "s3/repl/failover_ledger.h"
 #include "s3/util/error.h"
 #include "s3/util/rng.h"
 
@@ -218,7 +219,7 @@ void ReplicationGroup::run_headless(const util::TimeInterval& window) {
   ev.promoted_replica = primary_index_;
   ev.new_term = r.term;
   ev.headless = true;
-  failovers_.push_back(ev);
+  record_failover(ev);
 }
 
 void ReplicationGroup::handle_outage(const util::TimeInterval& window) {
@@ -269,7 +270,12 @@ void ReplicationGroup::handle_outage(const util::TimeInterval& window) {
   ev.records_replayed = replayed;
   ev.catchup_wall_ns = ns;
   ev.converged = report.ok();
+  record_failover(ev);
+}
+
+void ReplicationGroup::record_failover(const FailoverEvent& ev) {
   failovers_.push_back(ev);
+  if (ledger_ != nullptr) ledger_->record(ev);
 }
 
 void ReplicationGroup::run() {

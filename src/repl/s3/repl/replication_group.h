@@ -83,6 +83,8 @@ struct ReplStats {
   std::uint64_t final_term = 0;       ///< max over domains
 };
 
+class FailoverLedger;
+
 class ReplicationGroup {
  public:
   /// Mirrors ControllerEngine's constructor contract; `factory` is
@@ -114,6 +116,14 @@ class ReplicationGroup {
   const ReplStats& repl_stats() const noexcept { return repl_stats_; }
   std::span<const FailoverEvent> failovers() const noexcept {
     return failovers_;
+  }
+
+  /// Streams every failover event into `ledger` (in addition to the
+  /// local failovers() list) as it happens, so a driver can observe
+  /// promotions across domains while groups are still running. Must be
+  /// set before run(); the ledger must outlive it.
+  void set_failover_ledger(FailoverLedger* ledger) noexcept {
+    ledger_ = ledger;
   }
   const EventLog& log() const noexcept { return log_; }
 
@@ -167,8 +177,12 @@ class ReplicationGroup {
     std::size_t replica;
     util::SimTime at;
   };
+  /// Appends to failovers_ and mirrors the event to ledger_ (if set).
+  void record_failover(const FailoverEvent& ev);
+
   std::vector<PendingRestart> pending_restarts_;
   std::vector<FailoverEvent> failovers_;
+  FailoverLedger* ledger_ = nullptr;
   ReplStats repl_stats_;
   bool finalized_ = false;
 };

@@ -198,6 +198,7 @@ void ControllerEngine::defer_session(std::size_t session_index,
 
 void ControllerEngine::evict_ap(ApId ap, util::SimTime when) {
   std::vector<std::size_t> victims;
+  // s3lint: allow(det-unordered-iter): keys are collected then sorted.
   for (const auto& [session, info] : active_) {
     if (info.ap == ap) victims.push_back(session);
   }
@@ -242,6 +243,7 @@ void ControllerEngine::recover_ap(ApId ap, util::SimTime when) {
     if (gap <= recovery_.recovery_hysteresis_mbps) break;
 
     std::vector<std::size_t> on_donor;
+    // s3lint: allow(det-unordered-iter): keys are collected then sorted.
     for (const auto& [session, info] : active_) {
       if (info.ap == donor) on_donor.push_back(session);
     }
@@ -525,6 +527,7 @@ fault::ReplicaSnapshot ControllerEngine::snapshot() const {
   }
   snap.retries = retries_.sorted_entries();
   snap.attempts.reserve(attempts_.size());
+  // s3lint: allow(det-unordered-iter): entries are collected then sorted.
   for (const auto& [session, count] : attempts_) {
     snap.attempts.push_back({session, count});
   }

@@ -1,0 +1,36 @@
+// First-error capture for a driver worker pool.
+//
+// Both replay drivers (runtime::ReplayDriver and
+// repl::ReplicatedReplayDriver) run one engine/group per worker and
+// must surface the first exception a worker threw after the join —
+// one definition here instead of a copy in each driver. The annotated
+// mutex makes the cross-thread handoff a compiler-checked contract.
+#pragma once
+
+#include <exception>
+#include <utility>
+
+#include "s3/util/thread_annotations.h"
+
+namespace s3::runtime {
+
+class ErrorCollector {
+ public:
+  /// Stores `error` if no earlier capture happened; any thread.
+  void capture(std::exception_ptr error) S3_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    if (!first_) first_ = std::move(error);
+  }
+
+  /// The first captured error, or null. Called after the pool joined.
+  std::exception_ptr take() S3_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return first_;
+  }
+
+ private:
+  util::Mutex mu_;
+  std::exception_ptr first_ S3_GUARDED_BY(mu_);
+};
+
+}  // namespace s3::runtime

@@ -7,30 +7,13 @@
 
 #include "s3/check/contract.h"
 #include "s3/check/validators.h"
+#include "s3/runtime/error_collector.h"
+#include "s3/runtime/shard_stats_board.h"
 #include "s3/util/thread_annotations.h"
 
 namespace s3::runtime {
 
 namespace {
-
-/// First-error capture for the worker pool; the annotated mutex makes
-/// the cross-thread handoff a compiler-checked contract.
-class ErrorCollector {
- public:
-  void capture(std::exception_ptr error) S3_EXCLUDES(mu_) {
-    util::MutexLock lock(mu_);
-    if (!first_) first_ = std::move(error);
-  }
-
-  std::exception_ptr take() S3_EXCLUDES(mu_) {
-    util::MutexLock lock(mu_);
-    return first_;
-  }
-
- private:
-  util::Mutex mu_;
-  std::exception_ptr first_ S3_GUARDED_BY(mu_);
-};
 
 /// Boundary contract: a workload handed to the driver must be
 /// structurally sound for this network. Runs only when checking is
@@ -120,10 +103,17 @@ sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
         config_.replay, assignment, config_.injector, config_.recovery));
   }
 
+  // Each worker posts its engine's stats to the board the moment that
+  // engine finishes; the board hands them back in controller order, so
+  // the merge below is identical for every thread count.
+  ShardStatsBoard board;
   const unsigned workers = std::min<unsigned>(
       effective_threads(), static_cast<unsigned>(engines.size()));
   if (workers <= 1) {
-    for (auto& e : engines) e->run();
+    for (auto& e : engines) {
+      e->run();
+      board.record(e->domain(), e->stats());
+    }
   } else {
     std::atomic<std::size_t> next{0};
     ErrorCollector errors;
@@ -132,6 +122,7 @@ sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
            i = next.fetch_add(1)) {
         try {
           engines[i]->run();
+          board.record(engines[i]->domain(), engines[i]->stats());
         } catch (...) {
           errors.capture(std::current_exception());
         }
@@ -146,11 +137,8 @@ sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
     }
   }
 
-  std::vector<sim::ReplayStats> shard_stats;
-  shard_stats.reserve(engines.size());
-  for (const auto& e : engines) shard_stats.push_back(e->stats());
   return sim::ReplayResult{workload.with_assignments(assignment),
-                           merge_stats(shard_stats)};
+                           merge_stats(board.in_domain_order())};
 }
 
 sim::ReplayResult ReplayDriver::run_sequential(const trace::Trace& workload,

@@ -1,0 +1,51 @@
+// Per-domain replay-stats collection across a worker pool.
+//
+// Workers push each engine's final ReplayStats the moment the engine
+// finishes, from whichever thread ran it; the driver asks for the
+// entries back in controller order after the join, so the merged
+// totals never depend on thread schedule. Appends take a mutex — this
+// is once per domain per run, nowhere near any hot path.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "s3/sim/replay.h"
+#include "s3/util/ids.h"
+#include "s3/util/thread_annotations.h"
+
+namespace s3::runtime {
+
+class ShardStatsBoard {
+ public:
+  /// Records `domain`'s final stats; any thread, once per domain.
+  void record(ControllerId domain, const sim::ReplayStats& stats)
+      S3_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    entries_.push_back({domain, stats});
+  }
+
+  /// All recorded stats sorted by controller id — deterministic merge
+  /// input regardless of completion order. Called after the join.
+  std::vector<sim::ReplayStats> in_domain_order() const S3_EXCLUDES(mu_) {
+    std::vector<std::pair<ControllerId, sim::ReplayStats>> entries;
+    {
+      util::MutexLock lock(mu_);
+      entries = entries_;
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<sim::ReplayStats> out;
+    out.reserve(entries.size());
+    for (auto& [domain, stats] : entries) out.push_back(stats);
+    return out;
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  std::vector<std::pair<ControllerId, sim::ReplayStats>> entries_
+      S3_GUARDED_BY(mu_);
+};
+
+}  // namespace s3::runtime

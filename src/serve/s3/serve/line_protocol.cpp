@@ -25,10 +25,21 @@ const char* rejection_reason(const ServeStats& before,
 
 }  // namespace
 
+void SyncWriter::write_line(std::string_view line) {
+  util::MutexLock lock(mu_);
+  *out_ << line << '\n';
+}
+
 bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
                        std::ostream& out) {
+  SyncWriter writer(out);
   bool clean = true;
   std::string line;
+  std::ostringstream response;
+  const auto respond = [&] {
+    writer.write_line(response.str());
+    response.str({});
+  };
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
@@ -40,7 +51,8 @@ bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
       fields >> req.id >> req.user >> req.building >> req.pos.x >>
           req.pos.y >> t >> req.demand_mbps;
       if (fields.fail()) {
-        out << "error malformed arrive: " << line << '\n';
+        response << "error malformed arrive: " << line;
+        respond();
         clean = false;
         continue;
       }
@@ -48,37 +60,42 @@ bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
       const ServeStats before = pipeline.stats();
       const PlaceResult r = pipeline.place(req);
       if (r.placed) {
-        out << "place " << req.id << ' ' << r.ap << '\n';
+        response << "place " << req.id << ' ' << r.ap;
       } else {
-        out << "place " << req.id << " reject "
-            << rejection_reason(before, pipeline.stats()) << '\n';
+        response << "place " << req.id << " reject "
+                 << rejection_reason(before, pipeline.stats());
       }
+      respond();
     } else if (verb == "depart") {
       std::uint64_t id = 0;
       std::int64_t t = 0;
       fields >> id >> t;
       if (fields.fail()) {
-        out << "error malformed depart: " << line << '\n';
+        response << "error malformed depart: " << line;
+        respond();
         clean = false;
         continue;
       }
       if (pipeline.depart(id, util::SimTime::from_seconds(t))) {
-        out << "gone " << id << '\n';
+        response << "gone " << id;
       } else {
-        out << "gone " << id << " unknown\n";
+        response << "gone " << id << " unknown";
       }
+      respond();
     } else if (verb == "stats") {
       const ServeStats s = pipeline.stats();
-      out << "stats placements=" << s.placements
-          << " departures=" << s.departures
-          << " active=" << pipeline.active_sessions()
-          << " fallback=" << s.fallback_placements
-          << " overloads=" << s.forced_overloads << " rejected="
-          << (s.rejected_no_candidate + s.rejected_unknown_user +
-              s.rejected_duplicate_id)
-          << " updated_pairs=" << pipeline.model().updated_pairs() << '\n';
+      response << "stats placements=" << s.placements
+               << " departures=" << s.departures
+               << " active=" << pipeline.active_sessions()
+               << " fallback=" << s.fallback_placements
+               << " overloads=" << s.forced_overloads << " rejected="
+               << (s.rejected_no_candidate + s.rejected_unknown_user +
+                   s.rejected_duplicate_id)
+               << " updated_pairs=" << pipeline.model().updated_pairs();
+      respond();
     } else {
-      out << "error unknown verb: " << verb << '\n';
+      response << "error unknown verb: " << verb;
+      respond();
       clean = false;
     }
   }

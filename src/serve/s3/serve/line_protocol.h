@@ -24,14 +24,36 @@
 #pragma once
 
 #include <iosfwd>
+#include <string_view>
 
 #include "s3/serve/serve_pipeline.h"
+#include "s3/util/thread_annotations.h"
 
 namespace s3::serve {
 
+/// Whole-line serializer for a shared response stream. Concurrent
+/// responders (one driver per client of the same pipeline) write
+/// through one SyncWriter so lines never interleave mid-line; each
+/// write_line is one critical section, newline included.
+class SyncWriter {
+ public:
+  /// `out` must outlive the writer.
+  explicit SyncWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes `line` plus a newline atomically with respect to other
+  /// write_line calls.
+  void write_line(std::string_view line) S3_EXCLUDES(mu_);
+
+ private:
+  util::Mutex mu_;
+  std::ostream* out_ S3_PT_GUARDED_BY(mu_);
+};
+
 /// Feeds every line of `in` to `pipeline`, writing one response line
 /// per request to `out`. Sequential (single caller thread); the
-/// pipeline itself may concurrently serve other threads.
+/// pipeline itself may concurrently serve other threads, and the
+/// responses go through a SyncWriter so a second driver on the same
+/// ostream stays line-atomic.
 bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
                        std::ostream& out);
 

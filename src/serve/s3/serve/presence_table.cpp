@@ -1,0 +1,57 @@
+#include "s3/serve/presence_table.h"
+
+#include <algorithm>
+
+namespace s3::serve {
+
+void PresenceTable::arrive(ApId ap, std::size_t session_index, UserId user,
+                           util::SimTime when) {
+  util::MutexLock lock(mu_);
+  present_[ap].push_back({session_index, user, when});
+}
+
+PresenceTable::DepartureEvents PresenceTable::depart(ApId ap,
+                                                     std::size_t session_index,
+                                                     util::SimTime when) {
+  DepartureEvents out;
+  util::MutexLock lock(mu_);
+
+  auto& here = present_[ap];
+  const auto self = std::find_if(
+      here.begin(), here.end(),
+      [&](const Presence& p) { return p.session_index == session_index; });
+  if (self == here.end()) return out;  // session predates tracking
+  const Presence leaving = *self;
+  here.erase(self);
+  out.tracked = true;
+  out.user = leaving.user;
+
+  auto& departures = recent_[ap];
+  departures.erase(
+      std::remove_if(departures.begin(), departures.end(),
+                     [&](const DepartureRec& r) {
+                       return when - r.when > co_leave_window_;
+                     }),
+      departures.end());
+
+  // Encounters only against the still-present side (the symmetric half
+  // is counted when the other user leaves) — see OnlineSocialModel.
+  for (const Presence& other : here) {
+    if (other.user == leaving.user) continue;
+    const util::SimTime overlap = when - std::max(other.since, leaving.since);
+    if (overlap >= min_encounter_overlap_) {
+      out.encountered.push_back(other.user);
+    }
+  }
+  for (const DepartureRec& r : departures) {
+    if (r.user == leaving.user) continue;
+    const util::SimTime overlap = r.when - std::max(r.since, leaving.since);
+    if (overlap >= min_encounter_overlap_) {
+      out.co_left.push_back(r.user);
+    }
+  }
+  departures.push_back({leaving.user, leaving.since, when});
+  return out;
+}
+
+}  // namespace s3::serve

@@ -1,0 +1,75 @@
+// Per-domain presence state for online social-event detection.
+//
+// Mirrors core::OnlineSocialModel's bookkeeping: who is on each AP
+// right now, and who left recently enough to still count for
+// co-leaving. ServePipeline keeps one table per domain (an AP belongs
+// to exactly one domain, so presence never crosses tables) and each
+// table carries its own mutex — event detection serializes only with
+// arrivals/departures of the *same* domain, and no longer extends the
+// domain placement lock's critical section.
+//
+// depart() only reports which peers were met; the caller writes the
+// encounter/co-leave counters into its shared store outside this
+// table's lock, so the lock order is always domain placement lock ->
+// presence lock -> (lock-free) store, never anything cyclic.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "s3/util/ids.h"
+#include "s3/util/sim_time.h"
+#include "s3/util/thread_annotations.h"
+
+namespace s3::serve {
+
+class PresenceTable {
+ public:
+  /// The social events one departure implies, against the departing
+  /// session's stay on its AP.
+  struct DepartureEvents {
+    bool tracked = false;  ///< false if the session was never recorded
+    UserId user = kInvalidUser;
+    std::vector<UserId> encountered;  ///< peers still present long enough
+    std::vector<UserId> co_left;      ///< peers that left shortly before
+  };
+
+  PresenceTable(util::SimTime co_leave_window,
+                util::SimTime min_encounter_overlap)
+      : co_leave_window_(co_leave_window),
+        min_encounter_overlap_(min_encounter_overlap) {}
+
+  /// Records that `user`'s session is now present on `ap`.
+  void arrive(ApId ap, std::size_t session_index, UserId user,
+              util::SimTime when) S3_EXCLUDES(mu_);
+
+  /// Removes the session from `ap`'s presence list and returns the
+  /// encounter/co-leave peers its departure implies. The departing
+  /// session itself joins the recent-departure ring for later
+  /// co-leave matches.
+  DepartureEvents depart(ApId ap, std::size_t session_index,
+                         util::SimTime when) S3_EXCLUDES(mu_);
+
+ private:
+  struct Presence {
+    std::size_t session_index;
+    UserId user;
+    util::SimTime since;
+  };
+  struct DepartureRec {
+    UserId user;
+    util::SimTime since;
+    util::SimTime when;
+  };
+
+  const util::SimTime co_leave_window_;
+  const util::SimTime min_encounter_overlap_;
+
+  mutable util::Mutex mu_;
+  std::unordered_map<ApId, std::vector<Presence>> present_
+      S3_GUARDED_BY(mu_);
+  std::unordered_map<ApId, std::vector<DepartureRec>> recent_
+      S3_GUARDED_BY(mu_);
+};
+
+}  // namespace s3::serve

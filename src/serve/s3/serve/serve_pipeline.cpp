@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <utility>
 
 #include "s3/util/error.h"
@@ -14,9 +15,9 @@ ServePipeline::ServePipeline(const wlan::Network* net,
                              ServeConfig config)
     : net_(net),
       config_(std::move(config)),
-      shared_(base, config_.expected_live_pairs),
-      shards_(std::make_unique<Shard[]>(kShards)) {
+      shared_(base, config_.expected_live_pairs) {
   S3_REQUIRE(net_ != nullptr, "ServePipeline: null network");
+  health_ = std::make_unique<fault::HealthBoard>(net_->num_controllers());
   core::SelectorSpec spec;
   spec.llf_metric = config_.llf_metric;
   spec.random_seed = config_.random_seed;
@@ -29,11 +30,14 @@ ServePipeline::ServePipeline(const wlan::Network* net,
   spec.online.min_encounter_overlap = config_.min_encounter_overlap;
   const auto factory = core::make_selector_factory(config_.policy, spec);
   domains_.reserve(net_->num_controllers());
+  presence_.reserve(net_->num_controllers());
   for (ControllerId c = 0; c < net_->num_controllers(); ++c) {
     auto d = std::make_unique<Domain>();
     d->selector = factory->create(c);
     d->tracker = std::make_unique<sim::ApLoadTracker>(*net_);
     domains_.push_back(std::move(d));
+    presence_.push_back(std::make_unique<PresenceTable>(
+        config_.co_leave_window, config_.min_encounter_overlap));
   }
 }
 
@@ -49,15 +53,9 @@ PlaceResult ServePipeline::place(const PlaceRequest& req) {
   // Reserve the session id first so a concurrent duplicate place() is
   // rejected instead of double-associated. The placeholder (ap ==
   // kInvalidAp) also makes a racing depart() for this id a no-op.
-  Shard& shard = shard_of(req.id);
-  {
-    util::MutexLock hold(shard.mu);
-    const auto [it, inserted] = shard.sessions.try_emplace(req.id);
-    if (!inserted) {
-      rejected_duplicate_id_.fetch_add(1, std::memory_order_relaxed);
-      return {};
-    }
-    it->second.user = req.user;
+  if (!registry_.reserve(req.id, req.user)) {
+    rejected_duplicate_id_.fetch_add(1, std::memory_order_relaxed);
+    return {};
   }
 
   sim::Arrival arrival;
@@ -78,8 +76,7 @@ PlaceResult ServePipeline::place(const PlaceRequest& req) {
   });
   if (arrival.candidates.empty()) {
     rejected_no_candidate_.fetch_add(1, std::memory_order_relaxed);
-    util::MutexLock hold(shard.mu);
-    shard.sessions.erase(req.id);
+    registry_.cancel(req.id);
     return {};
   }
 
@@ -90,8 +87,7 @@ PlaceResult ServePipeline::place(const PlaceRequest& req) {
     if (d.selector->uses_social_model() &&
         req.user >= shared_.num_users()) {
       rejected_unknown_user_.fetch_add(1, std::memory_order_relaxed);
-      util::MutexLock shard_hold(shard.mu);
-      shard.sessions.erase(req.id);
+      registry_.cancel(req.id);
       return {};
     }
     sim::BatchRequest request;
@@ -122,19 +118,24 @@ PlaceResult ServePipeline::place(const PlaceRequest& req) {
     d.tracker->associate(arrival.session_index, ap, req.user,
                          req.demand_mbps);
     d.selector->on_associate(arrival, ap);
-    d.present[ap].push_back({arrival.session_index, req.user, req.when});
+    if (config_.injector != nullptr) {
+      health_->publish(domain_id, d.degradation.state());
+    }
   }
 
-  {
-    util::MutexLock hold(shard.mu);
-    Session& s = shard.sessions[req.id];
-    s.session_index = arrival.session_index;
-    s.user = req.user;
-    s.ap = result.ap;
-    s.domain = domain_id;
-    s.demand_mbps = req.demand_mbps;
-    s.since = req.when;
-  }
+  // Presence must be visible before the session id is committed: a
+  // depart() can only race us after the commit, and it expects the
+  // presence entry to exist.
+  presence_[domain_id]->arrive(result.ap, arrival.session_index, req.user,
+                               req.when);
+  LiveSession session;
+  session.session_index = arrival.session_index;
+  session.user = req.user;
+  session.ap = result.ap;
+  session.domain = domain_id;
+  session.demand_mbps = req.demand_mbps;
+  session.since = req.when;
+  registry_.commit(req.id, session);
   active_.fetch_add(1, std::memory_order_relaxed);
   placements_.fetch_add(1, std::memory_order_relaxed);
   if (result.fallback) {
@@ -153,72 +154,36 @@ PlaceResult ServePipeline::place(const PlaceRequest& req) {
 }
 
 bool ServePipeline::depart(std::uint64_t id, util::SimTime when) {
-  Session s;
-  Shard& shard = shard_of(id);
-  {
-    util::MutexLock hold(shard.mu);
-    auto& sessions = shard.sessions;
-    const auto it = sessions.find(id);
-    if (it == sessions.end() || it->second.ap == kInvalidAp) {
-      // Unknown id, or a placement still in flight on another thread
-      // (the placeholder). Either way nothing was committed yet.
-      unknown_departures_.fetch_add(1, std::memory_order_relaxed);
-      return false;
-    }
-    s = it->second;
-    sessions.erase(it);
+  const std::optional<LiveSession> s = registry_.take(id);
+  if (!s.has_value()) {
+    // Unknown id, or a placement still in flight on another thread
+    // (the placeholder). Either way nothing was committed yet.
+    unknown_departures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
   }
 
-  Domain& d = *domains_[s.domain];
+  Domain& d = *domains_[s->domain];
   {
     util::MutexLock hold(d.mu);
-    d.tracker->disconnect(s.session_index, s.ap);
-    d.selector->on_disconnect(s.session_index, s.user, s.ap, when);
-    detect_events(d, s.session_index, s.ap, when);
+    d.tracker->disconnect(s->session_index, s->ap);
+    d.selector->on_disconnect(s->session_index, s->user, s->ap, when);
   }
+
+  // Mirrors core::OnlineSocialModel::on_disconnect: the presence table
+  // reports who was met, and the detected events go to the shared
+  // store here, outside both the domain and the presence lock.
+  const PresenceTable::DepartureEvents events =
+      presence_[s->domain]->depart(s->ap, s->session_index, when);
+  for (const UserId peer : events.encountered) {
+    shared_.record_encounter(events.user, peer);
+  }
+  for (const UserId peer : events.co_left) {
+    shared_.record_co_leave(events.user, peer);
+  }
+
   active_.fetch_sub(1, std::memory_order_relaxed);
   departures_.fetch_add(1, std::memory_order_relaxed);
   return true;
-}
-
-void ServePipeline::detect_events(Domain& d, std::size_t session_index,
-                                  ApId ap, util::SimTime when) {
-  // Mirrors core::OnlineSocialModel::on_disconnect step for step, with
-  // the counter writes going to the process-wide shared store instead
-  // of a per-domain private one.
-  auto& present = d.present[ap];
-  const auto self = std::find_if(
-      present.begin(), present.end(),
-      [&](const Presence& p) { return p.session_index == session_index; });
-  if (self == present.end()) return;  // session predates tracking
-  const Presence leaving = *self;
-  present.erase(self);
-
-  auto& recent = d.recent[ap];
-  recent.erase(
-      std::remove_if(recent.begin(), recent.end(),
-                     [&](const DepartureRec& r) {
-                       return when - r.when > config_.co_leave_window;
-                     }),
-      recent.end());
-
-  // Encounters only against the still-present side (the symmetric half
-  // is counted when the other user leaves) — see OnlineSocialModel.
-  for (const Presence& other : present) {
-    if (other.user == leaving.user) continue;
-    const util::SimTime overlap = when - std::max(other.since, leaving.since);
-    if (overlap >= config_.min_encounter_overlap) {
-      shared_.record_encounter(leaving.user, other.user);
-    }
-  }
-  for (const DepartureRec& r : recent) {
-    if (r.user == leaving.user) continue;
-    const util::SimTime overlap = r.when - std::max(r.since, leaving.since);
-    if (overlap >= config_.min_encounter_overlap) {
-      shared_.record_co_leave(leaving.user, r.user);
-    }
-  }
-  recent.push_back({leaving.user, leaving.since, when});
 }
 
 ServeStats ServePipeline::stats() const noexcept {
@@ -241,9 +206,9 @@ ServeStats ServePipeline::stats() const noexcept {
 
 fault::HealthState ServePipeline::domain_health(ControllerId domain) const {
   S3_REQUIRE(domain < domains_.size(), "serve: domain out of range");
-  Domain& d = *domains_[domain];
-  util::MutexLock hold(d.mu);
-  return d.degradation.state();
+  // Reads the published snapshot — monitoring never touches the
+  // domain placement lock.
+  return health_->state(domain);
 }
 
 }  // namespace s3::serve

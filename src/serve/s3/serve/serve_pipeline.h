@@ -5,11 +5,13 @@
 // happen, instead of replaying a recorded workload. Structure mirrors
 // the paper's deployment (§V-A): one controller per building group,
 // controllers fully independent. Each domain owns a policy instance, a
-// load tracker, a degradation state machine, and the presence state
-// for online encounter/co-leave detection, all guarded by one
+// load tracker, and a degradation state machine, guarded by one
 // per-domain mutex — so placements in different domains run fully in
 // parallel, and every domain's θ lookups go through one shared
-// SharedSocialModel whose reads are lock-free.
+// SharedSocialModel whose reads are lock-free. The presence state for
+// online encounter/co-leave detection lives in a per-domain
+// PresenceTable behind its own lock, so event detection never extends
+// the placement lock's critical section.
 //
 // Threading contract: place() and depart() are safe from any number of
 // threads. Callers bring their own concurrency (the stdin driver is
@@ -29,12 +31,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "s3/core/selector_factory.h"
 #include "s3/fault/degradation.h"
 #include "s3/fault/fault_injector.h"
+#include "s3/fault/health_board.h"
+#include "s3/serve/presence_table.h"
+#include "s3/serve/session_registry.h"
 #include "s3/serve/shared_social_model.h"
 #include "s3/sim/load_state.h"
 #include "s3/sim/selector.h"
@@ -121,60 +125,25 @@ class ServePipeline {
   fault::HealthState domain_health(ControllerId domain) const;
 
  private:
-  struct Presence {
-    std::size_t session_index;
-    UserId user;
-    util::SimTime since;
-  };
-  struct DepartureRec {
-    UserId user;
-    util::SimTime since;
-    util::SimTime when;
-  };
   struct Domain {
     util::Mutex mu;
     std::unique_ptr<sim::ApSelector> selector S3_GUARDED_BY(mu);
     std::unique_ptr<sim::ApLoadTracker> tracker S3_GUARDED_BY(mu);
     fault::DegradationTracker degradation S3_GUARDED_BY(mu);
-    /// Online event-detection state for this domain's APs (an AP
-    /// belongs to exactly one domain, so presence never crosses).
-    std::unordered_map<ApId, std::vector<Presence>> present S3_GUARDED_BY(mu);
-    std::unordered_map<ApId, std::vector<DepartureRec>> recent
-        S3_GUARDED_BY(mu);
   };
-  struct Session {
-    std::size_t session_index = 0;
-    UserId user = kInvalidUser;
-    ApId ap = kInvalidAp;  ///< kInvalidAp while the placement is in flight
-    ControllerId domain = kInvalidController;
-    double demand_mbps = 0.0;
-    util::SimTime since{};
-  };
-  struct Shard {
-    mutable util::Mutex mu;
-    std::unordered_map<std::uint64_t, Session> sessions S3_GUARDED_BY(mu);
-  };
-  static constexpr std::size_t kShards = 64;  // power of two
-
-  Shard& shard_of(std::uint64_t id) const noexcept {
-    // splitmix64 finalizer, same mix as the pair stores.
-    std::uint64_t z = id;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return shards_[(z ^ (z >> 31)) & (kShards - 1)];
-  }
-
-  /// Mirrors core::OnlineSocialModel::on_disconnect, writing the
-  /// detected encounters/co-leavings into the shared store. Caller
-  /// holds the domain mutex.
-  void detect_events(Domain& d, std::size_t session_index, ApId ap,
-                     util::SimTime when) S3_REQUIRES(d.mu);
 
   const wlan::Network* net_;
   ServeConfig config_;
   SharedSocialModel shared_;
   std::vector<std::unique_ptr<Domain>> domains_;
-  std::unique_ptr<Shard[]> shards_;
+  /// id -> live session, sharded (see SessionRegistry's protocol).
+  SessionRegistry registry_;
+  /// Per-domain online event-detection state (an AP belongs to exactly
+  /// one domain, so presence never crosses tables).
+  std::vector<std::unique_ptr<PresenceTable>> presence_;
+  /// Monitoring-facing health snapshots, published after every
+  /// degradation step so domain_health() skips the domain lock.
+  std::unique_ptr<fault::HealthBoard> health_;
 
   std::atomic<std::size_t> next_session_{0};
   std::atomic<std::size_t> active_{0};

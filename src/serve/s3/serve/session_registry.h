@@ -1,0 +1,100 @@
+// Sharded id -> live-session table for the serve pipeline.
+//
+// Every place()/depart() resolves a caller-chosen session id here, so
+// the table is split over 64 mutex-guarded shards (id hashed with the
+// splitmix64 finalizer) to keep unrelated sessions off each other's
+// locks. The two-phase insert protocol is what makes concurrent
+// duplicate place() calls and place/depart races safe:
+//
+//   reserve(id)  claims the id with an in-flight placeholder (ap ==
+//                kInvalidAp); a second reserve of the same id fails,
+//                and a racing depart treats the placeholder as
+//                unknown because nothing was committed yet;
+//   commit(id)   publishes the placed session under the reserved id;
+//   cancel(id)   drops a reservation whose placement was rejected;
+//   take(id)     removes and returns a committed session for depart.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "s3/util/ids.h"
+#include "s3/util/sim_time.h"
+#include "s3/util/thread_annotations.h"
+
+namespace s3::serve {
+
+/// One committed live session (internal to the pipeline).
+struct LiveSession {
+  std::size_t session_index = 0;
+  UserId user = kInvalidUser;
+  ApId ap = kInvalidAp;  ///< kInvalidAp while the placement is in flight
+  ControllerId domain = kInvalidController;
+  double demand_mbps = 0.0;
+  util::SimTime since{};
+};
+
+class SessionRegistry {
+ public:
+  SessionRegistry() : shards_(std::make_unique<Shard[]>(kShards)) {}
+
+  /// Claims `id` with an in-flight placeholder. False if the id is
+  /// already reserved or committed (duplicate).
+  bool reserve(std::uint64_t id, UserId user) {
+    Shard& shard = shard_of(id);
+    util::MutexLock lock(shard.mu);
+    const auto [it, inserted] = shard.sessions.try_emplace(id);
+    if (inserted) it->second.user = user;
+    return inserted;
+  }
+
+  /// Drops a reservation whose placement was rejected.
+  void cancel(std::uint64_t id) {
+    Shard& shard = shard_of(id);
+    util::MutexLock lock(shard.mu);
+    shard.sessions.erase(id);
+  }
+
+  /// Publishes the placed session under a previously reserved id.
+  void commit(std::uint64_t id, const LiveSession& session) {
+    Shard& shard = shard_of(id);
+    util::MutexLock lock(shard.mu);
+    shard.sessions[id] = session;
+  }
+
+  /// Removes and returns the committed session under `id`; nullopt for
+  /// unknown ids and for placements still in flight on another thread.
+  std::optional<LiveSession> take(std::uint64_t id) {
+    Shard& shard = shard_of(id);
+    util::MutexLock lock(shard.mu);
+    const auto it = shard.sessions.find(id);
+    if (it == shard.sessions.end() || it->second.ap == kInvalidAp) {
+      return std::nullopt;
+    }
+    LiveSession out = it->second;
+    shard.sessions.erase(it);
+    return out;
+  }
+
+ private:
+  struct Shard {
+    mutable util::Mutex mu;
+    std::unordered_map<std::uint64_t, LiveSession> sessions
+        S3_GUARDED_BY(mu);
+  };
+  static constexpr std::size_t kShards = 64;  // power of two
+
+  Shard& shard_of(std::uint64_t id) const noexcept {
+    // splitmix64 finalizer, same mix as the pair stores.
+    std::uint64_t z = id;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return shards_[(z ^ (z >> 31)) & (kShards - 1)];
+  }
+
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace s3::serve

@@ -73,10 +73,15 @@ class ApLoadTracker {
     return capacity_mbps(ap) - demand_mbps(ap);
   }
 
-  /// Visits every active station on `ap`.
+  /// Visits every active station on `ap`. Visitation order is the
+  /// map's stored order: unspecified, but stable for a given
+  /// insert/erase history, which replay determinism relies on.
   template <typename Fn>
   void for_each_station(ApId ap, Fn&& fn) const {
     S3_REQUIRE(ap < aps_.size(), "for_each_station: ap out of range");
+    // s3lint: allow(det-unordered-iter): callers reduce commutatively
+    // (validators) or consume the stable stored order consistently
+    // within a run (S3Selector's batched theta sweep).
     for (const auto& [sid, st] : aps_[ap].stations) fn(st);
   }
 

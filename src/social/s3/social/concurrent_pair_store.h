@@ -76,8 +76,12 @@ class ConcurrentPairStore {
 
   /// Lock-free consistent snapshot of the pair's counters, or nullopt
   /// if absent. Safe from any thread, including concurrently with
-  /// update/erase/resize.
-  std::optional<Stats> find(UserPair p) const noexcept;
+  /// update/erase/resize. This is the seqlock read side: it touches
+  /// Bucket::cells without the bucket lock by design, validating the
+  /// read against the bucket version instead, so the thread-safety
+  /// analysis is disabled for it.
+  std::optional<Stats> find(UserPair p) const noexcept
+      S3_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Atomically applies `fn(Stats&)` to the pair's counters, creating
   /// them first if absent — zero-initialized, or copied from
@@ -151,7 +155,12 @@ class ConcurrentPairStore {
     util::Spinlock lock;
     std::atomic<std::uint32_t> version{0};  ///< seqlock; odd = writing
     std::atomic<std::uint8_t> tags[kCells]{};
-    Cell cells[kCells];
+    /// Seqlock protocol: writers hold `lock` and bump `version` to odd
+    /// around every store; readers never lock — they read cells
+    /// between two even, equal version loads and retry otherwise. The
+    /// GUARDED_BY covers the write side; the lock-free read side
+    /// (find()) opts out with S3_NO_THREAD_SAFETY_ANALYSIS.
+    Cell cells[kCells] S3_GUARDED_BY(lock);
     std::atomic<Node*> overflow{nullptr};
   };
   struct Table {

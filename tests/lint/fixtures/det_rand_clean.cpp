@@ -1,0 +1,14 @@
+// Fixture: seeded project RNG and lookalike call sites must not fire
+// det-rand. (Fixtures are lexed, never compiled, so the callees need
+// no declarations.)
+#include "s3/util/rng.h"
+
+struct Dice;
+
+int roll_dice(s3::util::Rng& rng, const Dice& dice) {
+  const int a = static_cast<int>(rng.next_u64() % 6);  // seeded — fine
+  const int b = dice.rand();     // member call — fine
+  const int c = vendor::rand();  // foreign namespace — fine
+  int rand = a;                  // identifier, never called — fine
+  return rand + b + c;
+}

@@ -1,0 +1,10 @@
+// Fixture: unseeded libc RNG must fire det-rand.
+#include <cstdlib>
+
+int roll_dice() {
+  return rand() % 6;  // line 5: det-rand
+}
+
+void reseed() {
+  srand(42);  // line 9: det-rand
+}

@@ -1,0 +1,11 @@
+// Fixture: a reasoned suppression silences det-rand.
+#include <cstdlib>
+
+int roll_dice() {
+  return rand() % 6;  // s3lint: allow(det-rand): fixture exercises suppression
+}
+
+int roll_again() {
+  // s3lint: allow(det-rand): own-line comment covers the next line
+  return rand() % 6;
+}

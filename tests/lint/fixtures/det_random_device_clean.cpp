@@ -1,0 +1,7 @@
+// Fixture: run-seeded generators must not fire det-random-device.
+#include <random>
+
+std::uint64_t seeded_draw(std::uint64_t run_seed) {
+  std::mt19937_64 gen(run_seed);
+  return gen();
+}

@@ -1,0 +1,7 @@
+// Fixture: real-entropy seeding must fire det-random-device.
+#include <random>
+
+std::uint64_t entropy_seed() {
+  std::random_device rd;  // line 5: det-random-device
+  return rd();
+}

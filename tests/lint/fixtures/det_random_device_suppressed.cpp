@@ -1,0 +1,7 @@
+// Fixture: a reasoned suppression silences det-random-device.
+#include <random>
+
+std::uint64_t entropy_seed() {
+  std::random_device rd;  // s3lint: allow(det-random-device): fixture reason
+  return rd();
+}

@@ -1,0 +1,14 @@
+// Fixture: steady_clock, member calls and foreign namespaces must not
+// fire det-time. (Fixtures are lexed, never compiled, so the callees
+// need no declarations.)
+#include <chrono>
+
+struct Stopwatch;
+
+long elapsed_ns(const Stopwatch& w) {
+  const auto t0 = std::chrono::steady_clock::now();  // measurement — fine
+  const long a = w.time();                           // member call — fine
+  const long b = sim::time();                        // own namespace — fine
+  const auto t1 = std::chrono::steady_clock::now();
+  return (t1 - t0).count() + a + b;
+}

@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads must fire det-time.
+#include <chrono>
+#include <ctime>
+
+long wall_seconds() {
+  return static_cast<long>(time(nullptr));  // line 6: det-time
+}
+
+auto wall_now() {
+  return std::chrono::system_clock::now();  // line 10: det-time
+}

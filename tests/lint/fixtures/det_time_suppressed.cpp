@@ -1,0 +1,6 @@
+// Fixture: a reasoned suppression silences det-time.
+#include <ctime>
+
+long wall_seconds() {
+  return static_cast<long>(time(nullptr));  // s3lint: allow(det-time): fixture
+}

@@ -1,0 +1,23 @@
+// Fixture: ordered iteration and mapped-value element access must not
+// fire det-unordered-iter even under `output-scope on`.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> sorted_keys(const std::unordered_map<int, double>& sessions) {
+  std::vector<int> keys;
+  keys.reserve(sessions.size());
+  // s3lint: allow(det-unordered-iter): keys are collected then sorted
+  for (const auto& [id, demand] : sessions) keys.push_back(id);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+double sum_one_bucket(
+    const std::unordered_map<int, std::vector<double>>& by_ap, int ap) {
+  double total = 0.0;
+  for (const double demand : by_ap.at(ap)) {  // mapped value, not the map
+    total += demand;
+  }
+  return total;
+}

@@ -1,0 +1,19 @@
+// Fixture: iteration over unordered containers in output-scope code
+// must fire det-unordered-iter (the test lints this with
+// `output-scope on`).
+#include <cstdio>
+#include <unordered_map>
+
+void print_sessions(const std::unordered_map<int, double>& sessions) {
+  for (const auto& [id, demand] : sessions) {  // line 8: det-unordered-iter
+    std::printf("%d %f\n", id, demand);
+  }
+}
+
+double sum_iterator_style(const std::unordered_map<int, double>& sessions) {
+  double total = 0.0;
+  for (auto it = sessions.begin(); it != sessions.end(); ++it) {  // line 15
+    total += it->second;
+  }
+  return total;
+}

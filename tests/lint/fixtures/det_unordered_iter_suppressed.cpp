@@ -1,0 +1,11 @@
+// Fixture: a reasoned suppression silences det-unordered-iter.
+#include <unordered_map>
+
+double sum_demand(const std::unordered_map<int, double>& sessions) {
+  double total = 0.0;
+  // s3lint: allow(det-unordered-iter): summation is commutative
+  for (const auto& [id, demand] : sessions) {
+    total += demand;
+  }
+  return total;
+}

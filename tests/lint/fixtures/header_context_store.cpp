@@ -1,0 +1,11 @@
+// Fixture: range-for over a member whose unordered type is declared
+// only in the sibling header (header_context_store.h).
+#include <cstdio>
+
+void dump_impl(const SessionStore& store);
+
+void SessionStore::dump() const {
+  for (const auto& [id, user] : sessions_) {  // det-unordered-iter with header
+    std::printf("%d %s\n", id, user.c_str());
+  }
+}

@@ -1,0 +1,15 @@
+// Fixture: the member declaration lives here; the sibling .cpp
+// iterates it. Only with this header as header_context can the
+// det-unordered-iter rule know the member's type.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+class SessionStore {
+ public:
+  void dump() const;
+
+ private:
+  std::unordered_map<int, std::string> sessions_;
+};

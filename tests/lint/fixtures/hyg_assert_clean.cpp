@@ -1,0 +1,12 @@
+// Fixture: the contract macros and member-call lookalikes must not
+// fire hyg-assert. (Fixtures are lexed, never compiled, so the callee
+// needs no declaration.)
+#include "s3/util/error.h"
+
+struct Checker;
+
+int checked_halve(int n, const Checker& c) {
+  S3_REQUIRE(n % 2 == 0, "checked_halve: odd input");
+  c.assert(true);  // member call — fine
+  return n / 2;
+}

@@ -1,0 +1,7 @@
+// Fixture: bare assert() must fire hyg-assert.
+#include <cassert>
+
+int checked_halve(int n) {
+  assert(n % 2 == 0);  // line 5: hyg-assert
+  return n / 2;
+}

@@ -1,0 +1,7 @@
+// Fixture: a reasoned suppression silences hyg-assert.
+#include <cassert>
+
+int checked_halve(int n) {
+  assert(n % 2 == 0);  // s3lint: allow(hyg-assert): fixture reason
+  return n / 2;
+}

@@ -1,0 +1,6 @@
+// Fixture: a header opening with #pragma once is clean.
+#pragma once
+
+#include <cstddef>
+
+std::size_t guarded_the_project_way();

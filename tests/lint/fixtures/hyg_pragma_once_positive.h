@@ -1,0 +1,8 @@
+// Fixture: a classic include guard (not #pragma once) must fire
+// hyg-pragma-once on the first directive.
+#ifndef HYG_PRAGMA_ONCE_POSITIVE_H
+#define HYG_PRAGMA_ONCE_POSITIVE_H
+
+int guarded_the_old_way();
+
+#endif

@@ -1,0 +1,8 @@
+// Fixture: a reasoned suppression silences hyg-pragma-once.
+// s3lint: allow(hyg-pragma-once): fixture keeps a legacy guard
+#ifndef HYG_PRAGMA_ONCE_SUPPRESSED_H
+#define HYG_PRAGMA_ONCE_SUPPRESSED_H
+
+int guarded_the_old_way();
+
+#endif

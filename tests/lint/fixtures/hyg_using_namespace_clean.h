@@ -1,0 +1,10 @@
+// Fixture: using-declarations and namespace aliases are fine in a
+// header; only using-directives leak wholesale.
+#pragma once
+
+#include <vector>
+
+using std::vector;
+namespace vec = std;
+
+inline vector<int> make_empty() { return {}; }

@@ -1,0 +1,8 @@
+// Fixture: using namespace in a header must fire hyg-using-namespace.
+#pragma once
+
+#include <vector>
+
+using namespace std;  // line 6: hyg-using-namespace
+
+inline vector<int> make_empty() { return {}; }

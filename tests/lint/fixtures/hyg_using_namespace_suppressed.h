@@ -1,0 +1,8 @@
+// Fixture: a reasoned suppression silences hyg-using-namespace.
+#pragma once
+
+#include <vector>
+
+using namespace std;  // s3lint: allow(hyg-using-namespace): fixture reason
+
+inline vector<int> make_empty() { return {}; }

@@ -1,0 +1,8 @@
+// Fixture: a well-formed suppression — rule id in the registry, colon,
+// non-empty reason — produces no lint-suppression finding (and
+// silences its target).
+#include <cstdlib>
+
+int roll_dice() {
+  return rand() % 6;  // s3lint: allow(det-rand): well-formed fixture example
+}

@@ -1,0 +1,22 @@
+// Fixture: malformed suppression comments must fire lint-suppression.
+#include <cstdlib>
+
+int a() {
+  return rand() % 6;  // s3lint: allow(det-rand)
+}
+
+int b() {
+  return rand() % 6;  // s3lint: allow(no-such-rule): typoed rule id
+}
+
+int c() {
+  return rand() % 6;  // s3lint: disable det-rand
+}
+
+int d() {
+  return rand() % 6;  // s3lint: allow(det-rand
+}
+
+int e() {
+  return rand() % 6;  // s3lint: allow(det-rand):
+}

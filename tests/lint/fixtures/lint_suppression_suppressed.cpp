@@ -1,0 +1,6 @@
+// Fixture: lint-suppression findings cannot themselves be suppressed —
+// the audit trail stays intact. Both comments below share a line; the
+// second one is malformed (missing reason) and must still be reported.
+/* s3lint: allow(lint-suppression): tries to silence the auditor */ // s3lint: allow(hyg-assert)
+
+int nothing_else_here() { return 0; }

@@ -1,0 +1,19 @@
+// Fixture: explicit-memory-order accesses and name-shadowing locals
+// must not fire lock-atomic-mix.
+#include <atomic>
+#include <cstdint>
+
+struct Counter {
+  std::atomic<std::uint64_t> hits{0};
+
+  void bump() {
+    hits.fetch_add(1, std::memory_order_relaxed);  // explicit order — fine
+  }
+  void reset() {
+    hits.store(0, std::memory_order_release);
+  }
+  std::uint64_t snapshot() {
+    std::uint64_t hits = this->hits.load(std::memory_order_acquire);
+    return hits;  // declaring a shadowing local is fine
+  }
+};

@@ -1,0 +1,18 @@
+// Fixture: writing an atomic through implicit-seq_cst operators must
+// fire lock-atomic-mix.
+#include <atomic>
+#include <cstdint>
+
+struct Counter {
+  std::atomic<std::uint64_t> hits{0};
+
+  void bump() {
+    hits++;  // line 10: lock-atomic-mix
+  }
+  void reset() {
+    hits = 0;  // line 13: lock-atomic-mix
+  }
+  void add(std::uint64_t n) {
+    hits += n;  // line 16: lock-atomic-mix
+  }
+};

@@ -1,0 +1,12 @@
+// Fixture: the annotated util wrappers must not fire lock-raw-mutex.
+#include "s3/util/thread_annotations.h"
+
+struct WrapperLocked {
+  mutable s3::util::Mutex mu;
+  int value S3_GUARDED_BY(mu) = 0;
+
+  void set(int v) {
+    s3::util::MutexLock lock(&mu);
+    value = v;
+  }
+};

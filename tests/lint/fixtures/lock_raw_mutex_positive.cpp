@@ -1,0 +1,12 @@
+// Fixture: raw std::mutex / std::lock_guard must fire lock-raw-mutex.
+#include <mutex>
+
+struct RawLocked {
+  std::mutex mu;  // line 5: lock-raw-mutex
+  int value S3_GUARDED_BY(mu) = 0;
+
+  void set(int v) {
+    std::lock_guard<std::mutex> g(mu);  // line 9: two findings
+    value = v;
+  }
+};

@@ -1,0 +1,19 @@
+// Fixture: annotated, atomic, const and static members of a
+// lock-owning class must not fire lock-unguarded-field.
+#include <atomic>
+
+#include "s3/util/thread_annotations.h"
+
+class Tally {
+ public:
+  void bump();
+
+ private:
+  static constexpr int kStep = 1;
+
+  mutable s3::util::Mutex mu_;
+  int count_ S3_GUARDED_BY(mu_) = 0;
+  int* slot_ S3_PT_GUARDED_BY(mu_) = nullptr;
+  std::atomic<int> fast_count_{0};
+  const int capacity_ = 16;
+};

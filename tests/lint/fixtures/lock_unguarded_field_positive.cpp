@@ -1,0 +1,12 @@
+// Fixture: a mutable field of a lock-owning class without
+// S3_GUARDED_BY must fire lock-unguarded-field.
+#include "s3/util/thread_annotations.h"
+
+class Tally {
+ public:
+  void bump();
+
+ private:
+  mutable s3::util::Mutex mu_;
+  int count_ = 0;  // line 11: lock-unguarded-field
+};

@@ -1,0 +1,139 @@
+#include "s3lint/config.h"
+
+#include <sstream>
+
+#include "s3lint/rules.h"
+
+namespace s3::lint {
+
+namespace {
+
+ConfigParseResult fail(std::string_view path, std::size_t line_no,
+                       const std::string& what) {
+  ConfigParseResult r;
+  r.error = std::string(path) + " line " + std::to_string(line_no) + ": " + what;
+  return r;
+}
+
+/// A rule pattern is valid when it is `*`, a known rule id, or a
+/// `prefix*` that covers at least one known rule.
+bool valid_rule_pattern(std::string_view pattern) {
+  if (pattern == "*") return true;
+  if (!pattern.empty() && pattern.back() == '*') {
+    for (const RuleInfo& rule : all_rules()) {
+      if (Config::pattern_matches(pattern, rule.id)) return true;
+    }
+    return false;
+  }
+  return find_rule(pattern) != nullptr;
+}
+
+}  // namespace
+
+bool Config::pattern_matches(std::string_view pattern, std::string_view rule) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return rule.substr(0, pattern.size() - 1) ==
+           pattern.substr(0, pattern.size() - 1);
+  }
+  return pattern == rule;
+}
+
+Severity Config::severity_for(std::string_view rule, std::string_view path,
+                              Severity fallback) const {
+  Severity out = fallback;
+  for (const SeverityOverride& o : overrides) {
+    if (pattern_matches(o.rule_pattern, rule)) out = o.severity;
+  }
+  for (const Allow& a : allows) {
+    if (pattern_matches(a.rule_pattern, rule) && path.size() >= a.path_suffix.size() &&
+        path.substr(path.size() - a.path_suffix.size()) == a.path_suffix) {
+      out = Severity::kOff;
+    }
+  }
+  return out;
+}
+
+bool Config::excluded(std::string_view path) const {
+  for (const std::string& e : excludes) {
+    if (path.find(e) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+ConfigParseResult parse_config(std::string_view text, std::string_view path,
+                               Config base) {
+  ConfigParseResult result;
+  result.config = std::move(base);
+
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+
+    std::istringstream ls(line);
+    std::string verb;
+    if (!(ls >> verb)) continue;  // blank / comment-only line
+
+    if (verb == "disable") {
+      std::string rule, extra;
+      if (!(ls >> rule) || (ls >> extra)) {
+        return fail(path, line_no, "disable wants exactly one rule pattern");
+      }
+      if (!valid_rule_pattern(rule)) {
+        return fail(path, line_no, "unknown rule \"" + rule + "\"");
+      }
+      result.config.overrides.push_back({rule, Severity::kOff});
+    } else if (verb == "severity") {
+      std::string rule, level, extra;
+      if (!(ls >> rule >> level) || (ls >> extra)) {
+        return fail(path, line_no, "severity wants RULE error|warning|off");
+      }
+      if (!valid_rule_pattern(rule)) {
+        return fail(path, line_no, "unknown rule \"" + rule + "\"");
+      }
+      Severity sev;
+      if (level == "error") {
+        sev = Severity::kError;
+      } else if (level == "warning") {
+        sev = Severity::kWarning;
+      } else if (level == "off") {
+        sev = Severity::kOff;
+      } else {
+        return fail(path, line_no,
+                    "severity level must be error, warning, or off (got \"" +
+                        level + "\")");
+      }
+      result.config.overrides.push_back({rule, sev});
+    } else if (verb == "allow") {
+      std::string rule, suffix, extra;
+      if (!(ls >> rule >> suffix) || (ls >> extra)) {
+        return fail(path, line_no, "allow wants RULE PATH-SUFFIX");
+      }
+      if (!valid_rule_pattern(rule)) {
+        return fail(path, line_no, "unknown rule \"" + rule + "\"");
+      }
+      result.config.allows.push_back({rule, suffix});
+    } else if (verb == "exclude") {
+      std::string sub, extra;
+      if (!(ls >> sub) || (ls >> extra)) {
+        return fail(path, line_no, "exclude wants exactly one path substring");
+      }
+      result.config.excludes.push_back(sub);
+    } else if (verb == "output-scope") {
+      std::string flag, extra;
+      if (!(ls >> flag) || (ls >> extra) || (flag != "on" && flag != "off")) {
+        return fail(path, line_no, "output-scope wants on or off");
+      }
+      result.config.output_scope = flag == "on";
+    } else {
+      return fail(path, line_no, "unknown directive \"" + verb + "\"");
+    }
+  }
+  return result;
+}
+
+}  // namespace s3::lint

@@ -1,0 +1,74 @@
+// `.s3lint` per-directory configuration.
+//
+// A `.s3lint` file is a line-oriented text format in the same idiom as
+// the fault-plan parser (one directive per line, `#` comments, errors
+// reported as "<path> line N: message"):
+//
+//   # rule tuning
+//   disable det-unordered-iter          # turn a rule off entirely
+//   severity lock-unguarded-field error # override a rule's severity
+//   allow det-rand s3/util/rng.cpp      # exempt files by path suffix
+//   exclude tests/lint/fixtures         # skip files by path substring
+//   output-scope on                     # this dir emits replay/serve
+//                                       # or model output (det rules
+//                                       # that only matter there)
+//
+// Configs compose top-down: the walker loads the root `.s3lint`, then
+// every `.s3lint` on the path from the root to the file's directory,
+// later files overriding severities and appending allows/excludes.
+// Rule names accept a trailing `*` wildcard (`disable lock-*`).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s3::lint {
+
+enum class Severity {
+  kOff,
+  kWarning,
+  kError,
+};
+
+/// Effective configuration for one linted file.
+struct Config {
+  struct SeverityOverride {
+    std::string rule_pattern;  ///< exact id or trailing-* prefix
+    Severity severity;
+  };
+  struct Allow {
+    std::string rule_pattern;
+    std::string path_suffix;
+  };
+
+  /// Applied in order; the last matching override wins.
+  std::vector<SeverityOverride> overrides;
+  std::vector<Allow> allows;
+  std::vector<std::string> excludes;  ///< path substrings to skip entirely
+  bool output_scope = false;
+
+  /// True when `pattern` ("det-rand" or "det-*") covers `rule`.
+  static bool pattern_matches(std::string_view pattern, std::string_view rule);
+
+  /// `rule`'s severity for `path` after overrides and allows.
+  Severity severity_for(std::string_view rule, std::string_view path,
+                        Severity fallback) const;
+
+  bool excluded(std::string_view path) const;
+};
+
+struct ConfigParseResult {
+  Config config;
+  std::string error;  ///< empty on success; "<path> line N: ..." otherwise
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses one `.s3lint` file's text into `base` (merging on top of it).
+/// `path` is used only for error messages. Unknown directives and rule
+/// ids are errors: a typoed rule name silently disabling nothing is
+/// exactly the failure mode a lint config must not have.
+ConfigParseResult parse_config(std::string_view text, std::string_view path,
+                               Config base);
+
+}  // namespace s3::lint

@@ -1,0 +1,276 @@
+#include "s3lint/lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace s3::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the table in order.
+constexpr std::array<std::string_view, 22> kOperators = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "==", "!=", "<=",
+    ">=",  "+=",  "-=",  "*=",  "/=", "%=", "|=", "&=", "^=", "&&", "||",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        line_start_ = pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (c == 'R' && peek(1) == '"') {
+        raw_string();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  bool only_ws_before() const {
+    for (std::size_t i = line_start_; i < pos_; ++i) {
+      const char c = src_[i];
+      if (c != ' ' && c != '\t' && c != '\r') return false;
+    }
+    return true;
+  }
+
+  void line_comment() {
+    const std::size_t start_line = line_;
+    const bool own = only_ws_before();
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(
+        {std::string(src_.substr(begin, pos_ - begin)), start_line, own});
+  }
+
+  void block_comment() {
+    const std::size_t start_line = line_;
+    const bool own = only_ws_before();
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    out_.comments.push_back(
+        {std::string(src_.substr(begin, end - begin)), start_line, own});
+  }
+
+  /// Whole logical preprocessor line, backslash continuations folded.
+  /// Trailing // comments still become Comment entries so suppressions
+  /// can sit on directive lines.
+  void directive() {
+    const std::size_t start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          ++line_;
+          ++pos_;
+          line_start_ = pos_;
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                             text.back() == '\r')) {
+      text.pop_back();
+    }
+    out_.tokens.push_back({TokenKind::kDirective, std::move(text), start_line});
+    at_line_start_ = false;
+  }
+
+  void string_literal() {
+    const std::size_t start_line = line_;
+    ++pos_;  // opening quote
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') ++line_;  // unterminated; keep going
+      ++pos_;
+    }
+    const std::size_t end = pos_;
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+    out_.tokens.push_back({TokenKind::kString,
+                           std::string(src_.substr(begin, end - begin)),
+                           start_line});
+  }
+
+  void char_literal() {
+    const std::size_t start_line = line_;
+    ++pos_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') break;  // unterminated (or a digit quote)
+      ++pos_;
+    }
+    const std::size_t end = pos_;
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    out_.tokens.push_back({TokenKind::kCharacter,
+                           std::string(src_.substr(begin, end - begin)),
+                           start_line});
+  }
+
+  void raw_string() {
+    const std::size_t start_line = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;  // (
+    const std::string close = ")" + delim + "\"";
+    const std::size_t begin = pos_;
+    const std::size_t found = src_.find(close, pos_);
+    const std::size_t end = found == std::string_view::npos ? src_.size() : found;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = found == std::string_view::npos ? src_.size() : found + close.size();
+    out_.tokens.push_back({TokenKind::kString,
+                           std::string(src_.substr(begin, end - begin)),
+                           start_line});
+  }
+
+  void identifier() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    std::string text(src_.substr(begin, pos_ - begin));
+    // Encoding-prefixed string literal (u8"...", L"...").
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      string_literal();
+      return;
+    }
+    out_.tokens.push_back({TokenKind::kIdentifier, std::move(text), line_});
+  }
+
+  /// pp-number: digits plus alnum, '.', digit separators, and signed
+  /// exponents — close enough to group any C++ numeric literal into
+  /// one token.
+  void number() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    out_.tokens.push_back(
+        {TokenKind::kNumber, std::string(src_.substr(begin, pos_ - begin)),
+         line_});
+  }
+
+  void punct() {
+    for (const std::string_view op : kOperators) {
+      if (src_.substr(pos_).starts_with(op)) {
+        out_.tokens.push_back({TokenKind::kPunct, std::string(op), line_});
+        pos_ += op.size();
+        return;
+      }
+    }
+    out_.tokens.push_back({TokenKind::kPunct, std::string(1, src_[pos_]), line_});
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+  bool at_line_start_ = true;
+  LexResult out_;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace s3::lint

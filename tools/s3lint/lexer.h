@@ -1,0 +1,53 @@
+// Lightweight C++ tokenizer for s3lint.
+//
+// s3lint's rules need token-level truth ("is this `rand` an identifier
+// or the inside of a string literal?"), not a full parse, so this is a
+// deliberately small lexer: comments, string/char literals (including
+// raw strings), preprocessor directives, identifiers, pp-numbers and a
+// maximal-munch set of multi-character operators. No macro expansion,
+// no semantic analysis — rules layer their own heuristics on top and
+// every rule supports inline suppression for the cases the heuristics
+// get wrong.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s3::lint {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,     ///< string literal, text excludes the quotes
+  kCharacter,  ///< character literal
+  kPunct,      ///< operator/punctuator, multi-char ops pre-merged
+  kDirective,  ///< whole preprocessor logical line ("#pragma once")
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line;  ///< 1-based
+};
+
+/// One comment, kept out of the token stream. Rules scan these for
+/// suppression directives.
+struct Comment {
+  std::string text;      ///< without the // or /* */ markers
+  std::size_t line;      ///< 1-based line the comment starts on
+  bool own_line;         ///< nothing but whitespace precedes it
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`. Never fails: malformed input (unterminated
+/// literals and the like) is consumed best-effort so a half-edited
+/// file still gets linted.
+LexResult lex(std::string_view source);
+
+}  // namespace s3::lint

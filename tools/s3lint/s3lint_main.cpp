@@ -1,0 +1,187 @@
+// s3lint — the project-native determinism & lock-discipline analyzer.
+//
+//   s3lint --root .                      # lint src/ tools/ bench/ tests/
+//   s3lint --root . --only src/serve     # restrict to a subtree
+//   s3lint --list-rules                  # rule ids, severities, summaries
+//
+// Exit codes: 0 clean, 1 findings (errors always; warnings only under
+// --warnings-as-errors), 2 usage or .s3lint config errors. Diagnostics
+// are "file:line: [rule-id] severity: message", one per line, sorted —
+// the output itself honors the determinism rules it enforces.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "s3/util/argspec.h"
+#include "s3lint/config.h"
+#include "s3lint/rules.h"
+
+namespace fs = std::filesystem;
+using s3::lint::Config;
+using s3::lint::ConfigParseResult;
+using s3::lint::Finding;
+using s3::lint::Severity;
+
+namespace {
+
+constexpr s3::util::ArgSpec kSpecs[] = {
+    {"root", s3::util::ArgKind::kString,
+     "repository root to lint (default: current directory)"},
+    {"only", s3::util::ArgKind::kString,
+     "restrict to files whose path contains this substring"},
+    {"warnings-as-errors", s3::util::ArgKind::kFlag,
+     "exit non-zero on warning-severity findings too"},
+    {"list-rules", s3::util::ArgKind::kFlag,
+     "print every rule id with its default severity and exit"},
+};
+
+/// The trees a default run walks; everything else (examples/, plans/,
+/// build*/) is out of scope for the code rules.
+constexpr std::string_view kDefaultTrees[] = {"src", "tools", "bench",
+                                              "tests"};
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// '/'-separated path relative to root, for stable diagnostics across
+/// platforms and invocation directories.
+std::string rel_path(const fs::path& root, const fs::path& p) {
+  return fs::relative(p, root).generic_string();
+}
+
+/// Loads and caches the merged config chain for a directory: the root
+/// `.s3lint` plus every `.s3lint` from the root down to `dir`.
+class ConfigChain {
+ public:
+  explicit ConfigChain(fs::path root) : root_(std::move(root)) {}
+
+  /// Effective config for a file in `dir`; `error` set on parse failure.
+  const Config* for_dir(const fs::path& dir, std::string& error) {
+    const std::string key = rel_path(root_, dir);
+    const auto hit = cache_.find(key);
+    if (hit != cache_.end()) return &hit->second;
+
+    Config base;
+    if (dir != root_ && dir.has_parent_path()) {
+      const Config* parent = for_dir(dir.parent_path(), error);
+      if (parent == nullptr) return nullptr;
+      base = *parent;
+    }
+    const fs::path file = dir / ".s3lint";
+    if (fs::exists(file)) {
+      ConfigParseResult parsed =
+          s3::lint::parse_config(read_file(file), rel_path(root_, file), base);
+      if (!parsed.ok()) {
+        error = parsed.error;
+        return nullptr;
+      }
+      base = std::move(parsed.config);
+    }
+    return &cache_.emplace(key, std::move(base)).first->second;
+  }
+
+ private:
+  fs::path root_;
+  std::map<std::string, Config> cache_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = s3::util::parse_args(kSpecs, argc, argv, 1);
+  if (parsed.want_help) {
+    std::cout << "usage: s3lint [flags]\n"
+              << s3::util::format_arg_specs(kSpecs);
+    return 0;
+  }
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.error << "\n"
+              << s3::util::format_arg_specs(kSpecs);
+    return 2;
+  }
+  if (parsed.args.has("list-rules")) {
+    for (const s3::lint::RuleInfo& rule : s3::lint::all_rules()) {
+      std::cout << rule.id << "  ("
+                << (rule.default_severity == Severity::kError ? "error"
+                                                              : "warning")
+                << ")  " << rule.summary << "\n";
+    }
+    return 0;
+  }
+
+  const fs::path root = fs::absolute(parsed.args.get("root", "."));
+  if (!fs::is_directory(root)) {
+    std::cerr << "error: --root " << root << " is not a directory\n";
+    return 2;
+  }
+  const std::string only = parsed.args.get("only");
+  const bool warnings_fail = parsed.args.has("warnings-as-errors");
+
+  // Gather candidate files, sorted so output order never depends on
+  // directory-iteration order.
+  std::vector<fs::path> files;
+  for (const std::string_view tree : kDefaultTrees) {
+    const fs::path base = root / tree;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  ConfigChain chain(root);
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t linted = 0;
+  for (const fs::path& file : files) {
+    const std::string rel = rel_path(root, file);
+    if (!only.empty() && rel.find(only) == std::string::npos) continue;
+
+    std::string config_error;
+    const Config* config = chain.for_dir(file.parent_path(), config_error);
+    if (config == nullptr) {
+      std::cerr << "error: " << config_error << "\n";
+      return 2;
+    }
+    if (config->excluded(rel)) continue;
+
+    const std::string content = read_file(file);
+    std::string header;
+    if (file.extension() == ".cpp" || file.extension() == ".cc") {
+      const fs::path sibling = fs::path(file).replace_extension(".h");
+      if (fs::exists(sibling)) header = read_file(sibling);
+    }
+    ++linted;
+    for (const Finding& f : s3::lint::lint_file(
+             {rel, content, header}, *config)) {
+      std::cout << f.format() << "\n";
+      if (f.severity == Severity::kError) {
+        ++errors;
+      } else {
+        ++warnings;
+      }
+    }
+  }
+
+  const bool fail = errors > 0 || (warnings_fail && warnings > 0);
+  std::cerr << "s3lint: " << linted << " files, " << errors << " errors, "
+            << warnings << " warnings\n";
+  return fail ? 1 : 0;
+}
