@@ -14,6 +14,16 @@
 // 0 backups every crash window drops its in-flight batch and arrivals,
 // and β′ dips in proportion.
 //
+// Two further sections exercise the snapshot machinery:
+//   - catch-up vs log length: whole-controller losses force a neighbor
+//     domain to adopt from scratch. Without snapshots the adopter
+//     replays the full log, so its catch-up bill grows with the window;
+//     with periodic snapshots it stays bounded by the snapshot interval
+//     no matter how long the run.
+//   - truncation: with snapshots on and --truncate semantics enabled,
+//     the live log stays a bounded suffix while the run is still
+//     bit-identical to the fault-free baseline.
+//
 // Flags beyond the common set:
 //   --quick       shrink the world (CI-sized run)
 //   --out FILE    JSON destination (default BENCH_failover.json)
@@ -78,6 +88,23 @@ struct ReplicaRun {
   double catchup_ms_mean = 0.0;  ///< per failover + rejoin
   bool lossless = false;         ///< assignment identical to baseline
 };
+
+/// One row of the catch-up-vs-log-length sweep: the same loss schedule
+/// replayed over a growing window, with and without snapshots.
+struct CatchupRow {
+  int days = 0;
+  std::uint64_t log_records = 0;          ///< snapshot-free run's log
+  std::uint64_t max_catchup_plain = 0;    ///< snapshot_every = 0
+  std::uint64_t max_catchup_snapshot = 0; ///< bounded by the interval
+};
+
+bool same_assignment(const trace::Trace& a, const trace::Trace& b) {
+  return a.sessions().size() == b.sessions().size() &&
+         std::equal(a.sessions().begin(), a.sessions().end(),
+                    b.sessions().begin(),
+                    [](const trace::SessionRecord& x,
+                       const trace::SessionRecord& y) { return x.ap == y.ap; });
+}
 
 }  // namespace
 
@@ -160,19 +187,70 @@ int main(int argc, char** argv) {
         catchups > 0 ? static_cast<double>(rr.repl.catchup_wall_ns) / 1e6 /
                            static_cast<double>(catchups)
                      : 0.0;
-    run.lossless =
-        rr.result.assigned.sessions().size() ==
-            baseline.assigned.sessions().size() &&
-        std::equal(rr.result.assigned.sessions().begin(),
-                   rr.result.assigned.sessions().end(),
-                   baseline.assigned.sessions().begin(),
-                   [](const trace::SessionRecord& a,
-                      const trace::SessionRecord& b) { return a.ap == b.ap; });
+    run.lossless = same_assignment(rr.result.assigned, baseline.assigned);
     runs.push_back(run);
     std::cerr << "replicas " << backups << ": beta' "
               << util::fmt(run.balance, 4) << " dropped " << run.dropped
               << (run.lossless ? " (lossless)" : "") << "\n";
   }
+
+  // --- Catch-up vs log length -------------------------------------
+  // Whole-controller losses over a growing slice of the test window.
+  // The adopting neighbor re-seeds from scratch, so without snapshots
+  // its catch-up replays the entire log to date; with snapshots the
+  // bill is capped by the interval regardless of window length.
+  const std::uint64_t snap_every = quick ? 150 : 400;
+  std::vector<CatchupRow> scaling;
+  for (int d = 1; d <= eval.test_days; ++d) {
+    const util::SimTime slice_end = util::SimTime::from_days(
+        static_cast<std::int64_t>(eval.train_days) + d);
+    const trace::Trace window = world.workload.slice(begin, slice_end);
+    const fault::FaultPlan loss_plan =
+        fault::canned_controller_loss_plan(net, begin, slice_end);
+    const fault::FaultInjector loss_injector(loss_plan, args.seed);
+    CatchupRow row;
+    row.days = d;
+    for (const bool snapshots : {false, true}) {
+      repl::ReplicatedDriverConfig rc;
+      rc.replay = eval.replay;
+      rc.threads = args.threads;
+      rc.injector = &loss_injector;
+      rc.repl.backups = 1;
+      rc.repl.snapshot_every = snapshots ? snap_every : 0;
+      const repl::ReplicatedReplayResult rr =
+          repl::ReplicatedReplayDriver(net, rc).run(window, *factory);
+      if (snapshots) {
+        row.max_catchup_snapshot = rr.repl.max_catchup_records;
+      } else {
+        row.max_catchup_plain = rr.repl.max_catchup_records;
+        row.log_records = rr.repl.log_records;
+      }
+    }
+    scaling.push_back(row);
+    std::cerr << "catch-up @ " << d << "d: log " << row.log_records
+              << ", max catch-up " << row.max_catchup_plain
+              << " plain vs " << row.max_catchup_snapshot << " snapshotted\n";
+  }
+
+  // --- Truncation --------------------------------------------------
+  // Same churn schedule as the headline table, snapshots + truncation
+  // on: the live log must shrink to a bounded suffix while the final
+  // assignment stays bit-identical to the fault-free baseline.
+  repl::ReplicatedDriverConfig trunc_rc;
+  trunc_rc.replay = eval.replay;
+  trunc_rc.threads = args.threads;
+  trunc_rc.injector = &injector;
+  trunc_rc.repl.backups = 2;
+  trunc_rc.repl.snapshot_every = snap_every;
+  trunc_rc.repl.truncate = true;
+  const repl::ReplicatedReplayResult trunc =
+      repl::ReplicatedReplayDriver(net, trunc_rc).run(test, *factory);
+  const bool trunc_lossless =
+      same_assignment(trunc.result.assigned, baseline.assigned);
+  std::cerr << "truncation: " << trunc.repl.truncated_records
+            << " records dropped, " << trunc.repl.live_log_records
+            << " live of " << trunc.repl.log_records
+            << (trunc_lossless ? " (lossless)" : " (DIVERGED)") << "\n";
 
   std::cout << "# Failover: beta' and failover ledger vs backup count\n";
   util::TextTable table({"backups", "balance_index", "degradation", "dropped",
@@ -189,6 +267,28 @@ int main(int argc, char** argv) {
                    run.lossless ? "yes" : "no"});
   }
   std::cout << table.to_csv();
+
+  std::cout << "# Catch-up vs log length (controller losses, 1 backup)\n";
+  util::TextTable scale_table({"days", "log_records", "max_catchup_plain",
+                               "max_catchup_snapshot", "snapshot_every"});
+  for (const CatchupRow& row : scaling) {
+    scale_table.add_row({std::to_string(row.days),
+                         std::to_string(row.log_records),
+                         std::to_string(row.max_catchup_plain),
+                         std::to_string(row.max_catchup_snapshot),
+                         std::to_string(snap_every)});
+  }
+  std::cout << scale_table.to_csv();
+
+  std::cout << "# Truncation (churn plan, 2 backups, snapshots on)\n";
+  util::TextTable trunc_table({"log_records", "truncated_records",
+                               "live_log_records", "snapshots", "lossless"});
+  trunc_table.add_row({std::to_string(trunc.repl.log_records),
+                       std::to_string(trunc.repl.truncated_records),
+                       std::to_string(trunc.repl.live_log_records),
+                       std::to_string(trunc.repl.snapshots),
+                       trunc_lossless ? "yes" : "no"});
+  std::cout << trunc_table.to_csv();
 
   std::ofstream json(out_path);
   if (!json) {
@@ -223,7 +323,31 @@ int main(int argc, char** argv) {
          << "      \"lossless\": " << (run.lossless ? "true" : "false") << "\n"
          << "    }" << (i + 1 < runs.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n"
+       << "  \"snapshot_every\": " << snap_every << ",\n"
+       << "  \"catchup_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const CatchupRow& row = scaling[i];
+    json << "    {\n"
+         << "      \"days\": " << row.days << ",\n"
+         << "      \"log_records\": " << row.log_records << ",\n"
+         << "      \"max_catchup_plain\": " << row.max_catchup_plain << ",\n"
+         << "      \"max_catchup_snapshot\": " << row.max_catchup_snapshot
+         << "\n"
+         << "    }" << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"truncation\": {\n"
+       << "    \"log_records\": " << trunc.repl.log_records << ",\n"
+       << "    \"truncated_records\": " << trunc.repl.truncated_records
+       << ",\n"
+       << "    \"live_log_records\": " << trunc.repl.live_log_records << ",\n"
+       << "    \"snapshots\": " << trunc.repl.snapshots << ",\n"
+       << "    \"snapshot_installs\": " << trunc.repl.snapshot_installs
+       << ",\n"
+       << "    \"adoptions\": " << trunc.repl.adoptions << ",\n"
+       << "    \"lossless\": " << (trunc_lossless ? "true" : "false") << "\n"
+       << "  }\n}\n";
   std::cerr << "wrote " << out_path << "\n";
   bench::maybe_dump_metrics(args);
   return 0;

@@ -17,6 +17,7 @@ constexpr std::string_view kLoadState = "validate_load_state";
 constexpr std::string_view kModelFreshness = "validate_model_freshness";
 constexpr std::string_view kFaultPlan = "validate_fault_plan";
 constexpr std::string_view kReplicaConvergence = "validate_replica_convergence";
+constexpr std::string_view kLogTruncation = "validate_log_truncation";
 
 std::string fmt_double(double v) {
   char buf[64];
@@ -419,6 +420,9 @@ CheckReport validate_fault_plan(const fault::FaultPlan& plan,
   check_outage_windows(
       report, "controller", plan.controller_outages,
       [](const fault::ControllerOutage& o) { return o.controller; });
+  check_outage_windows(
+      report, "controller-loss", plan.controller_losses,
+      [](const fault::ControllerLoss& o) { return o.controller; });
   if (net != nullptr) {
     for (const fault::ApOutage& o : plan.ap_outages) {
       if (o.ap >= net->num_aps()) {
@@ -431,6 +435,14 @@ CheckReport validate_fault_plan(const fault::FaultPlan& plan,
       if (o.controller >= net->num_controllers()) {
         report.add(kFaultPlan,
                    "controller-outage references unknown controller " +
+                       std::to_string(o.controller) + " (network has " +
+                       std::to_string(net->num_controllers()) + ")");
+      }
+    }
+    for (const fault::ControllerLoss& o : plan.controller_losses) {
+      if (o.controller >= net->num_controllers()) {
+        report.add(kFaultPlan,
+                   "controller-loss references unknown controller " +
                        std::to_string(o.controller) + " (network has " +
                        std::to_string(net->num_controllers()) + ")");
       }
@@ -535,6 +547,46 @@ CheckReport validate_replica_convergence(
   }
   if (!(a.stats == b.stats)) {
     report.add(kReplicaConvergence, "replay stats differ");
+  }
+  return report;
+}
+
+CheckReport validate_log_truncation(
+    std::uint64_t base, std::uint64_t end, bool has_snapshot,
+    std::uint64_t snapshot_index, std::span<const ReplicaLogPosition> replicas,
+    const LogTruncationCheckOptions& options) {
+  CheckReport report(options.max_issues);
+  if (base > end) {
+    report.add(kLogTruncation, "truncation base " + std::to_string(base) +
+                                   " past the log end " + std::to_string(end));
+  }
+  if (base > 0) {
+    if (!has_snapshot) {
+      report.add(kLogTruncation,
+                 "truncation to base " + std::to_string(base) +
+                     " without any snapshot — a rejoining replica behind the "
+                     "base would have nothing to re-seed from");
+    } else if (snapshot_index < base) {
+      report.add(kLogTruncation,
+                 "latest snapshot at index " + std::to_string(snapshot_index) +
+                     " precedes truncation base " + std::to_string(base) +
+                     " — it would be dropped with the prefix");
+    }
+  }
+  for (const ReplicaLogPosition& r : replicas) {
+    if (r.applied > end) {
+      report.add(kLogTruncation,
+                 "replica " + std::to_string(r.replica) + " claims applied " +
+                     std::to_string(r.applied) + " past the log end " +
+                     std::to_string(end));
+    }
+    if (r.alive && r.applied < base) {
+      report.add(kLogTruncation,
+                 "alive replica " + std::to_string(r.replica) +
+                     " still needs record " + std::to_string(r.applied) +
+                     " which truncation to base " + std::to_string(base) +
+                     " would drop");
+    }
   }
   return report;
 }

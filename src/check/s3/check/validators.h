@@ -199,4 +199,31 @@ CheckReport validate_replica_convergence(
     const fault::ReplicaSnapshot& a, const fault::ReplicaSnapshot& b,
     const ReplicaConvergenceOptions& options = {});
 
+/// Log position of one replica, fed to validate_log_truncation. Plain
+/// numbers rather than repl types: check sits below repl in the build
+/// graph, like it does for ReplicaSnapshot.
+struct ReplicaLogPosition {
+  std::size_t replica = 0;    ///< replica index, for the finding message
+  bool alive = true;          ///< dead replicas re-seed from a snapshot
+  std::uint64_t applied = 0;  ///< log records applied ([0, log end])
+};
+
+struct LogTruncationCheckOptions {
+  std::size_t max_issues = 64;
+};
+
+/// Validates the replication layer's truncation invariant before a log
+/// prefix is dropped: the proposed new `base` must stay within the log,
+/// must not pass the latest snapshot (a replica behind the base
+/// re-seeds from a snapshot, so one must exist at or after it), and
+/// must not pass any alive replica's applied position — i.e. no
+/// replica can ever need a truncated record. `end` is one past the
+/// last appended index; `snapshot_index` is the latest snapshot's
+/// anchor, meaningful only when `has_snapshot`.
+CheckReport validate_log_truncation(
+    std::uint64_t base, std::uint64_t end, bool has_snapshot,
+    std::uint64_t snapshot_index,
+    std::span<const ReplicaLogPosition> replicas,
+    const LogTruncationCheckOptions& options = {});
+
 }  // namespace s3::check

@@ -31,6 +31,10 @@ class LlfSelector final : public sim::ApSelector {
 
   LoadMetric metric() const noexcept { return metric_; }
 
+  std::unique_ptr<sim::ApSelector> clone() const override {
+    return std::make_unique<LlfSelector>(*this);
+  }
+
  private:
   LoadMetric metric_;
 };
@@ -41,6 +45,10 @@ class StrongestRssiSelector final : public sim::ApSelector {
 
   ApId select_one(const sim::Arrival& arrival,
                   const sim::ApLoadTracker& loads) override;
+
+  std::unique_ptr<sim::ApSelector> clone() const override {
+    return std::make_unique<StrongestRssiSelector>(*this);
+  }
 };
 
 class RandomSelector final : public sim::ApSelector {
@@ -57,6 +65,12 @@ class RandomSelector final : public sim::ApSelector {
   std::uint64_t state_digest() const override {
     util::SplitMix64 mix(seed_ ^ (draws_ * 0x9e3779b97f4a7c15ULL));
     return mix.next();
+  }
+
+  /// Copies the mt19937 engine mid-stream, so the clone's future draws
+  /// match the original's exactly.
+  std::unique_ptr<sim::ApSelector> clone() const override {
+    return std::make_unique<RandomSelector>(*this);
   }
 
  private:

@@ -129,9 +129,23 @@ class OnlineS3Selector final : public sim::ApSelector {
   /// Live social counters plus the inner S3 machinery's digest.
   std::uint64_t state_digest() const override;
 
+  /// Deep copy for replication checkpoints: the live social model is
+  /// copied mid-stream and the inner S3 machinery is rebound to consult
+  /// the copy, so the clone keeps learning independently while its
+  /// future placements match the original's bit for bit.
+  std::unique_ptr<sim::ApSelector> clone() const override {
+    return std::unique_ptr<sim::ApSelector>(new OnlineS3Selector(*this));
+  }
+
   const OnlineSocialModel& model() const noexcept { return online_; }
 
  private:
+  /// Copy used by clone(): `inner_` must point at the copy's own live
+  /// model, never the source's.
+  OnlineS3Selector(const OnlineS3Selector& other)
+      : online_(other.online_),
+        inner_(std::make_unique<S3Selector>(*other.inner_, &online_)) {}
+
   OnlineSocialModel online_;
   std::unique_ptr<S3Selector> inner_;
 };

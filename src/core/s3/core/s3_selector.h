@@ -90,6 +90,15 @@ class S3Selector final : public sim::ApSelector {
   S3Selector(const wlan::Network* net, const social::ThetaProvider* model,
              S3Config config = {});
 
+  /// Copy with the θ provider rebound: identical internal state (stats,
+  /// fidelity flags, scratch), but future θ queries go to `model`. The
+  /// online wrapper clones its live social model and needs the inner
+  /// machinery to consult the clone, not the original.
+  S3Selector(const S3Selector& other, const social::ThetaProvider* model)
+      : S3Selector(other) {
+    model_ = model;
+  }
+
   std::string_view name() const override { return "S3"; }
 
   /// Single-arrival path: AP minimizing the social-cost increment
@@ -113,6 +122,13 @@ class S3Selector final : public sim::ApSelector {
 
   const S3Config& config() const noexcept { return config_; }
   const S3Stats& stats() const noexcept { return stats_; }
+
+  /// Member-wise deep copy; the external θ model is shared (the
+  /// selector never mutates it, so one frozen model can back any
+  /// number of replicas).
+  std::unique_ptr<sim::ApSelector> clone() const override {
+    return std::unique_ptr<sim::ApSelector>(new S3Selector(*this));
+  }
 
  private:
   /// Places one multi-member clique (steps 5–7 of Algorithm 1) against

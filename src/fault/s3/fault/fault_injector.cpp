@@ -50,6 +50,9 @@ bool FaultInjector::controller_down(ControllerId controller,
   for (const ControllerOutage& o : plan_.controller_outages) {
     if (o.controller == controller && o.begin <= t && t < o.end) return true;
   }
+  for (const ControllerLoss& o : plan_.controller_losses) {
+    if (o.controller == controller && o.begin <= t && t < o.end) return true;
+  }
   return false;
 }
 
@@ -57,6 +60,19 @@ std::vector<util::TimeInterval> FaultInjector::controller_outages(
     ControllerId controller) const {
   std::vector<util::TimeInterval> windows;
   for (const ControllerOutage& o : plan_.controller_outages) {
+    if (o.controller == controller) windows.push_back({o.begin, o.end});
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const util::TimeInterval& a, const util::TimeInterval& b) {
+              return a.begin < b.begin;
+            });
+  return windows;
+}
+
+std::vector<util::TimeInterval> FaultInjector::controller_losses(
+    ControllerId controller) const {
+  std::vector<util::TimeInterval> windows;
+  for (const ControllerLoss& o : plan_.controller_losses) {
     if (o.controller == controller) windows.push_back({o.begin, o.end});
   }
   std::sort(windows.begin(), windows.end(),

@@ -41,14 +41,21 @@ class FaultInjector {
   /// True while `ap` is inside any of its outage windows [begin, end).
   bool ap_down(ApId ap, util::SimTime t) const;
 
-  /// True while `controller` is inside any of its outage windows
-  /// [begin, end).
+  /// True while `controller` is inside any of its outage *or loss*
+  /// windows [begin, end) — either way it is not serving.
   bool controller_down(ControllerId controller, util::SimTime t) const;
 
   /// The outage windows of one controller, sorted by begin. Windows of
   /// a validated plan never overlap, so these pair crash/restart
   /// instants one-to-one for a replication group.
   std::vector<util::TimeInterval> controller_outages(
+      ControllerId controller) const;
+
+  /// The whole-replica-set loss windows of one controller, sorted by
+  /// begin; disjoint from each other and from the controller's outage
+  /// windows (validated). A replication group answers each with
+  /// cross-domain adoption.
+  std::vector<util::TimeInterval> controller_losses(
       ControllerId controller) const;
 
   /// False while any model outage window covers `t`.

@@ -95,6 +95,20 @@ FaultPlanParseResult parse_fault_plan(const std::string& text) {
       }
       r.plan.controller_outages.push_back({static_cast<ControllerId>(c),
                                            util::SimTime(b), util::SimTime(e)});
+    } else if (verb == "controller-loss") {
+      if (toks.size() != 3) {
+        return fail(line_no, "controller-loss wants CONTROLLER BEGIN END");
+      }
+      std::int64_t c = 0, b = 0, e = 0;
+      if (!parse_i64(toks[0], c) || !parse_i64(toks[1], b) ||
+          !parse_i64(toks[2], e) || c < 0 || b < 0) {
+        return fail(line_no, "controller-loss: malformed number");
+      }
+      if (b >= e) {
+        return fail(line_no, "controller-loss: begin must precede end");
+      }
+      r.plan.controller_losses.push_back({static_cast<ControllerId>(c),
+                                          util::SimTime(b), util::SimTime(e)});
     } else if (verb == "model-outage" || verb == "model-stale") {
       if (toks.size() != 2) return fail(line_no, verb + " wants BEGIN END");
       std::int64_t b = 0, e = 0;
@@ -169,6 +183,10 @@ std::string write_fault_plan(const FaultPlan& plan) {
     out << "controller-outage " << o.controller << ' ' << o.begin.seconds()
         << ' ' << o.end.seconds() << "\n";
   }
+  for (const ControllerLoss& o : plan.controller_losses) {
+    out << "controller-loss " << o.controller << ' ' << o.begin.seconds()
+        << ' ' << o.end.seconds() << "\n";
+  }
   for (const ModelOutage& o : plan.model_outages) {
     out << "model-outage " << o.begin.seconds() << ' ' << o.end.seconds()
         << "\n";
@@ -220,6 +238,42 @@ void validate_plan(const FaultPlan& plan, const wlan::Network* net) {
         S3_REQUIRE(sorted[i - 1].end <= o.begin,
                    "controller outage windows overlap for one controller");
       }
+    }
+  }
+  {
+    // Losses follow the same pairing logic (begin kills, end revives),
+    // and additionally must not overlap the same controller's outage
+    // windows: a controller cannot crash one replica while its whole
+    // replica set is already gone. Check the union per controller.
+    struct Window {
+      ControllerId controller;
+      util::SimTime begin;
+      util::SimTime end;
+    };
+    std::vector<Window> merged;
+    merged.reserve(plan.controller_losses.size() +
+                   plan.controller_outages.size());
+    for (const ControllerLoss& o : plan.controller_losses) {
+      S3_REQUIRE(o.begin < o.end, "controller loss window is empty");
+      if (net != nullptr) {
+        S3_REQUIRE(o.controller < net->num_controllers(),
+                   "controller loss references unknown controller");
+      }
+      merged.push_back({o.controller, o.begin, o.end});
+    }
+    for (const ControllerOutage& o : plan.controller_outages) {
+      merged.push_back({o.controller, o.begin, o.end});
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Window& a, const Window& b) {
+                return a.controller != b.controller ? a.controller < b.controller
+                                                    : a.begin < b.begin;
+              });
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+      if (merged[i - 1].controller != merged[i].controller) continue;
+      S3_REQUIRE(merged[i - 1].end <= merged[i].begin,
+                 "controller loss window overlaps another loss or outage "
+                 "window of the same controller");
     }
   }
   for (const ModelOutage& o : plan.model_outages) {
@@ -313,6 +367,37 @@ FaultPlan canned_controller_churn_plan(const wlan::Network& net,
     const std::int64_t stop = std::min(start + len, end.seconds());
     if (start >= stop) continue;
     plan.controller_outages.push_back(
+        {c, util::SimTime(start), util::SimTime(stop)});
+  }
+  validate_plan(plan, &net);
+  return plan;
+}
+
+FaultPlan canned_controller_loss_plan(const wlan::Network& net,
+                                      util::SimTime begin, util::SimTime end,
+                                      std::size_t num_losses,
+                                      std::int64_t loss_s) {
+  S3_REQUIRE(begin < end, "controller loss plan wants a non-empty horizon");
+  S3_REQUIRE(net.num_controllers() > 0,
+             "controller loss plan wants a non-empty network");
+  FaultPlan plan;
+  const std::size_t n = std::min(num_losses, net.num_controllers());
+  if (n == 0) return plan;
+  const std::int64_t span = (end - begin).seconds();
+  // Windows must never overlap across controllers — the adoption order
+  // probes neighbors in id order, and a fully disjoint stagger
+  // guarantees every orphan finds one alive. Each loss gets its own
+  // slice of the horizon.
+  const std::int64_t slice = span / static_cast<std::int64_t>(n);
+  const std::int64_t len =
+      std::min(loss_s, slice > 1 ? slice - 1 : std::int64_t{1});
+  for (std::size_t i = 0; i < n; ++i) {
+    const ControllerId c = static_cast<ControllerId>(i % net.num_controllers());
+    const std::int64_t start =
+        begin.seconds() + static_cast<std::int64_t>(i) * slice;
+    const std::int64_t stop = std::min(start + len, end.seconds());
+    if (start >= stop) continue;
+    plan.controller_losses.push_back(
         {c, util::SimTime(start), util::SimTime(stop)});
   }
   validate_plan(plan, &net);

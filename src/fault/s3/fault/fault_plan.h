@@ -46,6 +46,21 @@ struct ControllerOutage {
   util::SimTime end;
 };
 
+/// The controller *and its whole replica set* are lost for
+/// [begin, end) — a campus-level failure (power, uplink), not a single
+/// process crash. There is nothing local left to promote: a replication
+/// layer (s3::repl) has a designated neighbor-domain controller adopt
+/// the orphaned domain from its last replicated snapshot, and the
+/// revived originals take the domain back at `end`. Without a
+/// replication layer the plan is rejected, like controller outages.
+/// Windows of the same controller must not overlap each other or that
+/// controller's outage windows.
+struct ControllerLoss {
+  ControllerId controller = kInvalidController;
+  util::SimTime begin;
+  util::SimTime end;
+};
+
 /// Social model unreachable (or known-stale) for the window; policies
 /// that depend on it must run their embedded fallback.
 struct ModelOutage {
@@ -74,14 +89,15 @@ struct AdmissionFaults {
 struct FaultPlan {
   std::vector<ApOutage> ap_outages;
   std::vector<ControllerOutage> controller_outages;
+  std::vector<ControllerLoss> controller_losses;
   std::vector<ModelOutage> model_outages;
   std::vector<CliqueSqueeze> clique_squeezes;
   AdmissionFaults admission;
 
   bool empty() const noexcept {
     return ap_outages.empty() && controller_outages.empty() &&
-           model_outages.empty() && clique_squeezes.empty() &&
-           admission.failure_probability <= 0.0;
+           controller_losses.empty() && model_outages.empty() &&
+           clique_squeezes.empty() && admission.failure_probability <= 0.0;
   }
 };
 
@@ -99,6 +115,7 @@ struct FaultPlanParseResult {
 //   s3fault v1
 //   ap-outage AP BEGIN END
 //   controller-outage CONTROLLER BEGIN END
+//   controller-loss CONTROLLER BEGIN END
 //   model-outage BEGIN END
 //   clique-budget BEGIN END NODES
 //   admission-failure P [BEGIN END]
@@ -138,5 +155,15 @@ FaultPlan canned_controller_churn_plan(const wlan::Network& net,
                                        util::SimTime begin, util::SimTime end,
                                        std::size_t num_outages = 4,
                                        std::int64_t outage_s = 2 * 3600);
+
+/// Whole-controller losses: `num_losses` controllers each lose their
+/// entire replica set for `loss_s`, staggered so windows of different
+/// controllers never overlap — the deterministic adoption order always
+/// finds an alive neighbor. Drives the cross-domain failover tests and
+/// bench_failover's adoption rows.
+FaultPlan canned_controller_loss_plan(const wlan::Network& net,
+                                      util::SimTime begin, util::SimTime end,
+                                      std::size_t num_losses = 2,
+                                      std::int64_t loss_s = 2 * 3600);
 
 }  // namespace s3::fault

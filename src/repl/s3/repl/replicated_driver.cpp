@@ -111,6 +111,16 @@ ReplicatedReplayResult ReplicatedReplayDriver::run(
     out.repl.catchup_records += rs.catchup_records;
     out.repl.catchup_wall_ns += rs.catchup_wall_ns;
     out.repl.final_term = std::max(out.repl.final_term, rs.final_term);
+    out.repl.snapshots += rs.snapshots;
+    out.repl.snapshot_installs += rs.snapshot_installs;
+    out.repl.truncated_records += rs.truncated_records;
+    out.repl.live_log_records += rs.live_log_records;
+    out.repl.adoptions += rs.adoptions;
+    out.repl.handbacks += rs.handbacks;
+    out.repl.digest_mismatches += rs.digest_mismatches;
+    out.repl.resyncs += rs.resyncs;
+    out.repl.max_catchup_records =
+        std::max(out.repl.max_catchup_records, rs.max_catchup_records);
   }
   out.failovers = ledger.events();
   out.result = sim::ReplayResult{workload.with_assignments(assignment),

@@ -1,11 +1,13 @@
 #include "s3/repl/replication_group.h"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 
 #include "s3/check/validators.h"
 #include "s3/repl/failover_ledger.h"
 #include "s3/util/error.h"
+#include "s3/util/metrics.h"
 #include "s3/util/rng.h"
 
 namespace s3::repl {
@@ -21,6 +23,29 @@ std::uint64_t now_ns() {
           .count());
 }
 
+struct ReplMetrics {
+  util::Counter* snapshots;
+  util::Counter* snapshot_installs;
+  util::Counter* truncated_records;
+  util::Counter* digest_mismatches;
+  util::Counter* adoptions;
+  util::Counter* handbacks;
+};
+
+const ReplMetrics& repl_metrics() {
+  static const ReplMetrics m{
+      util::metrics().counter("repl.snapshots"),
+      util::metrics().counter("repl.snapshot_installs"),
+      util::metrics().counter("repl.truncated_records"),
+      util::metrics().counter("repl.digest_mismatches"),
+      util::metrics().counter("repl.adoptions"),
+      util::metrics().counter("repl.handbacks"),
+  };
+  return m;
+}
+
+constexpr std::size_t kNoExclude = std::numeric_limits<std::size_t>::max();
+
 }  // namespace
 
 ReplicationGroup::ReplicationGroup(
@@ -28,14 +53,22 @@ ReplicationGroup::ReplicationGroup(
     std::vector<std::size_t> sessions, const sim::SelectorFactory& factory,
     const sim::ReplayConfig& config, const fault::FaultInjector& injector,
     const fault::RecoveryPolicy& recovery, const ReplicationConfig& repl)
-    : domain_(domain),
+    : net_(&net),
+      workload_(&workload),
+      factory_(&factory),
+      replay_config_(config),
+      recovery_(recovery),
+      domain_(domain),
       injector_(&injector),
       repl_config_(repl),
       next_heartbeat_(util::SimTime(repl.heartbeat_s)) {
   S3_REQUIRE(repl_config_.heartbeat_s > 0,
              "ReplicationGroup: heartbeat period must be positive");
+  S3_REQUIRE(!repl_config_.truncate || repl_config_.snapshot_every > 0,
+             "ReplicationGroup: log truncation requires snapshots "
+             "(snapshot-every > 0) so lagging replicas can re-seed");
   const std::size_t count = 1 + repl_config_.backups;
-  replicas_.reserve(count);
+  replicas_.reserve(count + 1);  // +1: a transient adopter during a loss
   for (std::size_t i = 0; i < count; ++i) {
     Replica r;
     r.policy = factory.create(domain);
@@ -57,14 +90,14 @@ std::uint64_t ReplicationGroup::max_term() const noexcept {
   return t;
 }
 
-std::size_t ReplicationGroup::elect() const {
-  std::size_t best = std::numeric_limits<std::size_t>::max();
+std::size_t ReplicationGroup::elect(std::size_t exclude) const {
+  std::size_t best = kNoExclude;
   std::uint64_t best_term = 0;
   std::uint64_t best_applied = 0;
   std::uint64_t best_tiebreak = 0;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     const Replica& r = replicas_[i];
-    if (!r.alive) continue;
+    if (!r.alive || i == exclude) continue;
     // The tie-break is a pure hash of (seed, domain, replica index):
     // every deployment site computes the same winner without talking.
     const std::uint64_t tiebreak =
@@ -72,8 +105,7 @@ std::size_t ReplicationGroup::elect() const {
                          (static_cast<std::uint64_t>(domain_) << 32) ^ i)
             .next();
     const bool wins =
-        best == std::numeric_limits<std::size_t>::max() ||
-        r.term > best_term ||
+        best == kNoExclude || r.term > best_term ||
         (r.term == best_term &&
          (r.applied > best_applied ||
           (r.applied == best_applied && tiebreak > best_tiebreak)));
@@ -84,49 +116,160 @@ std::size_t ReplicationGroup::elect() const {
       best_tiebreak = tiebreak;
     }
   }
-  S3_REQUIRE(best != std::numeric_limits<std::size_t>::max(),
-             "ReplicationGroup: no alive replica to elect");
+  S3_REQUIRE(best != kNoExclude, "ReplicationGroup: no alive replica to elect");
   return best;
+}
+
+void ReplicationGroup::install_snapshot(Replica& r, const SnapshotEntry& entry) {
+  r.policy = entry.checkpoint->clone_policy();
+  r.assignment = entry.checkpoint->assignment_copy();
+  r.engine = std::make_unique<runtime::ControllerEngine>(
+      entry.checkpoint->engine(), *r.policy, std::span<ApId>(r.assignment));
+  // The checkpoint holds the state after every record below its anchor;
+  // the kSnapshot record itself replays as a control record.
+  r.applied = entry.index;
+  r.term = std::max(r.term, entry.term);
+  r.needs_resync = false;
+  r.resync_floor = 0;
+  ++repl_stats_.snapshot_installs;
+  repl_metrics().snapshot_installs->add(1);
 }
 
 std::uint64_t ReplicationGroup::catch_up(Replica& r) {
   std::uint64_t replayed = 0;
-  for (const LogRecord& rec : log_.suffix(r.applied)) {
-    if (is_engine_step(rec.kind)) {
-      const std::uint64_t digest = r.engine->apply_step(to_step_kind(rec.kind));
-      S3_ASSERT(digest == rec.digest,
-                "ReplicationGroup: replica diverged from the event log");
-      ++replayed;
-    } else if (is_headless_step(rec.kind)) {
-      switch (rec.kind) {
-        case RecordKind::kDroppedArrival:
-          r.engine->drop_next_arrival();
-          break;
-        case RecordKind::kDroppedBatch:
-          r.engine->drop_pending_batch();
-          break;
-        case RecordKind::kPostponedRetries:
-          // `when` carries the postpone target (the window end).
-          r.engine->postpone_retries_until(rec.when);
-          break;
-        default:
-          break;
+  while (true) {
+    // Seed from a snapshot when forced — behind the truncated base, or
+    // resyncing past a rejected record — or electively when more than
+    // one snapshot interval behind the latest one; either way the
+    // remaining replay is bounded by the interval, not the log length.
+    const SnapshotEntry* seed = nullptr;
+    if (r.needs_resync) {
+      seed = log_.snapshot_after(r.resync_floor);
+      if (seed == nullptr) return replayed;  // stalled until one is cut
+      ++repl_stats_.resyncs;
+    } else if (r.applied < log_.base()) {
+      seed = log_.latest_snapshot();
+      S3_ASSERT(seed != nullptr && seed->index >= log_.base(),
+                "ReplicationGroup: truncated log without a covering snapshot");
+    } else if (repl_config_.snapshot_every > 0) {
+      const SnapshotEntry* latest = log_.latest_snapshot();
+      if (latest != nullptr && latest->index > r.applied &&
+          latest->index - r.applied > repl_config_.snapshot_every) {
+        seed = latest;
       }
-      const std::uint64_t digest = r.engine->apply_step(StepKind::kNone);
-      S3_ASSERT(digest == rec.digest,
-                "ReplicationGroup: replica diverged on a headless record");
-      ++replayed;
     }
-    r.term = std::max(r.term, rec.term);
-    r.applied = rec.index + 1;
+    if (seed != nullptr) install_snapshot(r, *seed);
+
+    bool rejected = false;
+    for (const LogRecord& rec : log_.suffix(r.applied)) {
+      std::uint64_t digest = 0;
+      bool verifiable = false;
+      if (is_engine_step(rec.kind)) {
+        digest = r.engine->apply_step(to_step_kind(rec.kind));
+        verifiable = true;
+      } else if (is_headless_step(rec.kind)) {
+        switch (rec.kind) {
+          case RecordKind::kDroppedArrival:
+            r.engine->drop_next_arrival();
+            break;
+          case RecordKind::kDroppedBatch:
+            r.engine->drop_pending_batch();
+            break;
+          case RecordKind::kPostponedRetries:
+            // `when` carries the postpone target (the window end).
+            r.engine->postpone_retries_until(rec.when);
+            break;
+          default:
+            break;
+        }
+        digest = r.engine->apply_step(StepKind::kNone);
+        verifiable = true;
+      }
+      if (verifiable) {
+        if (digest != rec.digest) {
+          // The record's stored digest does not match what replaying it
+          // produced: either the record is corrupted or this replica
+          // diverged. Without snapshots there is no way back; with
+          // them, reject the record and re-seed from the first
+          // snapshot past it rather than running on unvouched state.
+          S3_ASSERT(repl_config_.snapshot_every > 0,
+                    "ReplicationGroup: replica diverged from the event log");
+          ++repl_stats_.digest_mismatches;
+          repl_metrics().digest_mismatches->add(1);
+          r.needs_resync = true;
+          r.resync_floor = rec.index;
+          rejected = true;
+          break;
+        }
+        ++replayed;
+      }
+      r.term = std::max(r.term, rec.term);
+      r.applied = rec.index + 1;
+    }
+    if (!rejected) return replayed;
   }
-  return replayed;
+}
+
+void ReplicationGroup::account_catchup(std::uint64_t replayed,
+                                       std::uint64_t wall_ns) {
+  repl_stats_.catchup_records += replayed;
+  repl_stats_.catchup_wall_ns += wall_ns;
+  repl_stats_.max_catchup_records =
+      std::max(repl_stats_.max_catchup_records, replayed);
 }
 
 void ReplicationGroup::append_primary(RecordKind kind, util::SimTime when,
                                       std::uint64_t digest) {
-  log_.append(kind, primary().term, when, digest);
+  const LogRecord& rec = log_.append(kind, primary().term, when, digest);
+  if (rec.index == repl_config_.corrupt_record) log_.tamper_digest(rec.index);
+  if (is_engine_step(kind) || is_headless_step(kind)) {
+    ++replayable_since_snapshot_;
+  }
   primary().applied = log_.size();
+}
+
+void ReplicationGroup::append_snapshot(util::SimTime when) {
+  Replica& p = primary();
+  auto checkpoint = std::make_shared<const EngineCheckpoint>(
+      *p.engine, *p.policy, std::span<const ApId>(p.assignment));
+  log_.append_snapshot(p.term, when, std::move(checkpoint));
+  p.applied = log_.size();
+  replayable_since_snapshot_ = 0;
+  ++repl_stats_.snapshots;
+  repl_metrics().snapshots->add(1);
+  maybe_truncate();
+}
+
+void ReplicationGroup::maybe_snapshot(util::SimTime when) {
+  if (repl_config_.snapshot_every == 0) return;
+  if (replayable_since_snapshot_ < repl_config_.snapshot_every) return;
+  append_snapshot(when);
+}
+
+void ReplicationGroup::maybe_truncate() {
+  if (!repl_config_.truncate) return;
+  const SnapshotEntry* latest = log_.latest_snapshot();
+  if (latest == nullptr) return;
+  // Never past the latest snapshot (a replica behind the base must be
+  // able to re-seed) and never past what a live replica still needs.
+  std::uint64_t upto = latest->index;
+  for (const Replica& r : replicas_) {
+    if (r.alive) upto = std::min(upto, r.applied);
+  }
+  if (upto <= log_.base()) return;
+
+  std::vector<check::ReplicaLogPosition> positions;
+  positions.reserve(replicas_.size());
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    positions.push_back({i, replicas_[i].alive, replicas_[i].applied});
+  }
+  const check::CheckReport report = check::validate_log_truncation(
+      upto, log_.size(), /*has_snapshot=*/true, latest->index, positions);
+  S3_ASSERT(report.ok(),
+            "ReplicationGroup: log truncation would orphan a replica");
+  const std::uint64_t dropped = log_.truncate_prefix(upto);
+  repl_stats_.truncated_records += dropped;
+  repl_metrics().truncated_records->add(dropped);
 }
 
 void ReplicationGroup::maybe_heartbeat(util::SimTime when) {
@@ -139,9 +282,31 @@ void ReplicationGroup::maybe_heartbeat(util::SimTime when) {
     if (i == primary_index_ || !replicas_[i].alive) continue;
     catch_up(replicas_[i]);
   }
+  // A backup that just rejected a corrupted record waits for a snapshot
+  // past it; cut one from the (healthy) primary now so the stall lasts
+  // at most one heartbeat.
+  if (repl_config_.snapshot_every > 0) {
+    bool stalled = false;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      const Replica& r = replicas_[i];
+      if (i != primary_index_ && r.alive && r.needs_resync &&
+          log_.snapshot_after(r.resync_floor) == nullptr) {
+        stalled = true;
+      }
+    }
+    if (stalled) {
+      append_snapshot(when);
+      for (std::size_t i = 0; i < replicas_.size(); ++i) {
+        if (i == primary_index_ || !replicas_[i].alive) continue;
+        if (replicas_[i].needs_resync) catch_up(replicas_[i]);
+      }
+    }
+  }
+  maybe_truncate();
 }
 
 void ReplicationGroup::handle_restarts(util::SimTime now, bool force) {
+  bool revived = false;
   for (auto it = pending_restarts_.begin(); it != pending_restarts_.end();) {
     if (!force && it->at > now) {
       ++it;
@@ -154,13 +319,16 @@ void ReplicationGroup::handle_restarts(util::SimTime now, bool force) {
     const std::uint64_t ns = now_ns() - t0;
     r.term = max_term();
     ++repl_stats_.rejoins;
-    repl_stats_.catchup_records += replayed;
-    repl_stats_.catchup_wall_ns += ns;
+    account_catchup(replayed, ns);
     log_.append(RecordKind::kRestart, r.term, it->at,
                 r.engine->apply_step(StepKind::kNone));
-    r.applied = log_.size();
+    // A replica still waiting out a rejected record keeps its position;
+    // it completes the catch-up once a snapshot past the record exists.
+    if (!r.needs_resync) r.applied = log_.size();
+    revived = true;
     it = pending_restarts_.erase(it);
   }
+  if (revived && adopter_active_) handle_handback();
 }
 
 void ReplicationGroup::run_headless(const util::TimeInterval& window) {
@@ -219,6 +387,7 @@ void ReplicationGroup::run_headless(const util::TimeInterval& window) {
   ev.promoted_replica = primary_index_;
   ev.new_term = r.term;
   ev.headless = true;
+  ev.kind = FailoverKind::kHeadless;
   record_failover(ev);
 }
 
@@ -242,9 +411,18 @@ void ReplicationGroup::handle_outage(const util::TimeInterval& window) {
   dead.alive = false;
   pending_restarts_.push_back({primary_index_, window.end});
 
-  const std::size_t winner = elect();
+  const std::size_t winner = elect(kNoExclude);
+  const std::uint64_t installs_before = repl_stats_.snapshot_installs;
   const std::uint64_t t0 = now_ns();
-  const std::uint64_t replayed = catch_up(replicas_[winner]);
+  std::uint64_t replayed = catch_up(replicas_[winner]);
+  if (replicas_[winner].needs_resync) {
+    // A corrupted record sits between the winner and the log head. The
+    // crashed primary's engine still holds the authoritative state —
+    // freeze it as the resync snapshot before it goes dark. (primary()
+    // still points at the crashed replica here.)
+    append_snapshot(window.begin);
+    replayed += catch_up(replicas_[winner]);
+  }
   const std::uint64_t ns = now_ns() - t0;
   replicas_[winner].term = max_term() + 1;
   primary_index_ = winner;
@@ -260,8 +438,7 @@ void ReplicationGroup::handle_outage(const util::TimeInterval& window) {
 
   append_primary(RecordKind::kPromotion, window.begin, promoted.digest());
   ++repl_stats_.failovers;
-  repl_stats_.catchup_records += replayed;
-  repl_stats_.catchup_wall_ns += ns;
+  account_catchup(replayed, ns);
   FailoverEvent ev;
   ev.domain = domain_;
   ev.when = window.begin;
@@ -270,7 +447,165 @@ void ReplicationGroup::handle_outage(const util::TimeInterval& window) {
   ev.records_replayed = replayed;
   ev.catchup_wall_ns = ns;
   ev.converged = report.ok();
+  ev.kind = FailoverKind::kPromotion;
+  ev.snapshot_install = repl_stats_.snapshot_installs > installs_before;
   record_failover(ev);
+}
+
+ControllerId ReplicationGroup::choose_adopter(util::SimTime at) const {
+  const std::size_t n = net_->num_controllers();
+  for (std::size_t k = 1; k < n; ++k) {
+    const auto cand = static_cast<ControllerId>((domain_ + k) % n);
+    if (!injector_->controller_down(cand, at)) return cand;
+  }
+  return kInvalidController;
+}
+
+void ReplicationGroup::handle_loss(const util::TimeInterval& window) {
+  append_primary(RecordKind::kCrash, window.begin,
+                 primary().engine->apply_step(StepKind::kNone));
+  fault::ReplicaSnapshot dead_snap = primary().engine->snapshot();
+  dead_snap.term = primary().term;
+  dead_snap.applied_records = primary().applied;
+
+  const ControllerId adopter = choose_adopter(window.begin);
+  if (adopter == kInvalidController) {
+    // Every other controller is down too; nobody can adopt. The domain
+    // rides the window out headless on the primary's restart path, and
+    // its backups stay dark until the window end.
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      if (i == primary_index_ || !replicas_[i].alive) continue;
+      replicas_[i].alive = false;
+      pending_restarts_.push_back({i, window.end});
+    }
+    run_headless(window);
+    return;
+  }
+
+  // The whole replica set is gone at once.
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (!replicas_[i].alive) continue;
+    replicas_[i].alive = false;
+    pending_restarts_.push_back({i, window.end});
+  }
+
+  // The adopter seeds from the last replicated snapshot — all it ever
+  // received from this domain — or, before the first snapshot, rebuilds
+  // from the full log the way a day-zero replica would.
+  const SnapshotEntry* seed = log_.latest_snapshot();
+  const std::uint64_t t0 = now_ns();
+  Replica a;
+  a.alive = true;
+  if (seed != nullptr) {
+    install_snapshot(a, *seed);
+  } else {
+    S3_ASSERT(log_.base() == 0,
+              "ReplicationGroup: truncated log without a snapshot to adopt from");
+    a.policy = factory_->create(domain_);
+    S3_ASSERT(a.policy != nullptr,
+              "ReplicationGroup: factory returned a null policy");
+    a.assignment.assign(workload_->size(), kInvalidAp);
+    a.engine = std::make_unique<runtime::ControllerEngine>(
+        *net_, *workload_, domain_, sessions_, *a.policy, replay_config_,
+        std::span<ApId>(a.assignment), injector_, recovery_);
+  }
+  replicas_.push_back(std::move(a));
+  const std::size_t adopter_index = replicas_.size() - 1;
+  std::uint64_t replayed = catch_up(replicas_[adopter_index]);
+  if (replicas_[adopter_index].needs_resync) {
+    // Same rescue as a promotion across a corrupted record: the lost
+    // primary's engine is still authoritative; freeze it before dark.
+    append_snapshot(window.begin);
+    replayed += catch_up(replicas_[adopter_index]);
+  }
+  const std::uint64_t ns = now_ns() - t0;
+  replicas_[adopter_index].term = max_term() + 1;
+  primary_index_ = adopter_index;
+  adopter_active_ = true;
+  adopter_controller_ = adopter;
+  handback_at_ = window.end;
+
+  // Adoption gate: the neighbor controller must be carrying exactly the
+  // state the lost primary died with.
+  fault::ReplicaSnapshot adopted = snapshot();
+  const check::CheckReport report =
+      check::validate_replica_convergence(dead_snap, adopted);
+  S3_ASSERT(report.ok(),
+            "ReplicationGroup: adopter diverged from the lost primary");
+
+  append_primary(RecordKind::kAdoption, window.begin, adopted.digest());
+  ++repl_stats_.adoptions;
+  repl_metrics().adoptions->add(1);
+  account_catchup(replayed, ns);
+  FailoverEvent ev;
+  ev.domain = domain_;
+  ev.when = window.begin;
+  ev.promoted_replica = adopter_index;
+  ev.new_term = replicas_[adopter_index].term;
+  ev.records_replayed = replayed;
+  ev.catchup_wall_ns = ns;
+  ev.converged = report.ok();
+  ev.kind = FailoverKind::kAdoption;
+  ev.adopter = adopter;
+  ev.snapshot_install = seed != nullptr;
+  record_failover(ev);
+}
+
+void ReplicationGroup::handle_handback() {
+  // The adopter steps down only once at least one original is back.
+  const std::size_t adopter_index = replicas_.size() - 1;
+  bool any_original_alive = false;
+  for (std::size_t i = 0; i < adopter_index; ++i) {
+    if (replicas_[i].alive) any_original_alive = true;
+  }
+  if (!any_original_alive) return;
+
+  const std::size_t winner = elect(adopter_index);
+  const std::uint64_t installs_before = repl_stats_.snapshot_installs;
+  const std::uint64_t t0 = now_ns();
+  std::uint64_t replayed = catch_up(replicas_[winner]);
+  if (replicas_[winner].needs_resync) {
+    // primary() is still the adopter here; freeze its state so the
+    // revived original can resync past the rejected record.
+    append_snapshot(handback_at_);
+    replayed += catch_up(replicas_[winner]);
+  }
+  const std::uint64_t ns = now_ns() - t0;
+  replicas_[winner].term = max_term() + 1;
+
+  fault::ReplicaSnapshot adopter_snap = replicas_[adopter_index].engine->snapshot();
+  adopter_snap.term = replicas_[adopter_index].term;
+  adopter_snap.applied_records = replicas_[adopter_index].applied;
+  fault::ReplicaSnapshot winner_snap = replicas_[winner].engine->snapshot();
+  winner_snap.term = replicas_[winner].term;
+  winner_snap.applied_records = replicas_[winner].applied;
+  const check::CheckReport report =
+      check::validate_replica_convergence(adopter_snap, winner_snap);
+  S3_ASSERT(report.ok(),
+            "ReplicationGroup: revived original diverged from the adopter");
+
+  primary_index_ = winner;
+  append_primary(RecordKind::kHandback, handback_at_, winner_snap.digest());
+  ++repl_stats_.handbacks;
+  repl_metrics().handbacks->add(1);
+  account_catchup(replayed, ns);
+  FailoverEvent ev;
+  ev.domain = domain_;
+  ev.when = handback_at_;
+  ev.promoted_replica = winner;
+  ev.new_term = replicas_[winner].term;
+  ev.records_replayed = replayed;
+  ev.catchup_wall_ns = ns;
+  ev.converged = report.ok();
+  ev.kind = FailoverKind::kHandback;
+  ev.adopter = adopter_controller_;
+  ev.snapshot_install = repl_stats_.snapshot_installs > installs_before;
+  record_failover(ev);
+
+  // Retire the transient adopter replica.
+  replicas_.pop_back();
+  adopter_active_ = false;
+  adopter_controller_ = kInvalidController;
 }
 
 void ReplicationGroup::record_failover(const FailoverEvent& ev) {
@@ -279,8 +614,25 @@ void ReplicationGroup::record_failover(const FailoverEvent& ev) {
 }
 
 void ReplicationGroup::run() {
-  const std::vector<util::TimeInterval> windows =
-      injector_->controller_outages(domain_);
+  // One merged, begin-sorted schedule of this domain's crash (outage)
+  // and whole-replica-set (loss) windows. fault::validate_plan
+  // guarantees windows of the same controller never overlap.
+  struct Scheduled {
+    util::TimeInterval window;
+    bool loss;
+  };
+  std::vector<Scheduled> windows;
+  for (const util::TimeInterval& iv : injector_->controller_outages(domain_)) {
+    windows.push_back({iv, false});
+  }
+  for (const util::TimeInterval& iv : injector_->controller_losses(domain_)) {
+    windows.push_back({iv, true});
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const Scheduled& a, const Scheduled& b) {
+              return a.window.begin < b.window.begin;
+            });
+
   std::size_t wi = 0;
   while (true) {
     const runtime::ControllerEngine::Step step = primary().engine->next_step();
@@ -288,16 +640,35 @@ void ReplicationGroup::run() {
     // Restarts strictly before crashes at the same instant: half-open
     // windows mean a controller whose window ends at t is back at t.
     handle_restarts(step.when, /*force=*/false);
-    if (wi < windows.size() && step.when >= windows[wi].begin) {
-      handle_outage(windows[wi]);
+    if (wi < windows.size() && step.when >= windows[wi].window.begin) {
+      if (windows[wi].loss) {
+        handle_loss(windows[wi].window);
+      } else {
+        handle_outage(windows[wi].window);
+      }
       ++wi;
       continue;
     }
     const std::uint64_t digest = primary().engine->apply_step(step.kind);
     append_primary(from_step_kind(step.kind), step.when, digest);
+    maybe_snapshot(step.when);
     maybe_heartbeat(step.when);
   }
   handle_restarts(runtime::ControllerEngine::kNever, /*force=*/true);
+
+  // Backstop for a replica still waiting out a rejected record after
+  // the last heartbeat: freeze the primary once so the sweep below can
+  // re-seed it.
+  if (repl_config_.snapshot_every > 0 && !log_.empty()) {
+    bool stalled = false;
+    for (const Replica& r : replicas_) {
+      if (r.alive && r.needs_resync &&
+          log_.snapshot_after(r.resync_floor) == nullptr) {
+        stalled = true;
+      }
+    }
+    if (stalled) append_snapshot(log_.records().back().when);
+  }
 
   // End-of-run convergence sweep: every replica must agree with the
   // acting primary once it has applied the whole log.
@@ -316,6 +687,7 @@ void ReplicationGroup::run() {
 
   primary().engine->finalize();
   repl_stats_.log_records = log_.size();
+  repl_stats_.live_log_records = log_.live_size();
   repl_stats_.final_term = max_term();
   finalized_ = true;
 }

@@ -97,6 +97,16 @@ ControllerEngine::ControllerEngine(const wlan::Network& net,
   }
 }
 
+ControllerEngine::ControllerEngine(const ControllerEngine& other,
+                                   sim::ApSelector& policy,
+                                   std::span<ApId> assignment)
+    : ControllerEngine(other) {
+  S3_REQUIRE(assignment.size() == assignment_.size(),
+             "ControllerEngine: rebind assignment size mismatch");
+  policy_ = &policy;
+  assignment_ = assignment;
+}
+
 bool ControllerEngine::done() const noexcept {
   return next_arrival_ >= sessions_.size() && departures_.empty() &&
          batch_.empty() && retries_.empty();

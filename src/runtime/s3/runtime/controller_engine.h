@@ -64,6 +64,17 @@ class ControllerEngine {
                    const fault::FaultInjector* injector = nullptr,
                    const fault::RecoveryPolicy& recovery = {});
 
+  /// Rebind copy — the replication layer's checkpoint/install
+  /// primitive. Member-wise copy of `other`'s entire mutable state
+  /// (tracker float sums, queue contents, unordered-container history
+  /// and all) with the policy and assignment references rewired to the
+  /// caller's own instances: `policy` must be a clone() of `other`'s
+  /// policy and `assignment` a caller-owned copy of `other`'s slots
+  /// (same size; the caller copies the backing vector). The copy's
+  /// future steps are bit-identical to the original's.
+  ControllerEngine(const ControllerEngine& other, sim::ApSelector& policy,
+                   std::span<ApId> assignment);
+
   ControllerId domain() const noexcept { return domain_; }
 
   /// Processes every event of this domain, then finalizes stats.

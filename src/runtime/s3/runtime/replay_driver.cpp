@@ -78,12 +78,14 @@ std::vector<std::vector<std::size_t>> ReplayDriver::shard_sessions(
 
 sim::ReplayResult ReplayDriver::run(const trace::Trace& workload,
                                     const sim::SelectorFactory& factory) const {
-  // Controller outages need replicas (or explicit headless handling) —
-  // that is repl::ReplicatedReplayDriver's job, not this one's.
+  // Controller outages and losses need replicas (or explicit headless/
+  // adoption handling) — that is repl::ReplicatedReplayDriver's job,
+  // not this one's.
   S3_REQUIRE(config_.injector == nullptr ||
-                 config_.injector->plan().controller_outages.empty(),
-             "ReplayDriver: controller-outage plans require the replicated "
-             "driver (s3/repl/replicated_driver.h)");
+                 (config_.injector->plan().controller_outages.empty() &&
+                  config_.injector->plan().controller_losses.empty()),
+             "ReplayDriver: controller-outage/loss plans require the "
+             "replicated driver (s3/repl/replicated_driver.h)");
   check_workload(*net_, workload);
   std::vector<std::vector<std::size_t>> shards = shard_sessions(workload);
   std::vector<ApId> assignment(workload.size(), kInvalidAp);

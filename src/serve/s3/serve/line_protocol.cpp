@@ -5,6 +5,8 @@
 #include <sstream>
 #include <string>
 
+#include "s3/util/metrics.h"
+
 namespace s3::serve {
 
 namespace {
@@ -21,6 +23,20 @@ const char* rejection_reason(const ServeStats& before,
     return "unknown-user";
   }
   return "no-candidate";
+}
+
+util::Counter* malformed_lines_counter() {
+  static util::Counter* const counter =
+      util::metrics().counter("serve.malformed_lines");
+  return counter;
+}
+
+/// True iff anything beyond whitespace is left on the line — a valid
+/// request followed by stray tokens is rejected rather than silently
+/// truncated (a shifted field list usually means a client bug).
+bool has_trailing_garbage(std::istringstream& fields) {
+  std::string extra;
+  return static_cast<bool>(fields >> extra);
 }
 
 }  // namespace
@@ -40,6 +56,13 @@ bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
     writer.write_line(response.str());
     response.str({});
   };
+  const auto reject = [&](std::string_view err_class,
+                          std::string_view detail) {
+    response << "err " << err_class << ' ' << detail;
+    respond();
+    malformed_lines_counter()->add(1);
+    clean = false;
+  };
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
@@ -51,9 +74,11 @@ bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
       fields >> req.id >> req.user >> req.building >> req.pos.x >>
           req.pos.y >> t >> req.demand_mbps;
       if (fields.fail()) {
-        response << "error malformed arrive: " << line;
-        respond();
-        clean = false;
+        reject("malformed-arrive", line);
+        continue;
+      }
+      if (has_trailing_garbage(fields)) {
+        reject("trailing-garbage", line);
         continue;
       }
       req.when = util::SimTime::from_seconds(t);
@@ -71,9 +96,11 @@ bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
       std::int64_t t = 0;
       fields >> id >> t;
       if (fields.fail()) {
-        response << "error malformed depart: " << line;
-        respond();
-        clean = false;
+        reject("malformed-depart", line);
+        continue;
+      }
+      if (has_trailing_garbage(fields)) {
+        reject("trailing-garbage", line);
         continue;
       }
       if (pipeline.depart(id, util::SimTime::from_seconds(t))) {
@@ -83,6 +110,10 @@ bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
       }
       respond();
     } else if (verb == "stats") {
+      if (has_trailing_garbage(fields)) {
+        reject("trailing-garbage", line);
+        continue;
+      }
       const ServeStats s = pipeline.stats();
       response << "stats placements=" << s.placements
                << " departures=" << s.departures
@@ -94,9 +125,7 @@ bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
                << " updated_pairs=" << pipeline.model().updated_pairs();
       respond();
     } else {
-      response << "error unknown verb: " << verb;
-      respond();
-      clean = false;
+      reject("unknown-verb", verb);
     }
   }
   return clean;

@@ -18,9 +18,19 @@
 //   stats placements=<n> departures=<n> active=<n> fallback=<n>
 //         overloads=<n> rejected=<n> updated_pairs=<n>   (one line)
 //
-// Malformed lines get `error <message>` and processing continues; the
-// driver returns false iff any line was malformed, so batch callers
-// can fail loudly while interactive callers keep their session.
+// Malformed lines get a structured reply and processing continues:
+//
+//   err malformed-arrive <line>    arrive with missing/non-numeric fields
+//   err malformed-depart <line>    depart with missing/non-numeric fields
+//   err trailing-garbage <line>    valid request + extra tokens
+//   err unknown-verb <verb>        first token is not a request verb
+//
+// The machine-readable class is always the second token, so scripted
+// clients can branch on it without parsing free text. Every err line
+// also bumps the `serve.malformed_lines` counter on the metrics bus
+// (`s3lb serve --metrics` dumps it). The driver returns false iff any
+// line was malformed, so batch callers can fail loudly while
+// interactive callers keep their session.
 #pragma once
 
 #include <iosfwd>

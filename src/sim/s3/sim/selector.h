@@ -106,6 +106,17 @@ class ApSelector {
   /// the same social model as the lost primary. Stateless policies
   /// keep the default 0.
   virtual std::uint64_t state_digest() const { return 0; }
+
+  /// Deep copy carrying the exact internal state — not just the
+  /// logical state but the same float-accumulation and container
+  /// history, so a clone's future decisions are bit-identical to the
+  /// original's. This is what lets the replication layer checkpoint a
+  /// live engine: reconstructing a policy from logical state (counters,
+  /// presence sets) cannot reproduce unordered-container iteration
+  /// order or partial float sums, but a member-wise copy does.
+  /// Policies that cannot honor that contract return nullptr (the
+  /// default), which disables snapshot-based catch-up for them.
+  virtual std::unique_ptr<ApSelector> clone() const { return nullptr; }
 };
 
 /// Builds one policy instance per controller shard.

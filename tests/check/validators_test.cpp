@@ -459,6 +459,56 @@ TEST_F(ValidatorsTest, ReplicaConvergenceRejectsCrossDomainComparison) {
   EXPECT_EQ(report.issues().size(), 1u);
 }
 
+// --- validate_log_truncation ----------------------------------------
+
+TEST_F(ValidatorsTest, LogTruncationAcceptsACoveredCut) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  // Cut at 40: the latest snapshot (50) survives, every alive replica
+  // is past it, and the dead replica behind it will re-seed from the
+  // snapshot.
+  const std::vector<ReplicaLogPosition> replicas = {
+      {0, true, 100}, {1, true, 40}, {2, false, 10}};
+  EXPECT_TRUE(
+      validate_log_truncation(40, 100, true, 50, replicas).ok());
+  EXPECT_EQ(counter("check.validate_log_truncation.violations"), 0u);
+}
+
+TEST_F(ValidatorsTest, LogTruncationFlagsEveryWayACutCanOrphan) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  // An alive replica behind the base; a snapshot the cut would drop; a
+  // replica claiming a position past the end.
+  const std::vector<ReplicaLogPosition> replicas = {
+      {0, true, 100}, {1, true, 30}, {2, true, 120}};
+  const CheckReport report =
+      validate_log_truncation(40, 100, true, 35, replicas);
+  EXPECT_TRUE(mentions(report, "alive replica 1 still needs record 30"));
+  EXPECT_TRUE(mentions(report, "latest snapshot at index 35 precedes"));
+  EXPECT_TRUE(mentions(report, "replica 2 claims applied 120 past the log"));
+  EXPECT_EQ(counter("check.validate_log_truncation.violations"),
+            report.issues().size());
+
+  // A cut without any snapshot at all, and one past the log end.
+  EXPECT_TRUE(mentions(validate_log_truncation(10, 100, false, 0, {}),
+                       "without any snapshot"));
+  EXPECT_TRUE(mentions(validate_log_truncation(200, 100, true, 90, {}),
+                       "past the log end"));
+  // Base 0 is always safe: nothing is dropped.
+  const std::vector<ReplicaLogPosition> sane = {{0, true, 100}, {1, true, 30}};
+  EXPECT_TRUE(validate_log_truncation(0, 100, false, 0, sane).ok());
+}
+
+TEST_F(ValidatorsTest, FaultPlanFlagsLossWindows) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  fault::FaultPlan plan;
+  plan.controller_losses.push_back({2, util::SimTime(0), util::SimTime(100)});
+  plan.controller_losses.push_back({2, util::SimTime(50), util::SimTime(150)});
+  plan.controller_losses.push_back({9, util::SimTime(200), util::SimTime(300)});
+  const wlan::Network net = testing::mini_network(4, 2);
+  const CheckReport report = validate_fault_plan(plan, &net);
+  EXPECT_TRUE(mentions(report, "controller-loss 2: outage windows overlap"));
+  EXPECT_TRUE(mentions(report, "unknown controller 9"));
+}
+
 // --- report mechanics -----------------------------------------------
 
 TEST_F(ValidatorsTest, ReportCapsIssuesAndCountsTheRest) {

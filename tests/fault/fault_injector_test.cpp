@@ -67,6 +67,30 @@ TEST(FaultInjector, ControllerOutageWindowsAreHalfOpen) {
   EXPECT_TRUE(inj.controller_outages(2).empty());
 }
 
+TEST(FaultInjector, ControllerLossWindowsCountAsDownToo) {
+  // A loss (whole replica set gone) makes the controller "down" for
+  // every observer — including a neighbor domain probing for an alive
+  // adopter — but stays a separate window list from plain outages.
+  FaultPlan plan;
+  plan.controller_losses.push_back({1, util::SimTime(100), util::SimTime(200)});
+  plan.controller_losses.push_back({1, util::SimTime(400), util::SimTime(500)});
+  plan.controller_outages.push_back({1, util::SimTime(250), util::SimTime(300)});
+  const FaultInjector inj(plan);
+
+  EXPECT_TRUE(inj.controller_down(1, util::SimTime(100)));  // loss
+  EXPECT_FALSE(inj.controller_down(1, util::SimTime(200)));
+  EXPECT_TRUE(inj.controller_down(1, util::SimTime(250)));  // outage
+  EXPECT_FALSE(inj.controller_down(0, util::SimTime(150)));
+
+  const std::vector<util::TimeInterval> losses = inj.controller_losses(1);
+  ASSERT_EQ(losses.size(), 2u);
+  EXPECT_EQ(losses[0].begin.seconds(), 100);
+  EXPECT_EQ(losses[1].begin.seconds(), 400);
+  const std::vector<util::TimeInterval> outages = inj.controller_outages(1);
+  ASSERT_EQ(outages.size(), 1u);
+  EXPECT_TRUE(inj.controller_losses(0).empty());
+}
+
 TEST(FaultInjector, AdmissionDrawsAreDeterministicAndWindowed) {
   FaultPlan plan;
   plan.admission.failure_probability = 0.5;

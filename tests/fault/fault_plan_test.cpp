@@ -184,6 +184,74 @@ TEST(FaultPlanCanned, ControllerChurnStridesDisjointWindows) {
   EXPECT_NO_THROW(validate_plan(plan, &net));
 }
 
+TEST(FaultPlanParse, ControllerLossRoundTrips) {
+  const std::string text =
+      "s3fault v1\n"
+      "controller-loss 1 500 900\n"
+      "controller-outage 1 100 200\n";
+  const FaultPlanParseResult r = parse_fault_plan(text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.plan.controller_losses.size(), 1u);
+  EXPECT_EQ(r.plan.controller_losses[0].controller, 1u);
+  EXPECT_EQ(r.plan.controller_losses[0].begin.seconds(), 500);
+  EXPECT_EQ(r.plan.controller_losses[0].end.seconds(), 900);
+  EXPECT_FALSE(r.plan.empty());
+
+  const FaultPlanParseResult again = parse_fault_plan(write_fault_plan(r.plan));
+  ASSERT_TRUE(again.ok()) << again.error;
+  ASSERT_EQ(again.plan.controller_losses.size(), 1u);
+  EXPECT_EQ(again.plan.controller_losses[0].end.seconds(), 900);
+
+  EXPECT_FALSE(parse_fault_plan("s3fault v1\ncontroller-loss 0 100\n").ok());
+  EXPECT_FALSE(
+      parse_fault_plan("s3fault v1\ncontroller-loss 0 200 100\n").ok());
+}
+
+TEST(FaultPlanValidate, RejectsLossOverlappingLossOrOutage) {
+  // A loss window overlapping another loss — or an outage — of the same
+  // controller is nonsensical: the replica set cannot die twice at once.
+  FaultPlan plan;
+  plan.controller_losses.push_back({0, util::SimTime(0), util::SimTime(100)});
+  plan.controller_losses.push_back({0, util::SimTime(50), util::SimTime(150)});
+  EXPECT_THROW(validate_plan(plan), std::invalid_argument);
+
+  plan.controller_losses.pop_back();
+  plan.controller_outages.push_back({0, util::SimTime(50), util::SimTime(150)});
+  EXPECT_THROW(validate_plan(plan), std::invalid_argument);
+
+  // Different controllers, or touching half-open windows, are fine.
+  plan.controller_outages[0].controller = 1;
+  EXPECT_NO_THROW(validate_plan(plan));
+  plan.controller_outages[0].controller = 0;
+  plan.controller_outages[0].begin = util::SimTime(100);
+  EXPECT_NO_THROW(validate_plan(plan));
+
+  const auto net = mini_network(4, 2);
+  plan.controller_losses[0].controller = 9;
+  EXPECT_THROW(validate_plan(plan, &net), std::invalid_argument);
+}
+
+TEST(FaultPlanCanned, ControllerLossStaggersDisjointWindows) {
+  const auto net = mini_network(4, 3);
+  const util::SimTime begin(0), end(24 * 3600);
+  const FaultPlan plan = canned_controller_loss_plan(net, begin, end);
+  ASSERT_FALSE(plan.controller_losses.empty());
+  EXPECT_LE(plan.controller_losses.size(), net.num_controllers());
+  for (const ControllerLoss& o : plan.controller_losses) {
+    EXPECT_LT(o.controller, net.num_controllers());
+    EXPECT_GE(o.begin, begin);
+    EXPECT_LE(o.end, end);
+    EXPECT_LT(o.begin, o.end);
+  }
+  // Windows never overlap *across* controllers either, so an alive
+  // neighbor (the adopter) always exists.
+  for (std::size_t i = 1; i < plan.controller_losses.size(); ++i) {
+    EXPECT_LE(plan.controller_losses[i - 1].end,
+              plan.controller_losses[i].begin);
+  }
+  EXPECT_NO_THROW(validate_plan(plan, &net));
+}
+
 TEST(FaultPlanCanned, ModelOutageCoversTheMiddleThird) {
   const FaultPlan plan =
       canned_model_outage_plan(util::SimTime(0), util::SimTime(900));

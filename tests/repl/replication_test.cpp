@@ -3,10 +3,19 @@
 // to the crashed primary, failover with >= 1 backup is transparent
 // (identical to the same run without controller outages), and a
 // headless domain drops exactly the in-window arrivals.
+//
+// Snapshot/truncation/adoption coverage: snapshot-seeded catch-up and
+// prefix truncation are invisible to the replay outcome, catch-up work
+// stays bounded by the snapshot interval, a corrupted log record is
+// rejected + counted + healed by a snapshot resync, and a whole-set
+// controller loss is adopted by a neighbor domain and handed back —
+// all bit-identically.
 
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+
+#include "s3/util/metrics.h"
 
 #include "s3/core/evaluation.h"
 #include "s3/core/selector_factory.h"
@@ -71,13 +80,30 @@ fault::FaultPlan churn_plan() {
   return plan;
 }
 
+/// churn_plan() plus one whole-replica-set loss per domain, placed in
+/// the late afternoon so it never overlaps the same controller's midday
+/// outage and the next controller (the deterministic adopter candidate)
+/// is alive at the loss begin.
+fault::FaultPlan loss_plan() {
+  fault::FaultPlan plan = churn_plan();
+  const trace::GeneratedTrace& w = shared_world();
+  for (ControllerId c = 0; c < w.network.num_controllers(); ++c) {
+    const std::int64_t day = static_cast<std::int64_t>(c) * 86400;
+    plan.controller_losses.push_back({c, util::SimTime(day + 16 * 3600),
+                                      util::SimTime(day + 19 * 3600)});
+  }
+  return plan;
+}
+
 ReplicatedReplayResult run_replicated(const sim::SelectorFactory& factory,
                                       const fault::FaultInjector& injector,
-                                      std::size_t backups, unsigned threads) {
+                                      std::size_t backups, unsigned threads,
+                                      const ReplicationConfig& repl = {}) {
   const trace::GeneratedTrace& w = shared_world();
   ReplicatedDriverConfig rc;
   rc.threads = threads;
   rc.injector = &injector;
+  rc.repl = repl;
   rc.repl.backups = backups;
   return ReplicatedReplayDriver(w.network, rc).run(w.workload, factory);
 }
@@ -180,6 +206,169 @@ TEST(Replication, PlainDriverRejectsControllerOutagePlans) {
   const core::LlfFactory f(core::LoadMetric::kStations);
   EXPECT_THROW(runtime::ReplayDriver(w.network, rc).run(w.workload, f),
                std::invalid_argument);
+
+  // Loss-only plans are just as much the replicated driver's business.
+  fault::FaultPlan losses;
+  losses.controller_losses.push_back(
+      {0, util::SimTime(3600), util::SimTime(7200)});
+  const fault::FaultInjector loss_injector(losses, 5);
+  rc.injector = &loss_injector;
+  EXPECT_THROW(runtime::ReplayDriver(w.network, rc).run(w.workload, f),
+               std::invalid_argument);
+}
+
+TEST(Replication, SnapshotCatchUpIsTransparentAndBounded) {
+  // Same churn, with and without snapshots in the log: a rejoin that
+  // installs a checkpoint instead of replaying from record zero must
+  // change nothing about the replay — and no single catch-up may
+  // replay more than ~two snapshot intervals of records, however long
+  // the log is.
+  const fault::FaultInjector injector(churn_plan(), 5);
+  const core::S3Factory s3(&shared_world().network, &shared_model());
+  const ReplicatedReplayResult plain = run_replicated(s3, injector, 1, 4);
+  ReplicationConfig repl;
+  repl.snapshot_every = 25;
+  const ReplicatedReplayResult snap = run_replicated(s3, injector, 1, 4, repl);
+  expect_identical(plain.result, snap.result);
+  EXPECT_EQ(plain.repl.failovers, snap.repl.failovers);
+  EXPECT_GT(snap.repl.snapshots, 0u);
+  EXPECT_GT(snap.repl.snapshot_installs, 0u);
+  EXPECT_EQ(snap.repl.digest_mismatches, 0u);
+  // Control records (crash/promotion/restart/snapshot) ride along in
+  // the replayed suffix; a small constant covers them.
+  EXPECT_LE(snap.repl.max_catchup_records, 2 * repl.snapshot_every + 64);
+  EXPECT_GT(plain.repl.max_catchup_records, snap.repl.max_catchup_records);
+}
+
+TEST(Replication, TruncationBoundsTheLiveLogTransparently) {
+  const fault::FaultInjector injector(churn_plan(), 5);
+  const core::LlfFactory f(core::LoadMetric::kStations);
+  const ReplicatedReplayResult plain = run_replicated(f, injector, 1, 4);
+  ReplicationConfig repl;
+  repl.snapshot_every = 200;
+  repl.truncate = true;
+  const ReplicatedReplayResult cut = run_replicated(f, injector, 1, 4, repl);
+  expect_identical(plain.result, cut.result);
+  EXPECT_GT(cut.repl.truncated_records, 0u);
+  // Snapshots are the only extra records a snapshotting log carries.
+  EXPECT_EQ(cut.repl.log_records, plain.repl.log_records + cut.repl.snapshots);
+  EXPECT_LT(cut.repl.live_log_records, cut.repl.log_records);
+  EXPECT_EQ(cut.repl.live_log_records + cut.repl.truncated_records,
+            cut.repl.log_records);
+}
+
+TEST(Replication, TruncationRequiresSnapshots) {
+  const fault::FaultInjector injector(churn_plan(), 5);
+  const core::LlfFactory f(core::LoadMetric::kStations);
+  ReplicationConfig repl;
+  repl.truncate = true;  // snapshot_every left 0
+  EXPECT_THROW(run_replicated(f, injector, 1, 1, repl), std::invalid_argument);
+}
+
+TEST(Replication, CorruptedRecordIsRejectedCountedAndHealed) {
+  // Tamper with one mid-log record at append time. The backups must
+  // reject it on replay (digest mismatch), the rejection must land on
+  // the metrics bus, a snapshot resync must heal them — and the replay
+  // outcome must be identical to the untampered run, because the
+  // primary's own state was never corrupt.
+  const fault::FaultInjector injector(churn_plan(), 5);
+  const core::LlfFactory f(core::LoadMetric::kStations);
+  ReplicationConfig repl;
+  repl.snapshot_every = 200;
+  const ReplicatedReplayResult clean = run_replicated(f, injector, 1, 4, repl);
+  ASSERT_GT(clean.repl.log_records, 600u);
+
+  util::Counter* const mismatches =
+      util::metrics().counter("repl.digest_mismatches");
+  const std::uint64_t bus_before = mismatches->value();
+  repl.corrupt_record = 500;
+  const ReplicatedReplayResult healed = run_replicated(f, injector, 1, 4, repl);
+  expect_identical(clean.result, healed.result);
+  EXPECT_GT(healed.repl.digest_mismatches, 0u);
+  EXPECT_GT(healed.repl.resyncs, 0u);
+  EXPECT_EQ(mismatches->value() - bus_before, healed.repl.digest_mismatches);
+}
+
+TEST(Replication, CorruptedRecordWithoutSnapshotsIsFatal) {
+  // Without snapshots there is no resync path: the old fail-stop
+  // behavior must survive.
+  const fault::FaultInjector injector(churn_plan(), 5);
+  const core::LlfFactory f(core::LoadMetric::kStations);
+  ReplicationConfig repl;
+  repl.corrupt_record = 500;
+  EXPECT_THROW(run_replicated(f, injector, 1, 1, repl), std::logic_error);
+}
+
+TEST(Replication, ControllerLossIsAdoptedAndHandedBackTransparently) {
+  // A whole replica set dies; the neighbor domain adopts from the last
+  // replicated snapshot and hands back at the window end. Sessions of
+  // the lost domain keep flowing — the result matches a run whose plan
+  // has no controller faults at all.
+  const trace::GeneratedTrace& w = shared_world();
+  fault::FaultPlan plan = loss_plan();
+  const fault::FaultInjector injector(plan, 5);
+  plan.controller_outages.clear();
+  plan.controller_losses.clear();
+  const fault::FaultInjector no_controller_faults(plan, 5);
+
+  const core::LlfFactory f(core::LoadMetric::kStations);
+  ReplicationConfig repl;
+  repl.snapshot_every = 150;
+  repl.truncate = true;
+  const ReplicatedReplayResult lost = run_replicated(f, injector, 1, 4, repl);
+  runtime::ReplayDriverConfig rc;
+  rc.threads = 4;
+  rc.injector = &no_controller_faults;
+  const sim::ReplayResult baseline =
+      runtime::ReplayDriver(w.network, rc).run(w.workload, f);
+  expect_identical(lost.result, baseline);
+
+  EXPECT_EQ(lost.repl.adoptions, w.network.num_controllers());
+  EXPECT_EQ(lost.repl.adoptions, lost.repl.handbacks);
+  EXPECT_EQ(lost.result.stats.dropped_sessions, 0u);
+  std::size_t adoptions = 0;
+  std::size_t handbacks = 0;
+  for (const FailoverEvent& ev : lost.failovers) {
+    EXPECT_TRUE(ev.converged) << "domain " << ev.domain;
+    if (ev.kind == FailoverKind::kAdoption) {
+      ++adoptions;
+      EXPECT_NE(ev.adopter, ev.domain);
+      EXPECT_NE(ev.adopter, kInvalidController);
+    } else if (ev.kind == FailoverKind::kHandback) {
+      ++handbacks;
+      EXPECT_NE(ev.adopter, kInvalidController);
+    }
+  }
+  EXPECT_EQ(adoptions, lost.repl.adoptions);
+  EXPECT_EQ(handbacks, lost.repl.handbacks);
+
+  // Deterministic adoption order: same run, same adopters, any thread
+  // count.
+  const ReplicatedReplayResult again = run_replicated(f, injector, 1, 1, repl);
+  expect_identical(lost.result, again.result);
+  ASSERT_EQ(lost.failovers.size(), again.failovers.size());
+  for (std::size_t i = 0; i < lost.failovers.size(); ++i) {
+    EXPECT_EQ(lost.failovers[i].kind, again.failovers[i].kind);
+    EXPECT_EQ(lost.failovers[i].adopter, again.failovers[i].adopter);
+  }
+}
+
+TEST(Replication, AdoptionBeforeTheFirstSnapshotReplaysTheFullLog) {
+  // Losses with snapshots disabled: the adopter rebuilds the orphaned
+  // domain from record zero, like a day-zero replica, and still
+  // converges bit-identically.
+  const fault::FaultInjector injector(loss_plan(), 5);
+  const core::S3Factory s3(&shared_world().network, &shared_model());
+  const ReplicatedReplayResult r = run_replicated(s3, injector, 1, 4);
+  EXPECT_GT(r.repl.adoptions, 0u);
+  EXPECT_EQ(r.repl.snapshot_installs, 0u);
+  for (const FailoverEvent& ev : r.failovers) {
+    EXPECT_TRUE(ev.converged);
+    if (ev.kind == FailoverKind::kAdoption) {
+      EXPECT_FALSE(ev.snapshot_install);
+    }
+  }
+  EXPECT_EQ(r.result.stats.dropped_sessions, 0u);
 }
 
 TEST(EventLog, SuffixAndKindPredicates) {
@@ -201,6 +390,46 @@ TEST(EventLog, SuffixAndKindPredicates) {
   using StepKind = runtime::ControllerEngine::StepKind;
   EXPECT_EQ(to_step_kind(RecordKind::kRetries), StepKind::kRetries);
   EXPECT_EQ(from_step_kind(StepKind::kDeparture), RecordKind::kDeparture);
+  EXPECT_FALSE(is_engine_step(RecordKind::kSnapshot));
+  EXPECT_FALSE(is_headless_step(RecordKind::kAdoption));
+}
+
+TEST(EventLog, TruncationKeepsIndicesGlobal) {
+  EventLog log;
+  for (int i = 0; i < 6; ++i) {
+    log.append(RecordKind::kArrival, 1, util::SimTime(10 * i),
+               static_cast<std::uint64_t>(i));
+  }
+  ASSERT_EQ(log.size(), 6u);
+  EXPECT_EQ(log.truncate_prefix(4), 4u);
+  EXPECT_EQ(log.base(), 4u);
+  EXPECT_EQ(log.size(), 6u);  // total ever appended, not retained
+  EXPECT_EQ(log.live_size(), 2u);
+  EXPECT_EQ(log.records().front().index, 4u);
+  EXPECT_EQ(log.record(5).digest, 5u);
+  EXPECT_EQ(log.suffix(4).size(), 2u);
+  EXPECT_EQ(log.suffix(6).size(), 0u);
+  // The truncated prefix is gone for good.
+  EXPECT_THROW(log.suffix(3), std::invalid_argument);
+  EXPECT_THROW(log.record(3), std::invalid_argument);
+  EXPECT_THROW(log.truncate_prefix(7), std::invalid_argument);
+  // Re-truncating at or below the base is a no-op.
+  EXPECT_EQ(log.truncate_prefix(4), 0u);
+  EXPECT_EQ(log.truncate_prefix(2), 0u);
+  // New appends keep counting from the global index.
+  log.append(RecordKind::kFlush, 2, util::SimTime(100), 0xf);
+  EXPECT_EQ(log.records().back().index, 6u);
+  EXPECT_EQ(log.size(), 7u);
+}
+
+TEST(EventLog, TamperFlipsOneDigest) {
+  EventLog log;
+  log.append(RecordKind::kArrival, 1, util::SimTime(10), 0xaa);
+  log.append(RecordKind::kFlush, 1, util::SimTime(20), 0xbb);
+  log.tamper_digest(1);
+  EXPECT_EQ(log.record(0).digest, 0xaau);
+  EXPECT_NE(log.record(1).digest, 0xbbu);
+  EXPECT_THROW(log.tamper_digest(2), std::invalid_argument);
 }
 
 }  // namespace

@@ -129,6 +129,30 @@ if(NOT same EQUAL 0)
 endif()
 message(STATUS "implicit replication on controller-outage plans: OK")
 
+# Snapshots + truncation stay transparent, and a whole-replica-set
+# loss routes to the replicated driver (adoption) even without
+# --replicas — still byte-identical to the controller-fault-free run.
+file(WRITE "${WORK}/loss.txt"
+"s3fault v1
+controller-outage 0 36000 50400
+controller-loss 1 54000 64800
+ap-outage 1 20000 40000
+")
+run_cli(check fault-plan --in "${WORK}/loss.txt" --buildings 2 --aps 3)
+run_cli(replay --in "${WORK}/w.csv" --out "${WORK}/snap.csv"
+        --policy llf --buildings 2 --aps 3 --replicas 2
+        --fault-plan "${WORK}/loss.txt" --fault-seed 9
+        --snapshot-every 40 --truncate)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                "${WORK}/snap.csv" "${WORK}/plain.csv"
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+    "snapshot catch-up + truncation + adoption is not transparent")
+endif()
+message(STATUS "snapshots, truncation and controller-loss adoption: "
+               "transparent (byte-identical)")
+
 # --- flag validation --------------------------------------------------
 
 run_cli_expect_failure("--replicas needs --fault-plan"
@@ -138,3 +162,7 @@ run_cli_expect_failure("heartbeat"
         replay --in "${WORK}/w.csv" --out "${WORK}/x.csv"
         --policy llf --buildings 2 --aps 3 --replicas 2
         --fault-plan "${WORK}/churn.txt" --heartbeat 0)
+run_cli_expect_failure("--truncate needs --snapshot-every"
+        replay --in "${WORK}/w.csv" --out "${WORK}/x.csv"
+        --policy llf --buildings 2 --aps 3 --replicas 2
+        --fault-plan "${WORK}/churn.txt" --truncate)

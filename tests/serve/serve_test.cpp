@@ -19,6 +19,7 @@
 #include "s3/serve/line_protocol.h"
 #include "s3/serve/serve_pipeline.h"
 #include "s3/trace/generator.h"
+#include "s3/util/metrics.h"
 
 namespace s3::serve {
 namespace {
@@ -282,17 +283,50 @@ TEST(LineProtocol, EndToEndScript) {
 }
 
 TEST(LineProtocol, MalformedLinesReportErrorsButContinue) {
+  // Every malformed class gets its own structured `err <class>` reply
+  // (class always the second token, so clients can branch on it), each
+  // one lands on the metrics bus, and processing continues: the valid
+  // line after the garbage is still served.
   ServePipeline p(&world().gen.network, &world().model, {});
+  const std::uint64_t before =
+      util::metrics().counter("serve.malformed_lines")->value();
   std::istringstream in(
       "arrive nope\n"
+      "arrive 7 0 0 5 5 0\n"
+      "depart xyz\n"
+      "depart 7\n"
       "frobnicate 1\n"
+      "arrive 5 0 0 5 5 0 1.0 stray\n"
+      "depart 5 100 stray\n"
+      "stats stray\n"
       "arrive 5 0 0 5 5 0 1.0\n");
   std::ostringstream out;
   EXPECT_FALSE(run_line_protocol(p, in, out));
   const std::string text = out.str();
-  EXPECT_NE(text.find("error malformed arrive"), std::string::npos);
-  EXPECT_NE(text.find("error unknown verb: frobnicate"), std::string::npos);
+  EXPECT_NE(text.find("err malformed-arrive arrive nope"), std::string::npos);
+  EXPECT_NE(text.find("err malformed-arrive arrive 7 0 0 5 5 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("err malformed-depart depart xyz"), std::string::npos);
+  EXPECT_NE(text.find("err malformed-depart depart 7\n"), std::string::npos);
+  EXPECT_NE(text.find("err unknown-verb frobnicate"), std::string::npos);
+  EXPECT_NE(text.find("err trailing-garbage arrive 5 0 0 5 5 0 1.0 stray"),
+            std::string::npos);
+  EXPECT_NE(text.find("err trailing-garbage depart 5 100 stray"),
+            std::string::npos);
+  EXPECT_NE(text.find("err trailing-garbage stats stray"),
+            std::string::npos);
   EXPECT_NE(text.find("place 5 "), std::string::npos);
+
+  // One err line per malformed input, mirrored on the metrics bus.
+  EXPECT_EQ(util::metrics().counter("serve.malformed_lines")->value() - before,
+            8u);
+
+  // A clean script leaves the counter alone and returns true.
+  std::istringstream clean_in("depart 5 100\n");
+  std::ostringstream clean_out;
+  EXPECT_TRUE(run_line_protocol(p, clean_in, clean_out));
+  EXPECT_EQ(util::metrics().counter("serve.malformed_lines")->value() - before,
+            8u);
 }
 
 }  // namespace

@@ -146,6 +146,10 @@ constexpr ArgSpec kReplaySpecs[] = {
     {"fault-seed", ArgKind::kInt, "fault draw seed (default 1)"},
     {"replicas", ArgKind::kInt, "backup controllers per domain"},
     {"heartbeat", ArgKind::kInt, "replication heartbeat seconds (default 300)"},
+    {"snapshot-every", ArgKind::kInt,
+     "snapshot the primary every N log records (default 0 = off)"},
+    {"truncate", ArgKind::kFlag,
+     "drop log prefixes every live replica has applied (needs snapshots)"},
 };
 
 constexpr ArgSpec kServeSpecs[] = {
@@ -332,11 +336,13 @@ int cmd_replay(const Flags& f) {
                      static_cast<std::uint64_t>(f.num("fault-seed", 1)));
   }
 
-  // Controller-outage plans (and an explicit --replicas) run under the
-  // replicated driver; everything else takes the plain sharded path.
+  // Controller-outage and controller-loss plans (and an explicit
+  // --replicas) run under the replicated driver; everything else takes
+  // the plain sharded path.
   const bool replicated =
       f.has("replicas") ||
-      (injector && !injector->plan().controller_outages.empty());
+      (injector && (!injector->plan().controller_outages.empty() ||
+                    !injector->plan().controller_losses.empty()));
   sim::ReplayResult r;
   unsigned threads_used = 0;
   if (replicated) {
@@ -347,6 +353,13 @@ int cmd_replay(const Flags& f) {
     rc.injector = &*injector;
     rc.repl.backups = static_cast<std::size_t>(f.num("replicas", 1));
     rc.repl.heartbeat_s = f.num("heartbeat", 300);
+    rc.repl.snapshot_every =
+        static_cast<std::uint64_t>(f.num("snapshot-every", 0));
+    rc.repl.truncate = f.has("truncate");
+    if (rc.repl.truncate && rc.repl.snapshot_every == 0) {
+      die("replay: --truncate needs --snapshot-every N (a rejoining replica "
+          "behind a truncated prefix can only re-seed from a snapshot)");
+    }
     repl::ReplicatedReplayDriver driver(net, rc);
     repl::ReplicatedReplayResult rr = driver.run(workload, *factory);
     threads_used = driver.effective_threads();
@@ -357,14 +370,43 @@ int cmd_replay(const Flags& f) {
               << " log records, " << rr.repl.catchup_records
               << " replayed to catch up (term " << rr.repl.final_term
               << ")\n";
+    if (rr.repl.snapshots > 0 || rr.repl.adoptions > 0) {
+      std::cout << "  snapshots: " << rr.repl.snapshots << " cut, "
+                << rr.repl.snapshot_installs << " installed, "
+                << rr.repl.truncated_records << " records truncated ("
+                << rr.repl.live_log_records << " live), max catch-up "
+                << rr.repl.max_catchup_records << " records";
+      if (rr.repl.adoptions > 0 || rr.repl.handbacks > 0) {
+        std::cout << "; " << rr.repl.adoptions << " adoptions, "
+                  << rr.repl.handbacks << " handbacks";
+      }
+      if (rr.repl.digest_mismatches > 0) {
+        std::cout << "; " << rr.repl.digest_mismatches
+                  << " corrupt records rejected (" << rr.repl.resyncs
+                  << " resyncs)";
+      }
+      std::cout << "\n";
+    }
     for (const repl::FailoverEvent& ev : rr.failovers) {
-      std::cout << "  t=" << ev.when.seconds() << "s domain " << ev.domain
-                << (ev.headless ? " headless restart"
-                                : " promoted replica " +
-                                      std::to_string(ev.promoted_replica))
-                << " term " << ev.new_term << " (" << ev.records_replayed
-                << " records, "
-                << (ev.converged ? "converged" : "DIVERGED") << ")\n";
+      std::cout << "  t=" << ev.when.seconds() << "s domain " << ev.domain;
+      switch (ev.kind) {
+        case repl::FailoverKind::kPromotion:
+          std::cout << " promoted replica "
+                    << std::to_string(ev.promoted_replica);
+          break;
+        case repl::FailoverKind::kHeadless:
+          std::cout << " headless restart";
+          break;
+        case repl::FailoverKind::kAdoption:
+          std::cout << " adopted by controller " << ev.adopter;
+          break;
+        case repl::FailoverKind::kHandback:
+          std::cout << " handed back from controller " << ev.adopter;
+          break;
+      }
+      std::cout << " term " << ev.new_term << " (" << ev.records_replayed
+                << " records" << (ev.snapshot_install ? ", snapshot seed" : "")
+                << ", " << (ev.converged ? "converged" : "DIVERGED") << ")\n";
     }
     r = std::move(rr.result);
   } else {
@@ -651,6 +693,7 @@ void usage() {
       "           [--threads N --metrics --check off|count|log|abort]\n"
       "           [--fault-plan FILE --fault-seed S]\n"
       "           [--replicas N --heartbeat SECONDS]\n"
+      "           [--snapshot-every RECORDS --truncate]\n"
       "  serve    --policy llf|llf-demand|llf-stations|rssi|random|s3|s3-online\n"
       "           [--model FILE --model-format auto|text|binary]\n"
       "           [--buildings B --aps K --in FILE --out FILE --seed S]\n"
