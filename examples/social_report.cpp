@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
       if (th > 0.3) g.add_edge(i, j, th);
     }
   }
-  const auto cover = social::clique_cover(g);
+  const auto cover = social::clique_cover(g).cliques;
   std::cout << "batch of " << batch.size() << " users (group of "
             << grp.members.size() << " + 6 walk-ins) decomposes into "
             << cover.size() << " cliques:";

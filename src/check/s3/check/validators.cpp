@@ -275,6 +275,20 @@ CheckReport validate_clique_cover(
         ++covered[v];
       }
     }
+    if (in_range && clique.size() > 1) {
+      // Stale-cover detection: a multi-member clique holding a vertex
+      // with no remaining θ-edges means the cover predates edge
+      // deletions (an incremental maintainer missed an invalidation) —
+      // report it as its own finding, not just a generic non-clique.
+      for (const std::size_t v : clique) {
+        if (graph.degree(v) == 0) {
+          report.add(kCliqueCover,
+                     at + " is stale: vertex " + std::to_string(v) +
+                         " has no remaining theta-edges but sits in a " +
+                         std::to_string(clique.size()) + "-member clique");
+        }
+      }
+    }
     if (in_range && !graph.is_clique(clique)) {
       report.add(kCliqueCover, at + " is not a clique (a member pair is "
                                    "not adjacent)");

@@ -12,7 +12,10 @@
 //                           the provider;
 //   validate_clique_cover — a clique cover must partition the vertex
 //                           set exactly (every vertex in exactly one
-//                           clique, every clique fully connected);
+//                           clique, every clique fully connected), and
+//                           must not be stale (no multi-member clique
+//                           holding a vertex whose every θ-edge has
+//                           since been deleted);
 //   validate_load_state   — association load: per-AP conservation
 //                           (cached totals equal the sum over active
 //                           stations), finite non-negative loads, and
@@ -126,6 +129,10 @@ struct CliqueCoverCheckOptions {
 
 /// Validates that `cover` partitions the graph's vertices into
 /// cliques: every vertex covered exactly once, every group a clique.
+/// Covers computed against an older edge set are flagged as stale:
+/// a vertex with zero remaining θ-edges inside a multi-member clique
+/// gets its own "is stale" finding (on top of the generic non-clique
+/// one), so incremental-maintenance bugs are named, not inferred.
 CheckReport validate_clique_cover(
     const social::WeightedGraph& graph,
     std::span<const std::vector<std::size_t>> cover,

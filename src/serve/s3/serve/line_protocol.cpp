@@ -1,5 +1,6 @@
 #include "s3/serve/line_protocol.h"
 
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -123,6 +124,24 @@ bool run_line_protocol(ServePipeline& pipeline, std::istream& in,
                << (s.rejected_no_candidate + s.rejected_unknown_user +
                    s.rejected_duplicate_id)
                << " updated_pairs=" << pipeline.model().updated_pairs();
+      respond();
+    } else if (verb == "social") {
+      if (has_trailing_garbage(fields)) {
+        reject("trailing-garbage", line);
+        continue;
+      }
+      const SocialSnapshot s = pipeline.social_snapshot();
+      char cohesion[32];
+      std::snprintf(cohesion, sizeof(cohesion), "%.6f", s.cohesion);
+      response << "social users=" << s.users << " cliques=" << s.cliques
+               << " singletons=" << s.singletons << " largest=" << s.largest
+               << " cohesion=" << cohesion << " exact=" << (s.exact ? 1 : 0)
+               << " incremental=" << (s.incremental ? 1 : 0)
+               << " cover_version=" << s.cover_version
+               << " deltas=" << s.deltas_applied
+               << " solved=" << s.components_solved
+               << " reused=" << s.components_reused
+               << " reseeds=" << s.reseeds;
       respond();
     } else {
       reject("unknown-verb", verb);

@@ -7,6 +7,7 @@
 //   arrive <id> <user> <building> <x> <y> <t_seconds> <demand_mbps>
 //   depart <id> <t_seconds>
 //   stats
+//   social
 //
 // Responses, one line per request, in order:
 //
@@ -17,6 +18,16 @@
 //   gone <id> unknown          id was not an active session
 //   stats placements=<n> departures=<n> active=<n> fallback=<n>
 //         overloads=<n> rejected=<n> updated_pairs=<n>   (one line)
+//   social users=<n> cliques=<n> singletons=<n> largest=<n>
+//          cohesion=<x.xxxxxx> exact=<0|1> incremental=<0|1>
+//          cover_version=<n> deltas=<n> solved=<n> reused=<n>
+//          reseeds=<n>                                   (one line)
+//
+// `social` serves ServePipeline::social_snapshot(): the maintained
+// clique cover of the live θ-graph plus the cohesion score (θ mass of
+// clique pairs currently sharing an AP). The first query seeds the
+// maintained graph; later ones drain the model's ThetaDelta feed and
+// re-solve only dirty components (incremental=1).
 //
 // Malformed lines get a structured reply and processing continues:
 //

@@ -29,6 +29,17 @@ ServePipeline::ServePipeline(const wlan::Network* net,
   spec.online.co_leave_window = config_.co_leave_window;
   spec.online.min_encounter_overlap = config_.min_encounter_overlap;
   const auto factory = core::make_selector_factory(config_.policy, spec);
+  {
+    social::CliqueMaintainerConfig mc;
+    mc.theta_threshold = config_.s3.theta_threshold;
+    mc.clique = config_.s3.clique;
+    util::MutexLock social(social_.mu);
+    social_.view = social::CliqueMaintainer(0, mc);
+  }
+  user_ap_ = std::vector<std::atomic<ApId>>(shared_.num_users());
+  for (std::atomic<ApId>& slot : user_ap_) {
+    slot.store(kInvalidAp, std::memory_order_relaxed);
+  }
   domains_.reserve(net_->num_controllers());
   presence_.reserve(net_->num_controllers());
   for (ControllerId c = 0; c < net_->num_controllers(); ++c) {
@@ -136,6 +147,11 @@ PlaceResult ServePipeline::place(const PlaceRequest& req) {
   session.demand_mbps = req.demand_mbps;
   session.since = req.when;
   registry_.commit(req.id, session);
+  if (req.user < user_ap_.size()) {
+    user_ap_[req.user].store(result.ap, std::memory_order_relaxed);
+    util::MutexLock social(social_.mu);
+    social_.scores.invalidate_user(req.user);
+  }
   active_.fetch_add(1, std::memory_order_relaxed);
   placements_.fetch_add(1, std::memory_order_relaxed);
   if (result.fallback) {
@@ -181,9 +197,60 @@ bool ServePipeline::depart(std::uint64_t id, util::SimTime when) {
     shared_.record_co_leave(events.user, peer);
   }
 
+  if (s->user < user_ap_.size()) {
+    user_ap_[s->user].store(kInvalidAp, std::memory_order_relaxed);
+    util::MutexLock social(social_.mu);
+    social_.scores.invalidate_user(s->user);
+  }
   active_.fetch_sub(1, std::memory_order_relaxed);
   departures_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+SocialSnapshot ServePipeline::social_snapshot() {
+  util::MutexLock hold(social_.mu);
+  const bool incremental = social_.view.sync(shared_);
+  const social::CliqueCoverResult& cover = social_.view.cover();
+  social_.scores.bind(cover, social_.view.cover_version());
+
+  SocialSnapshot out;
+  out.users = shared_.num_users();
+  out.exact = cover.exact;
+  out.incremental = incremental;
+  out.cover_version = social_.view.cover_version();
+  for (std::size_t i = 0; i < cover.cliques.size(); ++i) {
+    const std::vector<std::size_t>& members = cover.cliques[i];
+    out.largest = std::max(out.largest, members.size());
+    if (members.size() < 2) {
+      ++out.singletons;
+      continue;
+    }
+    ++out.cliques;
+    // ΣC(AP) over this clique: θ mass of member pairs currently placed
+    // on the same AP. Cached per clique; placements invalidate O(1).
+    out.cohesion += social_.scores.score(i, [&](std::size_t) {
+      double sum = 0.0;
+      for (std::size_t a = 0; a < members.size(); ++a) {
+        const UserId ua = static_cast<UserId>(members[a]);
+        const ApId ap_a = user_ap_[ua].load(std::memory_order_relaxed);
+        if (ap_a == kInvalidAp) continue;
+        for (std::size_t b = a + 1; b < members.size(); ++b) {
+          const UserId ub = static_cast<UserId>(members[b]);
+          if (user_ap_[ub].load(std::memory_order_relaxed) != ap_a) continue;
+          sum += social_.view.edge_weight(ua, ub);
+        }
+      }
+      return sum;
+    });
+  }
+  const social::CliqueMaintainerStats& ms = social_.view.stats();
+  out.deltas_applied = ms.deltas_applied;
+  out.components_solved = ms.components_solved;
+  out.components_reused = ms.components_reused;
+  out.reseeds = ms.reseeds;
+  out.scores_recomputed = social_.scores.recomputed();
+  out.scores_reused = social_.scores.reused();
+  return out;
 }
 
 ServeStats ServePipeline::stats() const noexcept {

@@ -40,6 +40,7 @@
 #include "s3/serve/presence_table.h"
 #include "s3/serve/session_registry.h"
 #include "s3/serve/shared_social_model.h"
+#include "s3/social/clique_maintainer.h"
 #include "s3/sim/load_state.h"
 #include "s3/sim/selector.h"
 #include "s3/util/thread_annotations.h"
@@ -82,6 +83,36 @@ struct PlaceResult {
   bool overloaded = false;  ///< chosen AP had no bandwidth headroom
 };
 
+/// Monitoring view of the live social structure: the maintained clique
+/// cover of the θ-graph over the shared model, plus how much of its
+/// social mass current placements keep together. Served by
+/// ServePipeline::social_snapshot() (the `social` protocol verb)
+/// without rebuilding the graph — the pipeline's CliqueMaintainer
+/// consumes the shared model's ThetaDelta feed and re-solves only the
+/// components live events actually touched.
+struct SocialSnapshot {
+  std::size_t users = 0;
+  std::size_t cliques = 0;     ///< multi-member cliques in the cover
+  std::size_t singletons = 0;  ///< size-1 cover entries
+  std::size_t largest = 0;
+  bool exact = true;  ///< no extraction hit the node budget
+  /// False when this query had to reseed from scratch (first call, or
+  /// the feed window was outrun).
+  bool incremental = false;
+  /// Σ over cliques of the cached ΣC(AP) score: the θ mass of member
+  /// pairs whose current placements share an AP. Scores are cached per
+  /// clique and invalidated by placement changes touching a member.
+  double cohesion = 0.0;
+  std::uint64_t cover_version = 0;
+  // Cumulative maintainer / score-cache telemetry.
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t components_solved = 0;
+  std::uint64_t components_reused = 0;
+  std::uint64_t reseeds = 0;
+  std::uint64_t scores_recomputed = 0;
+  std::uint64_t scores_reused = 0;
+};
+
 struct ServeStats {
   std::uint64_t placements = 0;
   std::uint64_t departures = 0;
@@ -122,6 +153,14 @@ class ServePipeline {
     return active_.load(std::memory_order_relaxed);
   }
 
+  /// Current social structure (see SocialSnapshot). Thread-safe; the
+  /// first call seeds the maintained θ-graph (O(users²) θ probes),
+  /// later calls drain the shared model's delta feed and re-solve only
+  /// dirty components. Concurrent placements keep streaming — the
+  /// snapshot serializes only against other snapshots and the O(1)
+  /// per-placement score invalidation.
+  SocialSnapshot social_snapshot();
+
   fault::HealthState domain_health(ControllerId domain) const;
 
  private:
@@ -147,6 +186,20 @@ class ServePipeline {
 
   std::atomic<std::size_t> next_session_{0};
   std::atomic<std::size_t> active_{0};
+
+  /// Social monitoring state (social_snapshot): the maintained cover
+  /// and its per-clique score cache, touched by placements only for
+  /// the O(1) invalidation. Same shape as Domain: the struct owns the
+  /// lock its fields are tied to.
+  struct SocialView {
+    util::Mutex mu;
+    social::CliqueMaintainer view S3_GUARDED_BY(mu);
+    social::CliqueScoreCache scores S3_GUARDED_BY(mu);
+  };
+  SocialView social_;
+  /// Latest AP each user is placed on (kInvalidAp when absent); sized
+  /// at construction, so lock-free updates from any thread.
+  std::vector<std::atomic<ApId>> user_ap_;
 
   // Stats (relaxed atomics; exact once quiescent).
   std::atomic<std::uint64_t> placements_{0};

@@ -20,8 +20,12 @@
 // tests/serve/serve_test.cpp).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "s3/social/concurrent_pair_store.h"
 #include "s3/social/social_index.h"
+#include "s3/util/thread_annotations.h"
 
 namespace s3::serve {
 
@@ -36,9 +40,29 @@ class SharedSocialModel : public social::ThetaProvider {
   void theta_row(UserId u, std::span<const UserId> vs,
                  std::span<double> out) const override;
   std::size_t num_users() const override { return base_->num_users(); }
+  /// Deprecated direct polling: the raw epoch only says *something*
+  /// changed. Consumers tracking derived state should drain
+  /// poll_theta_deltas(), which says *which* pairs moved and when a
+  /// reseed is unavoidable. (Base-interface calls through
+  /// ThetaProvider::read_epoch keep working, undeprecated — the epoch
+  /// remains the coarse signal the feed refines.)
+  [[deprecated(
+      "poll raw epochs via the ThetaProvider interface, or better, drain "
+      "poll_theta_deltas()")]]
   std::uint64_t read_epoch() const noexcept override {
     return store_.epoch();
   }
+
+  /// Structured change feed per the ThetaDelta contract (graph.h).
+  /// Every record_* call appends one record whose θ is computed after
+  /// the store update, inside the feed lock — so the last-appended
+  /// record for a pair reflects every earlier-appended writer's
+  /// update, and in-order application converges on the store's state.
+  bool emits_theta_deltas() const noexcept override { return true; }
+  social::ThetaDeltaPoll poll_theta_deltas(
+      std::uint64_t cursor,
+      std::vector<social::ThetaDelta>& out) const override
+      S3_EXCLUDES(feed_.mu);
 
   /// Live-event writers (any thread). Counters are seeded from the
   /// base model's trained statistics the first time a pair is touched,
@@ -54,17 +78,33 @@ class SharedSocialModel : public social::ThetaProvider {
   const social::ConcurrentPairStore& live() const noexcept { return store_; }
 
  private:
+  /// The bounded delta log and its cursor, behind their own lock (the
+  /// store itself stays lock-free).
+  struct Feed {
+    mutable util::Mutex mu;
+    std::vector<social::ThetaDelta> records S3_GUARDED_BY(mu);
+    /// Cursor of records[0]; earlier entries were truncated away.
+    std::uint64_t base S3_GUARDED_BY(mu) = 0;
+  };
+
   template <typename Fn>
-  void bump(UserId u, UserId v, Fn&& fn) {
+  void bump(UserId u, UserId v, Fn&& fn) S3_EXCLUDES(feed_.mu) {
     const UserPair key(u, v);
     social::ConcurrentPairStore::Stats seed{};
     const social::PairStore::Stats* trained = base_->pair_stats().find(key);
     if (trained != nullptr) seed = *trained;
     store_.update(key, std::forward<Fn>(fn), &seed);
+    push_delta(u, v);
   }
+
+  /// Appends the pair's post-update θ to the bounded feed. Must run
+  /// after the store update; see emits_theta_deltas() for why θ is
+  /// read inside the lock.
+  void push_delta(UserId u, UserId v) S3_EXCLUDES(feed_.mu);
 
   const social::SocialIndexModel* base_;
   social::ConcurrentPairStore store_;
+  Feed feed_;
 };
 
 }  // namespace s3::serve

@@ -229,8 +229,8 @@ CliqueResult greedy_clique(const WeightedGraph& g) {
   return result;
 }
 
-CliqueCoverResult clique_cover_detailed(const WeightedGraph& g,
-                                        const CliqueConfig& config) {
+CliqueCoverResult clique_cover(const WeightedGraph& g,
+                               const CliqueConfig& config) {
   CliqueCoverResult cover;
   // current-index -> original-index mapping.
   std::vector<std::size_t> to_original(g.size());
@@ -264,11 +264,6 @@ CliqueCoverResult clique_cover_detailed(const WeightedGraph& g,
     to_original = std::move(next_map);
   }
   return cover;
-}
-
-std::vector<std::vector<std::size_t>> clique_cover(const WeightedGraph& g,
-                                                   const CliqueConfig& config) {
-  return clique_cover_detailed(g, config).cliques;
 }
 
 }  // namespace s3::social

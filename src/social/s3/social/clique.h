@@ -55,15 +55,13 @@ struct CliqueCoverResult {
   std::uint64_t nodes_explored = 0;
 };
 
-CliqueCoverResult clique_cover_detailed(const WeightedGraph& g,
-                                        const CliqueConfig& config = {});
-
 /// Iterative clique cover: repeatedly extract a maximum clique (ties
 /// broken by weight) and delete it, until the graph is empty (§IV-A's
 /// procedure). Singleton vertices come out as size-1 cliques at the
-/// end. Cliques are reported in extraction order.
-std::vector<std::vector<std::size_t>> clique_cover(
-    const WeightedGraph& g, const CliqueConfig& config = {});
+/// end. Cliques are reported in extraction order, each sorted
+/// ascending.
+CliqueCoverResult clique_cover(const WeightedGraph& g,
+                               const CliqueConfig& config = {});
 
 /// Greedy maximal-clique heuristic: seed with the highest-degree
 /// vertex, then repeatedly add the candidate with the most neighbours

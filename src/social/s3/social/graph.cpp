@@ -55,10 +55,14 @@ WeightedGraph WeightedGraph::without(
   return g;
 }
 
-WeightedGraph build_theta_graph(const ThetaProvider& model, double threshold) {
+void for_each_theta_edge(
+    const ThetaProvider& model, double threshold, bool strict,
+    const std::function<void(UserId, UserId, double)>& fn) {
   const std::size_t n = model.num_users();
-  WeightedGraph graph(n);
-  if (n < 2) return graph;
+  if (n < 2) return;
+  const auto clears = [&](double th) {
+    return std::isfinite(th) && (strict ? th > threshold : th >= threshold);
+  };
 
   // Pruned path: when the type prior alone cannot clear the threshold,
   // a pair without recorded history has θ = α·T ≤ max_type_term <
@@ -71,10 +75,10 @@ WeightedGraph build_theta_graph(const ThetaProvider& model, double threshold) {
       for (UserId v : indexed->pair_stats().neighbors(u)) {
         if (v <= u) continue;  // each pair once, from its smaller endpoint
         const double th = indexed->theta(u, v);
-        if (std::isfinite(th) && th >= threshold) graph.add_edge(u, v, th);
+        if (clears(th)) fn(u, v, th);
       }
     }
-    return graph;
+    return;
   }
 
   std::vector<UserId> ids(n);
@@ -86,11 +90,17 @@ WeightedGraph build_theta_graph(const ThetaProvider& model, double threshold) {
     const std::span<double> out = std::span<double>(row).first(vs.size());
     model.theta_row(static_cast<UserId>(u), vs, out);
     for (std::size_t i = 0; i < vs.size(); ++i) {
-      if (std::isfinite(out[i]) && out[i] >= threshold) {
-        graph.add_edge(u, vs[i], out[i]);
-      }
+      if (clears(out[i])) fn(static_cast<UserId>(u), vs[i], out[i]);
     }
   }
+}
+
+WeightedGraph build_theta_graph(const ThetaProvider& model, double threshold) {
+  WeightedGraph graph(model.num_users());
+  for_each_theta_edge(model, threshold, /*strict=*/false,
+                      [&](UserId u, UserId v, double th) {
+                        graph.add_edge(u, v, th);
+                      });
   return graph;
 }
 

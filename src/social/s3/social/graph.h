@@ -1,15 +1,62 @@
 // Weighted undirected graph over a working set of users, with dynamic
-// bitset adjacency — the representation the clique machinery runs on.
+// bitset adjacency — the representation the clique machinery runs on —
+// plus the ThetaDelta change-feed record that keeps incremental
+// consumers (social::CliqueMaintainer) in sync with a mutating
+// θ provider without whole-model rebuilds.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "s3/util/error.h"
+#include "s3/util/ids.h"
 
 namespace s3::social {
 
 class ThetaProvider;
+
+/// One record of a ThetaProvider's structured change feed: pair
+/// (u, v)'s social relation index moved to `theta`.
+///
+/// Invalidation contract (the delta-driven social API):
+///
+///   * A provider that emits deltas (`ThetaProvider::emits_theta_deltas`)
+///     records one ThetaDelta for *every* mutation that changes any
+///     θ(u, v), carrying the value of θ(u, v) *after* the mutation. A
+///     consumer that applies a feed suffix in order therefore converges
+///     on the provider's current θ for every touched pair; pairs never
+///     mentioned by the feed are unchanged since the consumer's last
+///     sync point. Derived state (θ-graph edges, clique covers,
+///     per-clique scores) stays valid for every pair the drained feed
+///     does not mention, and must be repaired only where it does.
+///   * Feeds are bounded. When a poll reports `complete == false` the
+///     provider discarded records the consumer had not seen (log
+///     truncation), and every derived structure is invalid: the
+///     consumer must re-seed from the provider's current state
+///     (CliqueMaintainer::reset_from) before trusting any query.
+///   * A provider that mutates but does not emit deltas advances
+///     `read_epoch()` with an always-incomplete feed — the epoch is the
+///     coarse invalidate-everything signal the feed refines. Immutable
+///     providers (a trained SocialIndexModel) have an exact, forever
+///     empty feed.
+///   * `epoch` stamps the provider's read_epoch() at the mutation, so a
+///     consumer can bracket a drained suffix against snapshot reads
+///     (social_index.h's read-snapshot contract).
+struct ThetaDelta {
+  UserPair pair{0, 1};
+  double theta = 0.0;    ///< θ(pair) after the mutation
+  std::uint64_t epoch = 0;
+};
+
+/// Result of one ThetaProvider::poll_theta_deltas call. `cursor` is the
+/// position to pass to the next poll; `complete` is false when records
+/// after the caller's previous cursor were discarded before they could
+/// be read (see the ThetaDelta invalidation contract above).
+struct ThetaDeltaPoll {
+  std::uint64_t cursor = 0;
+  bool complete = true;
+};
 
 /// Fixed-capacity bitset sized at construction; supports the set
 /// operations the Östergård search needs.
@@ -140,5 +187,16 @@ class WeightedGraph {
 /// history are enumerated — O(recorded pairs) instead of O(users²).
 /// Otherwise every pair is scored through the batched theta_row kernel.
 WeightedGraph build_theta_graph(const ThetaProvider& model, double threshold);
+
+/// Enumerates every pair (u, v), u < v, whose θ clears `threshold` —
+/// strictly (`strict`, the batch-graph/CliqueMaintainer edge rule) or
+/// inclusively (build_theta_graph's rule) — calling
+/// fn(u, v, θ(u, v)) once per qualifying pair in ascending (u, v)
+/// order. Uses the same recorded-pairs CSR pruning as
+/// build_theta_graph when the provider allows it, otherwise batched
+/// theta_row sweeps.
+void for_each_theta_edge(
+    const ThetaProvider& model, double threshold, bool strict,
+    const std::function<void(UserId, UserId, double)>& fn);
 
 }  // namespace s3::social

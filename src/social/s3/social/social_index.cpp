@@ -34,6 +34,13 @@ void ThetaProvider::theta_row(UserId u, std::span<const UserId> vs,
   for (std::size_t i = 0; i < vs.size(); ++i) out[i] = theta(u, vs[i]);
 }
 
+ThetaDeltaPoll ThetaProvider::poll_theta_deltas(
+    std::uint64_t cursor, std::vector<ThetaDelta>& out) const {
+  (void)out;  // no feed: nothing to append
+  const std::uint64_t now = read_epoch();
+  return ThetaDeltaPoll{now, cursor == now};
+}
+
 SocialIndexModel SocialIndexModel::train(const trace::Trace& training,
                                          const SocialModelConfig& config) {
   S3_REQUIRE(training.fully_assigned(),

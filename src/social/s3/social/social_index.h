@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "s3/analysis/events.h"
 #include "s3/analysis/profiles.h"
+#include "s3/social/graph.h"
 #include "s3/social/pair_store.h"
 #include "s3/social/typing.h"
 #include "s3/trace/trace.h"
@@ -79,7 +81,30 @@ class ThetaProvider {
   /// moved epoch means live counters advanced mid-run (each individual
   /// read remains per-pair consistent regardless). Immutable providers
   /// return 0 forever — the default.
+  ///
+  /// Prefer poll_theta_deltas() for cache invalidation: the feed says
+  /// *which* pairs moved, the epoch only that *something* did.
   virtual std::uint64_t read_epoch() const noexcept { return 0; }
+
+  /// True when this provider records a structured ThetaDelta feed —
+  /// one record per θ-changing mutation, per the invalidation contract
+  /// on ThetaDelta (graph.h). Immutable providers trivially emit (an
+  /// exact, forever empty feed); the default covers both them and
+  /// mutating providers without a feed, which must return false.
+  virtual bool emits_theta_deltas() const noexcept { return false; }
+
+  /// Drains the change feed from `cursor` (0 on first call, then the
+  /// previous poll's `cursor`), appending records in mutation order to
+  /// `out`. Returns the next cursor and whether the drained suffix is
+  /// complete — `complete == false` means records were lost (log
+  /// truncation, or the provider keeps no feed at all) and the caller
+  /// must rebuild derived state from scratch. The default implements
+  /// the non-emitting contract: no records, cursor = read_epoch(),
+  /// complete only while the epoch has not moved past the caller's
+  /// cursor — exact for immutable providers, always-incomplete across
+  /// mutations for feed-less mutable ones.
+  virtual ThetaDeltaPoll poll_theta_deltas(std::uint64_t cursor,
+                                           std::vector<ThetaDelta>& out) const;
 
   /// Number of users the provider knows about (ids must be < this).
   virtual std::size_t num_users() const = 0;
@@ -102,6 +127,10 @@ class SocialIndexModel : public ThetaProvider {
   /// One flat probe sequence per row — see ThetaProvider::theta_row.
   void theta_row(UserId u, std::span<const UserId> vs,
                  std::span<double> out) const override;
+
+  /// Immutable after train/from_parts: the feed is exact and forever
+  /// empty (the base poll_theta_deltas already implements it).
+  bool emits_theta_deltas() const noexcept override { return true; }
 
   /// The pair-history term P(L|E) alone.
   double co_leave_probability(UserId u, UserId v) const;

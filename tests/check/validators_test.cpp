@@ -197,6 +197,32 @@ TEST_F(ValidatorsTest, CliqueCoverAbortModeThrowsOnNonPartition) {
                ContractViolation);
 }
 
+TEST_F(ValidatorsTest, CliqueCoverFlagsStaleCoverAfterEdgeDeletions) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  // The cover {0,1},{2,3} was valid before every θ-edge at vertex 1
+  // decayed away; against the current graph it must be reported as
+  // stale, naming the dead vertex — not just as a generic non-clique.
+  social::WeightedGraph g(4);
+  g.add_edge(2, 3, 0.8);  // the (0, 1) edge is gone
+  const std::vector<std::vector<std::size_t>> cover = {{0, 1}, {2, 3}};
+  const CheckReport report = validate_clique_cover(g, cover);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "clique 0 is stale"));
+  EXPECT_TRUE(mentions(report, "vertex 0 has no remaining theta-edges"));
+  EXPECT_TRUE(mentions(report, "vertex 1 has no remaining theta-edges"));
+  EXPECT_TRUE(mentions(report, "not a clique"));
+}
+
+TEST_F(ValidatorsTest, CliqueCoverDoesNotFlagIsolatedSingletonsAsStale) {
+  const ScopedContractMode scoped(ContractMode::kCount);
+  // A degree-0 vertex in its own singleton clique is the *correct*
+  // cover for an isolated vertex — only multi-member cliques go stale.
+  social::WeightedGraph g(3);
+  g.add_edge(0, 1, 0.9);
+  const std::vector<std::vector<std::size_t>> cover = {{0, 1}, {2}};
+  EXPECT_TRUE(validate_clique_cover(g, cover).ok());
+}
+
 TEST_F(ValidatorsTest, CliqueCoverReportsOutOfRangeAndEmptyCliques) {
   const ScopedContractMode scoped(ContractMode::kCount);
   const std::vector<std::vector<std::size_t>> cover = {

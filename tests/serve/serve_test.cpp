@@ -6,6 +6,7 @@
 // core::OnlineSocialModel fed the same association events.
 
 #include <atomic>
+#include <map>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -180,9 +181,106 @@ TEST(SharedSocialModel, BitIdenticalWithOnlineModelOnSameEvents) {
     online.theta_row(u, vs, online_row);
     EXPECT_EQ(shared_row, online_row) << "theta_row mismatch at u=" << u;
   }
-  // Both sides advertise a moving read snapshot.
-  EXPECT_GT(shared.read_epoch(), 0U);
+  // Both sides advertise a moving read snapshot — polled through the
+  // base interface (direct SharedSocialModel::read_epoch is
+  // deprecated in favour of the structured delta feed).
+  EXPECT_GT(static_cast<const social::ThetaProvider&>(shared).read_epoch(),
+            0U);
   EXPECT_GT(online.read_epoch(), 0U);
+
+  // The structured feed replays the same history: draining it from
+  // cursor 0 and keeping each pair's last record reproduces the
+  // store's current θ exactly (the ThetaDelta invalidation contract).
+  EXPECT_TRUE(shared.emits_theta_deltas());
+  std::vector<social::ThetaDelta> deltas;
+  const social::ThetaDeltaPoll poll = shared.poll_theta_deltas(0, deltas);
+  ASSERT_TRUE(poll.complete);
+  EXPECT_EQ(poll.cursor, deltas.size());
+  EXPECT_FALSE(deltas.empty());
+  std::map<UserPair, double> last;
+  for (const social::ThetaDelta& d : deltas) last[d.pair] = d.theta;
+  EXPECT_EQ(last.size(), shared.updated_pairs());
+  for (const auto& [pair, theta] : last) {
+    EXPECT_EQ(theta, shared.theta(pair.a, pair.b))
+        << "stale feed tail for (" << pair.a << ", " << pair.b << ")";
+  }
+  // A second poll from the returned cursor is an exact empty suffix.
+  deltas.clear();
+  const social::ThetaDeltaPoll again =
+      shared.poll_theta_deltas(poll.cursor, deltas);
+  EXPECT_TRUE(again.complete);
+  EXPECT_TRUE(deltas.empty());
+}
+
+// The pipeline-level maintainer consumes the shared model's ThetaDelta
+// feed: the first snapshot seeds, later ones apply only the deltas live
+// events produced, and the cover always partitions the population.
+TEST(ServePipeline, SocialSnapshotTracksLiveEventsIncrementally) {
+  const World& w = world();
+  ServeConfig cfg;
+  cfg.policy = "rssi";  // deterministic, model-independent placements
+  ServePipeline p(&w.gen.network, &w.model, cfg);
+
+  const SocialSnapshot first = p.social_snapshot();
+  EXPECT_EQ(first.users, w.model.num_users());
+  EXPECT_FALSE(first.incremental);  // first query must reseed
+  EXPECT_EQ(first.reseeds, 1U);
+  EXPECT_GE(first.cover_version, 1U);
+  // Every user sits in exactly one cover entry.
+  EXPECT_LE(first.singletons + 2 * first.cliques, first.users);
+  if (first.cliques > 0) EXPECT_GE(first.largest, 2U);
+
+  // Long co-located stays then a joint departure: encounters and
+  // co-leavings stream through the shared store's delta feed.
+  std::uint64_t id = 1;
+  for (UserId u = 0; u < 24; ++u) {
+    ASSERT_TRUE(p.place(request(id++, u, 0, 0)).placed);
+  }
+  for (std::uint64_t d = 1; d < id; ++d) {
+    ASSERT_TRUE(p.depart(d, util::SimTime::from_seconds(3600)));
+  }
+  EXPECT_GT(p.model().updated_pairs(), 0U);
+
+  const SocialSnapshot second = p.social_snapshot();
+  EXPECT_TRUE(second.incremental);  // served from the feed, no reseed
+  EXPECT_EQ(second.reseeds, 1U);
+  EXPECT_GT(second.deltas_applied, 0U);
+  EXPECT_GE(second.cohesion, 0.0);
+  EXPECT_GE(second.cover_version, first.cover_version);
+
+  // Re-querying with no new events reuses every component and every
+  // cached clique score.
+  const SocialSnapshot third = p.social_snapshot();
+  EXPECT_TRUE(third.incremental);
+  EXPECT_EQ(third.cover_version, second.cover_version);
+  EXPECT_EQ(third.components_solved, second.components_solved);
+  EXPECT_GE(third.scores_reused, second.scores_reused);
+  EXPECT_EQ(third.scores_recomputed, second.scores_recomputed);
+}
+
+// Cohesion counts exactly the θ mass of clique pairs sharing an AP:
+// co-locating users whose pairs the cover keeps together must move it.
+TEST(ServePipeline, SocialSnapshotCohesionReflectsCoLocatedCliques) {
+  const World& w = world();
+  ServeConfig cfg;
+  cfg.policy = "rssi";
+  ServePipeline p(&w.gen.network, &w.model, cfg);
+  // Everyone in the population parks at one spot in building 0: every
+  // multi-member clique whose members share the chosen AP contributes
+  // its full internal θ mass.
+  std::uint64_t id = 1;
+  for (UserId u = 0; u < w.model.num_users(); ++u) {
+    PlaceRequest req = request(id++, u, 0, 0);
+    req.pos = {w.gen.network.building(0).origin.x + 5.0,
+               w.gen.network.building(0).origin.y + 5.0};
+    ASSERT_TRUE(p.place(req).placed);
+  }
+  const SocialSnapshot snap = p.social_snapshot();
+  if (snap.cliques > 0) {
+    EXPECT_GT(snap.cohesion, 0.0)
+        << "multi-member cliques exist but no co-located pair scored";
+  }
+  EXPECT_GT(snap.scores_recomputed, 0U);
 }
 
 TEST(ServePipeline, ModelOutageServesFallbackAndRecovers) {
@@ -270,7 +368,8 @@ TEST(LineProtocol, EndToEndScript) {
       "arrive 1 2 0 5 5 10 1.0\n"
       "depart 1 100\n"
       "depart 1 110\n"
-      "stats\n");
+      "stats\n"
+      "social\n");
   std::ostringstream out;
   EXPECT_TRUE(run_line_protocol(p, in, out));
   const std::string text = out.str();
@@ -280,6 +379,12 @@ TEST(LineProtocol, EndToEndScript) {
   EXPECT_NE(text.find("gone 1 unknown"), std::string::npos);
   EXPECT_NE(text.find("stats placements=1 departures=1 active=0"),
             std::string::npos);
+  // The social verb serves the maintained cover in one line; the first
+  // query is the seeding one (incremental=0, reseeds=1).
+  EXPECT_NE(text.find("social users=200 "), std::string::npos);
+  EXPECT_NE(text.find(" cohesion=0.000000 "), std::string::npos);
+  EXPECT_NE(text.find(" incremental=0 "), std::string::npos);
+  EXPECT_NE(text.find(" reseeds=1"), std::string::npos);
 }
 
 TEST(LineProtocol, MalformedLinesReportErrorsButContinue) {
@@ -299,6 +404,7 @@ TEST(LineProtocol, MalformedLinesReportErrorsButContinue) {
       "arrive 5 0 0 5 5 0 1.0 stray\n"
       "depart 5 100 stray\n"
       "stats stray\n"
+      "social stray\n"
       "arrive 5 0 0 5 5 0 1.0\n");
   std::ostringstream out;
   EXPECT_FALSE(run_line_protocol(p, in, out));
@@ -315,18 +421,20 @@ TEST(LineProtocol, MalformedLinesReportErrorsButContinue) {
             std::string::npos);
   EXPECT_NE(text.find("err trailing-garbage stats stray"),
             std::string::npos);
+  EXPECT_NE(text.find("err trailing-garbage social stray"),
+            std::string::npos);
   EXPECT_NE(text.find("place 5 "), std::string::npos);
 
   // One err line per malformed input, mirrored on the metrics bus.
   EXPECT_EQ(util::metrics().counter("serve.malformed_lines")->value() - before,
-            8u);
+            9u);
 
   // A clean script leaves the counter alone and returns true.
   std::istringstream clean_in("depart 5 100\n");
   std::ostringstream clean_out;
   EXPECT_TRUE(run_line_protocol(p, clean_in, clean_out));
   EXPECT_EQ(util::metrics().counter("serve.malformed_lines")->value() - before,
-            8u);
+            9u);
 }
 
 }  // namespace

@@ -170,7 +170,7 @@ TEST(GreedyColoring, CompleteGraphUsesNColors) {
 TEST(CliqueCover, PartitionsAllVertices) {
   util::Rng rng(11);
   const WeightedGraph g = random_graph(20, 0.4, rng);
-  const auto cover = clique_cover(g);
+  const auto cover = clique_cover(g).cliques;
   std::vector<bool> seen(20, false);
   for (const auto& clique : cover) {
     EXPECT_TRUE(g.is_clique(clique));
@@ -185,7 +185,7 @@ TEST(CliqueCover, PartitionsAllVertices) {
 TEST(CliqueCover, ExtractionOrderIsNonIncreasingSize) {
   util::Rng rng(13);
   const WeightedGraph g = random_graph(24, 0.5, rng);
-  const auto cover = clique_cover(g);
+  const auto cover = clique_cover(g).cliques;
   for (std::size_t i = 1; i < cover.size(); ++i) {
     EXPECT_LE(cover[i].size(), cover[i - 1].size());
   }
@@ -199,7 +199,7 @@ TEST(CliqueCover, TwoTrianglesAndIsolated) {
   g.add_edge(3, 4, 2.0);
   g.add_edge(4, 5, 2.0);
   g.add_edge(3, 5, 2.0);
-  const auto cover = clique_cover(g);
+  const auto cover = clique_cover(g).cliques;
   ASSERT_EQ(cover.size(), 3u);
   EXPECT_EQ(cover[0], (std::vector<std::size_t>{3, 4, 5}));  // heavier first
   EXPECT_EQ(cover[1], (std::vector<std::size_t>{0, 1, 2}));
@@ -207,11 +207,11 @@ TEST(CliqueCover, TwoTrianglesAndIsolated) {
 }
 
 TEST(CliqueCover, EmptyGraph) {
-  EXPECT_TRUE(clique_cover(WeightedGraph(0)).empty());
+  EXPECT_TRUE(clique_cover(WeightedGraph(0)).cliques.empty());
 }
 
 TEST(CliqueCover, AllIsolatedVertices) {
-  const auto cover = clique_cover(WeightedGraph(4));
+  const auto cover = clique_cover(WeightedGraph(4)).cliques;
   EXPECT_EQ(cover.size(), 4u);
   for (const auto& c : cover) EXPECT_EQ(c.size(), 1u);
 }
@@ -281,7 +281,7 @@ TEST_P(CliquePropertyTest, ExactAndConsistent) {
   if (n <= 16) {
     EXPECT_EQ(r.vertices.size(), brute_force_max_clique_size(g));
   }
-  const auto cover = clique_cover(g);
+  const auto cover = clique_cover(g).cliques;
   std::size_t covered = 0;
   for (const auto& c : cover) covered += c.size();
   EXPECT_EQ(covered, n);
